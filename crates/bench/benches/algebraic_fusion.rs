@@ -1,0 +1,53 @@
+//! Real-CPU measurement of algebraic Q/K/V fusion (Table II): three
+//! separate projection GEMMs vs one stacked GEMM over `[Wᵠ Wᵏ Wᵛ]`.
+//! Stacking reads the shared input X once and amortizes the pack/unpack —
+//! the same reuse argument as on the GPU.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::distributions::Uniform;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use xform_tensor::{einsum, Axis, Shape, Tensor};
+
+fn bench_qkv_fusion(c: &mut Criterion) {
+    let sizes = [('p', 16), ('h', 4), ('i', 64), ('b', 4), ('j', 64)];
+    let mut rng = StdRng::seed_from_u64(1);
+    let dist = Uniform::new(-1.0f32, 1.0);
+    let wq = Tensor::random(Shape::from_spec("phi", &sizes).unwrap(), &dist, &mut rng);
+    let wk = Tensor::random(Shape::from_spec("phi", &sizes).unwrap(), &dist, &mut rng);
+    let wv = Tensor::random(Shape::from_spec("phi", &sizes).unwrap(), &dist, &mut rng);
+    let x = Tensor::random(Shape::from_spec("ibj", &sizes).unwrap(), &dist, &mut rng);
+    let stacked = Tensor::stack(Axis('s'), &[&wq, &wk, &wv]).unwrap();
+
+    let mut group = c.benchmark_group("qkv-projections");
+    group.bench_function(BenchmarkId::new("unfused", "3 GEMMs"), |b| {
+        b.iter(|| {
+            let q = einsum("phi,ibj->phbj", &[black_box(&wq), black_box(&x)]).unwrap();
+            let k = einsum("phi,ibj->phbj", &[black_box(&wk), black_box(&x)]).unwrap();
+            let v = einsum("phi,ibj->phbj", &[black_box(&wv), black_box(&x)]).unwrap();
+            black_box((q, k, v))
+        })
+    });
+    group.bench_function(BenchmarkId::new("QKV fused", "1 stacked GEMM"), |b| {
+        b.iter(|| {
+            black_box(einsum("sphi,ibj->sphbj", &[black_box(&stacked), black_box(&x)]).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_qkv_fusion
+}
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Real-CPU measurement of the paper's central claim: fusing element-wise
+//! and normalization operators saves memory traffic, so the fused kernels
+//! beat the composition of unfused ones on actual hardware — not only in
+//! the V100 model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::distributions::Uniform;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use xform_tensor::fused;
+use xform_tensor::ops::dropout::dropout_disabled;
+use xform_tensor::ops::elementwise::{add, bias_add, relu, scale};
+use xform_tensor::ops::layernorm::layernorm;
+use xform_tensor::ops::softmax::softmax;
+use xform_tensor::{Axis, Shape, Tensor};
+
+fn rand_t(shape: Shape, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor::random(shape, &Uniform::new(-1.0, 1.0), &mut rng)
+}
+
+fn bench_brd(c: &mut Criterion) {
+    // bias + ReLU + dropout over the feed-forward activation
+    let shape = Shape::new([('b', 4), ('j', 64), ('u', 512)]).unwrap();
+    let x = rand_t(shape, 1);
+    let bias = rand_t(Shape::new([('u', 512)]).unwrap(), 2);
+    let mut group = c.benchmark_group("bias+relu+dropout");
+    group.bench_function(BenchmarkId::new("unfused", "3 sweeps"), |b| {
+        b.iter(|| {
+            let pre = bias_add(black_box(&x), &bias).unwrap();
+            let act = relu(&pre);
+            let (out, _) = dropout_disabled(&act);
+            black_box(out)
+        })
+    });
+    group.bench_function(BenchmarkId::new("fused BRD", "1 sweep"), |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| black_box(fused::brd(black_box(&x), &bias, 0.0, &mut rng).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_sm(c: &mut Criterion) {
+    // scale + softmax + dropout over attention scores
+    let shape = Shape::new([('h', 8), ('b', 4), ('j', 96), ('k', 96)]).unwrap();
+    let beta = rand_t(shape, 4);
+    let mut group = c.benchmark_group("scale+softmax+dropout");
+    group.bench_function(BenchmarkId::new("unfused", "3 sweeps"), |b| {
+        b.iter(|| {
+            let s = scale(black_box(&beta), 0.125);
+            let y = softmax(&s, Axis('k')).unwrap();
+            let (out, _) = dropout_disabled(&y);
+            black_box(out)
+        })
+    });
+    group.bench_function(BenchmarkId::new("fused SM", "1 sweep"), |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| black_box(fused::sm(black_box(&beta), 0.125, Axis('k'), 0.0, &mut rng).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_bdrln(c: &mut Criterion) {
+    // bias + dropout + residual + layernorm
+    let shape = Shape::new([('i', 256), ('b', 4), ('j', 128)]).unwrap();
+    let x = rand_t(shape.clone(), 6);
+    let residual = rand_t(shape, 7);
+    let bias = rand_t(Shape::new([('i', 256)]).unwrap(), 8);
+    let gamma = rand_t(Shape::new([('i', 256)]).unwrap(), 9);
+    let beta_w = rand_t(Shape::new([('i', 256)]).unwrap(), 10);
+    let mut group = c.benchmark_group("bias+dropout+residual+layernorm");
+    group.bench_function(BenchmarkId::new("unfused", "4 sweeps"), |b| {
+        b.iter(|| {
+            let z = bias_add(black_box(&x), &bias).unwrap();
+            let (d, _) = dropout_disabled(&z);
+            let ln_in = add(&d, &residual).unwrap();
+            black_box(layernorm(&ln_in, Axis('i'), &gamma, &beta_w).unwrap())
+        })
+    });
+    group.bench_function(BenchmarkId::new("fused BDRLN", "1 sweep"), |b| {
+        let mut rng = StdRng::seed_from_u64(11);
+        b.iter(|| {
+            black_box(
+                fused::bdrln(black_box(&x), &bias, &residual, &gamma, &beta_w, Axis('i'), 0.0, &mut rng)
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_brd, bench_sm, bench_bdrln
+}
+criterion_main!(benches);

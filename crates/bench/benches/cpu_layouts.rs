@@ -1,0 +1,67 @@
+//! Real-CPU measurement of data-layout sensitivity (the paper's Sec. V):
+//! the same logical kernel with the reduction axis contiguous vs strided.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::distributions::Uniform;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use xform_tensor::ops::layernorm::layernorm;
+use xform_tensor::ops::softmax::softmax;
+use xform_tensor::{Axis, Layout, Shape, Tensor};
+
+fn bench_softmax_layouts(c: &mut Criterion) {
+    let shape = Shape::new([('h', 8), ('b', 4), ('j', 96), ('k', 96)]).unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    let x = Tensor::random(shape.clone(), &Uniform::new(-1.0, 1.0), &mut rng);
+    let mut group = c.benchmark_group("softmax-layouts");
+    for spec in ["hbjk", "hbkj", "kjbh"] {
+        let t = x.relayout(&Layout::from_axis_order(&shape, spec).unwrap());
+        group.bench_with_input(BenchmarkId::new("layout", spec), &t, |b, t| {
+            b.iter(|| black_box(softmax(black_box(t), Axis('k')).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_layernorm_layouts(c: &mut Criterion) {
+    let shape = Shape::new([('i', 256), ('b', 8), ('j', 128)]).unwrap();
+    let mut rng = StdRng::seed_from_u64(2);
+    let x = Tensor::random(shape.clone(), &Uniform::new(-1.0, 1.0), &mut rng);
+    let gamma = Tensor::random(Shape::new([('i', 256)]).unwrap(), &Uniform::new(0.5, 1.5), &mut rng);
+    let beta = Tensor::zeros(Shape::new([('i', 256)]).unwrap());
+    let mut group = c.benchmark_group("layernorm-layouts");
+    for spec in ["bji", "ibj", "jbi"] {
+        let t = x.relayout(&Layout::from_axis_order(&shape, spec).unwrap());
+        group.bench_with_input(BenchmarkId::new("layout", spec), &t, |b, t| {
+            b.iter(|| black_box(layernorm(black_box(t), Axis('i'), &gamma, &beta).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_relayout_cost(c: &mut Criterion) {
+    // the explicit transpose that configuration selection may insert
+    let shape = Shape::new([('i', 256), ('b', 8), ('j', 128)]).unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    let x = Tensor::random(shape.clone(), &Uniform::new(-1.0, 1.0), &mut rng);
+    let target = Layout::from_axis_order(&shape, "bji").unwrap();
+    c.bench_function("relayout ibj->bji", |b| {
+        b.iter(|| black_box(black_box(&x).relayout(&target)))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_softmax_layouts, bench_layernorm_layouts, bench_relayout_cost
+}
+criterion_main!(benches);

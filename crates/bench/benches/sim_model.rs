@@ -1,0 +1,63 @@
+//! Throughput of the V100 performance model itself: pricing a single GEMM
+//! configuration, pricing a fused-kernel configuration, and a full
+//! per-operator sweep. The exhaustive recipe evaluates hundreds of
+//! thousands of configurations, so pricing must be cheap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use xform_core::fusion::{apply_plan, encoder_fusion_plan};
+use xform_core::sweep::{sweep_op, SimulatorSource, SweepOptions};
+use xform_dataflow::{build, EncoderDims};
+use xform_gpusim::contraction::{algorithms, gemm_cost, GemmLayout, GemmShape, MathMode};
+use xform_gpusim::DeviceSpec;
+
+fn bench_gemm_cost(c: &mut Criterion) {
+    let device = DeviceSpec::v100();
+    let shape = GemmShape { batch: 1, m: 4096, n: 4096, k: 1024 };
+    let algo = algorithms()[3];
+    c.bench_function("model: one GEMM config", |b| {
+        b.iter(|| {
+            black_box(gemm_cost(
+                &device,
+                black_box(shape),
+                GemmLayout::ideal(),
+                algo,
+                MathMode::TensorCore,
+            ))
+        })
+    });
+}
+
+fn bench_full_sweep(c: &mut Criterion) {
+    let dims = EncoderDims::bert_large();
+    let mut g = build::encoder(&dims).graph;
+    apply_plan(&mut g, &encoder_fusion_plan()).unwrap();
+    let src = SimulatorSource::default();
+    let sm = g.op_by_name("SM").unwrap();
+    c.bench_function("model: full SM sweep (9216 configs)", |b| {
+        b.iter(|| black_box(sweep_op(&src, &g, sm, SweepOptions::default()).unwrap()))
+    });
+    let qkt = g.op_by_name("QKT").unwrap();
+    c.bench_function("model: QKT sweep capped at 10k", |b| {
+        b.iter(|| {
+            black_box(
+                sweep_op(&src, &g, qkt, SweepOptions { max_configs: Some(10_000) }).unwrap(),
+            )
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_gemm_cost, bench_full_sweep
+}
+criterion_main!(benches);

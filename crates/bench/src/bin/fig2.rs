@@ -1,0 +1,42 @@
+//! Fig. 2 reproduction: the full encoder-layer training dataflow with flop
+//! and flop-per-word annotations, forward and backward.
+
+use xform_bench::TablePrinter;
+use xform_dataflow::{analysis, build, EncoderDims};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dims = EncoderDims::bert_large();
+    let enc = build::encoder(&dims);
+    println!(
+        "Fig. 2: BERT-large encoder forward+backward dataflow (B=8, L=512)\n\
+         Paper reference points: Linear 34G flop @ 585 flop/word; LayerNorm 29M @ 2.33;\n\
+         dropout/bias/residual @ ~1/3 flop/word; total 312.6 Gi flop.\n"
+    );
+    let mut t = TablePrinter::new(&[
+        "operator",
+        "class",
+        "Gflop (2^30)",
+        "in (Mwords)",
+        "out (Mwords)",
+        "flop/word",
+    ]);
+    let mut total = 0.0;
+    for a in analysis::annotate(&enc.graph) {
+        total += a.flop as f64;
+        t.row(&[
+            a.name.clone(),
+            a.class.glyph().to_string(),
+            format!("{:.3}", a.flop as f64 / 1_073_741_824.0),
+            format!("{:.1}", a.input_words as f64 / 1e6),
+            format!("{:.1}", a.output_words as f64 / 1e6),
+            format!("{:.2}", a.flop_per_word()),
+        ]);
+    }
+    t.print();
+    println!(
+        "\ntotal: {:.1} Gi flop (paper: 312.6);  total data movement: {:.0} Mwords",
+        total / 1_073_741_824.0,
+        enc.graph.total_io_words() as f64 / 1e6
+    );
+    Ok(())
+}

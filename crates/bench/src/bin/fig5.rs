@@ -1,0 +1,42 @@
+//! Fig. 5 reproduction: runtime distributions over all layout /
+//! vectorization / warp-axis configurations for every fused element-wise
+//! and statistical-normalization kernel.
+
+use xform_bench::Distribution;
+use xform_core::fusion::{apply_plan, encoder_fusion_plan};
+use xform_core::sweep::{sweep_op, SimulatorSource, SweepOptions};
+use xform_dataflow::{build, EncoderDims, OpClass};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dims = EncoderDims::bert_large();
+    let mut g = build::encoder(&dims).graph;
+    apply_plan(&mut g, &encoder_fusion_plan())?;
+    let src = SimulatorSource::default();
+
+    println!("Fig. 5: fused-kernel performance over all configurations (ms)\n");
+    println!("{:<8} {:>9} {:>10} {:>9}  distribution (log bins)", "kernel", "best", "worst", "median");
+    for op in g.ops() {
+        let node = g.op(op).expect("live");
+        if node.kind.class() == OpClass::TensorContraction {
+            continue;
+        }
+        let r = sweep_op(&src, &g, op, SweepOptions::default())?;
+        let times_ms: Vec<f64> = r.times_us.iter().map(|t| t / 1000.0).collect();
+        let d = Distribution::from_times(&times_ms);
+        println!(
+            "{:<8} {:>9.3} {:>10.3} {:>9.3}  {}",
+            node.name,
+            d.best,
+            d.worst,
+            d.median,
+            d.sparkline(&times_ms, 24)
+        );
+    }
+    println!(
+        "\nPaper reference (best/worst ms): AIB 0.065/5.3, SM 0.402/81.3, BRD 0.176/6.6,\n\
+         BDRLN 0.071/3.5, BS 0.396/45.4, BSB 0.033/0.86, EBSB 0.034/0.88.\n\
+         The long tails come from uncoalesced layouts — a bad configuration is\n\
+         orders of magnitude worse, which is why exhaustive search matters (Sec. V-B)."
+    );
+    Ok(())
+}

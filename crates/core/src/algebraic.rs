@@ -1,0 +1,205 @@
+//! Algebraic fusion of the self-attention input projections (Sec. IV-D,
+//! Table II).
+//!
+//! Because the queries, keys and values of self-attention all project the
+//! same tensor `X`, the three projection GEMMs can be stacked:
+//!
+//! 1. three separate GEMMs (`WᵠX`, `WᵏX`, `WᵛX`);
+//! 2. `[Wᵠ Wᵏ]X` stacked, plus `WᵛX`;
+//! 3. `[Wᵠ Wᵏ Wᵛ]X` fully stacked.
+//!
+//! Stacking reuses `X` (read once instead of three times), launches fewer
+//! kernels, and presents larger M to the GPU, improving wave utilization —
+//! which is why the fully fused variant wins in Table II. The same
+//! evaluation covers the backward `dX` GEMMs
+//! (`[Wᵠ Wᵏ Wᵛ][dQ̃ dK̃ dṼ]`).
+
+use xform_dataflow::EncoderDims;
+use xform_gpusim::contraction::{best_algo_cost, GemmLayout, GemmShape, MathMode};
+use xform_gpusim::DeviceSpec;
+
+/// The three algebraic-fusion strategies for the Q/K/V projections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QkvVariant {
+    /// Three separate GEMMs.
+    Unfused,
+    /// Q and K stacked; V separate.
+    FusedQk,
+    /// Q, K and V fully stacked.
+    FusedQkv,
+}
+
+impl QkvVariant {
+    /// All variants, in Table II column order.
+    pub fn all() -> [QkvVariant; 3] {
+        [QkvVariant::Unfused, QkvVariant::FusedQk, QkvVariant::FusedQkv]
+    }
+
+    /// Table II column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            QkvVariant::Unfused => "Unfused",
+            QkvVariant::FusedQk => "QK fused",
+            QkvVariant::FusedQkv => "QKV fused",
+        }
+    }
+
+    /// The GEMM stack heights for this variant (multiples of `P·H`).
+    fn stacks(self) -> &'static [usize] {
+        match self {
+            QkvVariant::Unfused => &[1, 1, 1],
+            QkvVariant::FusedQk => &[2, 1],
+            QkvVariant::FusedQkv => &[3],
+        }
+    }
+}
+
+/// Modelled timings of one variant (µs), Table II's two rows. The
+/// backward row covers both the `dX` and `dW` stacked GEMMs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlgebraicTiming {
+    /// The variant.
+    pub variant: QkvVariant,
+    /// Forward input-projection time.
+    pub forward_us: f64,
+    /// Backward `dX` time (the stacked `[Wᵠ Wᵏ Wᵛ][dQ̃ dK̃ dṼ]` GEMMs).
+    pub backward_us: f64,
+}
+
+/// Prices all three variants on a device (Table II).
+///
+/// # Examples
+///
+/// ```
+/// use xform_core::algebraic::qkv_variants;
+/// use xform_dataflow::EncoderDims;
+/// use xform_gpusim::DeviceSpec;
+/// let rows = qkv_variants(&DeviceSpec::v100(), &EncoderDims::bert_large());
+/// // fully fused is fastest, as in Table II
+/// assert!(rows[2].forward_us < rows[0].forward_us);
+/// ```
+pub fn qkv_variants(device: &DeviceSpec, dims: &EncoderDims) -> Vec<AlgebraicTiming> {
+    let i = dims.i;
+    let ph = dims.p * dims.h;
+    let n = dims.b * dims.j;
+    QkvVariant::all()
+        .into_iter()
+        .map(|variant| {
+            let mut forward_us = 0.0;
+            let mut backward_us = 0.0;
+            let time = |shape: GemmShape| -> f64 {
+                best_algo_cost(device, shape, GemmLayout::ideal(), MathMode::TensorCore)
+                    .1
+                    .time_us
+            };
+            for &stack in variant.stacks() {
+                // forward: [stack·P·H × I] × [I × B·J]
+                forward_us += time(GemmShape { batch: 1, m: stack * ph, n, k: i });
+                // backward dX: [Wᵠ Wᵏ Wᵛ]ᵀ-style, K is the stacked dim
+                backward_us += time(GemmShape { batch: 1, m: i, n, k: stack * ph });
+                // backward dW: X [dQ̃ dK̃ dṼ]ᵀ, M is the stacked dim
+                backward_us += time(GemmShape { batch: 1, m: stack * ph, n: i, k: n });
+            }
+            AlgebraicTiming {
+                variant,
+                forward_us,
+                backward_us,
+            }
+        })
+        .collect()
+}
+
+/// The two strategies for the K/V projections of *encoder/decoder*
+/// attention, where keys and values project the same encoder output
+/// (Sec. IV-D: "This specific example can also be adapted to fuse keys and
+/// values in encoder/decoder attention").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KvVariant {
+    /// Separate `WᵏE` and `WᵛE` GEMMs.
+    Unfused,
+    /// `[Wᵏ Wᵛ]E` stacked.
+    FusedKv,
+}
+
+impl KvVariant {
+    /// Column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            KvVariant::Unfused => "Unfused",
+            KvVariant::FusedKv => "KV fused",
+        }
+    }
+}
+
+/// Prices the encoder/decoder-attention K/V stacking on a device. The
+/// query projection is unaffected (queries come from the decoder side).
+pub fn kv_variants(device: &DeviceSpec, dims: &EncoderDims) -> Vec<(KvVariant, f64)> {
+    let ph = dims.p * dims.h;
+    let n = dims.b * dims.k; // encoder-side sequence length
+    let time = |m: usize| -> f64 {
+        best_algo_cost(
+            device,
+            GemmShape { batch: 1, m, n, k: dims.i },
+            GemmLayout::ideal(),
+            MathMode::TensorCore,
+        )
+        .1
+        .time_us
+    };
+    vec![
+        (KvVariant::Unfused, time(ph) + time(ph)),
+        (KvVariant::FusedKv, time(2 * ph)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_fused_is_fastest() {
+        // Table II: 345 > 294 > 275 µs forward; 342 > 312 > 291 µs backward.
+        let rows = qkv_variants(&DeviceSpec::v100(), &EncoderDims::bert_large());
+        assert_eq!(rows.len(), 3);
+        assert!(rows[0].forward_us > rows[1].forward_us);
+        assert!(rows[1].forward_us > rows[2].forward_us);
+        assert!(rows[0].backward_us > rows[1].backward_us);
+        assert!(rows[1].backward_us > rows[2].backward_us);
+    }
+
+    #[test]
+    fn magnitudes_match_table2() {
+        let rows = qkv_variants(&DeviceSpec::v100(), &EncoderDims::bert_large());
+        for r in &rows {
+            assert!(
+                r.forward_us > 150.0 && r.forward_us < 600.0,
+                "{} forward {} µs",
+                r.variant.label(),
+                r.forward_us
+            );
+            // backward covers dX + dW, roughly 2× the forward work
+            assert!(r.backward_us > 300.0 && r.backward_us < 1200.0);
+        }
+        // unfused vs fused gap is tens of µs, not orders of magnitude
+        let gap = rows[0].forward_us - rows[2].forward_us;
+        assert!(gap > 5.0 && gap < 200.0, "gap {gap} µs");
+    }
+
+    #[test]
+    fn kv_fusion_wins_for_cross_attention() {
+        let rows = kv_variants(&DeviceSpec::v100(), &EncoderDims::bert_large());
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].1 > rows[1].1, "KV stacking should win: {rows:?}");
+        // both are plausible projection times
+        for (_, us) in &rows {
+            assert!(*us > 100.0 && *us < 800.0);
+        }
+    }
+
+    #[test]
+    fn labels_and_stacks() {
+        assert_eq!(QkvVariant::Unfused.label(), "Unfused");
+        assert_eq!(QkvVariant::FusedQk.stacks(), &[2, 1]);
+        assert_eq!(QkvVariant::FusedQkv.stacks(), &[3]);
+    }
+}

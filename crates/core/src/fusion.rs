@@ -1,0 +1,524 @@
+//! The fusion pass (Sec. IV): detecting fusable operator groups and
+//! rewriting the dataflow graph.
+//!
+//! Detection walks producer→consumer chains of non-contraction operators,
+//! extending a chain while iteration spaces stay compatible
+//! ([`crate::itspace::fusion_compatible`]) and at most one axis-type
+//! normalization (softmax/layer-norm) is absorbed; trailing bias-dW style
+//! side reductions are attached per pattern 1/4 of Fig. 3. On the BERT
+//! encoder graph this discovers the paper's chains; [`encoder_fusion_plan`]
+//! additionally pins down the exact Table III grouping (including the
+//! launch-count-driven merge of `Bias 2 dW` into `BDRB`, which the paper
+//! chose manually "to perform fewer kernel launches").
+
+use xform_dataflow::{Graph, NodeId, OpClass, OpKind};
+use xform_tensor::{Result, TensorError};
+
+use crate::itspace::{fusion_compatible, op_iter_space};
+
+/// One planned fused kernel: a name and the member operator names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FusionGroup {
+    /// Kernel name (e.g. `"SM"`).
+    pub name: String,
+    /// Names of the member operators, in execution order.
+    pub members: Vec<String>,
+}
+
+impl FusionGroup {
+    fn new(name: &str, members: &[&str]) -> Self {
+        FusionGroup {
+            name: name.to_string(),
+            members: members.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+}
+
+/// The paper's exact fusion plan for the BERT encoder layer (Sec. IV-A's
+/// kernel list / Table III's braces). The two `BLNRD` instances are
+/// suffixed by which layer-norm they serve.
+///
+/// # Examples
+///
+/// ```
+/// use xform_core::fusion::{apply_plan, encoder_fusion_plan};
+/// use xform_dataflow::{build, EncoderDims};
+/// let mut graph = build::encoder(&EncoderDims::tiny()).graph;
+/// let before = graph.total_io_words();
+/// apply_plan(&mut graph, &encoder_fusion_plan()).unwrap();
+/// assert!(graph.total_io_words() < before); // fusion saved data movement
+/// ```
+pub fn encoder_fusion_plan() -> Vec<FusionGroup> {
+    vec![
+        FusionGroup::new("AIB", &["Input bias Q", "Input bias K", "Input bias V"]),
+        FusionGroup::new("SM", &["Scaled softmax", "Dropout att"]),
+        FusionGroup::new(
+            "DRLN",
+            &["Output bias", "Dropout 1", "Residual 1", "LayerNorm 1"],
+        ),
+        FusionGroup::new("BRD", &["Bias 1", "ReLU", "Dropout 2"]),
+        FusionGroup::new(
+            "BDRLN",
+            &["Bias 2", "Dropout 3", "Residual 2", "LayerNorm 2"],
+        ),
+        FusionGroup::new("BSB", &["LayerNorm 2 dW"]),
+        FusionGroup::new("BLNRD2", &["LayerNorm 2 dX", "Dropout 3 dX"]),
+        FusionGroup::new(
+            "BDRB",
+            &["Bias 2 dW", "Dropout 2 dX", "ReLU dX", "Bias 1 dW"],
+        ),
+        FusionGroup::new("EBSB", &["Residual 2 dX", "LayerNorm 1 dW"]),
+        FusionGroup::new("BLNRD1", &["LayerNorm 1 dX", "Dropout 1 dX"]),
+        FusionGroup::new("BAOB", &["Output bias dW"]),
+        FusionGroup::new("BS", &["Dropout att dX", "Scaled softmax dX"]),
+        FusionGroup::new("BAIB", &["Input bias dW"]),
+        FusionGroup::new("BEI", &["Residual 1 dX"]),
+    ]
+}
+
+/// The fusion plan for a GPT-2-style (pre-layer-norm, causally masked)
+/// decoder block, derived with the same rules. Pre-LN hoists the layer
+/// norms out of the residual chains, so they fuse with fewer neighbours
+/// than in the encoder; everything else maps one-to-one.
+pub fn decoder_fusion_plan() -> Vec<FusionGroup> {
+    vec![
+        FusionGroup::new("AIB", &["Input bias Q", "Input bias K", "Input bias V"]),
+        FusionGroup::new("SM", &["Masked softmax", "Dropout att"]),
+        FusionGroup::new("BDR", &["Output bias", "Dropout 1", "Residual 1"]),
+        FusionGroup::new("BRD", &["Bias 1", "GELU", "Dropout 2"]),
+        FusionGroup::new("BDR2", &["Bias 2", "Dropout 3", "Residual 2"]),
+        FusionGroup::new("LN1", &["LayerNorm 1"]),
+        FusionGroup::new("LN2", &["LayerNorm 2"]),
+        FusionGroup::new("BDB", &["Dropout 3 dX", "Bias 2 dW"]),
+        FusionGroup::new("BDRB", &["Dropout 2 dX", "GELU dX", "Bias 1 dW"]),
+        FusionGroup::new("BSB2", &["LayerNorm 2 dW"]),
+        FusionGroup::new("BLNR2", &["LayerNorm 2 dX", "Residual 2 dX"]),
+        FusionGroup::new("BDAOB", &["Dropout 1 dX", "Output bias dW"]),
+        FusionGroup::new("BS", &["Dropout att dX", "Masked softmax dX"]),
+        FusionGroup::new("BAIB", &["Input bias dW"]),
+        FusionGroup::new("BSB1", &["LayerNorm 1 dW"]),
+        FusionGroup::new("BLNR1", &["LayerNorm 1 dX", "Residual 1 dX"]),
+    ]
+}
+
+/// Applies a fusion plan to a graph, returning the fused op ids in plan
+/// order. Groups with a single member are renamed (they still become one
+/// specialized kernel) rather than rewired.
+///
+/// # Errors
+///
+/// Returns an error if a named operator is missing or a group is invalid
+/// (e.g. contains a contraction).
+pub fn apply_plan(graph: &mut Graph, plan: &[FusionGroup]) -> Result<Vec<NodeId>> {
+    let mut out = Vec::new();
+    for group in plan {
+        let ids: Vec<NodeId> = group
+            .members
+            .iter()
+            .map(|m| {
+                graph
+                    .op_by_name(m)
+                    .ok_or_else(|| TensorError::Unsupported(format!("operator `{m}` not found")))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        out.push(graph.fuse(&ids, &group.name)?);
+    }
+    Ok(out)
+}
+
+/// Validates a fusion plan against a graph *without* mutating it: every
+/// member must exist, be a non-contraction operator, appear in exactly one
+/// group, and multi-op groups must be iteration-space coherent (every
+/// member compatible with at least one other member). Returns
+/// human-readable problems; an empty list means the plan is applicable.
+pub fn validate_plan(graph: &Graph, plan: &[FusionGroup]) -> Vec<String> {
+    let mut problems = Vec::new();
+    let mut seen: Vec<&str> = Vec::new();
+    for group in plan {
+        for m in &group.members {
+            if seen.contains(&m.as_str()) {
+                problems.push(format!("`{m}` appears in more than one group"));
+            }
+            seen.push(m);
+            let Some(id) = graph.op_by_name(m) else {
+                problems.push(format!("group `{}`: operator `{m}` not found", group.name));
+                continue;
+            };
+            let node = graph.op(id).expect("live op");
+            if node.kind.class() == OpClass::TensorContraction {
+                problems.push(format!(
+                    "group `{}`: `{m}` is a tensor contraction and cannot fuse",
+                    group.name
+                ));
+            }
+        }
+        if group.members.len() > 1 {
+            let ids: Vec<NodeId> = group
+                .members
+                .iter()
+                .filter_map(|m| graph.op_by_name(m))
+                .collect();
+            for (i, &a) in ids.iter().enumerate() {
+                // full reductions (bias dW / layer-norm dW) may be merged
+                // into any kernel purely to save a launch (Sec. IV's first
+                // benefit case) — the paper's BDRB does exactly this with
+                // `Bias 2 dW`, whose iteration space matches no other member
+                if matches!(
+                    graph.op(a).map(|o| &o.kind),
+                    Some(OpKind::BiasGrad { .. } | OpKind::LayerNormGradW { .. })
+                ) {
+                    continue;
+                }
+                let Ok(sa) = op_iter_space(graph, a) else { continue };
+                let coherent = ids.iter().enumerate().any(|(j, &b)| {
+                    if i == j {
+                        return false;
+                    }
+                    op_iter_space(graph, b)
+                        .map(|sb| {
+                            fusion_compatible(&sa, &sb).is_some()
+                                || fusion_compatible(&sb, &sa).is_some()
+                                || sizes_match(&sa, &sb)
+                        })
+                        .unwrap_or(false)
+                });
+                if !coherent {
+                    problems.push(format!(
+                        "group `{}`: `{}` shares no compatible iteration space with any member",
+                        group.name, group.members[i]
+                    ));
+                }
+            }
+        }
+    }
+    problems
+}
+
+/// Whether two iteration spaces match by dimension *sizes* (the sibling
+/// criterion: Q/K/V streams use different letters for equal dims).
+fn sizes_match(a: &crate::itspace::IterSpace, b: &crate::itspace::IterSpace) -> bool {
+    let sz = |sp: &crate::itspace::IterSpace| {
+        let mut v: Vec<usize> = sp.independent.iter().map(|&(_, n)| n).collect();
+        v.sort_unstable();
+        v
+    };
+    sz(a) == sz(b)
+}
+
+/// Detects fusable groups automatically from iteration spaces.
+///
+/// The walk considers non-contraction operators in execution order:
+///
+/// 1. start a chain at an unclaimed operator;
+/// 2. extend through its unique data consumer while the consumer is an
+///    unclaimed non-contraction with a compatible iteration space, fusing
+///    until "either a reduction dimension or iteration space changes":
+///    after absorbing an axis-type normalization, only same-space maps and
+///    side reductions may follow;
+/// 3. sibling operators that read distinct slices of one producer with
+///    identical iteration spaces are grouped (the AIB pattern — fewer
+///    kernel launches).
+pub fn detect_groups(graph: &Graph) -> Vec<Vec<NodeId>> {
+    let ops = graph.ops();
+    let mut claimed: Vec<NodeId> = Vec::new();
+    let mut groups: Vec<Vec<NodeId>> = Vec::new();
+
+    let fusable = |id: NodeId| -> bool {
+        graph
+            .op(id)
+            .map(|o| o.kind.class() != OpClass::TensorContraction)
+            .unwrap_or(false)
+    };
+
+    for &start in &ops {
+        if claimed.contains(&start) || !fusable(start) {
+            continue;
+        }
+        let mut chain = vec![start];
+        let mut reductions_seen = usize::from(is_norm_reduction(graph, start));
+        let mut cur = start;
+        loop {
+            let Some(next) = unique_consumer(graph, cur) else { break };
+            if claimed.contains(&next) || chain.contains(&next) || !fusable(next) {
+                break;
+            }
+            let (Ok(a), Ok(b)) = (op_iter_space(graph, cur), op_iter_space(graph, next)) else {
+                break;
+            };
+            if fusion_compatible(&a, &b).is_none() {
+                break;
+            }
+            if is_norm_reduction(graph, next) {
+                reductions_seen += 1;
+                if reductions_seen > 1 {
+                    break;
+                }
+            }
+            chain.push(next);
+            cur = next;
+            // a trailing full reduction (bias dW) ends the chain
+            if matches!(
+                graph.op(next).map(|o| &o.kind),
+                Some(OpKind::BiasGrad { .. } | OpKind::LayerNormGradW { .. })
+            ) {
+                break;
+            }
+        }
+        // sibling grouping: single-op chains join same-space siblings of a
+        // common producer (the AIB pattern)
+        if chain.len() == 1 {
+            if let Some(sibs) = sibling_group(graph, start, &claimed) {
+                claimed.extend(&sibs);
+                groups.push(sibs);
+                continue;
+            }
+        }
+        claimed.extend(&chain);
+        groups.push(chain);
+    }
+    groups
+}
+
+/// Whether the op performs an axis-type normalization reduction (softmax /
+/// layer-norm family), as opposed to a bias-style full reduction.
+fn is_norm_reduction(graph: &Graph, id: NodeId) -> bool {
+    graph
+        .op(id)
+        .map(|o| o.kind.reduce_axis().is_some())
+        .unwrap_or(false)
+}
+
+/// The next operator to try chaining into: the earliest (in execution
+/// order) consumer of this op's primary output. Saved tensors are also
+/// read by backward operators much later in the program; those later
+/// readers do not block fusing the immediate consumer — the fused kernel
+/// still materializes the saved value.
+fn unique_consumer(graph: &Graph, op: NodeId) -> Option<NodeId> {
+    let outputs = graph.outputs_of(op);
+    let primary = *outputs.first()?;
+    graph.consumers_of(primary).into_iter().min()
+}
+
+/// Finds same-space sibling ops sharing this op's producer (AIB pattern).
+fn sibling_group(graph: &Graph, op: NodeId, claimed: &[NodeId]) -> Option<Vec<NodeId>> {
+    let inputs = graph.inputs_of(op);
+    let src = *inputs.first()?;
+    // producer's other consumers with identical op kind shape
+    let space = op_iter_space(graph, op).ok()?;
+    // Sibling iteration spaces match by *sizes*: the Q/K/V streams use
+    // different axis letters (j vs k, p vs w) for identically-sized dims.
+    let sizes = |sp: &crate::itspace::IterSpace| -> Vec<usize> {
+        let mut v: Vec<usize> = sp.independent.iter().map(|&(_, n)| n).collect();
+        v.sort_unstable();
+        v
+    };
+    let want = sizes(&space);
+    let sibs: Vec<NodeId> = graph
+        .consumers_of(src)
+        .into_iter()
+        .filter(|&c| {
+            !claimed.contains(&c)
+                && graph
+                    .op(c)
+                    .map(|o| o.kind.class() == OpClass::Elementwise)
+                    .unwrap_or(false)
+                && op_iter_space(graph, c)
+                    .map(|s| sizes(&s) == want)
+                    .unwrap_or(false)
+        })
+        .collect();
+    if sibs.len() > 1 {
+        Some(sibs)
+    } else {
+        None
+    }
+}
+
+/// Fuses a graph with the automatically detected groups, naming each group
+/// after its members' initials. Returns the fused op ids.
+///
+/// # Errors
+///
+/// Propagates [`Graph::fuse`] errors.
+pub fn apply_detected(graph: &mut Graph) -> Result<Vec<NodeId>> {
+    let groups = detect_groups(graph);
+    let mut out = Vec::new();
+    for group in groups {
+        if group.len() < 2 {
+            continue; // leave singletons unfused
+        }
+        let name: String = group
+            .iter()
+            .filter_map(|&id| graph.op(id).and_then(|o| o.name.chars().next()))
+            .collect();
+        out.push(graph.fuse(&group, &format!("fused-{name}"))?);
+    }
+    Ok(out)
+}
+
+/// Data-role summary after fusion: saved tensors survive, interim
+/// activations disappear. Used by tests and reports.
+pub fn interim_words_eliminated(before: &Graph, after: &Graph) -> i64 {
+    before.total_io_words() as i64 - after.total_io_words() as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xform_dataflow::{analysis, build, EncoderDims};
+
+    #[test]
+    fn plan_applies_and_reduces_movement_near_paper() {
+        let e = build::encoder(&EncoderDims::bert_large());
+        let baseline = e.graph.clone();
+        let mut g = e.graph;
+        let fused = apply_plan(&mut g, &encoder_fusion_plan()).unwrap();
+        assert_eq!(fused.len(), 14);
+        let red = analysis::movement_reduction_pct(&baseline, &g);
+        // Paper: ~22.91% total data-movement reduction.
+        assert!(
+            red > 15.0 && red < 30.0,
+            "movement reduction {red}% (paper: 22.91%)"
+        );
+    }
+
+    #[test]
+    fn fused_graph_keeps_saved_tensors() {
+        let e = build::encoder(&EncoderDims::tiny());
+        let mut g = e.graph;
+        apply_plan(&mut g, &encoder_fusion_plan()).unwrap();
+        for name in ["att", "alpha", "att_mask", "drop1_mask", "ln1_in", "ln2_in", "ff1_b"] {
+            assert!(g.data_by_name(name).is_some(), "{name} was eliminated");
+        }
+        // beta survives: it is the QKT contraction's output and thus the
+        // fused SM kernel's external input. Interim activations are gone:
+        assert!(g.data_by_name("beta").is_some());
+        for name in ["bo_out", "drop1_out", "ff1_relu", "ff2_b", "ff2_drop"] {
+            assert!(g.data_by_name(name).is_none(), "{name} should be fused away");
+        }
+    }
+
+    #[test]
+    fn plan_is_idempotent_failure() {
+        let e = build::encoder(&EncoderDims::tiny());
+        let mut g = e.graph;
+        apply_plan(&mut g, &encoder_fusion_plan()).unwrap();
+        // applying again fails: original ops are gone
+        assert!(apply_plan(&mut g, &encoder_fusion_plan()).is_err());
+    }
+
+    #[test]
+    fn both_shipped_plans_validate_cleanly() {
+        let enc = build::encoder(&EncoderDims::bert_large());
+        let problems = validate_plan(&enc.graph, &encoder_fusion_plan());
+        assert!(problems.is_empty(), "encoder plan: {problems:?}");
+        let dec = xform_dataflow::build::decoder(&EncoderDims::bert_large());
+        let problems = validate_plan(&dec.graph, &decoder_fusion_plan());
+        assert!(problems.is_empty(), "decoder plan: {problems:?}");
+    }
+
+    #[test]
+    fn validate_plan_catches_mistakes() {
+        let enc = build::encoder(&EncoderDims::tiny());
+        // missing op
+        let bad = vec![FusionGroup::new("X", &["No Such Op"])];
+        assert!(!validate_plan(&enc.graph, &bad).is_empty());
+        // contraction in a group
+        let bad = vec![FusionGroup::new("X", &["QKT"])];
+        assert!(!validate_plan(&enc.graph, &bad).is_empty());
+        // duplicated member across groups
+        let bad = vec![
+            FusionGroup::new("A", &["Dropout 1"]),
+            FusionGroup::new("B", &["Dropout 1"]),
+        ];
+        assert!(!validate_plan(&enc.graph, &bad).is_empty());
+        // incoherent iteration spaces (attention-space + embedding-space)
+        let bad = vec![FusionGroup::new("X", &["Dropout att", "Dropout 1"])];
+        assert!(!validate_plan(&enc.graph, &bad).is_empty());
+    }
+
+    #[test]
+    fn decoder_plan_applies_and_reduces_movement() {
+        let e = xform_dataflow::build::decoder(&EncoderDims::bert_large());
+        let baseline = e.graph.clone();
+        let mut g = e.graph;
+        let fused = apply_plan(&mut g, &decoder_fusion_plan()).unwrap();
+        assert_eq!(fused.len(), 16);
+        let red = analysis::movement_reduction_pct(&baseline, &g);
+        assert!(red > 8.0 && red < 30.0, "decoder movement reduction {red}%");
+        // causal-attention saved tensors survive
+        for name in ["att", "alpha", "att_mask", "res1", "ln2_out"] {
+            assert!(g.data_by_name(name).is_some(), "{name} eliminated");
+        }
+    }
+
+    #[test]
+    fn detection_finds_paper_chains() {
+        let e = build::encoder(&EncoderDims::bert_large());
+        let g = &e.graph;
+        let groups = detect_groups(g);
+        let names: Vec<Vec<String>> = groups
+            .iter()
+            .map(|grp| {
+                grp.iter()
+                    .map(|&id| g.op(id).unwrap().name.clone())
+                    .collect()
+            })
+            .collect();
+        let has = |members: &[&str]| {
+            names
+                .iter()
+                .any(|g| g.iter().map(String::as_str).collect::<Vec<_>>() == members)
+        };
+        assert!(has(&["Scaled softmax", "Dropout att"]), "SM: {names:?}");
+        assert!(
+            has(&["Output bias", "Dropout 1", "Residual 1", "LayerNorm 1"]),
+            "DRLN: {names:?}"
+        );
+        assert!(has(&["Bias 1", "ReLU", "Dropout 2"]), "BRD: {names:?}");
+        assert!(
+            has(&["Bias 2", "Dropout 3", "Residual 2", "LayerNorm 2"]),
+            "BDRLN: {names:?}"
+        );
+        assert!(
+            has(&["Dropout att dX", "Scaled softmax dX"]),
+            "BS: {names:?}"
+        );
+        assert!(
+            has(&["Dropout 2 dX", "ReLU dX", "Bias 1 dW"]),
+            "BDRB core chain: {names:?}"
+        );
+        assert!(
+            has(&["Input bias Q", "Input bias K", "Input bias V"]),
+            "AIB siblings: {names:?}"
+        );
+    }
+
+    #[test]
+    fn detection_never_claims_contractions_or_duplicates() {
+        let e = build::encoder(&EncoderDims::bert_large());
+        let g = &e.graph;
+        let groups = detect_groups(g);
+        let mut seen = Vec::new();
+        for grp in &groups {
+            for &id in grp {
+                assert!(!seen.contains(&id), "op claimed twice");
+                seen.push(id);
+                assert_ne!(
+                    g.op(id).unwrap().kind.class(),
+                    OpClass::TensorContraction
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_detected_fuses_multi_op_groups() {
+        let e = build::encoder(&EncoderDims::tiny());
+        let baseline = e.graph.clone();
+        let mut g = e.graph;
+        let fused = apply_detected(&mut g).unwrap();
+        assert!(fused.len() >= 6);
+        assert!(interim_words_eliminated(&baseline, &g) > 0);
+    }
+}

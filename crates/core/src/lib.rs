@@ -1,0 +1,48 @@
+//! The paper's contribution: a recipe for globally optimizing data
+//! movement in transformer training.
+//!
+//! This crate implements Sections III–VI of *Ivanov et al., "Data Movement
+//! Is All You Need" (MLSys 2021)* on top of the dataflow IR
+//! (`xform-dataflow`) and the device model (`xform-gpusim`):
+//!
+//! * [`itspace`] — iteration spaces and the fusion-compatibility rules of
+//!   Sec. IV, including the four structural patterns of Fig. 3;
+//! * [`fusion`] — automatic fusion-group detection plus the paper's exact
+//!   encoder fusion plan (AIB, SM, DRLN, BRD, BDRLN, BSB, BLNRD, BDRB,
+//!   EBSB, BAOB, BS, BAIB, BEI);
+//! * [`algebraic`] — the stacked Q/K/V projection variants of Table II;
+//! * [`sweep`] — exhaustive per-operator configuration sweeps behind the
+//!   [`sweep::PerfSource`] trait (simulator or real measurements);
+//! * [`selection`] — the shortest-path global configuration selection of
+//!   Sec. VI-A / Fig. 6;
+//! * [`recipe`] — the end-to-end driver assembling the optimized encoder;
+//! * [`report`] — Table-III-style per-operator comparisons.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use xform_core::recipe::{optimize_encoder, RecipeOptions};
+//! use xform_dataflow::EncoderDims;
+//! use xform_gpusim::DeviceSpec;
+//! # fn main() -> xform_tensor::Result<()> {
+//! let plan = optimize_encoder(
+//!     &DeviceSpec::v100(),
+//!     &EncoderDims::bert_large(),
+//!     &RecipeOptions::default(),
+//! )?;
+//! println!("forward {:.2} ms", plan.forward_us / 1000.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod algebraic;
+pub mod cpusource;
+pub mod fusion;
+pub mod itspace;
+pub mod recipe;
+pub mod report;
+pub mod selection;
+pub mod sweep;

@@ -1,0 +1,309 @@
+//! Exhaustive per-operator configuration sweeps (Sec. V).
+//!
+//! For each operator, every feasible configuration (layout permutations,
+//! vectorization/warp axes, GEMM algorithm, math mode) is priced through a
+//! [`PerfSource`] — the V100 model by default, but the trait also admits
+//! real CPU measurements, demonstrating that the recipe is
+//! hardware-agnostic. The sweep records the full runtime distribution
+//! (Figs. 4 & 5) and, for the configuration-selection step, the best
+//! configuration for every (input-layout, output-layout) pair.
+
+use std::collections::HashMap;
+
+use xform_dataflow::{DataRole, Graph, NodeId};
+use xform_gpusim::opmodel::{config_space, op_cost, OpConfig, OpModel};
+use xform_gpusim::{DeviceSpec, KernelCost};
+use xform_tensor::{Result, TensorError};
+
+/// A provider of per-configuration operator timings.
+pub trait PerfSource {
+    /// Human-readable source name (for reports).
+    fn name(&self) -> &str;
+
+    /// Prices one operator configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid for the operator.
+    fn measure(&self, graph: &Graph, op: NodeId, cfg: &OpConfig) -> Result<KernelCost>;
+
+    /// Prices many configurations of one operator. Sources should override
+    /// this when per-operator setup (shape gathering, buffer allocation)
+    /// can be amortized across the sweep.
+    fn measure_many(
+        &self,
+        graph: &Graph,
+        op: NodeId,
+        cfgs: &[OpConfig],
+    ) -> Vec<Result<KernelCost>> {
+        cfgs.iter().map(|c| self.measure(graph, op, c)).collect()
+    }
+}
+
+/// The analytical V100 model as a performance source.
+#[derive(Debug, Clone, Default)]
+pub struct SimulatorSource {
+    /// The modelled device.
+    pub device: DeviceSpec,
+}
+
+impl PerfSource for SimulatorSource {
+    fn name(&self) -> &str {
+        &self.device.name
+    }
+
+    fn measure(&self, graph: &Graph, op: NodeId, cfg: &OpConfig) -> Result<KernelCost> {
+        op_cost(&self.device, graph, op, cfg)
+    }
+
+    fn measure_many(
+        &self,
+        graph: &Graph,
+        op: NodeId,
+        cfgs: &[OpConfig],
+    ) -> Vec<Result<KernelCost>> {
+        match OpModel::new(graph, op) {
+            Ok(model) => cfgs.iter().map(|c| model.cost(&self.device, c)).collect(),
+            Err(e) => cfgs.iter().map(|_| Err(e.clone())).collect(),
+        }
+    }
+}
+
+/// One timed configuration.
+#[derive(Debug, Clone)]
+pub struct ConfigTiming {
+    /// The configuration.
+    pub cfg: OpConfig,
+    /// Its modelled/measured kernel time in µs.
+    pub time_us: f64,
+}
+
+/// Sweep output for one operator.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// The operator id.
+    pub op: NodeId,
+    /// The operator name.
+    pub name: String,
+    /// Fastest configuration found.
+    pub best: ConfigTiming,
+    /// Slowest sampled time (the far end of the violin).
+    pub worst_us: f64,
+    /// Every sampled time, unsorted (the distribution of Figs. 4/5).
+    pub times_us: Vec<f64>,
+    /// Best configuration per (flowing-input layout, primary-output
+    /// layout) pair — the edge weights of the selection graph (Sec. VI-A).
+    pub per_io: HashMap<(String, String), ConfigTiming>,
+    /// Index of the flowing input among the op's inputs.
+    pub flowing_input: usize,
+}
+
+/// Options controlling a sweep.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepOptions {
+    /// If set, sample at most this many configurations (stride sampling).
+    /// Best/worst remain correct with respect to the sample only.
+    pub max_configs: Option<usize>,
+}
+
+/// The index of an operator's *flowing* input: the non-weight input with
+/// the largest memlet volume (ties broken by position). This is the tensor
+/// whose layout the configuration-selection chain threads through the
+/// graph.
+pub fn flowing_input_index(graph: &Graph, op: NodeId) -> usize {
+    let topo = graph.topo_ops();
+    let rank = |id: NodeId| topo.iter().position(|&o| o == id).unwrap_or(0);
+    let inputs = graph.inputs_of(op);
+    let mut best = 0usize;
+    let mut best_key = (0u64, 0usize);
+    for (i, &d) in inputs.iter().enumerate() {
+        let Some(node) = graph.data(d) else { continue };
+        if node.role == DataRole::Weight {
+            continue;
+        }
+        let vol = node.shape.num_elements() as u64;
+        // Ties (equal volumes) go to the tensor whose producer executes
+        // latest: the one deeper in the chain is the true flowing
+        // continuation (e.g. Gamma's `alpha` from softmax, not its `vv`
+        // from the input projections).
+        let producer_rank = graph
+            .producers_of(d)
+            .into_iter()
+            .map(rank)
+            .max()
+            .unwrap_or(0);
+        let key = (vol, producer_rank);
+        if key > best_key {
+            best_key = key;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Sweeps one operator's configuration space through a performance source.
+///
+/// # Errors
+///
+/// Returns an error if the op is invalid or the space is empty.
+///
+/// # Examples
+///
+/// ```
+/// use xform_core::sweep::{sweep_op, SimulatorSource, SweepOptions};
+/// use xform_dataflow::{build, EncoderDims};
+/// let e = build::encoder(&EncoderDims::bert_large());
+/// let op = e.graph.op_by_name("Scaled softmax").unwrap();
+/// let r = sweep_op(&SimulatorSource::default(), &e.graph, op,
+///                  SweepOptions { max_configs: Some(200) }).unwrap();
+/// assert!(r.worst_us >= r.best.time_us); // layouts matter
+/// ```
+pub fn sweep_op(
+    source: &dyn PerfSource,
+    graph: &Graph,
+    op: NodeId,
+    opts: SweepOptions,
+) -> Result<SweepResult> {
+    let name = graph
+        .op(op)
+        .ok_or_else(|| TensorError::Unsupported(format!("{op} is not an operator")))?
+        .name
+        .clone();
+    let space = config_space(graph, op)?;
+    let stride = match opts.max_configs {
+        Some(m) if space.len() > m => space.len().div_ceil(m),
+        _ => 1,
+    };
+    let flowing = flowing_input_index(graph, op);
+    let sampled: Vec<OpConfig> = space.into_iter().step_by(stride).collect();
+    let costs = source.measure_many(graph, op, &sampled);
+    let mut best: Option<ConfigTiming> = None;
+    let mut worst = 0.0f64;
+    let mut times = Vec::new();
+    let mut per_io: HashMap<(String, String), ConfigTiming> = HashMap::new();
+    for (cfg, cost) in sampled.into_iter().zip(costs) {
+        let Ok(cost) = cost else { continue };
+        let t = cost.time_us;
+        times.push(t);
+        worst = worst.max(t);
+        if best.as_ref().map(|b| t < b.time_us).unwrap_or(true) {
+            best = Some(ConfigTiming { cfg: cfg.clone(), time_us: t });
+        }
+        let in_key = if flowing == 1 {
+            cfg.in2_spec.clone().unwrap_or_else(|| cfg.in_spec.clone())
+        } else {
+            cfg.in_spec.clone()
+        };
+        let key = (in_key, cfg.out_spec.clone());
+        match per_io.get(&key) {
+            Some(prev) if prev.time_us <= t => {}
+            _ => {
+                per_io.insert(key, ConfigTiming { cfg, time_us: t });
+            }
+        }
+    }
+    let best = best.ok_or_else(|| {
+        TensorError::Unsupported(format!("no valid configuration for `{name}`"))
+    })?;
+    Ok(SweepResult {
+        op,
+        name,
+        best,
+        worst_us: worst,
+        times_us: times,
+        per_io,
+        flowing_input: flowing,
+    })
+}
+
+/// Sweeps every operator of a graph, with per-op results keyed by id.
+///
+/// # Errors
+///
+/// Propagates the first per-op failure.
+pub fn sweep_all(
+    source: &dyn PerfSource,
+    graph: &Graph,
+    opts: SweepOptions,
+) -> Result<HashMap<NodeId, SweepResult>> {
+    let mut out = HashMap::new();
+    for op in graph.ops() {
+        out.insert(op, sweep_op(source, graph, op, opts)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xform_dataflow::{build, EncoderDims};
+
+    fn sim() -> SimulatorSource {
+        SimulatorSource::default()
+    }
+
+    #[test]
+    fn sweep_finds_spread_on_softmax() {
+        let e = build::encoder(&EncoderDims::bert_large());
+        let op = e.graph.op_by_name("Scaled softmax").unwrap();
+        let r = sweep_op(&sim(), &e.graph, op, SweepOptions::default()).unwrap();
+        assert!(r.worst_us / r.best.time_us > 5.0);
+        assert!(!r.per_io.is_empty());
+        assert_eq!(r.times_us.len(), 24 * 24 * 4 * 4);
+    }
+
+    #[test]
+    fn per_io_entries_dominate_best() {
+        let e = build::encoder(&EncoderDims::bert_large());
+        let op = e.graph.op_by_name("Dropout 1").unwrap();
+        let r = sweep_op(&sim(), &e.graph, op, SweepOptions::default()).unwrap();
+        for ct in r.per_io.values() {
+            assert!(ct.time_us >= r.best.time_us - 1e-9);
+        }
+        // the best config's own (in, out) pair must hold the best time
+        let key = (r.best.cfg.in_spec.clone(), r.best.cfg.out_spec.clone());
+        assert!((r.per_io[&key].time_us - r.best.time_us).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_caps_the_space() {
+        let e = build::encoder(&EncoderDims::bert_large());
+        let op = e.graph.op_by_name("QKT").unwrap();
+        let r = sweep_op(
+            &sim(),
+            &e.graph,
+            op,
+            SweepOptions { max_configs: Some(500) },
+        )
+        .unwrap();
+        assert!(r.times_us.len() <= 500);
+        assert!(r.best.time_us > 0.0);
+    }
+
+    #[test]
+    fn flowing_input_skips_weights() {
+        let e = build::encoder(&EncoderDims::bert_large());
+        let g = &e.graph;
+        // Linear 1 inputs are [w1, ln1_out]: flowing is index 1
+        let lin = g.op_by_name("Linear 1").unwrap();
+        assert_eq!(flowing_input_index(g, lin), 1);
+        // Gamma inputs are [vv, alpha]: alpha is 8× larger
+        let gamma = g.op_by_name("Gamma").unwrap();
+        assert_eq!(flowing_input_index(g, gamma), 1);
+        // QKT inputs are [kk, qq]: tie broken to first
+        let qkt = g.op_by_name("QKT").unwrap();
+        assert_eq!(flowing_input_index(g, qkt), 0);
+    }
+
+    #[test]
+    fn sweep_all_covers_small_graph() {
+        let e = build::encoder(&EncoderDims::tiny());
+        let r = sweep_all(
+            &sim(),
+            &e.graph,
+            SweepOptions { max_configs: Some(200) },
+        )
+        .unwrap();
+        assert_eq!(r.len(), e.graph.ops().len());
+    }
+}

@@ -1,0 +1,155 @@
+//! Problem dimensions for the transformer encoder layer.
+
+/// Dimensions of a BERT-style encoder layer, in the paper's notation
+/// (Sec. III-D / Fig. 1): `B` batch, `J`/`K` input/output sequence length,
+/// `H` heads, `P` per-head projection size (`W = P`), `I` embedding size,
+/// `U` feed-forward intermediate size.
+///
+/// # Examples
+///
+/// ```
+/// use xform_dataflow::EncoderDims;
+/// let d = EncoderDims::bert_large();
+/// assert_eq!(d.i, d.h * d.p);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EncoderDims {
+    /// Mini-batch size.
+    pub b: usize,
+    /// Input sequence length (queries).
+    pub j: usize,
+    /// Output sequence length (keys/values); equals `j` for self-attention.
+    pub k: usize,
+    /// Number of attention heads.
+    pub h: usize,
+    /// Per-head projection size (the paper's `P = W`).
+    pub p: usize,
+    /// Embedding size (`I = P·H` for BERT).
+    pub i: usize,
+    /// Feed-forward intermediate size.
+    pub u: usize,
+}
+
+impl EncoderDims {
+    /// The paper's default configuration: BERT-large with `B = 8`,
+    /// `L = 512` (Sec. III-D).
+    pub fn bert_large() -> Self {
+        EncoderDims {
+            b: 8,
+            j: 512,
+            k: 512,
+            h: 16,
+            p: 64,
+            i: 1024,
+            u: 4096,
+        }
+    }
+
+    /// The alternative configuration of Sec. VI-C: `B = 96`, `L = 128`.
+    pub fn bert_b96() -> Self {
+        EncoderDims {
+            b: 96,
+            j: 128,
+            k: 128,
+            h: 16,
+            p: 64,
+            i: 1024,
+            u: 4096,
+        }
+    }
+
+    /// A tiny configuration for CPU-executed tests (valid: `i = h·p`).
+    pub fn tiny() -> Self {
+        EncoderDims {
+            b: 2,
+            j: 4,
+            k: 4,
+            h: 2,
+            p: 3,
+            i: 6,
+            u: 8,
+        }
+    }
+
+    /// Size bindings for [`xform_tensor::Shape::from_spec`], using the
+    /// paper's letters (`w` aliases `p`, `l` aliases `j`).
+    pub fn size_table(&self) -> Vec<(char, usize)> {
+        vec![
+            ('b', self.b),
+            ('j', self.j),
+            ('k', self.k),
+            ('h', self.h),
+            ('p', self.p),
+            ('w', self.p),
+            ('i', self.i),
+            ('u', self.u),
+        ]
+    }
+
+    /// Looks up one dimension by its letter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the letter is not one of `b j k h p w i u`.
+    pub fn size(&self, axis: char) -> usize {
+        match axis {
+            'b' => self.b,
+            'j' => self.j,
+            'k' => self.k,
+            'h' => self.h,
+            'p' | 'w' => self.p,
+            'i' => self.i,
+            'u' => self.u,
+            other => panic!("unknown encoder dimension letter `{other}`"),
+        }
+    }
+
+    /// Number of words in a tensor described by an axis spec like `"phbj"`.
+    pub fn words(&self, spec: &str) -> u64 {
+        spec.chars().map(|c| self.size(c) as u64).product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bert_large_matches_paper() {
+        let d = EncoderDims::bert_large();
+        assert_eq!(d.i, 1024);
+        assert_eq!(d.h * d.p, d.i);
+        // attention scores: 33.5M words (Table III "Scaled softmax" input)
+        assert_eq!(d.words("hbjk"), 33_554_432);
+        // activations: 4.19M words
+        assert_eq!(d.words("ibj"), 4_194_304);
+        // feed-forward intermediate: 16.8M words
+        assert_eq!(d.words("bju"), 16_777_216);
+    }
+
+    #[test]
+    fn b96_matches_section_6c() {
+        let d = EncoderDims::bert_b96();
+        assert_eq!(d.b, 96);
+        assert_eq!(d.j, 128);
+    }
+
+    #[test]
+    fn tiny_is_consistent() {
+        let d = EncoderDims::tiny();
+        assert_eq!(d.i, d.h * d.p);
+    }
+
+    #[test]
+    fn words_multiplies_sizes() {
+        let d = EncoderDims::tiny();
+        assert_eq!(d.words("bj"), (d.b * d.j) as u64);
+        assert_eq!(d.words(""), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown encoder dimension")]
+    fn size_rejects_unknown_letters() {
+        EncoderDims::tiny().size('z');
+    }
+}

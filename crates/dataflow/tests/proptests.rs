@@ -1,0 +1,134 @@
+//! Property-based tests of dataflow-graph invariants: fusion never
+//! increases data movement or changes total flop, and the encoder builder
+//! produces well-formed graphs across valid dimension choices.
+
+use proptest::prelude::*;
+
+use xform_dataflow::{analysis, build, flops, DataRole, EncoderDims, Graph, OpKind};
+use xform_tensor::Shape;
+
+/// Arbitrary valid encoder dimensions (`i = h·p` must hold).
+fn arb_dims() -> impl Strategy<Value = EncoderDims> {
+    (1usize..3, 2usize..6, 1usize..3, 2usize..5, 2usize..7).prop_map(|(b, j, h, p, u)| {
+        EncoderDims {
+            b,
+            j,
+            k: j,
+            h,
+            p,
+            i: h * p,
+            u,
+        }
+    })
+}
+
+/// A random element-wise chain graph: input → op₁ → … → opₙ → output.
+fn arb_chain() -> impl Strategy<Value = (Graph, Vec<xform_dataflow::NodeId>)> {
+    (1usize..6, 2usize..6, proptest::collection::vec(0usize..4, 2..6)).prop_map(
+        |(n, m, kinds)| {
+            let mut g = Graph::new();
+            let shape = Shape::new([('a', n), ('b', m)]).unwrap();
+            let mut prev = g.add_data("in", shape.clone(), DataRole::Input);
+            let mut ops = Vec::new();
+            let count = kinds.len();
+            for (idx, kind_id) in kinds.into_iter().enumerate() {
+                let kind = match kind_id {
+                    0 => OpKind::Relu,
+                    1 => OpKind::Dropout,
+                    2 => OpKind::Scale,
+                    _ => OpKind::Residual,
+                };
+                let role = if idx == count - 1 {
+                    DataRole::Output
+                } else {
+                    DataRole::Activation
+                };
+                let out = g.add_data(format!("t{idx}"), shape.clone(), role);
+                ops.push(g.add_op(format!("op{idx}"), kind, &[prev], &[out]));
+                prev = out;
+            }
+            (g, ops)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fusion_preserves_flop_and_reduces_movement((mut g, ops) in arb_chain()) {
+        let flop_before = flops::total_flop(&g);
+        let io_before = g.total_io_words();
+        let fused = g.fuse(&ops, "F").unwrap();
+        prop_assert_eq!(flops::total_flop(&g), flop_before);
+        prop_assert!(g.total_io_words() < io_before);
+        prop_assert_eq!(g.ops().len(), 1);
+        // external endpoints survive
+        prop_assert!(g.data_by_name("in").is_some());
+        prop_assert!(!g.inputs_of(fused).is_empty());
+        prop_assert!(!g.outputs_of(fused).is_empty());
+    }
+
+    #[test]
+    fn encoder_graph_well_formed(dims in arb_dims()) {
+        let enc = build::encoder(&dims);
+        let g = &enc.graph;
+        prop_assert_eq!(g.ops().len(), 50);
+        // every operator moves data and has non-negative flop
+        for op in g.ops() {
+            prop_assert!(g.io_words(op) > 0);
+            prop_assert!(flops::op_flop(g, op).is_ok());
+        }
+        // class shares sum to 100%
+        let shares = analysis::class_shares(g);
+        let total: f64 = shares.iter().map(|s| s.flop_pct).sum();
+        prop_assert!((total - 100.0).abs() < 1e-6);
+        // contractions dominate flop for any non-trivial size
+        prop_assert!(shares[0].flop_pct > 50.0);
+    }
+
+    #[test]
+    fn encoder_topo_order_respects_dependencies(dims in arb_dims()) {
+        let enc = build::encoder(&dims);
+        let g = &enc.graph;
+        let order = g.topo_ops();
+        prop_assert_eq!(order.len(), g.ops().len());
+        for (pos, &op) in order.iter().enumerate() {
+            for input in g.inputs_of(op) {
+                for producer in g.producers_of(input) {
+                    let ppos = order.iter().position(|&o| o == producer).unwrap();
+                    prop_assert!(ppos < pos, "producer after consumer");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forward_never_reads_gradients(dims in arb_dims()) {
+        let enc = build::encoder(&dims);
+        let g = &enc.graph;
+        let backward: Vec<_> = g.reachable_from(enc.dy);
+        for op in g.ops() {
+            if backward.contains(&op) {
+                continue;
+            }
+            for d in g.inputs_of(op) {
+                let role = g.data(d).unwrap().role;
+                prop_assert!(role != DataRole::Gradient, "forward op reads a gradient");
+            }
+        }
+    }
+
+    #[test]
+    fn io_words_scale_with_batch(b in 1usize..5) {
+        // doubling the batch doubles every activation memlet
+        let d1 = EncoderDims { b, j: 4, k: 4, h: 2, p: 3, i: 6, u: 8 };
+        let d2 = EncoderDims { b: 2 * b, ..d1 };
+        let g1 = build::encoder(&d1).graph;
+        let g2 = build::encoder(&d2).graph;
+        let io1 = g1.total_io_words() as f64;
+        let io2 = g2.total_io_words() as f64;
+        // weights don't scale, so the ratio is slightly under 2
+        prop_assert!(io2 / io1 > 1.5 && io2 / io1 <= 2.0, "ratio {}", io2 / io1);
+    }
+}

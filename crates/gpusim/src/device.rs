@@ -1,0 +1,191 @@
+//! GPU device specifications for the analytical performance model.
+
+/// Specification of the modelled accelerator.
+///
+/// Defaults model the NVIDIA V100 used by the paper (Sec. III-D): 16 GB
+/// HBM2 at ~900 GB/s, 125 Tflop/s tensor-core peak, 31.4 Tflop/s FP16
+/// (non-tensor-core) peak, 80 SMs. Mixed-precision words are 2 bytes.
+///
+/// # Examples
+///
+/// ```
+/// use xform_gpusim::DeviceSpec;
+/// let d = DeviceSpec::v100();
+/// assert_eq!(d.word_bytes, 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Device name for reports.
+    pub name: String,
+    /// Peak DRAM bandwidth in GB/s.
+    pub dram_bandwidth_gbs: f64,
+    /// Tensor-core peak throughput in Tflop/s (FP16 inputs, FP32
+    /// accumulate).
+    pub tensor_core_tflops: f64,
+    /// Half-precision FPU peak in Tflop/s.
+    pub fp16_tflops: f64,
+    /// Single-precision peak in Tflop/s.
+    pub fp32_tflops: f64,
+    /// Number of streaming multiprocessors (for wave quantization).
+    pub sms: usize,
+    /// Fixed cost of launching one kernel, in µs.
+    pub kernel_launch_us: f64,
+    /// Bytes per stored word (2 for FP16 mixed precision).
+    pub word_bytes: usize,
+    /// Fraction of peak DRAM bandwidth achievable by a perfectly coalesced
+    /// streaming kernel (DRAM efficiency ceiling).
+    pub stream_efficiency: f64,
+    /// Fraction of tensor-core peak achievable by a well-tuned large GEMM
+    /// (instruction mix, epilogue, and scheduling overheads).
+    pub gemm_efficiency: f64,
+}
+
+impl DeviceSpec {
+    /// The paper's evaluation platform: one V100-SXM2-16GB of Lassen.
+    pub fn v100() -> Self {
+        DeviceSpec {
+            name: "V100-SXM2-16GB".to_string(),
+            dram_bandwidth_gbs: 900.0,
+            tensor_core_tflops: 125.0,
+            fp16_tflops: 31.4,
+            fp32_tflops: 15.7,
+            sms: 80,
+            kernel_launch_us: 4.0,
+            word_bytes: 2,
+            stream_efficiency: 0.88,
+            gemm_efficiency: 0.70,
+        }
+    }
+
+    /// An NVIDIA A100-SXM4-40GB: the generation after the paper's testbed
+    /// (Sec. VIII-B discusses the trend). ~1555 GB/s HBM2e, 312 Tflop/s
+    /// FP16 tensor cores, 108 SMs. Running the recipe on this spec shows
+    /// how the memory-bound share *grows* as compute outpaces bandwidth —
+    /// the paper's core argument about hardware trends.
+    pub fn a100() -> Self {
+        DeviceSpec {
+            name: "A100-SXM4-40GB".to_string(),
+            dram_bandwidth_gbs: 1555.0,
+            tensor_core_tflops: 312.0,
+            fp16_tflops: 78.0,
+            fp32_tflops: 19.5,
+            sms: 108,
+            kernel_launch_us: 3.5,
+            word_bytes: 2,
+            stream_efficiency: 0.88,
+            gemm_efficiency: 0.65,
+        }
+    }
+
+    /// Time in µs to stream `bytes` at a `fraction` of peak bandwidth.
+    pub fn stream_time_us(&self, bytes: f64, fraction: f64) -> f64 {
+        debug_assert!(fraction > 0.0);
+        bytes / (self.dram_bandwidth_gbs * 1e9 * fraction) * 1e6
+    }
+
+    /// Time in µs to execute `flop` at a `fraction` of a peak given in
+    /// Tflop/s.
+    pub fn compute_time_us(&self, flop: f64, peak_tflops: f64, fraction: f64) -> f64 {
+        debug_assert!(fraction > 0.0);
+        flop / (peak_tflops * 1e12 * fraction) * 1e6
+    }
+}
+
+impl Default for DeviceSpec {
+    fn default() -> Self {
+        DeviceSpec::v100()
+    }
+}
+
+/// Deterministic pseudo-random perturbation in `[1-amp, 1+amp]`, keyed by a
+/// configuration hash. Stands in for the irreducible measurement-to-
+/// measurement spread between kernel variants without making the simulator
+/// nondeterministic.
+pub fn config_noise(key: u64, amp: f64) -> f64 {
+    // splitmix64
+    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let unit = (z >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+    1.0 + amp * (2.0 * unit - 1.0)
+}
+
+/// Hashes a string and integers into a noise key (FNV-1a).
+pub fn noise_key(parts: &[&str], ints: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for p in parts {
+        for b in p.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h ^= 0xff;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    for &i in ints {
+        for b in i.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v100_streaming_time() {
+        let d = DeviceSpec::v100();
+        // 900 GB at full bandwidth takes 1 s = 1e6 µs
+        let t = d.stream_time_us(900e9, 1.0);
+        assert!((t - 1e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn v100_compute_time() {
+        let d = DeviceSpec::v100();
+        // 125 Tflop at TC peak = 1 s
+        let t = d.compute_time_us(125e12, d.tensor_core_tflops, 1.0);
+        assert!((t - 1e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn a100_outpaces_v100_in_compute_more_than_bandwidth() {
+        let v = DeviceSpec::v100();
+        let a = DeviceSpec::a100();
+        let compute_ratio = a.tensor_core_tflops / v.tensor_core_tflops;
+        let bw_ratio = a.dram_bandwidth_gbs / v.dram_bandwidth_gbs;
+        // the imbalance that makes data movement ever more dominant
+        assert!(compute_ratio > bw_ratio);
+        assert!(compute_ratio > 2.0 && bw_ratio > 1.5);
+    }
+
+    #[test]
+    fn noise_is_deterministic_and_bounded() {
+        let a = config_noise(42, 0.1);
+        let b = config_noise(42, 0.1);
+        assert_eq!(a, b);
+        for key in 0..1000u64 {
+            let n = config_noise(key, 0.08);
+            assert!((0.92..=1.08).contains(&n), "noise {n} out of range");
+        }
+    }
+
+    #[test]
+    fn noise_varies_by_key() {
+        let xs: Vec<f64> = (0..100).map(|k| config_noise(k, 0.1)).collect();
+        let distinct = xs
+            .iter()
+            .filter(|&&x| (x - xs[0]).abs() > 1e-12)
+            .count();
+        assert!(distinct > 90);
+    }
+
+    #[test]
+    fn noise_key_separates_inputs() {
+        assert_ne!(noise_key(&["a"], &[1]), noise_key(&["a"], &[2]));
+        assert_ne!(noise_key(&["a", "b"], &[]), noise_key(&["ab"], &[]));
+    }
+}

@@ -1,0 +1,263 @@
+//! Analytical model of element-wise and statistical-normalization kernels
+//! (the fused CUDA kernels of Sec. IV-A).
+//!
+//! These kernels are memory-bound: their time is dominated by
+//! `bytes / (peak bandwidth × achieved fraction)`. The achieved fraction is
+//! where the data-layout experiments of Sec. V-B bite, and the model
+//! reproduces the paper's observations:
+//!
+//! * vectorized (8-wide FP16) access requires the vectorization axis to be
+//!   the tensor's contiguous axis with size divisible by 8 — the largest
+//!   single lever;
+//! * non-vectorized but thread-contiguous access is a few times slower;
+//! * uncoalesced access (threads striding) wastes most of each DRAM
+//!   transaction — the source of Fig. 5's long tails;
+//! * a warp-reduction axis different from the operator's reduction axis
+//!   forces shared-memory transposes;
+//! * vectorizing too many tensors at once exhausts registers (the BRD
+//!   observation in Sec. V-B);
+//! * reduction-first kernels make two passes over their input
+//!   (Sec. IV-A's two-loop implementation), moving extra bytes.
+
+use crate::contraction::KernelCost;
+use crate::device::{config_noise, DeviceSpec};
+
+/// How one tensor is accessed by a kernel configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TensorAccess {
+    /// Words touched in one pass.
+    pub words: u64,
+    /// Whether the tensor is read (`true`) or written.
+    pub is_input: bool,
+    /// Contiguous axis coincides with the vectorization axis and its size
+    /// is a multiple of the vector width.
+    pub vectorized: bool,
+    /// Contiguous axis coincides with the thread/vector axis (coalesced),
+    /// but 8-wide vector loads are not possible.
+    pub coalesced: bool,
+}
+
+impl TensorAccess {
+    fn efficiency(&self) -> f64 {
+        if self.vectorized {
+            1.0
+        } else if self.coalesced {
+            0.35
+        } else {
+            // Uncoalesced: a 2-byte word per 32-byte DRAM sector, plus the
+            // row-activation thrash of large strides — the source of the
+            // paper's orders-of-magnitude Fig. 5 tails.
+            0.02
+        }
+    }
+}
+
+/// A fully configured element-wise / normalization kernel, ready to cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelDesc {
+    /// Flop performed (small; kept for completeness and MUE bookkeeping).
+    pub flop: u64,
+    /// Per-tensor access descriptors.
+    pub accesses: Vec<TensorAccess>,
+    /// Whether the operator reduces over an axis.
+    pub has_reduction: bool,
+    /// Whether the warp-reduction axis matches the operator's reduction
+    /// axis (joining them saves registers and shuffles; Sec. V-B).
+    pub warp_matches_reduce: bool,
+    /// Whether the reduced axis is contiguous in the primary input, making
+    /// the sequential part of the reduction a streaming read.
+    pub reduce_contiguous: bool,
+    /// Whether the kernel runs reduce-then-map as two loops over the input.
+    pub two_pass: bool,
+    /// Deterministic key for configuration noise.
+    pub config_key: u64,
+}
+
+/// Models one kernel execution.
+pub fn kernel_cost(device: &DeviceSpec, desc: &KernelDesc) -> KernelCost {
+    let word_bytes = device.word_bytes as f64;
+    let mut moved_words = 0.0f64;
+    let mut weighted_inv_eff = 0.0f64;
+    let mut vectorized_count = 0usize;
+    let mut first_input = true;
+    for a in &desc.accesses {
+        // Reduce-then-map kernels re-read their primary input on the second
+        // loop; the remaining operands stay cached in shared memory across
+        // both loops (the reduce lane fits on-chip), so only the primary
+        // stream pays twice.
+        let passes = if desc.two_pass && a.is_input && first_input {
+            2.0
+        } else {
+            1.0
+        };
+        if a.is_input {
+            first_input = false;
+        }
+        let w = a.words as f64 * passes;
+        moved_words += w;
+        weighted_inv_eff += w / a.efficiency();
+        if a.vectorized {
+            vectorized_count += 1;
+        }
+    }
+    let mut eff = moved_words / weighted_inv_eff;
+
+    if desc.has_reduction {
+        if !desc.warp_matches_reduce {
+            eff *= 0.5; // shared-memory transpose + extra shuffles
+        }
+        if !desc.reduce_contiguous {
+            eff *= 0.55; // strided sequential reduction
+        }
+    }
+    // Register pressure: each 8-wide vectorized tensor holds 8 values in
+    // registers; beyond two tensors, occupancy drops.
+    if vectorized_count > 2 {
+        eff *= 0.8f64.powi(vectorized_count as i32 - 2);
+    }
+    let noise = config_noise(desc.config_key, 0.07);
+    eff = (eff * device.stream_efficiency * noise).clamp(0.003, device.stream_efficiency);
+
+    let bytes = moved_words * word_bytes;
+    let mem_us = device.stream_time_us(bytes, eff);
+    // FP16 FPU side (normalization arithmetic); almost never the bottleneck.
+    let compute_us = device.compute_time_us(desc.flop as f64, device.fp16_tflops, 0.5);
+    KernelCost {
+        time_us: device.kernel_launch_us + mem_us.max(compute_us),
+        moved_words,
+        bandwidth_frac: eff,
+        flop: desc.flop as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn access(words: u64, is_input: bool, vectorized: bool, coalesced: bool) -> TensorAccess {
+        TensorAccess { words, is_input, vectorized, coalesced }
+    }
+
+    fn base_desc() -> KernelDesc {
+        KernelDesc {
+            flop: 4 * 33_554_432,
+            accesses: vec![
+                access(33_554_432, true, true, false),
+                access(33_554_432, false, true, false),
+                access(33_554_432, false, true, false),
+            ],
+            has_reduction: true,
+            warp_matches_reduce: true,
+            reduce_contiguous: true,
+            two_pass: true,
+            config_key: 7,
+        }
+    }
+
+    #[test]
+    fn sm_like_kernel_lands_near_paper_time() {
+        // SM at BERT-large scale: paper measures 433 µs (Table III).
+        let cost = kernel_cost(&DeviceSpec::v100(), &base_desc());
+        assert!(
+            cost.time_us > 250.0 && cost.time_us < 700.0,
+            "SM-like kernel {} µs",
+            cost.time_us
+        );
+    }
+
+    #[test]
+    fn two_pass_moves_extra_primary_input_bytes() {
+        let mut d = base_desc();
+        let two = kernel_cost(&DeviceSpec::v100(), &d);
+        d.two_pass = false;
+        let one = kernel_cost(&DeviceSpec::v100(), &d);
+        // exactly one extra pass over the primary input
+        let delta = two.moved_words - one.moved_words;
+        assert!((delta - d.accesses[0].words as f64).abs() < 1.0);
+        assert!(two.time_us > one.time_us);
+    }
+
+    #[test]
+    fn vectorization_is_the_largest_lever() {
+        let mut d = base_desc();
+        d.has_reduction = false;
+        d.two_pass = false;
+        let fast = kernel_cost(&DeviceSpec::v100(), &d);
+        for a in &mut d.accesses {
+            a.vectorized = false;
+            a.coalesced = true;
+        }
+        let coalesced = kernel_cost(&DeviceSpec::v100(), &d);
+        for a in &mut d.accesses {
+            a.coalesced = false;
+        }
+        let strided = kernel_cost(&DeviceSpec::v100(), &d);
+        assert!(coalesced.time_us > 1.5 * fast.time_us);
+        assert!(strided.time_us > 5.0 * fast.time_us);
+    }
+
+    #[test]
+    fn worst_config_is_an_order_of_magnitude_slower() {
+        // Fig. 5: worst layouts are 10-200× worse than the best.
+        let mut d = base_desc();
+        let best = kernel_cost(&DeviceSpec::v100(), &d);
+        for a in &mut d.accesses {
+            a.vectorized = false;
+            a.coalesced = false;
+        }
+        d.warp_matches_reduce = false;
+        d.reduce_contiguous = false;
+        let worst = kernel_cost(&DeviceSpec::v100(), &d);
+        let ratio = worst.time_us / best.time_us;
+        assert!(ratio > 10.0, "tail ratio only {ratio}");
+    }
+
+    #[test]
+    fn register_pressure_penalizes_over_vectorization() {
+        // 4 small tensors + 1 dominant: vectorizing all of them should not
+        // beat vectorizing the dominant ones only (Sec. V-B's BRD case).
+        let mk = |nvec: usize| {
+            let mut accesses = vec![access(1 << 24, true, true, false)];
+            for i in 0..3 {
+                accesses.push(access(1 << 18, false, i < nvec - 1, true));
+            }
+            KernelDesc {
+                flop: 0,
+                accesses,
+                has_reduction: false,
+                warp_matches_reduce: true,
+                reduce_contiguous: true,
+                two_pass: false,
+                config_key: 11,
+            }
+        };
+        let two = kernel_cost(&DeviceSpec::v100(), &mk(2));
+        let four = kernel_cost(&DeviceSpec::v100(), &mk(4));
+        assert!(four.time_us > two.time_us, "four {} two {}", four.time_us, two.time_us);
+    }
+
+    #[test]
+    fn mismatched_warp_axis_costs() {
+        let mut d = base_desc();
+        let good = kernel_cost(&DeviceSpec::v100(), &d);
+        d.warp_matches_reduce = false;
+        let bad = kernel_cost(&DeviceSpec::v100(), &d);
+        assert!(bad.time_us > 1.5 * good.time_us);
+    }
+
+    #[test]
+    fn launch_overhead_dominates_tiny_kernels() {
+        let d = KernelDesc {
+            flop: 0,
+            accesses: vec![access(1024, true, true, false), access(1024, false, true, false)],
+            has_reduction: false,
+            warp_matches_reduce: true,
+            reduce_contiguous: true,
+            two_pass: false,
+            config_key: 3,
+        };
+        let c = kernel_cost(&DeviceSpec::v100(), &d);
+        assert!(c.time_us >= DeviceSpec::v100().kernel_launch_us);
+        assert!(c.time_us < 2.0 * DeviceSpec::v100().kernel_launch_us);
+    }
+}

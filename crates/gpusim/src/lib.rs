@@ -1,0 +1,41 @@
+//! Analytical V100 performance model — the simulated hardware substrate.
+//!
+//! The paper measures CUDA kernels on V100 GPUs; this crate replaces that
+//! testbed with a calibrated analytical model (see `DESIGN.md` for the
+//! substitution rationale). It prices:
+//!
+//! * **(batched) GEMMs** ([`contraction`]) with a cuBLAS-style algorithm
+//!   family, tensor-core vs FP16 math modes, tile/wave quantization, and
+//!   operand-layout sensitivity;
+//! * **element-wise and normalization kernels** ([`kernel`]) with
+//!   vectorization, coalescing, warp-reduction, register-pressure, and
+//!   two-pass-reduction effects — the levers of the paper's Sec. V-B;
+//! * **whole dataflow graphs under framework policies** ([`framework`]):
+//!   PyTorch / TF+XLA / DeepSpeed / cuDNN-MHA models for Tables IV & V;
+//! * **MUE** ([`mue`]), the memory-usage-efficiency metric of Sec. III-C.
+//!
+//! The recipe's exhaustive layout sweeps drive the model through
+//! [`opmodel::config_space`] and [`opmodel::op_cost`].
+//!
+//! # Examples
+//!
+//! ```
+//! use xform_gpusim::{DeviceSpec, contraction::{GemmShape, GemmLayout, MathMode, best_algo_cost}};
+//! let device = DeviceSpec::v100();
+//! let shape = GemmShape { batch: 1, m: 4096, n: 4096, k: 1024 };
+//! let (_, cost) = best_algo_cost(&device, shape, GemmLayout::ideal(), MathMode::TensorCore);
+//! assert!(cost.time_us > 100.0); // a real kernel, not a free lunch
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod contraction;
+mod device;
+pub mod framework;
+pub mod kernel;
+pub mod mue;
+pub mod opmodel;
+
+pub use contraction::KernelCost;
+pub use device::{config_noise, noise_key, DeviceSpec};

@@ -1,0 +1,135 @@
+//! Memory usage efficiency (MUE), Sec. III-C.
+//!
+//! `MUE = Q/D · B/B̂ · 100`: the fraction of moved bytes that were
+//! unavoidable (`Q` is the I/O lower bound, `D` the bytes actually moved)
+//! times the fraction of peak bandwidth achieved while moving them. A
+//! kernel with both a perfect implementation and perfect streaming scores
+//! 100. The paper uses MUE alongside flop/s to decide whether an operator
+//! is memory- or compute-bound and where optimization attention should go.
+
+use xform_dataflow::{Graph, NodeId};
+
+use crate::contraction::KernelCost;
+
+/// MUE analysis of one kernel execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mue {
+    /// The metric value in `[0, 100]`.
+    pub value: f64,
+    /// I/O lower bound in words (from the dataflow graph).
+    pub q_words: f64,
+    /// Words the implementation actually moved.
+    pub d_words: f64,
+    /// Achieved fraction of peak bandwidth.
+    pub bandwidth_frac: f64,
+}
+
+/// Computes MUE for an operator given its modelled execution cost.
+///
+/// `Q` is the operator's memlet volume in the graph (its unavoidable
+/// traffic); `D` and the bandwidth fraction come from the performance
+/// model.
+///
+/// # Examples
+///
+/// ```
+/// use xform_dataflow::{build, EncoderDims};
+/// use xform_gpusim::mue::mue;
+/// use xform_gpusim::opmodel::{op_cost, OpConfig};
+/// use xform_gpusim::DeviceSpec;
+/// let e = build::encoder(&EncoderDims::bert_large());
+/// let op = e.graph.op_by_name("Residual 1").unwrap();
+/// let cfg = OpConfig::natural(&e.graph, op).unwrap();
+/// let cost = op_cost(&DeviceSpec::v100(), &e.graph, op, &cfg).unwrap();
+/// let m = mue(&e.graph, op, &cost);
+/// assert!(m.value > 0.0 && m.value <= 100.0);
+/// ```
+pub fn mue(graph: &Graph, op: NodeId, cost: &KernelCost) -> Mue {
+    let q = graph.io_words(op) as f64;
+    let d = cost.moved_words.max(q);
+    let value = (q / d * cost.bandwidth_frac * 100.0).clamp(0.0, 100.0);
+    Mue {
+        value,
+        q_words: q,
+        d_words: d,
+        bandwidth_frac: cost.bandwidth_frac,
+    }
+}
+
+/// The paper's bound classification: a kernel is memory-bound if its MUE
+/// exceeds its achieved percentage of compute peak, compute-bound
+/// otherwise (Sec. IV-B).
+pub fn is_memory_bound(mue_value: f64, pct_of_compute_peak: f64) -> bool {
+    mue_value > pct_of_compute_peak
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contraction::{best_algo_cost, GemmLayout, GemmShape, MathMode};
+    use crate::device::DeviceSpec;
+    use crate::kernel::{kernel_cost, KernelDesc, TensorAccess};
+    use crate::opmodel::{op_cost, OpConfig};
+    use xform_dataflow::{build, EncoderDims};
+
+    #[test]
+    fn mue_bounded_and_consistent() {
+        let e = build::encoder(&EncoderDims::bert_large());
+        let g = &e.graph;
+        let d = DeviceSpec::v100();
+        for op in g.ops() {
+            let cfg = OpConfig::natural(g, op).unwrap();
+            let cost = op_cost(&d, g, op, &cfg).unwrap();
+            let m = mue(g, op, &cost);
+            assert!((0.0..=100.0).contains(&m.value));
+            assert!(m.d_words >= m.q_words);
+        }
+    }
+
+    #[test]
+    fn fused_elementwise_kernels_have_high_mue() {
+        // A perfectly vectorized element-wise kernel moves only Q and
+        // streams well: MUE should be high (paper's AIB reaches 78).
+        let e = build::encoder(&EncoderDims::bert_large());
+        let g = &e.graph;
+        let d = DeviceSpec::v100();
+        let op = g.op_by_name("Residual 1").unwrap();
+        let desc = KernelDesc {
+            flop: 4 << 20,
+            accesses: vec![
+                TensorAccess { words: g.input_words(op), is_input: true, vectorized: true, coalesced: false },
+                TensorAccess { words: g.output_words(op), is_input: false, vectorized: true, coalesced: false },
+            ],
+            has_reduction: false,
+            warp_matches_reduce: true,
+            reduce_contiguous: true,
+            two_pass: false,
+            config_key: 1,
+        };
+        let cost = kernel_cost(&d, &desc);
+        let m = mue(g, op, &cost);
+        assert!(m.value > 60.0, "MUE {}", m.value);
+    }
+
+    #[test]
+    fn compute_bound_gemm_has_low_mue_and_high_peak() {
+        // Sec. IV-B: contraction MUE consistently under 50% is fine because
+        // those kernels are compute-bound.
+        let e = build::encoder(&EncoderDims::bert_large());
+        let g = &e.graph;
+        let d = DeviceSpec::v100();
+        let op = g.op_by_name("Linear 1").unwrap();
+        let shape = GemmShape { batch: 1, m: 4096, n: 4096, k: 1024 };
+        let (_, cost) = best_algo_cost(&d, shape, GemmLayout::ideal(), MathMode::TensorCore);
+        let m = mue(g, op, &cost);
+        let pct = cost.pct_of_peak(d.tensor_core_tflops);
+        assert!(m.value < 50.0, "GEMM MUE {}", m.value);
+        assert!(!is_memory_bound(m.value, pct));
+    }
+
+    #[test]
+    fn memory_bound_classification() {
+        assert!(is_memory_bound(70.0, 1.0));
+        assert!(!is_memory_bound(10.0, 55.0));
+    }
+}

@@ -1,0 +1,321 @@
+//! Einsum specification parsing and classification.
+//!
+//! The paper expresses every tensor contraction as an Einstein-notation sum
+//! (e.g. `phi,ibj->phbj` for the query projection) and maps each onto a
+//! cuBLAS (batched) matrix-matrix multiplication. This module parses specs
+//! and classifies each label into the iteration-space roles of Sec. IV:
+//! batch, left-independent (M), right-independent (N), and reduction (K)
+//! dimensions.
+
+use std::fmt;
+
+use crate::axes::{Axis, Shape};
+use crate::error::{Result, TensorError};
+
+/// A parsed einsum specification with one or two operands.
+///
+/// # Examples
+///
+/// ```
+/// use xform_tensor::einsum::EinsumSpec;
+/// let spec: EinsumSpec = "phi,ibj->phbj".parse().unwrap();
+/// assert_eq!(spec.operands().len(), 2);
+/// assert_eq!(spec.output().len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EinsumSpec {
+    operands: Vec<Vec<Axis>>,
+    output: Vec<Axis>,
+}
+
+impl EinsumSpec {
+    /// Parses a spec like `"phi,ibj->phbj"` or `"bji->i"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ParseError`] for malformed specs (missing
+    /// arrow, empty operands, more than two operands, repeated labels within
+    /// one operand, or output labels absent from every input).
+    pub fn parse(s: &str) -> Result<Self> {
+        let (lhs, rhs) = s.split_once("->").ok_or_else(|| {
+            TensorError::ParseError(format!("missing `->` in `{s}`"))
+        })?;
+        let operands: Vec<Vec<Axis>> = lhs
+            .split(',')
+            .map(|op| op.trim().chars().map(Axis).collect::<Vec<_>>())
+            .collect();
+        if operands.is_empty() || operands.len() > 2 {
+            return Err(TensorError::ParseError(format!(
+                "expected 1 or 2 operands, got {} in `{s}`",
+                operands.len()
+            )));
+        }
+        for op in &operands {
+            if op.is_empty() {
+                return Err(TensorError::ParseError(format!("empty operand in `{s}`")));
+            }
+            for (i, a) in op.iter().enumerate() {
+                if op[..i].contains(a) {
+                    return Err(TensorError::ParseError(format!(
+                        "label `{a}` repeated within one operand in `{s}`"
+                    )));
+                }
+            }
+        }
+        let output: Vec<Axis> = rhs.trim().chars().map(Axis).collect();
+        for (i, a) in output.iter().enumerate() {
+            if output[..i].contains(a) {
+                return Err(TensorError::ParseError(format!(
+                    "label `{a}` repeated in output of `{s}`"
+                )));
+            }
+            if !operands.iter().any(|op| op.contains(a)) {
+                return Err(TensorError::ParseError(format!(
+                    "output label `{a}` not present in any input of `{s}`"
+                )));
+            }
+        }
+        Ok(EinsumSpec { operands, output })
+    }
+
+    /// The operand label lists, in order.
+    pub fn operands(&self) -> &[Vec<Axis>] {
+        &self.operands
+    }
+
+    /// The output label list.
+    pub fn output(&self) -> &[Axis] {
+        &self.output
+    }
+
+    /// Classifies the labels of a two-operand spec into GEMM roles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Unsupported`] for one-operand specs or when a
+    /// label appears in exactly one input and not in the output (a
+    /// single-sided reduction, which does not map onto a GEMM).
+    pub fn classify(&self) -> Result<GemmClassification> {
+        if self.operands.len() != 2 {
+            return Err(TensorError::Unsupported(
+                "classify requires a two-operand spec".into(),
+            ));
+        }
+        let (a, b) = (&self.operands[0], &self.operands[1]);
+        let mut batch = Vec::new();
+        let mut m = Vec::new();
+        let mut n = Vec::new();
+        let mut k = Vec::new();
+        for &ax in a {
+            let in_b = b.contains(&ax);
+            let in_out = self.output.contains(&ax);
+            match (in_b, in_out) {
+                (true, true) => batch.push(ax),
+                (false, true) => m.push(ax),
+                (true, false) => k.push(ax),
+                (false, false) => {
+                    return Err(TensorError::Unsupported(format!(
+                        "label `{ax}` reduced over a single operand"
+                    )))
+                }
+            }
+        }
+        for &ax in b {
+            if !a.contains(&ax) {
+                if self.output.contains(&ax) {
+                    n.push(ax);
+                } else {
+                    return Err(TensorError::Unsupported(format!(
+                        "label `{ax}` reduced over a single operand"
+                    )));
+                }
+            }
+        }
+        Ok(GemmClassification { batch, m, n, k })
+    }
+
+    /// GEMM problem sizes `(batch, M, N, K)` for the given operand shapes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates classification errors; returns [`TensorError::SizeConflict`]
+    /// if a shared label has different sizes in the two shapes, and
+    /// [`TensorError::ShapeMismatch`] if a shape does not match its labels.
+    pub fn gemm_sizes(&self, a: &Shape, b: &Shape) -> Result<GemmSizes> {
+        let class = self.classify()?;
+        check_operand(&self.operands[0], a)?;
+        check_operand(&self.operands[1], b)?;
+        for &ax in class.batch.iter().chain(&class.k) {
+            if a.size(ax)? != b.size(ax)? {
+                return Err(TensorError::SizeConflict(ax));
+            }
+        }
+        let prod = |axes: &[Axis], s: &Shape| -> Result<usize> {
+            axes.iter().map(|&ax| s.size(ax)).product()
+        };
+        Ok(GemmSizes {
+            batch: prod(&class.batch, a)?,
+            m: prod(&class.m, a)?,
+            n: prod(&class.n, b)?,
+            k: prod(&class.k, a)?,
+        })
+    }
+
+    /// Number of fused multiply-adds performed by this contraction on the
+    /// given shapes, counted as `2·B·M·N·K` flop (the paper's convention).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`EinsumSpec::gemm_sizes`].
+    pub fn flop(&self, a: &Shape, b: &Shape) -> Result<u64> {
+        let s = self.gemm_sizes(a, b)?;
+        Ok(2 * (s.batch as u64) * (s.m as u64) * (s.n as u64) * (s.k as u64))
+    }
+}
+
+impl std::str::FromStr for EinsumSpec {
+    type Err = TensorError;
+
+    fn from_str(s: &str) -> Result<Self> {
+        EinsumSpec::parse(s)
+    }
+}
+
+impl fmt::Display for EinsumSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, op) in self.operands.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            for a in op {
+                write!(f, "{a}")?;
+            }
+        }
+        write!(f, "->")?;
+        for a in &self.output {
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+fn check_operand(labels: &[Axis], shape: &Shape) -> Result<()> {
+    if labels.len() != shape.rank() {
+        return Err(TensorError::ShapeMismatch {
+            context: "einsum operand rank",
+        });
+    }
+    for &ax in labels {
+        shape.size(ax)?;
+    }
+    Ok(())
+}
+
+/// The GEMM-role classification of a two-operand einsum's labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GemmClassification {
+    /// Labels shared by both inputs and the output (batched dimensions).
+    pub batch: Vec<Axis>,
+    /// Labels exclusive to the first input and the output (GEMM M).
+    pub m: Vec<Axis>,
+    /// Labels exclusive to the second input and the output (GEMM N).
+    pub n: Vec<Axis>,
+    /// Labels shared by the inputs but absent from the output (GEMM K,
+    /// the reduction dimensions).
+    pub k: Vec<Axis>,
+}
+
+/// Collapsed GEMM problem sizes for a contraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmSizes {
+    /// Product of batch-dimension sizes.
+    pub batch: usize,
+    /// Product of M-dimension sizes.
+    pub m: usize,
+    /// Product of N-dimension sizes.
+    pub n: usize,
+    /// Product of K-dimension sizes.
+    pub k: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_two_operand() {
+        let spec = EinsumSpec::parse("phi,ibj->phbj").unwrap();
+        assert_eq!(spec.operands().len(), 2);
+        assert_eq!(spec.output().len(), 4);
+        assert_eq!(spec.to_string(), "phi,ibj->phbj");
+    }
+
+    #[test]
+    fn parse_one_operand_reduce() {
+        let spec = EinsumSpec::parse("bji->i").unwrap();
+        assert_eq!(spec.operands().len(), 1);
+        assert_eq!(spec.output(), &[Axis('i')]);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(EinsumSpec::parse("abc").is_err());
+        assert!(EinsumSpec::parse("a,b,c->a").is_err());
+        assert!(EinsumSpec::parse("aa->a").is_err());
+        assert!(EinsumSpec::parse("ab->aa").is_err());
+        assert!(EinsumSpec::parse("ab->q").is_err());
+        assert!(EinsumSpec::parse(",ab->a").is_err());
+    }
+
+    #[test]
+    fn classify_projection() {
+        // query projection: batch none, m = {p,h}, n = {b,j}, k = {i}
+        let spec = EinsumSpec::parse("phi,ibj->phbj").unwrap();
+        let c = spec.classify().unwrap();
+        assert!(c.batch.is_empty());
+        assert_eq!(c.m, vec![Axis('p'), Axis('h')]);
+        assert_eq!(c.n, vec![Axis('b'), Axis('j')]);
+        assert_eq!(c.k, vec![Axis('i')]);
+    }
+
+    #[test]
+    fn classify_attention_scores() {
+        // beta: batched over {h, b}
+        let spec = EinsumSpec::parse("phbk,phbj->hbjk".parse::<String>().unwrap().as_str())
+            .unwrap();
+        let c = spec.classify().unwrap();
+        assert_eq!(c.batch, vec![Axis('h'), Axis('b')]);
+        assert_eq!(c.k, vec![Axis('p')]);
+        assert_eq!(c.m, vec![Axis('k')]);
+        assert_eq!(c.n, vec![Axis('j')]);
+    }
+
+    #[test]
+    fn classify_rejects_single_sided_reduction() {
+        let spec = EinsumSpec::parse("abk,bc->ac").unwrap();
+        assert!(spec.classify().is_err());
+    }
+
+    #[test]
+    fn gemm_sizes_and_flop() {
+        let spec = EinsumSpec::parse("phi,ibj->phbj").unwrap();
+        let wq = Shape::from_spec("phi", &[('p', 64), ('h', 16), ('i', 1024)]).unwrap();
+        let x = Shape::from_spec("ibj", &[('i', 1024), ('b', 8), ('j', 512)]).unwrap();
+        let s = spec.gemm_sizes(&wq, &x).unwrap();
+        assert_eq!((s.batch, s.m, s.n, s.k), (1, 1024, 4096, 1024));
+        // 2 * 1024 * 4096 * 1024 = 8.59G — one third of the paper's 24G for
+        // all three Q,K,V projections (Table III row 1 is Q+K+V together).
+        assert_eq!(spec.flop(&wq, &x).unwrap(), 8_589_934_592);
+    }
+
+    #[test]
+    fn gemm_sizes_detects_conflicts() {
+        let spec = EinsumSpec::parse("ik,kj->ij").unwrap();
+        let a = Shape::from_spec("ik", &[('i', 4), ('k', 5)]).unwrap();
+        let b = Shape::from_spec("kj", &[('k', 6), ('j', 3)]).unwrap();
+        assert!(matches!(
+            spec.gemm_sizes(&a, &b),
+            Err(TensorError::SizeConflict(Axis('k')))
+        ));
+    }
+}

@@ -1,0 +1,848 @@
+//! Single-sweep CPU implementations of the paper's fused operators
+//! (Sec. IV-A).
+//!
+//! Each function corresponds to one fused CUDA kernel from Table III and
+//! performs the work of several unfused operators in a single pass over the
+//! data, saving the intermediate loads/stores between them — exactly the
+//! data-movement saving the paper quantifies (∼22.91% overall). The fused
+//! operators are:
+//!
+//! | Name | Fuses |
+//! |---|---|
+//! | [`aib`] | attention input bias (Q, K, V biases, one kernel) |
+//! | [`sm`] | scaling + softmax + dropout |
+//! | [`brd`] | bias + ReLU + dropout |
+//! | [`bdrln`] | bias + dropout + residual + layernorm |
+//! | [`bsb`] | backward layernorm scale & bias (dW) |
+//! | [`blnrd`] | backward layernorm dX + dropout dX |
+//! | [`bdrb`] | backward dropout + ReLU + bias dW |
+//! | [`ebsb`] | backward residual + layernorm scale & bias |
+//! | [`bs`] | backward dropout + softmax + scaling |
+//! | [`baob`] | backward attention output bias (dW) |
+//! | [`baib`] | backward attention input bias (three dWs, one kernel) |
+//! | [`bei`] | backward encoder-input residual |
+//!
+//! Equivalence with the unfused composition is covered by unit and property
+//! tests; the Criterion benches measure the actual CPU memory-traffic
+//! saving.
+
+use rand::Rng;
+
+use crate::axes::Axis;
+use crate::ops::elementwise::ActivationKind;
+use crate::error::Result;
+use crate::ops::layernorm::{LayerNormStats, EPS};
+use crate::ops::{check_same_shape, for_each_outer};
+use crate::tensor::Tensor;
+
+/// AIB — attention input bias. Adds the Q/K/V projection biases in one
+/// fused kernel: `out_t = in_t + bias_t` for each of the three streams.
+///
+/// # Errors
+///
+/// Propagates bias-shape errors from [`crate::ops::elementwise::bias_add`].
+pub fn aib(
+    qq: &Tensor,
+    bq: &Tensor,
+    kk: &Tensor,
+    bk: &Tensor,
+    vv: &Tensor,
+    bv: &Tensor,
+) -> Result<(Tensor, Tensor, Tensor)> {
+    Ok((
+        crate::ops::elementwise::bias_add(qq, bq)?,
+        crate::ops::elementwise::bias_add(kk, bk)?,
+        crate::ops::elementwise::bias_add(vv, bv)?,
+    ))
+}
+
+/// Output of the fused [`sm`] kernel.
+#[derive(Debug, Clone)]
+pub struct SmOutput {
+    /// Dropped-out attention weights `alpha` (input to the `gamma`
+    /// contraction).
+    pub alpha: Tensor,
+    /// Softmax output before dropout, saved for the backward pass.
+    pub softmax: Tensor,
+    /// Dropout mask, saved for the backward pass.
+    pub mask: Tensor,
+}
+
+/// SM — softmax with scaling and dropout, fused into one lane sweep:
+/// `alpha = dropout(softmax(scaler · beta))` along `axis`.
+///
+/// # Errors
+///
+/// Returns an error if `axis` is missing.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1)`.
+pub fn sm<R: Rng + ?Sized>(
+    beta: &Tensor,
+    scaler: f32,
+    axis: Axis,
+    p: f32,
+    rng: &mut R,
+) -> Result<SmOutput> {
+    assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+    let ai = beta.shape().index_of(axis)?;
+    let len = beta.shape().sizes()[ai];
+    let stride = beta.strides()[ai];
+    let keep_scale = 1.0 / (1.0 - p);
+    let fresh = || Tensor::zeros_with_layout(beta.shape().clone(), beta.layout().clone());
+    let mut softmax = fresh();
+    let mut alpha = fresh();
+    let mut mask = fresh();
+    for_each_outer(beta.shape(), ai, |idx| {
+        let base = beta.offset(idx);
+        let mut mx = f32::NEG_INFINITY;
+        for v in 0..len {
+            mx = mx.max(scaler * beta.data()[base + v * stride]);
+        }
+        let mut sum = 0.0f32;
+        for v in 0..len {
+            let e = (scaler * beta.data()[base + v * stride] - mx).exp();
+            softmax.data_mut()[base + v * stride] = e;
+            sum += e;
+        }
+        let inv = 1.0 / sum;
+        for v in 0..len {
+            let off = base + v * stride;
+            let y = softmax.data()[off] * inv;
+            softmax.data_mut()[off] = y;
+            let m = if p > 0.0 && rng.gen::<f32>() < p {
+                0.0
+            } else {
+                keep_scale
+            };
+            mask.data_mut()[off] = m;
+            alpha.data_mut()[off] = y * m;
+        }
+    });
+    Ok(SmOutput {
+        alpha,
+        softmax,
+        mask,
+    })
+}
+
+/// SM with causal masking — the decoder ("masked") self-attention variant
+/// (Sec. II-B-1: masking prevents a model from "seeing the future"). The
+/// kernel is the same lane sweep as [`sm`], but positions with key index
+/// greater than the query index are excluded from the softmax (their
+/// attention weight, saved softmax, and mask entries are zero).
+///
+/// `query_axis` names the query-sequence axis in `beta` (the `j` of
+/// `hbjk`); the reduction runs over `axis` (the `k`).
+///
+/// # Errors
+///
+/// Returns an error if either axis is missing.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1)`.
+pub fn sm_causal<R: Rng + ?Sized>(
+    beta: &Tensor,
+    scaler: f32,
+    query_axis: Axis,
+    axis: Axis,
+    p: f32,
+    rng: &mut R,
+) -> Result<SmOutput> {
+    assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+    let ai = beta.shape().index_of(axis)?;
+    let qi = beta.shape().index_of(query_axis)?;
+    let len = beta.shape().sizes()[ai];
+    let stride = beta.strides()[ai];
+    let keep_scale = 1.0 / (1.0 - p);
+    let mut softmax = beta.clone();
+    let mut alpha = beta.clone();
+    let mut mask = beta.clone();
+    for_each_outer(beta.shape(), ai, |idx| {
+        let base = beta.offset(idx);
+        let q = idx[qi];
+        let visible = (q + 1).min(len);
+        let mut mx = f32::NEG_INFINITY;
+        for v in 0..visible {
+            mx = mx.max(scaler * beta.data()[base + v * stride]);
+        }
+        let mut sum = 0.0f32;
+        for v in 0..visible {
+            let e = (scaler * beta.data()[base + v * stride] - mx).exp();
+            softmax.data_mut()[base + v * stride] = e;
+            sum += e;
+        }
+        let inv = 1.0 / sum;
+        for v in 0..len {
+            let off = base + v * stride;
+            if v < visible {
+                let y = softmax.data()[off] * inv;
+                softmax.data_mut()[off] = y;
+                let m = if p > 0.0 && rng.gen::<f32>() < p {
+                    0.0
+                } else {
+                    keep_scale
+                };
+                mask.data_mut()[off] = m;
+                alpha.data_mut()[off] = y * m;
+            } else {
+                softmax.data_mut()[off] = 0.0;
+                mask.data_mut()[off] = 0.0;
+                alpha.data_mut()[off] = 0.0;
+            }
+        }
+    });
+    Ok(SmOutput {
+        alpha,
+        softmax,
+        mask,
+    })
+}
+
+/// Output of the fused [`brd`] kernel.
+#[derive(Debug, Clone)]
+pub struct BrdOutput {
+    /// `dropout(relu(x + bias))`.
+    pub out: Tensor,
+    /// `x + bias` (pre-activation), saved for the ReLU backward.
+    pub pre_activation: Tensor,
+    /// Dropout mask.
+    pub mask: Tensor,
+}
+
+/// BRD — bias + ReLU + dropout in one element-wise sweep (the feed-forward
+/// activation path).
+///
+/// # Errors
+///
+/// Returns an error if the bias axes are not a subset of `x`'s.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1)`.
+pub fn brd<R: Rng + ?Sized>(
+    x: &Tensor,
+    bias: &Tensor,
+    p: f32,
+    rng: &mut R,
+) -> Result<BrdOutput> {
+    brd_act(x, bias, ActivationKind::Relu, p, rng)
+}
+
+/// [`brd`] with a selectable activation (ReLU for the paper's figures,
+/// GELU for faithful BERT/GPT-2 blocks). The fused sweep is identical —
+/// activations are element-wise either way.
+///
+/// # Errors
+///
+/// Returns an error if the bias axes are not a subset of `x`'s.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1)`.
+pub fn brd_act<R: Rng + ?Sized>(
+    x: &Tensor,
+    bias: &Tensor,
+    activation: ActivationKind,
+    p: f32,
+    rng: &mut R,
+) -> Result<BrdOutput> {
+    assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+    let positions: Vec<usize> = bias
+        .shape()
+        .axes()
+        .iter()
+        .map(|&ax| x.shape().index_of(ax))
+        .collect::<Result<Vec<_>>>()?;
+    let keep_scale = 1.0 / (1.0 - p);
+    let fresh = || Tensor::zeros_with_layout(x.shape().clone(), x.layout().clone());
+    let mut out = fresh();
+    let mut pre = fresh();
+    let mut mask = fresh();
+    // fast path: rank-1 bias — index it directly instead of through a
+    // multi-index (this is the common `bias[u]` feed-forward case)
+    let flat_bias_pos = if positions.len() == 1 { Some(positions[0]) } else { None };
+    let mut idx = vec![0usize; x.shape().rank()];
+    let mut bidx = vec![0usize; positions.len()];
+    loop {
+        let b = match flat_bias_pos {
+            Some(pp) => bias.data()[idx[pp]],
+            None => {
+                for (bi, &pp) in bidx.iter_mut().zip(&positions) {
+                    *bi = idx[pp];
+                }
+                bias.at(&bidx)
+            }
+        };
+        let off = x.offset(&idx);
+        let z = x.data()[off] + b;
+        let r = activation.apply(z);
+        let m = if p > 0.0 && rng.gen::<f32>() < p {
+            0.0
+        } else {
+            keep_scale
+        };
+        pre.data_mut()[off] = z;
+        mask.data_mut()[off] = m;
+        out.data_mut()[off] = r * m;
+        if !x.advance(&mut idx) {
+            break;
+        }
+    }
+    Ok(BrdOutput {
+        out,
+        pre_activation: pre,
+        mask,
+    })
+}
+
+/// Output of the fused [`bdrln`] kernel.
+#[derive(Debug, Clone)]
+pub struct BdrlnOutput {
+    /// `layernorm(dropout(x + bias) + residual)`.
+    pub out: Tensor,
+    /// The layernorm input (`dropout(x + bias) + residual`), saved because
+    /// both backward layernorm kernels consume it.
+    pub ln_input: Tensor,
+    /// Dropout mask.
+    pub mask: Tensor,
+    /// Forward statistics for the backward pass.
+    pub stats: LayerNormStats,
+}
+
+/// BDRLN — bias + dropout + residual + layernorm fused into one lane sweep
+/// (also used, with a zero bias, as the paper's `DRLN`).
+///
+/// # Errors
+///
+/// Returns an error on axis/shape disagreements.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1)`.
+#[allow(clippy::too_many_arguments)]
+pub fn bdrln<R: Rng + ?Sized>(
+    x: &Tensor,
+    bias: &Tensor,
+    residual: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    axis: Axis,
+    p: f32,
+    rng: &mut R,
+) -> Result<BdrlnOutput> {
+    assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+    check_same_shape(x, residual, "bdrln residual")?;
+    let ai = x.shape().index_of(axis)?;
+    let len = x.shape().sizes()[ai];
+    let positions: Vec<usize> = bias
+        .shape()
+        .axes()
+        .iter()
+        .map(|&ax| x.shape().index_of(ax))
+        .collect::<Result<Vec<_>>>()?;
+    let keep_scale = 1.0 / (1.0 - p);
+    let fresh = || Tensor::zeros_with_layout(x.shape().clone(), x.layout().clone());
+    let mut out = fresh();
+    let mut ln_input = fresh();
+    let mut mask = fresh();
+    let mut stats = LayerNormStats {
+        mean: Vec::new(),
+        inv_std: Vec::new(),
+    };
+    let x_stride = x.strides()[ai];
+    // fast path: a rank-1 bias over the normalized axis itself (the
+    // common `bias[i]` case) is indexed by the lane position directly
+    let bias_on_lane = positions.as_slice() == [ai];
+    let mut bidx = vec![0usize; positions.len()];
+    for_each_outer(x.shape(), ai, |idx| {
+        let base = x.offset(idx);
+        let r_base = residual.offset(idx);
+        let r_stride = residual.strides()[ai];
+        let mut lane_idx = idx.to_vec();
+        // first pass: bias + dropout + residual, accumulate moments
+        let mut sum = 0.0f32;
+        let mut sq = 0.0f32;
+        for v in 0..len {
+            let b = if bias_on_lane {
+                bias.data()[v]
+            } else {
+                lane_idx[ai] = v;
+                for (bi, &pp) in bidx.iter_mut().zip(&positions) {
+                    *bi = lane_idx[pp];
+                }
+                bias.at(&bidx)
+            };
+            let off = base + v * x_stride;
+            let z = x.data()[off] + b;
+            let m = if p > 0.0 && rng.gen::<f32>() < p {
+                0.0
+            } else {
+                keep_scale
+            };
+            let li = z * m + residual.data()[r_base + v * r_stride];
+            mask.data_mut()[off] = m;
+            ln_input.data_mut()[off] = li;
+            sum += li;
+            sq += li * li;
+        }
+        let mean = sum / len as f32;
+        let var = (sq / len as f32 - mean * mean).max(0.0);
+        let inv_std = 1.0 / (var + EPS).sqrt();
+        stats.mean.push(mean);
+        stats.inv_std.push(inv_std);
+        // second pass: normalize
+        for v in 0..len {
+            let off = base + v * x_stride;
+            let xhat = (ln_input.data()[off] - mean) * inv_std;
+            out.data_mut()[off] = xhat * gamma.data()[v] + beta.data()[v];
+        }
+    });
+    Ok(BdrlnOutput {
+        out,
+        ln_input,
+        mask,
+        stats,
+    })
+}
+
+/// BSB — backward layernorm scale & bias: `(dgamma, dbeta)`.
+///
+/// # Errors
+///
+/// Returns an error on shape disagreements.
+pub fn bsb(
+    dy: &Tensor,
+    ln_input: &Tensor,
+    axis: Axis,
+    stats: &LayerNormStats,
+) -> Result<(Tensor, Tensor)> {
+    crate::ops::layernorm::layernorm_backward_weights(dy, ln_input, axis, stats)
+}
+
+/// BLNRD — backward layernorm dX fused with backward dropout, returning
+/// both the post-dropout gradient (continuing down the main branch) and the
+/// layernorm input gradient itself (`dx_ln`), which the residual connection
+/// also consumes (the "saving the intermediate result" note in Sec. IV-A).
+///
+/// # Errors
+///
+/// Returns an error on shape disagreements.
+pub fn blnrd(
+    dy: &Tensor,
+    ln_input: &Tensor,
+    gamma: &Tensor,
+    mask: &Tensor,
+    axis: Axis,
+    stats: &LayerNormStats,
+) -> Result<(Tensor, Tensor)> {
+    let dx_ln = crate::ops::layernorm::layernorm_backward_input(dy, ln_input, axis, gamma, stats)?;
+    let dx = crate::ops::dropout::dropout_backward(&dx_ln, mask)?;
+    Ok((dx, dx_ln))
+}
+
+/// BDRB — backward dropout + ReLU + bias dW in one sweep. Returns
+/// `(dx, dbias)` where `dx = relu'(pre) ⊙ (dy ⊙ mask)` and `dbias` reduces
+/// `dx` over every non-bias axis.
+///
+/// # Errors
+///
+/// Returns an error on shape/axis disagreements.
+pub fn bdrb(
+    dy: &Tensor,
+    mask: &Tensor,
+    pre_activation: &Tensor,
+    bias_axes: &[Axis],
+) -> Result<(Tensor, Tensor)> {
+    bdrb_act(dy, mask, pre_activation, ActivationKind::Relu, bias_axes)
+}
+
+/// [`bdrb`] with a selectable activation derivative.
+///
+/// # Errors
+///
+/// Returns an error on shape/axis disagreements.
+pub fn bdrb_act(
+    dy: &Tensor,
+    mask: &Tensor,
+    pre_activation: &Tensor,
+    activation: ActivationKind,
+    bias_axes: &[Axis],
+) -> Result<(Tensor, Tensor)> {
+    check_same_shape(dy, mask, "bdrb mask")?;
+    check_same_shape(dy, pre_activation, "bdrb pre-activation")?;
+    let positions: Vec<usize> = bias_axes
+        .iter()
+        .map(|&ax| dy.shape().index_of(ax))
+        .collect::<Result<Vec<_>>>()?;
+    let bias_shape = crate::axes::Shape::new(
+        bias_axes
+            .iter()
+            .zip(&positions)
+            .map(|(&ax, &p)| (ax, dy.shape().sizes()[p])),
+    )?;
+    let mut dbias = Tensor::zeros(bias_shape);
+    let mut dx = dy.clone();
+    let mut idx = vec![0usize; dy.shape().rank()];
+    let mut bidx = vec![0usize; positions.len()];
+    loop {
+        let off = dx.offset(&idx);
+        let g = dy.at(&idx) * mask.at(&idx) * activation.grad(pre_activation.at(&idx));
+        dx.data_mut()[off] = g;
+        for (bi, &p) in bidx.iter_mut().zip(&positions) {
+            *bi = idx[p];
+        }
+        let boff = dbias.offset(&bidx);
+        dbias.data_mut()[boff] += g;
+        if !dy.advance(&mut idx) {
+            break;
+        }
+    }
+    Ok((dx, dbias))
+}
+
+/// EBSB — backward residual add fused with backward layernorm scale & bias.
+/// Returns `(dsum, dgamma, dbeta)` where `dsum = dy_main + dy_residual` and
+/// the weight gradients are computed from `dsum`.
+///
+/// # Errors
+///
+/// Returns an error on shape disagreements.
+pub fn ebsb(
+    dy_main: &Tensor,
+    dy_residual: &Tensor,
+    ln_input: &Tensor,
+    axis: Axis,
+    stats: &LayerNormStats,
+) -> Result<(Tensor, Tensor, Tensor)> {
+    let dsum = crate::ops::elementwise::add(dy_main, dy_residual)?;
+    let (dgamma, dbeta) =
+        crate::ops::layernorm::layernorm_backward_weights(&dsum, ln_input, axis, stats)?;
+    Ok((dsum, dgamma, dbeta))
+}
+
+/// BS — backward dropout + softmax + scaling in one lane sweep:
+/// `dbeta = scaler · softmax_bwd(dalpha ⊙ mask, y)`.
+///
+/// # Errors
+///
+/// Returns an error on shape/axis disagreements.
+pub fn bs(
+    dalpha: &Tensor,
+    mask: &Tensor,
+    softmax_out: &Tensor,
+    axis: Axis,
+    scaler: f32,
+) -> Result<Tensor> {
+    check_same_shape(dalpha, mask, "bs mask")?;
+    check_same_shape(dalpha, softmax_out, "bs softmax output")?;
+    let ai = softmax_out.shape().index_of(axis)?;
+    let len = softmax_out.shape().sizes()[ai];
+    let mut dbeta = softmax_out.clone();
+    for_each_outer(softmax_out.shape(), ai, |idx| {
+        let y_base = softmax_out.offset(idx);
+        let y_stride = softmax_out.strides()[ai];
+        let g_base = dalpha.offset(idx);
+        let g_stride = dalpha.strides()[ai];
+        let m_base = mask.offset(idx);
+        let m_stride = mask.strides()[ai];
+        let mut dot = 0.0f32;
+        for v in 0..len {
+            let g = dalpha.data()[g_base + v * g_stride] * mask.data()[m_base + v * m_stride];
+            dot += g * softmax_out.data()[y_base + v * y_stride];
+        }
+        for v in 0..len {
+            let g = dalpha.data()[g_base + v * g_stride] * mask.data()[m_base + v * m_stride];
+            let y = softmax_out.data()[y_base + v * y_stride];
+            dbeta.data_mut()[y_base + v * y_stride] = scaler * (y * (g - dot));
+        }
+    });
+    Ok(dbeta)
+}
+
+/// BAOB — backward attention output bias: the bias dW reduction.
+///
+/// # Errors
+///
+/// Returns an error if a bias axis is missing from `dy`.
+pub fn baob(dy: &Tensor, bias_axes: &[Axis]) -> Result<Tensor> {
+    crate::ops::elementwise::bias_grad(dy, bias_axes)
+}
+
+/// BAIB — backward attention input bias: the three Q/K/V bias dW reductions
+/// in one kernel. Each stream names its own bias axes (the value stream
+/// uses the `w` projection axis where queries/keys use `p`).
+///
+/// # Errors
+///
+/// Returns an error if a bias axis is missing from the corresponding input.
+pub fn baib(
+    dqq: &Tensor,
+    dkk: &Tensor,
+    dvv: &Tensor,
+    axes: [&[Axis]; 3],
+) -> Result<(Tensor, Tensor, Tensor)> {
+    Ok((
+        crate::ops::elementwise::bias_grad(dqq, axes[0])?,
+        crate::ops::elementwise::bias_grad(dkk, axes[1])?,
+        crate::ops::elementwise::bias_grad(dvv, axes[2])?,
+    ))
+}
+
+/// BEI — backward encoder-input residual connection: `da + db`.
+///
+/// # Errors
+///
+/// Returns an error if shapes differ.
+pub fn bei(da: &Tensor, db: &Tensor) -> Result<Tensor> {
+    crate::ops::elementwise::add(da, db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axes::Shape;
+    use crate::ops::dropout::dropout_disabled;
+    use crate::ops::elementwise::{add, bias_add, bias_grad, relu, relu_backward};
+    use crate::ops::layernorm::{layernorm, layernorm_backward_input};
+    use crate::ops::softmax::{softmax, softmax_backward};
+    use crate::ops::elementwise::scale;
+    use rand::distributions::Uniform;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rand_t(spec: &str, sizes: &[(char, usize)], seed: u64) -> Tensor {
+        let shape = Shape::from_spec(spec, sizes).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::random(shape, &Uniform::new(-1.0, 1.0), &mut rng)
+    }
+
+    const SIZES: [(char, usize); 5] = [('b', 2), ('j', 3), ('k', 4), ('i', 5), ('u', 6)];
+
+    #[test]
+    fn sm_matches_unfused_without_dropout() {
+        let beta = rand_t("bjk", &SIZES, 1);
+        let mut rng = StdRng::seed_from_u64(10);
+        let fused = sm(&beta, 0.5, Axis('k'), 0.0, &mut rng).unwrap();
+        let unfused = softmax(&scale(&beta, 0.5), Axis('k')).unwrap();
+        assert!(fused.alpha.max_abs_diff(&unfused).unwrap() < 1e-6);
+        assert!(fused.softmax.max_abs_diff(&unfused).unwrap() < 1e-6);
+        assert!(fused.mask.data().iter().all(|&m| m == 1.0));
+    }
+
+    #[test]
+    fn sm_dropout_zeroes_and_scales() {
+        let beta = rand_t("bjk", &SIZES, 2);
+        let mut rng = StdRng::seed_from_u64(11);
+        let fused = sm(&beta, 1.0, Axis('k'), 0.5, &mut rng).unwrap();
+        let mut idx = vec![0usize; 3];
+        loop {
+            let m = fused.mask.at(&idx);
+            assert!(m == 0.0 || (m - 2.0).abs() < 1e-6);
+            let expect = fused.softmax.at(&idx) * m;
+            assert!((fused.alpha.at(&idx) - expect).abs() < 1e-6);
+            if !beta.advance(&mut idx) {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn brd_matches_unfused() {
+        let x = rand_t("bju", &SIZES, 3);
+        let bias = rand_t("u", &SIZES, 4);
+        let mut rng = StdRng::seed_from_u64(12);
+        let fused = brd(&x, &bias, 0.0, &mut rng).unwrap();
+        let pre = bias_add(&x, &bias).unwrap();
+        let (expect, _) = dropout_disabled(&relu(&pre));
+        assert!(fused.out.max_abs_diff(&expect).unwrap() < 1e-6);
+        assert!(fused.pre_activation.max_abs_diff(&pre).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn bdrln_matches_unfused() {
+        let x = rand_t("bji", &SIZES, 5);
+        let bias = rand_t("i", &SIZES, 6);
+        let residual = rand_t("bji", &SIZES, 7);
+        let gamma = rand_t("i", &SIZES, 8);
+        let beta_w = rand_t("i", &SIZES, 9);
+        let mut rng = StdRng::seed_from_u64(13);
+        let fused = bdrln(&x, &bias, &residual, &gamma, &beta_w, Axis('i'), 0.0, &mut rng).unwrap();
+        let z = bias_add(&x, &bias).unwrap();
+        let ln_in = add(&z, &residual).unwrap();
+        let (expect, stats) = layernorm(&ln_in, Axis('i'), &gamma, &beta_w).unwrap();
+        assert!(fused.out.max_abs_diff(&expect).unwrap() < 1e-5);
+        assert!(fused.ln_input.max_abs_diff(&ln_in).unwrap() < 1e-6);
+        for (a, b) in fused.stats.mean.iter().zip(&stats.mean) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn blnrd_matches_unfused() {
+        let dy = rand_t("bji", &SIZES, 14);
+        let ln_input = rand_t("bji", &SIZES, 15);
+        let gamma = rand_t("i", &SIZES, 16);
+        let beta_w = rand_t("i", &SIZES, 17);
+        let (_, stats) = layernorm(&ln_input, Axis('i'), &gamma, &beta_w).unwrap();
+        let mut mask = dy.clone();
+        let mut rng = StdRng::seed_from_u64(18);
+        for m in mask.data_mut() {
+            *m = if rng.gen::<f32>() < 0.5 { 0.0 } else { 2.0 };
+        }
+        let (dx, dx_ln) = blnrd(&dy, &ln_input, &gamma, &mask, Axis('i'), &stats).unwrap();
+        let expect_ln =
+            layernorm_backward_input(&dy, &ln_input, Axis('i'), &gamma, &stats).unwrap();
+        let expect_dx = crate::ops::dropout::dropout_backward(&expect_ln, &mask).unwrap();
+        assert!(dx_ln.max_abs_diff(&expect_ln).unwrap() < 1e-6);
+        assert!(dx.max_abs_diff(&expect_dx).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn bdrb_matches_unfused() {
+        let dy = rand_t("bju", &SIZES, 19);
+        let pre = rand_t("bju", &SIZES, 20);
+        let mut mask = dy.clone();
+        let mut rng = StdRng::seed_from_u64(21);
+        for m in mask.data_mut() {
+            *m = if rng.gen::<f32>() < 0.3 { 0.0 } else { 1.0 / 0.7 };
+        }
+        let (dx, dbias) = bdrb(&dy, &mask, &pre, &[Axis('u')]).unwrap();
+        let after_drop = crate::ops::dropout::dropout_backward(&dy, &mask).unwrap();
+        let expect_dx = relu_backward(&after_drop, &pre).unwrap();
+        let expect_db = bias_grad(&expect_dx, &[Axis('u')]).unwrap();
+        assert!(dx.max_abs_diff(&expect_dx).unwrap() < 1e-6);
+        assert!(dbias.max_abs_diff(&expect_db).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn ebsb_matches_unfused() {
+        let dy1 = rand_t("bji", &SIZES, 22);
+        let dy2 = rand_t("bji", &SIZES, 23);
+        let ln_input = rand_t("bji", &SIZES, 24);
+        let gamma = rand_t("i", &SIZES, 25);
+        let beta_w = rand_t("i", &SIZES, 26);
+        let (_, stats) = layernorm(&ln_input, Axis('i'), &gamma, &beta_w).unwrap();
+        let (dsum, dgamma, dbeta) = ebsb(&dy1, &dy2, &ln_input, Axis('i'), &stats).unwrap();
+        let expect_sum = add(&dy1, &dy2).unwrap();
+        let (eg, eb) = crate::ops::layernorm::layernorm_backward_weights(
+            &expect_sum,
+            &ln_input,
+            Axis('i'),
+            &stats,
+        )
+        .unwrap();
+        assert!(dsum.max_abs_diff(&expect_sum).unwrap() < 1e-6);
+        assert!(dgamma.max_abs_diff(&eg).unwrap() < 1e-5);
+        assert!(dbeta.max_abs_diff(&eb).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn bs_matches_unfused() {
+        let beta = rand_t("bjk", &SIZES, 27);
+        let scaler = 0.25f32;
+        let y = softmax(&scale(&beta, scaler), Axis('k')).unwrap();
+        let dalpha = rand_t("bjk", &SIZES, 28);
+        let mut mask = dalpha.clone();
+        let mut rng = StdRng::seed_from_u64(29);
+        for m in mask.data_mut() {
+            *m = if rng.gen::<f32>() < 0.4 { 0.0 } else { 1.0 / 0.6 };
+        }
+        let got = bs(&dalpha, &mask, &y, Axis('k'), scaler).unwrap();
+        let after_drop = crate::ops::dropout::dropout_backward(&dalpha, &mask).unwrap();
+        let dsm = softmax_backward(&after_drop, &y, Axis('k')).unwrap();
+        let expect = scale(&dsm, scaler);
+        assert!(got.max_abs_diff(&expect).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn sm_causal_masks_the_future() {
+        let sizes = [('b', 2), ('j', 4), ('k', 4)];
+        let beta = rand_t("bjk", &sizes, 40);
+        let mut rng = StdRng::seed_from_u64(41);
+        let out = sm_causal(&beta, 0.5, Axis('j'), Axis('k'), 0.0, &mut rng).unwrap();
+        for b in 0..2 {
+            for j in 0..4 {
+                let mut sum = 0.0f32;
+                for k in 0..4 {
+                    let v = out.softmax.at(&[b, j, k]);
+                    if k > j {
+                        assert_eq!(v, 0.0, "future position ({j},{k}) visible");
+                        assert_eq!(out.alpha.at(&[b, j, k]), 0.0);
+                    } else {
+                        assert!(v > 0.0);
+                    }
+                    sum += v;
+                }
+                assert!((sum - 1.0).abs() < 1e-5, "row ({b},{j}) sums to {sum}");
+            }
+        }
+    }
+
+    #[test]
+    fn sm_causal_full_visibility_matches_sm_on_last_row() {
+        // the last query sees everything: its weights equal unmasked sm's
+        let sizes = [('b', 1), ('j', 5), ('k', 5)];
+        let beta = rand_t("bjk", &sizes, 42);
+        let mut r1 = StdRng::seed_from_u64(1);
+        let mut r2 = StdRng::seed_from_u64(1);
+        let causal = sm_causal(&beta, 1.0, Axis('j'), Axis('k'), 0.0, &mut r1).unwrap();
+        let full = sm(&beta, 1.0, Axis('k'), 0.0, &mut r2).unwrap();
+        for k in 0..5 {
+            let a = causal.softmax.at(&[0, 4, k]);
+            let b = full.softmax.at(&[0, 4, k]);
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn brd_act_gelu_matches_unfused() {
+        use crate::ops::elementwise::{activate, ActivationKind};
+        let x = rand_t("bju", &SIZES, 43);
+        let bias = rand_t("u", &SIZES, 44);
+        let mut rng = StdRng::seed_from_u64(45);
+        let fused = brd_act(&x, &bias, ActivationKind::Gelu, 0.0, &mut rng).unwrap();
+        let pre = bias_add(&x, &bias).unwrap();
+        let expect = activate(&pre, ActivationKind::Gelu);
+        assert!(fused.out.max_abs_diff(&expect).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn bdrb_act_gelu_matches_unfused() {
+        use crate::ops::elementwise::{activate_backward, ActivationKind};
+        let dy = rand_t("bju", &SIZES, 46);
+        let pre = rand_t("bju", &SIZES, 47);
+        let mut mask = dy.clone();
+        mask.fill(1.0);
+        let (dx, dbias) =
+            bdrb_act(&dy, &mask, &pre, ActivationKind::Gelu, &[Axis('u')]).unwrap();
+        let expect_dx = activate_backward(&dy, &pre, ActivationKind::Gelu).unwrap();
+        let expect_db = bias_grad(&expect_dx, &[Axis('u')]).unwrap();
+        assert!(dx.max_abs_diff(&expect_dx).unwrap() < 1e-6);
+        assert!(dbias.max_abs_diff(&expect_db).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn aib_baib_bei_compose() {
+        let qq = rand_t("bjk", &SIZES, 30);
+        let bq = rand_t("k", &SIZES, 31);
+        let (q, k, v) = aib(&qq, &bq, &qq, &bq, &qq, &bq).unwrap();
+        let expect = bias_add(&qq, &bq).unwrap();
+        assert!(q.max_abs_diff(&expect).unwrap() < 1e-6);
+        assert!(k.max_abs_diff(&expect).unwrap() < 1e-6);
+        assert!(v.max_abs_diff(&expect).unwrap() < 1e-6);
+        let ax: &[Axis] = &[Axis('k')];
+        let (dq, dk, dv) = baib(&q, &k, &v, [ax, ax, ax]).unwrap();
+        let eb = bias_grad(&expect, &[Axis('k')]).unwrap();
+        assert!(dq.max_abs_diff(&eb).unwrap() < 1e-5);
+        assert!(dk.max_abs_diff(&eb).unwrap() < 1e-5);
+        assert!(dv.max_abs_diff(&eb).unwrap() < 1e-5);
+        let s = bei(&q, &k).unwrap();
+        let es = add(&expect, &expect).unwrap();
+        assert!(s.max_abs_diff(&es).unwrap() < 1e-6);
+        let ob = baob(&q, &[Axis('k')]).unwrap();
+        assert!(ob.max_abs_diff(&eb).unwrap() < 1e-5);
+    }
+}

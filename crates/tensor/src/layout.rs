@@ -1,0 +1,238 @@
+//! Data layouts: permutations of logical axes into memory order.
+//!
+//! A [`Layout`] records which logical axis is stored at each memory
+//! position, outermost (slowest-varying) first. Layout selection is the
+//! central experimental knob of the paper (Sec. V): the same logical tensor
+//! stored `bji` vs `ijb` has very different access efficiency, and the best
+//! layout per operator is found by exhaustive benchmarking.
+
+use std::fmt;
+
+use crate::axes::{Axis, Shape};
+use crate::error::{Result, TensorError};
+
+/// A permutation mapping memory positions to logical axis indices.
+///
+/// `order()[m]` is the logical axis index stored at memory position `m`,
+/// where position `0` is the outermost (largest-stride) dimension and the
+/// last position is innermost (stride 1, the contiguous dimension).
+///
+/// # Examples
+///
+/// ```
+/// use xform_tensor::{Layout, Shape};
+/// let shape = Shape::new([('b', 2), ('j', 3), ('i', 4)]).unwrap();
+/// // Store as (i, b, j): `i` outermost, `j` contiguous.
+/// let layout = Layout::from_axis_order(&shape, "ibj").unwrap();
+/// let strides = layout.strides(&shape);
+/// // logical order is (b, j, i): b stride 3, j stride 1, i stride 6
+/// assert_eq!(strides, vec![3, 1, 6]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Layout {
+    order: Vec<usize>,
+}
+
+impl Layout {
+    /// The identity layout: memory order equals logical order (row-major).
+    pub fn row_major(rank: usize) -> Self {
+        Layout {
+            order: (0..rank).collect(),
+        }
+    }
+
+    /// Creates a layout from an explicit memory-order permutation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidPermutation`] unless `order` is a
+    /// permutation of `0..order.len()`.
+    pub fn from_order(order: Vec<usize>) -> Result<Self> {
+        let mut seen = vec![false; order.len()];
+        for &i in &order {
+            if i >= order.len() || seen[i] {
+                return Err(TensorError::InvalidPermutation);
+            }
+            seen[i] = true;
+        }
+        Ok(Layout { order })
+    }
+
+    /// Creates a layout by naming axes in memory order, outermost first.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `spec` is not a permutation of the shape's axes.
+    pub fn from_axis_order(shape: &Shape, spec: &str) -> Result<Self> {
+        if spec.chars().count() != shape.rank() {
+            return Err(TensorError::LayoutRankMismatch {
+                expected: shape.rank(),
+                found: spec.chars().count(),
+            });
+        }
+        let order = spec
+            .chars()
+            .map(|c| shape.index_of(Axis(c)))
+            .collect::<Result<Vec<_>>>()?;
+        Layout::from_order(order)
+    }
+
+    /// The permutation: logical axis index at each memory position.
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Logical axis index of the innermost (contiguous) memory dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout has rank zero.
+    pub fn innermost(&self) -> usize {
+        *self.order.last().expect("rank-zero layout has no innermost axis")
+    }
+
+    /// Per-logical-axis strides (in elements) for the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape rank differs from the layout rank.
+    pub fn strides(&self, shape: &Shape) -> Vec<usize> {
+        assert_eq!(
+            shape.rank(),
+            self.rank(),
+            "shape rank must match layout rank"
+        );
+        let mut strides = vec![0usize; self.rank()];
+        let mut acc = 1usize;
+        for &axis_idx in self.order.iter().rev() {
+            strides[axis_idx] = acc;
+            acc *= shape.sizes()[axis_idx];
+        }
+        strides
+    }
+
+    /// The axis string of this layout in memory order, e.g. `"ibj"`.
+    pub fn spec(&self, shape: &Shape) -> String {
+        self.order.iter().map(|&i| shape.axes()[i].0).collect()
+    }
+
+    /// Whether the named axis is the innermost (contiguous) dimension —
+    /// the precondition for vectorized access in the paper's kernels.
+    pub fn is_innermost(&self, shape: &Shape, axis: Axis) -> bool {
+        shape
+            .index_of(axis)
+            .map(|i| self.innermost() == i)
+            .unwrap_or(false)
+    }
+
+    /// Enumerates all `rank!` layouts, in lexicographic order of the
+    /// permutation. This is the configuration space swept in Sec. V.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use xform_tensor::Layout;
+    /// assert_eq!(Layout::all(3).len(), 6);
+    /// ```
+    pub fn all(rank: usize) -> Vec<Layout> {
+        let mut out = Vec::new();
+        let mut cur: Vec<usize> = Vec::with_capacity(rank);
+        let mut used = vec![false; rank];
+        fn rec(rank: usize, cur: &mut Vec<usize>, used: &mut [bool], out: &mut Vec<Layout>) {
+            if cur.len() == rank {
+                out.push(Layout { order: cur.clone() });
+                return;
+            }
+            for i in 0..rank {
+                if !used[i] {
+                    used[i] = true;
+                    cur.push(i);
+                    rec(rank, cur, used, out);
+                    cur.pop();
+                    used[i] = false;
+                }
+            }
+        }
+        rec(rank, &mut cur, &mut used, &mut out);
+        out
+    }
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, &p) in self.order.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape_bji() -> Shape {
+        Shape::new([('b', 2), ('j', 3), ('i', 4)]).unwrap()
+    }
+
+    #[test]
+    fn row_major_strides() {
+        let s = shape_bji();
+        let l = Layout::row_major(3);
+        assert_eq!(l.strides(&s), vec![12, 4, 1]);
+        assert_eq!(l.spec(&s), "bji");
+    }
+
+    #[test]
+    fn permuted_strides() {
+        let s = shape_bji();
+        let l = Layout::from_axis_order(&s, "ijb").unwrap();
+        // memory order (i, j, b): b stride 1, j stride 2, i stride 6
+        assert_eq!(l.strides(&s), vec![1, 2, 6]);
+        assert!(l.is_innermost(&s, Axis('b')));
+        assert!(!l.is_innermost(&s, Axis('i')));
+    }
+
+    #[test]
+    fn from_order_validates() {
+        assert!(Layout::from_order(vec![0, 1, 1]).is_err());
+        assert!(Layout::from_order(vec![0, 3, 1]).is_err());
+        assert!(Layout::from_order(vec![2, 0, 1]).is_ok());
+    }
+
+    #[test]
+    fn from_axis_order_validates_rank_and_names() {
+        let s = shape_bji();
+        assert!(Layout::from_axis_order(&s, "bj").is_err());
+        assert!(Layout::from_axis_order(&s, "bjq").is_err());
+    }
+
+    #[test]
+    fn all_enumerates_factorial_many() {
+        assert_eq!(Layout::all(0).len(), 1);
+        assert_eq!(Layout::all(1).len(), 1);
+        assert_eq!(Layout::all(4).len(), 24);
+        // all distinct
+        let all = Layout::all(3);
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn display_shows_permutation() {
+        let l = Layout::from_order(vec![2, 0, 1]).unwrap();
+        assert_eq!(l.to_string(), "(2 0 1)");
+    }
+}

@@ -1,0 +1,340 @@
+//! Element-wise operators (○): bias, activation, residual, scaling, and
+//! their backward passes.
+
+use crate::axes::Axis;
+use crate::error::{Result, TensorError};
+use crate::tensor::Tensor;
+
+use super::check_same_shape;
+
+/// Applies `f` to every element, producing a tensor with the same shape and
+/// layout as `x`.
+pub fn map<F>(x: &Tensor, mut f: F) -> Tensor
+where
+    F: FnMut(f32) -> f32,
+{
+    let mut out = x.clone();
+    for v in out.data_mut() {
+        *v = f(*v);
+    }
+    out
+}
+
+/// Combines two same-shape tensors element-wise. The output inherits `a`'s
+/// layout. Layouts of `a` and `b` may differ.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+pub fn zip_map<F>(a: &Tensor, b: &Tensor, mut f: F) -> Result<Tensor>
+where
+    F: FnMut(f32, f32) -> f32,
+{
+    check_same_shape(a, b, "zip_map")?;
+    let mut out = a.clone();
+    if a.layout() == b.layout() {
+        // identical memory mapping — a single fused sweep
+        for (o, &bv) in out.data_mut().iter_mut().zip(b.data()) {
+            *o = f(*o, bv);
+        }
+        return Ok(out);
+    }
+    let mut idx = vec![0usize; a.shape().rank()];
+    loop {
+        let off = out.offset(&idx);
+        let v = f(a.at(&idx), b.at(&idx));
+        out.data_mut()[off] = v;
+        if !a.advance(&mut idx) {
+            break;
+        }
+    }
+    Ok(out)
+}
+
+/// Residual connection: `a + b`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    zip_map(a, b, |x, y| x + y)
+}
+
+/// Element-wise product (used for dropout-mask application).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+pub fn mul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    zip_map(a, b, |x, y| x * y)
+}
+
+/// Multiplies every element by `alpha` (the `1/sqrt(P)` attention scaling —
+/// the one operation cuBLAS lets the paper fuse into a contraction).
+pub fn scale(x: &Tensor, alpha: f32) -> Tensor {
+    map(x, |v| alpha * v)
+}
+
+/// Adds a broadcast bias: `out[idx] = x[idx] + bias[idx restricted to bias
+/// axes]`. The bias's axes must be a subset of `x`'s (e.g. bias `[p,h]`
+/// added to a `[p,h,b,j]` activation — the paper's "bias `[ph]`" nodes).
+///
+/// # Errors
+///
+/// Returns [`TensorError::UnknownAxis`] if a bias axis is absent from `x`.
+pub fn bias_add(x: &Tensor, bias: &Tensor) -> Result<Tensor> {
+    let positions: Vec<usize> = bias
+        .shape()
+        .axes()
+        .iter()
+        .map(|&ax| x.shape().index_of(ax))
+        .collect::<Result<Vec<_>>>()?;
+    for (&p, &n) in positions.iter().zip(bias.shape().sizes()) {
+        if x.shape().sizes()[p] != n {
+            return Err(TensorError::ShapeMismatch { context: "bias_add" });
+        }
+    }
+    let mut out = x.clone();
+    let mut idx = vec![0usize; x.shape().rank()];
+    let mut bidx = vec![0usize; bias.shape().rank()];
+    loop {
+        for (bi, &p) in bidx.iter_mut().zip(&positions) {
+            *bi = idx[p];
+        }
+        let off = out.offset(&idx);
+        out.data_mut()[off] += bias.at(&bidx);
+        if !x.advance(&mut idx) {
+            break;
+        }
+    }
+    Ok(out)
+}
+
+/// Gradient of a broadcast bias: sums `dy` over every axis not in the bias
+/// (the `bji->i`-style reduction of Fig. 3).
+///
+/// # Errors
+///
+/// Returns [`TensorError::UnknownAxis`] if a bias axis is absent from `dy`.
+pub fn bias_grad(dy: &Tensor, bias_axes: &[Axis]) -> Result<Tensor> {
+    let positions: Vec<usize> = bias_axes
+        .iter()
+        .map(|&ax| dy.shape().index_of(ax))
+        .collect::<Result<Vec<_>>>()?;
+    let out_shape = crate::axes::Shape::new(
+        bias_axes
+            .iter()
+            .zip(&positions)
+            .map(|(&ax, &p)| (ax, dy.shape().sizes()[p])),
+    )?;
+    let mut out = Tensor::zeros(out_shape);
+    let mut idx = vec![0usize; dy.shape().rank()];
+    let mut bidx = vec![0usize; positions.len()];
+    loop {
+        for (bi, &p) in bidx.iter_mut().zip(&positions) {
+            *bi = idx[p];
+        }
+        let off = out.offset(&bidx);
+        out.data_mut()[off] += dy.at(&idx);
+        if !dy.advance(&mut idx) {
+            break;
+        }
+    }
+    Ok(out)
+}
+
+/// ReLU activation.
+pub fn relu(x: &Tensor) -> Tensor {
+    map(x, |v| v.max(0.0))
+}
+
+/// ReLU backward: `dx = dy · 1[x > 0]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+pub fn relu_backward(dy: &Tensor, x: &Tensor) -> Result<Tensor> {
+    zip_map(dy, x, |g, v| if v > 0.0 { g } else { 0.0 })
+}
+
+/// The feed-forward activation function. The paper's BERT figure uses
+/// ReLU; the original BERT (and GPT-2) use GELU — both are supported and
+/// the recipe is agnostic (they are element-wise either way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ActivationKind {
+    /// `max(0, x)`.
+    #[default]
+    Relu,
+    /// The tanh-approximated Gaussian error linear unit used by BERT/GPT-2.
+    Gelu,
+}
+
+/// `√(2/π)`, the GELU tanh-approximation constant.
+const GELU_C: f32 = 0.797_884_6;
+
+impl ActivationKind {
+    /// Applies the activation to one value.
+    #[inline]
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            ActivationKind::Relu => x.max(0.0),
+            ActivationKind::Gelu => {
+                0.5 * x * (1.0 + (GELU_C * (x + 0.044_715 * x * x * x)).tanh())
+            }
+        }
+    }
+
+    /// Derivative of the activation with respect to its pre-activation.
+    #[inline]
+    pub fn grad(self, x: f32) -> f32 {
+        match self {
+            ActivationKind::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            ActivationKind::Gelu => {
+                let u = GELU_C * (x + 0.044_715 * x * x * x);
+                let t = u.tanh();
+                let du = GELU_C * (1.0 + 3.0 * 0.044_715 * x * x);
+                0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du
+            }
+        }
+    }
+}
+
+/// Applies an activation element-wise.
+pub fn activate(x: &Tensor, kind: ActivationKind) -> Tensor {
+    map(x, |v| kind.apply(v))
+}
+
+/// Activation backward: `dx = dy · act'(x)` where `x` is the saved
+/// pre-activation.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+pub fn activate_backward(dy: &Tensor, x: &Tensor, kind: ActivationKind) -> Result<Tensor> {
+    zip_map(dy, x, |g, v| g * kind.grad(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axes::Shape;
+    use crate::layout::Layout;
+
+    fn t(vals: &[f32]) -> Tensor {
+        Tensor::from_vec(Shape::new([('b', 2), ('j', 2)]).unwrap(), vals.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn add_and_mul() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0]);
+        let b = t(&[10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(add(&a, &b).unwrap().data(), &[11.0, 22.0, 33.0, 44.0]);
+        assert_eq!(mul(&a, &b).unwrap().data(), &[10.0, 40.0, 90.0, 160.0]);
+    }
+
+    #[test]
+    fn zip_map_handles_mixed_layouts() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0]);
+        let b_rm = t(&[10.0, 20.0, 30.0, 40.0]);
+        let b = b_rm.relayout(&Layout::from_axis_order(b_rm.shape(), "jb").unwrap());
+        let out = add(&a, &b).unwrap();
+        let expect = add(&a, &b_rm).unwrap();
+        assert_eq!(out.max_abs_diff(&expect).unwrap(), 0.0);
+        assert_eq!(out.layout(), a.layout());
+    }
+
+    #[test]
+    fn zip_map_rejects_shape_mismatch() {
+        let a = t(&[0.0; 4]);
+        let b = Tensor::zeros(Shape::new([('b', 2)]).unwrap());
+        assert!(add(&a, &b).is_err());
+    }
+
+    #[test]
+    fn scale_scales() {
+        let a = t(&[1.0, -2.0, 3.0, -4.0]);
+        assert_eq!(scale(&a, 0.5).data(), &[0.5, -1.0, 1.5, -2.0]);
+    }
+
+    #[test]
+    fn bias_add_broadcasts_over_missing_axes() {
+        let x = t(&[1.0, 2.0, 3.0, 4.0]); // axes (b, j)
+        let bias = Tensor::from_vec(Shape::new([('j', 2)]).unwrap(), vec![10.0, 20.0]).unwrap();
+        let out = bias_add(&x, &bias).unwrap();
+        assert_eq!(out.data(), &[11.0, 22.0, 13.0, 24.0]);
+    }
+
+    #[test]
+    fn bias_add_validates_axes() {
+        let x = t(&[0.0; 4]);
+        let bias = Tensor::zeros(Shape::new([('q', 2)]).unwrap());
+        assert!(bias_add(&x, &bias).is_err());
+        let bias = Tensor::zeros(Shape::new([('j', 3)]).unwrap());
+        assert!(bias_add(&x, &bias).is_err());
+    }
+
+    #[test]
+    fn bias_grad_reduces_other_axes() {
+        let dy = t(&[1.0, 2.0, 3.0, 4.0]);
+        let g = bias_grad(&dy, &[Axis('j')]).unwrap();
+        assert_eq!(g.data(), &[4.0, 6.0]);
+        let g2 = bias_grad(&dy, &[Axis('b'), Axis('j')]).unwrap();
+        assert_eq!(g2.data(), dy.data());
+    }
+
+    #[test]
+    fn gelu_matches_reference_values() {
+        // reference values from the tanh approximation
+        let cases = [
+            (0.0f32, 0.0f32),
+            (1.0, 0.841_192),
+            (-1.0, -0.158_808),
+            (3.0, 2.996_363),
+            (-3.0, -0.003_637),
+        ];
+        for (x, want) in cases {
+            let got = ActivationKind::Gelu.apply(x);
+            assert!((got - want).abs() < 1e-3, "gelu({x}) = {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn gelu_grad_matches_numerical() {
+        for &x in &[-2.5f32, -1.0, -0.1, 0.0, 0.3, 1.7, 4.0] {
+            let eps = 1e-3;
+            let num = (ActivationKind::Gelu.apply(x + eps) - ActivationKind::Gelu.apply(x - eps))
+                / (2.0 * eps);
+            let ana = ActivationKind::Gelu.grad(x);
+            assert!((num - ana).abs() < 1e-2, "gelu'({x}): {ana} vs numeric {num}");
+        }
+    }
+
+    #[test]
+    fn activate_dispatches_and_backward_agrees_with_relu_path() {
+        let x = t(&[1.0, -2.0, 0.5, -0.1]);
+        let a = activate(&x, ActivationKind::Relu);
+        assert_eq!(a.data(), relu(&x).data());
+        let dy = t(&[1.0, 1.0, 1.0, 1.0]);
+        let g1 = activate_backward(&dy, &x, ActivationKind::Relu).unwrap();
+        let g2 = relu_backward(&dy, &x).unwrap();
+        assert_eq!(g1.data(), g2.data());
+        // GELU is smooth and nonzero on both sides
+        let g3 = activate_backward(&dy, &x, ActivationKind::Gelu).unwrap();
+        assert!(g3.data().iter().all(|v| v.is_finite()));
+        assert!(g3.at(&[0, 1]) != 0.0);
+    }
+
+    #[test]
+    fn relu_and_backward() {
+        let x = t(&[1.0, -2.0, 0.0, 4.0]);
+        assert_eq!(relu(&x).data(), &[1.0, 0.0, 0.0, 4.0]);
+        let dy = t(&[5.0, 5.0, 5.0, 5.0]);
+        assert_eq!(relu_backward(&dy, &x).unwrap().data(), &[5.0, 0.0, 0.0, 5.0]);
+    }
+}

@@ -1,0 +1,293 @@
+//! Property-based tests of the tensor substrate's core invariants:
+//! einsum-vs-naive equivalence, layout round-trips, normalization
+//! properties over arbitrary layouts, fused-vs-unfused equality, and FP16
+//! conversion laws.
+
+use proptest::prelude::*;
+use rand::distributions::Uniform;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use xform_tensor::contract::naive_einsum;
+use xform_tensor::einsum::EinsumSpec;
+use xform_tensor::fused;
+use xform_tensor::half::F16;
+use xform_tensor::ops::dropout::dropout_backward;
+use xform_tensor::ops::elementwise::{add, bias_add, bias_grad, relu, relu_backward, scale};
+use xform_tensor::ops::layernorm::layernorm;
+use xform_tensor::ops::softmax::softmax;
+use xform_tensor::{contract, einsum, Axis, Layout, Shape, Tensor};
+
+fn rand_tensor(shape: Shape, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor::random(shape, &Uniform::new(-2.0f32, 2.0), &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn contract_matches_naive_on_projection(
+        p in 1usize..5, h in 1usize..4, i in 1usize..8, b in 1usize..4, j in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let sizes = [('p', p), ('h', h), ('i', i), ('b', b), ('j', j)];
+        let w = rand_tensor(Shape::from_spec("phi", &sizes).unwrap(), seed);
+        let x = rand_tensor(Shape::from_spec("ibj", &sizes).unwrap(), seed + 1);
+        let spec: EinsumSpec = "phi,ibj->phbj".parse().unwrap();
+        let fast = einsum("phi,ibj->phbj", &[&w, &x]).unwrap();
+        let slow = naive_einsum(&spec, &[&w, &x]).unwrap();
+        prop_assert!(fast.max_abs_diff(&slow).unwrap() < 1e-3);
+    }
+
+    #[test]
+    fn contract_matches_naive_on_batched(
+        p in 1usize..4, h in 1usize..3, b in 1usize..3, j in 1usize..5, k in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let sizes = [('p', p), ('h', h), ('b', b), ('j', j), ('k', k)];
+        let kk = rand_tensor(Shape::from_spec("phbk", &sizes).unwrap(), seed);
+        let qq = rand_tensor(Shape::from_spec("phbj", &sizes).unwrap(), seed + 1);
+        let spec: EinsumSpec = "phbk,phbj->hbjk".parse().unwrap();
+        let fast = einsum("phbk,phbj->hbjk", &[&kk, &qq]).unwrap();
+        let slow = naive_einsum(&spec, &[&kk, &qq]).unwrap();
+        prop_assert!(fast.max_abs_diff(&slow).unwrap() < 1e-3);
+    }
+
+    #[test]
+    fn contraction_is_layout_invariant(
+        m in 1usize..6, n in 1usize..6, k in 1usize..6,
+        la in 0usize..2, lb in 0usize..2, lc in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        let sizes = [('m', m), ('k', k), ('n', n)];
+        let a = rand_tensor(Shape::from_spec("mk", &sizes).unwrap(), seed);
+        let b = rand_tensor(Shape::from_spec("kn", &sizes).unwrap(), seed + 1);
+        let spec: EinsumSpec = "mk,kn->mn".parse().unwrap();
+        let base = einsum("mk,kn->mn", &[&a, &b]).unwrap();
+        let ap = a.relayout(&Layout::all(2)[la]);
+        let bp = b.relayout(&Layout::all(2)[lb]);
+        let out = contract::contract(&spec, &ap, &bp, &Layout::all(2)[lc]).unwrap();
+        prop_assert!(out.max_abs_diff(&base).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn relayout_roundtrip_preserves_values(
+        a in 1usize..4, b in 1usize..5, c in 1usize..4,
+        l1 in 0usize..6, l2 in 0usize..6,
+        seed in 0u64..1000,
+    ) {
+        let shape = Shape::new([('a', a), ('b', b), ('c', c)]).unwrap();
+        let t = rand_tensor(shape, seed);
+        let layouts = Layout::all(3);
+        let hop = t.relayout(&layouts[l1]).relayout(&layouts[l2]);
+        prop_assert_eq!(hop.max_abs_diff(&t).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_any_layout(
+        b in 1usize..4, j in 1usize..5, k in 2usize..8, layout in 0usize..6,
+        seed in 0u64..1000,
+    ) {
+        let shape = Shape::new([('b', b), ('j', j), ('k', k)]).unwrap();
+        let t = rand_tensor(shape, seed).relayout(&Layout::all(3)[layout]);
+        let y = softmax(&t, Axis('k')).unwrap();
+        for bi in 0..b {
+            for ji in 0..j {
+                let s: f32 = (0..k).map(|ki| y.at(&[bi, ji, ki])).sum();
+                prop_assert!((s - 1.0).abs() < 1e-4);
+                for ki in 0..k {
+                    prop_assert!(y.at(&[bi, ji, ki]) > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn layernorm_standardizes_any_layout(
+        b in 1usize..4, j in 1usize..4, i in 2usize..10, layout in 0usize..6,
+        seed in 0u64..1000,
+    ) {
+        let shape = Shape::new([('b', b), ('j', j), ('i', i)]).unwrap();
+        let t = rand_tensor(shape, seed).relayout(&Layout::all(3)[layout]);
+        let mut gamma = Tensor::zeros(Shape::new([('i', i)]).unwrap());
+        gamma.fill(1.0);
+        let beta = Tensor::zeros(Shape::new([('i', i)]).unwrap());
+        let (y, _) = layernorm(&t, Axis('i'), &gamma, &beta).unwrap();
+        for bi in 0..b {
+            for ji in 0..j {
+                let mean: f32 = (0..i).map(|ii| y.at(&[bi, ji, ii])).sum::<f32>() / i as f32;
+                prop_assert!(mean.abs() < 1e-3, "mean {} at ({bi},{ji})", mean);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_brd_equals_composition(
+        b in 1usize..3, j in 1usize..5, u in 1usize..8, seed in 0u64..1000,
+    ) {
+        let shape = Shape::from_spec("bju", &[('b', b), ('j', j), ('u', u)]).unwrap();
+        let x = rand_tensor(shape, seed);
+        let bias = rand_tensor(Shape::new([('u', u)]).unwrap(), seed + 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let f = fused::brd(&x, &bias, 0.0, &mut rng).unwrap();
+        let expect = relu(&bias_add(&x, &bias).unwrap());
+        prop_assert!(f.out.max_abs_diff(&expect).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn fused_sm_equals_composition(
+        b in 1usize..3, j in 1usize..4, k in 2usize..8, alpha in 0.05f32..2.0,
+        seed in 0u64..1000,
+    ) {
+        let shape = Shape::from_spec("bjk", &[('b', b), ('j', j), ('k', k)]).unwrap();
+        let beta = rand_tensor(shape, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let f = fused::sm(&beta, alpha, Axis('k'), 0.0, &mut rng).unwrap();
+        let expect = softmax(&scale(&beta, alpha), Axis('k')).unwrap();
+        prop_assert!(f.alpha.max_abs_diff(&expect).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn bias_adjoint_identity(
+        b in 1usize..4, j in 1usize..5, i in 1usize..6, seed in 0u64..1000,
+    ) {
+        // <bias_add(x, db) - x, w> == <db, bias_grad(w)> — bias add and
+        // bias grad are adjoint linear maps.
+        let shape = Shape::from_spec("bji", &[('b', b), ('j', j), ('i', i)]).unwrap();
+        let x = rand_tensor(shape.clone(), seed);
+        let w = rand_tensor(shape, seed + 1);
+        let db = rand_tensor(Shape::new([('i', i)]).unwrap(), seed + 2);
+        let lhs: f32 = {
+            let y = bias_add(&x, &db).unwrap();
+            y.iter().map(|(idx, v)| w.at(&idx) * (v - x.at(&idx))).sum()
+        };
+        let rhs: f32 = {
+            let g = bias_grad(&w, &[Axis('i')]).unwrap();
+            g.iter().map(|(idx, v)| db.at(&idx) * v).sum()
+        };
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn relu_backward_zeroes_exactly_where_forward_did(
+        n in 1usize..50, seed in 0u64..1000,
+    ) {
+        let shape = Shape::new([('x', n)]).unwrap();
+        let x = rand_tensor(shape.clone(), seed);
+        let dy = rand_tensor(shape, seed + 1);
+        let y = relu(&x);
+        let dx = relu_backward(&dy, &x).unwrap();
+        for idx in 0..n {
+            if y.at(&[idx]) == 0.0 && x.at(&[idx]) != 0.0 {
+                prop_assert_eq!(dx.at(&[idx]), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn dropout_backward_is_mask_multiplication(
+        n in 1usize..40, seed in 0u64..1000,
+    ) {
+        let shape = Shape::new([('x', n)]).unwrap();
+        let dy = rand_tensor(shape.clone(), seed);
+        let mut mask = Tensor::zeros(shape);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for m in mask.data_mut() {
+            *m = if rng.gen::<f32>() < 0.5 { 0.0 } else { 2.0 };
+        }
+        let dx = dropout_backward(&dy, &mask).unwrap();
+        for idx in 0..n {
+            prop_assert_eq!(dx.at(&[idx]), dy.at(&[idx]) * mask.at(&[idx]));
+        }
+    }
+
+    #[test]
+    fn f16_roundtrip_is_idempotent(bits in any::<u32>()) {
+        let x = f32::from_bits(bits);
+        let once = F16::from_f32(x).to_f32();
+        let twice = F16::from_f32(once).to_f32();
+        if once.is_nan() {
+            prop_assert!(twice.is_nan());
+        } else {
+            prop_assert_eq!(once.to_bits(), twice.to_bits());
+        }
+    }
+
+    #[test]
+    fn f16_preserves_sign_and_order(a in -60000.0f32..60000.0, b in -60000.0f32..60000.0) {
+        let (ha, hb) = (F16::from_f32(a).to_f32(), F16::from_f32(b).to_f32());
+        // conversion is monotone: a ≤ b implies ha ≤ hb
+        if a <= b {
+            prop_assert!(ha <= hb, "{a} -> {ha}, {b} -> {hb}");
+        }
+        if a != 0.0 && ha != 0.0 {
+            prop_assert_eq!(a.signum(), ha.signum());
+        }
+    }
+
+    #[test]
+    fn residual_add_commutes(n in 1usize..30, seed in 0u64..1000) {
+        let shape = Shape::new([('x', n)]).unwrap();
+        let a = rand_tensor(shape.clone(), seed);
+        let b = rand_tensor(shape, seed + 1);
+        let ab = add(&a, &b).unwrap();
+        let ba = add(&b, &a).unwrap();
+        prop_assert!(ab.max_abs_diff(&ba).unwrap() == 0.0);
+    }
+}
+
+use rand::Rng;
+
+mod parser_robustness {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn einsum_parser_never_panics(s in "[a-d,>-]{0,12}") {
+            // arbitrary strings either parse or error; no panics
+            let _ = s.parse::<EinsumSpec>();
+        }
+
+        #[test]
+        fn parsed_specs_roundtrip_through_display(
+            a in "[a-f]{1,4}", b in "[a-f]{1,4}",
+        ) {
+            let uniq = |s: &str| {
+                let mut out = String::new();
+                for c in s.chars() {
+                    if !out.contains(c) {
+                        out.push(c);
+                    }
+                }
+                out
+            };
+            let (a, b) = (uniq(&a), uniq(&b));
+            // output = union of labels (deduped) — always valid
+            let mut out = a.clone();
+            for c in b.chars() {
+                if !out.contains(c) {
+                    out.push(c);
+                }
+            }
+            let text = format!("{a},{b}->{out}");
+            if let Ok(spec) = text.parse::<EinsumSpec>() {
+                let rt: EinsumSpec = spec.to_string().parse().unwrap();
+                prop_assert_eq!(spec, rt);
+            }
+        }
+
+        #[test]
+        fn layout_from_order_never_panics(order in proptest::collection::vec(0usize..8, 0..8)) {
+            let _ = Layout::from_order(order);
+        }
+
+        #[test]
+        fn shape_from_spec_never_panics(spec in "[a-z]{0,8}") {
+            let sizes: Vec<(char, usize)> = ('a'..='z').map(|c| (c, 3)).collect();
+            let _ = Shape::from_spec(&spec, &sizes);
+        }
+    }
+}

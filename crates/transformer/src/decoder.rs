@@ -1,0 +1,348 @@
+//! A GPT-2-style decoder block on the CPU substrate: **pre**-layer-norm,
+//! causally masked self-attention, GELU feed-forward — the variant the
+//! paper's Sec. VIII says the recipe transfers to unchanged. Forward and
+//! backward, validated against numerical gradients.
+
+use rand::Rng;
+
+use xform_dataflow::EncoderDims;
+use xform_tensor::fused::{self, BrdOutput, SmOutput};
+use xform_tensor::ops::dropout::{dropout, dropout_backward, dropout_disabled};
+use xform_tensor::ops::elementwise::{add, bias_add, bias_grad, ActivationKind};
+use xform_tensor::ops::layernorm::{
+    layernorm, layernorm_backward_input, layernorm_backward_weights, LayerNormStats,
+};
+use xform_tensor::{einsum, Axis, Result, Tensor};
+
+use crate::params::{EncoderGrads, EncoderWeights};
+
+/// A configured decoder block. Weights are shared with the encoder layout
+/// ([`EncoderWeights`]); only the wiring differs (pre-LN, causal mask,
+/// activation choice).
+#[derive(Debug, Clone)]
+pub struct DecoderLayer {
+    /// Problem dimensions (`j = k`).
+    pub dims: EncoderDims,
+    /// Feed-forward activation (GPT-2 uses GELU).
+    pub activation: ActivationKind,
+    /// Dropout probability.
+    pub dropout_p: f32,
+}
+
+/// Saved forward values for the decoder backward pass.
+#[derive(Debug, Clone)]
+pub struct DecoderActivations {
+    /// Pre-attention layer-norm output (input to the projections).
+    pub ln1_out: Tensor,
+    /// Pre-attention layer-norm statistics.
+    pub stats1: LayerNormStats,
+    /// Biased projections.
+    pub qq: Tensor,
+    /// Biased key projections.
+    pub kk: Tensor,
+    /// Biased value projections.
+    pub vv: Tensor,
+    /// Causal softmax bundle.
+    pub sm: SmOutput,
+    /// Attention context.
+    pub gam: Tensor,
+    /// Attention-path dropout mask.
+    pub drop1_mask: Tensor,
+    /// First residual stream (`x + attention`), the pre-FFN layer-norm
+    /// input.
+    pub res1: Tensor,
+    /// Pre-FFN layer-norm output.
+    pub ln2_out: Tensor,
+    /// Pre-FFN layer-norm statistics.
+    pub stats2: LayerNormStats,
+    /// Feed-forward bias+activation+dropout bundle.
+    pub brd: BrdOutput,
+    /// Output-path dropout mask.
+    pub drop3_mask: Tensor,
+}
+
+impl DecoderLayer {
+    /// Creates a GPT-2-style block (GELU activation).
+    pub fn new(dims: EncoderDims, dropout_p: f32) -> Self {
+        DecoderLayer {
+            dims,
+            activation: ActivationKind::Gelu,
+            dropout_p,
+        }
+    }
+
+    /// The attention scaling factor `1/√P`.
+    pub fn scaler(&self) -> f32 {
+        1.0 / (self.dims.p as f32).sqrt()
+    }
+
+    fn drop<R: Rng + ?Sized>(&self, x: &Tensor, rng: &mut R) -> (Tensor, Tensor) {
+        if self.dropout_p > 0.0 {
+            dropout(x, self.dropout_p, rng)
+        } else {
+            dropout_disabled(x)
+        }
+    }
+
+    /// Forward propagation: `x` (`[i,b,j]`) → `y` (`[i,b,j]`) plus saved
+    /// activations.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `x` has the wrong shape.
+    pub fn forward<R: Rng + ?Sized>(
+        &self,
+        x: &Tensor,
+        w: &EncoderWeights,
+        rng: &mut R,
+    ) -> Result<(Tensor, DecoderActivations)> {
+        let p = self.dropout_p;
+        // pre-attention layer norm
+        let (ln1_out, stats1) = layernorm(x, Axis('i'), &w.ln1_gamma, &w.ln1_beta)?;
+        let lk = ln1_out.relabel("ibk")?;
+        let qq_raw = einsum("phi,ibj->phbj", &[&w.wq, &ln1_out])?;
+        let kk_raw = einsum("phi,ibk->phbk", &[&w.wk, &lk])?;
+        let vv_raw = einsum("whi,ibk->whbk", &[&w.wv, &lk])?;
+        let (qq, kk, vv) = fused::aib(&qq_raw, &w.bq, &kk_raw, &w.bk, &vv_raw, &w.bv)?;
+        let beta = einsum("phbk,phbj->hbjk", &[&kk, &qq])?;
+        let sm = fused::sm_causal(&beta, self.scaler(), Axis('j'), Axis('k'), p, rng)?;
+        let gam = einsum("whbk,hbjk->whbj", &[&vv, &sm.alpha])?;
+        let attn = bias_add(&einsum("whi,whbj->ibj", &[&w.wo, &gam])?, &w.bo)?;
+        let (drop1, drop1_mask) = self.drop(&attn, rng);
+        let res1 = add(&drop1, x)?;
+        // pre-FFN layer norm
+        let (ln2_out, stats2) = layernorm(&res1, Axis('i'), &w.ln2_gamma, &w.ln2_beta)?;
+        let ff1 = einsum("ui,ibj->ubj", &[&w.w1, &ln2_out])?;
+        let brd = fused::brd_act(&ff1, &w.b1, self.activation, p, rng)?;
+        let ff2 = bias_add(&einsum("iu,ubj->ibj", &[&w.w2, &brd.out])?, &w.b2)?;
+        let (drop3, drop3_mask) = self.drop(&ff2, rng);
+        let y = add(&drop3, &res1)?;
+        Ok((
+            y,
+            DecoderActivations {
+                ln1_out,
+                stats1,
+                qq,
+                kk,
+                vv,
+                sm,
+                gam,
+                drop1_mask,
+                res1,
+                ln2_out,
+                stats2,
+                brd,
+                drop3_mask,
+            },
+        ))
+    }
+
+    /// Backpropagation: `(dx, weight gradients)` from the output gradient.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape disagreements.
+    pub fn backward(
+        &self,
+        dy: &Tensor,
+        x: &Tensor,
+        w: &EncoderWeights,
+        a: &DecoderActivations,
+    ) -> Result<(Tensor, EncoderGrads)> {
+        let mut g = w.zeros_like();
+        let ai = Axis('i');
+        // --- feed-forward branch of residual 2 ---
+        let d_ff2b = dropout_backward(dy, &a.drop3_mask)?;
+        g.b2 = bias_grad(&d_ff2b, &[ai])?;
+        let d_brd = einsum("iu,ibj->ubj", &[&w.w2, &d_ff2b])?;
+        g.w2 = einsum("ibj,ubj->iu", &[&d_ff2b, &a.brd.out])?;
+        let (d_ff1, db1) = fused::bdrb_act(
+            &d_brd,
+            &a.brd.mask,
+            &a.brd.pre_activation,
+            self.activation,
+            &[Axis('u')],
+        )?;
+        g.b1 = db1;
+        let d_ln2_out = einsum("ui,ubj->ibj", &[&w.w1, &d_ff1])?;
+        g.w1 = einsum("ubj,ibj->ui", &[&d_ff1, &a.ln2_out])?;
+        let (dg2, dbeta2) = layernorm_backward_weights(&d_ln2_out, &a.res1, ai, &a.stats2)?;
+        g.ln2_gamma = dg2;
+        g.ln2_beta = dbeta2;
+        let d_res1_ln = layernorm_backward_input(&d_ln2_out, &a.res1, ai, &w.ln2_gamma, &a.stats2)?;
+        // residual 2: skip branch carries dy directly
+        let d_res1 = add(dy, &d_res1_ln)?;
+
+        // --- attention branch of residual 1 ---
+        let d_attn = dropout_backward(&d_res1, &a.drop1_mask)?;
+        g.bo = bias_grad(&d_attn, &[ai])?;
+        let d_gam = einsum("whi,ibj->whbj", &[&w.wo, &d_attn])?;
+        g.wo = einsum("whbj,ibj->whi", &[&a.gam, &d_attn])?;
+        let d_alpha = einsum("whbk,whbj->hbjk", &[&a.vv, &d_gam])?;
+        let d_vv = einsum("whbj,hbjk->whbk", &[&d_gam, &a.sm.alpha])?;
+        // masked entries have zero softmax output and zero mask, so the
+        // unmasked BS kernel handles the causal case unchanged
+        let d_beta = fused::bs(&d_alpha, &a.sm.mask, &a.sm.softmax, Axis('k'), self.scaler())?;
+        let d_qq = einsum("phbk,hbjk->phbj", &[&a.kk, &d_beta])?;
+        let d_kk = einsum("phbj,hbjk->phbk", &[&a.qq, &d_beta])?;
+        let ph: &[Axis] = &[Axis('p'), Axis('h')];
+        let wh: &[Axis] = &[Axis('w'), Axis('h')];
+        let (dbq, dbk, dbv) = fused::baib(&d_qq, &d_kk, &d_vv, [ph, ph, wh])?;
+        g.bq = dbq;
+        g.bk = dbk;
+        g.bv = dbv;
+        let lk = a.ln1_out.relabel("ibk")?;
+        g.wq = einsum("phbj,ibj->phi", &[&d_qq, &a.ln1_out])?;
+        g.wk = einsum("phbk,ibk->phi", &[&d_kk, &lk])?;
+        g.wv = einsum("whbk,ibk->whi", &[&d_vv, &lk])?;
+        let d_x1 = einsum("phi,phbj->ibj", &[&w.wq, &d_qq])?;
+        let d_x2 = einsum("phi,phbk->ibk", &[&w.wk, &d_kk])?.relabel("ibj")?;
+        let d_x3 = einsum("whi,whbk->ibk", &[&w.wv, &d_vv])?.relabel("ibj")?;
+        let d_ln1_out = add(&add(&d_x1, &d_x2)?, &d_x3)?;
+        let (dg1, dbeta1) = layernorm_backward_weights(&d_ln1_out, x, ai, &a.stats1)?;
+        g.ln1_gamma = dg1;
+        g.ln1_beta = dbeta1;
+        let d_x_ln = layernorm_backward_input(&d_ln1_out, x, ai, &w.ln1_gamma, &a.stats1)?;
+        // residual 1: skip branch carries d_res1
+        let dx = add(&d_x_ln, &d_res1)?;
+        Ok((dx, g))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::distributions::Uniform;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use xform_tensor::Shape;
+
+    fn setup() -> (DecoderLayer, EncoderWeights, Tensor) {
+        let dims = EncoderDims::tiny();
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = EncoderWeights::init(&dims, &mut rng);
+        let x = Tensor::random(
+            Shape::from_spec("ibj", &dims.size_table()).unwrap(),
+            &Uniform::new(-1.0, 1.0),
+            &mut rng,
+        );
+        (DecoderLayer::new(dims, 0.0), w, x)
+    }
+
+    #[test]
+    fn forward_shape_and_causality() {
+        let (layer, w, x) = setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (y, acts) = layer.forward(&x, &w, &mut rng).unwrap();
+        assert_eq!(y.shape().spec(), "ibj");
+        // no attention weight looks at the future
+        let d = layer.dims;
+        for h in 0..d.h {
+            for b in 0..d.b {
+                for j in 0..d.j {
+                    for k in 0..d.k {
+                        if k > j {
+                            assert_eq!(acts.sm.softmax.at(&[h, b, j, k]), 0.0);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn causality_propagates_to_output() {
+        // Changing a future token must not change earlier outputs.
+        let (layer, w, x) = setup();
+        let mut rng = StdRng::seed_from_u64(2);
+        let (y1, _) = layer.forward(&x, &w, &mut rng).unwrap();
+        let mut x2 = x.clone();
+        let d = layer.dims;
+        // perturb the last position (j = d.j - 1) for every (i, b)
+        for i in 0..d.i {
+            for b in 0..d.b {
+                let v = x2.at(&[i, b, d.j - 1]);
+                x2.set(&[i, b, d.j - 1], v + 1.0);
+            }
+        }
+        let mut rng2 = StdRng::seed_from_u64(2);
+        let (y2, _) = layer.forward(&x2, &w, &mut rng2).unwrap();
+        for i in 0..d.i {
+            for b in 0..d.b {
+                for j in 0..d.j - 1 {
+                    assert!(
+                        (y1.at(&[i, b, j]) - y2.at(&[i, b, j])).abs() < 1e-5,
+                        "future leak at ({i},{b},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_match_numerical() {
+        let (layer, w, x) = setup();
+        let mut rng = StdRng::seed_from_u64(3);
+        let (y, acts) = layer.forward(&x, &w, &mut rng).unwrap();
+        let loss_w = Tensor::random(
+            y.shape().clone(),
+            &Uniform::new(-1.0, 1.0),
+            &mut StdRng::seed_from_u64(4),
+        );
+        let (dx, grads) = layer.backward(&loss_w, &x, &w, &acts).unwrap();
+        let loss = |xx: &Tensor, ww: &EncoderWeights| -> f32 {
+            let mut r = StdRng::seed_from_u64(3);
+            let (yy, _) = layer.forward(xx, ww, &mut r).unwrap();
+            yy.iter().map(|(i, v)| loss_w.at(&i) * v).sum()
+        };
+        let eps = 1e-2f32;
+        for flat in [0usize, 11, 29, 40] {
+            let mut idx = vec![0usize; 3];
+            for _ in 0..flat {
+                x.advance(&mut idx);
+            }
+            let off = x.offset(&idx);
+            let mut xp = x.clone();
+            xp.data_mut()[off] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[off] -= eps;
+            let num = (loss(&xp, &w) - loss(&xm, &w)) / (2.0 * eps);
+            assert!(
+                (num - dx.at(&idx)).abs() < 0.05 * (1.0 + num.abs()),
+                "dx at {idx:?}: numeric {num} vs analytic {}",
+                dx.at(&idx)
+            );
+        }
+        for (name, flat) in [("wq", 2), ("wo", 7), ("w1", 5), ("ln1_gamma", 1), ("b2", 3)] {
+            let analytic = grads
+                .fields()
+                .into_iter()
+                .find(|(n, _)| *n == name)
+                .unwrap()
+                .1
+                .data()[flat];
+            let mut wp = w.clone();
+            wp.fields_mut().into_iter().find(|(n, _)| *n == name).unwrap().1.data_mut()[flat] +=
+                eps;
+            let mut wm = w.clone();
+            wm.fields_mut().into_iter().find(|(n, _)| *n == name).unwrap().1.data_mut()[flat] -=
+                eps;
+            let num = (loss(&x, &wp) - loss(&x, &wm)) / (2.0 * eps);
+            assert!(
+                (num - analytic).abs() < 0.05 * (1.0 + num.abs()),
+                "grad {name}[{flat}]: numeric {num} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn relu_variant_also_works() {
+        let (mut layer, w, x) = setup();
+        layer.activation = ActivationKind::Relu;
+        let mut rng = StdRng::seed_from_u64(5);
+        let (y, acts) = layer.forward(&x, &w, &mut rng).unwrap();
+        let (dx, _) = layer.backward(&y, &x, &w, &acts).unwrap();
+        assert!(y.data().iter().all(|v| v.is_finite()));
+        assert!(dx.data().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,543 @@
+//! The BERT encoder layer on the CPU tensor substrate: forward and
+//! backward, with a reference (unfused) and a fused executor.
+//!
+//! The fused executor calls the single-sweep kernels of
+//! [`xform_tensor::fused`] exactly where the paper's implementation launches
+//! its fused CUDA kernels; the reference executor composes the unfused
+//! operators one by one, mirroring the eager per-operator execution of the
+//! PyTorch baseline. Both compute identical values (equivalence is tested
+//! with dropout disabled, and backward is bit-for-bit given the same saved
+//! masks).
+
+use rand::Rng;
+
+use xform_dataflow::EncoderDims;
+use xform_tensor::fused::{self, BdrlnOutput, BrdOutput, SmOutput};
+use xform_tensor::ops::dropout::{dropout, dropout_backward};
+use xform_tensor::ops::elementwise::{
+    activate, activate_backward, add, bias_add, bias_grad, scale, ActivationKind,
+};
+use xform_tensor::ops::layernorm::{
+    layernorm, layernorm_backward_input, layernorm_backward_weights,
+};
+use xform_tensor::ops::softmax::{softmax, softmax_backward};
+use xform_tensor::{einsum, Axis, Result, Tensor};
+
+use crate::params::{EncoderGrads, EncoderWeights};
+
+/// Which kernel set executes the layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Executor {
+    /// One unfused operator per dataflow node (the PyTorch-style baseline).
+    Reference,
+    /// The paper's fused kernels (AIB, SM, BDRLN, BRD, BSB, BLNRD, BDRB,
+    /// EBSB, BS, BAOB, BAIB, BEI).
+    Fused,
+}
+
+/// A configured encoder layer.
+#[derive(Debug, Clone)]
+pub struct EncoderLayer {
+    /// Problem dimensions.
+    pub dims: EncoderDims,
+    /// Kernel set.
+    pub executor: Executor,
+    /// Dropout probability (0 disables dropout deterministically).
+    pub dropout_p: f32,
+    /// Feed-forward activation (the paper's Fig. 2 uses ReLU; real BERT
+    /// uses GELU — both are element-wise, so the analysis is identical).
+    pub activation: ActivationKind,
+}
+
+/// Forward-pass values saved for backpropagation (the `Saved` containers of
+/// the dataflow graph: projections, attention weights, masks, layer-norm
+/// inputs and statistics).
+#[derive(Debug, Clone)]
+pub struct Activations {
+    /// Biased query projections `[p,h,b,j]`.
+    pub qq: Tensor,
+    /// Biased key projections `[p,h,b,k]`.
+    pub kk: Tensor,
+    /// Biased value projections `[w,h,b,k]`.
+    pub vv: Tensor,
+    /// Fused softmax output bundle (alpha, saved softmax, mask).
+    pub sm: SmOutput,
+    /// Attention context `[w,h,b,j]`.
+    pub gam: Tensor,
+    /// First bias+dropout+residual+layernorm bundle.
+    pub ln1: BdrlnOutput,
+    /// Feed-forward bias+ReLU+dropout bundle.
+    pub brd: BrdOutput,
+    /// Second bias+dropout+residual+layernorm bundle.
+    pub ln2: BdrlnOutput,
+}
+
+impl EncoderLayer {
+    /// Creates a layer with the fused executor and the given dropout.
+    pub fn new(dims: EncoderDims, executor: Executor, dropout_p: f32) -> Self {
+        EncoderLayer {
+            dims,
+            executor,
+            dropout_p,
+            activation: ActivationKind::Relu,
+        }
+    }
+
+    /// Switches the feed-forward activation (builder-style).
+    pub fn with_activation(mut self, activation: ActivationKind) -> Self {
+        self.activation = activation;
+        self
+    }
+
+    /// The attention scaling factor `1/√P`.
+    pub fn scaler(&self) -> f32 {
+        1.0 / (self.dims.p as f32).sqrt()
+    }
+
+    /// Runs forward propagation on input `x` (`[i,b,j]`), returning the
+    /// layer output `y` (`[i,b,j]`) and the saved activations.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `x` has the wrong shape for the layer's
+    /// dimensions.
+    pub fn forward<R: Rng + ?Sized>(
+        &self,
+        x: &Tensor,
+        w: &EncoderWeights,
+        rng: &mut R,
+    ) -> Result<(Tensor, Activations)> {
+        let p = self.dropout_p;
+        let xk = x.relabel("ibk")?;
+        let qq_raw = einsum("phi,ibj->phbj", &[&w.wq, x])?;
+        let kk_raw = einsum("phi,ibk->phbk", &[&w.wk, &xk])?;
+        let vv_raw = einsum("whi,ibk->whbk", &[&w.wv, &xk])?;
+        let (qq, kk, vv) = match self.executor {
+            Executor::Fused => fused::aib(&qq_raw, &w.bq, &kk_raw, &w.bk, &vv_raw, &w.bv)?,
+            Executor::Reference => (
+                bias_add(&qq_raw, &w.bq)?,
+                bias_add(&kk_raw, &w.bk)?,
+                bias_add(&vv_raw, &w.bv)?,
+            ),
+        };
+        let beta = einsum("phbk,phbj->hbjk", &[&kk, &qq])?;
+        let sm_out = match self.executor {
+            Executor::Fused => fused::sm(&beta, self.scaler(), Axis('k'), p, rng)?,
+            Executor::Reference => {
+                let scaled = scale(&beta, self.scaler());
+                let soft = softmax(&scaled, Axis('k'))?;
+                let (alpha, mask) = if p > 0.0 {
+                    dropout(&soft, p, rng)
+                } else {
+                    xform_tensor::ops::dropout::dropout_disabled(&soft)
+                };
+                SmOutput {
+                    alpha,
+                    softmax: soft,
+                    mask,
+                }
+            }
+        };
+        let gam = einsum("whbk,hbjk->whbj", &[&vv, &sm_out.alpha])?;
+        let attn = einsum("whi,whbj->ibj", &[&w.wo, &gam])?;
+        let ln1 = self.drln(&attn, &w.bo, x, &w.ln1_gamma, &w.ln1_beta, p, rng)?;
+        let ff1 = einsum("ui,ibj->ubj", &[&w.w1, &ln1.out])?;
+        let brd_out = match self.executor {
+            Executor::Fused => fused::brd_act(&ff1, &w.b1, self.activation, p, rng)?,
+            Executor::Reference => {
+                let pre = bias_add(&ff1, &w.b1)?;
+                let activated = activate(&pre, self.activation);
+                let (out, mask) = if p > 0.0 {
+                    dropout(&activated, p, rng)
+                } else {
+                    xform_tensor::ops::dropout::dropout_disabled(&activated)
+                };
+                BrdOutput {
+                    out,
+                    pre_activation: pre,
+                    mask,
+                }
+            }
+        };
+        let ff2 = einsum("iu,ubj->ibj", &[&w.w2, &brd_out.out])?;
+        let ln2 = self.drln(&ff2, &w.b2, &ln1.out, &w.ln2_gamma, &w.ln2_beta, p, rng)?;
+        let y = ln2.out.clone();
+        Ok((
+            y,
+            Activations {
+                qq,
+                kk,
+                vv,
+                sm: sm_out,
+                gam,
+                ln1,
+                brd: brd_out,
+                ln2,
+            },
+        ))
+    }
+
+    /// Bias + dropout + residual + layer-norm, fused or composed.
+    #[allow(clippy::too_many_arguments)]
+    fn drln<R: Rng + ?Sized>(
+        &self,
+        x: &Tensor,
+        bias: &Tensor,
+        residual: &Tensor,
+        gamma: &Tensor,
+        beta: &Tensor,
+        p: f32,
+        rng: &mut R,
+    ) -> Result<BdrlnOutput> {
+        match self.executor {
+            Executor::Fused => fused::bdrln(x, bias, residual, gamma, beta, Axis('i'), p, rng),
+            Executor::Reference => {
+                let biased = bias_add(x, bias)?;
+                let (dropped, mask) = if p > 0.0 {
+                    dropout(&biased, p, rng)
+                } else {
+                    xform_tensor::ops::dropout::dropout_disabled(&biased)
+                };
+                let ln_input = add(&dropped, residual)?;
+                let (out, stats) = layernorm(&ln_input, Axis('i'), gamma, beta)?;
+                Ok(BdrlnOutput {
+                    out,
+                    ln_input,
+                    mask,
+                    stats,
+                })
+            }
+        }
+    }
+
+    /// Runs backpropagation: given the output gradient `dy` and the saved
+    /// activations, returns the input gradient `dx` and all weight
+    /// gradients.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape disagreements.
+    pub fn backward(
+        &self,
+        dy: &Tensor,
+        x: &Tensor,
+        w: &EncoderWeights,
+        a: &Activations,
+    ) -> Result<(Tensor, EncoderGrads)> {
+        let fused_mode = self.executor == Executor::Fused;
+        let mut g = w.zeros_like();
+        let ai = Axis('i');
+
+        // --- second layer-norm block ---
+        let (dg2, dbeta2) = if fused_mode {
+            fused::bsb(dy, &a.ln2.ln_input, ai, &a.ln2.stats)?
+        } else {
+            layernorm_backward_weights(dy, &a.ln2.ln_input, ai, &a.ln2.stats)?
+        };
+        g.ln2_gamma = dg2;
+        g.ln2_beta = dbeta2;
+        let (d_ff2b, d_ln2_in) = if fused_mode {
+            fused::blnrd(dy, &a.ln2.ln_input, &w.ln2_gamma, &a.ln2.mask, ai, &a.ln2.stats)?
+        } else {
+            let d_ln = layernorm_backward_input(dy, &a.ln2.ln_input, ai, &w.ln2_gamma, &a.ln2.stats)?;
+            let d = dropout_backward(&d_ln, &a.ln2.mask)?;
+            (d, d_ln)
+        };
+        g.b2 = bias_grad(&d_ff2b, &[ai])?;
+
+        // --- feed-forward ---
+        let d_brd = einsum("iu,ibj->ubj", &[&w.w2, &d_ff2b])?;
+        g.w2 = einsum("ibj,ubj->iu", &[&d_ff2b, &a.brd.out])?;
+        let (d_ff1, db1) = if fused_mode {
+            fused::bdrb_act(
+                &d_brd,
+                &a.brd.mask,
+                &a.brd.pre_activation,
+                self.activation,
+                &[Axis('u')],
+            )?
+        } else {
+            let after = dropout_backward(&d_brd, &a.brd.mask)?;
+            let d = activate_backward(&after, &a.brd.pre_activation, self.activation)?;
+            let db = bias_grad(&d, &[Axis('u')])?;
+            (d, db)
+        };
+        g.b1 = db1;
+        let d_ln1out_ffn = einsum("ui,ubj->ibj", &[&w.w1, &d_ff1])?;
+        g.w1 = einsum("ubj,ibj->ui", &[&d_ff1, &a.ln1.out])?;
+
+        // --- first layer-norm block (residual join) ---
+        let (d_ln1out, dg1, dbeta1) = if fused_mode {
+            fused::ebsb(&d_ln1out_ffn, &d_ln2_in, &a.ln1.ln_input, ai, &a.ln1.stats)?
+        } else {
+            let dsum = add(&d_ln1out_ffn, &d_ln2_in)?;
+            let (dgam, dbet) =
+                layernorm_backward_weights(&dsum, &a.ln1.ln_input, ai, &a.ln1.stats)?;
+            (dsum, dgam, dbet)
+        };
+        g.ln1_gamma = dg1;
+        g.ln1_beta = dbeta1;
+        let (d_attn_b, d_ln1_in) = if fused_mode {
+            fused::blnrd(&d_ln1out, &a.ln1.ln_input, &w.ln1_gamma, &a.ln1.mask, ai, &a.ln1.stats)?
+        } else {
+            let d_ln =
+                layernorm_backward_input(&d_ln1out, &a.ln1.ln_input, ai, &w.ln1_gamma, &a.ln1.stats)?;
+            let d = dropout_backward(&d_ln, &a.ln1.mask)?;
+            (d, d_ln)
+        };
+        g.bo = if fused_mode {
+            fused::baob(&d_attn_b, &[ai])?
+        } else {
+            bias_grad(&d_attn_b, &[ai])?
+        };
+
+        // --- attention output projection ---
+        let d_gam = einsum("whi,ibj->whbj", &[&w.wo, &d_attn_b])?;
+        g.wo = einsum("whbj,ibj->whi", &[&a.gam, &d_attn_b])?;
+
+        // --- attention core ---
+        let d_alpha = einsum("whbk,whbj->hbjk", &[&a.vv, &d_gam])?;
+        let d_vv = einsum("whbj,hbjk->whbk", &[&d_gam, &a.sm.alpha])?;
+        let d_beta = if fused_mode {
+            fused::bs(&d_alpha, &a.sm.mask, &a.sm.softmax, Axis('k'), self.scaler())?
+        } else {
+            let after = dropout_backward(&d_alpha, &a.sm.mask)?;
+            let d_soft = softmax_backward(&after, &a.sm.softmax, Axis('k'))?;
+            scale(&d_soft, self.scaler())
+        };
+        let d_qq = einsum("phbk,hbjk->phbj", &[&a.kk, &d_beta])?;
+        let d_kk = einsum("phbj,hbjk->phbk", &[&a.qq, &d_beta])?;
+
+        // --- input projections ---
+        let ph: &[Axis] = &[Axis('p'), Axis('h')];
+        let wh: &[Axis] = &[Axis('w'), Axis('h')];
+        let (dbq, dbk, dbv) = if fused_mode {
+            fused::baib(&d_qq, &d_kk, &d_vv, [ph, ph, wh])?
+        } else {
+            (
+                bias_grad(&d_qq, ph)?,
+                bias_grad(&d_kk, ph)?,
+                bias_grad(&d_vv, wh)?,
+            )
+        };
+        g.bq = dbq;
+        g.bk = dbk;
+        g.bv = dbv;
+        let xk = x.relabel("ibk")?;
+        g.wq = einsum("phbj,ibj->phi", &[&d_qq, x])?;
+        g.wk = einsum("phbk,ibk->phi", &[&d_kk, &xk])?;
+        g.wv = einsum("whbk,ibk->whi", &[&d_vv, &xk])?;
+
+        // --- gradient to the encoder input ---
+        let d_x1 = einsum("phi,phbj->ibj", &[&w.wq, &d_qq])?;
+        let d_x2 = einsum("phi,phbk->ibk", &[&w.wk, &d_kk])?.relabel("ibj")?;
+        let d_x3 = einsum("whi,whbk->ibk", &[&w.wv, &d_vv])?.relabel("ibj")?;
+        let d_x_proj = add(&add(&d_x1, &d_x2)?, &d_x3)?;
+        let dx = if fused_mode {
+            fused::bei(&d_x_proj, &d_ln1_in)?
+        } else {
+            add(&d_x_proj, &d_ln1_in)?
+        };
+        Ok((dx, g))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::distributions::Uniform;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(p: f32, executor: Executor) -> (EncoderLayer, EncoderWeights, Tensor) {
+        let dims = EncoderDims::tiny();
+        let mut rng = StdRng::seed_from_u64(42);
+        let w = EncoderWeights::init(&dims, &mut rng);
+        let x = Tensor::random(
+            xform_tensor::Shape::from_spec("ibj", &dims.size_table()).unwrap(),
+            &Uniform::new(-1.0, 1.0),
+            &mut rng,
+        );
+        (EncoderLayer::new(dims, executor, p), w, x)
+    }
+
+    #[test]
+    fn forward_output_shape_and_normalization() {
+        let (layer, w, x) = setup(0.0, Executor::Fused);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (y, _) = layer.forward(&x, &w, &mut rng).unwrap();
+        assert_eq!(y.shape().spec(), "ibj");
+        // output of a layernorm with unit gamma: per-(b,j) slice has
+        // mean ~0 and variance ~1 over i
+        let (i_n, b_n, j_n) = (layer.dims.i, layer.dims.b, layer.dims.j);
+        for b in 0..b_n {
+            for j in 0..j_n {
+                let mut mean = 0.0;
+                for i in 0..i_n {
+                    mean += y.at(&[i, b, j]);
+                }
+                mean /= i_n as f32;
+                assert!(mean.abs() < 1e-4, "mean {mean}");
+            }
+        }
+    }
+
+    #[test]
+    fn executors_agree_on_forward() {
+        let (fused_layer, w, x) = setup(0.0, Executor::Fused);
+        let ref_layer = EncoderLayer::new(fused_layer.dims, Executor::Reference, 0.0);
+        let mut rng1 = StdRng::seed_from_u64(2);
+        let mut rng2 = StdRng::seed_from_u64(2);
+        let (y1, a1) = fused_layer.forward(&x, &w, &mut rng1).unwrap();
+        let (y2, a2) = ref_layer.forward(&x, &w, &mut rng2).unwrap();
+        assert!(y1.max_abs_diff(&y2).unwrap() < 1e-5);
+        assert!(a1.qq.max_abs_diff(&a2.qq).unwrap() < 1e-5);
+        assert!(a1.sm.alpha.max_abs_diff(&a2.sm.alpha).unwrap() < 1e-5);
+        assert!(a1.ln1.ln_input.max_abs_diff(&a2.ln1.ln_input).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn executors_agree_on_backward_given_same_activations() {
+        let (fused_layer, w, x) = setup(0.3, Executor::Fused);
+        let mut rng = StdRng::seed_from_u64(3);
+        let (y, acts) = fused_layer.forward(&x, &w, &mut rng).unwrap();
+        let dy = Tensor::random(
+            y.shape().clone(),
+            &Uniform::new(-1.0, 1.0),
+            &mut StdRng::seed_from_u64(4),
+        );
+        let ref_layer = EncoderLayer::new(fused_layer.dims, Executor::Reference, 0.3);
+        let (dx1, g1) = fused_layer.backward(&dy, &x, &w, &acts).unwrap();
+        let (dx2, g2) = ref_layer.backward(&dy, &x, &w, &acts).unwrap();
+        assert!(dx1.max_abs_diff(&dx2).unwrap() < 1e-4);
+        for ((n1, t1), (_, t2)) in g1.fields().iter().zip(g2.fields()) {
+            assert!(
+                t1.max_abs_diff(t2).unwrap() < 1e-4,
+                "gradient {n1} disagrees"
+            );
+        }
+    }
+
+    #[test]
+    fn dropout_masks_are_saved_and_applied() {
+        let (layer, w, x) = setup(0.5, Executor::Fused);
+        let mut rng = StdRng::seed_from_u64(5);
+        let (_, acts) = layer.forward(&x, &w, &mut rng).unwrap();
+        let zeros = acts.brd.mask.data().iter().filter(|&&m| m == 0.0).count();
+        assert!(zeros > 0, "dropout never fired at p=0.5");
+        // dropped positions are zero in the output
+        let mut idx = vec![0usize; 3];
+        loop {
+            if acts.brd.mask.at(&idx) == 0.0 {
+                assert_eq!(acts.brd.out.at(&idx), 0.0);
+            }
+            if !acts.brd.out.advance(&mut idx) {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn gelu_encoder_gradients_match_numerical() {
+        // spot-check one dx coordinate with the GELU feed-forward
+        let (layer, w, x) = setup(0.0, Executor::Fused);
+        let layer = layer.with_activation(ActivationKind::Gelu);
+        let mut rng = StdRng::seed_from_u64(60);
+        let (y, acts) = layer.forward(&x, &w, &mut rng).unwrap();
+        let loss_w = Tensor::random(
+            y.shape().clone(),
+            &Uniform::new(-1.0, 1.0),
+            &mut StdRng::seed_from_u64(61),
+        );
+        let (dx, _) = layer.backward(&loss_w, &x, &w, &acts).unwrap();
+        let loss = |xx: &Tensor| -> f32 {
+            let mut r = StdRng::seed_from_u64(60);
+            let (yy, _) = layer.forward(xx, &w, &mut r).unwrap();
+            yy.iter().map(|(i, v)| loss_w.at(&i) * v).sum()
+        };
+        let eps = 1e-2f32;
+        let idx = vec![1usize, 1, 2];
+        let off = x.offset(&idx);
+        let mut xp = x.clone();
+        xp.data_mut()[off] += eps;
+        let mut xm = x.clone();
+        xm.data_mut()[off] -= eps;
+        let num = (loss(&xp) - loss(&xm)) / (2.0 * eps);
+        assert!(
+            (num - dx.at(&idx)).abs() < 0.05 * (1.0 + num.abs()),
+            "GELU dx: numeric {num} vs analytic {}",
+            dx.at(&idx)
+        );
+    }
+
+    /// Central-difference check of the full backward pass, spot-checking a
+    /// handful of coordinates of `dx` and of several weight gradients.
+    #[test]
+    fn gradients_match_numerical() {
+        let (layer, w, x) = setup(0.0, Executor::Fused);
+        let mut rng = StdRng::seed_from_u64(6);
+        let (y, acts) = layer.forward(&x, &w, &mut rng).unwrap();
+        let loss_w = Tensor::random(
+            y.shape().clone(),
+            &Uniform::new(-1.0, 1.0),
+            &mut StdRng::seed_from_u64(7),
+        );
+        let dy = loss_w.clone();
+        let (dx, grads) = layer.backward(&dy, &x, &w, &acts).unwrap();
+        let loss = |xx: &Tensor, ww: &EncoderWeights| -> f32 {
+            let mut r = StdRng::seed_from_u64(6);
+            let (yy, _) = layer.forward(xx, ww, &mut r).unwrap();
+            yy.iter().map(|(i, v)| loss_w.at(&i) * v).sum()
+        };
+        let eps = 1e-2f32;
+        // dx spot checks
+        for flat in [0usize, 7, 23, 41] {
+            let mut idx = vec![0usize; 3];
+            for _ in 0..flat {
+                x.advance(&mut idx);
+            }
+            let mut xp = x.clone();
+            let off = xp.offset(&idx);
+            xp.data_mut()[off] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[off] -= eps;
+            let num = (loss(&xp, &w) - loss(&xm, &w)) / (2.0 * eps);
+            assert!(
+                (num - dx.at(&idx)).abs() < 0.05 * (1.0 + num.abs()),
+                "dx at {idx:?}: numerical {num} vs analytic {}",
+                dx.at(&idx)
+            );
+        }
+        // weight gradient spot checks
+        let checks: Vec<(&str, usize)> = vec![
+            ("wq", 3),
+            ("wo", 5),
+            ("b1", 2),
+            ("w2", 11),
+            ("ln2_gamma", 1),
+            ("bo", 4),
+            ("ln1_beta", 0),
+        ];
+        for (name, flat) in checks {
+            let analytic = {
+                let (_, t) = grads.fields().into_iter().find(|(n, _)| *n == name).unwrap();
+                t.data()[flat]
+            };
+            let mut wp = w.clone();
+            let mut wm = w.clone();
+            {
+                let (_, t) = wp.fields_mut().into_iter().find(|(n, _)| *n == name).unwrap();
+                t.data_mut()[flat] += eps;
+            }
+            {
+                let (_, t) = wm.fields_mut().into_iter().find(|(n, _)| *n == name).unwrap();
+                t.data_mut()[flat] -= eps;
+            }
+            let num = (loss(&x, &wp) - loss(&x, &wm)) / (2.0 * eps);
+            assert!(
+                (num - analytic).abs() < 0.05 * (1.0 + num.abs()),
+                "grad {name}[{flat}]: numerical {num} vs analytic {analytic}"
+            );
+        }
+    }
+}

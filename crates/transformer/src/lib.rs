@@ -1,0 +1,48 @@
+//! BERT encoder layer on the CPU tensor substrate.
+//!
+//! Executable counterpart to the dataflow graphs of `xform-dataflow`: the
+//! full forward **and** backward pass of a BERT encoder layer (multi-head
+//! self-attention + feed-forward, with dropout, layer norm and residuals),
+//! in two interchangeable executors — [`encoder::Executor::Reference`]
+//! (one unfused operator per dataflow node, the eager-framework baseline)
+//! and [`encoder::Executor::Fused`] (the paper's twelve fused kernels).
+//! Both are validated against each other and against numerical gradients.
+//!
+//! * [`params`] — encoder weights/gradients and SGD;
+//! * [`encoder`] — the layer itself;
+//! * [`mha`] — standalone general multi-head attention (Fig. 1);
+//! * [`training`] — a miniature synthetic training loop.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use xform_dataflow::EncoderDims;
+//! use xform_transformer::encoder::{EncoderLayer, Executor};
+//! use xform_transformer::params::EncoderWeights;
+//! use xform_transformer::training::synthetic_batch;
+//! # fn main() -> xform_tensor::Result<()> {
+//! let dims = EncoderDims::tiny();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let weights = EncoderWeights::init(&dims, &mut rng);
+//! let layer = EncoderLayer::new(dims, Executor::Fused, 0.0);
+//! let x = synthetic_batch(&dims, &mut rng)?;
+//! let (y, acts) = layer.forward(&x, &weights, &mut rng)?;
+//! let (dx, grads) = layer.backward(&y, &x, &weights, &acts)?;
+//! assert_eq!(dx.shape(), x.shape());
+//! assert_eq!(grads.w1.shape(), weights.w1.shape());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod checkpoint;
+pub mod decoder;
+pub mod encoder;
+pub mod mha;
+pub mod model;
+pub mod optim;
+pub mod params;
+pub mod training;

@@ -1,0 +1,515 @@
+//! A complete miniature language model: token + positional embeddings, a
+//! stack of transformer blocks, and a tied-free linear head with
+//! cross-entropy loss — the "full training pipeline by stacking our
+//! optimized layers" the paper points to in Sec. VI-C.
+//!
+//! The stack can be built from post-LN encoder layers (BERT-style) or
+//! pre-LN causal decoder blocks (GPT-style). Training on the toy
+//! copy-previous-token task exercises every operator of the training
+//! graph, end to end, on the CPU substrate.
+
+use rand::distributions::Uniform;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use xform_dataflow::EncoderDims;
+use xform_tensor::{Result, Shape, Tensor, TensorError};
+
+use crate::decoder::{DecoderActivations, DecoderLayer};
+use crate::encoder::{Activations, EncoderLayer, Executor};
+use crate::params::{EncoderGrads, EncoderWeights};
+
+/// Which block the stack repeats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockKind {
+    /// Post-LN bidirectional encoder layers (BERT).
+    Encoder,
+    /// Pre-LN causally masked decoder blocks (GPT-2).
+    Decoder,
+}
+
+/// Model hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelConfig {
+    /// Per-block dimensions (`j` is the sequence length).
+    pub dims: EncoderDims,
+    /// Number of stacked blocks.
+    pub layers: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Block kind.
+    pub block: BlockKind,
+    /// Dropout probability during training.
+    pub dropout_p: f32,
+}
+
+/// Saved per-block activations (one variant per block kind).
+#[derive(Debug, Clone)]
+pub enum BlockActs {
+    /// Encoder activations.
+    Encoder(Activations),
+    /// Decoder activations.
+    Decoder(DecoderActivations),
+}
+
+/// Forward-pass bookkeeping for the whole model.
+#[derive(Debug, Clone)]
+pub struct ModelActs {
+    /// The embedded input (block 0's input).
+    pub x0: Tensor,
+    /// Inputs to each block (x0, then each block's output).
+    pub block_inputs: Vec<Tensor>,
+    /// Saved activations per block.
+    pub blocks: Vec<BlockActs>,
+    /// Final hidden state (input to the head).
+    pub hidden: Tensor,
+    /// Softmax of the logits over the vocabulary (saved for backward).
+    pub probs: Tensor,
+}
+
+/// The model: embeddings, block stack, head.
+#[derive(Debug, Clone)]
+pub struct TransformerModel {
+    /// Hyperparameters.
+    pub config: ModelConfig,
+    /// Token embedding `[v, i]`.
+    pub embedding: Tensor,
+    /// Positional embedding `[j, i]` (learned, GPT-style).
+    pub positional: Tensor,
+    /// Per-block weights.
+    pub blocks: Vec<EncoderWeights>,
+    /// Output head `[v, i]`.
+    pub head: Tensor,
+    /// Head bias `[v]`.
+    pub head_bias: Tensor,
+}
+
+/// Gradients for [`TransformerModel`].
+#[derive(Debug, Clone)]
+pub struct ModelGrads {
+    /// Token-embedding gradient.
+    pub embedding: Tensor,
+    /// Positional-embedding gradient.
+    pub positional: Tensor,
+    /// Per-block gradients.
+    pub blocks: Vec<EncoderGrads>,
+    /// Head gradient.
+    pub head: Tensor,
+    /// Head-bias gradient.
+    pub head_bias: Tensor,
+}
+
+impl TransformerModel {
+    /// Initializes a model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for zero-sized configuration values.
+    pub fn init<R: Rng + ?Sized>(config: ModelConfig, rng: &mut R) -> Result<Self> {
+        if config.layers == 0 || config.vocab == 0 {
+            return Err(TensorError::Unsupported(
+                "model needs at least one layer and one token".into(),
+            ));
+        }
+        let d = &config.dims;
+        let s = 1.0 / (d.i as f32).sqrt();
+        let dist = Uniform::new(-s, s);
+        let emb = Tensor::random(Shape::new([('v', config.vocab), ('i', d.i)])?, &dist, rng);
+        let pos = Tensor::random(Shape::new([('j', d.j), ('i', d.i)])?, &dist, rng);
+        let head = Tensor::random(Shape::new([('v', config.vocab), ('i', d.i)])?, &dist, rng);
+        let blocks = (0..config.layers)
+            .map(|_| EncoderWeights::init(d, rng))
+            .collect();
+        Ok(TransformerModel {
+            config,
+            embedding: emb,
+            positional: pos,
+            blocks,
+            head,
+            head_bias: Tensor::zeros(Shape::new([('v', config.vocab)])?),
+        })
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_parameters(&self) -> usize {
+        self.embedding.len()
+            + self.positional.len()
+            + self.head.len()
+            + self.head_bias.len()
+            + self.blocks.iter().map(|b| b.num_parameters()).sum::<usize>()
+    }
+
+    /// Embeds a token batch (`tokens[b][j]`) into `x[i,b,j]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a token id is out of range or the batch shape
+    /// disagrees with the configuration.
+    pub fn embed(&self, tokens: &[Vec<usize>]) -> Result<Tensor> {
+        let d = &self.config.dims;
+        if tokens.len() != d.b || tokens.iter().any(|row| row.len() != d.j) {
+            return Err(TensorError::ShapeMismatch { context: "embed batch" });
+        }
+        let mut x = Tensor::zeros(Shape::from_spec("ibj", &d.size_table())?);
+        for (b, row) in tokens.iter().enumerate() {
+            for (j, &t) in row.iter().enumerate() {
+                if t >= self.config.vocab {
+                    return Err(TensorError::Unsupported(format!(
+                        "token id {t} out of vocabulary"
+                    )));
+                }
+                for i in 0..d.i {
+                    let v = self.embedding.at(&[t, i]) + self.positional.at(&[j, i]);
+                    x.set(&[i, b, j], v);
+                }
+            }
+        }
+        Ok(x)
+    }
+
+    /// Full forward pass to vocabulary probabilities.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape disagreements.
+    pub fn forward<R: Rng + ?Sized>(
+        &self,
+        tokens: &[Vec<usize>],
+        rng: &mut R,
+    ) -> Result<ModelActs> {
+        let x0 = self.embed(tokens)?;
+        let mut block_inputs = vec![x0.clone()];
+        let mut acts = Vec::with_capacity(self.blocks.len());
+        let mut h = x0.clone();
+        for w in &self.blocks {
+            let (next, a) = match self.config.block {
+                BlockKind::Encoder => {
+                    let layer = EncoderLayer::new(
+                        self.config.dims,
+                        Executor::Fused,
+                        self.config.dropout_p,
+                    );
+                    let (y, a) = layer.forward(&h, w, rng)?;
+                    (y, BlockActs::Encoder(a))
+                }
+                BlockKind::Decoder => {
+                    let layer = DecoderLayer::new(self.config.dims, self.config.dropout_p);
+                    let (y, a) = layer.forward(&h, w, rng)?;
+                    (y, BlockActs::Decoder(a))
+                }
+            };
+            acts.push(a);
+            block_inputs.push(next.clone());
+            h = next;
+        }
+        // head: logits[v,b,j] = head[v,i]·h[i,b,j] + bias[v]
+        let logits = xform_tensor::ops::elementwise::bias_add(
+            &xform_tensor::einsum("vi,ibj->vbj", &[&self.head, &h])?,
+            &self.head_bias,
+        )?;
+        let probs = xform_tensor::ops::softmax::softmax(&logits, xform_tensor::Axis('v'))?;
+        Ok(ModelActs {
+            x0,
+            block_inputs,
+            blocks: acts,
+            hidden: h,
+            probs,
+        })
+    }
+
+    /// Mean cross-entropy of the saved probabilities against targets.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape disagreements.
+    pub fn cross_entropy(&self, acts: &ModelActs, targets: &[Vec<usize>]) -> Result<f32> {
+        let d = &self.config.dims;
+        let mut loss = 0.0f32;
+        for (b, row) in targets.iter().enumerate() {
+            for (j, &t) in row.iter().enumerate() {
+                loss -= acts.probs.at(&[t, b, j]).max(1e-12).ln();
+            }
+        }
+        Ok(loss / (d.b * d.j) as f32)
+    }
+
+    /// Full backward pass from cross-entropy targets; returns gradients for
+    /// every parameter.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape disagreements.
+    pub fn backward(
+        &self,
+        tokens: &[Vec<usize>],
+        targets: &[Vec<usize>],
+        acts: &ModelActs,
+    ) -> Result<ModelGrads> {
+        let d = &self.config.dims;
+        let n = (d.b * d.j) as f32;
+        // d logits = (softmax - onehot) / N
+        let mut d_logits = acts.probs.clone();
+        for (b, row) in targets.iter().enumerate() {
+            for (j, &t) in row.iter().enumerate() {
+                let cur = d_logits.at(&[t, b, j]);
+                d_logits.set(&[t, b, j], cur - 1.0);
+            }
+        }
+        for v in d_logits.data_mut() {
+            *v /= n;
+        }
+        // head grads and hidden gradient
+        let head_grad = xform_tensor::einsum("vbj,ibj->vi", &[&d_logits, &acts.hidden])?;
+        let head_bias_grad = xform_tensor::ops::elementwise::bias_grad(
+            &d_logits,
+            &[xform_tensor::Axis('v')],
+        )?;
+        let mut dh = xform_tensor::einsum("vi,vbj->ibj", &[&self.head, &d_logits])?;
+        // backprop through the stack
+        let mut block_grads: Vec<EncoderGrads> = Vec::with_capacity(self.blocks.len());
+        for (idx, w) in self.blocks.iter().enumerate().rev() {
+            let input = &acts.block_inputs[idx];
+            let (dx, g) = match (&acts.blocks[idx], self.config.block) {
+                (BlockActs::Encoder(a), BlockKind::Encoder) => {
+                    let layer = EncoderLayer::new(
+                        self.config.dims,
+                        Executor::Fused,
+                        self.config.dropout_p,
+                    );
+                    layer.backward(&dh, input, w, a)?
+                }
+                (BlockActs::Decoder(a), BlockKind::Decoder) => {
+                    let layer = DecoderLayer::new(self.config.dims, self.config.dropout_p);
+                    layer.backward(&dh, input, w, a)?
+                }
+                _ => {
+                    return Err(TensorError::Unsupported(
+                        "activation kind does not match block kind".into(),
+                    ))
+                }
+            };
+            block_grads.push(g);
+            dh = dx;
+        }
+        block_grads.reverse();
+        // embedding gradients: scatter-add of dh = d x0
+        let mut emb_grad = Tensor::zeros(self.embedding.shape().clone());
+        let mut pos_grad = Tensor::zeros(self.positional.shape().clone());
+        for (b, row) in tokens.iter().enumerate() {
+            for (j, &t) in row.iter().enumerate() {
+                for i in 0..d.i {
+                    let g = dh.at(&[i, b, j]);
+                    let cur = emb_grad.at(&[t, i]);
+                    emb_grad.set(&[t, i], cur + g);
+                    let cur = pos_grad.at(&[j, i]);
+                    pos_grad.set(&[j, i], cur + g);
+                }
+            }
+        }
+        Ok(ModelGrads {
+            embedding: emb_grad,
+            positional: pos_grad,
+            blocks: block_grads,
+            head: head_grad,
+            head_bias: head_bias_grad,
+        })
+    }
+
+    /// SGD update over every parameter.
+    pub fn sgd_step(&mut self, grads: &ModelGrads, lr: f32) {
+        let upd = |w: &mut Tensor, g: &Tensor| {
+            for (wv, gv) in w.data_mut().iter_mut().zip(g.data()) {
+                *wv -= lr * gv;
+            }
+        };
+        upd(&mut self.embedding, &grads.embedding);
+        upd(&mut self.positional, &grads.positional);
+        upd(&mut self.head, &grads.head);
+        upd(&mut self.head_bias, &grads.head_bias);
+        for (w, g) in self.blocks.iter_mut().zip(&grads.blocks) {
+            w.sgd_step(g, lr);
+        }
+    }
+}
+
+/// The toy task: predict the *previous* token at every position (position
+/// 0 predicts a fixed begin token 0). A causal model can only solve it by
+/// attending one step back — it exercises attention, not just the FFN.
+pub fn copy_task_batch<R: Rng + ?Sized>(
+    config: &ModelConfig,
+    rng: &mut R,
+) -> (Vec<Vec<usize>>, Vec<Vec<usize>>) {
+    let d = &config.dims;
+    let mut tokens = Vec::with_capacity(d.b);
+    let mut targets = Vec::with_capacity(d.b);
+    for _ in 0..d.b {
+        let row: Vec<usize> = (0..d.j).map(|_| rng.gen_range(1..config.vocab)).collect();
+        let mut tgt = vec![0usize];
+        tgt.extend_from_slice(&row[..d.j - 1]);
+        tokens.push(row);
+        targets.push(tgt);
+    }
+    (tokens, targets)
+}
+
+/// Trains a model on the copy task, returning per-step losses.
+///
+/// # Errors
+///
+/// Returns an error on shape disagreements.
+pub fn train_lm(config: ModelConfig, steps: usize, lr: f32, seed: u64) -> Result<(TransformerModel, Vec<f32>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut model = TransformerModel::init(config, &mut rng)?;
+    let mut losses = Vec::with_capacity(steps);
+    for step in 0..steps {
+        let mut data_rng = StdRng::seed_from_u64(seed ^ (1000 + step as u64 % 8));
+        let (tokens, targets) = copy_task_batch(&config, &mut data_rng);
+        let acts = model.forward(&tokens, &mut rng)?;
+        losses.push(model.cross_entropy(&acts, &targets)?);
+        let grads = model.backward(&tokens, &targets, &acts)?;
+        model.sgd_step(&grads, lr);
+    }
+    Ok((model, losses))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(block: BlockKind) -> ModelConfig {
+        ModelConfig {
+            dims: EncoderDims {
+                b: 2,
+                j: 6,
+                k: 6,
+                h: 2,
+                p: 4,
+                i: 8,
+                u: 16,
+            },
+            layers: 2,
+            vocab: 5,
+            block,
+            dropout_p: 0.0,
+        }
+    }
+
+    #[test]
+    fn forward_produces_distributions() {
+        let cfg = config(BlockKind::Decoder);
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = TransformerModel::init(cfg, &mut rng).unwrap();
+        let (tokens, _) = copy_task_batch(&cfg, &mut rng);
+        let acts = model.forward(&tokens, &mut rng).unwrap();
+        for b in 0..cfg.dims.b {
+            for j in 0..cfg.dims.j {
+                let s: f32 = (0..cfg.vocab).map(|v| acts.probs.at(&[v, b, j])).sum();
+                assert!((s - 1.0).abs() < 1e-4);
+            }
+        }
+        assert_eq!(acts.blocks.len(), 2);
+    }
+
+    #[test]
+    fn loss_decreases_on_copy_task_decoder() {
+        let cfg = config(BlockKind::Decoder);
+        let (_, losses) = train_lm(cfg, 60, 0.5, 3).unwrap();
+        let first = losses[..5].iter().sum::<f32>() / 5.0;
+        let last = losses[losses.len() - 5..].iter().sum::<f32>() / 5.0;
+        assert!(
+            last < first * 0.8,
+            "LM did not learn: {first:.3} -> {last:.3}"
+        );
+    }
+
+    #[test]
+    fn loss_decreases_with_encoder_blocks_too() {
+        let cfg = config(BlockKind::Encoder);
+        let (_, losses) = train_lm(cfg, 40, 0.5, 4).unwrap();
+        let first = losses[..5].iter().sum::<f32>() / 5.0;
+        let last = losses[losses.len() - 5..].iter().sum::<f32>() / 5.0;
+        assert!(last < first, "encoder stack did not learn: {first:.3} -> {last:.3}");
+    }
+
+    #[test]
+    fn embedding_gradients_match_numerical() {
+        let cfg = config(BlockKind::Decoder);
+        let mut rng = StdRng::seed_from_u64(5);
+        let model = TransformerModel::init(cfg, &mut rng).unwrap();
+        let mut data_rng = StdRng::seed_from_u64(6);
+        let (tokens, targets) = copy_task_batch(&cfg, &mut data_rng);
+        let acts = model.forward(&tokens, &mut StdRng::seed_from_u64(7)).unwrap();
+        let grads = model.backward(&tokens, &targets, &acts).unwrap();
+        let loss_of = |m: &TransformerModel| -> f32 {
+            let a = m.forward(&tokens, &mut StdRng::seed_from_u64(7)).unwrap();
+            m.cross_entropy(&a, &targets).unwrap()
+        };
+        let eps = 1e-2f32;
+        // used token embedding entries
+        let t0 = tokens[0][0];
+        for i in [0usize, 3] {
+            let mut mp = model.clone();
+            let v = mp.embedding.at(&[t0, i]);
+            mp.embedding.set(&[t0, i], v + eps);
+            let mut mm = model.clone();
+            mm.embedding.set(&[t0, i], v - eps);
+            let num = (loss_of(&mp) - loss_of(&mm)) / (2.0 * eps);
+            let ana = grads.embedding.at(&[t0, i]);
+            assert!(
+                (num - ana).abs() < 0.03 * (1.0 + num.abs()),
+                "emb[{t0},{i}]: numeric {num} vs analytic {ana}"
+            );
+        }
+        // head entries
+        for (v, i) in [(0usize, 1usize), (2, 5)] {
+            let mut mp = model.clone();
+            let w = mp.head.at(&[v, i]);
+            mp.head.set(&[v, i], w + eps);
+            let mut mm = model.clone();
+            mm.head.set(&[v, i], w - eps);
+            let num = (loss_of(&mp) - loss_of(&mm)) / (2.0 * eps);
+            let ana = grads.head.at(&[v, i]);
+            assert!(
+                (num - ana).abs() < 0.03 * (1.0 + num.abs()),
+                "head[{v},{i}]: numeric {num} vs analytic {ana}"
+            );
+        }
+        // positional embedding
+        let mut mp = model.clone();
+        let v = mp.positional.at(&[1, 2]);
+        mp.positional.set(&[1, 2], v + eps);
+        let mut mm = model.clone();
+        mm.positional.set(&[1, 2], v - eps);
+        let num = (loss_of(&mp) - loss_of(&mm)) / (2.0 * eps);
+        let ana = grads.positional.at(&[1, 2]);
+        assert!((num - ana).abs() < 0.03 * (1.0 + num.abs()));
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let cfg = config(BlockKind::Decoder);
+        let mut rng = StdRng::seed_from_u64(8);
+        let model = TransformerModel::init(cfg, &mut rng).unwrap();
+        // wrong batch size
+        assert!(model.embed(&[vec![0; 6]]).is_err());
+        // out-of-vocabulary token
+        let mut tokens = vec![vec![0usize; 6]; 2];
+        tokens[0][0] = 99;
+        assert!(model.embed(&tokens).is_err());
+        // zero layers
+        let bad = ModelConfig { layers: 0, ..cfg };
+        assert!(TransformerModel::init(bad, &mut rng).is_err());
+    }
+
+    #[test]
+    fn parameter_count_is_consistent() {
+        let cfg = config(BlockKind::Decoder);
+        let mut rng = StdRng::seed_from_u64(9);
+        let model = TransformerModel::init(cfg, &mut rng).unwrap();
+        let expected = cfg.vocab * cfg.dims.i * 2        // embedding + head
+            + cfg.dims.j * cfg.dims.i                    // positional
+            + cfg.vocab                                  // head bias
+            + model.blocks.iter().map(|b| b.num_parameters()).sum::<usize>();
+        assert_eq!(model.num_parameters(), expected);
+    }
+}

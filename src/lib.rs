@@ -1,0 +1,36 @@
+//! `substation` — data-movement-centric optimization of transformer
+//! training, in Rust.
+//!
+//! A reproduction of *Ivanov, Dryden, Ben-Nun, Li, Hoefler: "Data Movement
+//! Is All You Need: A Case Study on Optimizing Transformers" (MLSys 2021)*.
+//! The facade re-exports the workspace crates:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`tensor`] | `xform-tensor` | CPU tensors, layouts, einsum, kernels (fwd+bwd), fused kernels |
+//! | [`dataflow`] | `xform-dataflow` | SDFG-style IR, encoder graphs, flop/IO analysis |
+//! | [`gpusim`] | `xform-gpusim` | analytical V100 model, GEMM algorithms, MUE, framework models |
+//! | [`core`] | `xform-core` | the recipe: fusion, algebraic fusion, layout sweeps, SSSP selection |
+//! | [`transformer`] | `xform-transformer` | executable BERT encoder layer + training loop |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use substation::dataflow::{analysis, build, EncoderDims};
+//!
+//! // Step 1 of the recipe: build the dataflow graph and inspect it.
+//! let enc = build::encoder(&EncoderDims::bert_large());
+//! let shares = analysis::class_shares(&enc.graph);
+//! assert!(shares[0].flop_pct > 99.5); // contractions dominate flop…
+//! // …but non-contraction operators dominate data movement — the paper's
+//! // motivating imbalance. See `examples/quickstart.rs` for the full
+//! // fuse → sweep → select pipeline.
+//! ```
+
+#![warn(missing_docs)]
+
+pub use xform_core as core;
+pub use xform_dataflow as dataflow;
+pub use xform_gpusim as gpusim;
+pub use xform_tensor as tensor;
+pub use xform_transformer as transformer;
