@@ -83,8 +83,17 @@ fn bench_bdrln(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(11);
         b.iter(|| {
             black_box(
-                fused::bdrln(black_box(&x), &bias, &residual, &gamma, &beta_w, Axis('i'), 0.0, &mut rng)
-                    .unwrap(),
+                fused::bdrln(
+                    black_box(&x),
+                    &bias,
+                    &residual,
+                    &gamma,
+                    &beta_w,
+                    Axis('i'),
+                    0.0,
+                    &mut rng,
+                )
+                .unwrap(),
             )
         })
     });

@@ -29,7 +29,11 @@ fn bench_layernorm_layouts(c: &mut Criterion) {
     let shape = Shape::new([('i', 256), ('b', 8), ('j', 128)]).unwrap();
     let mut rng = StdRng::seed_from_u64(2);
     let x = Tensor::random(shape.clone(), &Uniform::new(-1.0, 1.0), &mut rng);
-    let gamma = Tensor::random(Shape::new([('i', 256)]).unwrap(), &Uniform::new(0.5, 1.5), &mut rng);
+    let gamma = Tensor::random(
+        Shape::new([('i', 256)]).unwrap(),
+        &Uniform::new(0.5, 1.5),
+        &mut rng,
+    );
     let beta = Tensor::zeros(Shape::new([('i', 256)]).unwrap());
     let mut group = c.benchmark_group("layernorm-layouts");
     for spec in ["bji", "ibj", "jbi"] {

@@ -27,7 +27,10 @@ fn bench_encoder(c: &mut Criterion) {
     let x = synthetic_batch(&dims, &mut rng).unwrap();
 
     let mut group = c.benchmark_group("encoder-step");
-    for (label, executor) in [("reference", Executor::Reference), ("fused", Executor::Fused)] {
+    for (label, executor) in [
+        ("reference", Executor::Reference),
+        ("fused", Executor::Fused),
+    ] {
         let layer = EncoderLayer::new(dims, executor, 0.0);
         group.bench_function(BenchmarkId::new("forward", label), |b| {
             let mut r = StdRng::seed_from_u64(2);

@@ -14,7 +14,12 @@ use xform_gpusim::DeviceSpec;
 
 fn bench_gemm_cost(c: &mut Criterion) {
     let device = DeviceSpec::v100();
-    let shape = GemmShape { batch: 1, m: 4096, n: 4096, k: 1024 };
+    let shape = GemmShape {
+        batch: 1,
+        m: 4096,
+        n: 4096,
+        k: 1024,
+    };
     let algo = algorithms()[3];
     c.bench_function("model: one GEMM config", |b| {
         b.iter(|| {
@@ -42,7 +47,16 @@ fn bench_full_sweep(c: &mut Criterion) {
     c.bench_function("model: QKT sweep capped at 10k", |b| {
         b.iter(|| {
             black_box(
-                sweep_op(&src, &g, qkt, SweepOptions { max_configs: Some(10_000) }).unwrap(),
+                sweep_op(
+                    &src,
+                    &g,
+                    qkt,
+                    SweepOptions {
+                        max_configs: Some(10_000),
+                        ..SweepOptions::default()
+                    },
+                )
+                .unwrap(),
             )
         })
     });

@@ -9,7 +9,10 @@ use xform_dataflow::{analysis, build, EncoderDims};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dims = EncoderDims::bert_large();
     let src = SimulatorSource::default();
-    let opts = SweepOptions { max_configs: Some(30_000) };
+    let opts = SweepOptions {
+        max_configs: Some(30_000),
+        ..SweepOptions::default()
+    };
 
     let unfused = build::encoder(&dims).graph;
     let mut fused = unfused.clone();
@@ -23,8 +26,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t_fused = total(&fused)?;
 
     println!("Ablation: fusion on/off with per-op best layouts (BERT-large encoder)\n");
-    println!("unfused kernels : {:>8.0} µs over {} kernels", t_unfused, unfused.ops().len());
-    println!("fused kernels   : {:>8.0} µs over {} kernels", t_fused, fused.ops().len());
+    println!(
+        "unfused kernels : {:>8.0} µs over {} kernels",
+        t_unfused,
+        unfused.ops().len()
+    );
+    println!(
+        "fused kernels   : {:>8.0} µs over {} kernels",
+        t_fused,
+        fused.ops().len()
+    );
     println!("fusion speedup  : {:>8.2}×", t_unfused / t_fused);
     println!(
         "data movement   : {:>8.1}% reduction (paper: ~22.91%)",

@@ -13,29 +13,52 @@ use xform_gpusim::DeviceSpec;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dims = EncoderDims::bert_large();
     let device = DeviceSpec::v100();
-    let src = SimulatorSource { device: device.clone() };
+    let src = SimulatorSource {
+        device: device.clone(),
+    };
     let mut g = build::encoder(&dims).graph;
     apply_plan(&mut g, &encoder_fusion_plan())?;
     let dy = g.data_by_name("dy").expect("encoder graph");
     let fwd = forward_ops(&g, dy);
-    let sweeps = sweep_all(&src, &g, SweepOptions { max_configs: Some(30_000) })?;
+    let sweeps = sweep_all(
+        &src,
+        &g,
+        SweepOptions {
+            max_configs: Some(30_000),
+            ..SweepOptions::default()
+        },
+    )?;
 
     let sel = select_forward(&g, &device, &fwd, &sweeps)?;
     let fixed: f64 = fwd
         .iter()
         .map(|&op| {
             let cfg = OpConfig::natural(&g, op).expect("natural config");
-            op_cost(&device, &g, op, &cfg).map(|c| c.time_us).unwrap_or(f64::NAN)
+            op_cost(&device, &g, op, &cfg)
+                .map(|c| c.time_us)
+                .unwrap_or(f64::NAN)
         })
         .sum();
 
     println!("Ablation: layout-selection strategies (forward pass, µs)\n");
-    println!("per-op best (lower bound, ignores compatibility): {:>8.0}", sel.per_op_best_us);
-    println!("global shortest-path selection (the recipe)     : {:>8.0}  (+{:.1}%, paper: ≤4%)",
-        sel.total_us, 100.0 * (sel.total_us / sel.per_op_best_us - 1.0));
-    println!("fixed natural layout everywhere                 : {:>8.0}  (+{:.1}%)",
-        fixed, 100.0 * (fixed / sel.per_op_best_us - 1.0));
-    println!("transposes inserted by the selected path        : {:>8}", sel.transposes);
+    println!(
+        "per-op best (lower bound, ignores compatibility): {:>8.0}",
+        sel.per_op_best_us
+    );
+    println!(
+        "global shortest-path selection (the recipe)     : {:>8.0}  (+{:.1}%, paper: ≤4%)",
+        sel.total_us,
+        100.0 * (sel.total_us / sel.per_op_best_us - 1.0)
+    );
+    println!(
+        "fixed natural layout everywhere                 : {:>8.0}  (+{:.1}%)",
+        fixed,
+        100.0 * (fixed / sel.per_op_best_us - 1.0)
+    );
+    println!(
+        "transposes inserted by the selected path        : {:>8}",
+        sel.transposes
+    );
     println!(
         "\nGlobal selection recovers nearly all of the per-op optimum while staying\n\
          layout-consistent; a single fixed layout leaves substantial time on the table\n\

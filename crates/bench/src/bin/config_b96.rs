@@ -31,7 +31,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         format!("{:.2}", ds.total_us / 1000.0),
         format!("{:.2}", ours.total_us() / 1000.0),
     ]);
-    t.row(&["fwd+bwd (paper)".into(), "18.43".into(), "16.19".into(), "16.22".into()]);
+    t.row(&[
+        "fwd+bwd (paper)".into(),
+        "18.43".into(),
+        "16.19".into(),
+        "16.22".into(),
+    ]);
     t.print();
     println!(
         "\nShape check: ours clearly beats PyTorch after retuning, as the paper\n\

@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &DeviceSpec::v100(), // device spec only prices transpose bookkeeping
         &dims,
         &RecipeOptions {
-            sweep: SweepOptions { max_configs: Some(96) },
+            sweep: SweepOptions {
+                max_configs: Some(96),
+                ..SweepOptions::default()
+            },
             per_op_overhead_us: 0.0,
         },
     )?;

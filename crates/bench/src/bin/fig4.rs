@@ -6,7 +6,7 @@ use std::collections::BTreeMap;
 
 use xform_bench::Distribution;
 use xform_dataflow::{build, EncoderDims, OpKind};
-use xform_gpusim::contraction::{all_layouts, algorithms, gemm_cost, GemmShape, MathMode};
+use xform_gpusim::contraction::{algorithms, all_layouts, gemm_cost, GemmShape, MathMode};
 use xform_gpusim::DeviceSpec;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -18,14 +18,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut tiles: BTreeMap<(usize, usize, usize, usize), Vec<String>> = BTreeMap::new();
     for op in g.ops() {
         let node = g.op(op).expect("live");
-        let OpKind::Einsum(spec) = &node.kind else { continue };
+        let OpKind::Einsum(spec) = &node.kind else {
+            continue;
+        };
         let inputs = g.inputs_of(op);
         let a = &g.data(inputs[0]).expect("data").shape;
         let b = &g.data(inputs[1]).expect("data").shape;
         let s = spec.gemm_sizes(a, b)?;
         // the figure labels tiles with M ≥ N
         let (m, n) = if s.m >= s.n { (s.m, s.n) } else { (s.n, s.m) };
-        tiles.entry((m, n, s.k, s.batch)).or_default().push(node.name.clone());
+        tiles
+            .entry((m, n, s.k, s.batch))
+            .or_default()
+            .push(node.name.clone());
     }
 
     println!(

@@ -14,7 +14,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let src = SimulatorSource::default();
 
     println!("Fig. 5: fused-kernel performance over all configurations (ms)\n");
-    println!("{:<8} {:>9} {:>10} {:>9}  distribution (log bins)", "kernel", "best", "worst", "median");
+    println!(
+        "{:<8} {:>9} {:>10} {:>9}  distribution (log bins)",
+        "kernel", "best", "worst", "median"
+    );
     for op in g.ops() {
         let node = g.op(op).expect("live");
         if node.kind.class() == OpClass::TensorContraction {

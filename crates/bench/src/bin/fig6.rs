@@ -7,11 +7,18 @@ use xform_gpusim::DeviceSpec;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let device = DeviceSpec::v100();
-    let ours = optimize_encoder(&device, &EncoderDims::bert_large(), &RecipeOptions::default())?;
+    let ours = optimize_encoder(
+        &device,
+        &EncoderDims::bert_large(),
+        &RecipeOptions::default(),
+    )?;
     let sel = &ours.selection;
 
     println!("Configuration selection (Sec. VI-A): shortest path through the layout graph\n");
-    println!("{:<10} {:>12} {:>12} {:>10}", "operator", "in layout", "out layout", "µs");
+    println!(
+        "{:<10} {:>12} {:>12} {:>10}",
+        "operator", "in layout", "out layout", "µs"
+    );
     for ((op, in_l, out_l), (_, timing)) in sel.layouts.iter().zip(&sel.per_op) {
         let name = ours
             .graph

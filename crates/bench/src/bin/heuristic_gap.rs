@@ -21,14 +21,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut max_fp = 0.0f64;
     for op in g.ops() {
         let node = g.op(op).expect("live");
-        let OpKind::Einsum(spec) = &node.kind else { continue };
+        let OpKind::Einsum(spec) = &node.kind else {
+            continue;
+        };
         let inputs = g.inputs_of(op);
         let a = &g.data(inputs[0]).expect("data").shape;
         let b = &g.data(inputs[1]).expect("data").shape;
         let s = spec.gemm_sizes(a, b)?;
-        let shape = GemmShape { batch: s.batch, m: s.m, n: s.n, k: s.k };
+        let shape = GemmShape {
+            batch: s.batch,
+            m: s.m,
+            n: s.n,
+            k: s.k,
+        };
         let gap = |math: MathMode| -> f64 {
-            let h = gemm_cost(&device, shape, GemmLayout::ideal(), heuristic_algorithm(shape), math);
+            let h = gemm_cost(
+                &device,
+                shape,
+                GemmLayout::ideal(),
+                heuristic_algorithm(shape),
+                math,
+            );
             let (_, best) = best_algo_cost(&device, shape, GemmLayout::ideal(), math);
             100.0 * (h.time_us / best.time_us - 1.0)
         };

@@ -11,10 +11,43 @@ use xform_gpusim::DeviceSpec;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let configs: Vec<(&str, EncoderDims)> = vec![
-        ("BERT-base", EncoderDims { b: 8, j: 512, k: 512, h: 12, p: 64, i: 768, u: 3072 }),
+        (
+            "BERT-base",
+            EncoderDims {
+                b: 8,
+                j: 512,
+                k: 512,
+                h: 12,
+                p: 64,
+                i: 768,
+                u: 3072,
+            },
+        ),
         ("BERT-large", EncoderDims::bert_large()),
-        ("GPT-2 XL-ish", EncoderDims { b: 8, j: 1024, k: 1024, h: 25, p: 64, i: 1600, u: 6400 }),
-        ("GPT-3-ish", EncoderDims { b: 4, j: 2048, k: 2048, h: 96, p: 128, i: 12288, u: 49152 }),
+        (
+            "GPT-2 XL-ish",
+            EncoderDims {
+                b: 8,
+                j: 1024,
+                k: 1024,
+                h: 25,
+                p: 64,
+                i: 1600,
+                u: 6400,
+            },
+        ),
+        (
+            "GPT-3-ish",
+            EncoderDims {
+                b: 4,
+                j: 2048,
+                k: 2048,
+                h: 96,
+                p: 128,
+                i: 12288,
+                u: 49152,
+            },
+        ),
     ];
     let device = DeviceSpec::v100();
     println!("The recipe across model scales (one encoder layer, fwd+bwd)\n");
@@ -28,7 +61,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ]);
     let mut last_speedup = 1.0;
     for (name, dims) in &configs {
-        let pt = execute(&build::encoder(dims).graph, &device, &FrameworkPolicy::pytorch())?;
+        let pt = execute(
+            &build::encoder(dims).graph,
+            &device,
+            &FrameworkPolicy::pytorch(),
+        )?;
         let ours = optimize_encoder(&device, dims, &RecipeOptions::default())?;
         let speedup = pt.total_us / ours.total_us();
         last_speedup = speedup;

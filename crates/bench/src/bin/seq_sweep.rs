@@ -41,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             l.to_string(),
             format!("{:.2}", plan.total_us() / 1000.0),
             format!("{:.2}", sm / 1000.0),
-            format!("{:.1}", 100.0 * mem / plan.rows.iter().map(|r| r.time_us).sum::<f64>()),
+            format!(
+                "{:.1}",
+                100.0 * mem / plan.rows.iter().map(|r| r.time_us).sum::<f64>()
+            ),
             format!("{:.0}", plan.graph.total_io_words() as f64 / 1e6),
         ]);
     }

@@ -17,8 +17,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let device = DeviceSpec::v100();
     let mut g = build::encoder(&dims).graph;
     apply_plan(&mut g, &encoder_fusion_plan())?;
-    let src = SimulatorSource { device: device.clone() };
-    let sweeps = sweep_all(&src, &g, SweepOptions { max_configs: Some(30_000) })?;
+    let src = SimulatorSource {
+        device: device.clone(),
+    };
+    let sweeps = sweep_all(
+        &src,
+        &g,
+        SweepOptions {
+            max_configs: Some(30_000),
+            ..SweepOptions::default()
+        },
+    )?;
     let fwd = forward_ops(&g, g.data_by_name("dy").expect("dy"));
 
     let layers = 24; // BERT-large depth
@@ -34,11 +43,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .enumerate()
         .take(4)
     {
-        t.row(&[i.to_string(), format!("{us:.0}"), sel.transposes.to_string()]);
+        t.row(&[
+            i.to_string(),
+            format!("{us:.0}"),
+            sel.transposes.to_string(),
+        ]);
     }
     t.row(&["…".into(), "…".into(), "…".into()]);
     let last = stack.per_layer_us.last().expect("non-empty");
-    t.row(&[(layers - 1).to_string(), format!("{last:.0}"), String::new()]);
+    t.row(&[
+        (layers - 1).to_string(),
+        format!("{last:.0}"),
+        String::new(),
+    ]);
     t.print();
     println!(
         "\nsteady state from layer {}; stack total {:.0} µs vs {layers}× unconstrained\n\

@@ -10,20 +10,15 @@ use xform_gpusim::DeviceSpec;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let device = DeviceSpec::v100();
-    let t3 = table3(&device, &EncoderDims::bert_large(), &RecipeOptions::default())?;
+    let t3 = table3(
+        &device,
+        &EncoderDims::bert_large(),
+        &RecipeOptions::default(),
+    )?;
     println!("Table III: flop analysis for a BERT-large encoder layer (fwd + bwd)\n");
     let mut t = TablePrinter::new(&[
-        "kernel",
-        "members",
-        "cls",
-        "Gflop",
-        "in(M)",
-        "out(M)",
-        "PT µs",
-        "ours µs",
-        "% peak",
-        "MUE",
-        "speedup",
+        "kernel", "members", "cls", "Gflop", "in(M)", "out(M)", "PT µs", "ours µs", "% peak",
+        "MUE", "speedup",
     ]);
     for r in &t3.rows {
         t.row(&[

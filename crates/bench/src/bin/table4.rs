@@ -2,8 +2,8 @@
 //! TensorFlow+XLA, PyTorch, cuDNN's MHA path, and our implementation.
 
 use xform_bench::{
-    mha_backward_kernels, mha_backward_ops_unfused, mha_forward_kernels,
-    mha_forward_ops_unfused, TablePrinter,
+    mha_backward_kernels, mha_backward_ops_unfused, mha_forward_kernels, mha_forward_ops_unfused,
+    TablePrinter,
 };
 use xform_core::recipe::{optimize_encoder, RecipeOptions};
 use xform_dataflow::{build, EncoderDims};

@@ -65,7 +65,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         format!("{ds_f:.2}"),
         format!("{our_f:.2}"),
     ]);
-    t.row(&["Forward (paper)".into(), "3.45".into(), "3.2".into(), "2.8".into(), "2.63".into()]);
+    t.row(&[
+        "Forward (paper)".into(),
+        "3.45".into(),
+        "3.2".into(),
+        "2.8".into(),
+        "2.63".into(),
+    ]);
     t.row(&[
         "Backward (ours)".into(),
         format!("{pt_b:.2}"),
@@ -73,7 +79,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         format!("{ds_b:.2}"),
         format!("{our_b:.2}"),
     ]);
-    t.row(&["Backward (paper)".into(), "5.69".into(), "5.2".into(), "4.8".into(), "4.38".into()]);
+    t.row(&[
+        "Backward (paper)".into(),
+        "5.69".into(),
+        "5.2".into(),
+        "4.8".into(),
+        "4.38".into(),
+    ]);
     t.print();
     let speedup_pt = (pt_f + pt_b) / (our_f + our_b);
     let speedup_ds = (ds_f + ds_b) / (our_f + our_b);

@@ -12,7 +12,11 @@ use xform_gpusim::DeviceSpec;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let device = DeviceSpec::v100();
-    let plan = optimize_encoder(&device, &EncoderDims::bert_large(), &RecipeOptions::default())?;
+    let plan = optimize_encoder(
+        &device,
+        &EncoderDims::bert_large(),
+        &RecipeOptions::default(),
+    )?;
     let w = whatif(&device, &plan)?;
     println!("Counterfactual hardware for the optimized encoder (fwd+bwd kernels)\n");
     println!("  as modelled (V100)        : {:8.0} µs", w.current_us);

@@ -149,8 +149,17 @@ pub fn mha_forward_kernels() -> &'static [&'static str] {
 /// Operator names of the MHA sub-graph (backward).
 pub fn mha_backward_kernels() -> &'static [&'static str] {
     &[
-        "BAOB", "Out dX", "Out dW", "Gamma dX1", "Gamma dX2", "BS", "QKT dX1", "QKT dX2", "BAIB",
-        "Q,K,V dX", "Q,K,V dW",
+        "BAOB",
+        "Out dX",
+        "Out dW",
+        "Gamma dX1",
+        "Gamma dX2",
+        "BS",
+        "QKT dX1",
+        "QKT dX2",
+        "BAIB",
+        "Q,K,V dX",
+        "Q,K,V dW",
     ]
 }
 

@@ -32,7 +32,11 @@ pub enum QkvVariant {
 impl QkvVariant {
     /// All variants, in Table II column order.
     pub fn all() -> [QkvVariant; 3] {
-        [QkvVariant::Unfused, QkvVariant::FusedQk, QkvVariant::FusedQkv]
+        [
+            QkvVariant::Unfused,
+            QkvVariant::FusedQk,
+            QkvVariant::FusedQkv,
+        ]
     }
 
     /// Table II column label.
@@ -94,11 +98,26 @@ pub fn qkv_variants(device: &DeviceSpec, dims: &EncoderDims) -> Vec<AlgebraicTim
             };
             for &stack in variant.stacks() {
                 // forward: [stack·P·H × I] × [I × B·J]
-                forward_us += time(GemmShape { batch: 1, m: stack * ph, n, k: i });
+                forward_us += time(GemmShape {
+                    batch: 1,
+                    m: stack * ph,
+                    n,
+                    k: i,
+                });
                 // backward dX: [Wᵠ Wᵏ Wᵛ]ᵀ-style, K is the stacked dim
-                backward_us += time(GemmShape { batch: 1, m: i, n, k: stack * ph });
+                backward_us += time(GemmShape {
+                    batch: 1,
+                    m: i,
+                    n,
+                    k: stack * ph,
+                });
                 // backward dW: X [dQ̃ dK̃ dṼ]ᵀ, M is the stacked dim
-                backward_us += time(GemmShape { batch: 1, m: stack * ph, n: i, k: n });
+                backward_us += time(GemmShape {
+                    batch: 1,
+                    m: stack * ph,
+                    n: i,
+                    k: n,
+                });
             }
             AlgebraicTiming {
                 variant,
@@ -139,7 +158,12 @@ pub fn kv_variants(device: &DeviceSpec, dims: &EncoderDims) -> Vec<(KvVariant, f
     let time = |m: usize| -> f64 {
         best_algo_cost(
             device,
-            GemmShape { batch: 1, m, n, k: dims.i },
+            GemmShape {
+                batch: 1,
+                m,
+                n,
+                k: dims.i,
+            },
             GemmLayout::ideal(),
             MathMode::TensorCore,
         )

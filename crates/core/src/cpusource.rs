@@ -10,15 +10,21 @@
 //! * **tensor contractions** execute the real einsum engine
 //!   ([`xform_tensor::contract`]) with the operands physically stored in
 //!   the configuration's layouts;
-//! * **element-wise / normalization / fused kernels** execute a
-//!   *representative strided sweep*: the kernel's exact tensors are
-//!   allocated in the configuration's layouts and walked in the iteration
-//!   order the configuration implies (reduction lane innermost when the
-//!   warp/vector axes say so), reading every input word and writing every
-//!   output word. This reproduces on the CPU cache hierarchy exactly the
-//!   access-pattern effects the GPU model captures analytically — it is a
-//!   microbenchmark of the kernel's memory behaviour, which is what
-//!   dominates these operators (Table I).
+//! * **forward element-wise / normalization / fused kernels** execute the
+//!   *real kernel* through the schedule interpreter of [`crate::plan`]:
+//!   the operator is lowered to a single [`crate::plan::PlanStep`] with
+//!   the configuration's layouts, its operands are materialized in those
+//!   layouts, and [`crate::plan::execute_step`] is timed — so sweeps and
+//!   the canned executors price exactly the same code path;
+//! * **backward kernels** (which the forward-only interpreter does not
+//!   dispatch) execute a *representative strided sweep*: the kernel's
+//!   exact tensors are allocated in the configuration's layouts and walked
+//!   in the iteration order the configuration implies (reduction lane
+//!   innermost when the warp/vector axes say so), reading every input word
+//!   and writing every output word. This reproduces on the CPU cache
+//!   hierarchy the access-pattern effects the GPU model captures
+//!   analytically — a microbenchmark of the kernel's memory behaviour,
+//!   which is what dominates these operators (Table I).
 //!
 //! Timings are medians over `repetitions` runs. Because real measurement
 //! is ~10⁶× slower than the analytical model, use small dimensions and
@@ -35,6 +41,7 @@ use xform_gpusim::KernelCost;
 use xform_tensor::contract::contract;
 use xform_tensor::{Layout, Result, Shape, Tensor, TensorError};
 
+use crate::plan::{execute_step, step_is_interpretable, ExecOptions, ExecState, ExecutionPlan};
 use crate::sweep::PerfSource;
 
 /// The CPU measurement source.
@@ -66,6 +73,40 @@ impl CpuSource {
             best = best.min(start.elapsed().as_secs_f64() * 1e6);
         }
         best
+    }
+
+    /// Times the real kernel through the schedule interpreter: lowers `op`
+    /// to a single plan step with the configuration's layouts, materializes
+    /// random operands in those layouts, and times [`execute_step`] alone
+    /// (environment cloning and RNG seeding happen outside the timed
+    /// region). Returns `None` for operators the forward-only interpreter
+    /// cannot dispatch — the caller falls back to the synthetic sweep.
+    fn try_interpreted(&self, graph: &Graph, op: NodeId, cfg: &OpConfig) -> Option<f64> {
+        let step = ExecutionPlan::single_step(graph, op, cfg).ok()?;
+        if matches!(step.kind, OpKind::Einsum(_)) || !step_is_interpretable(&step.kind, &step.name)
+        {
+            return None;
+        }
+        let mut rng = StdRng::seed_from_u64(0x5EED);
+        let dist = rand::distributions::Uniform::new(-1.0f32, 1.0);
+        let mut base = ExecState::default();
+        for operand in &step.inputs {
+            let shape = graph.data(operand.data)?.shape.clone();
+            let lay = Layout::from_axis_order(&shape, &operand.layout).ok()?;
+            let t = Tensor::random(shape, &dist, &mut rng).relayout(&lay);
+            base.env.insert(operand.name.clone(), t);
+        }
+        let opts = ExecOptions::default();
+        let mut best = f64::INFINITY;
+        for _ in 0..self.repetitions {
+            let mut state = base.clone();
+            let mut step_rng = StdRng::seed_from_u64(0xD15C);
+            let start = Instant::now();
+            execute_step(graph, &step, &mut state, &opts, &mut step_rng).ok()?;
+            best = best.min(start.elapsed().as_secs_f64() * 1e6);
+            std::hint::black_box(state.env.len());
+        }
+        Some(best.max(1e-3))
     }
 }
 
@@ -193,6 +234,11 @@ impl PerfSource for CpuSource {
         let io_words = graph.io_words(op) as f64;
         let mut rng = StdRng::seed_from_u64(0x5EED);
         let dist = rand::distributions::Uniform::new(-1.0f32, 1.0);
+        let interpreted_time = if step_is_interpretable(&node.kind, &node.name) {
+            self.try_interpreted(graph, op, cfg)
+        } else {
+            None
+        };
 
         let time_us = match &node.kind {
             OpKind::Einsum(spec) => {
@@ -250,17 +296,24 @@ impl PerfSource for CpuSource {
                     std::hint::black_box(c.data()[0]);
                 })
             }
+            // forward kernels: priced by executing the real kernel via the
+            // schedule interpreter
+            _ if interpreted_time.is_some() => interpreted_time.unwrap_or(1e-3),
             _ => {
-                // representative strided sweep over the kernel's tensors
+                // backward kernel (or an operand set the interpreter cannot
+                // stand up): representative strided sweep over the kernel's
+                // tensors
                 let two_pass = node.kind.has_reduction();
                 let in_tensors: Vec<Tensor> = inputs
                     .iter()
                     .map(|&id| {
                         let s = shape_of(id)?;
                         let spec_str: String = if s.rank() == cfg.in_spec.len()
-                            && cfg.in_spec.chars().all(|c| {
-                                s.contains(xform_tensor::Axis(c))
-                            }) {
+                            && cfg
+                                .in_spec
+                                .chars()
+                                .all(|c| s.contains(xform_tensor::Axis(c)))
+                        {
                             cfg.in_spec.clone()
                         } else {
                             s.spec()
@@ -274,9 +327,11 @@ impl PerfSource for CpuSource {
                     .map(|&id| {
                         let s = shape_of(id)?;
                         let spec_str: String = if s.rank() == cfg.out_spec.len()
-                            && cfg.out_spec.chars().all(|c| {
-                                s.contains(xform_tensor::Axis(c))
-                            }) {
+                            && cfg
+                                .out_spec
+                                .chars()
+                                .all(|c| s.contains(xform_tensor::Axis(c)))
+                        {
                             cfg.out_spec.clone()
                         } else {
                             s.spec()
@@ -335,7 +390,11 @@ mod tests {
     fn calibration_returns_a_sane_rate() {
         let src = CpuSource::new(1);
         // any machine streams somewhere between 0.1 and 1000 GB/s
-        assert!(src.peak_bytes_per_us > 100.0, "rate {}", src.peak_bytes_per_us);
+        assert!(
+            src.peak_bytes_per_us > 100.0,
+            "rate {}",
+            src.peak_bytes_per_us
+        );
         assert!(src.peak_bytes_per_us < 1e6);
     }
 
@@ -357,7 +416,16 @@ mod tests {
         let g = tiny_fused();
         let sm = g.op_by_name("SM").unwrap();
         let src = CpuSource::new(3);
-        let r = sweep_op(&src, &g, sm, SweepOptions { max_configs: Some(60) }).unwrap();
+        let r = sweep_op(
+            &src,
+            &g,
+            sm,
+            SweepOptions {
+                max_configs: Some(60),
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap();
         assert!(r.best.time_us > 0.0);
         assert!(r.worst_us >= r.best.time_us);
         assert!(!r.per_io.is_empty());
@@ -373,7 +441,10 @@ mod tests {
             &device,
             &EncoderDims::tiny(),
             &crate::recipe::RecipeOptions {
-                sweep: SweepOptions { max_configs: Some(40) },
+                sweep: SweepOptions {
+                    max_configs: Some(40),
+                    ..SweepOptions::default()
+                },
                 per_op_overhead_us: 0.0,
             },
         )

@@ -169,7 +169,9 @@ pub fn validate_plan(graph: &Graph, plan: &[FusionGroup]) -> Vec<String> {
                 ) {
                     continue;
                 }
-                let Ok(sa) = op_iter_space(graph, a) else { continue };
+                let Ok(sa) = op_iter_space(graph, a) else {
+                    continue;
+                };
                 let coherent = ids.iter().enumerate().any(|(j, &b)| {
                     if i == j {
                         return false;
@@ -237,8 +239,7 @@ pub fn detect_groups(graph: &Graph) -> Vec<Vec<NodeId>> {
         let mut chain = vec![start];
         let mut reductions_seen = usize::from(is_norm_reduction(graph, start));
         let mut cur = start;
-        loop {
-            let Some(next) = unique_consumer(graph, cur) else { break };
+        while let Some(next) = unique_consumer(graph, cur) {
             if claimed.contains(&next) || chain.contains(&next) || !fusable(next) {
                 break;
             }
@@ -387,14 +388,25 @@ mod tests {
         let e = build::encoder(&EncoderDims::tiny());
         let mut g = e.graph;
         apply_plan(&mut g, &encoder_fusion_plan()).unwrap();
-        for name in ["att", "alpha", "att_mask", "drop1_mask", "ln1_in", "ln2_in", "ff1_b"] {
+        for name in [
+            "att",
+            "alpha",
+            "att_mask",
+            "drop1_mask",
+            "ln1_in",
+            "ln2_in",
+            "ff1_b",
+        ] {
             assert!(g.data_by_name(name).is_some(), "{name} was eliminated");
         }
         // beta survives: it is the QKT contraction's output and thus the
         // fused SM kernel's external input. Interim activations are gone:
         assert!(g.data_by_name("beta").is_some());
         for name in ["bo_out", "drop1_out", "ff1_relu", "ff2_b", "ff2_drop"] {
-            assert!(g.data_by_name(name).is_none(), "{name} should be fused away");
+            assert!(
+                g.data_by_name(name).is_none(),
+                "{name} should be fused away"
+            );
         }
     }
 
@@ -504,10 +516,7 @@ mod tests {
             for &id in grp {
                 assert!(!seen.contains(&id), "op claimed twice");
                 seen.push(id);
-                assert_ne!(
-                    g.op(id).unwrap().kind.class(),
-                    OpClass::TensorContraction
-                );
+                assert_ne!(g.op(id).unwrap().kind.class(), OpClass::TensorContraction);
             }
         }
     }

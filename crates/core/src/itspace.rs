@@ -228,7 +228,10 @@ mod tests {
         let g = enc();
         let sm = space(&g, "Scaled softmax");
         let drop = space(&g, "Dropout att");
-        assert_eq!(fusion_compatible(&sm, &drop), Some(FusePattern::ProducerReduces));
+        assert_eq!(
+            fusion_compatible(&sm, &drop),
+            Some(FusePattern::ProducerReduces)
+        );
     }
 
     #[test]
@@ -238,9 +241,18 @@ mod tests {
         let drop = space(&g, "Dropout 1");
         let resid = space(&g, "Residual 1");
         let ln = space(&g, "LayerNorm 1");
-        assert_eq!(fusion_compatible(&bias, &drop), Some(FusePattern::SameSpace));
-        assert_eq!(fusion_compatible(&drop, &resid), Some(FusePattern::SameSpace));
-        assert_eq!(fusion_compatible(&resid, &ln), Some(FusePattern::ConsumerReduces));
+        assert_eq!(
+            fusion_compatible(&bias, &drop),
+            Some(FusePattern::SameSpace)
+        );
+        assert_eq!(
+            fusion_compatible(&drop, &resid),
+            Some(FusePattern::SameSpace)
+        );
+        assert_eq!(
+            fusion_compatible(&resid, &ln),
+            Some(FusePattern::ConsumerReduces)
+        );
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //!   [`sweep::PerfSource`] trait (simulator or real measurements);
 //! * [`selection`] — the shortest-path global configuration selection of
 //!   Sec. VI-A / Fig. 6;
+//! * [`plan`] — lowering a fusion plan plus a layout selection into an
+//!   executable, layout-annotated schedule ([`plan::ExecutionPlan`]) and
+//!   the schedule interpreter ([`plan::execute_plan`]) that runs it
+//!   against the real CPU kernels;
 //! * [`recipe`] — the end-to-end driver assembling the optimized encoder;
 //! * [`report`] — Table-III-style per-operator comparisons.
 //!
@@ -42,6 +46,7 @@ pub mod algebraic;
 pub mod cpusource;
 pub mod fusion;
 pub mod itspace;
+pub mod plan;
 pub mod recipe;
 pub mod report;
 pub mod selection;

@@ -108,7 +108,10 @@ pub struct RecipeOptions {
 impl Default for RecipeOptions {
     fn default() -> Self {
         RecipeOptions {
-            sweep: SweepOptions { max_configs: Some(30_000) },
+            sweep: SweepOptions {
+                max_configs: Some(30_000),
+                ..SweepOptions::default()
+            },
             per_op_overhead_us: 1.0,
         }
     }
@@ -125,7 +128,9 @@ pub fn optimize_encoder(
     dims: &EncoderDims,
     opts: &RecipeOptions,
 ) -> Result<OptimizedEncoder> {
-    let source = SimulatorSource { device: device.clone() };
+    let source = SimulatorSource {
+        device: device.clone(),
+    };
     optimize_encoder_with(&source, device, dims, opts)
 }
 
@@ -142,7 +147,13 @@ pub fn optimize_encoder_with(
     dims: &EncoderDims,
     opts: &RecipeOptions,
 ) -> Result<OptimizedEncoder> {
-    optimize_step(source, device, build::encoder(dims), &encoder_fusion_plan(), opts)
+    optimize_step(
+        source,
+        device,
+        build::encoder(dims),
+        &encoder_fusion_plan(),
+        opts,
+    )
 }
 
 /// Runs the recipe for a GPT-2-style decoder block (pre-layer-norm,
@@ -157,7 +168,9 @@ pub fn optimize_decoder(
     dims: &EncoderDims,
     opts: &RecipeOptions,
 ) -> Result<OptimizedEncoder> {
-    let source = SimulatorSource { device: device.clone() };
+    let source = SimulatorSource {
+        device: device.clone(),
+    };
     optimize_step(
         &source,
         device,
@@ -252,7 +265,10 @@ mod tests {
 
     fn quick_opts() -> RecipeOptions {
         RecipeOptions {
-            sweep: SweepOptions { max_configs: Some(4_000) },
+            sweep: SweepOptions {
+                max_configs: Some(4_000),
+                ..SweepOptions::default()
+            },
             per_op_overhead_us: 1.0,
         }
     }
@@ -330,7 +346,10 @@ mod tests {
         // decoder totals are in the encoder's ballpark (same contractions)
         let enc = optimize_encoder(&device, &dims, &quick_opts()).unwrap();
         let ratio = ours.total_us() / enc.total_us();
-        assert!(ratio > 0.7 && ratio < 1.3, "decoder/encoder ratio {ratio:.2}");
+        assert!(
+            ratio > 0.7 && ratio < 1.3,
+            "decoder/encoder ratio {ratio:.2}"
+        );
     }
 
     #[test]

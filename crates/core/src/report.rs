@@ -232,7 +232,10 @@ mod tests {
 
     fn quick() -> RecipeOptions {
         RecipeOptions {
-            sweep: SweepOptions { max_configs: Some(4_000) },
+            sweep: SweepOptions {
+                max_configs: Some(4_000),
+                ..SweepOptions::default()
+            },
             per_op_overhead_us: 1.0,
         }
     }
@@ -258,7 +261,10 @@ mod tests {
         let flop_all: f64 = t.rows.iter().map(|r| r.gflop).sum();
         assert!(flop_tc / flop_all > 0.995);
         let (_, pt_tc, _) = t.class_totals[0];
-        assert!(pt_tc / t.totals.0 < 0.9, "contraction runtime share too high");
+        assert!(
+            pt_tc / t.totals.0 < 0.9,
+            "contraction runtime share too high"
+        );
     }
 
     #[test]
@@ -275,8 +281,8 @@ mod tests {
     #[test]
     fn bottleneck_ranking_is_consistent() {
         let device = DeviceSpec::v100();
-        let plan = crate::recipe::optimize_encoder(&device, &EncoderDims::bert_large(), &quick())
-            .unwrap();
+        let plan =
+            crate::recipe::optimize_encoder(&device, &EncoderDims::bert_large(), &quick()).unwrap();
         let ranked = bottlenecks(&device, &plan);
         assert_eq!(ranked.len(), plan.rows.len());
         // sorted descending, shares sum to 100
@@ -296,8 +302,8 @@ mod tests {
     #[test]
     fn whatif_shows_bandwidth_matters_more_than_compute() {
         let device = DeviceSpec::v100();
-        let plan = crate::recipe::optimize_encoder(&device, &EncoderDims::bert_large(), &quick())
-            .unwrap();
+        let plan =
+            crate::recipe::optimize_encoder(&device, &EncoderDims::bert_large(), &quick()).unwrap();
         let w = whatif(&device, &plan).unwrap();
         assert!(w.bandwidth_10x_us < w.current_us);
         assert!(w.compute_10x_us < w.current_us);

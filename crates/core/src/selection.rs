@@ -346,7 +346,7 @@ pub struct StackedSelection {
 /// apply_plan(&mut g, &encoder_fusion_plan()).unwrap();
 /// let device = DeviceSpec::v100();
 /// let sweeps = sweep_all(&SimulatorSource { device: device.clone() }, &g,
-///                        SweepOptions { max_configs: Some(300) }).unwrap();
+///                        SweepOptions { max_configs: Some(300), ..SweepOptions::default() }).unwrap();
 /// let fwd = forward_ops(&g, g.data_by_name("dy").unwrap());
 /// let stack = select_stacked(&g, &device, &fwd, &sweeps, 3).unwrap();
 /// assert_eq!(stack.per_layer_us.len(), 3);
@@ -418,11 +418,16 @@ mod tests {
         let mut g = e.graph;
         apply_plan(&mut g, &encoder_fusion_plan()).unwrap();
         let device = DeviceSpec::v100();
-        let src = SimulatorSource { device: device.clone() };
+        let src = SimulatorSource {
+            device: device.clone(),
+        };
         let sweeps = sweep_all(
             &src,
             &g,
-            SweepOptions { max_configs: Some(20_000) },
+            SweepOptions {
+                max_configs: Some(20_000),
+                ..SweepOptions::default()
+            },
         )
         .unwrap();
         let fwd = forward_ops(&g, g.data_by_name("dy").unwrap());
@@ -448,8 +453,18 @@ mod tests {
         let mut g = e.graph;
         apply_plan(&mut g, &encoder_fusion_plan()).unwrap();
         let device = DeviceSpec::v100();
-        let src = SimulatorSource { device: device.clone() };
-        let sweeps = sweep_all(&src, &g, SweepOptions { max_configs: Some(8_000) }).unwrap();
+        let src = SimulatorSource {
+            device: device.clone(),
+        };
+        let sweeps = sweep_all(
+            &src,
+            &g,
+            SweepOptions {
+                max_configs: Some(8_000),
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap();
         let fwd = forward_ops(&g, g.data_by_name("dy").unwrap());
         let stack = select_stacked(&g, &device, &fwd, &sweeps, 4).unwrap();
         assert_eq!(stack.per_layer_us.len(), 4);

@@ -16,7 +16,10 @@ use xform_gpusim::{DeviceSpec, KernelCost};
 use xform_tensor::{Result, TensorError};
 
 /// A provider of per-configuration operator timings.
-pub trait PerfSource {
+///
+/// Sources must be [`Sync`]: [`sweep_all`] prices different operators from
+/// multiple threads against one shared source.
+pub trait PerfSource: Sync {
     /// Human-readable source name (for reports).
     fn name(&self) -> &str;
 
@@ -99,11 +102,25 @@ pub struct SweepResult {
 }
 
 /// Options controlling a sweep.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct SweepOptions {
     /// If set, sample at most this many configurations (stride sampling).
     /// Best/worst remain correct with respect to the sample only.
     pub max_configs: Option<usize>,
+    /// Worker threads [`sweep_all`] spreads operators across. Defaults to
+    /// the host's available parallelism; `1` (or `0`) sweeps serially.
+    /// Results are identical regardless of the thread count — each
+    /// operator's sweep is an independent pure computation.
+    pub threads: usize,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            max_configs: None,
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    }
 }
 
 /// The index of an operator's *flowing* input: the non-weight input with
@@ -155,7 +172,7 @@ pub fn flowing_input_index(graph: &Graph, op: NodeId) -> usize {
 /// let e = build::encoder(&EncoderDims::bert_large());
 /// let op = e.graph.op_by_name("Scaled softmax").unwrap();
 /// let r = sweep_op(&SimulatorSource::default(), &e.graph, op,
-///                  SweepOptions { max_configs: Some(200) }).unwrap();
+///                  SweepOptions { max_configs: Some(200), ..SweepOptions::default() }).unwrap();
 /// assert!(r.worst_us >= r.best.time_us); // layouts matter
 /// ```
 pub fn sweep_op(
@@ -187,7 +204,10 @@ pub fn sweep_op(
         times.push(t);
         worst = worst.max(t);
         if best.as_ref().map(|b| t < b.time_us).unwrap_or(true) {
-            best = Some(ConfigTiming { cfg: cfg.clone(), time_us: t });
+            best = Some(ConfigTiming {
+                cfg: cfg.clone(),
+                time_us: t,
+            });
         }
         let in_key = if flowing == 1 {
             cfg.in2_spec.clone().unwrap_or_else(|| cfg.in_spec.clone())
@@ -202,9 +222,8 @@ pub fn sweep_op(
             }
         }
     }
-    let best = best.ok_or_else(|| {
-        TensorError::Unsupported(format!("no valid configuration for `{name}`"))
-    })?;
+    let best = best
+        .ok_or_else(|| TensorError::Unsupported(format!("no valid configuration for `{name}`")))?;
     Ok(SweepResult {
         op,
         name,
@@ -218,17 +237,56 @@ pub fn sweep_op(
 
 /// Sweeps every operator of a graph, with per-op results keyed by id.
 ///
+/// Operators are striped across `opts.threads` scoped worker threads
+/// ([`crossbeam::scope`]); each operator's sweep is an independent pure
+/// computation, so the result map is identical for any thread count.
+///
 /// # Errors
 ///
-/// Propagates the first per-op failure.
+/// Propagates the first per-op failure (in operator order).
 pub fn sweep_all(
     source: &dyn PerfSource,
     graph: &Graph,
     opts: SweepOptions,
 ) -> Result<HashMap<NodeId, SweepResult>> {
+    let ops = graph.ops();
+    let threads = opts.threads.max(1).min(ops.len().max(1));
+    if threads <= 1 {
+        let mut out = HashMap::new();
+        for op in ops {
+            out.insert(op, sweep_op(source, graph, op, opts)?);
+        }
+        return Ok(out);
+    }
+    let results: Vec<Vec<(usize, Result<SweepResult>)>> = crossbeam::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let ops = &ops;
+                s.spawn(move |_| {
+                    ops.iter()
+                        .enumerate()
+                        .skip(t)
+                        .step_by(threads)
+                        .map(|(i, &op)| (i, sweep_op(source, graph, op, opts)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    })
+    .expect("sweep scope panicked");
+    // merge, surfacing the earliest failure in operator order
+    let mut merged: Vec<Option<Result<SweepResult>>> = (0..ops.len()).map(|_| None).collect();
+    for (i, r) in results.into_iter().flatten() {
+        merged[i] = Some(r);
+    }
     let mut out = HashMap::new();
-    for op in graph.ops() {
-        out.insert(op, sweep_op(source, graph, op, opts)?);
+    for (slot, &op) in merged.into_iter().zip(&ops) {
+        let r = slot.expect("every operator swept")?;
+        out.insert(op, r);
     }
     Ok(out)
 }
@@ -273,7 +331,10 @@ mod tests {
             &sim(),
             &e.graph,
             op,
-            SweepOptions { max_configs: Some(500) },
+            SweepOptions {
+                max_configs: Some(500),
+                ..SweepOptions::default()
+            },
         )
         .unwrap();
         assert!(r.times_us.len() <= 500);
@@ -296,12 +357,47 @@ mod tests {
     }
 
     #[test]
+    fn sweep_all_is_deterministic_across_thread_counts() {
+        let e = build::encoder(&EncoderDims::tiny());
+        let serial = sweep_all(
+            &sim(),
+            &e.graph,
+            SweepOptions {
+                max_configs: Some(300),
+                threads: 1,
+            },
+        )
+        .unwrap();
+        let parallel = sweep_all(
+            &sim(),
+            &e.graph,
+            SweepOptions {
+                max_configs: Some(300),
+                threads: 4,
+            },
+        )
+        .unwrap();
+        assert_eq!(serial.len(), parallel.len());
+        for (op, s) in &serial {
+            let p = &parallel[op];
+            assert_eq!(s.name, p.name);
+            assert_eq!(s.best.cfg, p.best.cfg, "best config differs for {}", s.name);
+            assert!((s.best.time_us - p.best.time_us).abs() < 1e-12);
+            assert_eq!(s.times_us, p.times_us);
+            assert_eq!(s.per_io.len(), p.per_io.len());
+        }
+    }
+
+    #[test]
     fn sweep_all_covers_small_graph() {
         let e = build::encoder(&EncoderDims::tiny());
         let r = sweep_all(
             &sim(),
             &e.graph,
-            SweepOptions { max_configs: Some(200) },
+            SweepOptions {
+                max_configs: Some(200),
+                ..SweepOptions::default()
+            },
         )
         .unwrap();
         assert_eq!(r.len(), e.graph.ops().len());

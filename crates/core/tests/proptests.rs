@@ -37,7 +37,7 @@ proptest! {
             &SimulatorSource::default(),
             &g,
             op,
-            SweepOptions { max_configs: Some(1500) },
+            SweepOptions { max_configs: Some(1500), ..SweepOptions::default() },
         )
         .unwrap();
         for t in sweep.per_io.values() {
@@ -57,7 +57,7 @@ proptest! {
         let sweeps = sweep_all(
             &SimulatorSource { device: device.clone() },
             &g,
-            SweepOptions { max_configs: Some(1500) },
+            SweepOptions { max_configs: Some(1500), ..SweepOptions::default() },
         )
         .unwrap();
         let sel = select_forward(&g, &device, &fwd, &sweeps).unwrap();

@@ -83,7 +83,11 @@ pub fn class_shares(graph: &Graph) -> Vec<ClassShare> {
     ]
     .into_iter()
     .map(|class| {
-        let flop: u64 = anns.iter().filter(|a| a.class == class).map(|a| a.flop).sum();
+        let flop: u64 = anns
+            .iter()
+            .filter(|a| a.class == class)
+            .map(|a| a.flop)
+            .sum();
         let io: u64 = anns
             .iter()
             .filter(|a| a.class == class)

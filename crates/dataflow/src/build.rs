@@ -60,19 +60,25 @@ pub fn mha_forward(dims: &EncoderDims) -> Graph {
     let vv = g.add_data("vv", shape(dims, "whbk"), DataRole::Saved);
     g.add_op(
         "Input bias Q",
-        OpKind::Bias { axes: vec![Axis('p'), Axis('h')] },
+        OpKind::Bias {
+            axes: vec![Axis('p'), Axis('h')],
+        },
         &[qq_raw, bq],
         &[qq],
     );
     g.add_op(
         "Input bias K",
-        OpKind::Bias { axes: vec![Axis('p'), Axis('h')] },
+        OpKind::Bias {
+            axes: vec![Axis('p'), Axis('h')],
+        },
         &[kk_raw, bk],
         &[kk],
     );
     g.add_op(
         "Input bias V",
-        OpKind::Bias { axes: vec![Axis('w'), Axis('h')] },
+        OpKind::Bias {
+            axes: vec![Axis('w'), Axis('h')],
+        },
         &[vv_raw, bv],
         &[vv],
     );
@@ -97,7 +103,9 @@ pub fn mha_forward(dims: &EncoderDims) -> Graph {
     let out = g.add_data("out", shape(dims, "ibj"), DataRole::Output);
     g.add_op(
         "Output bias",
-        OpKind::Bias { axes: vec![Axis('i')] },
+        OpKind::Bias {
+            axes: vec![Axis('i')],
+        },
         &[out_mm, bo],
         &[out],
     );
@@ -189,7 +197,12 @@ pub fn encoder(dims: &EncoderDims) -> EncoderGraph {
 
     let att = ph(&mut g, "att", "hbjk", DataRole::Saved);
     fwd.push("Scaled softmax".into());
-    g.add_op("Scaled softmax", OpKind::Softmax { axis: Axis('k') }, &[beta], &[att]);
+    g.add_op(
+        "Scaled softmax",
+        OpKind::Softmax { axis: Axis('k') },
+        &[beta],
+        &[att],
+    );
 
     let alpha = ph(&mut g, "alpha", "hbjk", DataRole::Saved);
     let att_mask = ph(&mut g, "att_mask", "hbjk", DataRole::Saved);
@@ -206,12 +219,24 @@ pub fn encoder(dims: &EncoderDims) -> EncoderGraph {
 
     let bo_out = ph(&mut g, "bo_out", "ibj", DataRole::Activation);
     fwd.push("Output bias".into());
-    g.add_op("Output bias", OpKind::Bias { axes: vec![Axis('i')] }, &[out_mm, bo], &[bo_out]);
+    g.add_op(
+        "Output bias",
+        OpKind::Bias {
+            axes: vec![Axis('i')],
+        },
+        &[out_mm, bo],
+        &[bo_out],
+    );
 
     let drop1_out = ph(&mut g, "drop1_out", "ibj", DataRole::Activation);
     let drop1_mask = ph(&mut g, "drop1_mask", "ibj", DataRole::Saved);
     fwd.push("Dropout 1".into());
-    g.add_op("Dropout 1", OpKind::Dropout, &[bo_out], &[drop1_out, drop1_mask]);
+    g.add_op(
+        "Dropout 1",
+        OpKind::Dropout,
+        &[bo_out],
+        &[drop1_out, drop1_mask],
+    );
 
     let ln1_in = ph(&mut g, "ln1_in", "ibj", DataRole::Saved);
     fwd.push("Residual 1".into());
@@ -233,7 +258,14 @@ pub fn encoder(dims: &EncoderDims) -> EncoderGraph {
 
     let ff1_b = ph(&mut g, "ff1_b", "ubj", DataRole::Saved);
     fwd.push("Bias 1".into());
-    g.add_op("Bias 1", OpKind::Bias { axes: vec![Axis('u')] }, &[ff1, b1], &[ff1_b]);
+    g.add_op(
+        "Bias 1",
+        OpKind::Bias {
+            axes: vec![Axis('u')],
+        },
+        &[ff1, b1],
+        &[ff1_b],
+    );
 
     let ff1_relu = ph(&mut g, "ff1_relu", "ubj", DataRole::Activation);
     fwd.push("ReLU".into());
@@ -242,7 +274,12 @@ pub fn encoder(dims: &EncoderDims) -> EncoderGraph {
     let ff1_drop = ph(&mut g, "ff1_drop", "ubj", DataRole::Saved);
     let drop2_mask = ph(&mut g, "drop2_mask", "ubj", DataRole::Saved);
     fwd.push("Dropout 2".into());
-    g.add_op("Dropout 2", OpKind::Dropout, &[ff1_relu], &[ff1_drop, drop2_mask]);
+    g.add_op(
+        "Dropout 2",
+        OpKind::Dropout,
+        &[ff1_relu],
+        &[ff1_drop, drop2_mask],
+    );
 
     let ff2 = ph(&mut g, "ff2", "ibj", DataRole::Activation);
     fwd.push("Linear 2".into());
@@ -250,16 +287,33 @@ pub fn encoder(dims: &EncoderDims) -> EncoderGraph {
 
     let ff2_b = ph(&mut g, "ff2_b", "ibj", DataRole::Activation);
     fwd.push("Bias 2".into());
-    g.add_op("Bias 2", OpKind::Bias { axes: vec![Axis('i')] }, &[ff2, b2], &[ff2_b]);
+    g.add_op(
+        "Bias 2",
+        OpKind::Bias {
+            axes: vec![Axis('i')],
+        },
+        &[ff2, b2],
+        &[ff2_b],
+    );
 
     let ff2_drop = ph(&mut g, "ff2_drop", "ibj", DataRole::Activation);
     let drop3_mask = ph(&mut g, "drop3_mask", "ibj", DataRole::Saved);
     fwd.push("Dropout 3".into());
-    g.add_op("Dropout 3", OpKind::Dropout, &[ff2_b], &[ff2_drop, drop3_mask]);
+    g.add_op(
+        "Dropout 3",
+        OpKind::Dropout,
+        &[ff2_b],
+        &[ff2_drop, drop3_mask],
+    );
 
     let ln2_in = ph(&mut g, "ln2_in", "ibj", DataRole::Saved);
     fwd.push("Residual 2".into());
-    g.add_op("Residual 2", OpKind::Residual, &[ff2_drop, ln1_out], &[ln2_in]);
+    g.add_op(
+        "Residual 2",
+        OpKind::Residual,
+        &[ff2_drop, ln1_out],
+        &[ln2_in],
+    );
 
     let y = ph(&mut g, "y", "ibj", DataRole::Output);
     fwd.push("LayerNorm 2".into());
@@ -294,44 +348,98 @@ pub fn encoder(dims: &EncoderDims) -> EncoderGraph {
 
     let d_ff2_b = ph(&mut g, "d_ff2_b", "ibj", DataRole::Gradient);
     bwd.push("Dropout 3 dX".into());
-    g.add_op("Dropout 3 dX", OpKind::DropoutGrad, &[d_ln2_in, drop3_mask], &[d_ff2_b]);
+    g.add_op(
+        "Dropout 3 dX",
+        OpKind::DropoutGrad,
+        &[d_ln2_in, drop3_mask],
+        &[d_ff2_b],
+    );
 
     let db2 = ph(&mut g, "d_b2", "i", DataRole::Output);
     bwd.push("Bias 2 dW".into());
-    g.add_op("Bias 2 dW", OpKind::BiasGrad { axes: vec![Axis('i')] }, &[d_ff2_b], &[db2]);
+    g.add_op(
+        "Bias 2 dW",
+        OpKind::BiasGrad {
+            axes: vec![Axis('i')],
+        },
+        &[d_ff2_b],
+        &[db2],
+    );
 
     let d_ff1_drop = ph(&mut g, "d_ff1_drop", "ubj", DataRole::Gradient);
     bwd.push("Linear 2 dX".into());
-    g.add_op("Linear 2 dX", einsum("iu,ibj->ubj"), &[w2, d_ff2_b], &[d_ff1_drop]);
+    g.add_op(
+        "Linear 2 dX",
+        einsum("iu,ibj->ubj"),
+        &[w2, d_ff2_b],
+        &[d_ff1_drop],
+    );
 
     let dw2 = ph(&mut g, "d_w2", "iu", DataRole::Output);
     bwd.push("Linear 2 dW".into());
-    g.add_op("Linear 2 dW", einsum("ibj,ubj->iu"), &[d_ff2_b, ff1_drop], &[dw2]);
+    g.add_op(
+        "Linear 2 dW",
+        einsum("ibj,ubj->iu"),
+        &[d_ff2_b, ff1_drop],
+        &[dw2],
+    );
 
     let d_ff1_relu = ph(&mut g, "d_ff1_relu", "ubj", DataRole::Gradient);
     bwd.push("Dropout 2 dX".into());
-    g.add_op("Dropout 2 dX", OpKind::DropoutGrad, &[d_ff1_drop, drop2_mask], &[d_ff1_relu]);
+    g.add_op(
+        "Dropout 2 dX",
+        OpKind::DropoutGrad,
+        &[d_ff1_drop, drop2_mask],
+        &[d_ff1_relu],
+    );
 
     let d_ff1_b = ph(&mut g, "d_ff1_b", "ubj", DataRole::Gradient);
     bwd.push("ReLU dX".into());
-    g.add_op("ReLU dX", OpKind::ReluGrad, &[d_ff1_relu, ff1_b], &[d_ff1_b]);
+    g.add_op(
+        "ReLU dX",
+        OpKind::ReluGrad,
+        &[d_ff1_relu, ff1_b],
+        &[d_ff1_b],
+    );
 
     let db1 = ph(&mut g, "d_b1", "u", DataRole::Output);
     bwd.push("Bias 1 dW".into());
-    g.add_op("Bias 1 dW", OpKind::BiasGrad { axes: vec![Axis('u')] }, &[d_ff1_b], &[db1]);
+    g.add_op(
+        "Bias 1 dW",
+        OpKind::BiasGrad {
+            axes: vec![Axis('u')],
+        },
+        &[d_ff1_b],
+        &[db1],
+    );
 
     let d_ln1_out_ffn = ph(&mut g, "d_ln1_out_ffn", "ibj", DataRole::Gradient);
     bwd.push("Linear 1 dX".into());
-    g.add_op("Linear 1 dX", einsum("ui,ubj->ibj"), &[w1, d_ff1_b], &[d_ln1_out_ffn]);
+    g.add_op(
+        "Linear 1 dX",
+        einsum("ui,ubj->ibj"),
+        &[w1, d_ff1_b],
+        &[d_ln1_out_ffn],
+    );
 
     let dw1 = ph(&mut g, "d_w1", "ui", DataRole::Output);
     bwd.push("Linear 1 dW".into());
-    g.add_op("Linear 1 dW", einsum("ubj,ibj->ui"), &[d_ff1_b, ln1_out], &[dw1]);
+    g.add_op(
+        "Linear 1 dW",
+        einsum("ubj,ibj->ui"),
+        &[d_ff1_b, ln1_out],
+        &[dw1],
+    );
 
     // residual-2 gradient join (the add inside EBSB)
     let d_ln1_out = ph(&mut g, "d_ln1_out", "ibj", DataRole::Gradient);
     bwd.push("Residual 2 dX".into());
-    g.add_op("Residual 2 dX", OpKind::Residual, &[d_ln1_out_ffn, d_ln2_in], &[d_ln1_out]);
+    g.add_op(
+        "Residual 2 dX",
+        OpKind::Residual,
+        &[d_ln1_out_ffn, d_ln2_in],
+        &[d_ln1_out],
+    );
 
     let dln1_g = ph(&mut g, "d_ln1_gamma", "i", DataRole::Output);
     let dln1_b = ph(&mut g, "d_ln1_beta", "i", DataRole::Output);
@@ -354,11 +462,23 @@ pub fn encoder(dims: &EncoderDims) -> EncoderGraph {
 
     let d_bo_out = ph(&mut g, "d_bo_out", "ibj", DataRole::Gradient);
     bwd.push("Dropout 1 dX".into());
-    g.add_op("Dropout 1 dX", OpKind::DropoutGrad, &[d_ln1_in, drop1_mask], &[d_bo_out]);
+    g.add_op(
+        "Dropout 1 dX",
+        OpKind::DropoutGrad,
+        &[d_ln1_in, drop1_mask],
+        &[d_bo_out],
+    );
 
     let dbo = ph(&mut g, "d_bo", "i", DataRole::Output);
     bwd.push("Output bias dW".into());
-    g.add_op("Output bias dW", OpKind::BiasGrad { axes: vec![Axis('i')] }, &[d_bo_out], &[dbo]);
+    g.add_op(
+        "Output bias dW",
+        OpKind::BiasGrad {
+            axes: vec![Axis('i')],
+        },
+        &[d_bo_out],
+        &[dbo],
+    );
 
     let d_gam = ph(&mut g, "d_gamma", "whbj", DataRole::Gradient);
     bwd.push("Out dX".into());
@@ -370,7 +490,12 @@ pub fn encoder(dims: &EncoderDims) -> EncoderGraph {
 
     let d_alpha = ph(&mut g, "d_alpha", "hbjk", DataRole::Gradient);
     bwd.push("Gamma dX1".into());
-    g.add_op("Gamma dX1", einsum("whbk,whbj->hbjk"), &[vv, d_gam], &[d_alpha]);
+    g.add_op(
+        "Gamma dX1",
+        einsum("whbk,whbj->hbjk"),
+        &[vv, d_gam],
+        &[d_alpha],
+    );
 
     // stacked Q/K/V gradient container; the three writers fill slices
     let d_qkv = g.add_data("d_qkv", stacked_shape(dims, "hbj"), DataRole::Gradient);
@@ -385,7 +510,12 @@ pub fn encoder(dims: &EncoderDims) -> EncoderGraph {
 
     let d_att = ph(&mut g, "d_att", "hbjk", DataRole::Gradient);
     bwd.push("Dropout att dX".into());
-    g.add_op("Dropout att dX", OpKind::DropoutGrad, &[d_alpha, att_mask], &[d_att]);
+    g.add_op(
+        "Dropout att dX",
+        OpKind::DropoutGrad,
+        &[d_alpha, att_mask],
+        &[d_att],
+    );
 
     let d_beta = ph(&mut g, "d_beta", "hbjk", DataRole::Gradient);
     bwd.push("Scaled softmax dX".into());
@@ -417,14 +547,21 @@ pub fn encoder(dims: &EncoderDims) -> EncoderGraph {
     bwd.push("Input bias dW".into());
     g.add_op(
         "Input bias dW",
-        OpKind::BiasGrad { axes: vec![Axis('p'), Axis('h')] },
+        OpKind::BiasGrad {
+            axes: vec![Axis('p'), Axis('h')],
+        },
         &[d_qkv],
         &[dbq, dbk, dbv],
     );
 
     let d_x_mha = ph(&mut g, "d_x_mha", "ibj", DataRole::Gradient);
     bwd.push("Q,K,V dX".into());
-    g.add_op("Q,K,V dX", einsum("shi,shbj->ibj"), &[w_qkv, d_qkv], &[d_x_mha]);
+    g.add_op(
+        "Q,K,V dX",
+        einsum("shi,shbj->ibj"),
+        &[w_qkv, d_qkv],
+        &[d_x_mha],
+    );
 
     let dw_qkv = g.add_data("d_w_qkv", stacked_shape(dims, "hi"), DataRole::Output);
     bwd.push("Q,K,V dW".into());
@@ -432,7 +569,12 @@ pub fn encoder(dims: &EncoderDims) -> EncoderGraph {
 
     let dx = ph(&mut g, "dx", "ibj", DataRole::Output);
     bwd.push("Residual 1 dX".into());
-    g.add_op("Residual 1 dX", OpKind::Residual, &[d_x_mha, d_ln1_in], &[dx]);
+    g.add_op(
+        "Residual 1 dX",
+        OpKind::Residual,
+        &[d_x_mha, d_ln1_in],
+        &[dx],
+    );
 
     EncoderGraph {
         graph: g,
@@ -491,7 +633,10 @@ mod tests {
         let g = &e.graph;
         let mw = |name: &str| {
             let op = g.op_by_name(name).unwrap();
-            (g.input_words(op) as f64 / 1e6, g.output_words(op) as f64 / 1e6)
+            (
+                g.input_words(op) as f64 / 1e6,
+                g.output_words(op) as f64 / 1e6,
+            )
         };
         let (i, o) = mw("Q,K,V");
         assert!((i - 7.3).abs() < 0.1, "Q,K,V in {i}");
@@ -590,9 +735,7 @@ mod tests {
             e.graph
                 .ops()
                 .into_iter()
-                .filter(|&op| {
-                    e.graph.op(op).unwrap().kind.class() == OpClass::TensorContraction
-                })
+                .filter(|&op| e.graph.op(op).unwrap().kind.class() == OpClass::TensorContraction)
                 .map(|op| op_flop(&e.graph, op).unwrap())
                 .sum()
         };
@@ -604,10 +747,25 @@ mod tests {
         let e = decoder(&EncoderDims::tiny());
         let g = &e.graph;
         for name in [
-            "d_w_qkv", "d_bq", "d_bk", "d_bv", "d_wo", "d_bo", "d_ln1_gamma", "d_ln1_beta",
-            "d_w1", "d_b1", "d_w2", "d_b2", "d_ln2_gamma", "d_ln2_beta", "dx",
+            "d_w_qkv",
+            "d_bq",
+            "d_bk",
+            "d_bv",
+            "d_wo",
+            "d_bo",
+            "d_ln1_gamma",
+            "d_ln1_beta",
+            "d_w1",
+            "d_b1",
+            "d_w2",
+            "d_b2",
+            "d_ln2_gamma",
+            "d_ln2_beta",
+            "dx",
         ] {
-            let id = g.data_by_name(name).unwrap_or_else(|| panic!("missing {name}"));
+            let id = g
+                .data_by_name(name)
+                .unwrap_or_else(|| panic!("missing {name}"));
             assert!(!g.producers_of(id).is_empty(), "{name} unproduced");
         }
     }
@@ -616,9 +774,17 @@ mod tests {
     fn builders_produce_structurally_valid_graphs() {
         for dims in [EncoderDims::tiny(), EncoderDims::bert_large()] {
             let e = encoder(&dims);
-            assert!(e.graph.validate().is_empty(), "encoder: {:?}", e.graph.validate());
+            assert!(
+                e.graph.validate().is_empty(),
+                "encoder: {:?}",
+                e.graph.validate()
+            );
             let d = decoder(&dims);
-            assert!(d.graph.validate().is_empty(), "decoder: {:?}", d.graph.validate());
+            assert!(
+                d.graph.validate().is_empty(),
+                "decoder: {:?}",
+                d.graph.validate()
+            );
             let m = mha_forward(&dims);
             assert!(m.validate().is_empty(), "mha: {:?}", m.validate());
         }
@@ -644,7 +810,11 @@ mod tests {
             let node = g.data(d).unwrap();
             match node.role {
                 DataRole::Input | DataRole::Weight => {
-                    assert!(g.producer_of(d).is_none(), "{} should have no producer", node.name);
+                    assert!(
+                        g.producer_of(d).is_none(),
+                        "{} should have no producer",
+                        node.name
+                    );
                 }
                 DataRole::Gradient | DataRole::Output | DataRole::Activation | DataRole::Saved => {
                     if node.name != "dy" {
@@ -708,7 +878,12 @@ pub fn decoder(dims: &EncoderDims) -> EncoderGraph {
 
     let qkv_raw = g.add_data("qkv_raw", stacked_shape(dims, "hbj"), DataRole::Activation);
     fwd.push("Q,K,V".into());
-    g.add_op("Q,K,V", einsum("shi,ibj->shbj"), &[w_qkv, ln1_out], &[qkv_raw]);
+    g.add_op(
+        "Q,K,V",
+        einsum("shi,ibj->shbj"),
+        &[w_qkv, ln1_out],
+        &[qkv_raw],
+    );
 
     let qq = ph(&mut g, "qq", "phbj", DataRole::Saved);
     let kk = ph(&mut g, "kk", "phbk", DataRole::Saved);
@@ -734,7 +909,12 @@ pub fn decoder(dims: &EncoderDims) -> EncoderGraph {
 
     let att = ph(&mut g, "att", "hbjk", DataRole::Saved);
     fwd.push("Masked softmax".into());
-    g.add_op("Masked softmax", OpKind::Softmax { axis: Axis('k') }, &[beta], &[att]);
+    g.add_op(
+        "Masked softmax",
+        OpKind::Softmax { axis: Axis('k') },
+        &[beta],
+        &[att],
+    );
 
     let alpha = ph(&mut g, "alpha", "hbjk", DataRole::Saved);
     let att_mask = ph(&mut g, "att_mask", "hbjk", DataRole::Saved);
@@ -751,12 +931,24 @@ pub fn decoder(dims: &EncoderDims) -> EncoderGraph {
 
     let bo_out = ph(&mut g, "bo_out", "ibj", DataRole::Activation);
     fwd.push("Output bias".into());
-    g.add_op("Output bias", OpKind::Bias { axes: vec![Axis('i')] }, &[out_mm, bo], &[bo_out]);
+    g.add_op(
+        "Output bias",
+        OpKind::Bias {
+            axes: vec![Axis('i')],
+        },
+        &[out_mm, bo],
+        &[bo_out],
+    );
 
     let drop1_out = ph(&mut g, "drop1_out", "ibj", DataRole::Activation);
     let drop1_mask = ph(&mut g, "drop1_mask", "ibj", DataRole::Saved);
     fwd.push("Dropout 1".into());
-    g.add_op("Dropout 1", OpKind::Dropout, &[bo_out], &[drop1_out, drop1_mask]);
+    g.add_op(
+        "Dropout 1",
+        OpKind::Dropout,
+        &[bo_out],
+        &[drop1_out, drop1_mask],
+    );
 
     let res1 = ph(&mut g, "res1", "ibj", DataRole::Saved);
     fwd.push("Residual 1".into());
@@ -778,7 +970,14 @@ pub fn decoder(dims: &EncoderDims) -> EncoderGraph {
 
     let ff1_b = ph(&mut g, "ff1_b", "ubj", DataRole::Saved);
     fwd.push("Bias 1".into());
-    g.add_op("Bias 1", OpKind::Bias { axes: vec![Axis('u')] }, &[ff1, b1], &[ff1_b]);
+    g.add_op(
+        "Bias 1",
+        OpKind::Bias {
+            axes: vec![Axis('u')],
+        },
+        &[ff1, b1],
+        &[ff1_b],
+    );
 
     let ff1_act = ph(&mut g, "ff1_act", "ubj", DataRole::Activation);
     fwd.push("GELU".into());
@@ -787,7 +986,12 @@ pub fn decoder(dims: &EncoderDims) -> EncoderGraph {
     let ff1_drop = ph(&mut g, "ff1_drop", "ubj", DataRole::Saved);
     let drop2_mask = ph(&mut g, "drop2_mask", "ubj", DataRole::Saved);
     fwd.push("Dropout 2".into());
-    g.add_op("Dropout 2", OpKind::Dropout, &[ff1_act], &[ff1_drop, drop2_mask]);
+    g.add_op(
+        "Dropout 2",
+        OpKind::Dropout,
+        &[ff1_act],
+        &[ff1_drop, drop2_mask],
+    );
 
     let ff2 = ph(&mut g, "ff2", "ibj", DataRole::Activation);
     fwd.push("Linear 2".into());
@@ -795,12 +999,24 @@ pub fn decoder(dims: &EncoderDims) -> EncoderGraph {
 
     let ff2_b = ph(&mut g, "ff2_b", "ibj", DataRole::Activation);
     fwd.push("Bias 2".into());
-    g.add_op("Bias 2", OpKind::Bias { axes: vec![Axis('i')] }, &[ff2, b2], &[ff2_b]);
+    g.add_op(
+        "Bias 2",
+        OpKind::Bias {
+            axes: vec![Axis('i')],
+        },
+        &[ff2, b2],
+        &[ff2_b],
+    );
 
     let ff2_drop = ph(&mut g, "ff2_drop", "ibj", DataRole::Activation);
     let drop3_mask = ph(&mut g, "drop3_mask", "ibj", DataRole::Saved);
     fwd.push("Dropout 3".into());
-    g.add_op("Dropout 3", OpKind::Dropout, &[ff2_b], &[ff2_drop, drop3_mask]);
+    g.add_op(
+        "Dropout 3",
+        OpKind::Dropout,
+        &[ff2_b],
+        &[ff2_drop, drop3_mask],
+    );
 
     let y = ph(&mut g, "y", "ibj", DataRole::Output);
     fwd.push("Residual 2".into());
@@ -812,23 +1028,50 @@ pub fn decoder(dims: &EncoderDims) -> EncoderGraph {
     // residual 2 passes dy to both branches; FFN side first
     let d_ff2_b = ph(&mut g, "d_ff2_b", "ibj", DataRole::Gradient);
     bwd.push("Dropout 3 dX".into());
-    g.add_op("Dropout 3 dX", OpKind::DropoutGrad, &[dy, drop3_mask], &[d_ff2_b]);
+    g.add_op(
+        "Dropout 3 dX",
+        OpKind::DropoutGrad,
+        &[dy, drop3_mask],
+        &[d_ff2_b],
+    );
 
     let db2 = ph(&mut g, "d_b2", "i", DataRole::Output);
     bwd.push("Bias 2 dW".into());
-    g.add_op("Bias 2 dW", OpKind::BiasGrad { axes: vec![Axis('i')] }, &[d_ff2_b], &[db2]);
+    g.add_op(
+        "Bias 2 dW",
+        OpKind::BiasGrad {
+            axes: vec![Axis('i')],
+        },
+        &[d_ff2_b],
+        &[db2],
+    );
 
     let d_ff1_drop = ph(&mut g, "d_ff1_drop", "ubj", DataRole::Gradient);
     bwd.push("Linear 2 dX".into());
-    g.add_op("Linear 2 dX", einsum("iu,ibj->ubj"), &[w2, d_ff2_b], &[d_ff1_drop]);
+    g.add_op(
+        "Linear 2 dX",
+        einsum("iu,ibj->ubj"),
+        &[w2, d_ff2_b],
+        &[d_ff1_drop],
+    );
 
     let dw2 = ph(&mut g, "d_w2", "iu", DataRole::Output);
     bwd.push("Linear 2 dW".into());
-    g.add_op("Linear 2 dW", einsum("ibj,ubj->iu"), &[d_ff2_b, ff1_drop], &[dw2]);
+    g.add_op(
+        "Linear 2 dW",
+        einsum("ibj,ubj->iu"),
+        &[d_ff2_b, ff1_drop],
+        &[dw2],
+    );
 
     let d_ff1_act = ph(&mut g, "d_ff1_act", "ubj", DataRole::Gradient);
     bwd.push("Dropout 2 dX".into());
-    g.add_op("Dropout 2 dX", OpKind::DropoutGrad, &[d_ff1_drop, drop2_mask], &[d_ff1_act]);
+    g.add_op(
+        "Dropout 2 dX",
+        OpKind::DropoutGrad,
+        &[d_ff1_drop, drop2_mask],
+        &[d_ff1_act],
+    );
 
     let d_ff1_b = ph(&mut g, "d_ff1_b", "ubj", DataRole::Gradient);
     bwd.push("GELU dX".into());
@@ -836,15 +1079,32 @@ pub fn decoder(dims: &EncoderDims) -> EncoderGraph {
 
     let db1 = ph(&mut g, "d_b1", "u", DataRole::Output);
     bwd.push("Bias 1 dW".into());
-    g.add_op("Bias 1 dW", OpKind::BiasGrad { axes: vec![Axis('u')] }, &[d_ff1_b], &[db1]);
+    g.add_op(
+        "Bias 1 dW",
+        OpKind::BiasGrad {
+            axes: vec![Axis('u')],
+        },
+        &[d_ff1_b],
+        &[db1],
+    );
 
     let d_ln2_out = ph(&mut g, "d_ln2_out", "ibj", DataRole::Gradient);
     bwd.push("Linear 1 dX".into());
-    g.add_op("Linear 1 dX", einsum("ui,ubj->ibj"), &[w1, d_ff1_b], &[d_ln2_out]);
+    g.add_op(
+        "Linear 1 dX",
+        einsum("ui,ubj->ibj"),
+        &[w1, d_ff1_b],
+        &[d_ln2_out],
+    );
 
     let dw1 = ph(&mut g, "d_w1", "ui", DataRole::Output);
     bwd.push("Linear 1 dW".into());
-    g.add_op("Linear 1 dW", einsum("ubj,ibj->ui"), &[d_ff1_b, ln2_out], &[dw1]);
+    g.add_op(
+        "Linear 1 dW",
+        einsum("ubj,ibj->ui"),
+        &[d_ff1_b, ln2_out],
+        &[dw1],
+    );
 
     let dln2_g = ph(&mut g, "d_ln2_gamma", "i", DataRole::Output);
     let dln2_b = ph(&mut g, "d_ln2_beta", "i", DataRole::Output);
@@ -868,15 +1128,32 @@ pub fn decoder(dims: &EncoderDims) -> EncoderGraph {
     // res1 gradient = dy (skip branch of residual 2) + d_ln2_in
     let d_res1 = ph(&mut g, "d_res1", "ibj", DataRole::Gradient);
     bwd.push("Residual 2 dX".into());
-    g.add_op("Residual 2 dX", OpKind::Residual, &[dy, d_ln2_in], &[d_res1]);
+    g.add_op(
+        "Residual 2 dX",
+        OpKind::Residual,
+        &[dy, d_ln2_in],
+        &[d_res1],
+    );
 
     let d_bo_out = ph(&mut g, "d_bo_out", "ibj", DataRole::Gradient);
     bwd.push("Dropout 1 dX".into());
-    g.add_op("Dropout 1 dX", OpKind::DropoutGrad, &[d_res1, drop1_mask], &[d_bo_out]);
+    g.add_op(
+        "Dropout 1 dX",
+        OpKind::DropoutGrad,
+        &[d_res1, drop1_mask],
+        &[d_bo_out],
+    );
 
     let dbo = ph(&mut g, "d_bo", "i", DataRole::Output);
     bwd.push("Output bias dW".into());
-    g.add_op("Output bias dW", OpKind::BiasGrad { axes: vec![Axis('i')] }, &[d_bo_out], &[dbo]);
+    g.add_op(
+        "Output bias dW",
+        OpKind::BiasGrad {
+            axes: vec![Axis('i')],
+        },
+        &[d_bo_out],
+        &[dbo],
+    );
 
     let d_gam = ph(&mut g, "d_gamma", "whbj", DataRole::Gradient);
     bwd.push("Out dX".into());
@@ -888,7 +1165,12 @@ pub fn decoder(dims: &EncoderDims) -> EncoderGraph {
 
     let d_alpha = ph(&mut g, "d_alpha", "hbjk", DataRole::Gradient);
     bwd.push("Gamma dX1".into());
-    g.add_op("Gamma dX1", einsum("whbk,whbj->hbjk"), &[vv, d_gam], &[d_alpha]);
+    g.add_op(
+        "Gamma dX1",
+        einsum("whbk,whbj->hbjk"),
+        &[vv, d_gam],
+        &[d_alpha],
+    );
 
     let d_qkv = g.add_data("d_qkv", stacked_shape(dims, "hbj"), DataRole::Gradient);
     bwd.push("Gamma dX2".into());
@@ -901,7 +1183,12 @@ pub fn decoder(dims: &EncoderDims) -> EncoderGraph {
 
     let d_att = ph(&mut g, "d_att", "hbjk", DataRole::Gradient);
     bwd.push("Dropout att dX".into());
-    g.add_op("Dropout att dX", OpKind::DropoutGrad, &[d_alpha, att_mask], &[d_att]);
+    g.add_op(
+        "Dropout att dX",
+        OpKind::DropoutGrad,
+        &[d_alpha, att_mask],
+        &[d_att],
+    );
 
     let d_beta = ph(&mut g, "d_beta", "hbjk", DataRole::Gradient);
     bwd.push("Masked softmax dX".into());
@@ -933,18 +1220,30 @@ pub fn decoder(dims: &EncoderDims) -> EncoderGraph {
     bwd.push("Input bias dW".into());
     g.add_op(
         "Input bias dW",
-        OpKind::BiasGrad { axes: vec![Axis('p'), Axis('h')] },
+        OpKind::BiasGrad {
+            axes: vec![Axis('p'), Axis('h')],
+        },
         &[d_qkv],
         &[dbq, dbk, dbv],
     );
 
     let d_ln1_out = ph(&mut g, "d_ln1_out", "ibj", DataRole::Gradient);
     bwd.push("Q,K,V dX".into());
-    g.add_op("Q,K,V dX", einsum("shi,shbj->ibj"), &[w_qkv, d_qkv], &[d_ln1_out]);
+    g.add_op(
+        "Q,K,V dX",
+        einsum("shi,shbj->ibj"),
+        &[w_qkv, d_qkv],
+        &[d_ln1_out],
+    );
 
     let dw_qkv = g.add_data("d_w_qkv", stacked_shape(dims, "hi"), DataRole::Output);
     bwd.push("Q,K,V dW".into());
-    g.add_op("Q,K,V dW", einsum("shbj,ibj->shi"), &[d_qkv, ln1_out], &[dw_qkv]);
+    g.add_op(
+        "Q,K,V dW",
+        einsum("shbj,ibj->shi"),
+        &[d_qkv, ln1_out],
+        &[dw_qkv],
+    );
 
     let dln1_g = ph(&mut g, "d_ln1_gamma", "i", DataRole::Output);
     let dln1_b = ph(&mut g, "d_ln1_beta", "i", DataRole::Output);
@@ -967,7 +1266,12 @@ pub fn decoder(dims: &EncoderDims) -> EncoderGraph {
 
     let dx = ph(&mut g, "dx", "ibj", DataRole::Output);
     bwd.push("Residual 1 dX".into());
-    g.add_op("Residual 1 dX", OpKind::Residual, &[d_ln1_in, d_res1], &[dx]);
+    g.add_op(
+        "Residual 1 dX",
+        OpKind::Residual,
+        &[d_ln1_in, d_res1],
+        &[dx],
+    );
 
     EncoderGraph {
         graph: g,

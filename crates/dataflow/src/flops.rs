@@ -83,12 +83,8 @@ pub fn op_flop(graph: &Graph, op: NodeId) -> Result<u64> {
         OpKind::Softmax { .. } => Ok(SOFTMAX_FLOP_PER_ELEM * first_output_elems()?),
         OpKind::SoftmaxGrad { .. } => Ok(SOFTMAX_GRAD_FLOP_PER_ELEM * first_input_elems()?),
         OpKind::LayerNorm { .. } => Ok(LAYERNORM_FLOP_PER_ELEM * first_output_elems()?),
-        OpKind::LayerNormGradX { .. } => {
-            Ok(LAYERNORM_GRAD_X_FLOP_PER_ELEM * first_input_elems()?)
-        }
-        OpKind::LayerNormGradW { .. } => {
-            Ok(LAYERNORM_GRAD_W_FLOP_PER_ELEM * first_input_elems()?)
-        }
+        OpKind::LayerNormGradX { .. } => Ok(LAYERNORM_GRAD_X_FLOP_PER_ELEM * first_input_elems()?),
+        OpKind::LayerNormGradW { .. } => Ok(LAYERNORM_GRAD_W_FLOP_PER_ELEM * first_input_elems()?),
         OpKind::Fused { flop, .. } => Ok(*flop),
     }
 }
@@ -126,7 +122,12 @@ mod tests {
             Shape::new([('m', 4), ('n', 2)]).unwrap(),
             DataRole::Output,
         );
-        let op = g.add_op("mm", OpKind::Einsum("mk,kn->mn".parse().unwrap()), &[a, b], &[c]);
+        let op = g.add_op(
+            "mm",
+            OpKind::Einsum("mk,kn->mn".parse().unwrap()),
+            &[a, b],
+            &[c],
+        );
         assert_eq!(op_flop(&g, op).unwrap(), 2 * 4 * 8 * 2);
     }
 

@@ -123,17 +123,22 @@ impl Graph {
         let ins: Vec<(NodeId, u64)> = inputs
             .iter()
             .map(|&i| {
-                let words =
-                    self.data(i).expect("op input must be a data node").shape.num_elements() as u64;
+                let words = self
+                    .data(i)
+                    .expect("op input must be a data node")
+                    .shape
+                    .num_elements() as u64;
                 (i, words)
             })
             .collect();
         let outs: Vec<(NodeId, u64)> = outputs
             .iter()
             .map(|&o| {
-                let words =
-                    self.data(o).expect("op output must be a data node").shape.num_elements()
-                        as u64;
+                let words = self
+                    .data(o)
+                    .expect("op output must be a data node")
+                    .shape
+                    .num_elements() as u64;
                 (o, words)
             })
             .collect();
@@ -259,10 +264,7 @@ impl Graph {
 
     /// The operator that writes a data node, if any.
     pub fn producer_of(&self, data: NodeId) -> Option<NodeId> {
-        self.edges
-            .iter()
-            .find(|e| e.to == data)
-            .map(|e| e.from)
+        self.edges.iter().find(|e| e.to == data).map(|e| e.from)
     }
 
     /// Operators that read a data node.
@@ -313,7 +315,9 @@ impl Graph {
     /// fuses contractions into element-wise kernels; Sec. IV-C).
     pub fn fuse(&mut self, group: &[NodeId], name: &str) -> Result<NodeId, TensorError> {
         if group.is_empty() {
-            return Err(TensorError::Unsupported("cannot fuse an empty group".into()));
+            return Err(TensorError::Unsupported(
+                "cannot fuse an empty group".into(),
+            ));
         }
         let mut parts = Vec::new();
         let mut flop_total = 0u64;
@@ -355,8 +359,7 @@ impl Graph {
                 let consumers = self.consumers_of(d);
                 let all_inside = !consumers.is_empty() && consumers.iter().all(|&c| in_group(c));
                 let role = self.data(d).expect("edge target is data").role;
-                let interim_role =
-                    role == DataRole::Activation || role == DataRole::Gradient;
+                let interim_role = role == DataRole::Activation || role == DataRole::Gradient;
                 if all_inside && interim_role {
                     if !interim.contains(&d) {
                         interim.push(d);
@@ -368,7 +371,11 @@ impl Graph {
         }
 
         // Delete the group's ops, their memlets, and interim containers.
-        let dead: Vec<NodeId> = group.iter().copied().chain(interim.iter().copied()).collect();
+        let dead: Vec<NodeId> = group
+            .iter()
+            .copied()
+            .chain(interim.iter().copied())
+            .collect();
         self.edges
             .retain(|e| !dead.contains(&e.from) && !dead.contains(&e.to));
         for id in dead {
@@ -464,7 +471,11 @@ impl Graph {
                 continue;
             }
             let container = if from_data { e.from } else { e.to };
-            let cap = self.data(container).expect("validated").shape.num_elements() as u64;
+            let cap = self
+                .data(container)
+                .expect("validated")
+                .shape
+                .num_elements() as u64;
             if e.volume_words > cap {
                 problems.push(format!(
                     "edge {} -> {} moves {} words but the container holds {}",
@@ -663,12 +674,7 @@ mod tests {
         let b = g.add_data("b", shape(4), DataRole::Input);
         let c = g.add_data("c", shape(4), DataRole::Output);
         let spec = "xy,yz->xz".parse().unwrap();
-        let mm = g.add_op(
-            "mm",
-            OpKind::Einsum(spec),
-            &[a, b],
-            &[c],
-        );
+        let mm = g.add_op("mm", OpKind::Einsum(spec), &[a, b], &[c]);
         assert!(g.fuse(&[], "F").is_err());
         assert!(g.fuse(&[mm], "F").is_err());
         assert!(g.fuse(&[a], "F").is_err()); // not an op

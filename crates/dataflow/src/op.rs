@@ -224,7 +224,10 @@ mod tests {
         assert_eq!(OpKind::Dropout.class(), OpClass::Elementwise);
         assert_eq!(OpKind::Residual.class(), OpClass::Elementwise);
         assert_eq!(
-            OpKind::BiasGrad { axes: vec![Axis('i')] }.class(),
+            OpKind::BiasGrad {
+                axes: vec![Axis('i')]
+            }
+            .class(),
             OpClass::StatisticalNormalization
         );
     }
@@ -232,8 +235,14 @@ mod tests {
     #[test]
     fn reductions_flagged() {
         assert!(OpKind::Softmax { axis: Axis('k') }.has_reduction());
-        assert!(OpKind::BiasGrad { axes: vec![Axis('i')] }.has_reduction());
-        assert!(!OpKind::Bias { axes: vec![Axis('i')] }.has_reduction());
+        assert!(OpKind::BiasGrad {
+            axes: vec![Axis('i')]
+        }
+        .has_reduction());
+        assert!(!OpKind::Bias {
+            axes: vec![Axis('i')]
+        }
+        .has_reduction());
         assert!(!OpKind::Relu.has_reduction());
     }
 
@@ -241,7 +250,10 @@ mod tests {
     fn display_is_compact() {
         assert_eq!(OpKind::Scale.to_string(), "scale");
         assert_eq!(
-            OpKind::Bias { axes: vec![Axis('p'), Axis('h')] }.to_string(),
+            OpKind::Bias {
+                axes: vec![Axis('p'), Axis('h')]
+            }
+            .to_string(),
             "bias[ph]"
         );
         let fused = OpKind::Fused {

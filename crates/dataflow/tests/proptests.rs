@@ -24,8 +24,12 @@ fn arb_dims() -> impl Strategy<Value = EncoderDims> {
 
 /// A random element-wise chain graph: input → op₁ → … → opₙ → output.
 fn arb_chain() -> impl Strategy<Value = (Graph, Vec<xform_dataflow::NodeId>)> {
-    (1usize..6, 2usize..6, proptest::collection::vec(0usize..4, 2..6)).prop_map(
-        |(n, m, kinds)| {
+    (
+        1usize..6,
+        2usize..6,
+        proptest::collection::vec(0usize..4, 2..6),
+    )
+        .prop_map(|(n, m, kinds)| {
             let mut g = Graph::new();
             let shape = Shape::new([('a', n), ('b', m)]).unwrap();
             let mut prev = g.add_data("in", shape.clone(), DataRole::Input);
@@ -48,8 +52,7 @@ fn arb_chain() -> impl Strategy<Value = (Graph, Vec<xform_dataflow::NodeId>)> {
                 prev = out;
             }
             (g, ops)
-        },
-    )
+        })
 }
 
 proptest! {

@@ -264,7 +264,9 @@ fn layout_key(layout: GemmLayout) -> u64 {
         InnerRole::K => 2,
         InnerRole::Batch => 3,
     };
-    (r(layout.a_inner) << 4) | (r(layout.b_inner) << 2) | r(layout.c_inner)
+    (r(layout.a_inner) << 4)
+        | (r(layout.b_inner) << 2)
+        | r(layout.c_inner)
         | ((layout.blocked as u64) << 6)
 }
 
@@ -320,10 +322,19 @@ mod tests {
     #[test]
     fn large_gemm_runs_near_calibrated_efficiency() {
         // Linear layer of BERT-large: M=4096, N=4096, K=1024 (Fig. 4 tile).
-        let shape = GemmShape { batch: 1, m: 4096, n: 4096, k: 1024 };
+        let shape = GemmShape {
+            batch: 1,
+            m: 4096,
+            n: 4096,
+            k: 1024,
+        };
         let (_, cost) = best_algo_cost(&v100(), shape, GemmLayout::ideal(), MathMode::TensorCore);
         // Paper measures this GEMM at ~402-451 µs (55-62% of peak).
-        assert!(cost.time_us > 300.0 && cost.time_us < 550.0, "{}", cost.time_us);
+        assert!(
+            cost.time_us > 300.0 && cost.time_us < 550.0,
+            "{}",
+            cost.time_us
+        );
         let pct = cost.pct_of_peak(125.0);
         assert!(pct > 45.0 && pct < 70.0, "pct {pct}");
     }
@@ -331,10 +342,18 @@ mod tests {
     #[test]
     fn small_k_batched_gemm_underutilizes_tensor_cores() {
         // QKᵀ: batch=128, M=N=512, K=64 — Table III reports 16-26% of peak.
-        let shape = GemmShape { batch: 128, m: 512, n: 512, k: 64 };
+        let shape = GemmShape {
+            batch: 128,
+            m: 512,
+            n: 512,
+            k: 64,
+        };
         let (_, cost) = best_algo_cost(&v100(), shape, GemmLayout::ideal(), MathMode::TensorCore);
         let pct = cost.pct_of_peak(125.0);
-        assert!(pct < 35.0, "expected tensor-core underutilization, got {pct}%");
+        assert!(
+            pct < 35.0,
+            "expected tensor-core underutilization, got {pct}%"
+        );
         assert!(pct > 8.0, "model collapsed: {pct}%");
     }
 
@@ -342,25 +361,68 @@ mod tests {
     fn fp16_competitive_when_dims_small() {
         // Paper (Sec. V-A): when one matrix dimension is 64, FP16 FPUs come
         // close to tensor cores.
-        let small = GemmShape { batch: 128, m: 512, n: 64, k: 512 };
+        let small = GemmShape {
+            batch: 128,
+            m: 512,
+            n: 64,
+            k: 512,
+        };
         let (_, tc) = best_algo_cost(&v100(), small, GemmLayout::ideal(), MathMode::TensorCore);
         let (_, fp) = best_algo_cost(&v100(), small, GemmLayout::ideal(), MathMode::Fp16);
-        assert!(fp.time_us / tc.time_us < 2.5, "fp16 {} vs tc {}", fp.time_us, tc.time_us);
+        assert!(
+            fp.time_us / tc.time_us < 2.5,
+            "fp16 {} vs tc {}",
+            fp.time_us,
+            tc.time_us
+        );
 
-        let big = GemmShape { batch: 1, m: 4096, n: 4096, k: 1024 };
+        let big = GemmShape {
+            batch: 1,
+            m: 4096,
+            n: 4096,
+            k: 1024,
+        };
         let (_, tc_b) = best_algo_cost(&v100(), big, GemmLayout::ideal(), MathMode::TensorCore);
         let (_, fp_b) = best_algo_cost(&v100(), big, GemmLayout::ideal(), MathMode::Fp16);
-        assert!(fp_b.time_us / tc_b.time_us > 2.5, "tensor cores should win on large GEMMs");
+        assert!(
+            fp_b.time_us / tc_b.time_us > 2.5,
+            "tensor cores should win on large GEMMs"
+        );
     }
 
     #[test]
     fn heuristic_is_sometimes_worse_but_never_catastrophic() {
         let shapes = [
-            GemmShape { batch: 1, m: 4096, n: 1024, k: 1024 },
-            GemmShape { batch: 128, m: 512, n: 512, k: 64 },
-            GemmShape { batch: 128, m: 512, n: 64, k: 512 },
-            GemmShape { batch: 1, m: 4096, n: 4096, k: 1024 },
-            GemmShape { batch: 1, m: 1024, n: 1024, k: 4096 },
+            GemmShape {
+                batch: 1,
+                m: 4096,
+                n: 1024,
+                k: 1024,
+            },
+            GemmShape {
+                batch: 128,
+                m: 512,
+                n: 512,
+                k: 64,
+            },
+            GemmShape {
+                batch: 128,
+                m: 512,
+                n: 64,
+                k: 512,
+            },
+            GemmShape {
+                batch: 1,
+                m: 4096,
+                n: 4096,
+                k: 1024,
+            },
+            GemmShape {
+                batch: 1,
+                m: 1024,
+                n: 1024,
+                k: 4096,
+            },
         ];
         let mut worst_gap = 0.0f64;
         for shape in shapes {
@@ -371,19 +433,28 @@ mod tests {
                 heuristic_algorithm(shape),
                 MathMode::TensorCore,
             );
-            let (_, best) = best_algo_cost(&v100(), shape, GemmLayout::ideal(), MathMode::TensorCore);
+            let (_, best) =
+                best_algo_cost(&v100(), shape, GemmLayout::ideal(), MathMode::TensorCore);
             let gap = h.time_us / best.time_us - 1.0;
             assert!(gap >= -1e-9, "heuristic beat the best algorithm");
             worst_gap = worst_gap.max(gap);
         }
         // Sec. V-A: heuristic up to ~14% worse than best.
         assert!(worst_gap > 0.005, "heuristic never suboptimal: {worst_gap}");
-        assert!(worst_gap < 0.40, "heuristic unrealistically bad: {worst_gap}");
+        assert!(
+            worst_gap < 0.40,
+            "heuristic unrealistically bad: {worst_gap}"
+        );
     }
 
     #[test]
     fn bad_layouts_are_slower() {
-        let shape = GemmShape { batch: 128, m: 512, n: 512, k: 64 };
+        let shape = GemmShape {
+            batch: 128,
+            m: 512,
+            n: 512,
+            k: 64,
+        };
         let good = best_algo_cost(&v100(), shape, GemmLayout::ideal(), MathMode::TensorCore).1;
         let bad_layout = GemmLayout {
             a_inner: InnerRole::Batch,
@@ -398,9 +469,24 @@ mod tests {
     #[test]
     fn moved_words_at_least_lower_bound() {
         for shape in [
-            GemmShape { batch: 1, m: 64, n: 64, k: 64 },
-            GemmShape { batch: 16, m: 512, n: 512, k: 64 },
-            GemmShape { batch: 1, m: 4096, n: 4096, k: 4096 },
+            GemmShape {
+                batch: 1,
+                m: 64,
+                n: 64,
+                k: 64,
+            },
+            GemmShape {
+                batch: 16,
+                m: 512,
+                n: 512,
+                k: 64,
+            },
+            GemmShape {
+                batch: 1,
+                m: 4096,
+                n: 4096,
+                k: 4096,
+            },
         ] {
             let c = gemm_cost(
                 &v100(),
@@ -426,9 +512,26 @@ mod tests {
 
     #[test]
     fn cost_is_deterministic() {
-        let shape = GemmShape { batch: 2, m: 256, n: 256, k: 256 };
-        let a = gemm_cost(&v100(), shape, GemmLayout::ideal(), algorithms()[0], MathMode::TensorCore);
-        let b = gemm_cost(&v100(), shape, GemmLayout::ideal(), algorithms()[0], MathMode::TensorCore);
+        let shape = GemmShape {
+            batch: 2,
+            m: 256,
+            n: 256,
+            k: 256,
+        };
+        let a = gemm_cost(
+            &v100(),
+            shape,
+            GemmLayout::ideal(),
+            algorithms()[0],
+            MathMode::TensorCore,
+        );
+        let b = gemm_cost(
+            &v100(),
+            shape,
+            GemmLayout::ideal(),
+            algorithms()[0],
+            MathMode::TensorCore,
+        );
         assert_eq!(a, b);
     }
 }

@@ -176,10 +176,7 @@ mod tests {
     #[test]
     fn noise_varies_by_key() {
         let xs: Vec<f64> = (0..100).map(|k| config_noise(k, 0.1)).collect();
-        let distinct = xs
-            .iter()
-            .filter(|&&x| (x - xs[0]).abs() > 1e-12)
-            .count();
+        let distinct = xs.iter().filter(|&&x| (x - xs[0]).abs() > 1e-12).count();
         assert!(distinct > 90);
     }
 

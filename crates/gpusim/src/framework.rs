@@ -204,7 +204,11 @@ fn choose_config(
             let mut best: Option<(OpConfig, KernelCost)> = None;
             for cfg in config_space(graph, op)? {
                 if let Ok(cost) = op_cost(device, graph, op, &cfg) {
-                    if best.as_ref().map(|(_, b)| cost.time_us < b.time_us).unwrap_or(true) {
+                    if best
+                        .as_ref()
+                        .map(|(_, b)| cost.time_us < b.time_us)
+                        .unwrap_or(true)
+                    {
                         best = Some((cfg, cost));
                     }
                 }
@@ -233,7 +237,11 @@ fn choose_config(
 /// // Table V ballpark: ~10 ms for one layer, fwd+bwd
 /// assert!(profile.total_us > 5_000.0 && profile.total_us < 20_000.0);
 /// ```
-pub fn execute(graph: &Graph, device: &DeviceSpec, policy: &FrameworkPolicy) -> Result<ExecutionProfile> {
+pub fn execute(
+    graph: &Graph,
+    device: &DeviceSpec,
+    policy: &FrameworkPolicy,
+) -> Result<ExecutionProfile> {
     let mut rows = Vec::new();
     let mut total = 0.0f64;
     for op in graph.ops() {
@@ -319,7 +327,10 @@ mod tests {
         let total = tc + sn + ew;
         let tc_pct = 100.0 * tc / total;
         let nc_pct = 100.0 * (sn + ew) / total;
-        assert!(tc_pct > 45.0 && tc_pct < 75.0, "contraction runtime {tc_pct}%");
+        assert!(
+            tc_pct > 45.0 && tc_pct < 75.0,
+            "contraction runtime {tc_pct}%"
+        );
         assert!(nc_pct > 25.0, "non-contraction runtime {nc_pct}%");
     }
 

@@ -135,7 +135,12 @@ mod tests {
     use super::*;
 
     fn access(words: u64, is_input: bool, vectorized: bool, coalesced: bool) -> TensorAccess {
-        TensorAccess { words, is_input, vectorized, coalesced }
+        TensorAccess {
+            words,
+            is_input,
+            vectorized,
+            coalesced,
+        }
     }
 
     fn base_desc() -> KernelDesc {
@@ -233,7 +238,12 @@ mod tests {
         };
         let two = kernel_cost(&DeviceSpec::v100(), &mk(2));
         let four = kernel_cost(&DeviceSpec::v100(), &mk(4));
-        assert!(four.time_us > two.time_us, "four {} two {}", four.time_us, two.time_us);
+        assert!(
+            four.time_us > two.time_us,
+            "four {} two {}",
+            four.time_us,
+            two.time_us
+        );
     }
 
     #[test]
@@ -249,7 +259,10 @@ mod tests {
     fn launch_overhead_dominates_tiny_kernels() {
         let d = KernelDesc {
             flop: 0,
-            accesses: vec![access(1024, true, true, false), access(1024, false, true, false)],
+            accesses: vec![
+                access(1024, true, true, false),
+                access(1024, false, true, false),
+            ],
             has_reduction: false,
             warp_matches_reduce: true,
             reduce_contiguous: true,

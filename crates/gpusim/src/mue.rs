@@ -97,8 +97,18 @@ mod tests {
         let desc = KernelDesc {
             flop: 4 << 20,
             accesses: vec![
-                TensorAccess { words: g.input_words(op), is_input: true, vectorized: true, coalesced: false },
-                TensorAccess { words: g.output_words(op), is_input: false, vectorized: true, coalesced: false },
+                TensorAccess {
+                    words: g.input_words(op),
+                    is_input: true,
+                    vectorized: true,
+                    coalesced: false,
+                },
+                TensorAccess {
+                    words: g.output_words(op),
+                    is_input: false,
+                    vectorized: true,
+                    coalesced: false,
+                },
             ],
             has_reduction: false,
             warp_matches_reduce: true,
@@ -119,7 +129,12 @@ mod tests {
         let g = &e.graph;
         let d = DeviceSpec::v100();
         let op = g.op_by_name("Linear 1").unwrap();
-        let shape = GemmShape { batch: 1, m: 4096, n: 4096, k: 1024 };
+        let shape = GemmShape {
+            batch: 1,
+            m: 4096,
+            n: 4096,
+            k: 1024,
+        };
         let (_, cost) = best_algo_cost(&d, shape, GemmLayout::ideal(), MathMode::TensorCore);
         let m = mue(g, op, &cost);
         let pct = cost.pct_of_peak(d.tensor_core_tflops);

@@ -145,7 +145,7 @@ impl OpInfo {
             name: node.name.clone(),
             kind: node.kind.clone(),
             in_axes: axes(&in_shape),
-            in2_axes: in2_shape.as_ref().map(|s| axes(s)),
+            in2_axes: in2_shape.as_ref().map(&axes),
             out_axes: axes(&out_shape),
             reduce_axis: node.kind.reduce_axis().map(|a| a.name()),
             in_shape,
@@ -227,7 +227,10 @@ fn contraction_cost(
         k: sizes.k,
     };
     let in2_spec = cfg.in2_spec.as_deref().ok_or_else(|| {
-        TensorError::Unsupported(format!("contraction `{}` config lacks in2 layout", info.name))
+        TensorError::Unsupported(format!(
+            "contraction `{}` config lacks in2 layout",
+            info.name
+        ))
     })?;
     let role_of = |axis: char, operand: Operand| -> InnerRole {
         let ax = Axis(axis);
@@ -250,9 +253,7 @@ fn contraction_cost(
         }
     };
     let validate = |spec_str: &str, axes: &[char]| -> Result<()> {
-        if spec_str.len() != axes.len()
-            || !spec_str.chars().all(|c| axes.contains(&c))
-        {
+        if spec_str.len() != axes.len() || !spec_str.chars().all(|c| axes.contains(&c)) {
             return Err(TensorError::InvalidPermutation);
         }
         Ok(())
@@ -312,10 +313,7 @@ fn normalization_cost(device: &DeviceSpec, info: &OpInfo, cfg: &OpConfig) -> Res
         let inner = layout_spec.chars().last().expect("non-empty layout");
         match vector_axis {
             Some(v) if v == inner => {
-                let divisible = shape
-                    .size(Axis(inner))
-                    .map(|n| n % 8 == 0)
-                    .unwrap_or(false);
+                let divisible = shape.size(Axis(inner)).map(|n| n % 8 == 0).unwrap_or(false);
                 (divisible, true)
             }
             _ => (false, false),
@@ -372,8 +370,7 @@ fn normalization_cost(device: &DeviceSpec, info: &OpInfo, cfg: &OpConfig) -> Res
             let inner = layout_spec.chars().last().expect("non-empty layout");
             match out_vector_axis {
                 Some(v) if v == inner => {
-                    let divisible =
-                        shape.size(Axis(inner)).map(|n| n % 8 == 0).unwrap_or(false);
+                    let divisible = shape.size(Axis(inner)).map(|n| n % 8 == 0).unwrap_or(false);
                     (divisible, true)
                 }
                 _ => (false, false),
@@ -404,7 +401,7 @@ fn normalization_cost(device: &DeviceSpec, info: &OpInfo, cfg: &OpConfig) -> Res
         (Some(_), None) => false,
     };
     let reduce_contiguous = match info.reduce_axis {
-        Some(r) => cfg.in_spec.chars().last() == Some(r) || cfg.vector_axis == Some(r),
+        Some(r) => cfg.in_spec.ends_with(r) || cfg.vector_axis == Some(r),
         None => true,
     };
     // Reduce-then-map kernels (softmax, layernorm forward, fused kernels
@@ -412,7 +409,13 @@ fn normalization_cost(device: &DeviceSpec, info: &OpInfo, cfg: &OpConfig) -> Res
     let two_pass = matches!(
         info.kind,
         OpKind::Softmax { .. } | OpKind::LayerNorm { .. } | OpKind::SoftmaxGrad { .. }
-    ) || matches!(&info.kind, OpKind::Fused { reduce_axis: Some(_), .. });
+    ) || matches!(
+        &info.kind,
+        OpKind::Fused {
+            reduce_axis: Some(_),
+            ..
+        }
+    );
     let desc = KernelDesc {
         flop: info.flop,
         accesses,
@@ -421,11 +424,7 @@ fn normalization_cost(device: &DeviceSpec, info: &OpInfo, cfg: &OpConfig) -> Res
         reduce_contiguous,
         two_pass,
         config_key: noise_key(
-            &[
-                &info.name,
-                &cfg.in_spec,
-                &cfg.out_spec,
-            ],
+            &[&info.name, &cfg.in_spec, &cfg.out_spec],
             &[
                 cfg.vector_axis.map(|c| c as u64).unwrap_or(0),
                 cfg.warp_axis.map(|c| c as u64).unwrap_or(0),

@@ -12,8 +12,12 @@ use xform_gpusim::kernel::{kernel_cost, KernelDesc, TensorAccess};
 use xform_gpusim::DeviceSpec;
 
 fn arb_shape() -> impl Strategy<Value = GemmShape> {
-    (1usize..129, 1usize..2049, 1usize..2049, 1usize..2049)
-        .prop_map(|(batch, m, n, k)| GemmShape { batch, m, n, k })
+    (1usize..129, 1usize..2049, 1usize..2049, 1usize..2049).prop_map(|(batch, m, n, k)| GemmShape {
+        batch,
+        m,
+        n,
+        k,
+    })
 }
 
 fn arb_layout() -> impl Strategy<Value = GemmLayout> {

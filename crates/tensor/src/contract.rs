@@ -49,16 +49,14 @@ pub fn einsum(spec: &str, operands: &[&Tensor]) -> Result<Tensor> {
 /// # Errors
 ///
 /// Same conditions as [`einsum`].
-pub fn contract(
-    spec: &EinsumSpec,
-    a: &Tensor,
-    b: &Tensor,
-    out_layout: &Layout,
-) -> Result<Tensor> {
+pub fn contract(spec: &EinsumSpec, a: &Tensor, b: &Tensor, out_layout: &Layout) -> Result<Tensor> {
     let class = spec.classify()?;
     let sizes = spec.gemm_sizes(a.shape(), b.shape())?;
     let size_of = |ax: Axis| -> usize {
-        a.shape().size(ax).or_else(|_| b.shape().size(ax)).expect("validated")
+        a.shape()
+            .size(ax)
+            .or_else(|_| b.shape().size(ax))
+            .expect("validated")
     };
 
     // Pack A as [batch..., m..., k...] and B as [batch..., k..., n...].
@@ -80,7 +78,15 @@ pub fn contract(
     let b_pack = gather(b, &b_groups, &size_of);
 
     let mut c_pack = vec![0.0f32; sizes.batch * sizes.m * sizes.n];
-    batched_sgemm(sizes.batch, sizes.m, sizes.n, sizes.k, &a_pack, &b_pack, &mut c_pack);
+    batched_sgemm(
+        sizes.batch,
+        sizes.m,
+        sizes.n,
+        sizes.k,
+        &a_pack,
+        &b_pack,
+        &mut c_pack,
+    );
 
     // Scatter C [batch..., m..., n...] into the requested output layout.
     let out_shape = Shape::new(spec.output().iter().map(|&ax| (ax, size_of(ax))))?;

@@ -37,9 +37,9 @@ impl EinsumSpec {
     /// arrow, empty operands, more than two operands, repeated labels within
     /// one operand, or output labels absent from every input).
     pub fn parse(s: &str) -> Result<Self> {
-        let (lhs, rhs) = s.split_once("->").ok_or_else(|| {
-            TensorError::ParseError(format!("missing `->` in `{s}`"))
-        })?;
+        let (lhs, rhs) = s
+            .split_once("->")
+            .ok_or_else(|| TensorError::ParseError(format!("missing `->` in `{s}`")))?;
         let operands: Vec<Vec<Axis>> = lhs
             .split(',')
             .map(|op| op.trim().chars().map(Axis).collect::<Vec<_>>())
@@ -281,8 +281,8 @@ mod tests {
     #[test]
     fn classify_attention_scores() {
         // beta: batched over {h, b}
-        let spec = EinsumSpec::parse("phbk,phbj->hbjk".parse::<String>().unwrap().as_str())
-            .unwrap();
+        let spec =
+            EinsumSpec::parse("phbk,phbj->hbjk".parse::<String>().unwrap().as_str()).unwrap();
         let c = spec.classify().unwrap();
         assert_eq!(c.batch, vec![Axis('h'), Axis('b')]);
         assert_eq!(c.k, vec![Axis('p')]);

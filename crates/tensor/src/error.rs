@@ -46,7 +46,10 @@ impl fmt::Display for TensorError {
             TensorError::UnknownAxis(a) => write!(f, "unknown axis `{a}`"),
             TensorError::ZeroSizedAxis(a) => write!(f, "axis `{a}` has size zero"),
             TensorError::LayoutRankMismatch { expected, found } => {
-                write!(f, "layout rank {found} does not match tensor rank {expected}")
+                write!(
+                    f,
+                    "layout rank {found} does not match tensor rank {expected}"
+                )
             }
             TensorError::InvalidPermutation => {
                 write!(f, "layout order is not a permutation of the axes")
@@ -75,7 +78,10 @@ mod tests {
             TensorError::DuplicateAxis(Axis('b')),
             TensorError::UnknownAxis(Axis('q')),
             TensorError::ZeroSizedAxis(Axis('j')),
-            TensorError::LayoutRankMismatch { expected: 3, found: 2 },
+            TensorError::LayoutRankMismatch {
+                expected: 3,
+                found: 2,
+            },
             TensorError::InvalidPermutation,
             TensorError::ShapeMismatch { context: "add" },
             TensorError::ParseError("bad".into()),

@@ -29,8 +29,8 @@
 use rand::Rng;
 
 use crate::axes::Axis;
-use crate::ops::elementwise::ActivationKind;
 use crate::error::Result;
+use crate::ops::elementwise::ActivationKind;
 use crate::ops::layernorm::{LayerNormStats, EPS};
 use crate::ops::{check_same_shape, for_each_outer};
 use crate::tensor::Tensor;
@@ -85,7 +85,10 @@ pub fn sm<R: Rng + ?Sized>(
     p: f32,
     rng: &mut R,
 ) -> Result<SmOutput> {
-    assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+    assert!(
+        (0.0..1.0).contains(&p),
+        "dropout probability must be in [0, 1)"
+    );
     let ai = beta.shape().index_of(axis)?;
     let len = beta.shape().sizes()[ai];
     let stride = beta.strides()[ai];
@@ -151,7 +154,10 @@ pub fn sm_causal<R: Rng + ?Sized>(
     p: f32,
     rng: &mut R,
 ) -> Result<SmOutput> {
-    assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+    assert!(
+        (0.0..1.0).contains(&p),
+        "dropout probability must be in [0, 1)"
+    );
     let ai = beta.shape().index_of(axis)?;
     let qi = beta.shape().index_of(query_axis)?;
     let len = beta.shape().sizes()[ai];
@@ -222,12 +228,7 @@ pub struct BrdOutput {
 /// # Panics
 ///
 /// Panics if `p` is outside `[0, 1)`.
-pub fn brd<R: Rng + ?Sized>(
-    x: &Tensor,
-    bias: &Tensor,
-    p: f32,
-    rng: &mut R,
-) -> Result<BrdOutput> {
+pub fn brd<R: Rng + ?Sized>(x: &Tensor, bias: &Tensor, p: f32, rng: &mut R) -> Result<BrdOutput> {
     brd_act(x, bias, ActivationKind::Relu, p, rng)
 }
 
@@ -249,7 +250,10 @@ pub fn brd_act<R: Rng + ?Sized>(
     p: f32,
     rng: &mut R,
 ) -> Result<BrdOutput> {
-    assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+    assert!(
+        (0.0..1.0).contains(&p),
+        "dropout probability must be in [0, 1)"
+    );
     let positions: Vec<usize> = bias
         .shape()
         .axes()
@@ -263,7 +267,11 @@ pub fn brd_act<R: Rng + ?Sized>(
     let mut mask = fresh();
     // fast path: rank-1 bias — index it directly instead of through a
     // multi-index (this is the common `bias[u]` feed-forward case)
-    let flat_bias_pos = if positions.len() == 1 { Some(positions[0]) } else { None };
+    let flat_bias_pos = if positions.len() == 1 {
+        Some(positions[0])
+    } else {
+        None
+    };
     let mut idx = vec![0usize; x.shape().rank()];
     let mut bidx = vec![0usize; positions.len()];
     loop {
@@ -333,7 +341,10 @@ pub fn bdrln<R: Rng + ?Sized>(
     p: f32,
     rng: &mut R,
 ) -> Result<BdrlnOutput> {
-    assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+    assert!(
+        (0.0..1.0).contains(&p),
+        "dropout probability must be in [0, 1)"
+    );
     check_same_shape(x, residual, "bdrln residual")?;
     let ai = x.shape().index_of(axis)?;
     let len = x.shape().sizes()[ai];
@@ -605,10 +616,10 @@ mod tests {
     use super::*;
     use crate::axes::Shape;
     use crate::ops::dropout::dropout_disabled;
+    use crate::ops::elementwise::scale;
     use crate::ops::elementwise::{add, bias_add, bias_grad, relu, relu_backward};
     use crate::ops::layernorm::{layernorm, layernorm_backward_input};
     use crate::ops::softmax::{softmax, softmax_backward};
-    use crate::ops::elementwise::scale;
     use rand::distributions::Uniform;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -669,7 +680,17 @@ mod tests {
         let gamma = rand_t("i", &SIZES, 8);
         let beta_w = rand_t("i", &SIZES, 9);
         let mut rng = StdRng::seed_from_u64(13);
-        let fused = bdrln(&x, &bias, &residual, &gamma, &beta_w, Axis('i'), 0.0, &mut rng).unwrap();
+        let fused = bdrln(
+            &x,
+            &bias,
+            &residual,
+            &gamma,
+            &beta_w,
+            Axis('i'),
+            0.0,
+            &mut rng,
+        )
+        .unwrap();
         let z = bias_add(&x, &bias).unwrap();
         let ln_in = add(&z, &residual).unwrap();
         let (expect, stats) = layernorm(&ln_in, Axis('i'), &gamma, &beta_w).unwrap();
@@ -707,7 +728,11 @@ mod tests {
         let mut mask = dy.clone();
         let mut rng = StdRng::seed_from_u64(21);
         for m in mask.data_mut() {
-            *m = if rng.gen::<f32>() < 0.3 { 0.0 } else { 1.0 / 0.7 };
+            *m = if rng.gen::<f32>() < 0.3 {
+                0.0
+            } else {
+                1.0 / 0.7
+            };
         }
         let (dx, dbias) = bdrb(&dy, &mask, &pre, &[Axis('u')]).unwrap();
         let after_drop = crate::ops::dropout::dropout_backward(&dy, &mask).unwrap();
@@ -748,7 +773,11 @@ mod tests {
         let mut mask = dalpha.clone();
         let mut rng = StdRng::seed_from_u64(29);
         for m in mask.data_mut() {
-            *m = if rng.gen::<f32>() < 0.4 { 0.0 } else { 1.0 / 0.6 };
+            *m = if rng.gen::<f32>() < 0.4 {
+                0.0
+            } else {
+                1.0 / 0.6
+            };
         }
         let got = bs(&dalpha, &mask, &y, Axis('k'), scaler).unwrap();
         let after_drop = crate::ops::dropout::dropout_backward(&dalpha, &mask).unwrap();
@@ -816,8 +845,7 @@ mod tests {
         let pre = rand_t("bju", &SIZES, 47);
         let mut mask = dy.clone();
         mask.fill(1.0);
-        let (dx, dbias) =
-            bdrb_act(&dy, &mask, &pre, ActivationKind::Gelu, &[Axis('u')]).unwrap();
+        let (dx, dbias) = bdrb_act(&dy, &mask, &pre, ActivationKind::Gelu, &[Axis('u')]).unwrap();
         let expect_dx = activate_backward(&dy, &pre, ActivationKind::Gelu).unwrap();
         let expect_db = bias_grad(&expect_dx, &[Axis('u')]).unwrap();
         assert!(dx.max_abs_diff(&expect_dx).unwrap() < 1e-6);

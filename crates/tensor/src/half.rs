@@ -194,7 +194,10 @@ mod tests {
     #[test]
     fn subnormals_roundtrip() {
         let smallest_subnormal = (2.0f32).powi(-24);
-        assert_eq!(F16::from_f32(smallest_subnormal).to_f32(), smallest_subnormal);
+        assert_eq!(
+            F16::from_f32(smallest_subnormal).to_f32(),
+            smallest_subnormal
+        );
         let sub = 3.0 * (2.0f32).powi(-24);
         assert_eq!(F16::from_f32(sub).to_f32(), sub);
     }

@@ -93,7 +93,10 @@ impl Layout {
     ///
     /// Panics if the layout has rank zero.
     pub fn innermost(&self) -> usize {
-        *self.order.last().expect("rank-zero layout has no innermost axis")
+        *self
+            .order
+            .last()
+            .expect("rank-zero layout has no innermost axis")
     }
 
     /// Per-logical-axis strides (in elements) for the given shape.

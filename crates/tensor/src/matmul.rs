@@ -41,10 +41,10 @@ pub fn sgemm(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) 
                 for i in i0..i1 {
                     let c_row = &mut c[i * n + j0..i * n + j1];
                     for kk in k0..k1 {
+                        // no zero-skip: the branch costs more than the FMAs
+                        // it saves on dense operands and defeats
+                        // vectorization of the inner sweep
                         let aik = a[i * k + kk];
-                        if aik == 0.0 {
-                            continue;
-                        }
                         let b_row = &b[kk * n + j0..kk * n + j1];
                         for (cv, &bv) in c_row.iter_mut().zip(b_row) {
                             *cv += aik * bv;
@@ -58,6 +58,10 @@ pub fn sgemm(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) 
 
 /// Computes `c[g] += a[g] × b[g]` for `batch` independent GEMMs stored
 /// contiguously (`a`: `batch×m×k`, `b`: `batch×k×n`, `c`: `batch×m×n`).
+///
+/// Batch slices are independent, so they are spread across the host's
+/// cores with scoped threads (each thread owns a contiguous range of `c`
+/// obtained by `split_at_mut`); small problems stay on the calling thread.
 ///
 /// # Panics
 ///
@@ -74,16 +78,38 @@ pub fn batched_sgemm(
     assert_eq!(a.len(), batch * m * k, "a has wrong length");
     assert_eq!(b.len(), batch * k * n, "b has wrong length");
     assert_eq!(c.len(), batch * m * n, "c has wrong length");
-    for g in 0..batch {
-        sgemm(
-            m,
-            n,
-            k,
-            &a[g * m * k..(g + 1) * m * k],
-            &b[g * k * n..(g + 1) * k * n],
-            &mut c[g * m * n..(g + 1) * m * n],
-        );
+    let serial = |c: &mut [f32], lo: usize, hi: usize| {
+        for g in lo..hi {
+            sgemm(
+                m,
+                n,
+                k,
+                &a[g * m * k..(g + 1) * m * k],
+                &b[g * k * n..(g + 1) * k * n],
+                &mut c[(g - lo) * m * n..(g - lo + 1) * m * n],
+            );
+        }
+    };
+    let threads = std::thread::available_parallelism()
+        .map_or(1, |t| t.get())
+        .min(batch);
+    // below ~64k FMAs per slice the spawn overhead dominates
+    if threads <= 1 || batch * m * n * k < (1 << 16) {
+        serial(c, 0, batch);
+        return;
     }
+    std::thread::scope(|s| {
+        let mut rest = c;
+        let mut lo = 0usize;
+        for t in 0..threads {
+            let hi = (t + 1) * batch / threads;
+            let (mine, tail) = rest.split_at_mut((hi - lo) * m * n);
+            rest = tail;
+            let serial = &serial;
+            s.spawn(move || serial(mine, lo, hi));
+            lo = hi;
+        }
+    });
 }
 
 /// Reference (unblocked, triple-loop) GEMM used as a correctness oracle in
@@ -120,7 +146,13 @@ mod tests {
     #[test]
     fn blocked_matches_naive_on_odd_sizes() {
         let mut rng = StdRng::seed_from_u64(7);
-        for &(m, n, k) in &[(1, 1, 1), (3, 5, 7), (64, 64, 64), (65, 33, 129), (100, 1, 17)] {
+        for &(m, n, k) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (64, 64, 64),
+            (65, 33, 129),
+            (100, 1, 17),
+        ] {
             let a = random_mat(&mut rng, m * k);
             let b = random_mat(&mut rng, k * n);
             let mut c1 = vec![0.0; m * n];
@@ -152,9 +184,42 @@ mod tests {
         batched_sgemm(bsz, m, n, k, &a, &b, &mut c);
         for g in 0..bsz {
             let mut expect = vec![0.0; m * n];
-            naive_sgemm(m, n, k, &a[g * m * k..(g + 1) * m * k], &b[g * k * n..(g + 1) * k * n], &mut expect);
+            naive_sgemm(
+                m,
+                n,
+                k,
+                &a[g * m * k..(g + 1) * m * k],
+                &b[g * k * n..(g + 1) * k * n],
+                &mut expect,
+            );
             for (x, y) in c[g * m * n..(g + 1) * m * n].iter().zip(&expect) {
                 assert!((x - y).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_parallel_path_matches_naive() {
+        // large enough that batch slices are spread across threads
+        let mut rng = StdRng::seed_from_u64(11);
+        let (bsz, m, n, k) = (8, 32, 32, 32);
+        assert!(bsz * m * n * k >= 1 << 16);
+        let a = random_mat(&mut rng, bsz * m * k);
+        let b = random_mat(&mut rng, bsz * k * n);
+        let mut c = vec![0.0; bsz * m * n];
+        batched_sgemm(bsz, m, n, k, &a, &b, &mut c);
+        for g in 0..bsz {
+            let mut expect = vec![0.0; m * n];
+            naive_sgemm(
+                m,
+                n,
+                k,
+                &a[g * m * k..(g + 1) * m * k],
+                &b[g * k * n..(g + 1) * k * n],
+                &mut expect,
+            );
+            for (x, y) in c[g * m * n..(g + 1) * m * n].iter().zip(&expect) {
+                assert!((x - y).abs() < 1e-3);
             }
         }
     }

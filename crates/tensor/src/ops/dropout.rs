@@ -21,11 +21,18 @@ use super::check_same_shape;
 ///
 /// Panics if `p` is outside `[0, 1)`.
 pub fn dropout<R: Rng + ?Sized>(x: &Tensor, p: f32, rng: &mut R) -> (Tensor, Tensor) {
-    assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+    assert!(
+        (0.0..1.0).contains(&p),
+        "dropout probability must be in [0, 1)"
+    );
     let keep_scale = 1.0 / (1.0 - p);
     let mut mask = x.clone();
     for m in mask.data_mut() {
-        *m = if rng.gen::<f32>() < p { 0.0 } else { keep_scale };
+        *m = if rng.gen::<f32>() < p {
+            0.0
+        } else {
+            keep_scale
+        };
     }
     let mut out = x.clone();
     for (o, &m) in out.data_mut().iter_mut().zip(mask.data()) {

@@ -91,7 +91,9 @@ pub fn bias_add(x: &Tensor, bias: &Tensor) -> Result<Tensor> {
         .collect::<Result<Vec<_>>>()?;
     for (&p, &n) in positions.iter().zip(bias.shape().sizes()) {
         if x.shape().sizes()[p] != n {
-            return Err(TensorError::ShapeMismatch { context: "bias_add" });
+            return Err(TensorError::ShapeMismatch {
+                context: "bias_add",
+            });
         }
     }
     let mut out = x.clone();
@@ -178,9 +180,7 @@ impl ActivationKind {
     pub fn apply(self, x: f32) -> f32 {
         match self {
             ActivationKind::Relu => x.max(0.0),
-            ActivationKind::Gelu => {
-                0.5 * x * (1.0 + (GELU_C * (x + 0.044_715 * x * x * x)).tanh())
-            }
+            ActivationKind::Gelu => 0.5 * x * (1.0 + (GELU_C * (x + 0.044_715 * x * x * x)).tanh()),
         }
     }
 
@@ -311,7 +311,10 @@ mod tests {
             let num = (ActivationKind::Gelu.apply(x + eps) - ActivationKind::Gelu.apply(x - eps))
                 / (2.0 * eps);
             let ana = ActivationKind::Gelu.grad(x);
-            assert!((num - ana).abs() < 1e-2, "gelu'({x}): {ana} vs numeric {num}");
+            assert!(
+                (num - ana).abs() < 1e-2,
+                "gelu'({x}): {ana} vs numeric {num}"
+            );
         }
     }
 
@@ -335,6 +338,9 @@ mod tests {
         let x = t(&[1.0, -2.0, 0.0, 4.0]);
         assert_eq!(relu(&x).data(), &[1.0, 0.0, 0.0, 4.0]);
         let dy = t(&[5.0, 5.0, 5.0, 5.0]);
-        assert_eq!(relu_backward(&dy, &x).unwrap().data(), &[5.0, 0.0, 0.0, 5.0]);
+        assert_eq!(
+            relu_backward(&dy, &x).unwrap().data(),
+            &[5.0, 0.0, 0.0, 5.0]
+        );
     }
 }

@@ -63,8 +63,7 @@ pub fn layernorm(
         let inv_std = 1.0 / (var + EPS).sqrt();
         for v in 0..len {
             let xhat = (x.data()[base + v * stride] - mean) * inv_std;
-            out.data_mut()[base + v * stride] =
-                xhat * gamma.data()[v] + beta.data()[v];
+            out.data_mut()[base + v * stride] = xhat * gamma.data()[v] + beta.data()[v];
         }
         stats.mean.push(mean);
         stats.inv_std.push(inv_std);
@@ -157,10 +156,7 @@ pub fn layernorm_backward_weights(
 }
 
 fn check_weight(w: &Tensor, axis: Axis, len: usize) -> Result<()> {
-    if w.shape().rank() != 1
-        || !w.shape().contains(axis)
-        || w.shape().sizes()[0] != len
-    {
+    if w.shape().rank() != 1 || !w.shape().contains(axis) || w.shape().sizes()[0] != len {
         return Err(crate::error::TensorError::ShapeMismatch {
             context: "layernorm weight",
         });

@@ -49,11 +49,7 @@ where
 }
 
 /// Verifies that two tensors share a shape, for kernels that require it.
-pub(crate) fn check_same_shape(
-    a: &Tensor,
-    b: &Tensor,
-    context: &'static str,
-) -> Result<()> {
+pub(crate) fn check_same_shape(a: &Tensor, b: &Tensor, context: &'static str) -> Result<()> {
     if a.shape() != b.shape() {
         return Err(TensorError::ShapeMismatch { context });
     }

@@ -84,7 +84,9 @@ impl Tensor {
     {
         let layout = Layout::row_major(shape.rank());
         let strides = layout.strides(&shape);
-        let data = (0..shape.num_elements()).map(|_| dist.sample(rng)).collect();
+        let data = (0..shape.num_elements())
+            .map(|_| dist.sample(rng))
+            .collect();
         Tensor {
             shape,
             layout,
@@ -276,8 +278,7 @@ impl Tensor {
         }
         let shape = Shape::new(
             spec.chars()
-                .zip(self.shape.sizes().iter().copied())
-                .map(|(c, n)| (c, n)),
+                .zip(self.shape.sizes().iter().copied()),
         )?;
         Ok(Tensor {
             shape,
@@ -386,6 +387,101 @@ impl Tensor {
             if done {
                 break;
             }
+        }
+        Ok(out)
+    }
+
+    /// Extracts `len` consecutive slices starting at `start` along `axis`,
+    /// keeping the axis (with size `len`). The result is row-major. This is
+    /// the un-stacking primitive for algebraically fused tensors, e.g.
+    /// carving the `Q` rows out of the stacked `[Wᵠ Wᵏ Wᵛ]` product.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `axis` is missing, `len` is zero, or the range
+    /// runs past the end of the axis.
+    pub fn slice_range(&self, axis: Axis, start: usize, len: usize) -> Result<Tensor> {
+        let ai = self.shape.index_of(axis)?;
+        if len == 0 || start + len > self.shape.sizes()[ai] {
+            return Err(TensorError::ShapeMismatch {
+                context: "slice_range out of range",
+            });
+        }
+        let dims: Vec<(Axis, usize)> = self
+            .shape
+            .axes()
+            .iter()
+            .zip(self.shape.sizes())
+            .enumerate()
+            .map(|(i, (&a, &n))| (a, if i == ai { len } else { n }))
+            .collect();
+        let mut out = Tensor::zeros(Shape::new(dims)?);
+        let mut out_idx = vec![0usize; self.shape.rank()];
+        let mut src_idx = vec![0usize; self.shape.rank()];
+        loop {
+            src_idx.copy_from_slice(&out_idx);
+            src_idx[ai] += start;
+            let off = out.offset(&out_idx);
+            out.data[off] = self.at(&src_idx);
+            if !out.advance(&mut out_idx) {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Concatenates tensors along an existing axis `axis`. All inputs must
+    /// agree on every other axis; the output is row-major. Inverse of
+    /// splitting with [`Tensor::slice_range`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `parts` is empty, `axis` is missing from any
+    /// part, or the non-concatenated axes disagree.
+    pub fn concat(axis: Axis, parts: &[&Tensor]) -> Result<Tensor> {
+        let first = parts.first().ok_or(TensorError::ShapeMismatch {
+            context: "concat of zero tensors",
+        })?;
+        let ai = first.shape.index_of(axis)?;
+        let mut total = 0usize;
+        for p in parts {
+            let pi = p.shape.index_of(axis)?;
+            if pi != ai
+                || p.shape.axes() != first.shape.axes()
+                || p.shape
+                    .sizes()
+                    .iter()
+                    .zip(first.shape.sizes())
+                    .enumerate()
+                    .any(|(i, (a, b))| i != ai && a != b)
+            {
+                return Err(TensorError::ShapeMismatch { context: "concat" });
+            }
+            total += p.shape.sizes()[pi];
+        }
+        let dims: Vec<(Axis, usize)> = first
+            .shape
+            .axes()
+            .iter()
+            .zip(first.shape.sizes())
+            .enumerate()
+            .map(|(i, (&a, &n))| (a, if i == ai { total } else { n }))
+            .collect();
+        let mut out = Tensor::zeros(Shape::new(dims)?);
+        let mut base = 0usize;
+        for p in parts {
+            let mut idx = vec![0usize; p.shape.rank()];
+            let mut out_idx = vec![0usize; p.shape.rank()];
+            loop {
+                out_idx.copy_from_slice(&idx);
+                out_idx[ai] += base;
+                let off = out.offset(&out_idx);
+                out.data[off] = p.at(&idx);
+                if !p.advance(&mut idx) {
+                    break;
+                }
+            }
+            base += p.shape.sizes()[ai];
         }
         Ok(out)
     }
@@ -547,6 +643,42 @@ mod tests {
         assert_eq!(m.shape().spec(), "ac");
         assert_eq!(m.at(&[1, 0]), 110.0);
         assert_eq!(m.at(&[0, 1]), 11.0);
+    }
+
+    #[test]
+    fn slice_range_and_concat_roundtrip() {
+        let s = Shape::new([('s', 6), ('b', 2)]).unwrap();
+        let t = Tensor::from_fn(s, |i| (i[0] * 10 + i[1]) as f32);
+        let lo = t.slice_range(Axis('s'), 0, 2).unwrap();
+        let mid = t.slice_range(Axis('s'), 2, 3).unwrap();
+        let hi = t.slice_range(Axis('s'), 5, 1).unwrap();
+        assert_eq!(lo.shape().sizes(), &[2, 2]);
+        assert_eq!(mid.at(&[0, 1]), 21.0);
+        assert_eq!(hi.at(&[0, 0]), 50.0);
+        let back = Tensor::concat(Axis('s'), &[&lo, &mid, &hi]).unwrap();
+        assert_eq!(back.max_abs_diff(&t).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn slice_range_respects_permuted_layout() {
+        let s = Shape::new([('s', 4), ('b', 3)]).unwrap();
+        let t = Tensor::from_fn(s.clone(), |i| (i[0] * 10 + i[1]) as f32);
+        let tp = t.relayout(&Layout::from_axis_order(&s, "bs").unwrap());
+        let a = t.slice_range(Axis('s'), 1, 2).unwrap();
+        let b = tp.slice_range(Axis('s'), 1, 2).unwrap();
+        assert_eq!(a.max_abs_diff(&b).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn slice_range_and_concat_validate() {
+        let s = Shape::new([('s', 4), ('b', 3)]).unwrap();
+        let t = Tensor::zeros(s);
+        assert!(t.slice_range(Axis('q'), 0, 1).is_err());
+        assert!(t.slice_range(Axis('s'), 2, 3).is_err());
+        assert!(t.slice_range(Axis('s'), 0, 0).is_err());
+        assert!(Tensor::concat(Axis('s'), &[]).is_err());
+        let other = Tensor::zeros(Shape::new([('s', 2), ('b', 2)]).unwrap());
+        assert!(Tensor::concat(Axis('s'), &[&t, &other]).is_err());
     }
 
     #[test]

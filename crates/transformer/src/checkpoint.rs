@@ -148,8 +148,8 @@ pub fn read_tensors<R: Read>(r: &mut R) -> Result<Vec<(String, Tensor)>, Checkpo
             let n = read_u64(r)? as usize;
             dims.push((c[0] as char, n));
         }
-        let shape = Shape::new(dims)
-            .map_err(|e| CheckpointError::Format(format!("bad shape: {e}")))?;
+        let shape =
+            Shape::new(dims).map_err(|e| CheckpointError::Format(format!("bad shape: {e}")))?;
         let len = shape.num_elements();
         if len > 1 << 30 {
             return Err(CheckpointError::Format("implausible tensor size".into()));

@@ -5,15 +5,17 @@
 
 use rand::Rng;
 
+use xform_core::plan::{execute_plan, ExecOptions};
 use xform_dataflow::EncoderDims;
 use xform_tensor::fused::{self, BrdOutput, SmOutput};
-use xform_tensor::ops::dropout::{dropout, dropout_backward, dropout_disabled};
-use xform_tensor::ops::elementwise::{add, bias_add, bias_grad, ActivationKind};
+use xform_tensor::ops::dropout::dropout_backward;
+use xform_tensor::ops::elementwise::{add, bias_grad, ActivationKind};
 use xform_tensor::ops::layernorm::{
-    layernorm, layernorm_backward_input, layernorm_backward_weights, LayerNormStats,
+    layernorm_backward_input, layernorm_backward_weights, LayerNormStats,
 };
-use xform_tensor::{einsum, Axis, Result, Tensor};
+use xform_tensor::{einsum, Axis, Result, Tensor, TensorError};
 
+use crate::interp::{self, bind_inputs};
 use crate::params::{EncoderGrads, EncoderWeights};
 
 /// A configured decoder block. Weights are shared with the encoder layout
@@ -76,16 +78,10 @@ impl DecoderLayer {
         1.0 / (self.dims.p as f32).sqrt()
     }
 
-    fn drop<R: Rng + ?Sized>(&self, x: &Tensor, rng: &mut R) -> (Tensor, Tensor) {
-        if self.dropout_p > 0.0 {
-            dropout(x, self.dropout_p, rng)
-        } else {
-            dropout_disabled(x)
-        }
-    }
-
     /// Forward propagation: `x` (`[i,b,j]`) → `y` (`[i,b,j]`) plus saved
-    /// activations.
+    /// activations. Executes the canned fused decoder plan (pre-LN, causal
+    /// SM, BDR residual joins) through the schedule interpreter of
+    /// [`xform_core::plan`].
     ///
     /// # Errors
     ///
@@ -96,43 +92,51 @@ impl DecoderLayer {
         w: &EncoderWeights,
         rng: &mut R,
     ) -> Result<(Tensor, DecoderActivations)> {
-        let p = self.dropout_p;
-        // pre-attention layer norm
-        let (ln1_out, stats1) = layernorm(x, Axis('i'), &w.ln1_gamma, &w.ln1_beta)?;
-        let lk = ln1_out.relabel("ibk")?;
-        let qq_raw = einsum("phi,ibj->phbj", &[&w.wq, &ln1_out])?;
-        let kk_raw = einsum("phi,ibk->phbk", &[&w.wk, &lk])?;
-        let vv_raw = einsum("whi,ibk->whbk", &[&w.wv, &lk])?;
-        let (qq, kk, vv) = fused::aib(&qq_raw, &w.bq, &kk_raw, &w.bk, &vv_raw, &w.bv)?;
-        let beta = einsum("phbk,phbj->hbjk", &[&kk, &qq])?;
-        let sm = fused::sm_causal(&beta, self.scaler(), Axis('j'), Axis('k'), p, rng)?;
-        let gam = einsum("whbk,hbjk->whbj", &[&vv, &sm.alpha])?;
-        let attn = bias_add(&einsum("whi,whbj->ibj", &[&w.wo, &gam])?, &w.bo)?;
-        let (drop1, drop1_mask) = self.drop(&attn, rng);
-        let res1 = add(&drop1, x)?;
-        // pre-FFN layer norm
-        let (ln2_out, stats2) = layernorm(&res1, Axis('i'), &w.ln2_gamma, &w.ln2_beta)?;
-        let ff1 = einsum("ui,ibj->ubj", &[&w.w1, &ln2_out])?;
-        let brd = fused::brd_act(&ff1, &w.b1, self.activation, p, rng)?;
-        let ff2 = bias_add(&einsum("iu,ubj->ibj", &[&w.w2, &brd.out])?, &w.b2)?;
-        let (drop3, drop3_mask) = self.drop(&ff2, rng);
-        let y = add(&drop3, &res1)?;
+        let planned = interp::decoder_fused(&self.dims)?;
+        let mut state = bind_inputs(x, w)?;
+        let opts = ExecOptions {
+            dropout_p: self.dropout_p,
+            activation: self.activation,
+            scaler: self.scaler(),
+        };
+        execute_plan(&planned.graph, &planned.plan, &mut state, &opts, rng)?;
+        let missing = |name: &str| {
+            TensorError::Unsupported(format!(
+                "plan produced no layer-norm statistics for `{name}`"
+            ))
+        };
+        let stats1 = state
+            .stats
+            .remove("ln1_out")
+            .ok_or_else(|| missing("ln1_out"))?;
+        let stats2 = state
+            .stats
+            .remove("ln2_out")
+            .ok_or_else(|| missing("ln2_out"))?;
         Ok((
-            y,
+            state.take("y")?,
             DecoderActivations {
-                ln1_out,
+                ln1_out: state.take("ln1_out")?,
                 stats1,
-                qq,
-                kk,
-                vv,
-                sm,
-                gam,
-                drop1_mask,
-                res1,
-                ln2_out,
+                qq: state.take("qq")?,
+                kk: state.take("kk")?,
+                vv: state.take("vv")?,
+                sm: SmOutput {
+                    alpha: state.take("alpha")?,
+                    softmax: state.take("att")?,
+                    mask: state.take("att_mask")?,
+                },
+                gam: state.take("gamma")?,
+                drop1_mask: state.take("drop1_mask")?,
+                res1: state.take("res1")?,
+                ln2_out: state.take("ln2_out")?,
                 stats2,
-                brd,
-                drop3_mask,
+                brd: BrdOutput {
+                    out: state.take("ff1_drop")?,
+                    pre_activation: state.take("ff1_b")?,
+                    mask: state.take("drop2_mask")?,
+                },
+                drop3_mask: state.take("drop3_mask")?,
             },
         ))
     }
@@ -182,7 +186,13 @@ impl DecoderLayer {
         let d_vv = einsum("whbj,hbjk->whbk", &[&d_gam, &a.sm.alpha])?;
         // masked entries have zero softmax output and zero mask, so the
         // unmasked BS kernel handles the causal case unchanged
-        let d_beta = fused::bs(&d_alpha, &a.sm.mask, &a.sm.softmax, Axis('k'), self.scaler())?;
+        let d_beta = fused::bs(
+            &d_alpha,
+            &a.sm.mask,
+            &a.sm.softmax,
+            Axis('k'),
+            self.scaler(),
+        )?;
         let d_qq = einsum("phbk,hbjk->phbj", &[&a.kk, &d_beta])?;
         let d_kk = einsum("phbj,hbjk->phbk", &[&a.qq, &d_beta])?;
         let ph: &[Axis] = &[Axis('p'), Axis('h')];
@@ -322,11 +332,19 @@ mod tests {
                 .1
                 .data()[flat];
             let mut wp = w.clone();
-            wp.fields_mut().into_iter().find(|(n, _)| *n == name).unwrap().1.data_mut()[flat] +=
-                eps;
+            wp.fields_mut()
+                .into_iter()
+                .find(|(n, _)| *n == name)
+                .unwrap()
+                .1
+                .data_mut()[flat] += eps;
             let mut wm = w.clone();
-            wm.fields_mut().into_iter().find(|(n, _)| *n == name).unwrap().1.data_mut()[flat] -=
-                eps;
+            wm.fields_mut()
+                .into_iter()
+                .find(|(n, _)| *n == name)
+                .unwrap()
+                .1
+                .data_mut()[flat] -= eps;
             let num = (loss(&x, &wp) - loss(&x, &wm)) / (2.0 * eps);
             assert!(
                 (num - analytic).abs() < 0.05 * (1.0 + num.abs()),

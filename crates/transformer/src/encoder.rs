@@ -1,29 +1,37 @@
 //! The BERT encoder layer on the CPU tensor substrate: forward and
 //! backward, with a reference (unfused) and a fused executor.
 //!
-//! The fused executor calls the single-sweep kernels of
-//! [`xform_tensor::fused`] exactly where the paper's implementation launches
-//! its fused CUDA kernels; the reference executor composes the unfused
-//! operators one by one, mirroring the eager per-operator execution of the
-//! PyTorch baseline. Both compute identical values (equivalence is tested
-//! with dropout disabled, and backward is bit-for-bit given the same saved
-//! masks).
+//! Since the plan-driven refactor both executors are *canned execution
+//! plans* run by the schedule interpreter of [`xform_core::plan`]: the
+//! reference executor is the unfused dataflow graph with natural layouts
+//! (the eager per-operator execution of the PyTorch baseline), the fused
+//! executor the same graph with the paper's fusion plan applied, one step
+//! per fused kernel. [`EncoderLayer::forward_with_plan`] accepts *any*
+//! plan over the encoder graph — in particular one lowered from the
+//! recipe's SSSP layout selection — so the optimized configuration runs
+//! through exactly the same code path. Both canned executors compute
+//! identical values (equivalence is tested with dropout disabled, and
+//! backward is bit-for-bit given the same saved masks).
 
 use rand::Rng;
 
-use xform_dataflow::EncoderDims;
+use xform_core::plan::{execute_plan, ExecOptions, ExecutionPlan};
+use xform_dataflow::{EncoderDims, Graph};
 use xform_tensor::fused::{self, BdrlnOutput, BrdOutput, SmOutput};
-use xform_tensor::ops::dropout::{dropout, dropout_backward};
-use xform_tensor::ops::elementwise::{
-    activate, activate_backward, add, bias_add, bias_grad, scale, ActivationKind,
-};
-use xform_tensor::ops::layernorm::{
-    layernorm, layernorm_backward_input, layernorm_backward_weights,
-};
-use xform_tensor::ops::softmax::{softmax, softmax_backward};
+use xform_tensor::ops::dropout::dropout_backward;
+use xform_tensor::ops::elementwise::{activate_backward, add, bias_grad, scale, ActivationKind};
+use xform_tensor::ops::layernorm::{layernorm_backward_input, layernorm_backward_weights};
+use xform_tensor::ops::softmax::softmax_backward;
 use xform_tensor::{einsum, Axis, Result, Tensor};
 
+use crate::interp::{self, bind_inputs};
 use crate::params::{EncoderGrads, EncoderWeights};
+
+fn missing_stats(name: &str) -> xform_tensor::TensorError {
+    xform_tensor::TensorError::Unsupported(format!(
+        "plan produced no layer-norm statistics for `{name}`"
+    ))
+}
 
 /// Which kernel set executes the layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,107 +115,75 @@ impl EncoderLayer {
         w: &EncoderWeights,
         rng: &mut R,
     ) -> Result<(Tensor, Activations)> {
-        let p = self.dropout_p;
-        let xk = x.relabel("ibk")?;
-        let qq_raw = einsum("phi,ibj->phbj", &[&w.wq, x])?;
-        let kk_raw = einsum("phi,ibk->phbk", &[&w.wk, &xk])?;
-        let vv_raw = einsum("whi,ibk->whbk", &[&w.wv, &xk])?;
-        let (qq, kk, vv) = match self.executor {
-            Executor::Fused => fused::aib(&qq_raw, &w.bq, &kk_raw, &w.bk, &vv_raw, &w.bv)?,
-            Executor::Reference => (
-                bias_add(&qq_raw, &w.bq)?,
-                bias_add(&kk_raw, &w.bk)?,
-                bias_add(&vv_raw, &w.bv)?,
-            ),
+        let planned = match self.executor {
+            Executor::Reference => interp::encoder_reference(&self.dims)?,
+            Executor::Fused => interp::encoder_fused(&self.dims)?,
         };
-        let beta = einsum("phbk,phbj->hbjk", &[&kk, &qq])?;
-        let sm_out = match self.executor {
-            Executor::Fused => fused::sm(&beta, self.scaler(), Axis('k'), p, rng)?,
-            Executor::Reference => {
-                let scaled = scale(&beta, self.scaler());
-                let soft = softmax(&scaled, Axis('k'))?;
-                let (alpha, mask) = if p > 0.0 {
-                    dropout(&soft, p, rng)
-                } else {
-                    xform_tensor::ops::dropout::dropout_disabled(&soft)
-                };
-                SmOutput {
-                    alpha,
-                    softmax: soft,
-                    mask,
-                }
-            }
+        self.forward_with_plan(&planned.graph, &planned.plan, x, w, rng)
+    }
+
+    /// Runs forward propagation through an arbitrary [`ExecutionPlan`] over
+    /// the encoder graph — the canned reference/fused plans or one lowered
+    /// from a recipe selection ([`ExecutionPlan::lower`]) — and assembles
+    /// the saved activations from the interpreter's environment. Output is
+    /// identical to [`EncoderLayer::forward`] given the same RNG stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the plan fails validation against `graph` or a
+    /// kernel rejects its operands.
+    pub fn forward_with_plan<R: Rng + ?Sized>(
+        &self,
+        graph: &Graph,
+        plan: &ExecutionPlan,
+        x: &Tensor,
+        w: &EncoderWeights,
+        rng: &mut R,
+    ) -> Result<(Tensor, Activations)> {
+        let mut state = bind_inputs(x, w)?;
+        let opts = ExecOptions {
+            dropout_p: self.dropout_p,
+            activation: self.activation,
+            scaler: self.scaler(),
         };
-        let gam = einsum("whbk,hbjk->whbj", &[&vv, &sm_out.alpha])?;
-        let attn = einsum("whi,whbj->ibj", &[&w.wo, &gam])?;
-        let ln1 = self.drln(&attn, &w.bo, x, &w.ln1_gamma, &w.ln1_beta, p, rng)?;
-        let ff1 = einsum("ui,ibj->ubj", &[&w.w1, &ln1.out])?;
-        let brd_out = match self.executor {
-            Executor::Fused => fused::brd_act(&ff1, &w.b1, self.activation, p, rng)?,
-            Executor::Reference => {
-                let pre = bias_add(&ff1, &w.b1)?;
-                let activated = activate(&pre, self.activation);
-                let (out, mask) = if p > 0.0 {
-                    dropout(&activated, p, rng)
-                } else {
-                    xform_tensor::ops::dropout::dropout_disabled(&activated)
-                };
-                BrdOutput {
-                    out,
-                    pre_activation: pre,
-                    mask,
-                }
-            }
-        };
-        let ff2 = einsum("iu,ubj->ibj", &[&w.w2, &brd_out.out])?;
-        let ln2 = self.drln(&ff2, &w.b2, &ln1.out, &w.ln2_gamma, &w.ln2_beta, p, rng)?;
-        let y = ln2.out.clone();
+        execute_plan(graph, plan, &mut state, &opts, rng)?;
+        let stats1 = state
+            .stats
+            .remove("ln1_out")
+            .ok_or_else(|| missing_stats("ln1_out"))?;
+        let stats2 = state.stats.remove("y").ok_or_else(|| missing_stats("y"))?;
+        let y = state.get("y")?.clone();
         Ok((
             y,
             Activations {
-                qq,
-                kk,
-                vv,
-                sm: sm_out,
-                gam,
-                ln1,
-                brd: brd_out,
-                ln2,
+                qq: state.take("qq")?,
+                kk: state.take("kk")?,
+                vv: state.take("vv")?,
+                sm: SmOutput {
+                    alpha: state.take("alpha")?,
+                    softmax: state.take("att")?,
+                    mask: state.take("att_mask")?,
+                },
+                gam: state.take("gamma")?,
+                ln1: BdrlnOutput {
+                    out: state.take("ln1_out")?,
+                    ln_input: state.take("ln1_in")?,
+                    mask: state.take("drop1_mask")?,
+                    stats: stats1,
+                },
+                brd: BrdOutput {
+                    out: state.take("ff1_drop")?,
+                    pre_activation: state.take("ff1_b")?,
+                    mask: state.take("drop2_mask")?,
+                },
+                ln2: BdrlnOutput {
+                    out: state.take("y")?,
+                    ln_input: state.take("ln2_in")?,
+                    mask: state.take("drop3_mask")?,
+                    stats: stats2,
+                },
             },
         ))
-    }
-
-    /// Bias + dropout + residual + layer-norm, fused or composed.
-    #[allow(clippy::too_many_arguments)]
-    fn drln<R: Rng + ?Sized>(
-        &self,
-        x: &Tensor,
-        bias: &Tensor,
-        residual: &Tensor,
-        gamma: &Tensor,
-        beta: &Tensor,
-        p: f32,
-        rng: &mut R,
-    ) -> Result<BdrlnOutput> {
-        match self.executor {
-            Executor::Fused => fused::bdrln(x, bias, residual, gamma, beta, Axis('i'), p, rng),
-            Executor::Reference => {
-                let biased = bias_add(x, bias)?;
-                let (dropped, mask) = if p > 0.0 {
-                    dropout(&biased, p, rng)
-                } else {
-                    xform_tensor::ops::dropout::dropout_disabled(&biased)
-                };
-                let ln_input = add(&dropped, residual)?;
-                let (out, stats) = layernorm(&ln_input, Axis('i'), gamma, beta)?;
-                Ok(BdrlnOutput {
-                    out,
-                    ln_input,
-                    mask,
-                    stats,
-                })
-            }
-        }
     }
 
     /// Runs backpropagation: given the output gradient `dy` and the saved
@@ -237,9 +213,17 @@ impl EncoderLayer {
         g.ln2_gamma = dg2;
         g.ln2_beta = dbeta2;
         let (d_ff2b, d_ln2_in) = if fused_mode {
-            fused::blnrd(dy, &a.ln2.ln_input, &w.ln2_gamma, &a.ln2.mask, ai, &a.ln2.stats)?
+            fused::blnrd(
+                dy,
+                &a.ln2.ln_input,
+                &w.ln2_gamma,
+                &a.ln2.mask,
+                ai,
+                &a.ln2.stats,
+            )?
         } else {
-            let d_ln = layernorm_backward_input(dy, &a.ln2.ln_input, ai, &w.ln2_gamma, &a.ln2.stats)?;
+            let d_ln =
+                layernorm_backward_input(dy, &a.ln2.ln_input, ai, &w.ln2_gamma, &a.ln2.stats)?;
             let d = dropout_backward(&d_ln, &a.ln2.mask)?;
             (d, d_ln)
         };
@@ -278,10 +262,22 @@ impl EncoderLayer {
         g.ln1_gamma = dg1;
         g.ln1_beta = dbeta1;
         let (d_attn_b, d_ln1_in) = if fused_mode {
-            fused::blnrd(&d_ln1out, &a.ln1.ln_input, &w.ln1_gamma, &a.ln1.mask, ai, &a.ln1.stats)?
+            fused::blnrd(
+                &d_ln1out,
+                &a.ln1.ln_input,
+                &w.ln1_gamma,
+                &a.ln1.mask,
+                ai,
+                &a.ln1.stats,
+            )?
         } else {
-            let d_ln =
-                layernorm_backward_input(&d_ln1out, &a.ln1.ln_input, ai, &w.ln1_gamma, &a.ln1.stats)?;
+            let d_ln = layernorm_backward_input(
+                &d_ln1out,
+                &a.ln1.ln_input,
+                ai,
+                &w.ln1_gamma,
+                &a.ln1.stats,
+            )?;
             let d = dropout_backward(&d_ln, &a.ln1.mask)?;
             (d, d_ln)
         };
@@ -299,7 +295,13 @@ impl EncoderLayer {
         let d_alpha = einsum("whbk,whbj->hbjk", &[&a.vv, &d_gam])?;
         let d_vv = einsum("whbj,hbjk->whbk", &[&d_gam, &a.sm.alpha])?;
         let d_beta = if fused_mode {
-            fused::bs(&d_alpha, &a.sm.mask, &a.sm.softmax, Axis('k'), self.scaler())?
+            fused::bs(
+                &d_alpha,
+                &a.sm.mask,
+                &a.sm.softmax,
+                Axis('k'),
+                self.scaler(),
+            )?
         } else {
             let after = dropout_backward(&d_alpha, &a.sm.mask)?;
             let d_soft = softmax_backward(&after, &a.sm.softmax, Axis('k'))?;
@@ -520,17 +522,29 @@ mod tests {
         ];
         for (name, flat) in checks {
             let analytic = {
-                let (_, t) = grads.fields().into_iter().find(|(n, _)| *n == name).unwrap();
+                let (_, t) = grads
+                    .fields()
+                    .into_iter()
+                    .find(|(n, _)| *n == name)
+                    .unwrap();
                 t.data()[flat]
             };
             let mut wp = w.clone();
             let mut wm = w.clone();
             {
-                let (_, t) = wp.fields_mut().into_iter().find(|(n, _)| *n == name).unwrap();
+                let (_, t) = wp
+                    .fields_mut()
+                    .into_iter()
+                    .find(|(n, _)| *n == name)
+                    .unwrap();
                 t.data_mut()[flat] += eps;
             }
             {
-                let (_, t) = wm.fields_mut().into_iter().find(|(n, _)| *n == name).unwrap();
+                let (_, t) = wm
+                    .fields_mut()
+                    .into_iter()
+                    .find(|(n, _)| *n == name)
+                    .unwrap();
                 t.data_mut()[flat] -= eps;
             }
             let num = (loss(&x, &wp) - loss(&x, &wm)) / (2.0 * eps);

@@ -1,0 +1,157 @@
+//! Plan-driven execution of the transformer layers: canned
+//! [`ExecutionPlan`]s for the reference and fused executors, plus the glue
+//! that binds a layer's weights into the schedule interpreter's
+//! environment and reads the saved activations back out.
+//!
+//! This is where the recipe's output becomes runnable: the same
+//! interpreter that executes the two canned plans also executes an
+//! arbitrary recipe-selected plan (see
+//! [`crate::encoder::EncoderLayer::forward_with_plan`]), so the
+//! SSSP-selected layouts of `xform-core` run against the real CPU kernels
+//! with no per-configuration code.
+
+use xform_core::fusion::{apply_plan, decoder_fusion_plan, encoder_fusion_plan};
+use xform_core::plan::{ExecState, ExecutionPlan};
+use xform_core::recipe::forward_ops;
+use xform_dataflow::{build, EncoderDims, Graph};
+use xform_tensor::{Axis, Result, Tensor};
+
+use crate::params::EncoderWeights;
+
+/// A dataflow graph paired with an executable forward schedule over it.
+#[derive(Debug, Clone)]
+pub struct PlannedForward {
+    /// The (possibly fused) dataflow graph the plan is lowered against.
+    pub graph: Graph,
+    /// The forward schedule.
+    pub plan: ExecutionPlan,
+}
+
+fn planned(graph: Graph, dy: xform_dataflow::NodeId) -> Result<PlannedForward> {
+    let plan = ExecutionPlan::natural(&graph, &forward_ops(&graph, dy))?;
+    Ok(PlannedForward { graph, plan })
+}
+
+/// The reference executor as a plan: the unfused encoder graph, natural
+/// layouts, one step per dataflow operator.
+///
+/// # Errors
+///
+/// Returns an error if the graph cannot be scheduled.
+pub fn encoder_reference(dims: &EncoderDims) -> Result<PlannedForward> {
+    let eg = build::encoder(dims);
+    planned(eg.graph, eg.dy)
+}
+
+/// The fused executor as a plan: the paper's encoder fusion plan applied,
+/// natural layouts, one step per fused kernel.
+///
+/// # Errors
+///
+/// Returns an error if fusion or scheduling fails.
+pub fn encoder_fused(dims: &EncoderDims) -> Result<PlannedForward> {
+    let eg = build::encoder(dims);
+    let mut g = eg.graph;
+    apply_plan(&mut g, &encoder_fusion_plan())?;
+    planned(g, eg.dy)
+}
+
+/// The decoder block as a plan: the pre-LN decoder graph with its fusion
+/// plan applied (causal SM, BDR residual joins, GELU BRD).
+///
+/// # Errors
+///
+/// Returns an error if fusion or scheduling fails.
+pub fn decoder_fused(dims: &EncoderDims) -> Result<PlannedForward> {
+    let eg = build::decoder(dims);
+    let mut g = eg.graph;
+    apply_plan(&mut g, &decoder_fusion_plan())?;
+    planned(g, eg.dy)
+}
+
+/// Binds a layer input and the shared weight set into an interpreter
+/// environment under the graphs' container names. The separate Q/K/V
+/// projection weights are stacked into the graphs' `w_qkv` container
+/// (`[s=3p, h, i]`, Q then K then V).
+///
+/// # Errors
+///
+/// Returns an error if the weight shapes cannot be stacked.
+pub fn bind_inputs(x: &Tensor, w: &EncoderWeights) -> Result<ExecState> {
+    let mut state = ExecState::default();
+    let w_qkv = Tensor::concat(
+        Axis('s'),
+        &[
+            &w.wq.relabel("shi")?,
+            &w.wk.relabel("shi")?,
+            &w.wv.relabel("shi")?,
+        ],
+    )?;
+    state.env.insert("x".into(), x.clone());
+    state.env.insert("w_qkv".into(), w_qkv);
+    for (name, t) in [
+        ("bq", &w.bq),
+        ("bk", &w.bk),
+        ("bv", &w.bv),
+        ("wo", &w.wo),
+        ("bo", &w.bo),
+        ("ln1_gamma", &w.ln1_gamma),
+        ("ln1_beta", &w.ln1_beta),
+        ("w1", &w.w1),
+        ("b1", &w.b1),
+        ("w2", &w.w2),
+        ("b2", &w.b2),
+        ("ln2_gamma", &w.ln2_gamma),
+        ("ln2_beta", &w.ln2_beta),
+    ] {
+        state.env.insert(name.into(), t.clone());
+    }
+    Ok(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::distributions::Uniform;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use xform_core::plan::{execute_plan, ExecOptions};
+    use xform_tensor::Shape;
+
+    #[test]
+    fn canned_plans_schedule_every_forward_operator() {
+        let dims = EncoderDims::tiny();
+        let reference = encoder_reference(&dims).unwrap();
+        assert_eq!(reference.plan.steps.len(), 22);
+        let fused = encoder_fused(&dims).unwrap();
+        assert!(fused.plan.steps.len() < reference.plan.steps.len());
+        assert!(fused.plan.validate(&fused.graph).is_empty());
+        let decoder = decoder_fused(&dims).unwrap();
+        assert!(decoder.plan.validate(&decoder.graph).is_empty());
+    }
+
+    #[test]
+    fn bound_weights_cover_every_external_input() {
+        let dims = EncoderDims::tiny();
+        let mut rng = StdRng::seed_from_u64(0);
+        let w = EncoderWeights::init(&dims, &mut rng);
+        let x = Tensor::random(
+            Shape::from_spec("ibj", &dims.size_table()).unwrap(),
+            &Uniform::new(-1.0, 1.0),
+            &mut rng,
+        );
+        for pf in [
+            encoder_reference(&dims).unwrap(),
+            encoder_fused(&dims).unwrap(),
+            decoder_fused(&dims).unwrap(),
+        ] {
+            let mut state = bind_inputs(&x, &w).unwrap();
+            let opts = ExecOptions {
+                scaler: 1.0 / (dims.p as f32).sqrt(),
+                ..ExecOptions::default()
+            };
+            execute_plan(&pf.graph, &pf.plan, &mut state, &opts, &mut rng).unwrap();
+            assert_eq!(state.get("y").unwrap().shape().spec(), "ibj");
+        }
+    }
+}

@@ -41,6 +41,7 @@
 pub mod checkpoint;
 pub mod decoder;
 pub mod encoder;
+pub mod interp;
 pub mod mha;
 pub mod model;
 pub mod optim;

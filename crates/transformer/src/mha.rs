@@ -146,7 +146,9 @@ mod tests {
         for h in 0..dims.h {
             for b in 0..dims.b {
                 for j in 0..dims.j {
-                    let s: f32 = (0..dims.k).map(|kk| acts.sm.softmax.at(&[h, b, j, kk])).sum();
+                    let s: f32 = (0..dims.k)
+                        .map(|kk| acts.sm.softmax.at(&[h, b, j, kk]))
+                        .sum();
                     assert!((s - 1.0).abs() < 1e-5);
                 }
             }
@@ -182,7 +184,11 @@ mod tests {
             o.iter().map(|(i, x)| loss_w.at(&i) * x).sum()
         };
         let eps = 1e-2f32;
-        for (t, g, name) in [(&q, &grads.dq, "dq"), (&k, &grads.dk, "dk"), (&v, &grads.dv, "dv")] {
+        for (t, g, name) in [
+            (&q, &grads.dq, "dq"),
+            (&k, &grads.dk, "dk"),
+            (&v, &grads.dv, "dv"),
+        ] {
             for flat in [0usize, 13, 29] {
                 let mut idx = vec![0usize; 3];
                 for _ in 0..flat {

@@ -136,7 +136,11 @@ impl TransformerModel {
             + self.positional.len()
             + self.head.len()
             + self.head_bias.len()
-            + self.blocks.iter().map(|b| b.num_parameters()).sum::<usize>()
+            + self
+                .blocks
+                .iter()
+                .map(|b| b.num_parameters())
+                .sum::<usize>()
     }
 
     /// Embeds a token batch (`tokens[b][j]`) into `x[i,b,j]`.
@@ -148,7 +152,9 @@ impl TransformerModel {
     pub fn embed(&self, tokens: &[Vec<usize>]) -> Result<Tensor> {
         let d = &self.config.dims;
         if tokens.len() != d.b || tokens.iter().any(|row| row.len() != d.j) {
-            return Err(TensorError::ShapeMismatch { context: "embed batch" });
+            return Err(TensorError::ShapeMismatch {
+                context: "embed batch",
+            });
         }
         let mut x = Tensor::zeros(Shape::from_spec("ibj", &d.size_table())?);
         for (b, row) in tokens.iter().enumerate() {
@@ -184,11 +190,8 @@ impl TransformerModel {
         for w in &self.blocks {
             let (next, a) = match self.config.block {
                 BlockKind::Encoder => {
-                    let layer = EncoderLayer::new(
-                        self.config.dims,
-                        Executor::Fused,
-                        self.config.dropout_p,
-                    );
+                    let layer =
+                        EncoderLayer::new(self.config.dims, Executor::Fused, self.config.dropout_p);
                     let (y, a) = layer.forward(&h, w, rng)?;
                     (y, BlockActs::Encoder(a))
                 }
@@ -260,10 +263,8 @@ impl TransformerModel {
         }
         // head grads and hidden gradient
         let head_grad = xform_tensor::einsum("vbj,ibj->vi", &[&d_logits, &acts.hidden])?;
-        let head_bias_grad = xform_tensor::ops::elementwise::bias_grad(
-            &d_logits,
-            &[xform_tensor::Axis('v')],
-        )?;
+        let head_bias_grad =
+            xform_tensor::ops::elementwise::bias_grad(&d_logits, &[xform_tensor::Axis('v')])?;
         let mut dh = xform_tensor::einsum("vi,vbj->ibj", &[&self.head, &d_logits])?;
         // backprop through the stack
         let mut block_grads: Vec<EncoderGrads> = Vec::with_capacity(self.blocks.len());
@@ -271,11 +272,8 @@ impl TransformerModel {
             let input = &acts.block_inputs[idx];
             let (dx, g) = match (&acts.blocks[idx], self.config.block) {
                 (BlockActs::Encoder(a), BlockKind::Encoder) => {
-                    let layer = EncoderLayer::new(
-                        self.config.dims,
-                        Executor::Fused,
-                        self.config.dropout_p,
-                    );
+                    let layer =
+                        EncoderLayer::new(self.config.dims, Executor::Fused, self.config.dropout_p);
                     layer.backward(&dh, input, w, a)?
                 }
                 (BlockActs::Decoder(a), BlockKind::Decoder) => {
@@ -357,7 +355,12 @@ pub fn copy_task_batch<R: Rng + ?Sized>(
 /// # Errors
 ///
 /// Returns an error on shape disagreements.
-pub fn train_lm(config: ModelConfig, steps: usize, lr: f32, seed: u64) -> Result<(TransformerModel, Vec<f32>)> {
+pub fn train_lm(
+    config: ModelConfig,
+    steps: usize,
+    lr: f32,
+    seed: u64,
+) -> Result<(TransformerModel, Vec<f32>)> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut model = TransformerModel::init(config, &mut rng)?;
     let mut losses = Vec::with_capacity(steps);
@@ -428,7 +431,10 @@ mod tests {
         let (_, losses) = train_lm(cfg, 40, 0.5, 4).unwrap();
         let first = losses[..5].iter().sum::<f32>() / 5.0;
         let last = losses[losses.len() - 5..].iter().sum::<f32>() / 5.0;
-        assert!(last < first, "encoder stack did not learn: {first:.3} -> {last:.3}");
+        assert!(
+            last < first,
+            "encoder stack did not learn: {first:.3} -> {last:.3}"
+        );
     }
 
     #[test]
@@ -438,7 +444,9 @@ mod tests {
         let model = TransformerModel::init(cfg, &mut rng).unwrap();
         let mut data_rng = StdRng::seed_from_u64(6);
         let (tokens, targets) = copy_task_batch(&cfg, &mut data_rng);
-        let acts = model.forward(&tokens, &mut StdRng::seed_from_u64(7)).unwrap();
+        let acts = model
+            .forward(&tokens, &mut StdRng::seed_from_u64(7))
+            .unwrap();
         let grads = model.backward(&tokens, &targets, &acts).unwrap();
         let loss_of = |m: &TransformerModel| -> f32 {
             let a = m.forward(&tokens, &mut StdRng::seed_from_u64(7)).unwrap();

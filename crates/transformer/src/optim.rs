@@ -160,11 +160,8 @@ mod tests {
         // minimize f(x) = x²; gradient 2x
         let mut x = Tensor::from_vec(Shape::new([('x', 1)]).unwrap(), vec![x0]).unwrap();
         for _ in 0..steps {
-            let g = Tensor::from_vec(
-                Shape::new([('x', 1)]).unwrap(),
-                vec![2.0 * x.data()[0]],
-            )
-            .unwrap();
+            let g =
+                Tensor::from_vec(Shape::new([('x', 1)]).unwrap(), vec![2.0 * x.data()[0]]).unwrap();
             opt.step(&mut [&mut x], &[&g]);
         }
         x.data()[0]
@@ -200,7 +197,11 @@ mod tests {
         let mut x = Tensor::from_vec(Shape::new([('x', 1)]).unwrap(), vec![1.0]).unwrap();
         let g = Tensor::from_vec(Shape::new([('x', 1)]).unwrap(), vec![123.0]).unwrap();
         opt.step(&mut [&mut x], &[&g]);
-        assert!((x.data()[0] - (1.0 - 0.1)).abs() < 1e-3, "got {}", x.data()[0]);
+        assert!(
+            (x.data()[0] - (1.0 - 0.1)).abs() < 1e-3,
+            "got {}",
+            x.data()[0]
+        );
     }
 
     #[test]

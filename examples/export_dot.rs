@@ -23,11 +23,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     fs::write("mha.dot", mha.to_dot("MHA forward (Fig. 1b)"))?;
 
     let enc = build::encoder(&dims);
-    fs::write("encoder.dot", enc.graph.to_dot("BERT encoder fwd+bwd (Fig. 2)"))?;
+    fs::write(
+        "encoder.dot",
+        enc.graph.to_dot("BERT encoder fwd+bwd (Fig. 2)"),
+    )?;
 
     let mut fused = build::encoder(&dims).graph;
     apply_plan(&mut fused, &encoder_fusion_plan())?;
-    fs::write("encoder_fused.dot", fused.to_dot("BERT encoder after fusion"))?;
+    fs::write(
+        "encoder_fused.dot",
+        fused.to_dot("BERT encoder after fusion"),
+    )?;
 
     for f in ["mha.dot", "encoder.dot", "encoder_fused.dot"] {
         let bytes = fs::metadata(f)?.len();

@@ -29,15 +29,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     apply_plan(&mut g, &encoder_fusion_plan())?;
     let sm = g.op_by_name("SM").expect("fused graph has SM");
     let sweep = sweep_op(&SimulatorSource::default(), &g, sm, SweepOptions::default())?;
-    println!("SM kernel layout sweep on the V100 model ({} configurations):", sweep.times_us.len());
-    println!("  best  : {:8.0} µs   ({} → {}, vectorize {:?}, warp {:?})",
+    println!(
+        "SM kernel layout sweep on the V100 model ({} configurations):",
+        sweep.times_us.len()
+    );
+    println!(
+        "  best  : {:8.0} µs   ({} → {}, vectorize {:?}, warp {:?})",
         sweep.best.time_us,
         sweep.best.cfg.in_spec,
         sweep.best.cfg.out_spec,
         sweep.best.cfg.vector_axis,
         sweep.best.cfg.warp_axis,
     );
-    println!("  worst : {:8.0} µs   ({:.0}× worse — the Fig. 5 long tail)",
+    println!(
+        "  worst : {:8.0} µs   ({:.0}× worse — the Fig. 5 long tail)",
         sweep.worst_us,
         sweep.worst_us / sweep.best.time_us
     );
@@ -63,9 +68,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let (t_good, s1) = time(&good);
     let (t_bad, s2) = time(&bad);
-    println!("\nreal CPU softmax over k ({} elements):", shape.num_elements());
+    println!(
+        "\nreal CPU softmax over k ({} elements):",
+        shape.num_elements()
+    );
     println!("  k contiguous (layout hbjk): {t_good:.2} ms");
-    println!("  k strided    (layout kjbh): {t_bad:.2} ms   ({:.1}× slower)", t_bad / t_good);
+    println!(
+        "  k strided    (layout kjbh): {t_bad:.2} ms   ({:.1}× slower)",
+        t_bad / t_good
+    );
     println!(
         "\nSame lesson on both substrates: layout choice changes kernel time by\n\
          large factors, and the best layout is found by measuring, not guessing."

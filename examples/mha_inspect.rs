@@ -10,9 +10,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use substation::dataflow::{analysis, build, EncoderDims};
+use substation::tensor::{Shape, Tensor};
 use substation::transformer::mha::{mha_backward, mha_forward};
 use substation::transformer::params::EncoderWeights;
-use substation::tensor::{Shape, Tensor};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- the dataflow view (Fig. 1b) at paper scale ---
@@ -46,15 +46,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(3);
     let w = EncoderWeights::init(&dims, &mut rng);
     let sizes = dims.size_table();
-    let q = Tensor::random(Shape::from_spec("ibj", &sizes)?, &Uniform::new(-1.0, 1.0), &mut rng);
-    let k = Tensor::random(Shape::from_spec("ibk", &sizes)?, &Uniform::new(-1.0, 1.0), &mut rng);
-    let v = Tensor::random(Shape::from_spec("ibk", &sizes)?, &Uniform::new(-1.0, 1.0), &mut rng);
+    let q = Tensor::random(
+        Shape::from_spec("ibj", &sizes)?,
+        &Uniform::new(-1.0, 1.0),
+        &mut rng,
+    );
+    let k = Tensor::random(
+        Shape::from_spec("ibk", &sizes)?,
+        &Uniform::new(-1.0, 1.0),
+        &mut rng,
+    );
+    let v = Tensor::random(
+        Shape::from_spec("ibk", &sizes)?,
+        &Uniform::new(-1.0, 1.0),
+        &mut rng,
+    );
     let (out, acts) = mha_forward(&dims, &q, &k, &v, &w, 0.1, &mut rng)?;
-    println!("real CPU general attention (J={} queries over K={} keys):", dims.j, dims.k);
+    println!(
+        "real CPU general attention (J={} queries over K={} keys):",
+        dims.j, dims.k
+    );
     println!("  output shape       : {}", out.shape());
     println!(
         "  attention row sums : {:.4} (softmax over keys)",
-        (0..dims.k).map(|kk| acts.sm.softmax.at(&[0, 0, 0, kk])).sum::<f32>()
+        (0..dims.k)
+            .map(|kk| acts.sm.softmax.at(&[0, 0, 0, kk]))
+            .sum::<f32>()
     );
     let dropped = acts.sm.mask.data().iter().filter(|&&m| m == 0.0).count();
     println!(
@@ -62,6 +79,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         100.0 * dropped as f32 / acts.sm.mask.len() as f32
     );
     let grads = mha_backward(&dims, &out, &w, &acts)?;
-    println!("  input gradients    : dq {}, dk {}, dv {}", grads.dq.shape(), grads.dk.shape(), grads.dv.shape());
+    println!(
+        "  input gradients    : dq {}, dk {}, dv {}",
+        grads.dq.shape(),
+        grads.dk.shape(),
+        grads.dv.shape()
+    );
     Ok(())
 }

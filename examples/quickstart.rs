@@ -67,11 +67,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("baseline comparison (modelled V100):");
     println!("  PyTorch model      : {:.2} ms", pt.total_us / 1000.0);
     println!("  ours               : {:.2} ms", plan.total_us() / 1000.0);
-    println!("  speedup            : {:.2}×  (paper: 1.30×)", pt.total_us / plan.total_us());
+    println!(
+        "  speedup            : {:.2}×  (paper: 1.30×)",
+        pt.total_us / plan.total_us()
+    );
 
     // Where did the time go? The paper's MUE-vs-%peak bottleneck ranking:
     println!("\nslowest kernels after optimization (MUE > %peak ⇒ memory-bound):");
-    for b in substation::core::report::bottlenecks(&device, &plan).iter().take(5) {
+    for b in substation::core::report::bottlenecks(&device, &plan)
+        .iter()
+        .take(5)
+    {
         println!(
             "  {:<12} {:7.0} µs ({:4.1}%)  {} MUE {:>4.0} vs {:4.1}% peak → {}",
             b.name,
@@ -80,7 +86,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             b.class.glyph(),
             b.mue,
             b.pct_peak,
-            if b.memory_bound { "memory-bound" } else { "compute-bound" }
+            if b.memory_bound {
+                "memory-bound"
+            } else {
+                "compute-bound"
+            }
         );
     }
     let _ = OpClass::TensorContraction;

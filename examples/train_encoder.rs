@@ -39,13 +39,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         dims.i, dims.h, dims.b, dims.j
     );
     let mut results = Vec::new();
-    for (name, executor) in [("reference (unfused)", Executor::Reference), ("fused kernels", Executor::Fused)] {
+    for (name, executor) in [
+        ("reference (unfused)", Executor::Reference),
+        ("fused kernels", Executor::Fused),
+    ] {
         let start = Instant::now();
         let result = train_synthetic(&dims, executor, &cfg)?;
         let elapsed = start.elapsed();
         println!("{name}: {:?} for {} steps", elapsed, cfg.steps);
         for s in result.history.iter().step_by(5) {
-            println!("  step {:>3}  loss {:.5}  |grad| {:.4}", s.step, s.loss, s.grad_norm);
+            println!(
+                "  step {:>3}  loss {:.5}  |grad| {:.4}",
+                s.step, s.loss, s.grad_norm
+            );
         }
         let last = result.history.last().expect("non-empty history");
         println!("  step {:>3}  loss {:.5}  (final)\n", last.step, last.loss);
@@ -58,6 +64,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         results[1].history.last().expect("history").loss,
     );
     println!("final losses: reference {a:.6} vs fused {b:.6} (identical math)");
-    println!("loss reduced {:.1}× from the start — backprop through attention works.", first / a);
+    println!(
+        "loss reduced {:.1}× from the start — backprop through attention works.",
+        first / a
+    );
     Ok(())
 }

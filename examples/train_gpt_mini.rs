@@ -7,12 +7,10 @@
 //! cargo run --release --example train_gpt_mini
 //! ```
 
-use substation::dataflow::EncoderDims;
-use substation::transformer::model::{
-    copy_task_batch, BlockKind, ModelConfig, TransformerModel,
-};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use substation::dataflow::EncoderDims;
+use substation::transformer::model::{copy_task_batch, BlockKind, ModelConfig, TransformerModel};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = ModelConfig {

@@ -12,7 +12,10 @@ use substation::gpusim::DeviceSpec;
 
 fn quick() -> RecipeOptions {
     RecipeOptions {
-        sweep: SweepOptions { max_configs: Some(8_000) },
+        sweep: SweepOptions {
+            max_configs: Some(8_000),
+            ..SweepOptions::default()
+        },
         per_op_overhead_us: 1.0,
     }
 }
@@ -39,8 +42,18 @@ fn table5_ordering_holds() {
         ours.total_us(),
         ds.total_us
     );
-    assert!(ds.total_us < xla.total_us, "DS {} !< XLA {}", ds.total_us, xla.total_us);
-    assert!(xla.total_us < pt.total_us, "XLA {} !< PT {}", xla.total_us, pt.total_us);
+    assert!(
+        ds.total_us < xla.total_us,
+        "DS {} !< XLA {}",
+        ds.total_us,
+        xla.total_us
+    );
+    assert!(
+        xla.total_us < pt.total_us,
+        "XLA {} !< PT {}",
+        xla.total_us,
+        pt.total_us
+    );
 
     // headline speedups: ≥1.30× over PyTorch, ≥1.08× over DeepSpeed
     let vs_pt = pt.total_us / ours.total_us();
@@ -56,7 +69,10 @@ fn ours_absolute_times_near_paper() {
     let fwd = ours.forward_us / 1000.0;
     let bwd = ours.backward_us / 1000.0;
     assert!((fwd - 2.63).abs() < 0.8, "forward {fwd:.2} ms (paper 2.63)");
-    assert!((bwd - 4.38).abs() < 1.2, "backward {bwd:.2} ms (paper 4.38)");
+    assert!(
+        (bwd - 4.38).abs() < 1.2,
+        "backward {bwd:.2} ms (paper 4.38)"
+    );
 }
 
 #[test]

@@ -13,7 +13,10 @@ use substation::transformer::model::{train_lm, BlockKind, ModelConfig};
 
 fn quick() -> RecipeOptions {
     RecipeOptions {
-        sweep: SweepOptions { max_configs: Some(4_000) },
+        sweep: SweepOptions {
+            max_configs: Some(4_000),
+            ..SweepOptions::default()
+        },
         per_op_overhead_us: 1.0,
     }
 }
@@ -53,7 +56,10 @@ fn cpu_measured_recipe_is_consistent() {
         &DeviceSpec::v100(),
         &EncoderDims::tiny(),
         &RecipeOptions {
-            sweep: SweepOptions { max_configs: Some(30) },
+            sweep: SweepOptions {
+                max_configs: Some(30),
+                ..SweepOptions::default()
+            },
             per_op_overhead_us: 0.0,
         },
     )
@@ -67,7 +73,15 @@ fn cpu_measured_recipe_is_consistent() {
 fn lm_training_pipeline_learns_through_both_block_kinds() {
     for block in [BlockKind::Decoder, BlockKind::Encoder] {
         let cfg = ModelConfig {
-            dims: EncoderDims { b: 2, j: 6, k: 6, h: 2, p: 4, i: 8, u: 16 },
+            dims: EncoderDims {
+                b: 2,
+                j: 6,
+                k: 6,
+                h: 2,
+                p: 4,
+                i: 8,
+                u: 16,
+            },
             layers: 1,
             vocab: 4,
             block,
@@ -76,7 +90,10 @@ fn lm_training_pipeline_learns_through_both_block_kinds() {
         let (_, losses) = train_lm(cfg, 30, 0.5, 5).unwrap();
         let first = losses[..3].iter().sum::<f32>() / 3.0;
         let last = losses[losses.len() - 3..].iter().sum::<f32>() / 3.0;
-        assert!(last < first, "{block:?} stack failed to learn: {first} -> {last}");
+        assert!(
+            last < first,
+            "{block:?} stack failed to learn: {first} -> {last}"
+        );
     }
 }
 

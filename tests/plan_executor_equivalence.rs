@@ -1,0 +1,153 @@
+//! Cross-crate equivalence of the plan-driven execution engine: a plan
+//! lowered from the full recipe (fuse → sweep → SSSP select) produces the
+//! same encoder output as the reference executor; arbitrary layout
+//! perturbations survive `reflow` unchanged in value; and malformed plans
+//! are rejected by `validate` before any kernel runs.
+
+use proptest::prelude::*;
+use rand::distributions::Uniform;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use substation::core::plan::ExecutionPlan;
+use substation::core::selection::select_forward;
+use substation::core::sweep::{sweep_all, SimulatorSource, SweepOptions};
+use substation::dataflow::EncoderDims;
+use substation::gpusim::DeviceSpec;
+use substation::tensor::{Shape, Tensor};
+use substation::transformer::encoder::{EncoderLayer, Executor};
+use substation::transformer::interp;
+use substation::transformer::params::EncoderWeights;
+
+fn dims() -> EncoderDims {
+    EncoderDims {
+        b: 2,
+        j: 8,
+        k: 8,
+        h: 2,
+        p: 4,
+        i: 8,
+        u: 12,
+    }
+}
+
+fn inputs(dims: &EncoderDims, seed: u64) -> (Tensor, EncoderWeights) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let w = EncoderWeights::init(dims, &mut rng);
+    let x = Tensor::random(
+        Shape::from_spec("ibj", &dims.size_table()).unwrap(),
+        &Uniform::new(-1.0, 1.0),
+        &mut rng,
+    );
+    (x, w)
+}
+
+/// The reference executor's output for the given input (dropout off).
+fn reference_y(dims: &EncoderDims, x: &Tensor, w: &EncoderWeights) -> Tensor {
+    let layer = EncoderLayer::new(*dims, Executor::Reference, 0.0);
+    let mut rng = StdRng::seed_from_u64(3);
+    layer.forward(x, w, &mut rng).expect("reference forward").0
+}
+
+#[test]
+fn recipe_lowered_plan_matches_reference_executor() {
+    let dims = dims();
+    let planned = interp::encoder_fused(&dims).unwrap();
+    let fwd: Vec<_> = planned.plan.steps.iter().map(|s| s.op).collect();
+    let sweeps = sweep_all(
+        &SimulatorSource::default(),
+        &planned.graph,
+        SweepOptions {
+            max_configs: Some(400),
+            ..SweepOptions::default()
+        },
+    )
+    .unwrap();
+    let sel = select_forward(&planned.graph, &DeviceSpec::v100(), &fwd, &sweeps).unwrap();
+    let plan = ExecutionPlan::lower(&planned.graph, &sel).unwrap();
+    assert!(plan.validate(&planned.graph).is_empty());
+
+    let (x, w) = inputs(&dims, 17);
+    let y_ref = reference_y(&dims, &x, &w);
+    let layer = EncoderLayer::new(dims, Executor::Fused, 0.0);
+    let mut rng = StdRng::seed_from_u64(3);
+    let (y_sel, _) = layer
+        .forward_with_plan(&planned.graph, &plan, &x, &w, &mut rng)
+        .expect("plan-driven forward");
+    // layouts may differ; max_abs_diff compares logical elements
+    assert!(
+        y_sel.max_abs_diff(&y_ref).unwrap() < 1e-4,
+        "recipe-selected plan diverged from the reference executor"
+    );
+}
+
+/// Rotates `s` left by `n` — always a valid permutation of the layout.
+fn rotate(s: &str, n: usize) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.is_empty() {
+        return String::new();
+    }
+    let n = n % chars.len();
+    chars[n..].iter().chain(&chars[..n]).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // Any valid per-operand layout perturbation of the fused schedule,
+    // repaired by `reflow`, executes to the reference output.
+    #[test]
+    fn perturbed_plans_execute_to_the_same_output(seed in 0u64..1_000) {
+        let dims = dims();
+        let planned = interp::encoder_fused(&dims).unwrap();
+        let mut plan = planned.plan.clone();
+        let mut twist = StdRng::seed_from_u64(seed);
+        for step in &mut plan.steps {
+            for o in step.inputs.iter_mut().chain(step.outputs.iter_mut()) {
+                let n = rand::Rng::gen_range(&mut twist, 0..4usize);
+                o.layout = rotate(&o.layout, n);
+            }
+        }
+        plan.reflow(&planned.graph);
+        prop_assert!(plan.validate(&planned.graph).is_empty());
+
+        let (x, w) = inputs(&dims, seed ^ 0xABCD);
+        let y_ref = reference_y(&dims, &x, &w);
+        let layer = EncoderLayer::new(dims, Executor::Fused, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let (y, _) = layer
+            .forward_with_plan(&planned.graph, &plan, &x, &w, &mut rng)
+            .expect("perturbed plan executes");
+        prop_assert!(y.max_abs_diff(&y_ref).unwrap() < 1e-4);
+    }
+}
+
+#[test]
+fn invalid_plans_are_rejected_before_execution() {
+    let dims = dims();
+    let planned = interp::encoder_fused(&dims).unwrap();
+    let (x, w) = inputs(&dims, 5);
+    let layer = EncoderLayer::new(dims, Executor::Fused, 0.0);
+
+    // a layout that is not a permutation of the container's axes
+    let mut garbled = planned.plan.clone();
+    garbled.steps[0].inputs[0].layout = "zz".into();
+    assert!(garbled
+        .validate(&planned.graph)
+        .iter()
+        .any(|p| p.contains("not a permutation")));
+    let mut rng = StdRng::seed_from_u64(3);
+    assert!(layer
+        .forward_with_plan(&planned.graph, &garbled, &x, &w, &mut rng)
+        .is_err());
+
+    // a schedule missing the producer of a consumed container
+    let mut truncated = planned.plan.clone();
+    let mid = truncated.steps.len() / 2;
+    truncated.steps.remove(mid);
+    assert!(!truncated.validate(&planned.graph).is_empty());
+    let mut rng = StdRng::seed_from_u64(3);
+    assert!(layer
+        .forward_with_plan(&planned.graph, &truncated, &x, &w, &mut rng)
+        .is_err());
+}

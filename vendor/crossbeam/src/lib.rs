@@ -1,0 +1,100 @@
+//! Vendored, API-compatible subset of the `crossbeam` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! ships the one crossbeam facility it uses: scoped threads
+//! ([`scope`] / [`thread::scope`]), backed by `std::thread::scope`
+//! (stable since Rust 1.63, which postdates crossbeam's scoped-thread
+//! design and provides the same borrow-from-the-stack guarantee).
+
+pub mod thread {
+    //! Scoped threads, mirroring `crossbeam::thread`.
+
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Spawns scoped threads that may borrow from the caller's stack.
+    ///
+    /// Returns `Err` with the panic payload if the closure or any
+    /// unjoined spawned thread panicked (crossbeam semantics).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+
+    /// Handle for spawning further threads inside a [`scope`].
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread scoped to the enclosing [`scope`] call. The
+        /// closure receives the scope again so it can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Owned handle to one scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let data = vec![1u64, 2, 3, 4];
+        let total = scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&v| s.spawn(move |_| v * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+
+    #[test]
+    fn panic_in_spawned_thread_is_err() {
+        let r = scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            // Leave unjoined: std::thread::scope re-raises on exit and
+            // our wrapper converts that into Err.
+            drop(h);
+        });
+        assert!(r.is_err());
+    }
+}
