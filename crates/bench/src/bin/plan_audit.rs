@@ -1,0 +1,134 @@
+//! Static data-movement audit of execution plans — no kernel ever runs.
+//!
+//! For each schedule (Reference encoder, Fused encoder, Fused decoder, and
+//! a recipe-selected plan lowered from simulator sweeps) this prints the
+//! report of `xform_core::analyze`: the dependency DAG's parallel waves,
+//! peak resident bytes, per-operator-class byte volumes (Table I style),
+//! the plan-level static MUE (`Q/D · B/B̂`), and every lint the analyzer
+//! raises. With `--check` it exits non-zero if any plan carries an
+//! error-severity lint — CI uses this to fail the build on a lint-dirty
+//! canned plan.
+
+use std::collections::HashMap;
+
+use xform_core::analyze::{analyze, audit, lint_selection, render_report, Severity};
+use xform_core::plan::ExecutionPlan;
+use xform_core::selection::select_forward;
+use xform_core::sweep::{sweep_all, SimulatorSource, SweepOptions, SweepResult};
+use xform_dataflow::{EncoderDims, Graph, NodeId};
+use xform_gpusim::DeviceSpec;
+use xform_transformer::interp;
+
+struct Audited {
+    title: &'static str,
+    errors: usize,
+}
+
+fn report(
+    title: &'static str,
+    graph: &Graph,
+    plan: &ExecutionPlan,
+    sweeps: Option<&HashMap<NodeId, SweepResult>>,
+    device: &DeviceSpec,
+    check_only: bool,
+) -> Audited {
+    let mut analysis = analyze(graph, plan);
+    if let Some(sweeps) = sweeps {
+        analysis.lints.extend(lint_selection(graph, plan, sweeps));
+    }
+    let errors = analysis.errors().len();
+    if check_only {
+        println!(
+            "{title}: {} steps, {errors} errors, {} warnings",
+            plan.steps.len(),
+            analysis
+                .lints
+                .iter()
+                .filter(|l| l.severity() == Severity::Warning)
+                .count()
+        );
+        for lint in analysis
+            .lints
+            .iter()
+            .filter(|l| l.severity() == Severity::Error)
+        {
+            println!("  [error] {lint}");
+        }
+    } else {
+        let movement = audit(graph, plan, device);
+        print!("{}", render_report(title, &analysis, &movement, device));
+        println!();
+    }
+    Audited { title, errors }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let check_only = std::env::args().any(|a| a == "--check");
+    let dims = EncoderDims::bert_large();
+    let device = DeviceSpec::v100();
+
+    let reference = interp::cached_plan(&dims, interp::PlanKind::EncoderReference)?;
+    let fused = interp::cached_plan(&dims, interp::PlanKind::EncoderFused)?;
+    let decoder = interp::cached_plan(&dims, interp::PlanKind::DecoderFused)?;
+
+    // the recipe: simulator sweeps over the fused graph, SSSP layout
+    // selection, lowered to a schedule — audited statically like the rest
+    let fwd: Vec<NodeId> = fused.plan.steps.iter().map(|s| s.op).collect();
+    let sweeps = sweep_all(
+        &SimulatorSource::default(),
+        &fused.graph,
+        SweepOptions {
+            max_configs: Some(2000),
+            ..SweepOptions::default()
+        },
+    )?;
+    let sel = select_forward(&fused.graph, &device, &fwd, &sweeps)?;
+    let selected = ExecutionPlan::lower(&fused.graph, &sel)?;
+
+    let results = [
+        report(
+            "Reference (unfused, natural layouts)",
+            &reference.graph,
+            &reference.plan,
+            None,
+            &device,
+            check_only,
+        ),
+        report(
+            "Fused (natural layouts)",
+            &fused.graph,
+            &fused.plan,
+            None,
+            &device,
+            check_only,
+        ),
+        report(
+            "Decoder (fused, natural layouts)",
+            &decoder.graph,
+            &decoder.plan,
+            None,
+            &device,
+            check_only,
+        ),
+        report(
+            "Recipe-selected (simulator sweeps + SSSP layouts)",
+            &fused.graph,
+            &selected,
+            Some(&sweeps),
+            &device,
+            check_only,
+        ),
+    ];
+
+    let dirty: Vec<&Audited> = results.iter().filter(|r| r.errors > 0).collect();
+    if !dirty.is_empty() {
+        for r in &dirty {
+            eprintln!("{}: {} error-severity lints", r.title, r.errors);
+        }
+        std::process::exit(1);
+    }
+    if check_only {
+        println!("all plans are error-clean");
+    }
+    Ok(())
+}

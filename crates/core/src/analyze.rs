@@ -1,0 +1,1501 @@
+//! Static analysis of [`ExecutionPlan`]s: dependency/hazard graph,
+//! liveness, and a data-movement audit — without executing anything.
+//!
+//! The paper's whole argument rests on *static* accounting of data
+//! movement (Sec. III: flop vs. byte volume per operator, `MUE = Q/D ·
+//! B/B̂`) and on structural analysis of the dataflow graph to find fusion
+//! and layout opportunities (Figs. 1–3, 6). This module applies the same
+//! discipline to a lowered schedule:
+//!
+//! * [`analyze`] builds the step-level dependency DAG from operand reads
+//!   and writes (relayouts count as writes), detecting RAW/WAR/WAW
+//!   hazards, use-before-def, double-writes, and dead steps, and reports
+//!   everything as typed [`PlanLint`] diagnostics with a [`Severity`];
+//! * [`PlanAnalysis::parallel_waves`] derives topological antichains from
+//!   that DAG — the proven-safe parallel schedule a multi-threaded
+//!   interpreter must consume;
+//! * [`PlanAnalysis::liveness`] gives per-buffer live intervals and the
+//!   plan's peak-resident-words high-water mark;
+//! * [`audit`] prices every step's data movement under its *selected*
+//!   layouts through `xform-gpusim`'s operator model and aggregates
+//!   byte volumes per operator class (Table I style) plus a plan-level
+//!   static MUE, with explicit relayouts counted as avoidable traffic;
+//! * [`lint_selection`] cross-checks a lowered plan against sweep data,
+//!   flagging layout choices dominated in the sweep.
+//!
+//! [`ExecutionPlan::check`] is the thin wrapper the interpreter uses: it
+//! returns [`analyze`]'s lints, and execution refuses plans with any
+//! [`Severity::Error`] finding.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use xform_dataflow::{flops, DataRole, Graph, NodeId, OpClass, OpKind};
+use xform_gpusim::contraction::MathMode;
+use xform_gpusim::mue::{mue, Mue, MueAccum};
+use xform_gpusim::opmodel::{OpConfig, OpModel};
+use xform_gpusim::{DeviceSpec, KernelCost};
+
+use crate::plan::{ExecutionPlan, PlanStep};
+use crate::selection::RELAYOUT_BANDWIDTH_FRAC;
+use crate::sweep::SweepResult;
+
+/// How bad a [`PlanLint`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational; no action needed.
+    Info,
+    /// The plan executes correctly but wastes data movement or misses an
+    /// optimization the recipe should have taken.
+    Warning,
+    /// The plan is incoherent and must not be executed.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One typed diagnostic from the static plan analyzer.
+///
+/// Error-severity variants are the coherence violations the old
+/// string-based `validate()` reported plus the hazards the dependency
+/// analysis catches; warning-severity variants flag wasteful-but-runnable
+/// schedules (dead steps, redundant or cancelling relayouts, fusion and
+/// layout opportunities the plan missed).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PlanLint {
+    /// A step references an operator id the graph does not contain.
+    NotAnOperator {
+        /// Step index in the schedule.
+        step: usize,
+        /// The step's kernel name.
+        name: String,
+        /// The dangling operator id.
+        op: NodeId,
+    },
+    /// A step's name disagrees with the graph operator it references.
+    NameMismatch {
+        /// Step index.
+        step: usize,
+        /// Name recorded in the plan.
+        planned: String,
+        /// Name of the operator in the graph.
+        actual: String,
+        /// The operator id.
+        op: NodeId,
+    },
+    /// A step's operand list disagrees with the graph's edges.
+    OperandMismatch {
+        /// Step index.
+        step: usize,
+        /// The step's kernel name.
+        name: String,
+    },
+    /// An operand references a data id that is not a live container.
+    NotAContainer {
+        /// Step index.
+        step: usize,
+        /// The step's kernel name.
+        name: String,
+        /// The operand's container name.
+        operand: String,
+        /// The dangling data id.
+        data: NodeId,
+    },
+    /// An operand's layout spec is not a permutation of its container's
+    /// logical axes.
+    BadLayout {
+        /// Step index.
+        step: usize,
+        /// The step's kernel name.
+        name: String,
+        /// The operand's container name.
+        operand: String,
+        /// The offending layout spec.
+        layout: String,
+        /// The container's logical axis string.
+        logical: String,
+    },
+    /// A step consumes a produced container before any scheduled step
+    /// writes it (a RAW hazard against the schedule order).
+    UseBeforeDef {
+        /// Step index of the too-early consumer.
+        step: usize,
+        /// The step's kernel name.
+        name: String,
+        /// The consumed container's name.
+        container: String,
+    },
+    /// Two steps write the same single-producer container (a WAW hazard;
+    /// stacked containers with several graph-level slice writers are
+    /// exempt).
+    DoubleWrite {
+        /// Step index of the second writer.
+        step: usize,
+        /// Step index of the first writer.
+        prev_step: usize,
+        /// The twice-written container's name.
+        container: String,
+    },
+    /// A relayout's `from` layout disagrees with the layout the container
+    /// is actually materialized in at that point of the schedule.
+    RelayoutIncoherent {
+        /// Step index.
+        step: usize,
+        /// The step's kernel name.
+        name: String,
+        /// The relayouted container's name.
+        container: String,
+        /// Layout the relayout expects.
+        expected: String,
+        /// Layout the container is actually in.
+        have: String,
+    },
+    /// A step declares an input layout the schedule never materializes.
+    LayoutIncoherent {
+        /// Step index.
+        step: usize,
+        /// The step's kernel name.
+        name: String,
+        /// The container's name.
+        container: String,
+        /// Layout the step wants.
+        want: String,
+        /// Layout the container is actually in.
+        have: String,
+    },
+    /// Every output of this step is an activation no later step (and no
+    /// unscheduled graph consumer) reads: the step computes dead values.
+    DeadStep {
+        /// Step index.
+        step: usize,
+        /// The step's kernel name.
+        name: String,
+    },
+    /// A relayout whose source and destination layout are identical.
+    RedundantRelayout {
+        /// Step index.
+        step: usize,
+        /// The relayouted container's name.
+        container: String,
+        /// The no-op layout.
+        layout: String,
+    },
+    /// A container is relayouted `A→B` and later straight back `B→A`:
+    /// the pair nets to identity, so reordering consumers (or picking a
+    /// different producer layout) would save two transposes.
+    CancellingRelayouts {
+        /// Step carrying the first relayout.
+        first_step: usize,
+        /// Step carrying the inverse relayout.
+        second_step: usize,
+        /// The container's name.
+        container: String,
+    },
+    /// A relayout of a container the step does not even consume.
+    OrphanRelayout {
+        /// Step index.
+        step: usize,
+        /// The relayouted container's name.
+        container: String,
+    },
+    /// Two adjacent unfused element-wise steps joined by a
+    /// single-consumer activation: the fusion plan missed a fusable chain
+    /// (Sec. IV's element-wise pattern).
+    MissedFusion {
+        /// Producer step index.
+        first_step: usize,
+        /// Consumer step index.
+        second_step: usize,
+        /// Producer kernel name.
+        first: String,
+        /// Consumer kernel name.
+        second: String,
+    },
+    /// The step's chosen layout pair is dominated in the sweep data: its
+    /// output layout is relayouted away before every use, and a strictly
+    /// faster pair with the same input layout exists.
+    DominatedLayout {
+        /// Step index.
+        step: usize,
+        /// The step's kernel name.
+        name: String,
+        /// Sweep time of the chosen layout pair (µs).
+        chosen_us: f64,
+        /// Best sweep time among same-input alternatives (µs).
+        better_us: f64,
+        /// The output layout achieving `better_us`.
+        better_out: String,
+    },
+}
+
+impl PlanLint {
+    /// The lint's severity.
+    pub fn severity(&self) -> Severity {
+        match self {
+            PlanLint::NotAnOperator { .. }
+            | PlanLint::NameMismatch { .. }
+            | PlanLint::OperandMismatch { .. }
+            | PlanLint::NotAContainer { .. }
+            | PlanLint::BadLayout { .. }
+            | PlanLint::UseBeforeDef { .. }
+            | PlanLint::DoubleWrite { .. }
+            | PlanLint::RelayoutIncoherent { .. }
+            | PlanLint::LayoutIncoherent { .. } => Severity::Error,
+            PlanLint::DeadStep { .. }
+            | PlanLint::RedundantRelayout { .. }
+            | PlanLint::CancellingRelayouts { .. }
+            | PlanLint::OrphanRelayout { .. }
+            | PlanLint::MissedFusion { .. }
+            | PlanLint::DominatedLayout { .. } => Severity::Warning,
+        }
+    }
+
+    /// The schedule position the lint anchors to (the later step for
+    /// pair lints).
+    pub fn step(&self) -> usize {
+        match self {
+            PlanLint::NotAnOperator { step, .. }
+            | PlanLint::NameMismatch { step, .. }
+            | PlanLint::OperandMismatch { step, .. }
+            | PlanLint::NotAContainer { step, .. }
+            | PlanLint::BadLayout { step, .. }
+            | PlanLint::UseBeforeDef { step, .. }
+            | PlanLint::DoubleWrite { step, .. }
+            | PlanLint::RelayoutIncoherent { step, .. }
+            | PlanLint::LayoutIncoherent { step, .. }
+            | PlanLint::DeadStep { step, .. }
+            | PlanLint::RedundantRelayout { step, .. }
+            | PlanLint::OrphanRelayout { step, .. }
+            | PlanLint::DominatedLayout { step, .. } => *step,
+            PlanLint::CancellingRelayouts { second_step, .. } => *second_step,
+            PlanLint::MissedFusion { second_step, .. } => *second_step,
+        }
+    }
+}
+
+impl fmt::Display for PlanLint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanLint::NotAnOperator { step, name, op } => {
+                write!(f, "step {step} (`{name}`): {op} is not a live operator")
+            }
+            PlanLint::NameMismatch {
+                step,
+                planned,
+                actual,
+                op,
+            } => write!(f, "step {step}: plan names `{planned}` but {op} is `{actual}`"),
+            PlanLint::OperandMismatch { step, name } => write!(
+                f,
+                "step {step} (`{name}`): operand list disagrees with the graph's edges"
+            ),
+            PlanLint::NotAContainer {
+                step,
+                name,
+                operand,
+                data,
+            } => write!(
+                f,
+                "step {step} (`{name}`): operand `{operand}` ({data}) is not a live container"
+            ),
+            PlanLint::BadLayout {
+                step,
+                name,
+                operand,
+                layout,
+                logical,
+            } => write!(
+                f,
+                "step {step} (`{name}`): layout `{layout}` is not a permutation of `{operand}`'s axes `{logical}`"
+            ),
+            PlanLint::UseBeforeDef {
+                step,
+                name,
+                container,
+            } => write!(
+                f,
+                "step {step} (`{name}`): consumes `{container}` before any scheduled step produces it"
+            ),
+            PlanLint::DoubleWrite {
+                step,
+                prev_step,
+                container,
+            } => write!(
+                f,
+                "step {step}: writes `{container}` already written by step {prev_step}"
+            ),
+            PlanLint::RelayoutIncoherent {
+                step,
+                name,
+                container,
+                expected,
+                have,
+            } => write!(
+                f,
+                "step {step} (`{name}`): relayout of `{container}` expects layout `{expected}` but it is materialized in `{have}`"
+            ),
+            PlanLint::LayoutIncoherent {
+                step,
+                name,
+                container,
+                want,
+                have,
+            } => write!(
+                f,
+                "step {step} (`{name}`): expects `{container}` in layout `{want}` but it is materialized in `{have}`"
+            ),
+            PlanLint::DeadStep { step, name } => {
+                write!(f, "step {step} (`{name}`): no scheduled or unscheduled consumer reads any of its outputs")
+            }
+            PlanLint::RedundantRelayout {
+                step,
+                container,
+                layout,
+            } => write!(
+                f,
+                "step {step}: relayout of `{container}` to its current layout `{layout}` is a no-op"
+            ),
+            PlanLint::CancellingRelayouts {
+                first_step,
+                second_step,
+                container,
+            } => write!(
+                f,
+                "steps {first_step} and {second_step}: relayouts of `{container}` cancel each other"
+            ),
+            PlanLint::OrphanRelayout { step, container } => write!(
+                f,
+                "step {step}: relayouts `{container}` without consuming it"
+            ),
+            PlanLint::MissedFusion {
+                first_step,
+                second_step,
+                first,
+                second,
+            } => write!(
+                f,
+                "steps {first_step}/{second_step}: element-wise `{first}` → `{second}` is a fusable chain the fusion plan missed"
+            ),
+            PlanLint::DominatedLayout {
+                step,
+                name,
+                chosen_us,
+                better_us,
+                better_out,
+            } => write!(
+                f,
+                "step {step} (`{name}`): chosen layout pair ({chosen_us:.1} µs) is dominated — output is relayouted before every use, and `{better_out}` would take {better_us:.1} µs"
+            ),
+        }
+    }
+}
+
+/// The kind of a step-level dependency (hazard) edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DepKind {
+    /// Read-after-write: the consumer must see the producer's value.
+    Raw,
+    /// Write-after-read: the reader must finish before the rewrite
+    /// (relayouts rewrite containers in place).
+    War,
+    /// Write-after-write: writer order determines the final value.
+    Waw,
+}
+
+/// One edge of the step-level dependency DAG (`from` must execute before
+/// `to`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DepEdge {
+    /// The earlier step's index.
+    pub from: usize,
+    /// The later step's index.
+    pub to: usize,
+    /// The container the hazard is on.
+    pub data: NodeId,
+    /// The hazard kind.
+    pub kind: DepKind,
+}
+
+/// Live interval of one container across the schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BufferLiveness {
+    /// The container.
+    pub data: NodeId,
+    /// Its name.
+    pub name: String,
+    /// Its size in words.
+    pub words: u64,
+    /// Its role in the graph.
+    pub role: DataRole,
+    /// First step writing it (`None` = external: bound before execution).
+    pub def: Option<usize>,
+    /// Last step reading (or relayouting) it, if any.
+    pub last_use: Option<usize>,
+    /// First step index at which the buffer is resident.
+    pub start: usize,
+    /// Last step index at which the buffer is resident. Outputs and saved
+    /// tensors stay resident to the end of the plan.
+    pub end: usize,
+}
+
+/// The result of [`analyze`]: hazards, lints, liveness.
+#[derive(Debug, Clone)]
+pub struct PlanAnalysis {
+    /// Step-level dependency edges, deduplicated and sorted.
+    pub deps: Vec<DepEdge>,
+    /// Everything the lint pass found (no sweep-dependent lints; see
+    /// [`lint_selection`]).
+    pub lints: Vec<PlanLint>,
+    /// Live interval per container touched by the plan.
+    pub liveness: Vec<BufferLiveness>,
+    /// Resident words at each step of the schedule.
+    pub resident_words: Vec<u64>,
+    /// The high-water mark of [`PlanAnalysis::resident_words`].
+    pub peak_resident_words: u64,
+    /// Step index where the peak occurs (0 for empty plans).
+    pub peak_step: usize,
+    n_steps: usize,
+}
+
+impl PlanAnalysis {
+    /// Lints of [`Severity::Error`] — the findings that make the plan
+    /// unexecutable.
+    pub fn errors(&self) -> Vec<&PlanLint> {
+        self.lints
+            .iter()
+            .filter(|l| l.severity() == Severity::Error)
+            .collect()
+    }
+
+    /// `true` when the plan has no error-severity lints.
+    pub fn is_clean(&self) -> bool {
+        self.lints.iter().all(|l| l.severity() != Severity::Error)
+    }
+
+    /// Peak resident bytes at the given word width.
+    pub fn peak_resident_bytes(&self, word_bytes: usize) -> u64 {
+        self.peak_resident_words * word_bytes as u64
+    }
+
+    /// Topological antichains of the dependency DAG: wave `k+1` contains
+    /// exactly the steps all of whose hazards point into waves `0..=k`.
+    /// Steps within one wave touch no common container with conflicting
+    /// access, so a multi-threaded interpreter may run each wave's steps
+    /// concurrently and join between waves. The concatenation of all waves
+    /// is a permutation of `0..steps`.
+    pub fn parallel_waves(&self) -> Vec<Vec<usize>> {
+        let n = self.n_steps;
+        let mut indeg = vec![0usize; n];
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for e in &self.deps {
+            if e.from < n && e.to < n {
+                adj[e.from].push(e.to);
+                indeg[e.to] += 1;
+            }
+        }
+        let mut wave: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut waves = Vec::new();
+        while !wave.is_empty() {
+            let mut next = Vec::new();
+            for &i in &wave {
+                for &j in &adj[i] {
+                    indeg[j] -= 1;
+                    if indeg[j] == 0 {
+                        next.push(j);
+                    }
+                }
+            }
+            next.sort_unstable();
+            waves.push(std::mem::take(&mut wave));
+            wave = next;
+        }
+        waves
+    }
+
+    /// Wave index per step (the inverse of [`PlanAnalysis::parallel_waves`]).
+    pub fn wave_of(&self) -> Vec<usize> {
+        let mut out = vec![0usize; self.n_steps];
+        for (w, wave) in self.parallel_waves().into_iter().enumerate() {
+            for s in wave {
+                out[s] = w;
+            }
+        }
+        out
+    }
+}
+
+fn is_permutation_of(layout: &str, logical: &str) -> bool {
+    if layout.len() != logical.len() {
+        return false;
+    }
+    let mut a: Vec<char> = layout.chars().collect();
+    let mut b: Vec<char> = logical.chars().collect();
+    a.sort_unstable();
+    b.sort_unstable();
+    a == b && a.windows(2).all(|w| w[0] != w[1])
+}
+
+/// Statically analyzes a plan against the graph it was lowered from:
+/// structural coherence (the checks of the old string-based `validate`),
+/// the dependency/hazard DAG, dead-step detection, relayout lints,
+/// missed-fusion detection, and buffer liveness.
+pub fn analyze(graph: &Graph, plan: &ExecutionPlan) -> PlanAnalysis {
+    let n = plan.steps.len();
+    let mut lints: Vec<PlanLint> = Vec::new();
+    let mut deps: Vec<DepEdge> = Vec::new();
+
+    // per-container schedule state
+    let mut last_writer: HashMap<NodeId, usize> = HashMap::new();
+    let mut readers_since_write: HashMap<NodeId, Vec<usize>> = HashMap::new();
+    let mut current_layout: HashMap<NodeId, String> = HashMap::new();
+    let mut produced: HashSet<NodeId> = HashSet::new();
+    // relayout event log per container: (step, from, to)
+    let mut relayout_log: HashMap<NodeId, Vec<(usize, String, String)>> = HashMap::new();
+
+    for (si, step) in plan.steps.iter().enumerate() {
+        let Some(node) = graph.op(step.op) else {
+            lints.push(PlanLint::NotAnOperator {
+                step: si,
+                name: step.name.clone(),
+                op: step.op,
+            });
+            continue;
+        };
+        if node.name != step.name {
+            lints.push(PlanLint::NameMismatch {
+                step: si,
+                planned: step.name.clone(),
+                actual: node.name.clone(),
+                op: step.op,
+            });
+        }
+        let in_ids: Vec<NodeId> = step.inputs.iter().map(|o| o.data).collect();
+        let out_ids: Vec<NodeId> = step.outputs.iter().map(|o| o.data).collect();
+        if in_ids != graph.inputs_of(step.op) || out_ids != graph.outputs_of(step.op) {
+            lints.push(PlanLint::OperandMismatch {
+                step: si,
+                name: step.name.clone(),
+            });
+        }
+        for operand in step.inputs.iter().chain(&step.outputs) {
+            match graph.data(operand.data) {
+                Some(d) => {
+                    if !is_permutation_of(&operand.layout, &d.shape.spec()) {
+                        lints.push(PlanLint::BadLayout {
+                            step: si,
+                            name: step.name.clone(),
+                            operand: operand.name.clone(),
+                            layout: operand.layout.clone(),
+                            logical: d.shape.spec(),
+                        });
+                    }
+                }
+                None => lints.push(PlanLint::NotAContainer {
+                    step: si,
+                    name: step.name.clone(),
+                    operand: operand.name.clone(),
+                    data: operand.data,
+                }),
+            }
+        }
+
+        // relayout lints + hazards (a relayout reads and rewrites its
+        // container in place)
+        let mut relayouted: Vec<NodeId> = Vec::new();
+        for r in &step.relayouts {
+            if !step.inputs.iter().any(|i| i.data == r.data) {
+                lints.push(PlanLint::OrphanRelayout {
+                    step: si,
+                    container: r.name.clone(),
+                });
+            }
+            if r.from == r.to {
+                lints.push(PlanLint::RedundantRelayout {
+                    step: si,
+                    container: r.name.clone(),
+                    layout: r.to.clone(),
+                });
+            }
+            relayout_log
+                .entry(r.data)
+                .or_default()
+                .push((si, r.from.clone(), r.to.clone()));
+            if !relayouted.contains(&r.data) {
+                relayouted.push(r.data);
+                if let Some(&w) = last_writer.get(&r.data) {
+                    if w != si {
+                        deps.push(DepEdge {
+                            from: w,
+                            to: si,
+                            data: r.data,
+                            kind: DepKind::Waw,
+                        });
+                    }
+                }
+                for &rd in readers_since_write.get(&r.data).into_iter().flatten() {
+                    if rd != si {
+                        deps.push(DepEdge {
+                            from: rd,
+                            to: si,
+                            data: r.data,
+                            kind: DepKind::War,
+                        });
+                    }
+                }
+                last_writer.insert(r.data, si);
+                readers_since_write.entry(r.data).or_default().clear();
+            }
+        }
+
+        // reads: RAW edges + use-before-def
+        for inp in &step.inputs {
+            if let Some(&w) = last_writer.get(&inp.data) {
+                if w != si {
+                    deps.push(DepEdge {
+                        from: w,
+                        to: si,
+                        data: inp.data,
+                        kind: DepKind::Raw,
+                    });
+                }
+            }
+            readers_since_write.entry(inp.data).or_default().push(si);
+            if graph.producer_of(inp.data).is_some() && !produced.contains(&inp.data) {
+                lints.push(PlanLint::UseBeforeDef {
+                    step: si,
+                    name: step.name.clone(),
+                    container: inp.name.clone(),
+                });
+            }
+        }
+
+        // layout coherence, honouring this step's relayout insertions
+        for inp in &step.inputs {
+            let mut have = current_layout
+                .get(&inp.data)
+                .cloned()
+                .or_else(|| graph.data(inp.data).map(|d| d.shape.spec()))
+                .unwrap_or_else(|| inp.layout.clone());
+            for r in step.relayouts.iter().filter(|r| r.data == inp.data) {
+                if r.from != have {
+                    lints.push(PlanLint::RelayoutIncoherent {
+                        step: si,
+                        name: step.name.clone(),
+                        container: r.name.clone(),
+                        expected: r.from.clone(),
+                        have: have.clone(),
+                    });
+                }
+                have = r.to.clone();
+            }
+            if have != inp.layout {
+                lints.push(PlanLint::LayoutIncoherent {
+                    step: si,
+                    name: step.name.clone(),
+                    container: inp.name.clone(),
+                    want: inp.layout.clone(),
+                    have: have.clone(),
+                });
+            }
+            current_layout.insert(inp.data, have);
+        }
+
+        // writes: WAW/WAR edges + double-write detection
+        for out in &step.outputs {
+            if let Some(&w) = last_writer.get(&out.data) {
+                if w != si {
+                    deps.push(DepEdge {
+                        from: w,
+                        to: si,
+                        data: out.data,
+                        kind: DepKind::Waw,
+                    });
+                    // several slice writers of a stacked container are a
+                    // graph-level feature, not a schedule bug
+                    if graph.producers_of(out.data).len() <= 1 && !relayouted.contains(&out.data) {
+                        lints.push(PlanLint::DoubleWrite {
+                            step: si,
+                            prev_step: w,
+                            container: out.name.clone(),
+                        });
+                    }
+                }
+            }
+            for &rd in readers_since_write.get(&out.data).into_iter().flatten() {
+                if rd != si {
+                    deps.push(DepEdge {
+                        from: rd,
+                        to: si,
+                        data: out.data,
+                        kind: DepKind::War,
+                    });
+                }
+            }
+            last_writer.insert(out.data, si);
+            readers_since_write.entry(out.data).or_default().clear();
+            produced.insert(out.data);
+            current_layout.insert(out.data, out.layout.clone());
+        }
+    }
+
+    deps.sort_unstable();
+    deps.dedup();
+
+    // cancelling relayout pairs: A→B followed by B→A on the same container
+    for (data, events) in &relayout_log {
+        let name = graph
+            .data(*data)
+            .map(|d| d.name.clone())
+            .unwrap_or_else(|| format!("{data}"));
+        for w in events.windows(2) {
+            let (s1, ref from1, ref to1) = w[0];
+            let (s2, ref from2, ref to2) = w[1];
+            if to1 == from2 && to2 == from1 && from1 != to1 {
+                lints.push(PlanLint::CancellingRelayouts {
+                    first_step: s1,
+                    second_step: s2,
+                    container: name.clone(),
+                });
+            }
+        }
+    }
+
+    // dead steps: every output is an activation nobody (scheduled or
+    // unscheduled) will read
+    let plan_ops: HashSet<NodeId> = plan.steps.iter().map(|s| s.op).collect();
+    for (si, step) in plan.steps.iter().enumerate() {
+        if step.outputs.is_empty() || graph.op(step.op).is_none() {
+            continue;
+        }
+        let all_dead = step.outputs.iter().all(|out| {
+            let Some(d) = graph.data(out.data) else {
+                return false;
+            };
+            if d.role != DataRole::Activation {
+                return false;
+            }
+            let read_later = plan.steps[si + 1..]
+                .iter()
+                .any(|s2| s2.inputs.iter().any(|i| i.data == out.data));
+            if read_later {
+                return false;
+            }
+            // unscheduled graph consumers (e.g. the backward half) keep
+            // the value alive
+            let consumers = graph.consumers_of(out.data);
+            !consumers.is_empty() && consumers.iter().all(|c| plan_ops.contains(c))
+        });
+        if all_dead {
+            lints.push(PlanLint::DeadStep {
+                step: si,
+                name: step.name.clone(),
+            });
+        }
+    }
+
+    // missed fusion: element-wise producer whose single-consumer
+    // activation feeds an element-wise consumer, neither already fused
+    let mut flagged: HashSet<(usize, usize)> = HashSet::new();
+    for (si, step) in plan.steps.iter().enumerate() {
+        let Some(node) = graph.op(step.op) else {
+            continue;
+        };
+        if node.kind.class() != OpClass::Elementwise || matches!(node.kind, OpKind::Fused { .. }) {
+            continue;
+        }
+        for out in &step.outputs {
+            let Some(d) = graph.data(out.data) else {
+                continue;
+            };
+            if d.role != DataRole::Activation || graph.consumers_of(out.data).len() != 1 {
+                continue;
+            }
+            for (sj, later) in plan.steps.iter().enumerate().skip(si + 1) {
+                if !later.inputs.iter().any(|i| i.data == out.data) {
+                    continue;
+                }
+                let Some(consumer) = graph.op(later.op) else {
+                    break;
+                };
+                if consumer.kind.class() == OpClass::Elementwise
+                    && !matches!(consumer.kind, OpKind::Fused { .. })
+                    && flagged.insert((si, sj))
+                {
+                    lints.push(PlanLint::MissedFusion {
+                        first_step: si,
+                        second_step: sj,
+                        first: step.name.clone(),
+                        second: later.name.clone(),
+                    });
+                }
+                break;
+            }
+        }
+    }
+
+    // liveness: def/use intervals and the resident high-water mark
+    let mut order: Vec<NodeId> = Vec::new();
+    let mut defs: HashMap<NodeId, usize> = HashMap::new();
+    let mut uses: HashMap<NodeId, (usize, usize)> = HashMap::new();
+    for (si, step) in plan.steps.iter().enumerate() {
+        for inp in &step.inputs {
+            if !order.contains(&inp.data) {
+                order.push(inp.data);
+            }
+            let e = uses.entry(inp.data).or_insert((si, si));
+            e.1 = si;
+        }
+        for r in &step.relayouts {
+            if !order.contains(&r.data) {
+                order.push(r.data);
+            }
+            let e = uses.entry(r.data).or_insert((si, si));
+            e.1 = si;
+        }
+        for out in &step.outputs {
+            if !order.contains(&out.data) {
+                order.push(out.data);
+            }
+            defs.entry(out.data).or_insert(si);
+        }
+    }
+    let mut liveness: Vec<BufferLiveness> = Vec::new();
+    let mut resident_words = vec![0u64; n];
+    for data in order {
+        let (name, words, role) = match graph.data(data) {
+            Some(d) => (d.name.clone(), d.shape.num_elements() as u64, d.role),
+            None => continue, // already reported as NotAContainer
+        };
+        let def = defs.get(&data).copied();
+        let last_use = uses.get(&data).map(|&(_, l)| l);
+        let start = def.unwrap_or(0);
+        let pinned = matches!(role, DataRole::Output | DataRole::Saved);
+        let end = if pinned {
+            n.saturating_sub(1)
+        } else {
+            last_use.unwrap_or(start).max(start)
+        };
+        for w in resident_words.iter_mut().take(end + 1).skip(start) {
+            *w += words;
+        }
+        liveness.push(BufferLiveness {
+            data,
+            name,
+            words,
+            role,
+            def,
+            last_use,
+            start,
+            end,
+        });
+    }
+    let (peak_step, peak_resident_words) = resident_words
+        .iter()
+        .copied()
+        .enumerate()
+        .max_by_key(|&(_, w)| w)
+        .unwrap_or((0, 0));
+
+    PlanAnalysis {
+        deps,
+        lints,
+        liveness,
+        resident_words,
+        peak_resident_words,
+        peak_step,
+        n_steps: n,
+    }
+}
+
+/// Derives the [`OpConfig`] a step's declared operand layouts correspond
+/// to, mirroring the operand conventions of `xform-gpusim`'s
+/// [`OpModel`]: einsums take their positional operands; other kernels key
+/// the access pattern off the largest input/output.
+fn step_config(graph: &Graph, step: &PlanStep) -> Option<OpConfig> {
+    let elems = |data: NodeId| {
+        graph
+            .data(data)
+            .map(|d| d.shape.num_elements())
+            .unwrap_or(0)
+    };
+    // max_by_key semantics: last among ties, like OpModel's primary pick
+    let largest = |ops: &[crate::plan::Operand]| -> Option<usize> {
+        let mut best: Option<(usize, usize)> = None;
+        for (i, o) in ops.iter().enumerate() {
+            let n = elems(o.data);
+            if best.map(|(_, bn)| n >= bn).unwrap_or(true) {
+                best = Some((i, n));
+            }
+        }
+        best.map(|(i, _)| i)
+    };
+    if matches!(step.kind, OpKind::Einsum(_)) {
+        let a = step.inputs.first()?;
+        let c = step.outputs.first()?;
+        Some(OpConfig {
+            in_spec: a.layout.clone(),
+            in2_spec: step.inputs.get(1).map(|b| b.layout.clone()),
+            out_spec: c.layout.clone(),
+            vector_axis: None,
+            warp_axis: None,
+            algo: 3,
+            math: MathMode::TensorCore,
+        })
+    } else {
+        let a = &step.inputs[largest(&step.inputs)?];
+        let c = &step.outputs[largest(&step.outputs)?];
+        Some(OpConfig {
+            in_spec: a.layout.clone(),
+            in2_spec: None,
+            out_spec: c.layout.clone(),
+            vector_axis: a.layout.chars().last(),
+            warp_axis: step.kind.reduce_axis().map(|ax| ax.name()),
+            algo: 3,
+            math: MathMode::TensorCore,
+        })
+    }
+}
+
+/// One step's static movement accounting.
+#[derive(Debug, Clone)]
+pub struct StepAudit {
+    /// Step index.
+    pub step: usize,
+    /// Kernel name.
+    pub name: String,
+    /// Operator class.
+    pub class: OpClass,
+    /// Words the step's graph memlets read.
+    pub read_words: u64,
+    /// Words the step's graph memlets write.
+    pub write_words: u64,
+    /// Words moved by this step's explicit relayouts (read + write of
+    /// each relayouted container).
+    pub relayout_words: u64,
+    /// Flop performed.
+    pub flop: u64,
+    /// Modelled kernel cost under the step's declared layouts (`None`
+    /// when the performance model cannot price the configuration; the
+    /// movement accounting still counts its memlet words).
+    pub cost: Option<KernelCost>,
+    /// Static MUE under the modelled cost.
+    pub mue: Option<Mue>,
+}
+
+/// Byte volumes of one operator class across the plan (Table I style).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassMovement {
+    /// The class.
+    pub class: OpClass,
+    /// Number of scheduled steps in the class.
+    pub steps: usize,
+    /// Bytes read.
+    pub read_bytes: u64,
+    /// Bytes written.
+    pub write_bytes: u64,
+    /// Flop performed.
+    pub flop: u64,
+}
+
+impl ClassMovement {
+    /// Total bytes moved by the class.
+    pub fn io_bytes(&self) -> u64 {
+        self.read_bytes + self.write_bytes
+    }
+}
+
+/// The static data-movement audit of a whole plan.
+#[derive(Debug, Clone)]
+pub struct MovementAudit {
+    /// Per-step accounting, in schedule order.
+    pub per_step: Vec<StepAudit>,
+    /// Aggregation per operator class (contraction, normalization,
+    /// element-wise).
+    pub per_class: Vec<ClassMovement>,
+    /// Bytes moved by explicit relayouts (avoidable traffic).
+    pub relayout_bytes: u64,
+    /// Total bytes read by kernels (excluding relayouts).
+    pub read_bytes: u64,
+    /// Total bytes written by kernels (excluding relayouts).
+    pub write_bytes: u64,
+    /// Plan-level static MUE: `Q` sums every step's memlet volume, `D`
+    /// the modelled moved words plus relayout traffic.
+    pub plan_mue: Mue,
+    /// How many steps the performance model could price.
+    pub modelled_steps: usize,
+}
+
+impl MovementAudit {
+    /// Total bytes the plan moves, kernels plus relayouts.
+    pub fn total_bytes(&self) -> u64 {
+        self.read_bytes + self.write_bytes + self.relayout_bytes
+    }
+}
+
+/// Prices every step's data movement under its declared layouts via the
+/// device model and aggregates per-class byte volumes plus a plan-level
+/// static MUE — the paper's Sec. III accounting applied to a schedule,
+/// with no kernel ever run.
+///
+/// Steps the model cannot price are assumed to move exactly their memlet
+/// volume at the device's streaming efficiency (a perfect kernel), so
+/// the aggregate errs toward optimism, never double-counting.
+pub fn audit(graph: &Graph, plan: &ExecutionPlan, device: &DeviceSpec) -> MovementAudit {
+    let wb = device.word_bytes as u64;
+    let mut acc = MueAccum::default();
+    let mut per_step = Vec::with_capacity(plan.steps.len());
+    let mut relayout_words_total = 0u64;
+    let mut read_words_total = 0u64;
+    let mut write_words_total = 0u64;
+    let mut modelled = 0usize;
+    for (si, step) in plan.steps.iter().enumerate() {
+        let read_words = graph.input_words(step.op);
+        let write_words = graph.output_words(step.op);
+        let relayout_words: u64 = step
+            .relayouts
+            .iter()
+            .map(|r| {
+                2 * graph
+                    .data(r.data)
+                    .map(|d| d.shape.num_elements() as u64)
+                    .unwrap_or(0)
+            })
+            .sum();
+        let flop = flops::op_flop(graph, step.op).unwrap_or(0);
+        let q = graph.io_words(step.op);
+        let cost = step_config(graph, step)
+            .and_then(|cfg| OpModel::new(graph, step.op).ok().map(|m| (m, cfg)))
+            .and_then(|(m, cfg)| m.cost(device, &cfg).ok());
+        match &cost {
+            Some(c) => {
+                modelled += 1;
+                acc.add_kernel(q as f64, c);
+            }
+            None => acc.add_kernel(
+                q as f64,
+                &KernelCost {
+                    time_us: 0.0,
+                    moved_words: q as f64,
+                    bandwidth_frac: device.stream_efficiency,
+                    flop: flop as f64,
+                },
+            ),
+        }
+        if relayout_words > 0 {
+            acc.add_movement(relayout_words as f64, RELAYOUT_BANDWIDTH_FRAC);
+        }
+        relayout_words_total += relayout_words;
+        read_words_total += read_words;
+        write_words_total += write_words;
+        let m = cost.as_ref().map(|c| mue(graph, step.op, c));
+        per_step.push(StepAudit {
+            step: si,
+            name: step.name.clone(),
+            class: step.kind.class(),
+            read_words,
+            write_words,
+            relayout_words,
+            flop,
+            cost,
+            mue: m,
+        });
+    }
+    let per_class = [
+        OpClass::TensorContraction,
+        OpClass::StatisticalNormalization,
+        OpClass::Elementwise,
+    ]
+    .into_iter()
+    .map(|class| {
+        let rows = per_step.iter().filter(|s| s.class == class);
+        let (mut steps, mut r, mut w, mut f) = (0usize, 0u64, 0u64, 0u64);
+        for s in rows {
+            steps += 1;
+            r += s.read_words;
+            w += s.write_words;
+            f += s.flop;
+        }
+        ClassMovement {
+            class,
+            steps,
+            read_bytes: r * wb,
+            write_bytes: w * wb,
+            flop: f,
+        }
+    })
+    .collect();
+    MovementAudit {
+        per_step,
+        per_class,
+        relayout_bytes: relayout_words_total * wb,
+        read_bytes: read_words_total * wb,
+        write_bytes: write_words_total * wb,
+        plan_mue: acc.total(),
+        modelled_steps: modelled,
+    }
+}
+
+/// Cross-checks a lowered plan against sweep data: flags steps whose
+/// chosen layout pair is *dominated* — the step's primary output layout
+/// is relayouted away before every later use (so its choice buys nothing
+/// downstream), yet a strictly faster configuration with the same input
+/// layout exists in the sweep.
+pub fn lint_selection(
+    _graph: &Graph,
+    plan: &ExecutionPlan,
+    sweeps: &HashMap<NodeId, SweepResult>,
+) -> Vec<PlanLint> {
+    let mut lints = Vec::new();
+    for (si, step) in plan.steps.iter().enumerate() {
+        let Some(sweep) = sweeps.get(&step.op) else {
+            continue;
+        };
+        let Some(inp) = step.inputs.get(sweep.flowing_input) else {
+            continue;
+        };
+        let Some(out) = step.outputs.first() else {
+            continue;
+        };
+        let Some(chosen) = sweep.per_io.get(&(inp.layout.clone(), out.layout.clone())) else {
+            continue;
+        };
+        // does any later step consume the output in the chosen layout?
+        let consumed_as_is = plan.steps[si + 1..].iter().any(|later| {
+            later
+                .inputs
+                .iter()
+                .any(|i| i.data == out.data && i.layout == out.layout)
+        });
+        let read_later = plan.steps[si + 1..]
+            .iter()
+            .any(|later| later.inputs.iter().any(|i| i.data == out.data));
+        if consumed_as_is || !read_later {
+            continue;
+        }
+        let better = sweep
+            .per_io
+            .iter()
+            .filter(|((i, o), _)| *i == inp.layout && *o != out.layout)
+            .min_by(|a, b| a.1.time_us.total_cmp(&b.1.time_us));
+        if let Some(((_, better_out), timing)) = better {
+            if timing.time_us < chosen.time_us * 0.999 {
+                lints.push(PlanLint::DominatedLayout {
+                    step: si,
+                    name: step.name.clone(),
+                    chosen_us: chosen.time_us,
+                    better_us: timing.time_us,
+                    better_out: better_out.clone(),
+                });
+            }
+        }
+    }
+    lints
+}
+
+/// Renders a human-readable audit report for one plan: schedule shape,
+/// parallel waves, peak residency, per-class byte volumes, static MUE,
+/// and every lint. This is what the `plan_audit` binary prints.
+pub fn render_report(
+    title: &str,
+    analysis: &PlanAnalysis,
+    audit: &MovementAudit,
+    device: &DeviceSpec,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let waves = analysis.parallel_waves();
+    let max_width = waves.iter().map(Vec::len).max().unwrap_or(0);
+    let mib = |b: u64| b as f64 / (1 << 20) as f64;
+    let _ = writeln!(out, "== {title} ==");
+    let _ = writeln!(
+        out,
+        "schedule: {} steps, {} hazard edges, {} waves (max width {max_width})",
+        analysis.n_steps,
+        analysis.deps.len(),
+        waves.len(),
+    );
+    let peak_name = audit
+        .per_step
+        .get(analysis.peak_step)
+        .map(|s| s.name.as_str())
+        .unwrap_or("-");
+    let _ = writeln!(
+        out,
+        "peak resident: {:.2} MiB at step {} (`{peak_name}`)",
+        mib(analysis.peak_resident_bytes(device.word_bytes)),
+        analysis.peak_step,
+    );
+    let total = audit.total_bytes().max(1);
+    let _ = writeln!(out, "per-class movement:");
+    for c in &audit.per_class {
+        let _ = writeln!(
+            out,
+            "  {} {:<28} {:2} steps  read {:>8.2} MiB  written {:>8.2} MiB  ({:4.1}% of bytes)",
+            c.class.glyph(),
+            c.class.to_string(),
+            c.steps,
+            mib(c.read_bytes),
+            mib(c.write_bytes),
+            100.0 * c.io_bytes() as f64 / total as f64,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  ↺ {:<28} {:2} steps  moved {:>8.2} MiB  ({:4.1}% of bytes)",
+        "relayouts (avoidable)",
+        audit
+            .per_step
+            .iter()
+            .filter(|s| s.relayout_words > 0)
+            .count(),
+        mib(audit.relayout_bytes),
+        100.0 * audit.relayout_bytes as f64 / total as f64,
+    );
+    let m = &audit.plan_mue;
+    let _ = writeln!(
+        out,
+        "static MUE: Q {:.2} Mwords, D {:.2} Mwords, B/B̂ {:.2} → {:.1} ({} of {} steps modelled)",
+        m.q_words / 1e6,
+        m.d_words / 1e6,
+        m.bandwidth_frac,
+        m.value,
+        audit.modelled_steps,
+        analysis.n_steps,
+    );
+    let errors = analysis.errors().len();
+    let warnings = analysis
+        .lints
+        .iter()
+        .filter(|l| l.severity() == Severity::Warning)
+        .count();
+    let _ = writeln!(out, "lints: {errors} errors, {warnings} warnings");
+    for lint in &analysis.lints {
+        let _ = writeln!(out, "  [{}] {lint}", lint.severity());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fusion::{apply_plan, encoder_fusion_plan};
+    use crate::plan::Relayout;
+    use crate::recipe::forward_ops;
+    use xform_dataflow::{build, EncoderDims};
+
+    fn unfused() -> (Graph, ExecutionPlan) {
+        let eg = build::encoder(&EncoderDims::tiny());
+        let plan = ExecutionPlan::natural(&eg.graph, &forward_ops(&eg.graph, eg.dy)).unwrap();
+        (eg.graph, plan)
+    }
+
+    fn fused() -> (Graph, ExecutionPlan) {
+        let eg = build::encoder(&EncoderDims::tiny());
+        let mut g = eg.graph;
+        apply_plan(&mut g, &encoder_fusion_plan()).unwrap();
+        let plan = ExecutionPlan::natural(&g, &forward_ops(&g, eg.dy)).unwrap();
+        (g, plan)
+    }
+
+    #[test]
+    fn canned_plans_are_error_clean() {
+        for (g, plan) in [unfused(), fused()] {
+            let a = analyze(&g, &plan);
+            assert!(a.is_clean(), "{:?}", a.errors());
+        }
+    }
+
+    #[test]
+    fn reference_plan_reports_missed_fusion_but_fused_does_not() {
+        let (g, plan) = unfused();
+        let a = analyze(&g, &plan);
+        assert!(
+            a.lints
+                .iter()
+                .any(|l| matches!(l, PlanLint::MissedFusion { .. })),
+            "the unfused schedule should show fusable element-wise chains"
+        );
+        let (gf, pf) = fused();
+        let af = analyze(&gf, &pf);
+        assert!(
+            !af.lints
+                .iter()
+                .any(|l| matches!(l, PlanLint::MissedFusion { .. })),
+            "{:?}",
+            af.lints
+        );
+    }
+
+    #[test]
+    fn waves_cover_every_step_and_respect_all_hazards() {
+        for (g, plan) in [unfused(), fused()] {
+            let a = analyze(&g, &plan);
+            let waves = a.parallel_waves();
+            let mut seen: Vec<usize> = waves.iter().flatten().copied().collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..plan.steps.len()).collect::<Vec<_>>());
+            let wave_of = a.wave_of();
+            for e in &a.deps {
+                assert!(
+                    wave_of[e.from] < wave_of[e.to],
+                    "{:?} not respected by waves",
+                    e
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unfused_plan_has_parallel_width() {
+        // the three Q/K/V projections are independent: some wave must hold
+        // more than one step
+        let (g, plan) = unfused();
+        let a = analyze(&g, &plan);
+        assert!(a.parallel_waves().iter().any(|w| w.len() >= 2));
+    }
+
+    #[test]
+    fn liveness_peak_is_at_least_the_largest_buffer() {
+        let (g, plan) = unfused();
+        let a = analyze(&g, &plan);
+        assert_eq!(a.resident_words.len(), plan.steps.len());
+        let largest = a.liveness.iter().map(|b| b.words).max().unwrap();
+        assert!(a.peak_resident_words >= largest);
+        assert_eq!(
+            a.resident_words[a.peak_step], a.peak_resident_words,
+            "peak step disagrees with the resident curve"
+        );
+        // saved tensors stay resident to the end
+        let saved = a
+            .liveness
+            .iter()
+            .find(|b| b.role == DataRole::Saved)
+            .expect("forward plans save tensors for backward");
+        assert_eq!(saved.end, plan.steps.len() - 1);
+    }
+
+    #[test]
+    fn shuffled_schedule_is_caught() {
+        let (g, mut plan) = unfused();
+        // move the last step first: it consumes activations produced later
+        let last = plan.steps.pop().unwrap();
+        plan.steps.insert(0, last);
+        let a = analyze(&g, &plan);
+        assert!(a
+            .lints
+            .iter()
+            .any(|l| matches!(l, PlanLint::UseBeforeDef { .. })));
+        assert!(!a.is_clean());
+    }
+
+    #[test]
+    fn duplicated_write_is_caught() {
+        let (g, mut plan) = unfused();
+        let dup = plan.steps[3].clone();
+        plan.steps.insert(4, dup);
+        let a = analyze(&g, &plan);
+        assert!(
+            a.lints
+                .iter()
+                .any(|l| matches!(l, PlanLint::DoubleWrite { .. })),
+            "{:?}",
+            a.lints
+        );
+    }
+
+    #[test]
+    fn orphan_and_redundant_relayouts_are_caught() {
+        let (g, mut plan) = unfused();
+        let foreign = plan.steps[5].outputs[0].clone();
+        let own = plan.steps[1].inputs[0].clone();
+        plan.steps[1].relayouts.push(Relayout {
+            data: foreign.data,
+            name: foreign.name.clone(),
+            from: foreign.layout.clone(),
+            to: foreign.layout.clone(),
+        });
+        plan.steps[1].relayouts.push(Relayout {
+            data: own.data,
+            name: own.name.clone(),
+            from: own.layout.clone(),
+            to: own.layout.clone(),
+        });
+        let a = analyze(&g, &plan);
+        assert!(a
+            .lints
+            .iter()
+            .any(|l| matches!(l, PlanLint::OrphanRelayout { .. })));
+        assert!(a
+            .lints
+            .iter()
+            .any(|l| matches!(l, PlanLint::RedundantRelayout { .. })));
+    }
+
+    #[test]
+    fn audit_prices_canned_plans_and_fusion_reduces_movement() {
+        let device = DeviceSpec::v100();
+        let (gu, pu) = unfused();
+        let (gf, pf) = fused();
+        let au = audit(&gu, &pu, &device);
+        let af = audit(&gf, &pf, &device);
+        assert!(au.modelled_steps > 0);
+        assert!((0.0..=100.0).contains(&au.plan_mue.value));
+        assert!((0.0..=100.0).contains(&af.plan_mue.value));
+        assert!(
+            af.total_bytes() < au.total_bytes(),
+            "fusion must reduce plan bytes ({} vs {})",
+            af.total_bytes(),
+            au.total_bytes()
+        );
+        // class shares cover all steps
+        let counted: usize = au.per_class.iter().map(|c| c.steps).sum();
+        assert_eq!(counted, pu.steps.len());
+    }
+
+    #[test]
+    fn relayouts_lower_static_mue() {
+        let device = DeviceSpec::v100();
+        let (g, plan) = unfused();
+        let base = audit(&g, &plan, &device);
+        let mut permuted = plan.clone();
+        for step in &mut permuted.steps {
+            for operand in step.inputs.iter_mut().chain(step.outputs.iter_mut()) {
+                operand.layout = operand.layout.chars().rev().collect();
+            }
+        }
+        permuted.reflow(&g);
+        assert!(analyze(&g, &permuted).is_clean());
+        let moved = audit(&g, &permuted, &device);
+        assert!(moved.relayout_bytes > 0);
+        assert!(moved.plan_mue.value < base.plan_mue.value);
+        assert!(moved.plan_mue.d_words > base.plan_mue.d_words);
+    }
+
+    #[test]
+    fn report_renders_all_sections() {
+        let device = DeviceSpec::v100();
+        let (g, plan) = fused();
+        let a = analyze(&g, &plan);
+        let m = audit(&g, &plan, &device);
+        let r = render_report("Fused", &a, &m, &device);
+        for needle in [
+            "== Fused ==",
+            "peak resident",
+            "per-class movement",
+            "tensor contraction",
+            "static MUE",
+            "lints:",
+        ] {
+            assert!(r.contains(needle), "report lacks `{needle}`:\n{r}");
+        }
+    }
+}

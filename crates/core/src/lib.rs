@@ -43,6 +43,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod algebraic;
+pub mod analyze;
 pub mod cpusource;
 pub mod fusion;
 pub mod itspace;

@@ -285,103 +285,34 @@ impl ExecutionPlan {
         }
     }
 
-    /// Checks the schedule's coherence against the graph it was lowered
-    /// from. Returns a list of problems (empty = valid):
+    /// Statically checks the schedule against the graph it was lowered
+    /// from, returning typed [`PlanLint`](crate::analyze::PlanLint)
+    /// diagnostics: structural coherence (operand lists, layout
+    /// permutations, use-before-def, relayout and layout coherence) as
+    /// error-severity lints, plus warning-severity findings (dead steps,
+    /// redundant/cancelling relayouts, missed fusion chains). A plan is
+    /// executable iff no lint has
+    /// [`Severity::Error`](crate::analyze::Severity::Error).
     ///
-    /// * steps must reference live operators whose operand lists match the
-    ///   graph's edges;
-    /// * every layout spec must be a permutation of its container's logical
-    ///   axes;
-    /// * every consumed container must be produced by an earlier step
-    ///   (unless the graph itself treats it as external input);
-    /// * each step must receive its inputs in the layout it declared,
-    ///   accounting for the producer's output layout and this step's
-    ///   relayout insertions.
+    /// This is a thin wrapper over [`crate::analyze::analyze`]; use that
+    /// directly when the dependency DAG or liveness data is also needed.
+    pub fn check(&self, graph: &Graph) -> Vec<crate::analyze::PlanLint> {
+        crate::analyze::analyze(graph, self).lints
+    }
+
+    /// Checks the schedule's coherence against the graph it was lowered
+    /// from. Returns the error-severity problems as strings (empty =
+    /// executable).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `check()` for typed `PlanLint` diagnostics"
+    )]
     pub fn validate(&self, graph: &Graph) -> Vec<String> {
-        let mut problems = Vec::new();
-        let mut produced: HashSet<NodeId> = HashSet::new();
-        let mut current: HashMap<NodeId, String> = HashMap::new();
-        for (si, step) in self.steps.iter().enumerate() {
-            let Some(node) = graph.op(step.op) else {
-                problems.push(format!(
-                    "step {si} (`{}`): {} is not a live operator",
-                    step.name, step.op
-                ));
-                continue;
-            };
-            if node.name != step.name {
-                problems.push(format!(
-                    "step {si}: plan names `{}` but {} is `{}`",
-                    step.name, step.op, node.name
-                ));
-            }
-            let in_ids: Vec<NodeId> = step.inputs.iter().map(|o| o.data).collect();
-            let out_ids: Vec<NodeId> = step.outputs.iter().map(|o| o.data).collect();
-            if in_ids != graph.inputs_of(step.op) || out_ids != graph.outputs_of(step.op) {
-                problems.push(format!(
-                    "step {si} (`{}`): operand list disagrees with the graph's edges",
-                    step.name
-                ));
-            }
-            for operand in step.inputs.iter().chain(&step.outputs) {
-                match graph.data(operand.data) {
-                    Some(d) => {
-                        if !is_permutation_of(&operand.layout, &d.shape.spec()) {
-                            problems.push(format!(
-                                "step {si} (`{}`): layout `{}` is not a permutation of `{}`'s axes `{}`",
-                                step.name,
-                                operand.layout,
-                                operand.name,
-                                d.shape.spec()
-                            ));
-                        }
-                    }
-                    None => problems.push(format!(
-                        "step {si} (`{}`): operand `{}` ({}) is not a live container",
-                        step.name, operand.name, operand.data
-                    )),
-                }
-            }
-            // producer coherence
-            for inp in &step.inputs {
-                let has_producer = graph.producer_of(inp.data).is_some();
-                if has_producer && !produced.contains(&inp.data) {
-                    problems.push(format!(
-                        "step {si} (`{}`): consumes `{}` before any scheduled step produces it",
-                        step.name, inp.name
-                    ));
-                }
-            }
-            // layout coherence, honouring this step's relayout insertions
-            for inp in &step.inputs {
-                let mut have = current
-                    .get(&inp.data)
-                    .cloned()
-                    .or_else(|| graph.data(inp.data).map(|d| d.shape.spec()))
-                    .unwrap_or_else(|| inp.layout.clone());
-                for r in step.relayouts.iter().filter(|r| r.data == inp.data) {
-                    if r.from != have {
-                        problems.push(format!(
-                            "step {si} (`{}`): relayout of `{}` expects layout `{}` but it is materialized in `{}`",
-                            step.name, r.name, r.from, have
-                        ));
-                    }
-                    have = r.to.clone();
-                }
-                if have != inp.layout {
-                    problems.push(format!(
-                        "step {si} (`{}`): expects `{}` in layout `{}` but it is materialized in `{}`",
-                        step.name, inp.name, inp.layout, have
-                    ));
-                }
-                current.insert(inp.data, have);
-            }
-            for out in &step.outputs {
-                produced.insert(out.data);
-                current.insert(out.data, out.layout.clone());
-            }
-        }
-        problems
+        self.check(graph)
+            .into_iter()
+            .filter(|l| l.severity() == crate::analyze::Severity::Error)
+            .map(|l| l.to_string())
+            .collect()
     }
 
     /// Total number of relayout (transpose) insertions in the schedule.
@@ -798,14 +729,14 @@ pub fn execute_step<R: Rng + ?Sized>(
     Ok(())
 }
 
-/// Interprets a whole schedule: validates it, then executes every step in
-/// order against `state`. On success the state's environment holds every
-/// container the plan produced, materialized in the plan's layouts.
+/// Interprets a whole schedule: checks it statically, then executes every
+/// step in order against `state`. On success the state's environment holds
+/// every container the plan produced, materialized in the plan's layouts.
 ///
 /// # Errors
 ///
-/// Returns an error if [`ExecutionPlan::validate`] reports problems or any
-/// step fails.
+/// Returns an error if [`ExecutionPlan::check`] reports any
+/// error-severity lint or any step fails.
 pub fn execute_plan<R: Rng + ?Sized>(
     graph: &Graph,
     plan: &ExecutionPlan,
@@ -813,7 +744,12 @@ pub fn execute_plan<R: Rng + ?Sized>(
     opts: &ExecOptions,
     rng: &mut R,
 ) -> Result<()> {
-    let problems = plan.validate(graph);
+    let problems: Vec<String> = plan
+        .check(graph)
+        .into_iter()
+        .filter(|l| l.severity() == crate::analyze::Severity::Error)
+        .map(|l| l.to_string())
+        .collect();
     if !problems.is_empty() {
         return Err(TensorError::Unsupported(format!(
             "invalid execution plan: {}",
@@ -884,6 +820,14 @@ mod tests {
         (g, eg.dy)
     }
 
+    fn error_lints(plan: &ExecutionPlan, g: &xform_dataflow::Graph) -> Vec<String> {
+        plan.check(g)
+            .into_iter()
+            .filter(|l| l.severity() == crate::analyze::Severity::Error)
+            .map(|l| l.to_string())
+            .collect()
+    }
+
     fn run_forward(graph: &xform_dataflow::Graph, plan: &ExecutionPlan, seed: u64) -> ExecState {
         let mut state = random_externals(graph, plan, seed).unwrap();
         let opts = ExecOptions {
@@ -899,7 +843,7 @@ mod tests {
     fn natural_plan_over_unfused_graph_executes() {
         let (g, dy) = unfused();
         let plan = ExecutionPlan::natural(&g, &forward_ops(&g, dy)).unwrap();
-        assert!(plan.validate(&g).is_empty());
+        assert!(error_lints(&plan, &g).is_empty());
         assert_eq!(plan.relayout_count(), 0);
         let state = run_forward(&g, &plan, 7);
         let y = state.get("y").unwrap();
@@ -935,14 +879,21 @@ mod tests {
         .unwrap();
         let sel = select_forward(&g, &DeviceSpec::v100(), &fwd, &sweeps).unwrap();
         let plan = ExecutionPlan::lower(&g, &sel).unwrap();
-        assert!(plan.validate(&g).is_empty(), "{:?}", plan.validate(&g));
+        assert!(
+            error_lints(&plan, &g).is_empty(),
+            "{:?}",
+            error_lints(&plan, &g)
+        );
         let natural = ExecutionPlan::natural(&g, &fwd).unwrap();
         let y_sel = run_forward(&g, &plan, 21).take("y").unwrap();
         let y_nat = run_forward(&g, &natural, 21).take("y").unwrap();
         assert!(y_sel.max_abs_diff(&y_nat).unwrap() < 1e-4);
     }
 
+    // exercises the deprecated string API end to end; everything else
+    // uses the typed `check()` diagnostics
     #[test]
+    #[allow(deprecated)]
     fn validate_rejects_layout_tampering_and_missing_producers() {
         let (g, dy) = unfused();
         let fwd = forward_ops(&g, dy);
@@ -985,7 +936,7 @@ mod tests {
             }
         }
         permuted.reflow(&g);
-        assert!(permuted.validate(&g).is_empty());
+        assert!(error_lints(&permuted, &g).is_empty());
         assert!(permuted.relayout_count() > 0);
         let y_nat = run_forward(&g, &natural, 5).take("y").unwrap();
         let y_perm = run_forward(&g, &permuted, 5).take("y").unwrap();

@@ -41,11 +41,16 @@ pub struct Selection {
     pub layouts: Vec<(NodeId, String, String)>,
 }
 
+/// Fraction of peak bandwidth an explicit permutation (relayout) kernel
+/// achieves. Shared by path selection's transpose pricing and the static
+/// plan audit so both charge relayouts identically.
+pub const RELAYOUT_BANDWIDTH_FRAC: f64 = 0.55;
+
 /// Cost (µs) of an explicit relayout of `words` words: a read and a write
 /// at the penalized bandwidth a permutation kernel achieves.
 pub fn transpose_cost_us(device: &DeviceSpec, words: u64) -> f64 {
     let bytes = 2.0 * words as f64 * device.word_bytes as f64;
-    device.kernel_launch_us + device.stream_time_us(bytes, 0.55)
+    device.kernel_launch_us + device.stream_time_us(bytes, RELAYOUT_BANDWIDTH_FRAC)
 }
 
 /// One relaxed label on a data container: cumulative cost, predecessor

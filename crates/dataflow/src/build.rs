@@ -587,249 +587,6 @@ pub fn encoder(dims: &EncoderDims) -> EncoderGraph {
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::flops::{op_flop, total_flop};
-    use crate::op::OpClass;
-
-    const GI: f64 = 1_073_741_824.0; // the paper's "Gflop" are Gi (2^30)
-
-    #[test]
-    fn mha_forward_has_fig1_structure() {
-        let g = mha_forward(&EncoderDims::bert_large());
-        assert_eq!(g.ops().len(), 12);
-        let qkt = g.op_by_name("QKT").unwrap();
-        // 4 Gi flop as annotated in Fig. 1b
-        assert!((op_flop(&g, qkt).unwrap() as f64 / GI - 4.0).abs() < 0.01);
-        let proj = g.op_by_name("Q").unwrap();
-        // 8 Gi flop per projection
-        assert!((op_flop(&g, proj).unwrap() as f64 / GI - 8.0).abs() < 0.01);
-    }
-
-    #[test]
-    fn encoder_flop_matches_table3_rows() {
-        let e = encoder(&EncoderDims::bert_large());
-        let g = &e.graph;
-        let gi = |name: &str| op_flop(g, g.op_by_name(name).unwrap()).unwrap() as f64 / GI;
-        assert!((gi("Q,K,V") - 24.0).abs() < 0.05, "Q,K,V = {}", gi("Q,K,V"));
-        assert!((gi("QKT") - 4.0).abs() < 0.05);
-        assert!((gi("Gamma") - 4.0).abs() < 0.05);
-        assert!((gi("Out") - 8.0).abs() < 0.05);
-        assert!((gi("Linear 1") - 32.0).abs() < 0.05);
-        assert!((gi("Linear 2") - 32.0).abs() < 0.05);
-        assert!((gi("Linear 2 dX") - 32.0).abs() < 0.05);
-        assert!((gi("Linear 1 dW") - 32.0).abs() < 0.05);
-        assert!((gi("Q,K,V dX") - 24.0).abs() < 0.05);
-        assert!((gi("Q,K,V dW") - 24.0).abs() < 0.05);
-        assert!((gi("Out dX") - 8.0).abs() < 0.05);
-        assert!((gi("Gamma dX1") - 4.0).abs() < 0.05);
-        assert!((gi("QKT dX2") - 4.0).abs() < 0.05);
-    }
-
-    #[test]
-    fn encoder_io_matches_table3_rows() {
-        let e = encoder(&EncoderDims::bert_large());
-        let g = &e.graph;
-        let mw = |name: &str| {
-            let op = g.op_by_name(name).unwrap();
-            (
-                g.input_words(op) as f64 / 1e6,
-                g.output_words(op) as f64 / 1e6,
-            )
-        };
-        let (i, o) = mw("Q,K,V");
-        assert!((i - 7.3).abs() < 0.1, "Q,K,V in {i}");
-        assert!((o - 12.5).abs() < 0.1, "Q,K,V out {o}");
-        let (i, o) = mw("QKT");
-        assert!((i - 8.3).abs() < 0.1);
-        assert!((o - 33.5).abs() < 0.1);
-        let (i, o) = mw("Gamma");
-        assert!((i - 37.7).abs() < 0.1);
-        assert!((o - 4.1).abs() < 0.1);
-        let (i, o) = mw("Linear 1");
-        assert!((i - 8.3).abs() < 0.1);
-        assert!((o - 16.7).abs() < 0.2);
-        let (i, o) = mw("Linear 2 dW");
-        assert!((i - 20.9).abs() < 0.1);
-        assert!((o - 4.1).abs() < 0.1);
-        let (i, _) = mw("LayerNorm 2 dW");
-        assert!((i - 8.3).abs() < 0.1);
-        let (i, o) = mw("Q,K,V dX");
-        assert!((i - 15.7).abs() < 0.1);
-        assert!((o - 4.1).abs() < 0.1);
-    }
-
-    #[test]
-    fn encoder_total_flop_matches_table3_total() {
-        // Table III total: 312.633 Gi flop (PyTorch column ~326 with padding
-        // overheads; the analytic requirement is 312).
-        let e = encoder(&EncoderDims::bert_large());
-        let total = total_flop(&e.graph) as f64 / GI;
-        assert!(
-            (total - 312.6).abs() < 2.0,
-            "total encoder flop {total} Gi, expected ≈312.6"
-        );
-    }
-
-    #[test]
-    fn contraction_flop_share_matches_table1() {
-        let e = encoder(&EncoderDims::bert_large());
-        let g = &e.graph;
-        let mut by_class = [0u64; 3];
-        for op in g.ops() {
-            let f = op_flop(g, op).unwrap();
-            match g.op(op).unwrap().kind.class() {
-                OpClass::TensorContraction => by_class[0] += f,
-                OpClass::StatisticalNormalization => by_class[1] += f,
-                OpClass::Elementwise => by_class[2] += f,
-            }
-        }
-        let total: u64 = by_class.iter().sum();
-        let pct = |x: u64| 100.0 * x as f64 / total as f64;
-        // Table I: 99.80 / 0.17 / 0.03
-        assert!(pct(by_class[0]) > 99.5, "contraction {}", pct(by_class[0]));
-        assert!(pct(by_class[1]) < 0.4);
-        assert!(pct(by_class[2]) < 0.1);
-    }
-
-    #[test]
-    fn encoder_op_counts_and_handles() {
-        let e = encoder(&EncoderDims::tiny());
-        assert_eq!(e.forward_ops.len(), 22);
-        assert_eq!(e.backward_ops.len(), 28);
-        assert_eq!(e.graph.ops().len(), 22 + 28);
-        for name in e.forward_ops.iter().chain(&e.backward_ops) {
-            assert!(e.graph.op_by_name(name).is_some(), "missing op {name}");
-        }
-        assert!(e.graph.data(e.x).is_some());
-        assert!(e.graph.data(e.dx).is_some());
-    }
-
-    #[test]
-    fn decoder_block_structure() {
-        let e = decoder(&EncoderDims::tiny());
-        // pre-LN GPT-2 block: same operator count as the encoder step but
-        // with the layer norms hoisted before the sub-blocks
-        assert_eq!(e.forward_ops.len(), 22);
-        assert_eq!(e.backward_ops.len(), 28);
-        let g = &e.graph;
-        // LayerNorm 1 feeds the projections (pre-LN)
-        let ln1 = g.op_by_name("LayerNorm 1").unwrap();
-        let ln1_out = g.outputs_of(ln1)[0];
-        let qkv = g.op_by_name("Q,K,V").unwrap();
-        assert!(g.inputs_of(qkv).contains(&ln1_out));
-        // the masked softmax exists
-        assert!(g.op_by_name("Masked softmax").is_some());
-        assert!(g.op_by_name("GELU").is_some());
-    }
-
-    #[test]
-    fn decoder_flop_matches_encoder_contractions() {
-        // same dims → identical contraction flop; only normalization
-        // placement differs
-        let dims = EncoderDims::bert_large();
-        let enc = encoder(&dims);
-        let dec = decoder(&dims);
-        let tc_flop = |e: &EncoderGraph| -> u64 {
-            e.graph
-                .ops()
-                .into_iter()
-                .filter(|&op| e.graph.op(op).unwrap().kind.class() == OpClass::TensorContraction)
-                .map(|op| op_flop(&e.graph, op).unwrap())
-                .sum()
-        };
-        assert_eq!(tc_flop(&enc), tc_flop(&dec));
-    }
-
-    #[test]
-    fn decoder_gradients_reach_every_weight() {
-        let e = decoder(&EncoderDims::tiny());
-        let g = &e.graph;
-        for name in [
-            "d_w_qkv",
-            "d_bq",
-            "d_bk",
-            "d_bv",
-            "d_wo",
-            "d_bo",
-            "d_ln1_gamma",
-            "d_ln1_beta",
-            "d_w1",
-            "d_b1",
-            "d_w2",
-            "d_b2",
-            "d_ln2_gamma",
-            "d_ln2_beta",
-            "dx",
-        ] {
-            let id = g
-                .data_by_name(name)
-                .unwrap_or_else(|| panic!("missing {name}"));
-            assert!(!g.producers_of(id).is_empty(), "{name} unproduced");
-        }
-    }
-
-    #[test]
-    fn builders_produce_structurally_valid_graphs() {
-        for dims in [EncoderDims::tiny(), EncoderDims::bert_large()] {
-            let e = encoder(&dims);
-            assert!(
-                e.graph.validate().is_empty(),
-                "encoder: {:?}",
-                e.graph.validate()
-            );
-            let d = decoder(&dims);
-            assert!(
-                d.graph.validate().is_empty(),
-                "decoder: {:?}",
-                d.graph.validate()
-            );
-            let m = mha_forward(&dims);
-            assert!(m.validate().is_empty(), "mha: {:?}", m.validate());
-        }
-    }
-
-    #[test]
-    fn fused_graphs_stay_valid() {
-        // after fusion the graph must still be structurally sound
-        let e = encoder(&EncoderDims::tiny());
-        let mut g = e.graph;
-        // fuse a small chain by hand: Output bias → Dropout 1
-        let a = g.op_by_name("Output bias").unwrap();
-        let b = g.op_by_name("Dropout 1").unwrap();
-        g.fuse(&[a, b], "F").unwrap();
-        assert!(g.validate().is_empty(), "{:?}", g.validate());
-    }
-
-    #[test]
-    fn every_gradient_or_output_is_produced() {
-        let e = encoder(&EncoderDims::tiny());
-        let g = &e.graph;
-        for d in g.data_nodes() {
-            let node = g.data(d).unwrap();
-            match node.role {
-                DataRole::Input | DataRole::Weight => {
-                    assert!(
-                        g.producer_of(d).is_none(),
-                        "{} should have no producer",
-                        node.name
-                    );
-                }
-                DataRole::Gradient | DataRole::Output | DataRole::Activation | DataRole::Saved => {
-                    if node.name != "dy" {
-                        assert!(
-                            g.producer_of(d).is_some(),
-                            "{} should have a producer",
-                            node.name
-                        );
-                    }
-                }
-            }
-        }
-    }
-}
-
 /// Builds a GPT-2-style decoder block training step (forward and
 /// backward): **pre**-layer-norm ordering, causally *masked* self-attention
 /// (Sec. II-B-1's masking step), and a GELU feed-forward — the "minor
@@ -1281,5 +1038,248 @@ pub fn decoder(dims: &EncoderDims) -> EncoderGraph {
         dx,
         forward_ops: fwd,
         backward_ops: bwd,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flops::{op_flop, total_flop};
+    use crate::op::OpClass;
+
+    const GI: f64 = 1_073_741_824.0; // the paper's "Gflop" are Gi (2^30)
+
+    #[test]
+    fn mha_forward_has_fig1_structure() {
+        let g = mha_forward(&EncoderDims::bert_large());
+        assert_eq!(g.ops().len(), 12);
+        let qkt = g.op_by_name("QKT").unwrap();
+        // 4 Gi flop as annotated in Fig. 1b
+        assert!((op_flop(&g, qkt).unwrap() as f64 / GI - 4.0).abs() < 0.01);
+        let proj = g.op_by_name("Q").unwrap();
+        // 8 Gi flop per projection
+        assert!((op_flop(&g, proj).unwrap() as f64 / GI - 8.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn encoder_flop_matches_table3_rows() {
+        let e = encoder(&EncoderDims::bert_large());
+        let g = &e.graph;
+        let gi = |name: &str| op_flop(g, g.op_by_name(name).unwrap()).unwrap() as f64 / GI;
+        assert!((gi("Q,K,V") - 24.0).abs() < 0.05, "Q,K,V = {}", gi("Q,K,V"));
+        assert!((gi("QKT") - 4.0).abs() < 0.05);
+        assert!((gi("Gamma") - 4.0).abs() < 0.05);
+        assert!((gi("Out") - 8.0).abs() < 0.05);
+        assert!((gi("Linear 1") - 32.0).abs() < 0.05);
+        assert!((gi("Linear 2") - 32.0).abs() < 0.05);
+        assert!((gi("Linear 2 dX") - 32.0).abs() < 0.05);
+        assert!((gi("Linear 1 dW") - 32.0).abs() < 0.05);
+        assert!((gi("Q,K,V dX") - 24.0).abs() < 0.05);
+        assert!((gi("Q,K,V dW") - 24.0).abs() < 0.05);
+        assert!((gi("Out dX") - 8.0).abs() < 0.05);
+        assert!((gi("Gamma dX1") - 4.0).abs() < 0.05);
+        assert!((gi("QKT dX2") - 4.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn encoder_io_matches_table3_rows() {
+        let e = encoder(&EncoderDims::bert_large());
+        let g = &e.graph;
+        let mw = |name: &str| {
+            let op = g.op_by_name(name).unwrap();
+            (
+                g.input_words(op) as f64 / 1e6,
+                g.output_words(op) as f64 / 1e6,
+            )
+        };
+        let (i, o) = mw("Q,K,V");
+        assert!((i - 7.3).abs() < 0.1, "Q,K,V in {i}");
+        assert!((o - 12.5).abs() < 0.1, "Q,K,V out {o}");
+        let (i, o) = mw("QKT");
+        assert!((i - 8.3).abs() < 0.1);
+        assert!((o - 33.5).abs() < 0.1);
+        let (i, o) = mw("Gamma");
+        assert!((i - 37.7).abs() < 0.1);
+        assert!((o - 4.1).abs() < 0.1);
+        let (i, o) = mw("Linear 1");
+        assert!((i - 8.3).abs() < 0.1);
+        assert!((o - 16.7).abs() < 0.2);
+        let (i, o) = mw("Linear 2 dW");
+        assert!((i - 20.9).abs() < 0.1);
+        assert!((o - 4.1).abs() < 0.1);
+        let (i, _) = mw("LayerNorm 2 dW");
+        assert!((i - 8.3).abs() < 0.1);
+        let (i, o) = mw("Q,K,V dX");
+        assert!((i - 15.7).abs() < 0.1);
+        assert!((o - 4.1).abs() < 0.1);
+    }
+
+    #[test]
+    fn encoder_total_flop_matches_table3_total() {
+        // Table III total: 312.633 Gi flop (PyTorch column ~326 with padding
+        // overheads; the analytic requirement is 312).
+        let e = encoder(&EncoderDims::bert_large());
+        let total = total_flop(&e.graph) as f64 / GI;
+        assert!(
+            (total - 312.6).abs() < 2.0,
+            "total encoder flop {total} Gi, expected ≈312.6"
+        );
+    }
+
+    #[test]
+    fn contraction_flop_share_matches_table1() {
+        let e = encoder(&EncoderDims::bert_large());
+        let g = &e.graph;
+        let mut by_class = [0u64; 3];
+        for op in g.ops() {
+            let f = op_flop(g, op).unwrap();
+            match g.op(op).unwrap().kind.class() {
+                OpClass::TensorContraction => by_class[0] += f,
+                OpClass::StatisticalNormalization => by_class[1] += f,
+                OpClass::Elementwise => by_class[2] += f,
+            }
+        }
+        let total: u64 = by_class.iter().sum();
+        let pct = |x: u64| 100.0 * x as f64 / total as f64;
+        // Table I: 99.80 / 0.17 / 0.03
+        assert!(pct(by_class[0]) > 99.5, "contraction {}", pct(by_class[0]));
+        assert!(pct(by_class[1]) < 0.4);
+        assert!(pct(by_class[2]) < 0.1);
+    }
+
+    #[test]
+    fn encoder_op_counts_and_handles() {
+        let e = encoder(&EncoderDims::tiny());
+        assert_eq!(e.forward_ops.len(), 22);
+        assert_eq!(e.backward_ops.len(), 28);
+        assert_eq!(e.graph.ops().len(), 22 + 28);
+        for name in e.forward_ops.iter().chain(&e.backward_ops) {
+            assert!(e.graph.op_by_name(name).is_some(), "missing op {name}");
+        }
+        assert!(e.graph.data(e.x).is_some());
+        assert!(e.graph.data(e.dx).is_some());
+    }
+
+    #[test]
+    fn decoder_block_structure() {
+        let e = decoder(&EncoderDims::tiny());
+        // pre-LN GPT-2 block: same operator count as the encoder step but
+        // with the layer norms hoisted before the sub-blocks
+        assert_eq!(e.forward_ops.len(), 22);
+        assert_eq!(e.backward_ops.len(), 28);
+        let g = &e.graph;
+        // LayerNorm 1 feeds the projections (pre-LN)
+        let ln1 = g.op_by_name("LayerNorm 1").unwrap();
+        let ln1_out = g.outputs_of(ln1)[0];
+        let qkv = g.op_by_name("Q,K,V").unwrap();
+        assert!(g.inputs_of(qkv).contains(&ln1_out));
+        // the masked softmax exists
+        assert!(g.op_by_name("Masked softmax").is_some());
+        assert!(g.op_by_name("GELU").is_some());
+    }
+
+    #[test]
+    fn decoder_flop_matches_encoder_contractions() {
+        // same dims → identical contraction flop; only normalization
+        // placement differs
+        let dims = EncoderDims::bert_large();
+        let enc = encoder(&dims);
+        let dec = decoder(&dims);
+        let tc_flop = |e: &EncoderGraph| -> u64 {
+            e.graph
+                .ops()
+                .into_iter()
+                .filter(|&op| e.graph.op(op).unwrap().kind.class() == OpClass::TensorContraction)
+                .map(|op| op_flop(&e.graph, op).unwrap())
+                .sum()
+        };
+        assert_eq!(tc_flop(&enc), tc_flop(&dec));
+    }
+
+    #[test]
+    fn decoder_gradients_reach_every_weight() {
+        let e = decoder(&EncoderDims::tiny());
+        let g = &e.graph;
+        for name in [
+            "d_w_qkv",
+            "d_bq",
+            "d_bk",
+            "d_bv",
+            "d_wo",
+            "d_bo",
+            "d_ln1_gamma",
+            "d_ln1_beta",
+            "d_w1",
+            "d_b1",
+            "d_w2",
+            "d_b2",
+            "d_ln2_gamma",
+            "d_ln2_beta",
+            "dx",
+        ] {
+            let id = g
+                .data_by_name(name)
+                .unwrap_or_else(|| panic!("missing {name}"));
+            assert!(!g.producers_of(id).is_empty(), "{name} unproduced");
+        }
+    }
+
+    #[test]
+    fn builders_produce_structurally_valid_graphs() {
+        for dims in [EncoderDims::tiny(), EncoderDims::bert_large()] {
+            let e = encoder(&dims);
+            assert!(
+                e.graph.validate().is_empty(),
+                "encoder: {:?}",
+                e.graph.validate()
+            );
+            let d = decoder(&dims);
+            assert!(
+                d.graph.validate().is_empty(),
+                "decoder: {:?}",
+                d.graph.validate()
+            );
+            let m = mha_forward(&dims);
+            assert!(m.validate().is_empty(), "mha: {:?}", m.validate());
+        }
+    }
+
+    #[test]
+    fn fused_graphs_stay_valid() {
+        // after fusion the graph must still be structurally sound
+        let e = encoder(&EncoderDims::tiny());
+        let mut g = e.graph;
+        // fuse a small chain by hand: Output bias → Dropout 1
+        let a = g.op_by_name("Output bias").unwrap();
+        let b = g.op_by_name("Dropout 1").unwrap();
+        g.fuse(&[a, b], "F").unwrap();
+        assert!(g.validate().is_empty(), "{:?}", g.validate());
+    }
+
+    #[test]
+    fn every_gradient_or_output_is_produced() {
+        let e = encoder(&EncoderDims::tiny());
+        let g = &e.graph;
+        for d in g.data_nodes() {
+            let node = g.data(d).unwrap();
+            match node.role {
+                DataRole::Input | DataRole::Weight => {
+                    assert!(
+                        g.producer_of(d).is_none(),
+                        "{} should have no producer",
+                        node.name
+                    );
+                }
+                DataRole::Gradient | DataRole::Output | DataRole::Activation | DataRole::Saved => {
+                    if node.name != "dy" {
+                        assert!(
+                            g.producer_of(d).is_some(),
+                            "{} should have a producer",
+                            node.name
+                        );
+                    }
+                }
+            }
+        }
     }
 }

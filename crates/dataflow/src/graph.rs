@@ -300,6 +300,33 @@ impl Graph {
         self.input_words(op) + self.output_words(op)
     }
 
+    /// Words `op` reads from one specific container (the exact memlet
+    /// volume, summed if several edges connect the pair). Slice readers of
+    /// stacked containers move only their slice, not the whole container.
+    pub fn read_words(&self, op: NodeId, data: NodeId) -> u64 {
+        self.edges
+            .iter()
+            .filter(|e| e.from == data && e.to == op)
+            .map(|e| e.volume_words)
+            .sum()
+    }
+
+    /// Words `op` writes into one specific container (the exact memlet
+    /// volume, summed if several edges connect the pair).
+    pub fn write_words(&self, op: NodeId, data: NodeId) -> u64 {
+        self.edges
+            .iter()
+            .filter(|e| e.from == op && e.to == data)
+            .map(|e| e.volume_words)
+            .sum()
+    }
+
+    /// Total bytes moved by an operator at the given word width — the
+    /// byte-volume figure static audits aggregate per operator class.
+    pub fn io_bytes(&self, op: NodeId, word_bytes: usize) -> u64 {
+        self.io_words(op) * word_bytes as u64
+    }
+
     /// Replaces a group of operators with one fused operator named `name`.
     ///
     /// External inputs/outputs of the group become the fused operator's
@@ -632,6 +659,10 @@ mod tests {
         assert_eq!(g.op_by_name("op2"), Some(op2));
         assert_eq!(g.data_by_name("a"), Some(a));
         assert_eq!(g.io_words(op1), 20);
+        assert_eq!(g.read_words(op1, a), 10);
+        assert_eq!(g.write_words(op1, b), 10);
+        assert_eq!(g.read_words(op1, b), 0);
+        assert_eq!(g.io_bytes(op1, 2), 40);
     }
 
     #[test]

@@ -63,6 +63,66 @@ pub fn is_memory_bound(mue_value: f64, pct_of_compute_peak: f64) -> bool {
     mue_value > pct_of_compute_peak
 }
 
+/// Accumulates per-kernel MUE terms into a plan-level figure.
+///
+/// Plan-level MUE follows the same formula as the per-kernel metric:
+/// `Q/D · B/B̂ · 100`, where `Q` and `D` sum over every kernel and `B/B̂`
+/// is the *D-weighted* mean bandwidth fraction (slow movers of many words
+/// drag the plan down more than slow movers of few). Pure data movement
+/// with no lower bound — explicit relayouts a schedule inserts — is added
+/// via [`MueAccum::add_movement`]: it grows `D` without growing `Q`, which
+/// is exactly how avoidable transposes depress a plan's MUE.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MueAccum {
+    q_words: f64,
+    d_words: f64,
+    weighted_bw: f64,
+}
+
+impl MueAccum {
+    /// Folds in one kernel: its I/O lower bound and its modelled cost.
+    pub fn add_kernel(&mut self, q_words: f64, cost: &KernelCost) {
+        let d = cost.moved_words.max(q_words);
+        self.q_words += q_words;
+        self.d_words += d;
+        self.weighted_bw += d * cost.bandwidth_frac;
+    }
+
+    /// Folds in pure (avoidable) data movement, e.g. an explicit relayout:
+    /// `words` join `D` at the given bandwidth fraction, `Q` is unchanged.
+    pub fn add_movement(&mut self, words: f64, bandwidth_frac: f64) {
+        self.d_words += words;
+        self.weighted_bw += words * bandwidth_frac;
+    }
+
+    /// Words of unavoidable traffic accumulated so far.
+    pub fn q_words(&self) -> f64 {
+        self.q_words
+    }
+
+    /// Words of modelled traffic accumulated so far.
+    pub fn d_words(&self) -> f64 {
+        self.d_words
+    }
+
+    /// The aggregate plan-level MUE.
+    pub fn total(&self) -> Mue {
+        let d = self.d_words.max(self.q_words);
+        let bw = if d > 0.0 { self.weighted_bw / d } else { 0.0 };
+        let value = if d > 0.0 {
+            (self.q_words / d * bw * 100.0).clamp(0.0, 100.0)
+        } else {
+            0.0
+        };
+        Mue {
+            value,
+            q_words: self.q_words,
+            d_words: d,
+            bandwidth_frac: bw,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,5 +206,32 @@ mod tests {
     fn memory_bound_classification() {
         assert!(is_memory_bound(70.0, 1.0));
         assert!(!is_memory_bound(10.0, 55.0));
+    }
+
+    #[test]
+    fn accumulator_matches_single_kernel_and_penalizes_relayouts() {
+        let e = build::encoder(&EncoderDims::bert_large());
+        let g = &e.graph;
+        let d = DeviceSpec::v100();
+        let op = g.op_by_name("Residual 1").unwrap();
+        let cfg = OpConfig::natural(g, op).unwrap();
+        let cost = op_cost(&d, g, op, &cfg).unwrap();
+        let single = mue(g, op, &cost);
+        let mut acc = MueAccum::default();
+        acc.add_kernel(g.io_words(op) as f64, &cost);
+        let agg = acc.total();
+        assert!((agg.value - single.value).abs() < 1e-9);
+        assert!((agg.q_words - single.q_words).abs() < 1e-9);
+        // avoidable movement lowers the aggregate
+        acc.add_movement(single.q_words, 0.55);
+        assert!(acc.total().value < agg.value);
+        assert!(acc.d_words() > agg.d_words);
+    }
+
+    #[test]
+    fn empty_accumulator_is_zero() {
+        let m = MueAccum::default().total();
+        assert_eq!(m.value, 0.0);
+        assert_eq!(m.q_words, 0.0);
     }
 }

@@ -11,7 +11,7 @@
 //!   of the paper's Sec. V;
 //! * [`Tensor`] — dense `f32` storage addressed logically, so relayouting
 //!   never changes values, only access patterns;
-//! * [`einsum`] / [`contract`](crate::contract::contract) — Einstein-sum
+//! * [`einsum()`](crate::einsum()) / [`contract`](crate::contract::contract) — Einstein-sum
 //!   contractions lowered onto tiled (batched) GEMM, like the paper lowers
 //!   onto cuBLAS;
 //! * [`ops`] — the unfused operator kernels of a BERT encoder layer,

@@ -276,10 +276,7 @@ impl Tensor {
                 found: spec.chars().count(),
             });
         }
-        let shape = Shape::new(
-            spec.chars()
-                .zip(self.shape.sizes().iter().copied()),
-        )?;
+        let shape = Shape::new(spec.chars().zip(self.shape.sizes().iter().copied()))?;
         Ok(Tensor {
             shape,
             layout: self.layout.clone(),

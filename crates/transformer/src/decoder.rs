@@ -92,7 +92,7 @@ impl DecoderLayer {
         w: &EncoderWeights,
         rng: &mut R,
     ) -> Result<(Tensor, DecoderActivations)> {
-        let planned = interp::decoder_fused(&self.dims)?;
+        let planned = interp::cached_plan(&self.dims, interp::PlanKind::DecoderFused)?;
         let mut state = bind_inputs(x, w)?;
         let opts = ExecOptions {
             dropout_p: self.dropout_p,

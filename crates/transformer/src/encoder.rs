@@ -115,10 +115,13 @@ impl EncoderLayer {
         w: &EncoderWeights,
         rng: &mut R,
     ) -> Result<(Tensor, Activations)> {
-        let planned = match self.executor {
-            Executor::Reference => interp::encoder_reference(&self.dims)?,
-            Executor::Fused => interp::encoder_fused(&self.dims)?,
-        };
+        let planned = interp::cached_plan(
+            &self.dims,
+            match self.executor {
+                Executor::Reference => interp::PlanKind::EncoderReference,
+                Executor::Fused => interp::PlanKind::EncoderFused,
+            },
+        )?;
         self.forward_with_plan(&planned.graph, &planned.plan, x, w, rng)
     }
 

@@ -10,6 +10,9 @@
 //! SSSP-selected layouts of `xform-core` run against the real CPU kernels
 //! with no per-configuration code.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
 use xform_core::fusion::{apply_plan, decoder_fusion_plan, encoder_fusion_plan};
 use xform_core::plan::{ExecState, ExecutionPlan};
 use xform_core::recipe::forward_ops;
@@ -29,7 +32,69 @@ pub struct PlannedForward {
 
 fn planned(graph: Graph, dy: xform_dataflow::NodeId) -> Result<PlannedForward> {
     let plan = ExecutionPlan::natural(&graph, &forward_ops(&graph, dy))?;
+    // canned plans must be lint-clean: catch a drifted builder or fusion
+    // pass at plan-construction time in debug builds
+    debug_assert!(
+        xform_core::analyze::analyze(&graph, &plan).is_clean(),
+        "canned plan has error-severity lints: {:?}",
+        xform_core::analyze::analyze(&graph, &plan)
+            .errors()
+            .iter()
+            .map(|l| l.to_string())
+            .collect::<Vec<_>>()
+    );
     Ok(PlannedForward { graph, plan })
+}
+
+/// Which canned schedule a cache entry holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlanKind {
+    /// Unfused encoder, natural layouts.
+    EncoderReference,
+    /// Fused encoder, natural layouts.
+    EncoderFused,
+    /// Fused decoder block, natural layouts.
+    DecoderFused,
+}
+
+type PlanCache = Mutex<HashMap<(EncoderDims, PlanKind), Arc<PlannedForward>>>;
+
+fn plan_cache() -> &'static PlanCache {
+    static CACHE: OnceLock<PlanCache> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Returns the canned plan for `(dims, kind)`, building and memoizing it
+/// on first use. Keying on the full dimension set means a layer whose
+/// dims change simply misses the cache and lowers a fresh plan — stale
+/// schedules can never be returned. Lowering happens outside the lock;
+/// a racing duplicate build is benign (last writer wins).
+///
+/// # Errors
+///
+/// Returns an error if graph construction, fusion, or scheduling fails.
+pub fn cached_plan(dims: &EncoderDims, kind: PlanKind) -> Result<Arc<PlannedForward>> {
+    let key = (*dims, kind);
+    if let Some(hit) = plan_cache().lock().unwrap().get(&key) {
+        return Ok(Arc::clone(hit));
+    }
+    let built = Arc::new(match kind {
+        PlanKind::EncoderReference => encoder_reference(dims)?,
+        PlanKind::EncoderFused => encoder_fused(dims)?,
+        PlanKind::DecoderFused => decoder_fused(dims)?,
+    });
+    plan_cache().lock().unwrap().insert(key, Arc::clone(&built));
+    Ok(built)
+}
+
+/// Number of memoized canned plans (for tests and diagnostics).
+pub fn plan_cache_len() -> usize {
+    plan_cache().lock().unwrap().len()
+}
+
+/// Drops every memoized plan.
+pub fn clear_plan_cache() {
+    plan_cache().lock().unwrap().clear();
 }
 
 /// The reference executor as a plan: the unfused encoder graph, natural
@@ -125,9 +190,26 @@ mod tests {
         assert_eq!(reference.plan.steps.len(), 22);
         let fused = encoder_fused(&dims).unwrap();
         assert!(fused.plan.steps.len() < reference.plan.steps.len());
-        assert!(fused.plan.validate(&fused.graph).is_empty());
+        assert!(xform_core::analyze::analyze(&fused.graph, &fused.plan).is_clean());
         let decoder = decoder_fused(&dims).unwrap();
-        assert!(decoder.plan.validate(&decoder.graph).is_empty());
+        assert!(xform_core::analyze::analyze(&decoder.graph, &decoder.plan).is_clean());
+    }
+
+    #[test]
+    fn plan_cache_memoizes_per_dims_and_kind() {
+        let dims = EncoderDims::tiny();
+        let a = cached_plan(&dims, PlanKind::EncoderFused).unwrap();
+        let b = cached_plan(&dims, PlanKind::EncoderFused).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same dims+kind must share one plan");
+        let c = cached_plan(&dims, PlanKind::EncoderReference).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        // a dim change misses the cache and lowers a fresh plan
+        let mut bigger = dims;
+        bigger.b += 1;
+        let d = cached_plan(&bigger, PlanKind::EncoderFused).unwrap();
+        assert!(!Arc::ptr_eq(&a, &d));
+        assert_eq!(d.plan.steps.len(), a.plan.steps.len());
+        assert!(plan_cache_len() >= 3);
     }
 
     #[test]

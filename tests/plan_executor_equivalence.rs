@@ -2,13 +2,14 @@
 //! lowered from the full recipe (fuse → sweep → SSSP select) produces the
 //! same encoder output as the reference executor; arbitrary layout
 //! perturbations survive `reflow` unchanged in value; and malformed plans
-//! are rejected by `validate` before any kernel runs.
+//! are rejected by the static analyzer before any kernel runs.
 
 use proptest::prelude::*;
 use rand::distributions::Uniform;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use substation::core::analyze::{PlanLint, Severity};
 use substation::core::plan::ExecutionPlan;
 use substation::core::selection::select_forward;
 use substation::core::sweep::{sweep_all, SimulatorSource, SweepOptions};
@@ -18,6 +19,12 @@ use substation::tensor::{Shape, Tensor};
 use substation::transformer::encoder::{EncoderLayer, Executor};
 use substation::transformer::interp;
 use substation::transformer::params::EncoderWeights;
+
+fn is_error_clean(plan: &ExecutionPlan, graph: &substation::dataflow::Graph) -> bool {
+    plan.check(graph)
+        .iter()
+        .all(|l| l.severity() != Severity::Error)
+}
 
 fn dims() -> EncoderDims {
     EncoderDims {
@@ -65,7 +72,7 @@ fn recipe_lowered_plan_matches_reference_executor() {
     .unwrap();
     let sel = select_forward(&planned.graph, &DeviceSpec::v100(), &fwd, &sweeps).unwrap();
     let plan = ExecutionPlan::lower(&planned.graph, &sel).unwrap();
-    assert!(plan.validate(&planned.graph).is_empty());
+    assert!(is_error_clean(&plan, &planned.graph));
 
     let (x, w) = inputs(&dims, 17);
     let y_ref = reference_y(&dims, &x, &w);
@@ -109,7 +116,7 @@ proptest! {
             }
         }
         plan.reflow(&planned.graph);
-        prop_assert!(plan.validate(&planned.graph).is_empty());
+        prop_assert!(is_error_clean(&plan, &planned.graph));
 
         let (x, w) = inputs(&dims, seed ^ 0xABCD);
         let y_ref = reference_y(&dims, &x, &w);
@@ -133,9 +140,9 @@ fn invalid_plans_are_rejected_before_execution() {
     let mut garbled = planned.plan.clone();
     garbled.steps[0].inputs[0].layout = "zz".into();
     assert!(garbled
-        .validate(&planned.graph)
+        .check(&planned.graph)
         .iter()
-        .any(|p| p.contains("not a permutation")));
+        .any(|l| matches!(l, PlanLint::BadLayout { .. })));
     let mut rng = StdRng::seed_from_u64(3);
     assert!(layer
         .forward_with_plan(&planned.graph, &garbled, &x, &w, &mut rng)
@@ -145,7 +152,7 @@ fn invalid_plans_are_rejected_before_execution() {
     let mut truncated = planned.plan.clone();
     let mid = truncated.steps.len() / 2;
     truncated.steps.remove(mid);
-    assert!(!truncated.validate(&planned.graph).is_empty());
+    assert!(!is_error_clean(&truncated, &planned.graph));
     let mut rng = StdRng::seed_from_u64(3);
     assert!(layer
         .forward_with_plan(&planned.graph, &truncated, &x, &w, &mut rng)

@@ -67,7 +67,7 @@ mod tests {
 
     #[test]
     fn scoped_threads_borrow_stack_data() {
-        let data = vec![1u64, 2, 3, 4];
+        let data = [1u64, 2, 3, 4];
         let total = scope(|s| {
             let handles: Vec<_> = data.iter().map(|&v| s.spawn(move |_| v * 10)).collect();
             handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
