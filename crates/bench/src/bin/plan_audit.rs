@@ -7,12 +7,16 @@
 //! the plan-level static MUE (`Q/D · B/B̂`), and every lint the analyzer
 //! raises. With `--check` it exits non-zero if any plan carries an
 //! error-severity lint — CI uses this to fail the build on a lint-dirty
-//! canned plan.
+//! canned plan. With `--certify` it runs the full race certifier
+//! (`xform_core::sanitize::certify`) on every plan and prints each
+//! certificate's fingerprint and wave partition, exiting non-zero if any
+//! plan cannot be certified for wave-parallel execution.
 
 use std::collections::HashMap;
 
 use xform_core::analyze::{analyze, audit, lint_selection, render_report, Severity};
 use xform_core::plan::ExecutionPlan;
+use xform_core::sanitize::certify;
 use xform_core::selection::select_forward;
 use xform_core::sweep::{sweep_all, SimulatorSource, SweepOptions, SweepResult};
 use xform_dataflow::{EncoderDims, Graph, NodeId};
@@ -24,20 +28,54 @@ struct Audited {
     errors: usize,
 }
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Full rendered report per plan.
+    Full,
+    /// Lint summary only, non-zero exit on error lints.
+    Check,
+    /// Race certification, non-zero exit on an uncertifiable plan.
+    Certify,
+}
+
 fn report(
     title: &'static str,
     graph: &Graph,
     plan: &ExecutionPlan,
     sweeps: Option<&HashMap<NodeId, SweepResult>>,
     device: &DeviceSpec,
-    check_only: bool,
+    mode: Mode,
 ) -> Audited {
+    if mode == Mode::Certify {
+        return match certify(graph, plan) {
+            Ok(cert) => {
+                let widest = cert.waves.iter().map(Vec::len).max().unwrap_or(0);
+                println!(
+                    "{title}: certified {:#018x} — {} steps in {} waves (widest {widest})",
+                    cert.plan_hash,
+                    plan.steps.len(),
+                    cert.waves.len()
+                );
+                Audited { title, errors: 0 }
+            }
+            Err(lints) => {
+                println!("{title}: NOT certifiable, {} error lints", lints.len());
+                for lint in &lints {
+                    println!("  [error] {lint}");
+                }
+                Audited {
+                    title,
+                    errors: lints.len(),
+                }
+            }
+        };
+    }
     let mut analysis = analyze(graph, plan);
     if let Some(sweeps) = sweeps {
         analysis.lints.extend(lint_selection(graph, plan, sweeps));
     }
     let errors = analysis.errors().len();
-    if check_only {
+    if mode == Mode::Check {
         println!(
             "{title}: {} steps, {errors} errors, {} warnings",
             plan.steps.len(),
@@ -63,7 +101,13 @@ fn report(
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let check_only = std::env::args().any(|a| a == "--check");
+    let mode = if std::env::args().any(|a| a == "--certify") {
+        Mode::Certify
+    } else if std::env::args().any(|a| a == "--check") {
+        Mode::Check
+    } else {
+        Mode::Full
+    };
     let dims = EncoderDims::bert_large();
     let device = DeviceSpec::v100();
 
@@ -92,7 +136,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &reference.plan,
             None,
             &device,
-            check_only,
+            mode,
         ),
         report(
             "Fused (natural layouts)",
@@ -100,7 +144,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &fused.plan,
             None,
             &device,
-            check_only,
+            mode,
         ),
         report(
             "Decoder (fused, natural layouts)",
@@ -108,7 +152,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &decoder.plan,
             None,
             &device,
-            check_only,
+            mode,
         ),
         report(
             "Recipe-selected (simulator sweeps + SSSP layouts)",
@@ -116,7 +160,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &selected,
             Some(&sweeps),
             &device,
-            check_only,
+            mode,
         ),
     ];
 
@@ -127,8 +171,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         std::process::exit(1);
     }
-    if check_only {
-        println!("all plans are error-clean");
+    match mode {
+        Mode::Check => println!("all plans are error-clean"),
+        Mode::Certify => println!("all plans certified for wave-parallel execution"),
+        Mode::Full => {}
     }
     Ok(())
 }

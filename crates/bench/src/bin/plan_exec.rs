@@ -4,6 +4,13 @@
 //! [`ExecutionPlan::lower`] — all running through the same schedule
 //! interpreter. This is the paper's punchline made concrete: the selected
 //! configuration is not a report, it executes.
+//!
+//! A second section exercises the certificate-gated wave-parallel
+//! interpreter (`xform_core::sanitize::execute_plan_parallel`): the fused
+//! encoder forward at 1/2/4/8 worker threads (every run bitwise-equal to
+//! the serial interpreter with dropout off), then a deliberately wide
+//! synthetic plan — independent matmuls feeding a residual reduction
+//! tree — where wave parallelism must deliver a real speedup.
 
 use std::time::Instant;
 
@@ -12,10 +19,11 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use xform_core::cpusource::CpuSource;
-use xform_core::plan::ExecutionPlan;
+use xform_core::plan::{execute_plan, random_externals, ExecOptions, ExecutionPlan};
+use xform_core::sanitize::{certify, execute_plan_parallel, ParallelOptions};
 use xform_core::selection::select_forward;
 use xform_core::sweep::{sweep_all, SweepOptions};
-use xform_dataflow::EncoderDims;
+use xform_dataflow::{DataRole, EncoderDims, Graph, NodeId, OpKind};
 use xform_gpusim::DeviceSpec;
 use xform_tensor::{Shape, Tensor};
 use xform_transformer::encoder::{EncoderLayer, Executor};
@@ -23,6 +31,57 @@ use xform_transformer::interp;
 use xform_transformer::params::EncoderWeights;
 
 const REPS: usize = 5;
+
+/// A deliberately wave-wide schedule: `lanes` independent `ab,bc->ac`
+/// matmuls (each `n×n×n`; a single unbatched GEMM never splits across
+/// cores, so every kernel stays on its calling thread and all measured
+/// parallelism comes from the wave dispatcher) feeding a binary residual
+/// reduction tree. Wave 0 is `lanes` steps wide, so the wave-parallel
+/// interpreter has real work to distribute.
+fn wide_matmul_plan(lanes: usize, n: usize) -> (Graph, ExecutionPlan) {
+    let mut g = Graph::new();
+    let shape2 = |x: char, y: char| Shape::new([(x, n), (y, n)]).expect("square shape");
+    let mut ops: Vec<NodeId> = Vec::new();
+    let mut level: Vec<NodeId> = (0..lanes)
+        .map(|l| {
+            let a = g.add_data(format!("a{l}"), shape2('a', 'b'), DataRole::Input);
+            let b = g.add_data(format!("b{l}"), shape2('b', 'c'), DataRole::Input);
+            let c = g.add_data(format!("c{l}"), shape2('a', 'c'), DataRole::Activation);
+            ops.push(g.add_op(
+                format!("mm{l}"),
+                OpKind::Einsum("ab,bc->ac".parse().expect("valid einsum")),
+                &[a, b],
+                &[c],
+            ));
+            c
+        })
+        .collect();
+    let mut round = 0usize;
+    while level.len() > 1 {
+        level = level
+            .chunks(2)
+            .enumerate()
+            .map(|(i, pair)| {
+                let role = if level.len() == 2 {
+                    DataRole::Output
+                } else {
+                    DataRole::Activation
+                };
+                let s = g.add_data(format!("s{round}_{i}"), shape2('a', 'c'), role);
+                ops.push(g.add_op(
+                    format!("add{round}_{i}"),
+                    OpKind::Residual,
+                    &[pair[0], pair[1]],
+                    &[s],
+                ));
+                s
+            })
+            .collect();
+        round += 1;
+    }
+    let plan = ExecutionPlan::natural(&g, &ops).expect("wide plan schedules");
+    (g, plan)
+}
 
 /// Minimum wall-clock of `reps` runs of `f`, in milliseconds.
 fn time_ms<F: FnMut() -> Tensor>(reps: usize, mut f: F) -> (f64, Tensor) {
@@ -136,5 +195,91 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "plan-driven output diverged from the reference executor"
     );
     println!("plan-driven output matches the reference executor.");
+
+    // --- wave-parallel interpreter: encoder thread scaling ---
+    let pf = interp::cached_plan(&dims, interp::PlanKind::EncoderFused)?;
+    println!(
+        "\ncertified wave-parallel forward (fused encoder, {} steps in {} waves):",
+        pf.plan.steps.len(),
+        pf.cert.waves.len()
+    );
+    for threads in [1usize, 2, 4, 8] {
+        let popts = ParallelOptions {
+            threads,
+            ..ParallelOptions::default()
+        };
+        let (par_ms, y_par) = time_ms(REPS, || {
+            fused
+                .forward_parallel(&x, &w, &popts)
+                .expect("parallel forward")
+                .0
+        });
+        assert_eq!(
+            y_par.data(),
+            y_fus.data(),
+            "parallel forward diverged from serial at {threads} threads"
+        );
+        println!("  {threads} thread(s)  {par_ms:>8.3} ms  (bitwise-equal to serial)");
+    }
+
+    // --- wave-parallel interpreter: a genuinely wide plan ---
+    // The encoder forward is chain-like (narrow waves), so thread scaling
+    // above is modest. This synthetic plan is the opposite: its first wave
+    // is 8 independent matmuls, and the certifier proves the partition
+    // race-free before any thread runs.
+    let (wide_g, wide_p) = wide_matmul_plan(8, 128);
+    let cert = certify(&wide_g, &wide_p).expect("the wide plan certifies");
+    println!(
+        "\nwave-parallel speedup on a wide synthetic plan ({} steps in {} waves, widest {}):",
+        wide_p.steps.len(),
+        cert.waves.len(),
+        cert.waves.iter().map(Vec::len).max().unwrap_or(0)
+    );
+    let wide_opts = ExecOptions::default();
+    let base_state = random_externals(&wide_g, &wide_p, 11)?;
+    let run_serial = || {
+        let mut state = base_state.clone();
+        let mut r = StdRng::seed_from_u64(7);
+        execute_plan(&wide_g, &wide_p, &mut state, &wide_opts, &mut r).expect("serial wide plan");
+        state.get("s2_0").expect("final sum").clone()
+    };
+    let (serial_ms, y_wide) = time_ms(REPS, run_serial);
+    println!("  serial          {serial_ms:>8.3} ms");
+    let mut speedup_at_4 = 0.0;
+    for threads in [1usize, 2, 4, 8] {
+        let popts = ParallelOptions {
+            threads,
+            ..ParallelOptions::default()
+        };
+        let (par_ms, y_par) = time_ms(REPS, || {
+            let mut state = base_state.clone();
+            execute_plan_parallel(&wide_g, &wide_p, &cert, &mut state, &wide_opts, &popts)
+                .expect("parallel wide plan");
+            state.get("s2_0").expect("final sum").clone()
+        });
+        assert_eq!(
+            y_par.data(),
+            y_wide.data(),
+            "wide plan diverged at {threads} threads"
+        );
+        let speedup = serial_ms / par_ms;
+        if threads == 4 {
+            speedup_at_4 = speedup;
+        }
+        println!("  {threads} thread(s)  {par_ms:>8.3} ms  ({speedup:.2}x vs serial)");
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |t| t.get());
+    if cores >= 4 {
+        assert!(
+            speedup_at_4 > 1.5,
+            "expected >1.5x at 4 threads on the wide plan, measured {speedup_at_4:.2}x"
+        );
+        println!("wave parallelism delivers {speedup_at_4:.2}x at 4 threads (threshold 1.5x).");
+    } else {
+        println!(
+            "host exposes {cores} core(s); the >1.5x @ 4 threads check needs >=4 — \
+             results above are correctness-only (every run stayed bitwise-equal)."
+        );
+    }
     Ok(())
 }

@@ -8,9 +8,13 @@
 //! discipline to a lowered schedule:
 //!
 //! * [`analyze`] builds the step-level dependency DAG from operand reads
-//!   and writes (relayouts count as writes), detecting RAW/WAR/WAW
-//!   hazards, use-before-def, double-writes, and dead steps, and reports
-//!   everything as typed [`PlanLint`] diagnostics with a [`Severity`];
+//!   and writes (a relayout reads its container's value and materializes
+//!   it into a distinct physical buffer, so it depends on the value's
+//!   writer and is serialized against other relayouts of the same
+//!   container, but not against concurrent readers), detecting
+//!   RAW/WAR/WAW hazards, use-before-def, double-writes, and dead steps,
+//!   and reports everything as typed [`PlanLint`] diagnostics with a
+//!   [`Severity`];
 //! * [`PlanAnalysis::parallel_waves`] derives topological antichains from
 //!   that DAG — the proven-safe parallel schedule a multi-threaded
 //!   interpreter must consume;
@@ -220,6 +224,52 @@ pub enum PlanLint {
         /// Consumer kernel name.
         second: String,
     },
+    /// An operand's environment name disagrees with its container's graph
+    /// name: two distinct containers would collide on one interpreter
+    /// environment key (layout-aliased buffers).
+    NameAlias {
+        /// Step index.
+        step: usize,
+        /// The step's kernel name.
+        name: String,
+        /// The name the plan declares for the operand.
+        operand: String,
+        /// The container's actual graph name.
+        expected: String,
+        /// The container id.
+        data: NodeId,
+    },
+    /// A step's declared memlet volume is smaller than the footprint the
+    /// kernel's iteration space derives: the schedule under-declares what
+    /// the kernel actually touches (emitted by the
+    /// [`sanitize`](crate::sanitize) certifier).
+    UnderDeclaredFootprint {
+        /// Step index.
+        step: usize,
+        /// The step's kernel name.
+        name: String,
+        /// The under-declared container's name.
+        container: String,
+        /// Words the graph memlet declares.
+        declared_words: u64,
+        /// Words the derived footprint touches.
+        derived_words: u64,
+    },
+    /// Two steps placed in the same parallel wave have conflicting access
+    /// to one container — a data race under concurrent dispatch (emitted
+    /// by the [`sanitize`](crate::sanitize) certifier).
+    WaveHazard {
+        /// The wave both steps were placed in.
+        wave: usize,
+        /// The earlier step (schedule order).
+        from: usize,
+        /// The later step (schedule order).
+        to: usize,
+        /// The contested container's name.
+        container: String,
+        /// The hazard kind.
+        kind: DepKind,
+    },
     /// The step's chosen layout pair is dominated in the sweep data: its
     /// output layout is relayouted away before every use, and a strictly
     /// faster pair with the same input layout exists.
@@ -249,7 +299,10 @@ impl PlanLint {
             | PlanLint::UseBeforeDef { .. }
             | PlanLint::DoubleWrite { .. }
             | PlanLint::RelayoutIncoherent { .. }
-            | PlanLint::LayoutIncoherent { .. } => Severity::Error,
+            | PlanLint::LayoutIncoherent { .. }
+            | PlanLint::NameAlias { .. }
+            | PlanLint::UnderDeclaredFootprint { .. }
+            | PlanLint::WaveHazard { .. } => Severity::Error,
             PlanLint::DeadStep { .. }
             | PlanLint::RedundantRelayout { .. }
             | PlanLint::CancellingRelayouts { .. }
@@ -275,9 +328,12 @@ impl PlanLint {
             | PlanLint::DeadStep { step, .. }
             | PlanLint::RedundantRelayout { step, .. }
             | PlanLint::OrphanRelayout { step, .. }
+            | PlanLint::NameAlias { step, .. }
+            | PlanLint::UnderDeclaredFootprint { step, .. }
             | PlanLint::DominatedLayout { step, .. } => *step,
             PlanLint::CancellingRelayouts { second_step, .. } => *second_step,
             PlanLint::MissedFusion { second_step, .. } => *second_step,
+            PlanLint::WaveHazard { to, .. } => *to,
         }
     }
 }
@@ -385,6 +441,36 @@ impl fmt::Display for PlanLint {
                 f,
                 "steps {first_step}/{second_step}: element-wise `{first}` → `{second}` is a fusable chain the fusion plan missed"
             ),
+            PlanLint::NameAlias {
+                step,
+                name,
+                operand,
+                expected,
+                data,
+            } => write!(
+                f,
+                "step {step} (`{name}`): operand named `{operand}` but {data} is `{expected}` — two containers would alias one environment slot"
+            ),
+            PlanLint::UnderDeclaredFootprint {
+                step,
+                name,
+                container,
+                declared_words,
+                derived_words,
+            } => write!(
+                f,
+                "step {step} (`{name}`): declares {declared_words} words of `{container}` but its iteration space touches {derived_words}"
+            ),
+            PlanLint::WaveHazard {
+                wave,
+                from,
+                to,
+                container,
+                kind,
+            } => write!(
+                f,
+                "wave {wave}: steps {from} and {to} race on `{container}` ({kind:?}) — cannot dispatch concurrently"
+            ),
             PlanLint::DominatedLayout {
                 step,
                 name,
@@ -404,8 +490,8 @@ impl fmt::Display for PlanLint {
 pub enum DepKind {
     /// Read-after-write: the consumer must see the producer's value.
     Raw,
-    /// Write-after-read: the reader must finish before the rewrite
-    /// (relayouts rewrite containers in place).
+    /// Write-after-read: the reader must finish before the next writer
+    /// replaces the value it snapshots.
     War,
     /// Write-after-write: writer order determines the final value.
     Waw,
@@ -531,6 +617,51 @@ impl PlanAnalysis {
         }
         out
     }
+
+    /// Resident words during each parallel wave. A buffer is resident from
+    /// the wave of its defining step (wave 0 for externals) through the
+    /// wave of its last use; outputs and saved tensors stay resident to
+    /// the final wave. Parallel execution retires whole waves, not single
+    /// steps, so this high-water mark — not
+    /// [`PlanAnalysis::peak_resident_words`] — is the one
+    /// `execute_plan_parallel` pays.
+    pub fn wave_resident_words(&self) -> Vec<u64> {
+        let waves = self.parallel_waves();
+        if waves.is_empty() {
+            return Vec::new();
+        }
+        let mut wave_of = vec![0usize; self.n_steps];
+        for (w, wave) in waves.iter().enumerate() {
+            for &s in wave {
+                wave_of[s] = w;
+            }
+        }
+        let last = waves.len() - 1;
+        let mut out = vec![0u64; waves.len()];
+        for b in &self.liveness {
+            let ws = b.def.map_or(0, |d| wave_of[d]);
+            let pinned = matches!(b.role, DataRole::Output | DataRole::Saved);
+            let we = if pinned {
+                last
+            } else {
+                b.last_use.map_or(ws, |u| wave_of[u]).max(ws)
+            };
+            for w in out.iter_mut().take(we + 1).skip(ws) {
+                *w += b.words;
+            }
+        }
+        out
+    }
+
+    /// The high-water mark of [`PlanAnalysis::wave_resident_words`] as
+    /// `(wave index, words)`; `(0, 0)` for empty plans.
+    pub fn peak_wave_resident_words(&self) -> (usize, u64) {
+        self.wave_resident_words()
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &w)| w)
+            .map_or((0, 0), |(i, &w)| (i, w))
+    }
 }
 
 fn is_permutation_of(layout: &str, logical: &str) -> bool {
@@ -556,6 +687,7 @@ pub fn analyze(graph: &Graph, plan: &ExecutionPlan) -> PlanAnalysis {
     // per-container schedule state
     let mut last_writer: HashMap<NodeId, usize> = HashMap::new();
     let mut readers_since_write: HashMap<NodeId, Vec<usize>> = HashMap::new();
+    let mut last_relayouter: HashMap<NodeId, usize> = HashMap::new();
     let mut current_layout: HashMap<NodeId, String> = HashMap::new();
     let mut produced: HashSet<NodeId> = HashSet::new();
     // relayout event log per container: (step, from, to)
@@ -589,6 +721,15 @@ pub fn analyze(graph: &Graph, plan: &ExecutionPlan) -> PlanAnalysis {
         for operand in step.inputs.iter().chain(&step.outputs) {
             match graph.data(operand.data) {
                 Some(d) => {
+                    if d.name != operand.name {
+                        lints.push(PlanLint::NameAlias {
+                            step: si,
+                            name: step.name.clone(),
+                            operand: operand.name.clone(),
+                            expected: d.name.clone(),
+                            data: operand.data,
+                        });
+                    }
                     if !is_permutation_of(&operand.layout, &d.shape.spec()) {
                         lints.push(PlanLint::BadLayout {
                             step: si,
@@ -608,8 +749,15 @@ pub fn analyze(graph: &Graph, plan: &ExecutionPlan) -> PlanAnalysis {
             }
         }
 
-        // relayout lints + hazards (a relayout reads and rewrites its
-        // container in place)
+        // relayout lints + hazards: a relayout *reads* its container's
+        // logical values and re-materializes them into a distinct physical
+        // buffer, so it takes a RAW edge from the value's last writer and
+        // registers as a reader (a later value-writer takes a WAR edge
+        // from it).  It does not kill the value — concurrent readers stay
+        // safe because every kernel addresses elements logically and is
+        // bitwise layout-invariant.  Materializations of one container
+        // are still serialized among themselves (WAW), since the last
+        // relayout determines the physical layout later steps declare.
         let mut relayouted: Vec<NodeId> = Vec::new();
         for r in &step.relayouts {
             if !step.inputs.iter().any(|i| i.data == r.data) {
@@ -637,22 +785,22 @@ pub fn analyze(graph: &Graph, plan: &ExecutionPlan) -> PlanAnalysis {
                             from: w,
                             to: si,
                             data: r.data,
+                            kind: DepKind::Raw,
+                        });
+                    }
+                }
+                if let Some(&m) = last_relayouter.get(&r.data) {
+                    if m != si {
+                        deps.push(DepEdge {
+                            from: m,
+                            to: si,
+                            data: r.data,
                             kind: DepKind::Waw,
                         });
                     }
                 }
-                for &rd in readers_since_write.get(&r.data).into_iter().flatten() {
-                    if rd != si {
-                        deps.push(DepEdge {
-                            from: rd,
-                            to: si,
-                            data: r.data,
-                            kind: DepKind::War,
-                        });
-                    }
-                }
-                last_writer.insert(r.data, si);
-                readers_since_write.entry(r.data).or_default().clear();
+                readers_since_write.entry(r.data).or_default().push(si);
+                last_relayouter.insert(r.data, si);
             }
         }
 
@@ -1234,6 +1382,19 @@ pub fn render_report(
         mib(analysis.peak_resident_bytes(device.word_bytes)),
         analysis.peak_step,
     );
+    let per_wave = analysis.wave_resident_words();
+    let (peak_wave, peak_wave_words) = analysis.peak_wave_resident_words();
+    let _ = writeln!(
+        out,
+        "wave resident: peak {:.2} MiB at wave {peak_wave} of {}",
+        mib(peak_wave_words * device.word_bytes as u64),
+        per_wave.len(),
+    );
+    let _ = write!(out, "  per wave (MiB):");
+    for w in &per_wave {
+        let _ = write!(out, " {:.2}", mib(w * device.word_bytes as u64));
+    }
+    let _ = writeln!(out);
     let total = audit.total_bytes().max(1);
     let _ = writeln!(out, "per-class movement:");
     for c in &audit.per_class {

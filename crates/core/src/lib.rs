@@ -19,6 +19,12 @@
 //!   executable, layout-annotated schedule ([`plan::ExecutionPlan`]) and
 //!   the schedule interpreter ([`plan::execute_plan`]) that runs it
 //!   against the real CPU kernels;
+//! * [`sanitize`] — the footprint sanitizer and race certifier: a static
+//!   certifier cross-checking declared operands against derived kernel
+//!   footprints ([`sanitize::certify`]), a dynamic shadow-access
+//!   interpreter ([`sanitize::execute_plan_sanitized`]), and the
+//!   certificate-gated wave-parallel interpreter
+//!   ([`sanitize::execute_plan_parallel`]);
 //! * [`recipe`] — the end-to-end driver assembling the optimized encoder;
 //! * [`report`] — Table-III-style per-operator comparisons.
 //!
@@ -50,5 +56,6 @@ pub mod itspace;
 pub mod plan;
 pub mod recipe;
 pub mod report;
+pub mod sanitize;
 pub mod selection;
 pub mod sweep;

@@ -300,21 +300,6 @@ impl ExecutionPlan {
         crate::analyze::analyze(graph, self).lints
     }
 
-    /// Checks the schedule's coherence against the graph it was lowered
-    /// from. Returns the error-severity problems as strings (empty =
-    /// executable).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `check()` for typed `PlanLint` diagnostics"
-    )]
-    pub fn validate(&self, graph: &Graph) -> Vec<String> {
-        self.check(graph)
-            .into_iter()
-            .filter(|l| l.severity() == crate::analyze::Severity::Error)
-            .map(|l| l.to_string())
-            .collect()
-    }
-
     /// Total number of relayout (transpose) insertions in the schedule.
     pub fn relayout_count(&self) -> usize {
         self.steps.iter().map(|s| s.relayouts.len()).sum()
@@ -473,6 +458,23 @@ fn causal_query_axis(shape: &Shape, softmax_axis: Axis) -> Result<Axis> {
     Ok(shape.axes()[ai - 1])
 }
 
+/// The slice start row of a stacked-Q/K/V carve for the step named
+/// `name` (`"Input bias Q/K/V"`), given the stacked container's outermost
+/// extent `total` and the projection's extent `len`: Q sits at the front,
+/// K right after the (equal-sized) Q block, V at the tail. `None` when
+/// the name ends in none of the three projection letters. Shared between
+/// the interpreter's dispatch and the footprint oracle of
+/// [`crate::sanitize`], so the certifier checks exactly the interval the
+/// kernel slices.
+pub(crate) fn stacked_carve_start(name: &str, total: usize, len: usize) -> Option<usize> {
+    match name.chars().last() {
+        Some('Q') => Some(0),
+        Some('K') => Some(len),
+        Some('V') => Some(total - len),
+        _ => None,
+    }
+}
+
 /// Carves the `index`-th projection out of a stacked Q/K/V tensor: slice
 /// `len` rows starting at `start` along the stacking axis (always the
 /// first), then relabel to the destination container's axes.
@@ -587,17 +589,12 @@ pub fn execute_step<R: Rng + ?Sized>(
                 // at the tail.
                 let total = x.shape().sizes()[0];
                 let len = shape.sizes()[0];
-                let start = match step.name.chars().last() {
-                    Some('Q') => 0,
-                    Some('K') => len,
-                    Some('V') => total - len,
-                    _ => {
-                        return Err(TensorError::Unsupported(format!(
-                            "bias `{}` has mismatched operand shapes",
-                            step.name
-                        )))
-                    }
-                };
+                let start = stacked_carve_start(&step.name, total, len).ok_or_else(|| {
+                    TensorError::Unsupported(format!(
+                        "bias `{}` has mismatched operand shapes",
+                        step.name
+                    ))
+                })?;
                 results.push(bias_add(&carve_stacked(x, start, &shape)?, &ins[1])?);
             } else {
                 results.push(bias_add(x, &ins[1])?);
@@ -733,6 +730,13 @@ pub fn execute_step<R: Rng + ?Sized>(
 /// step in order against `state`. On success the state's environment holds
 /// every container the plan produced, materialized in the plan's layouts.
 ///
+/// With `XFORM_SANITIZE=1` in the environment, execution routes through
+/// the shadow-access sanitizer
+/// ([`crate::sanitize::execute_plan_sanitized`]): same kernels, same RNG
+/// draws, bitwise-identical results, but every step's actual footprint is
+/// checked against its declaration and every wave is checked for
+/// conflicting access.
+///
 /// # Errors
 ///
 /// Returns an error if [`ExecutionPlan::check`] reports any
@@ -755,6 +759,9 @@ pub fn execute_plan<R: Rng + ?Sized>(
             "invalid execution plan: {}",
             problems.join("; ")
         )));
+    }
+    if crate::sanitize::sanitize_enabled() {
+        return crate::sanitize::execute_plan_sanitized(graph, plan, state, opts, rng, None);
     }
     for step in &plan.steps {
         execute_step(graph, step, state, opts, rng)?;
@@ -890,11 +897,9 @@ mod tests {
         assert!(y_sel.max_abs_diff(&y_nat).unwrap() < 1e-4);
     }
 
-    // exercises the deprecated string API end to end; everything else
-    // uses the typed `check()` diagnostics
     #[test]
-    #[allow(deprecated)]
-    fn validate_rejects_layout_tampering_and_missing_producers() {
+    fn check_rejects_layout_tampering_and_missing_producers() {
+        use crate::analyze::PlanLint;
         let (g, dy) = unfused();
         let fwd = forward_ops(&g, dy);
         let mut plan = ExecutionPlan::natural(&g, &fwd).unwrap();
@@ -906,22 +911,25 @@ mod tests {
             .expect("QKT scheduled");
         plan.steps[idx].inputs[0].layout = "zzzz".into();
         assert!(plan
-            .validate(&g)
+            .check(&g)
             .iter()
-            .any(|p| p.contains("not a permutation")));
+            .any(|l| matches!(l, PlanLint::BadLayout { .. })));
         // coherent permutation but stale relayouts → layout mismatch
         plan.steps[idx].inputs[0].layout = "kbhp".into();
-        assert!(plan.validate(&g).iter().any(|p| p.contains("materialized")));
+        assert!(plan
+            .check(&g)
+            .iter()
+            .any(|l| matches!(l, PlanLint::LayoutIncoherent { .. })));
         // reflow repairs it
         plan.reflow(&g);
-        assert!(plan.validate(&g).is_empty());
+        assert!(error_lints(&plan, &g).is_empty());
         // dropping a producer step is caught
         let mut broken = ExecutionPlan::natural(&g, &fwd).unwrap();
         broken.steps.retain(|s| s.name != "QKT");
         assert!(broken
-            .validate(&g)
+            .check(&g)
             .iter()
-            .any(|p| p.contains("before any scheduled step produces it")));
+            .any(|l| matches!(l, PlanLint::UseBeforeDef { .. })));
     }
 
     #[test]

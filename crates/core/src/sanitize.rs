@@ -1,0 +1,970 @@
+//! Footprint sanitizer and race certifier: the proof obligations behind
+//! wave-parallel plan execution.
+//!
+//! The paper's recipe rests on knowing exactly what each operator reads
+//! and writes (Sec. IV's dataflow analysis); [`crate::analyze`] builds the
+//! hazard DAG from each step's *declared* operands, but nothing in that
+//! pass verifies the declarations against what the `xform-tensor` kernels
+//! actually touch. Dispatching [`PlanAnalysis::parallel_waves`] across
+//! threads would turn any under-declared alias into a silent data race.
+//! This module closes that gap in three layers:
+//!
+//! * **Static certifier** — [`certify`] derives each kernel's access
+//!   footprint symbolically ([`step_footprint`]) from the graph's shapes,
+//!   the kernel's iteration space ([`crate::itspace::op_iter_space`]),
+//!   and the interpreter's own dispatch rules (the stacked-Q/K/V carve),
+//!   cross-checks it against the step's declared operands and memlet
+//!   volumes, and validates the wave partition pairwise for conflicting
+//!   in-wave access. Under-declaration, aliased buffer names, and
+//!   wave-internal hazards become error-severity
+//!   [`PlanLint`]s; a clean pass yields a [`RaceCertificate`] keyed to
+//!   the plan's fingerprint.
+//! * **Dynamic shadow sanitizer** — [`execute_plan_sanitized`] runs the
+//!   schedule serially with the same kernels and RNG draws (bitwise
+//!   identical results) but executes every step against an instrumented
+//!   environment: containers are poisoned with NaN outside the derived
+//!   read footprint, partial reads observed at runtime
+//!   ([`xform_tensor::trace`]) are checked against the derivation, operand
+//!   names are checked against the graph, kernel panics from missing
+//!   operands are converted into errors, and each wave's observed
+//!   footprints are checked for cross-thread conflicts — a
+//!   ThreadSanitizer for plans. `XFORM_SANITIZE=1` routes
+//!   [`crate::plan::execute_plan`] through this path.
+//! * **Wave-parallel interpreter** — [`execute_plan_parallel`] refuses to
+//!   run without a [`RaceCertificate`] matching the plan's fingerprint,
+//!   then dispatches each certified wave's steps across a scoped thread
+//!   pool, joining between waves.
+//!
+//! Why in-wave *relayout vs. read* pairs are safe (and everything else is
+//! not): every kernel addresses elements logically and is bitwise
+//! layout-invariant, and each parallel step snapshots its operands at
+//! step start — so a concurrent re-materialization changes only the
+//! physical order a reader might snapshot, never a value. Concurrent
+//! value-writes, write/read pairs, and double materializations all remain
+//! races and are rejected.
+//!
+//! [`PlanAnalysis::parallel_waves`]: crate::analyze::PlanAnalysis::parallel_waves
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use xform_dataflow::{Graph, NodeId, OpKind};
+use xform_tensor::{trace, Result, Tensor, TensorError};
+
+use crate::analyze::{analyze, DepKind, PlanLint};
+use crate::itspace::op_iter_space;
+use crate::plan::{
+    execute_step, stacked_carve_start, ExecOptions, ExecState, ExecutionPlan, PlanStep,
+};
+
+/// A contiguous interval `[lo, hi)` of a container's logical element
+/// space (row-major over the container's natural axis order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// First element (inclusive).
+    pub lo: u64,
+    /// One past the last element (exclusive).
+    pub hi: u64,
+}
+
+impl Span {
+    /// Interval length in words.
+    pub fn words(&self) -> u64 {
+        self.hi.saturating_sub(self.lo)
+    }
+
+    /// `true` when the intervals share at least one element.
+    pub fn overlaps(&self, other: &Span) -> bool {
+        self.lo < other.hi && other.lo < self.hi
+    }
+}
+
+/// How a step touches a span of a container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// The step consumes the span's values.
+    Read,
+    /// The step defines the span's values.
+    Write,
+    /// The step re-materializes the span's values into a different
+    /// physical buffer without changing them (an explicit relayout).
+    /// Safe against concurrent reads, a race against anything else.
+    Materialize,
+}
+
+/// One derived element-level access of a scheduled step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Access {
+    /// The container.
+    pub data: NodeId,
+    /// Its graph name.
+    pub name: String,
+    /// Access class.
+    pub kind: AccessKind,
+    /// The logical element interval touched.
+    pub span: Span,
+}
+
+/// Derives the access footprint of one scheduled step from the *graph*
+/// (shapes, edges, operator kind) and the interpreter's dispatch rules —
+/// deliberately not from the step's declared operand list, so the
+/// certifier can cross-check declarations against this oracle.
+///
+/// Every forward kernel sweeps whole containers (their iteration spaces
+/// cover every operand axis); the one sub-container pattern is the
+/// stacked-Q/K/V carve of `Input bias Q/K/V`, whose interval is derived
+/// from the same start/length arithmetic the interpreter dispatches with
+/// and cross-checked against the kernel's iteration space. Relayouts
+/// contribute a value read plus a materialization write over the full
+/// container. Containers missing from the graph are skipped (the
+/// structural lints of [`crate::analyze`] already flag them).
+pub fn step_footprint(graph: &Graph, step: &PlanStep) -> Vec<Access> {
+    let mut acc = Vec::new();
+    for r in &step.relayouts {
+        if let Some(d) = graph.data(r.data) {
+            let full = Span {
+                lo: 0,
+                hi: d.shape.num_elements() as u64,
+            };
+            acc.push(Access {
+                data: r.data,
+                name: d.name.clone(),
+                kind: AccessKind::Read,
+                span: full,
+            });
+            acc.push(Access {
+                data: r.data,
+                name: d.name.clone(),
+                kind: AccessKind::Materialize,
+                span: full,
+            });
+        }
+    }
+    let Some(node) = graph.op(step.op) else {
+        return acc;
+    };
+    let in_ids = graph.inputs_of(step.op);
+    let out_ids = graph.outputs_of(step.op);
+    for (i, &id) in in_ids.iter().enumerate() {
+        let Some(d) = graph.data(id) else { continue };
+        let total = d.shape.num_elements() as u64;
+        let mut span = Span { lo: 0, hi: total };
+        if i == 0 && matches!(node.kind, OpKind::Bias { .. }) {
+            if let Some(o) = out_ids.first().and_then(|&o| graph.data(o)) {
+                if o.shape.spec() != d.shape.spec() || o.shape.sizes() != d.shape.sizes() {
+                    // stacked-projection carve: `len` leading rows starting
+                    // at the projection's offset
+                    let total_rows = d.shape.sizes()[0];
+                    let len = o.shape.sizes()[0];
+                    let row_words: u64 = d.shape.sizes()[1..].iter().map(|&n| n as u64).product();
+                    if let Some(start) = stacked_carve_start(&node.name, total_rows, len) {
+                        let carved = Span {
+                            lo: start as u64 * row_words,
+                            hi: (start + len) as u64 * row_words,
+                        };
+                        // cross-check against the kernel's iteration space:
+                        // the carve must be exactly one sweep of the output
+                        // space; fall back to the conservative full span if
+                        // the symbolic sizes disagree
+                        let space_words = op_iter_space(graph, step.op).ok().map(|s| {
+                            s.independent
+                                .iter()
+                                .chain(&s.reduction)
+                                .map(|&(_, n)| n as u64)
+                                .product::<u64>()
+                        });
+                        if space_words.is_none_or(|w| w == carved.words()) {
+                            span = carved;
+                        }
+                    }
+                }
+            }
+        }
+        acc.push(Access {
+            data: id,
+            name: d.name.clone(),
+            kind: AccessKind::Read,
+            span,
+        });
+    }
+    for &id in &out_ids {
+        if let Some(d) = graph.data(id) {
+            acc.push(Access {
+                data: id,
+                name: d.name.clone(),
+                kind: AccessKind::Write,
+                span: Span {
+                    lo: 0,
+                    hi: d.shape.num_elements() as u64,
+                },
+            });
+        }
+    }
+    acc
+}
+
+/// FNV-1a content fingerprint of a schedule: operator ids, kernel names,
+/// operator kinds, every operand's container/name/layout, and every
+/// relayout insertion. Any edit to the plan — reordering, re-laying-out,
+/// renaming, adding or dropping steps — changes the fingerprint, which is
+/// what ties a [`RaceCertificate`] to exactly the plan it certified.
+pub fn plan_fingerprint(plan: &ExecutionPlan) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |s: &str| {
+        for b in s.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+        h ^= 0x1f;
+        h = h.wrapping_mul(PRIME);
+    };
+    for step in &plan.steps {
+        eat(&step.op.to_string());
+        eat(&step.name);
+        eat(&format!("{:?}", step.kind));
+        for o in step.inputs.iter().chain(&step.outputs) {
+            eat(&o.data.to_string());
+            eat(&o.name);
+            eat(&o.layout);
+        }
+        for r in &step.relayouts {
+            eat(&r.data.to_string());
+            eat(&r.name);
+            eat(&r.from);
+            eat(&r.to);
+        }
+        eat("\u{0}");
+    }
+    h
+}
+
+/// Proof that a plan's wave partition is free of data races: produced only
+/// by a clean [`certify`]/[`certify_waves`] pass, consumed by
+/// [`execute_plan_parallel`], and keyed to the plan by
+/// [`plan_fingerprint`] so it cannot be replayed against an edited
+/// schedule.
+#[derive(Debug, Clone)]
+pub struct RaceCertificate {
+    /// Fingerprint of the certified plan.
+    pub plan_hash: u64,
+    /// The certified wave partition (step indices per wave, concatenation
+    /// is a permutation of the schedule).
+    pub waves: Vec<Vec<usize>>,
+}
+
+/// Certifies a plan for wave-parallel execution over its own
+/// [`parallel_waves`](crate::analyze::PlanAnalysis::parallel_waves)
+/// partition. See [`certify_waves`].
+///
+/// # Errors
+///
+/// Returns every error-severity [`PlanLint`] found when the plan cannot
+/// be certified.
+pub fn certify(
+    graph: &Graph,
+    plan: &ExecutionPlan,
+) -> std::result::Result<RaceCertificate, Vec<PlanLint>> {
+    let waves = analyze(graph, plan).parallel_waves();
+    certify_waves(graph, plan, &waves)
+}
+
+/// Certifies a plan against an explicit wave partition (the injection
+/// point property tests use to present adversarial partitions). Four
+/// checks, all mandatory:
+///
+/// 1. the structural/hazard analysis of [`crate::analyze`] reports no
+///    error lints (this includes per-operand name-alias detection);
+/// 2. no environment name is shared by two distinct containers anywhere
+///    in the schedule ([`PlanLint::NameAlias`]);
+/// 3. every step's declared operands and memlet volumes cover the
+///    footprint [`step_footprint`] derives
+///    ([`PlanLint::UnderDeclaredFootprint`]);
+/// 4. every hazard edge crosses strictly forward between waves and no two
+///    steps sharing a wave have conflicting footprints
+///    ([`PlanLint::WaveHazard`]) — conflicting means overlapping spans
+///    where either side value-writes, or both re-materialize.
+///
+/// # Errors
+///
+/// Returns the error-severity lints when any check fails.
+pub fn certify_waves(
+    graph: &Graph,
+    plan: &ExecutionPlan,
+    waves: &[Vec<usize>],
+) -> std::result::Result<RaceCertificate, Vec<PlanLint>> {
+    let analysis = analyze(graph, plan);
+    let mut lints: Vec<PlanLint> = analysis.errors().into_iter().cloned().collect();
+
+    // global name-alias scan: one environment key, one container
+    let mut by_name: HashMap<&str, NodeId> = HashMap::new();
+    for (si, step) in plan.steps.iter().enumerate() {
+        for o in step.inputs.iter().chain(&step.outputs) {
+            match by_name.get(o.name.as_str()) {
+                Some(&prev) if prev != o.data => lints.push(PlanLint::NameAlias {
+                    step: si,
+                    name: step.name.clone(),
+                    operand: o.name.clone(),
+                    expected: graph
+                        .data(prev)
+                        .map(|d| d.name.clone())
+                        .unwrap_or_else(|| prev.to_string()),
+                    data: o.data,
+                }),
+                Some(_) => {}
+                None => {
+                    by_name.insert(o.name.as_str(), o.data);
+                }
+            }
+        }
+    }
+
+    // footprint derivation + declaration cross-check
+    let footprints: Vec<Vec<Access>> = plan
+        .steps
+        .iter()
+        .map(|s| step_footprint(graph, s))
+        .collect();
+    for (si, step) in plan.steps.iter().enumerate() {
+        for a in &footprints[si] {
+            if a.kind != AccessKind::Read {
+                continue;
+            }
+            let declared_operand = step.inputs.iter().any(|o| o.data == a.data)
+                || step.relayouts.iter().any(|r| r.data == a.data);
+            let declared_words = if declared_operand {
+                graph.read_words(step.op, a.data)
+            } else {
+                0
+            };
+            if declared_words < a.span.words() {
+                lints.push(PlanLint::UnderDeclaredFootprint {
+                    step: si,
+                    name: step.name.clone(),
+                    container: a.name.clone(),
+                    declared_words,
+                    derived_words: a.span.words(),
+                });
+            }
+        }
+    }
+
+    // wave validation: hazard edges strictly forward, footprints
+    // conflict-free within each wave
+    let mut wave_of: HashMap<usize, usize> = HashMap::new();
+    for (w, wave) in waves.iter().enumerate() {
+        for &s in wave {
+            wave_of.insert(s, w);
+        }
+    }
+    for e in &analysis.deps {
+        if let (Some(&wf), Some(&wt)) = (wave_of.get(&e.from), wave_of.get(&e.to)) {
+            if wf >= wt {
+                lints.push(PlanLint::WaveHazard {
+                    wave: wt,
+                    from: e.from,
+                    to: e.to,
+                    container: graph
+                        .data(e.data)
+                        .map(|d| d.name.clone())
+                        .unwrap_or_else(|| e.data.to_string()),
+                    kind: e.kind,
+                });
+            }
+        }
+    }
+    for (w, wave) in waves.iter().enumerate() {
+        for (i, &sa) in wave.iter().enumerate() {
+            for &sb in &wave[i + 1..] {
+                let (first, second) = if sa <= sb { (sa, sb) } else { (sb, sa) };
+                for (a, b) in conflicts(&footprints[first], &footprints[second]) {
+                    lints.push(PlanLint::WaveHazard {
+                        wave: w,
+                        from: first,
+                        to: second,
+                        container: a.name.clone(),
+                        kind: hazard_kind(a.kind, b.kind),
+                    });
+                }
+            }
+        }
+    }
+
+    if lints.is_empty() {
+        Ok(RaceCertificate {
+            plan_hash: plan_fingerprint(plan),
+            waves: waves.to_vec(),
+        })
+    } else {
+        lints.sort_by_key(|l| l.step());
+        lints.dedup();
+        Err(lints)
+    }
+}
+
+/// Overlapping access pairs between two steps' footprints that would race
+/// under concurrent dispatch (first access from `a`, second from `b`).
+fn conflicts<'a>(a: &'a [Access], b: &'a [Access]) -> Vec<(&'a Access, &'a Access)> {
+    let mut out = Vec::new();
+    for x in a {
+        for y in b {
+            if x.data == y.data && x.span.overlaps(&y.span) && !compatible(x.kind, y.kind) {
+                out.push((x, y));
+            }
+        }
+    }
+    out
+}
+
+/// Whether two overlapping accesses may run concurrently: reads commute,
+/// and a re-materialization is safe against reads (values unchanged,
+/// kernels layout-invariant, operands snapshotted per step). Everything
+/// else races.
+fn compatible(a: AccessKind, b: AccessKind) -> bool {
+    use AccessKind::*;
+    matches!(
+        (a, b),
+        (Read, Read) | (Read, Materialize) | (Materialize, Read)
+    )
+}
+
+/// The hazard class of a conflicting pair, with `a` from the
+/// schedule-earlier step.
+fn hazard_kind(a: AccessKind, b: AccessKind) -> DepKind {
+    use AccessKind::*;
+    match (a, b) {
+        (Write, Write) | (Materialize, Materialize) => DepKind::Waw,
+        (Write, _) | (Materialize, _) => DepKind::Raw,
+        (Read, _) => DepKind::War,
+    }
+}
+
+/// `true` when `XFORM_SANITIZE` is set to anything but `0`/empty —
+/// [`crate::plan::execute_plan`] then routes through
+/// [`execute_plan_sanitized`].
+pub fn sanitize_enabled() -> bool {
+    std::env::var("XFORM_SANITIZE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Clone of `t` with every element outside the union of `spans` (logical
+/// element intervals) replaced by NaN: reads escaping the derived
+/// footprint surface as NaN in some downstream output.
+fn poisoned_outside(t: &Tensor, spans: &[Span]) -> Tensor {
+    let mut out = t.clone();
+    let mut idx = vec![0usize; t.shape().rank()];
+    let mut flat: u64 = 0;
+    loop {
+        if !spans.iter().any(|s| flat >= s.lo && flat < s.hi) {
+            let off = out.offset(&idx);
+            out.data_mut()[off] = f32::NAN;
+        }
+        flat += 1;
+        if !out.advance(&mut idx) {
+            break;
+        }
+    }
+    out
+}
+
+/// Runs `f` with the panic hook silenced, converting a panic into a
+/// sanitizer error. Kernels index their declared operand lists directly,
+/// so an under-declared operand surfaces as an out-of-bounds panic inside
+/// the step — the shadow interpreter reports it instead of crashing.
+fn shadow_catch<T>(name: &str, f: impl FnOnce() -> Result<T>) -> Result<T> {
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    std::panic::set_hook(hook);
+    match caught {
+        Ok(r) => r,
+        Err(_) => Err(TensorError::Unsupported(format!(
+            "sanitizer: step `{name}` panicked — its declared operands do not cover what the kernel touches"
+        ))),
+    }
+}
+
+/// The shadow-access sanitizer: executes the schedule serially with the
+/// same kernels and the same RNG draw order as
+/// [`crate::plan::execute_plan`] (results are bitwise identical), but
+/// validates every step's actual behaviour against its derived footprint:
+///
+/// * operand names are checked against the graph per step (dynamic alias
+///   detection, even when the static gate was bypassed);
+/// * each step runs against a private environment holding only its
+///   declared operands, NaN-poisoned outside the derived read footprint —
+///   a NaN in any output convicts the step of reading beyond its
+///   declaration, and a missing-operand panic is caught and reported;
+/// * partial reads the kernels observe at runtime
+///   ([`xform_tensor::trace`]) must fall inside the derived read spans;
+/// * the observed footprints of every wave (`waves`, defaulting to the
+///   plan's own hazard-DAG antichains) are checked pairwise for
+///   conflicting access, exactly as a concurrent dispatch would interleave
+///   them.
+///
+/// This path deliberately skips the static lint gate so tests can bypass
+/// the certifier and prove the dynamic net catches the same injections.
+///
+/// # Errors
+///
+/// Returns an error on the first footprint violation, alias, in-wave
+/// conflict, or kernel failure.
+pub fn execute_plan_sanitized<R: Rng + ?Sized>(
+    graph: &Graph,
+    plan: &ExecutionPlan,
+    state: &mut ExecState,
+    opts: &ExecOptions,
+    rng: &mut R,
+    waves: Option<&[Vec<usize>]>,
+) -> Result<()> {
+    let own_waves;
+    let waves: &[Vec<usize>] = match waves {
+        Some(w) => w,
+        None => {
+            own_waves = analyze(graph, plan).parallel_waves();
+            &own_waves
+        }
+    };
+
+    let mut footprints: Vec<Vec<Access>> = Vec::with_capacity(plan.steps.len());
+    for (si, step) in plan.steps.iter().enumerate() {
+        let foot = step_footprint(graph, step);
+
+        // dynamic alias detection: every declared operand name must be the
+        // graph name of the container it claims to be
+        for o in step.inputs.iter().chain(&step.outputs) {
+            if let Some(d) = graph.data(o.data) {
+                if d.name != o.name {
+                    return Err(TensorError::Unsupported(format!(
+                        "sanitizer: step {si} (`{}`) names operand `{}` but {} is `{}` — aliased buffers",
+                        step.name, o.name, o.data, d.name
+                    )));
+                }
+            }
+        }
+
+        // private environment: declared operands only, poisoned outside
+        // the derived read footprint
+        let mut local = ExecState::default();
+        let mut poison_live = false;
+        for name in step
+            .inputs
+            .iter()
+            .map(|o| &o.name)
+            .chain(step.relayouts.iter().map(|r| &r.name))
+        {
+            if local.env.contains_key(name) {
+                continue;
+            }
+            let Some(real) = state.env.get(name) else {
+                return Err(TensorError::Unsupported(format!(
+                    "sanitizer: step {si} (`{}`) consumes `{name}` before anything produces it",
+                    step.name
+                )));
+            };
+            let spans: Vec<Span> = foot
+                .iter()
+                .filter(|a| a.kind == AccessKind::Read && &a.name == name)
+                .map(|a| a.span)
+                .collect();
+            let full = real.len() as u64;
+            let covered = spans.iter().any(|s| s.lo == 0 && s.hi >= full);
+            poison_live |= real.data().iter().any(|v| v.is_nan());
+            local.env.insert(
+                name.clone(),
+                if covered {
+                    real.clone()
+                } else {
+                    poisoned_outside(real, &spans)
+                },
+            );
+        }
+
+        // single execution — same kernels, same RNG stream as the
+        // unsanitized interpreter — with runtime partial-read tracing
+        trace::start();
+        let ran = shadow_catch(&step.name, || {
+            execute_step(graph, step, &mut local, opts, rng)
+        });
+        let observed = trace::stop();
+        ran?;
+
+        // observed partial reads must fall inside the derived spans
+        for ob in &observed {
+            let inside = foot.iter().any(|a| {
+                a.kind == AccessKind::Read
+                    && graph.data(a.data).map(|d| d.shape.num_elements() as u64) == Some(ob.of)
+                    && ob.lo >= a.span.lo
+                    && ob.hi <= a.span.hi
+            });
+            if !inside {
+                return Err(TensorError::Unsupported(format!(
+                    "sanitizer: step {si} (`{}`) read elements [{}, {}) outside its derived footprint",
+                    step.name, ob.lo, ob.hi
+                )));
+            }
+        }
+
+        // NaN in an output with NaN-free declared inputs ⇒ the kernel
+        // consumed poisoned (undeclared) elements
+        if !poison_live {
+            for o in &step.outputs {
+                if let Some(t) = local.env.get(&o.name) {
+                    if t.data().iter().any(|v| v.is_nan()) {
+                        return Err(TensorError::Unsupported(format!(
+                            "sanitizer: step {si} (`{}`) produced NaN in `{}` — it read outside its declared footprint",
+                            step.name, o.name
+                        )));
+                    }
+                }
+            }
+        }
+
+        // commit: re-materialized inputs and outputs back to the real state
+        for r in &step.relayouts {
+            if let Some(t) = local.env.remove(&r.name) {
+                state.env.insert(r.name.clone(), t);
+            }
+        }
+        for o in &step.outputs {
+            if let Some(t) = local.env.remove(&o.name) {
+                state.env.insert(o.name.clone(), t);
+            }
+        }
+        for (k, v) in local.stats.drain() {
+            state.stats.insert(k, v);
+        }
+        footprints.push(foot);
+    }
+
+    // per-wave conflict check over the footprints each step actually ran
+    // with — what a concurrent dispatch of these waves would interleave
+    for (w, wave) in waves.iter().enumerate() {
+        for (i, &sa) in wave.iter().enumerate() {
+            for &sb in &wave[i + 1..] {
+                let (first, second) = if sa <= sb { (sa, sb) } else { (sb, sa) };
+                let (Some(fa), Some(fb)) = (footprints.get(first), footprints.get(second)) else {
+                    continue;
+                };
+                if let Some((a, _)) = conflicts(fa, fb).first() {
+                    return Err(TensorError::Unsupported(format!(
+                        "sanitizer: wave {w} steps {first} and {second} race on `{}` — conflicting access within one wave",
+                        a.name
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Thread count and RNG seed for [`execute_plan_parallel`].
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelOptions {
+    /// Worker threads per wave (clamped to at least 1; waves narrower
+    /// than this use one thread per step).
+    pub threads: usize,
+    /// Base seed for the per-step RNG streams. Each step draws from
+    /// `StdRng` seeded by `seed` mixed with the step index, so stochastic
+    /// kernels (dropout with `p > 0`) are deterministic for a given seed
+    /// at *any* thread count — though not bitwise-equal to a serial run
+    /// drawing from one shared stream. With `dropout_p = 0` no step draws
+    /// at all and parallel results are bitwise-equal to serial.
+    pub seed: u64,
+}
+
+impl Default for ParallelOptions {
+    fn default() -> Self {
+        ParallelOptions {
+            threads: 4,
+            seed: 0x5eed,
+        }
+    }
+}
+
+fn step_rng(seed: u64, si: usize) -> StdRng {
+    StdRng::seed_from_u64(seed ^ (si as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// The wave-parallel interpreter: executes a certified plan by
+/// dispatching each wave's steps across a scoped thread pool, joining
+/// between waves. Refuses to run unless `cert` — the proof from
+/// [`certify`] — matches the plan's current [`plan_fingerprint`], so an
+/// edited schedule must be re-certified.
+///
+/// Each step snapshots its operands from the shared state under a lock,
+/// runs the unchanged serial kernel ([`execute_step`]) without the lock,
+/// and commits its outputs (and any re-materialized inputs) back under
+/// the lock. The certificate guarantees no two steps of a wave have
+/// conflicting footprints, so commits never collide. Results are
+/// bitwise-equal to serial [`crate::plan::execute_plan`] when
+/// `opts.dropout_p == 0` (see [`ParallelOptions::seed`] for the
+/// stochastic case), at any thread count.
+///
+/// # Errors
+///
+/// Returns an error if the certificate does not match the plan or any
+/// step fails; on failure the remaining steps of the wave are abandoned.
+pub fn execute_plan_parallel(
+    graph: &Graph,
+    plan: &ExecutionPlan,
+    cert: &RaceCertificate,
+    state: &mut ExecState,
+    opts: &ExecOptions,
+    popts: &ParallelOptions,
+) -> Result<()> {
+    if cert.plan_hash != plan_fingerprint(plan) {
+        return Err(TensorError::Unsupported(
+            "race certificate does not match this plan — re-certify after editing a schedule"
+                .into(),
+        ));
+    }
+    let threads = popts.threads.max(1);
+    let shared = Mutex::new(std::mem::take(state));
+    let mut first_err: Option<TensorError> = None;
+
+    'waves: for wave in &cert.waves {
+        let workers = threads.min(wave.len());
+        if workers <= 1 {
+            for &si in wave {
+                let Some(step) = plan.steps.get(si) else {
+                    first_err = Some(TensorError::Unsupported(format!(
+                        "certificate wave references step {si} beyond the schedule"
+                    )));
+                    break 'waves;
+                };
+                let mut rng = step_rng(popts.seed, si);
+                let mut guard = shared.lock().expect("interpreter state poisoned");
+                if let Err(e) = execute_step(graph, step, &mut guard, opts, &mut rng) {
+                    first_err = Some(e);
+                    break 'waves;
+                }
+            }
+            continue;
+        }
+
+        let counter = AtomicUsize::new(0);
+        let failed: Mutex<Option<TensorError>> = Mutex::new(None);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    if failed.lock().expect("failure flag poisoned").is_some() {
+                        break;
+                    }
+                    let i = counter.fetch_add(1, Ordering::Relaxed);
+                    let Some(&si) = wave.get(i) else { break };
+                    let Some(step) = plan.steps.get(si) else {
+                        *failed.lock().expect("failure flag poisoned") =
+                            Some(TensorError::Unsupported(format!(
+                                "certificate wave references step {si} beyond the schedule"
+                            )));
+                        break;
+                    };
+                    let mut rng = step_rng(popts.seed, si);
+
+                    // snapshot declared operands under the lock
+                    let mut local = ExecState::default();
+                    {
+                        let guard = shared.lock().expect("interpreter state poisoned");
+                        for name in step
+                            .inputs
+                            .iter()
+                            .map(|o| &o.name)
+                            .chain(step.relayouts.iter().map(|r| &r.name))
+                        {
+                            if let Some(t) = guard.env.get(name) {
+                                local.env.entry(name.clone()).or_insert_with(|| t.clone());
+                            }
+                        }
+                    }
+
+                    match execute_step(graph, step, &mut local, opts, &mut rng) {
+                        Ok(()) => {
+                            let mut guard = shared.lock().expect("interpreter state poisoned");
+                            for r in &step.relayouts {
+                                if let Some(t) = local.env.remove(&r.name) {
+                                    guard.env.insert(r.name.clone(), t);
+                                }
+                            }
+                            for o in &step.outputs {
+                                if let Some(t) = local.env.remove(&o.name) {
+                                    guard.env.insert(o.name.clone(), t);
+                                }
+                            }
+                            for (k, v) in local.stats.drain() {
+                                guard.stats.insert(k, v);
+                            }
+                        }
+                        Err(e) => {
+                            let mut f = failed.lock().expect("failure flag poisoned");
+                            if f.is_none() {
+                                *f = Some(e);
+                            }
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        let wave_err = failed.lock().expect("failure flag poisoned").take();
+        if let Some(e) = wave_err {
+            first_err = Some(e);
+            break 'waves;
+        }
+    }
+
+    *state = shared.into_inner().expect("interpreter state poisoned");
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fusion::{apply_plan, encoder_fusion_plan};
+    use crate::plan::random_externals;
+    use crate::recipe::forward_ops;
+    use xform_dataflow::{build, EncoderDims};
+    use xform_tensor::ops::elementwise::ActivationKind;
+
+    fn fused_plan() -> (Graph, ExecutionPlan) {
+        let eg = build::encoder(&EncoderDims::tiny());
+        let mut g = eg.graph;
+        apply_plan(&mut g, &encoder_fusion_plan()).unwrap();
+        let plan = ExecutionPlan::natural(&g, &forward_ops(&g, eg.dy)).unwrap();
+        (g, plan)
+    }
+
+    fn unfused_plan() -> (Graph, ExecutionPlan) {
+        let eg = build::encoder(&EncoderDims::tiny());
+        let plan = ExecutionPlan::natural(&eg.graph, &forward_ops(&eg.graph, eg.dy)).unwrap();
+        (eg.graph, plan)
+    }
+
+    fn opts() -> ExecOptions {
+        ExecOptions {
+            scaler: 1.0 / (3f32).sqrt(),
+            activation: ActivationKind::Relu,
+            dropout_p: 0.0,
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_tamper_sensitive() {
+        let (_, plan) = unfused_plan();
+        let h = plan_fingerprint(&plan);
+        assert_eq!(h, plan_fingerprint(&plan.clone()));
+        let mut tampered = plan.clone();
+        tampered.steps[0].outputs[0].layout =
+            tampered.steps[0].outputs[0].layout.chars().rev().collect();
+        assert_ne!(h, plan_fingerprint(&tampered));
+        let mut shorter = plan.clone();
+        shorter.steps.pop();
+        assert_ne!(h, plan_fingerprint(&shorter));
+    }
+
+    #[test]
+    fn canned_plans_certify() {
+        for (g, plan) in [unfused_plan(), fused_plan()] {
+            let cert = certify(&g, &plan).expect("canned plan must certify");
+            assert_eq!(cert.plan_hash, plan_fingerprint(&plan));
+            let total: usize = cert.waves.iter().map(Vec::len).sum();
+            assert_eq!(total, plan.steps.len());
+        }
+    }
+
+    #[test]
+    fn stacked_carve_footprint_is_a_sub_interval() {
+        let (g, plan) = unfused_plan();
+        let step = plan
+            .steps
+            .iter()
+            .find(|s| s.name == "Input bias K")
+            .expect("unfused plan schedules Input bias K");
+        let foot = step_footprint(&g, step);
+        let stacked = foot
+            .iter()
+            .find(|a| a.kind == AccessKind::Read && a.name == "qkv_raw")
+            .expect("reads the stacked container");
+        let total = g.data(stacked.data).unwrap().shape.num_elements() as u64;
+        assert_eq!(stacked.span.words() * 3, total, "one projection's third");
+        assert!(
+            stacked.span.lo > 0 && stacked.span.hi < total,
+            "K is the middle third"
+        );
+    }
+
+    #[test]
+    fn parallel_execution_is_bitwise_equal_to_serial() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        for (g, plan) in [unfused_plan(), fused_plan()] {
+            let mut serial = random_externals(&g, &plan, 11).unwrap();
+            let mut rng = StdRng::seed_from_u64(3);
+            crate::plan::execute_plan(&g, &plan, &mut serial, &opts(), &mut rng).unwrap();
+
+            let cert = certify(&g, &plan).unwrap();
+            for threads in [1, 3, 8] {
+                let mut par = random_externals(&g, &plan, 11).unwrap();
+                execute_plan_parallel(
+                    &g,
+                    &plan,
+                    &cert,
+                    &mut par,
+                    &opts(),
+                    &ParallelOptions { threads, seed: 7 },
+                )
+                .unwrap();
+                for (name, t) in &serial.env {
+                    let p = par.env.get(name).expect("parallel produced the container");
+                    assert_eq!(t.data(), p.data(), "`{name}` differs at {threads} threads");
+                    assert_eq!(t.layout(), p.layout(), "`{name}` layout differs");
+                }
+                assert_eq!(serial.stats.len(), par.stats.len());
+            }
+        }
+    }
+
+    #[test]
+    fn stale_certificate_is_refused() {
+        let (g, plan) = unfused_plan();
+        let cert = certify(&g, &plan).unwrap();
+        let mut edited = plan.clone();
+        edited.steps.pop();
+        let mut state = random_externals(&g, &edited, 1).unwrap();
+        let err = execute_plan_parallel(
+            &g,
+            &edited,
+            &cert,
+            &mut state,
+            &opts(),
+            &ParallelOptions::default(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("certificate"), "{err}");
+    }
+
+    #[test]
+    fn sanitized_execution_matches_plain_execution() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let (g, plan) = fused_plan();
+        let mut plain = random_externals(&g, &plan, 5).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        crate::plan::execute_plan(&g, &plan, &mut plain, &opts(), &mut rng).unwrap();
+
+        let mut shadow = random_externals(&g, &plan, 5).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        execute_plan_sanitized(&g, &plan, &mut shadow, &opts(), &mut rng, None).unwrap();
+        for (name, t) in &plain.env {
+            let s = shadow.env.get(name).expect("shadow produced the container");
+            assert_eq!(t.data(), s.data(), "`{name}` differs under the sanitizer");
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Thread-local access tracing — the kernel-side footprint hook of the
+//! plan sanitizer (`xform-core::sanitize`).
+//!
+//! The sanitizer's static certifier derives each scheduled kernel's
+//! access footprint symbolically; its dynamic shadow interpreter wants
+//! the *actual* footprint the kernels touch at runtime. Most kernels read
+//! and write whole containers, which the interpreter can observe by
+//! itself; the one sub-container access pattern in the forward path is
+//! the stacked-Q/K/V slice read ([`Tensor::slice_range`] on the
+//! outermost axis, the `carve_stacked` path of the schedule
+//! interpreter). This module records those partial reads into a
+//! thread-local log the shadow interpreter drains after each step, so
+//! observed element intervals — not declarations — feed the per-wave
+//! conflict check.
+//!
+//! Tracing is off by default and costs one thread-local branch per
+//! traced kernel entry when disabled.
+
+use std::cell::RefCell;
+
+use crate::tensor::Tensor;
+
+/// One partial read observed by a traced kernel: a contiguous interval
+/// `[lo, hi)` of the source tensor's *logical* element space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SliceRead {
+    /// First logical element index read (inclusive).
+    pub lo: u64,
+    /// One past the last logical element index read (exclusive).
+    pub hi: u64,
+    /// Total logical elements of the source tensor (interval context).
+    pub of: u64,
+}
+
+thread_local! {
+    static TRACE: RefCell<Option<Vec<SliceRead>>> = const { RefCell::new(None) };
+}
+
+/// Starts recording partial reads on this thread, clearing any previous
+/// log.
+pub fn start() {
+    TRACE.with(|t| *t.borrow_mut() = Some(Vec::new()));
+}
+
+/// Stops recording and returns everything logged since [`start`].
+/// Returns an empty vector if tracing was never started.
+pub fn stop() -> Vec<SliceRead> {
+    TRACE.with(|t| t.borrow_mut().take().unwrap_or_default())
+}
+
+/// `true` while this thread is recording.
+pub fn enabled() -> bool {
+    TRACE.with(|t| t.borrow().is_some())
+}
+
+/// Records a partial read of `src`: `len` logical rows starting at row
+/// `start` of the outermost logical axis (the only slice pattern whose
+/// logical element interval is contiguous). Called by the kernels; a
+/// no-op unless [`start`] is active on this thread.
+pub(crate) fn record_slice(src: &Tensor, axis_index: usize, row_start: usize, rows: usize) {
+    TRACE.with(|t| {
+        let mut log = t.borrow_mut();
+        let Some(log) = log.as_mut() else { return };
+        let total = src.shape().num_elements() as u64;
+        if axis_index == 0 {
+            let row_words: u64 = src.shape().sizes()[1..].iter().map(|&n| n as u64).product();
+            log.push(SliceRead {
+                lo: row_start as u64 * row_words,
+                hi: (row_start + rows) as u64 * row_words,
+                of: total,
+            });
+        } else {
+            // a non-outermost slice is not logically contiguous; record
+            // the conservative full interval
+            log.push(SliceRead {
+                lo: 0,
+                hi: total,
+                of: total,
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Axis, Shape};
+
+    #[test]
+    fn slice_range_records_logical_interval() {
+        let t = Tensor::zeros(Shape::new([('s', 6), ('i', 4)]).unwrap());
+        start();
+        t.slice_range(Axis('s'), 2, 3).unwrap();
+        let log = stop();
+        assert_eq!(
+            log,
+            vec![SliceRead {
+                lo: 8,
+                hi: 20,
+                of: 24
+            }]
+        );
+        // tracing is off again: nothing recorded
+        t.slice_range(Axis('s'), 0, 1).unwrap();
+        assert!(stop().is_empty());
+    }
+
+    #[test]
+    fn inner_axis_slice_records_conservative_full_interval() {
+        let t = Tensor::zeros(Shape::new([('s', 6), ('i', 4)]).unwrap());
+        start();
+        t.slice_range(Axis('i'), 1, 2).unwrap();
+        let log = stop();
+        assert_eq!(
+            log,
+            vec![SliceRead {
+                lo: 0,
+                hi: 24,
+                of: 24
+            }]
+        );
+    }
+}

@@ -15,7 +15,8 @@
 
 use rand::Rng;
 
-use xform_core::plan::{execute_plan, ExecOptions, ExecutionPlan};
+use xform_core::plan::{execute_plan, ExecOptions, ExecState, ExecutionPlan};
+use xform_core::sanitize::{execute_plan_parallel, ParallelOptions};
 use xform_dataflow::{EncoderDims, Graph};
 use xform_tensor::fused::{self, BdrlnOutput, BrdOutput, SmOutput};
 use xform_tensor::ops::dropout::dropout_backward;
@@ -24,12 +25,54 @@ use xform_tensor::ops::layernorm::{layernorm_backward_input, layernorm_backward_
 use xform_tensor::ops::softmax::softmax_backward;
 use xform_tensor::{einsum, Axis, Result, Tensor};
 
-use crate::interp::{self, bind_inputs};
+use crate::interp::{self, bind_inputs, PlannedForward};
 use crate::params::{EncoderGrads, EncoderWeights};
 
 fn missing_stats(name: &str) -> xform_tensor::TensorError {
     xform_tensor::TensorError::Unsupported(format!(
         "plan produced no layer-norm statistics for `{name}`"
+    ))
+}
+
+/// Assembles the saved activations out of a finished interpreter
+/// environment (shared by the serial and the wave-parallel forward).
+fn collect_activations(mut state: ExecState) -> Result<(Tensor, Activations)> {
+    let stats1 = state
+        .stats
+        .remove("ln1_out")
+        .ok_or_else(|| missing_stats("ln1_out"))?;
+    let stats2 = state.stats.remove("y").ok_or_else(|| missing_stats("y"))?;
+    let y = state.get("y")?.clone();
+    Ok((
+        y,
+        Activations {
+            qq: state.take("qq")?,
+            kk: state.take("kk")?,
+            vv: state.take("vv")?,
+            sm: SmOutput {
+                alpha: state.take("alpha")?,
+                softmax: state.take("att")?,
+                mask: state.take("att_mask")?,
+            },
+            gam: state.take("gamma")?,
+            ln1: BdrlnOutput {
+                out: state.take("ln1_out")?,
+                ln_input: state.take("ln1_in")?,
+                mask: state.take("drop1_mask")?,
+                stats: stats1,
+            },
+            brd: BrdOutput {
+                out: state.take("ff1_drop")?,
+                pre_activation: state.take("ff1_b")?,
+                mask: state.take("drop2_mask")?,
+            },
+            ln2: BdrlnOutput {
+                out: state.take("y")?,
+                ln_input: state.take("ln2_in")?,
+                mask: state.take("drop3_mask")?,
+                stats: stats2,
+            },
+        },
     ))
 }
 
@@ -150,43 +193,63 @@ impl EncoderLayer {
             scaler: self.scaler(),
         };
         execute_plan(graph, plan, &mut state, &opts, rng)?;
-        let stats1 = state
-            .stats
-            .remove("ln1_out")
-            .ok_or_else(|| missing_stats("ln1_out"))?;
-        let stats2 = state.stats.remove("y").ok_or_else(|| missing_stats("y"))?;
-        let y = state.get("y")?.clone();
-        Ok((
-            y,
-            Activations {
-                qq: state.take("qq")?,
-                kk: state.take("kk")?,
-                vv: state.take("vv")?,
-                sm: SmOutput {
-                    alpha: state.take("alpha")?,
-                    softmax: state.take("att")?,
-                    mask: state.take("att_mask")?,
-                },
-                gam: state.take("gamma")?,
-                ln1: BdrlnOutput {
-                    out: state.take("ln1_out")?,
-                    ln_input: state.take("ln1_in")?,
-                    mask: state.take("drop1_mask")?,
-                    stats: stats1,
-                },
-                brd: BrdOutput {
-                    out: state.take("ff1_drop")?,
-                    pre_activation: state.take("ff1_b")?,
-                    mask: state.take("drop2_mask")?,
-                },
-                ln2: BdrlnOutput {
-                    out: state.take("y")?,
-                    ln_input: state.take("ln2_in")?,
-                    mask: state.take("drop3_mask")?,
-                    stats: stats2,
-                },
+        collect_activations(state)
+    }
+
+    /// Runs forward propagation on the certified wave-parallel
+    /// interpreter, dispatching each hazard-DAG wave of the canned plan
+    /// across `threads` worker threads
+    /// ([`xform_core::sanitize::execute_plan_parallel`]). With
+    /// `dropout_p = 0` the output is bitwise-equal to
+    /// [`EncoderLayer::forward`]; with dropout enabled, masks come from
+    /// deterministic per-step RNG streams seeded by `seed`, so results are
+    /// reproducible at any thread count but not equal to the serial
+    /// single-stream run.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `x` has the wrong shape, or if any parallel
+    /// step fails.
+    pub fn forward_parallel(
+        &self,
+        x: &Tensor,
+        w: &EncoderWeights,
+        popts: &ParallelOptions,
+    ) -> Result<(Tensor, Activations)> {
+        let planned = interp::cached_plan(
+            &self.dims,
+            match self.executor {
+                Executor::Reference => interp::PlanKind::EncoderReference,
+                Executor::Fused => interp::PlanKind::EncoderFused,
             },
-        ))
+        )?;
+        self.forward_with_plan_parallel(&planned, x, w, popts)
+    }
+
+    /// Runs forward propagation through a certified [`PlannedForward`] on
+    /// the wave-parallel interpreter. The certificate is checked against
+    /// the plan's fingerprint before any kernel runs; an edited schedule
+    /// must be re-certified.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the certificate is stale for the plan or a
+    /// kernel rejects its operands.
+    pub fn forward_with_plan_parallel(
+        &self,
+        pf: &PlannedForward,
+        x: &Tensor,
+        w: &EncoderWeights,
+        popts: &ParallelOptions,
+    ) -> Result<(Tensor, Activations)> {
+        let mut state = bind_inputs(x, w)?;
+        let opts = ExecOptions {
+            dropout_p: self.dropout_p,
+            activation: self.activation,
+            scaler: self.scaler(),
+        };
+        execute_plan_parallel(&pf.graph, &pf.plan, &pf.cert, &mut state, &opts, popts)?;
+        collect_activations(state)
     }
 
     /// Runs backpropagation: given the output gradient `dy` and the saved
@@ -421,6 +484,36 @@ mod tests {
                 "gradient {n1} disagrees"
             );
         }
+    }
+
+    #[test]
+    fn parallel_forward_is_bitwise_equal_to_serial() {
+        for executor in [Executor::Reference, Executor::Fused] {
+            let (layer, w, x) = setup(0.0, executor);
+            let mut rng = StdRng::seed_from_u64(8);
+            let (y_serial, a_serial) = layer.forward(&x, &w, &mut rng).unwrap();
+            for threads in [1, 4] {
+                let popts = ParallelOptions {
+                    threads,
+                    ..ParallelOptions::default()
+                };
+                let (y_par, a_par) = layer.forward_parallel(&x, &w, &popts).unwrap();
+                assert_eq!(y_par.data(), y_serial.data(), "{executor:?} @{threads}");
+                assert_eq!(a_par.gam.data(), a_serial.gam.data());
+                assert_eq!(a_par.ln2.ln_input.data(), a_serial.ln2.ln_input.data());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_dropout_is_thread_count_invariant() {
+        let (layer, w, x) = setup(0.5, Executor::Fused);
+        let mk = |threads| ParallelOptions { threads, seed: 99 };
+        let (y1, a1) = layer.forward_parallel(&x, &w, &mk(1)).unwrap();
+        let (y4, a4) = layer.forward_parallel(&x, &w, &mk(4)).unwrap();
+        assert_eq!(y1.data(), y4.data());
+        assert_eq!(a1.brd.mask.data(), a4.brd.mask.data());
+        assert!(a1.brd.mask.data().contains(&0.0));
     }
 
     #[test]

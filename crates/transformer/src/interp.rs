@@ -16,34 +16,34 @@ use std::sync::{Arc, Mutex, OnceLock};
 use xform_core::fusion::{apply_plan, decoder_fusion_plan, encoder_fusion_plan};
 use xform_core::plan::{ExecState, ExecutionPlan};
 use xform_core::recipe::forward_ops;
+use xform_core::sanitize::{certify, RaceCertificate};
 use xform_dataflow::{build, EncoderDims, Graph};
 use xform_tensor::{Axis, Result, Tensor};
 
 use crate::params::EncoderWeights;
 
-/// A dataflow graph paired with an executable forward schedule over it.
+/// A dataflow graph paired with an executable forward schedule over it,
+/// carrying the race certificate that admits the schedule to the
+/// wave-parallel interpreter.
 #[derive(Debug, Clone)]
 pub struct PlannedForward {
     /// The (possibly fused) dataflow graph the plan is lowered against.
     pub graph: Graph,
     /// The forward schedule.
     pub plan: ExecutionPlan,
+    /// Freedom-from-races certificate over the plan's hazard-DAG waves.
+    pub cert: RaceCertificate,
 }
 
 fn planned(graph: Graph, dy: xform_dataflow::NodeId) -> Result<PlannedForward> {
     let plan = ExecutionPlan::natural(&graph, &forward_ops(&graph, dy))?;
-    // canned plans must be lint-clean: catch a drifted builder or fusion
-    // pass at plan-construction time in debug builds
-    debug_assert!(
-        xform_core::analyze::analyze(&graph, &plan).is_clean(),
-        "canned plan has error-severity lints: {:?}",
-        xform_core::analyze::analyze(&graph, &plan)
-            .errors()
-            .iter()
-            .map(|l| l.to_string())
-            .collect::<Vec<_>>()
-    );
-    Ok(PlannedForward { graph, plan })
+    let cert = certify(&graph, &plan).map_err(|lints| {
+        xform_tensor::TensorError::Unsupported(format!(
+            "canned plan failed race certification: {:?}",
+            lints.iter().map(|l| l.to_string()).collect::<Vec<_>>()
+        ))
+    })?;
+    Ok(PlannedForward { graph, plan, cert })
 }
 
 /// Which canned schedule a cache entry holds.
@@ -193,6 +193,15 @@ mod tests {
         assert!(xform_core::analyze::analyze(&fused.graph, &fused.plan).is_clean());
         let decoder = decoder_fused(&dims).unwrap();
         assert!(xform_core::analyze::analyze(&decoder.graph, &decoder.plan).is_clean());
+        // every canned plan carries a certificate covering all its steps
+        for pf in [&reference, &fused, &decoder] {
+            let scheduled: usize = pf.cert.waves.iter().map(Vec::len).sum();
+            assert_eq!(scheduled, pf.plan.steps.len());
+            assert_eq!(
+                pf.cert.plan_hash,
+                xform_core::sanitize::plan_fingerprint(&pf.plan)
+            );
+        }
     }
 
     #[test]

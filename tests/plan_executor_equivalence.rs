@@ -1,8 +1,10 @@
 //! Cross-crate equivalence of the plan-driven execution engine: a plan
 //! lowered from the full recipe (fuse → sweep → SSSP select) produces the
-//! same encoder output as the reference executor; arbitrary layout
-//! perturbations survive `reflow` unchanged in value; and malformed plans
-//! are rejected by the static analyzer before any kernel runs.
+//! same encoder output as the reference executor; the certified
+//! wave-parallel interpreter is bitwise-equal to the serial one on that
+//! same recipe-selected plan; arbitrary layout perturbations survive
+//! `reflow` unchanged in value; and malformed plans are rejected by the
+//! static analyzer before any kernel runs.
 
 use proptest::prelude::*;
 use rand::distributions::Uniform;
@@ -11,6 +13,7 @@ use rand::SeedableRng;
 
 use substation::core::analyze::{PlanLint, Severity};
 use substation::core::plan::ExecutionPlan;
+use substation::core::sanitize::{certify, ParallelOptions};
 use substation::core::selection::select_forward;
 use substation::core::sweep::{sweep_all, SimulatorSource, SweepOptions};
 use substation::dataflow::EncoderDims;
@@ -86,6 +89,60 @@ fn recipe_lowered_plan_matches_reference_executor() {
         y_sel.max_abs_diff(&y_ref).unwrap() < 1e-4,
         "recipe-selected plan diverged from the reference executor"
     );
+}
+
+// Lowers the recipe-selected plan, certifies it, and checks the
+// wave-parallel interpreter against the serial one at several thread
+// counts — bitwise, on both the output values and its materialized
+// layout. (Dropout is off, so no RNG stream is consumed and parallel
+// execution must reproduce the serial run exactly.)
+#[test]
+fn parallel_execution_of_recipe_plan_is_bitwise_equal_to_serial() {
+    let dims = dims();
+    let planned = interp::encoder_fused(&dims).unwrap();
+    let fwd: Vec<_> = planned.plan.steps.iter().map(|s| s.op).collect();
+    let sweeps = sweep_all(
+        &SimulatorSource::default(),
+        &planned.graph,
+        SweepOptions {
+            max_configs: Some(400),
+            ..SweepOptions::default()
+        },
+    )
+    .unwrap();
+    let sel = select_forward(&planned.graph, &DeviceSpec::v100(), &fwd, &sweeps).unwrap();
+    let plan = ExecutionPlan::lower(&planned.graph, &sel).unwrap();
+    let cert = certify(&planned.graph, &plan).expect("the recipe-selected plan certifies");
+    let pf = interp::PlannedForward {
+        graph: planned.graph.clone(),
+        plan,
+        cert,
+    };
+
+    let (x, w) = inputs(&dims, 29);
+    let layer = EncoderLayer::new(dims, Executor::Fused, 0.0);
+    let mut rng = StdRng::seed_from_u64(3);
+    let (y_serial, a_serial) = layer
+        .forward_with_plan(&pf.graph, &pf.plan, &x, &w, &mut rng)
+        .expect("serial plan-driven forward");
+    for threads in [1usize, 2, 4, 8] {
+        let popts = ParallelOptions {
+            threads,
+            ..ParallelOptions::default()
+        };
+        let (y_par, a_par) = layer
+            .forward_with_plan_parallel(&pf, &x, &w, &popts)
+            .expect("parallel plan-driven forward");
+        assert_eq!(
+            y_par.data(),
+            y_serial.data(),
+            "parallel output diverged at {threads} threads"
+        );
+        assert_eq!(y_par.layout(), y_serial.layout());
+        assert_eq!(a_par.gam.data(), a_serial.gam.data());
+        assert_eq!(a_par.ln1.ln_input.data(), a_serial.ln1.ln_input.data());
+        assert_eq!(a_par.ln2.stats.mean, a_serial.ln2.stats.mean);
+    }
 }
 
 /// Rotates `s` left by `n` — always a valid permutation of the layout.
