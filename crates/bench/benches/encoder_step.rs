@@ -7,6 +7,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
 
+use xform_core::plan::ExecOptions;
 use xform_dataflow::EncoderDims;
 use xform_transformer::encoder::{EncoderLayer, Executor};
 use xform_transformer::params::EncoderWeights;
@@ -32,14 +33,20 @@ fn bench_encoder(c: &mut Criterion) {
         ("fused", Executor::Fused),
     ] {
         let layer = EncoderLayer::new(dims, executor, 0.0);
+        let opts = ExecOptions {
+            seed: 2,
+            ..ExecOptions::default()
+        };
         group.bench_function(BenchmarkId::new("forward", label), |b| {
-            let mut r = StdRng::seed_from_u64(2);
-            b.iter(|| black_box(layer.forward(black_box(&x), &weights, &mut r).unwrap()))
+            b.iter(|| black_box(layer.forward(black_box(&x), &weights, &opts).unwrap()))
         });
         group.bench_function(BenchmarkId::new("fwd+bwd", label), |b| {
-            let mut r = StdRng::seed_from_u64(3);
             b.iter(|| {
-                let (y, acts) = layer.forward(black_box(&x), &weights, &mut r).unwrap();
+                let (y, acts) = layer
+                    .forward(black_box(&x), &weights, &opts)
+                    .unwrap()
+                    .into_pair()
+                    .unwrap();
                 black_box(layer.backward(&y, &x, &weights, &acts).unwrap())
             })
         });

@@ -19,7 +19,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use xform_core::cpusource::CpuSource;
-use xform_core::plan::{execute_plan, random_externals, ExecOptions, ExecutionPlan};
+use xform_core::plan::{execute_plan, random_externals, ExecOptions, ExecutionPlan, PlanOverride};
 use xform_core::sanitize::{certify, execute_plan_parallel, ParallelOptions};
 use xform_core::selection::select_forward;
 use xform_core::sweep::{sweep_all, SweepOptions};
@@ -121,16 +121,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // the two canned schedules (dropout off so all three paths agree)
     let reference = EncoderLayer::new(dims, Executor::Reference, 0.0);
     let fused = EncoderLayer::new(dims, Executor::Fused, 0.0);
+    let fwd_opts = ExecOptions {
+        seed: 7,
+        ..ExecOptions::default()
+    };
     let (ref_ms, y_ref) = time_ms(REPS, || {
-        let mut r = StdRng::seed_from_u64(7);
         reference
-            .forward(&x, &w, &mut r)
+            .forward(&x, &w, &fwd_opts)
             .expect("reference forward")
-            .0
+            .y
     });
     let (fus_ms, y_fus) = time_ms(REPS, || {
-        let mut r = StdRng::seed_from_u64(7);
-        fused.forward(&x, &w, &mut r).expect("fused forward").0
+        fused.forward(&x, &w, &fwd_opts).expect("fused forward").y
     });
 
     // the recipe: fuse, sweep every kernel on this CPU, select layouts
@@ -159,12 +161,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         plan.relayout_count()
     );
 
+    let sel_opts = ExecOptions {
+        plan: Some(PlanOverride {
+            graph: &graph,
+            plan: &plan,
+            cert: None,
+        }),
+        ..fwd_opts
+    };
     let (sel_ms, y_sel) = time_ms(REPS, || {
-        let mut r = StdRng::seed_from_u64(7);
         fused
-            .forward_with_plan(&graph, &plan, &x, &w, &mut r)
+            .forward(&x, &w, &sel_opts)
             .expect("plan-driven forward")
-            .0
+            .y
     });
 
     // logical comparison: the selected plan may materialize `y` in a
@@ -204,15 +213,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         pf.cert.waves.len()
     );
     for threads in [1usize, 2, 4, 8] {
-        let popts = ParallelOptions {
+        let par_opts = ExecOptions {
             threads,
-            ..ParallelOptions::default()
+            ..fwd_opts
         };
         let (par_ms, y_par) = time_ms(REPS, || {
             fused
-                .forward_parallel(&x, &w, &popts)
+                .forward(&x, &w, &par_opts)
                 .expect("parallel forward")
-                .0
+                .y
         });
         assert_eq!(
             y_par.data(),

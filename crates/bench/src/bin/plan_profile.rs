@@ -1,0 +1,282 @@
+//! Runtime plan profiling and profile-guided re-selection, end to end.
+//!
+//! Runs the fused encoder schedule through `xform_core::profile`'s
+//! [`PlanProfiler`] and prints the measured mirror of the static
+//! data-movement audit, Table-III style: per step, the measured
+//! wall-clock time, the bytes the step moves (identical to
+//! `xform_core::analyze::audit`'s accounting), achieved bandwidth, and
+//! measured vs. static MUE — then per-operator-class totals, the
+//! wave-parallel occupancy/imbalance of the certified plan, and finally
+//! the profile-guided re-selection loop: profile the natural plan,
+//! re-run SSSP selection from the measured timings
+//! (`xform_core::profile::ProfiledSource`), and report the adopted
+//! plan's measured improvement.
+//!
+//! With `--check` it runs a compact smoke pass and exits non-zero unless
+//! every interpretable step records nonzero measured bytes, every
+//! measured MUE lies in (0, 100], and the re-selected winner's measured
+//! total is no worse than the natural plan's — CI runs this to keep the
+//! profiler honest.
+
+use xform_core::analyze::audit;
+use xform_core::cpusource::CpuSource;
+use xform_core::plan::{random_externals, ExecOptions};
+use xform_core::profile::{
+    profile_plan, profile_plan_parallel, reselect, PlanProfiler, Reselection,
+};
+use xform_core::sanitize::ParallelOptions;
+use xform_core::sweep::SweepOptions;
+use xform_dataflow::{EncoderDims, Graph, OpClass};
+use xform_gpusim::DeviceSpec;
+use xform_transformer::interp;
+
+const REPS: usize = 5;
+
+fn dims() -> EncoderDims {
+    EncoderDims {
+        b: 2,
+        j: 24,
+        k: 24,
+        h: 2,
+        p: 8,
+        i: 16,
+        u: 32,
+    }
+}
+
+fn class_tag(c: OpClass) -> &'static str {
+    match c {
+        OpClass::TensorContraction => "tc",
+        OpClass::StatisticalNormalization => "norm",
+        OpClass::Elementwise => "elem",
+    }
+}
+
+fn reselection(
+    graph: &Graph,
+    plan: &xform_core::plan::ExecutionPlan,
+    opts: &ExecOptions,
+) -> xform_tensor::Result<Reselection> {
+    let fwd: Vec<_> = plan.steps.iter().map(|s| s.op).collect();
+    let fallback = CpuSource::new(2);
+    reselect(
+        graph,
+        plan,
+        &fwd,
+        &DeviceSpec::v100(),
+        &fallback,
+        SweepOptions {
+            max_configs: Some(48),
+            ..SweepOptions::default()
+        },
+        opts,
+        REPS,
+        11,
+    )
+}
+
+fn full() -> Result<(), Box<dyn std::error::Error>> {
+    let dims = dims();
+    let pf = interp::cached_plan(&dims, interp::PlanKind::EncoderFused)?;
+    println!(
+        "runtime profile of the fused encoder plan, dims i={} j={} b={} h={} p={} u={} \
+         ({REPS} reps, min per step)",
+        dims.i, dims.j, dims.b, dims.h, dims.p, dims.u
+    );
+
+    let opts = ExecOptions::default();
+    let base = random_externals(&pf.graph, &pf.plan, 11)?;
+    let prof = profile_plan(&pf.graph, &pf.plan, &base, &opts, REPS)?;
+    let static_audit = audit(&pf.graph, &pf.plan, &DeviceSpec::v100());
+
+    println!(
+        "\nhost peak bandwidth {:.2} GB/s (calibrated); measured vs static MUE per step:",
+        prof.peak_bytes_per_us * 1e6 / 1e9
+    );
+    println!(
+        "  {:>4}  {:<26} {:>5} {:>9} {:>9} {:>8} {:>5} {:>8} {:>8}",
+        "step", "kernel", "class", "time µs", "KiB", "GB/s", "bw%", "MUE", "static"
+    );
+    for s in prof.steps() {
+        let m = prof.measured_mue(s);
+        let st = static_audit
+            .per_step
+            .get(s.step)
+            .and_then(|a| a.mue.as_ref())
+            .map_or_else(|| "—".into(), |m| format!("{:8.1}", m.value));
+        println!(
+            "  {:>4}  {:<26} {:>5} {:>9.1} {:>9.1} {:>8.2} {:>5.1} {:>8.1} {:>8}",
+            s.step,
+            s.name,
+            class_tag(s.class),
+            s.time_us,
+            s.moved_bytes() as f64 / 1024.0,
+            s.achieved_bytes_per_us() * 1e6 / 1e9,
+            m.bandwidth_frac * 100.0,
+            m.value,
+            st,
+        );
+    }
+    let pm = prof.plan_mue();
+    println!(
+        "\nplan totals: {:.1} µs summed, {:.1} KiB moved, measured MUE {:.1} \
+         (static MUE {:.1} over {} modelled steps)",
+        prof.total_time_us(),
+        prof.total_bytes() as f64 / 1024.0,
+        pm.value,
+        static_audit.plan_mue.value,
+        static_audit.modelled_steps,
+    );
+
+    println!("\nper-class totals (measured):");
+    for c in prof.per_class() {
+        println!(
+            "  {:<5} {:>2} steps  {:>9.1} µs  {:>9.1} KiB  MUE {:>5.1}",
+            class_tag(c.class),
+            c.steps,
+            c.time_us,
+            c.moved_bytes as f64 / 1024.0,
+            c.mue.value,
+        );
+    }
+
+    // --- wave-parallel occupancy of the certified plan ---
+    let popts = ParallelOptions {
+        threads: 4,
+        ..ParallelOptions::default()
+    };
+    let par = profile_plan_parallel(&pf.graph, &pf.plan, &pf.cert, &base, &opts, &popts, REPS)?;
+    println!(
+        "\nwave-parallel occupancy at {} threads (wall {:.1} µs across {} waves):",
+        popts.threads,
+        par.parallel_wall_us().unwrap_or(0.0),
+        par.waves().count(),
+    );
+    for w in par.waves() {
+        println!(
+            "  wave {:>2}: {:>2} step(s) on {} worker(s)  wall {:>8.1} µs  \
+             occupancy {:>5.1}%  imbalance {:.2}x",
+            w.wave,
+            w.steps.len(),
+            w.workers,
+            w.wall_us,
+            par.wave_occupancy(w) * 100.0,
+            par.wave_imbalance(w),
+        );
+    }
+
+    // --- profile-guided re-selection ---
+    println!("\nprofile-guided re-selection (CPU-measured fallback, sweep ≤48 configs/op):");
+    let r = reselection(&pf.graph, &pf.plan, &opts)?;
+    println!("  natural plan     {:>9.1} µs measured", r.natural_us());
+    println!(
+        "  re-selected plan {:>9.1} µs measured ({} transposes, {:.1} µs modeled)",
+        r.reselected_us(),
+        r.selection.transposes,
+        r.selection.total_us,
+    );
+    println!(
+        "  adopted: {} — measured improvement {:.1}% (total {:.1} µs, never worse than natural)",
+        if r.adopted { "re-selected" } else { "natural" },
+        r.improvement_pct(),
+        r.best_us(),
+    );
+    assert!(
+        r.best_us() <= r.natural_us(),
+        "adopted plan measured worse than natural"
+    );
+    Ok(())
+}
+
+/// Returns the failures found while smoke-checking a profiled plan.
+fn check_profile(tag: &str, prof: &PlanProfiler, expect_steps: usize) -> Vec<String> {
+    let mut bad = Vec::new();
+    if prof.steps().count() != expect_steps {
+        bad.push(format!(
+            "{tag}: profiled {} of {expect_steps} steps",
+            prof.steps().count()
+        ));
+    }
+    for s in prof.steps() {
+        if s.interpretable && s.moved_bytes() == 0 {
+            bad.push(format!("{tag}: step {} ({}) moved 0 bytes", s.step, s.name));
+        }
+        if s.time_us <= 0.0 {
+            bad.push(format!("{tag}: step {} ({}) has no time", s.step, s.name));
+        }
+        let m = prof.measured_mue(s);
+        if !(m.value > 0.0 && m.value <= 100.0) {
+            bad.push(format!(
+                "{tag}: step {} ({}) measured MUE {} outside (0, 100]",
+                s.step, s.name, m.value
+            ));
+        }
+        if !s.footprint_matches() {
+            bad.push(format!(
+                "{tag}: step {} ({}) footprint {} words vs audited {}",
+                s.step,
+                s.name,
+                s.footprint_words,
+                s.moved_words()
+            ));
+        }
+    }
+    bad
+}
+
+fn check() -> Result<(), Box<dyn std::error::Error>> {
+    let dims = dims();
+    let pf = interp::cached_plan(&dims, interp::PlanKind::EncoderFused)?;
+    let opts = ExecOptions::default();
+    let base = random_externals(&pf.graph, &pf.plan, 11)?;
+    let prof = profile_plan(&pf.graph, &pf.plan, &base, &opts, 2)?;
+    let mut bad = check_profile("serial", &prof, pf.plan.steps.len());
+
+    let popts = ParallelOptions {
+        threads: 4,
+        ..ParallelOptions::default()
+    };
+    let par = profile_plan_parallel(&pf.graph, &pf.plan, &pf.cert, &base, &opts, &popts, 2)?;
+    bad.extend(check_profile("parallel", &par, pf.plan.steps.len()));
+    if par.waves().count() != pf.cert.waves.len() {
+        bad.push(format!(
+            "parallel: profiled {} of {} waves",
+            par.waves().count(),
+            pf.cert.waves.len()
+        ));
+    }
+
+    let r = reselection(&pf.graph, &pf.plan, &opts)?;
+    if r.best_us() > r.natural_us() {
+        bad.push(format!(
+            "re-selection: adopted {:.1} µs is worse than natural {:.1} µs",
+            r.best_us(),
+            r.natural_us()
+        ));
+    }
+
+    if bad.is_empty() {
+        println!(
+            "plan_profile --check: OK — {} steps profiled serial+parallel, \
+             re-selected total {:.1} µs ≤ natural {:.1} µs",
+            pf.plan.steps.len(),
+            r.best_us(),
+            r.natural_us()
+        );
+        Ok(())
+    } else {
+        for b in &bad {
+            eprintln!("FAIL: {b}");
+        }
+        Err(format!("{} profiler check(s) failed", bad.len()).into())
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mode = std::env::args().nth(1);
+    match mode.as_deref() {
+        Some("--check") => check(),
+        None => full(),
+        Some(other) => Err(format!("unknown flag {other}; expected --check or nothing").into()),
+    }
+}

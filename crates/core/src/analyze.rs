@@ -1068,7 +1068,7 @@ pub fn analyze(graph: &Graph, plan: &ExecutionPlan) -> PlanAnalysis {
 /// to, mirroring the operand conventions of `xform-gpusim`'s
 /// [`OpModel`]: einsums take their positional operands; other kernels key
 /// the access pattern off the largest input/output.
-fn step_config(graph: &Graph, step: &PlanStep) -> Option<OpConfig> {
+pub(crate) fn step_config(graph: &Graph, step: &PlanStep) -> Option<OpConfig> {
     let elems = |data: NodeId| {
         graph
             .data(data)

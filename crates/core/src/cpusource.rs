@@ -116,8 +116,10 @@ impl Default for CpuSource {
     }
 }
 
-/// Measures the contiguous read rate of this host (bytes/µs).
-fn calibrate_stream_rate() -> f64 {
+/// Measures the contiguous read rate of this host (bytes/µs). Shared with
+/// [`crate::profile::PlanProfiler`] so sweep microbenches and the runtime
+/// profiler normalize achieved bandwidth against the same peak.
+pub(crate) fn calibrate_stream_rate() -> f64 {
     let n = 1 << 22; // 4M f32 = 16 MB, larger than L2
     let buf: Vec<f32> = (0..n).map(|i| i as f32).collect();
     let mut sink = 0.0f32;

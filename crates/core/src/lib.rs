@@ -25,6 +25,11 @@
 //!   interpreter ([`sanitize::execute_plan_sanitized`]), and the
 //!   certificate-gated wave-parallel interpreter
 //!   ([`sanitize::execute_plan_parallel`]);
+//! * [`profile`] — the runtime plan profiler ([`profile::PlanProfiler`]):
+//!   measured per-step time/bytes/bandwidth and measured MUE riding the
+//!   interpreters via [`plan::ExecOptions::profiler`], plus
+//!   profile-guided re-selection ([`profile::ProfiledSource`],
+//!   [`profile::reselect`]);
 //! * [`recipe`] — the end-to-end driver assembling the optimized encoder;
 //! * [`report`] — Table-III-style per-operator comparisons.
 //!
@@ -54,6 +59,7 @@ pub mod cpusource;
 pub mod fusion;
 pub mod itspace;
 pub mod plan;
+pub mod profile;
 pub mod recipe;
 pub mod report;
 pub mod sanitize;

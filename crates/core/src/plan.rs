@@ -342,11 +342,57 @@ impl ExecState {
     }
 }
 
-/// Scalar knobs the graph does not encode: dropout probability, the
-/// feed-forward activation behind the graph's generic activation node, and
-/// the attention scale applied by the softmax kernels.
+/// How an execution routes through the shadow-access sanitizer of
+/// [`crate::sanitize`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SanitizeMode {
+    /// Defer to the `XFORM_SANITIZE` environment variable (the default):
+    /// unset, empty, `0`, `false`, `off`, or `no` disable; anything else
+    /// enables.
+    #[default]
+    Env,
+    /// Never sanitize, regardless of the environment.
+    Off,
+    /// Always sanitize, regardless of the environment.
+    On,
+}
+
+impl SanitizeMode {
+    /// Resolves the mode against the process environment.
+    #[must_use]
+    pub fn enabled(self) -> bool {
+        match self {
+            SanitizeMode::Env => crate::sanitize::sanitize_enabled(),
+            SanitizeMode::Off => false,
+            SanitizeMode::On => true,
+        }
+    }
+}
+
+/// A caller-supplied schedule for the layer forwards to run instead of the
+/// cached canned plan. The interpreter entry points
+/// ([`execute_plan`] / [`crate::sanitize::execute_plan_parallel`]) take
+/// graph and plan positionally and ignore this field; it exists so the
+/// unified `forward(&x, &w, &ExecOptions)` surface can still execute
+/// recipe-selected or deliberately perturbed plans.
 #[derive(Debug, Clone, Copy)]
-pub struct ExecOptions {
+pub struct PlanOverride<'p> {
+    /// The dataflow graph the plan was lowered against.
+    pub graph: &'p Graph,
+    /// The schedule to interpret.
+    pub plan: &'p ExecutionPlan,
+    /// Race certificate for the plan, required when `threads > 1`.
+    pub cert: Option<&'p crate::sanitize::RaceCertificate>,
+}
+
+/// Everything the graph does not encode about one execution: scalar kernel
+/// knobs (dropout probability, the activation behind generic activation
+/// nodes, the attention scale), and the run configuration of the unified
+/// `forward(&x, &w, &ExecOptions)` surface — worker threads, RNG seed,
+/// sanitizer routing, an optional [`crate::profile::PlanProfiler`] sink,
+/// and an optional plan override.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions<'p> {
     /// Dropout probability (`0` disables dropout deterministically, drawing
     /// nothing from the RNG).
     pub dropout_p: f32,
@@ -354,14 +400,41 @@ pub struct ExecOptions {
     pub activation: ActivationKind,
     /// Scale folded into the softmax kernels (`1/√P` for attention).
     pub scaler: f32,
+    /// Worker threads for the layer forwards: `1` (or `0`) runs the serial
+    /// interpreter; more runs the certificate-gated wave-parallel
+    /// interpreter. The interpreter entry points themselves ignore this —
+    /// callers pick the entry point.
+    pub threads: usize,
+    /// Seed for the dropout RNG of the layer forwards (serial runs derive
+    /// one stream from it; parallel runs derive one stream per step).
+    pub seed: u64,
+    /// Whether the layer forwards assemble the saved-activation bundle
+    /// after the run (`true` by default; inference-only callers can skip
+    /// the clones).
+    pub collect_activations: bool,
+    /// Shadow-access sanitizer routing (defaults to the environment).
+    pub sanitize: SanitizeMode,
+    /// Optional profiler sink: when set, every interpreter entry point
+    /// records per-step wall-clock time (and, for the parallel
+    /// interpreter, per-wave occupancy) into it.
+    pub profiler: Option<&'p crate::profile::ProfilerSink>,
+    /// Optional plan override for the layer forwards (see
+    /// [`PlanOverride`]).
+    pub plan: Option<PlanOverride<'p>>,
 }
 
-impl Default for ExecOptions {
+impl Default for ExecOptions<'_> {
     fn default() -> Self {
         ExecOptions {
             dropout_p: 0.0,
             activation: ActivationKind::Relu,
             scaler: 1.0,
+            threads: 1,
+            seed: 0x5eed,
+            collect_activations: true,
+            sanitize: SanitizeMode::Env,
+            profiler: None,
+            plan: None,
         }
     }
 }
@@ -730,12 +803,17 @@ pub fn execute_step<R: Rng + ?Sized>(
 /// step in order against `state`. On success the state's environment holds
 /// every container the plan produced, materialized in the plan's layouts.
 ///
-/// With `XFORM_SANITIZE=1` in the environment, execution routes through
-/// the shadow-access sanitizer
+/// Depending on [`ExecOptions::sanitize`] (by default: `XFORM_SANITIZE`
+/// set to anything but empty/`0`/`false`/`off`/`no` in the environment),
+/// execution routes through the shadow-access sanitizer
 /// ([`crate::sanitize::execute_plan_sanitized`]): same kernels, same RNG
 /// draws, bitwise-identical results, but every step's actual footprint is
 /// checked against its declaration and every wave is checked for
 /// conflicting access.
+///
+/// With [`ExecOptions::profiler`] set, every step's wall-clock time is
+/// recorded into the sink (under the sanitizer, timings include tracing
+/// overhead and are flagged as such).
 ///
 /// # Errors
 ///
@@ -760,11 +838,16 @@ pub fn execute_plan<R: Rng + ?Sized>(
             problems.join("; ")
         )));
     }
-    if crate::sanitize::sanitize_enabled() {
+    if opts.sanitize.enabled() {
         return crate::sanitize::execute_plan_sanitized(graph, plan, state, opts, rng, None);
     }
-    for step in &plan.steps {
+    for (si, step) in plan.steps.iter().enumerate() {
+        let t0 = opts.profiler.map(|_| std::time::Instant::now());
         execute_step(graph, step, state, opts, rng)?;
+        if let (Some(sink), Some(t0)) = (opts.profiler, t0) {
+            let us = t0.elapsed().as_secs_f64() * 1e6;
+            crate::profile::record_step(sink, graph, step, si, None, us, false);
+        }
     }
     Ok(())
 }

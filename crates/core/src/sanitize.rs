@@ -444,11 +444,27 @@ fn hazard_kind(a: AccessKind, b: AccessKind) -> DepKind {
     }
 }
 
-/// `true` when `XFORM_SANITIZE` is set to anything but `0`/empty —
-/// [`crate::plan::execute_plan`] then routes through
-/// [`execute_plan_sanitized`].
+/// Whether a `XFORM_SANITIZE` value enables the sanitizer: unset, empty
+/// (after trimming), `0`, `false`, `off`, and `no` (case-insensitive) all
+/// disable; anything else enables. The pure half of
+/// [`sanitize_enabled`], separated so it can be unit-tested without
+/// mutating the process environment.
+pub fn sanitize_value_enables(value: Option<&str>) -> bool {
+    let Some(v) = value else { return false };
+    let v = v.trim();
+    !(v.is_empty()
+        || v == "0"
+        || v.eq_ignore_ascii_case("false")
+        || v.eq_ignore_ascii_case("off")
+        || v.eq_ignore_ascii_case("no"))
+}
+
+/// `true` when `XFORM_SANITIZE` is set to anything but
+/// empty/`0`/`false`/`off`/`no` — [`crate::plan::execute_plan`] then
+/// routes through [`execute_plan_sanitized`] (see
+/// [`sanitize_value_enables`] for the exact parse).
 pub fn sanitize_enabled() -> bool {
-    std::env::var("XFORM_SANITIZE").is_ok_and(|v| !v.is_empty() && v != "0")
+    sanitize_value_enables(std::env::var("XFORM_SANITIZE").ok().as_deref())
 }
 
 /// Clone of `t` with every element outside the union of `spans` (logical
@@ -586,12 +602,17 @@ pub fn execute_plan_sanitized<R: Rng + ?Sized>(
 
         // single execution — same kernels, same RNG stream as the
         // unsanitized interpreter — with runtime partial-read tracing
+        let t0 = opts.profiler.map(|_| std::time::Instant::now());
         trace::start();
         let ran = shadow_catch(&step.name, || {
             execute_step(graph, step, &mut local, opts, rng)
         });
         let observed = trace::stop();
         ran?;
+        if let (Some(sink), Some(t0)) = (opts.profiler, t0) {
+            let us = t0.elapsed().as_secs_f64() * 1e6;
+            crate::profile::record_step(sink, graph, step, si, None, us, true);
+        }
 
         // observed partial reads must fall inside the derived spans
         for ob in &observed {
@@ -727,8 +748,9 @@ pub fn execute_plan_parallel(
     let shared = Mutex::new(std::mem::take(state));
     let mut first_err: Option<TensorError> = None;
 
-    'waves: for wave in &cert.waves {
+    'waves: for (w, wave) in cert.waves.iter().enumerate() {
         let workers = threads.min(wave.len());
+        let wave_t0 = opts.profiler.map(|_| std::time::Instant::now());
         if workers <= 1 {
             for &si in wave {
                 let Some(step) = plan.steps.get(si) else {
@@ -739,10 +761,20 @@ pub fn execute_plan_parallel(
                 };
                 let mut rng = step_rng(popts.seed, si);
                 let mut guard = shared.lock().expect("interpreter state poisoned");
+                let t0 = opts.profiler.map(|_| std::time::Instant::now());
                 if let Err(e) = execute_step(graph, step, &mut guard, opts, &mut rng) {
                     first_err = Some(e);
                     break 'waves;
                 }
+                drop(guard);
+                if let (Some(sink), Some(t0)) = (opts.profiler, t0) {
+                    let us = t0.elapsed().as_secs_f64() * 1e6;
+                    crate::profile::record_step(sink, graph, step, si, Some(w), us, false);
+                }
+            }
+            if let (Some(sink), Some(t0)) = (opts.profiler, wave_t0) {
+                let us = t0.elapsed().as_secs_f64() * 1e6;
+                crate::profile::record_wave(sink, w, wave, workers, us);
             }
             continue;
         }
@@ -782,8 +814,21 @@ pub fn execute_plan_parallel(
                         }
                     }
 
+                    let t0 = opts.profiler.map(|_| std::time::Instant::now());
                     match execute_step(graph, step, &mut local, opts, &mut rng) {
                         Ok(()) => {
+                            if let (Some(sink), Some(t0)) = (opts.profiler, t0) {
+                                let us = t0.elapsed().as_secs_f64() * 1e6;
+                                crate::profile::record_step(
+                                    sink,
+                                    graph,
+                                    step,
+                                    si,
+                                    Some(w),
+                                    us,
+                                    false,
+                                );
+                            }
                             let mut guard = shared.lock().expect("interpreter state poisoned");
                             for r in &step.relayouts {
                                 if let Some(t) = local.env.remove(&r.name) {
@@ -810,6 +855,10 @@ pub fn execute_plan_parallel(
                 });
             }
         });
+        if let (Some(sink), Some(t0)) = (opts.profiler, wave_t0) {
+            let us = t0.elapsed().as_secs_f64() * 1e6;
+            crate::profile::record_wave(sink, w, wave, workers, us);
+        }
         let wave_err = failed.lock().expect("failure flag poisoned").take();
         if let Some(e) = wave_err {
             first_err = Some(e);
@@ -847,11 +896,33 @@ mod tests {
         (eg.graph, plan)
     }
 
-    fn opts() -> ExecOptions {
+    fn opts() -> ExecOptions<'static> {
         ExecOptions {
             scaler: 1.0 / (3f32).sqrt(),
             activation: ActivationKind::Relu,
             dropout_p: 0.0,
+            ..ExecOptions::default()
+        }
+    }
+
+    #[test]
+    fn sanitize_env_parsing_is_consistent() {
+        for off in [
+            None,
+            Some(""),
+            Some("  "),
+            Some("0"),
+            Some("false"),
+            Some("FALSE"),
+            Some("off"),
+            Some("Off"),
+            Some("no"),
+            Some(" 0 "),
+        ] {
+            assert!(!sanitize_value_enables(off), "{off:?} must disable");
+        }
+        for on in [Some("1"), Some("true"), Some("yes"), Some("on"), Some("2")] {
+            assert!(sanitize_value_enables(on), "{on:?} must enable");
         }
     }
 

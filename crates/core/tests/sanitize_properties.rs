@@ -31,7 +31,7 @@ fn unfused() -> (Graph, ExecutionPlan) {
     (eg.graph, plan)
 }
 
-fn opts() -> ExecOptions {
+fn opts() -> ExecOptions<'static> {
     ExecOptions {
         scaler: 1.0 / (3f32).sqrt(),
         ..ExecOptions::default()

@@ -3,9 +3,7 @@
 //! paper's Sec. VIII says the recipe transfers to unchanged. Forward and
 //! backward, validated against numerical gradients.
 
-use rand::Rng;
-
-use xform_core::plan::{execute_plan, ExecOptions};
+use xform_core::plan::{ExecOptions, ExecState};
 use xform_dataflow::EncoderDims;
 use xform_tensor::fused::{self, BrdOutput, SmOutput};
 use xform_tensor::ops::dropout::dropout_backward;
@@ -15,8 +13,52 @@ use xform_tensor::ops::layernorm::{
 };
 use xform_tensor::{einsum, Axis, Result, Tensor, TensorError};
 
-use crate::interp::{self, bind_inputs};
+use crate::interp::{self, bind_inputs, finish, run_plan, ForwardOutput};
 use crate::params::{EncoderGrads, EncoderWeights};
+
+/// Assembles the decoder's saved activations out of a finished
+/// interpreter environment.
+fn collect_decoder_activations(mut state: ExecState) -> Result<(Tensor, DecoderActivations)> {
+    let missing = |name: &str| {
+        TensorError::Unsupported(format!(
+            "plan produced no layer-norm statistics for `{name}`"
+        ))
+    };
+    let stats1 = state
+        .stats
+        .remove("ln1_out")
+        .ok_or_else(|| missing("ln1_out"))?;
+    let stats2 = state
+        .stats
+        .remove("ln2_out")
+        .ok_or_else(|| missing("ln2_out"))?;
+    Ok((
+        state.take("y")?,
+        DecoderActivations {
+            ln1_out: state.take("ln1_out")?,
+            stats1,
+            qq: state.take("qq")?,
+            kk: state.take("kk")?,
+            vv: state.take("vv")?,
+            sm: SmOutput {
+                alpha: state.take("alpha")?,
+                softmax: state.take("att")?,
+                mask: state.take("att_mask")?,
+            },
+            gam: state.take("gamma")?,
+            drop1_mask: state.take("drop1_mask")?,
+            res1: state.take("res1")?,
+            ln2_out: state.take("ln2_out")?,
+            stats2,
+            brd: BrdOutput {
+                out: state.take("ff1_drop")?,
+                pre_activation: state.take("ff1_b")?,
+                mask: state.take("drop2_mask")?,
+            },
+            drop3_mask: state.take("drop3_mask")?,
+        },
+    ))
+}
 
 /// A configured decoder block. Weights are shared with the encoder layout
 /// ([`EncoderWeights`]); only the wiring differs (pre-LN, causal mask,
@@ -79,66 +121,43 @@ impl DecoderLayer {
     }
 
     /// Forward propagation: `x` (`[i,b,j]`) → `y` (`[i,b,j]`) plus saved
-    /// activations. Executes the canned fused decoder plan (pre-LN, causal
-    /// SM, BDR residual joins) through the schedule interpreter of
-    /// [`xform_core::plan`].
+    /// activations, with the same unified [`ExecOptions`]-driven surface
+    /// as [`crate::encoder::EncoderLayer::forward`]: `threads` picks the
+    /// serial or the certified wave-parallel interpreter (the decoder's
+    /// canned plan carries its certificate, so the block parallelizes like
+    /// the encoder), [`ExecOptions::plan`] substitutes an arbitrary plan
+    /// over the decoder graph, `collect_activations` / `profiler` /
+    /// `sanitize` behave identically. The layer-owned scalar knobs
+    /// (`dropout_p`, `activation`, attention scale) come from the layer.
     ///
     /// # Errors
     ///
-    /// Returns an error if `x` has the wrong shape.
-    pub fn forward<R: Rng + ?Sized>(
+    /// Returns an error if `x` has the wrong shape, the plan fails
+    /// validation, a parallel run lacks a certificate, or a kernel rejects
+    /// its operands.
+    pub fn forward(
         &self,
         x: &Tensor,
         w: &EncoderWeights,
-        rng: &mut R,
-    ) -> Result<(Tensor, DecoderActivations)> {
-        let planned = interp::cached_plan(&self.dims, interp::PlanKind::DecoderFused)?;
+        opts: &ExecOptions,
+    ) -> Result<ForwardOutput<DecoderActivations>> {
+        let cached;
+        let (graph, plan, cert) = match opts.plan {
+            Some(o) => (o.graph, o.plan, o.cert),
+            None => {
+                cached = interp::cached_plan(&self.dims, interp::PlanKind::DecoderFused)?;
+                (&cached.graph, &cached.plan, Some(&cached.cert))
+            }
+        };
         let mut state = bind_inputs(x, w)?;
-        let opts = ExecOptions {
+        let run_opts = ExecOptions {
             dropout_p: self.dropout_p,
             activation: self.activation,
             scaler: self.scaler(),
+            ..*opts
         };
-        execute_plan(&planned.graph, &planned.plan, &mut state, &opts, rng)?;
-        let missing = |name: &str| {
-            TensorError::Unsupported(format!(
-                "plan produced no layer-norm statistics for `{name}`"
-            ))
-        };
-        let stats1 = state
-            .stats
-            .remove("ln1_out")
-            .ok_or_else(|| missing("ln1_out"))?;
-        let stats2 = state
-            .stats
-            .remove("ln2_out")
-            .ok_or_else(|| missing("ln2_out"))?;
-        Ok((
-            state.take("y")?,
-            DecoderActivations {
-                ln1_out: state.take("ln1_out")?,
-                stats1,
-                qq: state.take("qq")?,
-                kk: state.take("kk")?,
-                vv: state.take("vv")?,
-                sm: SmOutput {
-                    alpha: state.take("alpha")?,
-                    softmax: state.take("att")?,
-                    mask: state.take("att_mask")?,
-                },
-                gam: state.take("gamma")?,
-                drop1_mask: state.take("drop1_mask")?,
-                res1: state.take("res1")?,
-                ln2_out: state.take("ln2_out")?,
-                stats2,
-                brd: BrdOutput {
-                    out: state.take("ff1_drop")?,
-                    pre_activation: state.take("ff1_b")?,
-                    mask: state.take("drop2_mask")?,
-                },
-                drop3_mask: state.take("drop3_mask")?,
-            },
-        ))
+        run_plan(graph, plan, cert, &mut state, &run_opts)?;
+        finish(state, opts.collect_activations, collect_decoder_activations)
     }
 
     /// Backpropagation: `(dx, weight gradients)` from the output gradient.
@@ -239,11 +258,23 @@ mod tests {
         (DecoderLayer::new(dims, 0.0), w, x)
     }
 
+    fn fwd(
+        layer: &DecoderLayer,
+        x: &Tensor,
+        w: &EncoderWeights,
+        seed: u64,
+    ) -> (Tensor, DecoderActivations) {
+        let opts = ExecOptions {
+            seed,
+            ..ExecOptions::default()
+        };
+        layer.forward(x, w, &opts).unwrap().into_pair().unwrap()
+    }
+
     #[test]
     fn forward_shape_and_causality() {
         let (layer, w, x) = setup();
-        let mut rng = StdRng::seed_from_u64(1);
-        let (y, acts) = layer.forward(&x, &w, &mut rng).unwrap();
+        let (y, acts) = fwd(&layer, &x, &w, 1);
         assert_eq!(y.shape().spec(), "ibj");
         // no attention weight looks at the future
         let d = layer.dims;
@@ -264,8 +295,7 @@ mod tests {
     fn causality_propagates_to_output() {
         // Changing a future token must not change earlier outputs.
         let (layer, w, x) = setup();
-        let mut rng = StdRng::seed_from_u64(2);
-        let (y1, _) = layer.forward(&x, &w, &mut rng).unwrap();
+        let (y1, _) = fwd(&layer, &x, &w, 2);
         let mut x2 = x.clone();
         let d = layer.dims;
         // perturb the last position (j = d.j - 1) for every (i, b)
@@ -275,8 +305,7 @@ mod tests {
                 x2.set(&[i, b, d.j - 1], v + 1.0);
             }
         }
-        let mut rng2 = StdRng::seed_from_u64(2);
-        let (y2, _) = layer.forward(&x2, &w, &mut rng2).unwrap();
+        let (y2, _) = fwd(&layer, &x2, &w, 2);
         for i in 0..d.i {
             for b in 0..d.b {
                 for j in 0..d.j - 1 {
@@ -292,8 +321,7 @@ mod tests {
     #[test]
     fn gradients_match_numerical() {
         let (layer, w, x) = setup();
-        let mut rng = StdRng::seed_from_u64(3);
-        let (y, acts) = layer.forward(&x, &w, &mut rng).unwrap();
+        let (y, acts) = fwd(&layer, &x, &w, 3);
         let loss_w = Tensor::random(
             y.shape().clone(),
             &Uniform::new(-1.0, 1.0),
@@ -301,8 +329,7 @@ mod tests {
         );
         let (dx, grads) = layer.backward(&loss_w, &x, &w, &acts).unwrap();
         let loss = |xx: &Tensor, ww: &EncoderWeights| -> f32 {
-            let mut r = StdRng::seed_from_u64(3);
-            let (yy, _) = layer.forward(xx, ww, &mut r).unwrap();
+            let (yy, _) = fwd(&layer, xx, ww, 3);
             yy.iter().map(|(i, v)| loss_w.at(&i) * v).sum()
         };
         let eps = 1e-2f32;
@@ -357,10 +384,27 @@ mod tests {
     fn relu_variant_also_works() {
         let (mut layer, w, x) = setup();
         layer.activation = ActivationKind::Relu;
-        let mut rng = StdRng::seed_from_u64(5);
-        let (y, acts) = layer.forward(&x, &w, &mut rng).unwrap();
+        let (y, acts) = fwd(&layer, &x, &w, 5);
         let (dx, _) = layer.backward(&y, &x, &w, &acts).unwrap();
         assert!(y.data().iter().all(|v| v.is_finite()));
         assert!(dx.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn parallel_forward_matches_serial() {
+        // The unified API gives the decoder a certified parallel path for
+        // free: the wave-parallel interpreter must reproduce the serial
+        // result bitwise (dropout off, so RNG streams don't matter).
+        let (layer, w, x) = setup();
+        let (y_serial, _) = fwd(&layer, &x, &w, 11);
+        for threads in [2, 4] {
+            let opts = ExecOptions {
+                seed: 11,
+                threads,
+                ..ExecOptions::default()
+            };
+            let (y_par, _) = layer.forward(&x, &w, &opts).unwrap().into_pair().unwrap();
+            assert_eq!(y_serial.data(), y_par.data(), "threads = {threads}");
+        }
     }
 }

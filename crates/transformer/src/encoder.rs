@@ -6,17 +6,22 @@
 //! reference executor is the unfused dataflow graph with natural layouts
 //! (the eager per-operator execution of the PyTorch baseline), the fused
 //! executor the same graph with the paper's fusion plan applied, one step
-//! per fused kernel. [`EncoderLayer::forward_with_plan`] accepts *any*
+//! per fused kernel. The single entry point
+//! [`EncoderLayer::forward`] is driven entirely by
+//! [`ExecOptions`]: `threads` picks the serial or the certified
+//! wave-parallel interpreter, [`ExecOptions::plan`] substitutes *any*
 //! plan over the encoder graph — in particular one lowered from the
-//! recipe's SSSP layout selection — so the optimized configuration runs
-//! through exactly the same code path. Both canned executors compute
-//! identical values (equivalence is tested with dropout disabled, and
-//! backward is bit-for-bit given the same saved masks).
+//! recipe's SSSP layout selection — and
+//! [`ExecOptions::profiler`] attaches a runtime profiler, so the
+//! optimized configuration runs through exactly the same code path. Both
+//! canned executors compute identical values (equivalence is tested with
+//! dropout disabled, and backward is bit-for-bit given the same saved
+//! masks).
 
 use rand::Rng;
 
 use xform_core::plan::{execute_plan, ExecOptions, ExecState, ExecutionPlan};
-use xform_core::sanitize::{execute_plan_parallel, ParallelOptions};
+use xform_core::sanitize::{execute_plan_parallel, ParallelOptions, RaceCertificate};
 use xform_dataflow::{EncoderDims, Graph};
 use xform_tensor::fused::{self, BdrlnOutput, BrdOutput, SmOutput};
 use xform_tensor::ops::dropout::dropout_backward;
@@ -25,7 +30,7 @@ use xform_tensor::ops::layernorm::{layernorm_backward_input, layernorm_backward_
 use xform_tensor::ops::softmax::softmax_backward;
 use xform_tensor::{einsum, Axis, Result, Tensor};
 
-use crate::interp::{self, bind_inputs, PlannedForward};
+use crate::interp::{self, bind_inputs, finish, run_plan, ForwardOutput, PlannedForward};
 use crate::params::{EncoderGrads, EncoderWeights};
 
 fn missing_stats(name: &str) -> xform_tensor::TensorError {
@@ -145,39 +150,87 @@ impl EncoderLayer {
         1.0 / (self.dims.p as f32).sqrt()
     }
 
-    /// Runs forward propagation on input `x` (`[i,b,j]`), returning the
-    /// layer output `y` (`[i,b,j]`) and the saved activations.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error if `x` has the wrong shape for the layer's
-    /// dimensions.
-    pub fn forward<R: Rng + ?Sized>(
-        &self,
-        x: &Tensor,
-        w: &EncoderWeights,
-        rng: &mut R,
-    ) -> Result<(Tensor, Activations)> {
-        let planned = interp::cached_plan(
+    /// The layer's canned plan for its executor kind.
+    fn planned(&self) -> Result<std::sync::Arc<PlannedForward>> {
+        interp::cached_plan(
             &self.dims,
             match self.executor {
                 Executor::Reference => interp::PlanKind::EncoderReference,
                 Executor::Fused => interp::PlanKind::EncoderFused,
             },
-        )?;
-        self.forward_with_plan(&planned.graph, &planned.plan, x, w, rng)
+        )
     }
 
-    /// Runs forward propagation through an arbitrary [`ExecutionPlan`] over
-    /// the encoder graph — the canned reference/fused plans or one lowered
-    /// from a recipe selection ([`ExecutionPlan::lower`]) — and assembles
-    /// the saved activations from the interpreter's environment. Output is
-    /// identical to [`EncoderLayer::forward`] given the same RNG stream.
+    /// Merges the caller's run configuration with the layer-owned scalar
+    /// knobs: `dropout_p`, `activation`, and the attention `scaler` always
+    /// come from the layer, everything else from `opts`.
+    fn exec_options<'p>(&self, opts: &ExecOptions<'p>) -> ExecOptions<'p> {
+        ExecOptions {
+            dropout_p: self.dropout_p,
+            activation: self.activation,
+            scaler: self.scaler(),
+            ..*opts
+        }
+    }
+
+    /// Runs forward propagation on input `x` (`[i,b,j]`) — the single
+    /// entry point for every execution mode, driven by `opts`:
+    ///
+    /// * [`ExecOptions::threads`] — `1` (or `0`) runs the serial
+    ///   interpreter with one RNG stream seeded by [`ExecOptions::seed`];
+    ///   more runs the certified wave-parallel interpreter with per-step
+    ///   RNG streams (bitwise-equal to serial when `dropout_p = 0`,
+    ///   thread-count-invariant always);
+    /// * [`ExecOptions::plan`] — substitutes an arbitrary plan over the
+    ///   encoder graph (e.g. one lowered from a recipe selection) for the
+    ///   layer's canned plan; parallel runs need the override to carry a
+    ///   race certificate;
+    /// * [`ExecOptions::collect_activations`] — when `false`, skips
+    ///   assembling the saved-activation bundle;
+    /// * [`ExecOptions::profiler`] — records per-step measured times into
+    ///   the sink ([`xform_core::profile::PlanProfiler`]);
+    /// * [`ExecOptions::sanitize`] — routes through the shadow-access
+    ///   sanitizer.
+    ///
+    /// The layer-owned scalar knobs (`dropout_p`, `activation`, attention
+    /// scale) are taken from the layer itself; the corresponding
+    /// `ExecOptions` fields are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `x` has the wrong shape for the layer's
+    /// dimensions, the plan fails validation, a parallel run lacks a
+    /// certificate, or a kernel rejects its operands.
+    pub fn forward(
+        &self,
+        x: &Tensor,
+        w: &EncoderWeights,
+        opts: &ExecOptions,
+    ) -> Result<ForwardOutput<Activations>> {
+        let cached;
+        let (graph, plan, cert): (&Graph, &ExecutionPlan, Option<&RaceCertificate>) =
+            match opts.plan {
+                Some(o) => (o.graph, o.plan, o.cert),
+                None => {
+                    cached = self.planned()?;
+                    (&cached.graph, &cached.plan, Some(&cached.cert))
+                }
+            };
+        let mut state = bind_inputs(x, w)?;
+        run_plan(graph, plan, cert, &mut state, &self.exec_options(opts))?;
+        finish(state, opts.collect_activations, collect_activations)
+    }
+
+    /// Runs forward propagation through an arbitrary [`ExecutionPlan`]
+    /// over the encoder graph with a caller-supplied RNG stream.
     ///
     /// # Errors
     ///
     /// Returns an error if the plan fails validation against `graph` or a
     /// kernel rejects its operands.
+    #[deprecated(
+        note = "use the unified `EncoderLayer::forward(&x, &w, &ExecOptions)` with `ExecOptions::plan`"
+    )]
     pub fn forward_with_plan<R: Rng + ?Sized>(
         &self,
         graph: &Graph,
@@ -187,54 +240,44 @@ impl EncoderLayer {
         rng: &mut R,
     ) -> Result<(Tensor, Activations)> {
         let mut state = bind_inputs(x, w)?;
-        let opts = ExecOptions {
-            dropout_p: self.dropout_p,
-            activation: self.activation,
-            scaler: self.scaler(),
-        };
+        let opts = self.exec_options(&ExecOptions::default());
         execute_plan(graph, plan, &mut state, &opts, rng)?;
         collect_activations(state)
     }
 
     /// Runs forward propagation on the certified wave-parallel
-    /// interpreter, dispatching each hazard-DAG wave of the canned plan
-    /// across `threads` worker threads
-    /// ([`xform_core::sanitize::execute_plan_parallel`]). With
-    /// `dropout_p = 0` the output is bitwise-equal to
-    /// [`EncoderLayer::forward`]; with dropout enabled, masks come from
-    /// deterministic per-step RNG streams seeded by `seed`, so results are
-    /// reproducible at any thread count but not equal to the serial
-    /// single-stream run.
+    /// interpreter over the layer's canned plan.
     ///
     /// # Errors
     ///
     /// Returns an error if `x` has the wrong shape, or if any parallel
     /// step fails.
+    #[deprecated(
+        note = "use the unified `EncoderLayer::forward(&x, &w, &ExecOptions)` with `ExecOptions::threads`"
+    )]
     pub fn forward_parallel(
         &self,
         x: &Tensor,
         w: &EncoderWeights,
         popts: &ParallelOptions,
     ) -> Result<(Tensor, Activations)> {
-        let planned = interp::cached_plan(
-            &self.dims,
-            match self.executor {
-                Executor::Reference => interp::PlanKind::EncoderReference,
-                Executor::Fused => interp::PlanKind::EncoderFused,
-            },
-        )?;
-        self.forward_with_plan_parallel(&planned, x, w, popts)
+        let pf = self.planned()?;
+        let mut state = bind_inputs(x, w)?;
+        let opts = self.exec_options(&ExecOptions::default());
+        execute_plan_parallel(&pf.graph, &pf.plan, &pf.cert, &mut state, &opts, popts)?;
+        collect_activations(state)
     }
 
     /// Runs forward propagation through a certified [`PlannedForward`] on
-    /// the wave-parallel interpreter. The certificate is checked against
-    /// the plan's fingerprint before any kernel runs; an edited schedule
-    /// must be re-certified.
+    /// the wave-parallel interpreter.
     ///
     /// # Errors
     ///
     /// Returns an error if the certificate is stale for the plan or a
     /// kernel rejects its operands.
+    #[deprecated(
+        note = "use the unified `EncoderLayer::forward(&x, &w, &ExecOptions)` with `ExecOptions::plan` + `ExecOptions::threads`"
+    )]
     pub fn forward_with_plan_parallel(
         &self,
         pf: &PlannedForward,
@@ -243,11 +286,7 @@ impl EncoderLayer {
         popts: &ParallelOptions,
     ) -> Result<(Tensor, Activations)> {
         let mut state = bind_inputs(x, w)?;
-        let opts = ExecOptions {
-            dropout_p: self.dropout_p,
-            activation: self.activation,
-            scaler: self.scaler(),
-        };
+        let opts = self.exec_options(&ExecOptions::default());
         execute_plan_parallel(&pf.graph, &pf.plan, &pf.cert, &mut state, &opts, popts)?;
         collect_activations(state)
     }
@@ -429,11 +468,24 @@ mod tests {
         (EncoderLayer::new(dims, executor, p), w, x)
     }
 
+    /// Unified-API forward with a fixed seed, destructured for tests.
+    fn fwd(
+        layer: &EncoderLayer,
+        x: &Tensor,
+        w: &EncoderWeights,
+        seed: u64,
+    ) -> (Tensor, Activations) {
+        let opts = ExecOptions {
+            seed,
+            ..ExecOptions::default()
+        };
+        layer.forward(x, w, &opts).unwrap().into_pair().unwrap()
+    }
+
     #[test]
     fn forward_output_shape_and_normalization() {
         let (layer, w, x) = setup(0.0, Executor::Fused);
-        let mut rng = StdRng::seed_from_u64(1);
-        let (y, _) = layer.forward(&x, &w, &mut rng).unwrap();
+        let (y, _) = fwd(&layer, &x, &w, 1);
         assert_eq!(y.shape().spec(), "ibj");
         // output of a layernorm with unit gamma: per-(b,j) slice has
         // mean ~0 and variance ~1 over i
@@ -454,10 +506,8 @@ mod tests {
     fn executors_agree_on_forward() {
         let (fused_layer, w, x) = setup(0.0, Executor::Fused);
         let ref_layer = EncoderLayer::new(fused_layer.dims, Executor::Reference, 0.0);
-        let mut rng1 = StdRng::seed_from_u64(2);
-        let mut rng2 = StdRng::seed_from_u64(2);
-        let (y1, a1) = fused_layer.forward(&x, &w, &mut rng1).unwrap();
-        let (y2, a2) = ref_layer.forward(&x, &w, &mut rng2).unwrap();
+        let (y1, a1) = fwd(&fused_layer, &x, &w, 2);
+        let (y2, a2) = fwd(&ref_layer, &x, &w, 2);
         assert!(y1.max_abs_diff(&y2).unwrap() < 1e-5);
         assert!(a1.qq.max_abs_diff(&a2.qq).unwrap() < 1e-5);
         assert!(a1.sm.alpha.max_abs_diff(&a2.sm.alpha).unwrap() < 1e-5);
@@ -467,8 +517,7 @@ mod tests {
     #[test]
     fn executors_agree_on_backward_given_same_activations() {
         let (fused_layer, w, x) = setup(0.3, Executor::Fused);
-        let mut rng = StdRng::seed_from_u64(3);
-        let (y, acts) = fused_layer.forward(&x, &w, &mut rng).unwrap();
+        let (y, acts) = fwd(&fused_layer, &x, &w, 3);
         let dy = Tensor::random(
             y.shape().clone(),
             &Uniform::new(-1.0, 1.0),
@@ -490,14 +539,13 @@ mod tests {
     fn parallel_forward_is_bitwise_equal_to_serial() {
         for executor in [Executor::Reference, Executor::Fused] {
             let (layer, w, x) = setup(0.0, executor);
-            let mut rng = StdRng::seed_from_u64(8);
-            let (y_serial, a_serial) = layer.forward(&x, &w, &mut rng).unwrap();
-            for threads in [1, 4] {
-                let popts = ParallelOptions {
+            let (y_serial, a_serial) = fwd(&layer, &x, &w, 8);
+            for threads in [2, 4] {
+                let opts = ExecOptions {
                     threads,
-                    ..ParallelOptions::default()
+                    ..ExecOptions::default()
                 };
-                let (y_par, a_par) = layer.forward_parallel(&x, &w, &popts).unwrap();
+                let (y_par, a_par) = layer.forward(&x, &w, &opts).unwrap().into_pair().unwrap();
                 assert_eq!(y_par.data(), y_serial.data(), "{executor:?} @{threads}");
                 assert_eq!(a_par.gam.data(), a_serial.gam.data());
                 assert_eq!(a_par.ln2.ln_input.data(), a_serial.ln2.ln_input.data());
@@ -508,19 +556,78 @@ mod tests {
     #[test]
     fn parallel_dropout_is_thread_count_invariant() {
         let (layer, w, x) = setup(0.5, Executor::Fused);
-        let mk = |threads| ParallelOptions { threads, seed: 99 };
-        let (y1, a1) = layer.forward_parallel(&x, &w, &mk(1)).unwrap();
-        let (y4, a4) = layer.forward_parallel(&x, &w, &mk(4)).unwrap();
-        assert_eq!(y1.data(), y4.data());
-        assert_eq!(a1.brd.mask.data(), a4.brd.mask.data());
-        assert!(a1.brd.mask.data().contains(&0.0));
+        let mk = |threads| ExecOptions {
+            threads,
+            seed: 99,
+            ..ExecOptions::default()
+        };
+        let (y2, a2) = layer.forward(&x, &w, &mk(2)).unwrap().into_pair().unwrap();
+        let (y4, a4) = layer.forward(&x, &w, &mk(4)).unwrap().into_pair().unwrap();
+        assert_eq!(y2.data(), y4.data());
+        assert_eq!(a2.brd.mask.data(), a4.brd.mask.data());
+        assert!(a2.brd.mask.data().contains(&0.0));
+    }
+
+    #[test]
+    fn activations_can_be_skipped() {
+        let (layer, w, x) = setup(0.0, Executor::Fused);
+        let out = layer
+            .forward(
+                &x,
+                &w,
+                &ExecOptions {
+                    collect_activations: false,
+                    ..ExecOptions::default()
+                },
+            )
+            .unwrap();
+        assert!(out.activations.is_none());
+        let (y_full, _) = fwd(&layer, &x, &w, 0x5eed);
+        assert_eq!(out.y.data(), y_full.data());
+        assert!(out.into_pair().is_err(), "into_pair must refuse");
+    }
+
+    #[test]
+    fn plan_override_without_certificate_cannot_run_parallel() {
+        let (layer, w, x) = setup(0.0, Executor::Fused);
+        let pf = interp::encoder_fused(&layer.dims).unwrap();
+        let over = xform_core::plan::PlanOverride {
+            graph: &pf.graph,
+            plan: &pf.plan,
+            cert: None,
+        };
+        // serial override works …
+        let y = layer
+            .forward(
+                &x,
+                &w,
+                &ExecOptions {
+                    plan: Some(over),
+                    ..ExecOptions::default()
+                },
+            )
+            .unwrap()
+            .y;
+        assert_eq!(y.shape().spec(), "ibj");
+        // … but a parallel run without a certificate is refused
+        let err = layer
+            .forward(
+                &x,
+                &w,
+                &ExecOptions {
+                    plan: Some(over),
+                    threads: 4,
+                    ..ExecOptions::default()
+                },
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("certificate"), "{err}");
     }
 
     #[test]
     fn dropout_masks_are_saved_and_applied() {
         let (layer, w, x) = setup(0.5, Executor::Fused);
-        let mut rng = StdRng::seed_from_u64(5);
-        let (_, acts) = layer.forward(&x, &w, &mut rng).unwrap();
+        let (_, acts) = fwd(&layer, &x, &w, 5);
         let zeros = acts.brd.mask.data().iter().filter(|&&m| m == 0.0).count();
         assert!(zeros > 0, "dropout never fired at p=0.5");
         // dropped positions are zero in the output
@@ -540,8 +647,7 @@ mod tests {
         // spot-check one dx coordinate with the GELU feed-forward
         let (layer, w, x) = setup(0.0, Executor::Fused);
         let layer = layer.with_activation(ActivationKind::Gelu);
-        let mut rng = StdRng::seed_from_u64(60);
-        let (y, acts) = layer.forward(&x, &w, &mut rng).unwrap();
+        let (y, acts) = fwd(&layer, &x, &w, 60);
         let loss_w = Tensor::random(
             y.shape().clone(),
             &Uniform::new(-1.0, 1.0),
@@ -549,8 +655,7 @@ mod tests {
         );
         let (dx, _) = layer.backward(&loss_w, &x, &w, &acts).unwrap();
         let loss = |xx: &Tensor| -> f32 {
-            let mut r = StdRng::seed_from_u64(60);
-            let (yy, _) = layer.forward(xx, &w, &mut r).unwrap();
+            let (yy, _) = fwd(&layer, xx, &w, 60);
             yy.iter().map(|(i, v)| loss_w.at(&i) * v).sum()
         };
         let eps = 1e-2f32;
@@ -573,8 +678,7 @@ mod tests {
     #[test]
     fn gradients_match_numerical() {
         let (layer, w, x) = setup(0.0, Executor::Fused);
-        let mut rng = StdRng::seed_from_u64(6);
-        let (y, acts) = layer.forward(&x, &w, &mut rng).unwrap();
+        let (y, acts) = fwd(&layer, &x, &w, 6);
         let loss_w = Tensor::random(
             y.shape().clone(),
             &Uniform::new(-1.0, 1.0),
@@ -583,8 +687,7 @@ mod tests {
         let dy = loss_w.clone();
         let (dx, grads) = layer.backward(&dy, &x, &w, &acts).unwrap();
         let loss = |xx: &Tensor, ww: &EncoderWeights| -> f32 {
-            let mut r = StdRng::seed_from_u64(6);
-            let (yy, _) = layer.forward(xx, ww, &mut r).unwrap();
+            let (yy, _) = fwd(&layer, xx, ww, 6);
             yy.iter().map(|(i, v)| loss_w.at(&i) * v).sum()
         };
         let eps = 1e-2f32;

@@ -5,22 +5,55 @@
 //!
 //! This is where the recipe's output becomes runnable: the same
 //! interpreter that executes the two canned plans also executes an
-//! arbitrary recipe-selected plan (see
-//! [`crate::encoder::EncoderLayer::forward_with_plan`]), so the
-//! SSSP-selected layouts of `xform-core` run against the real CPU kernels
-//! with no per-configuration code.
+//! arbitrary recipe-selected plan (supply it via
+//! [`xform_core::plan::ExecOptions::plan`] to the unified
+//! [`crate::encoder::EncoderLayer::forward`]), so the SSSP-selected
+//! layouts of `xform-core` run against the real CPU kernels with no
+//! per-configuration code.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use xform_core::fusion::{apply_plan, decoder_fusion_plan, encoder_fusion_plan};
-use xform_core::plan::{ExecState, ExecutionPlan};
+use xform_core::plan::{execute_plan, ExecOptions, ExecState, ExecutionPlan};
 use xform_core::recipe::forward_ops;
-use xform_core::sanitize::{certify, RaceCertificate};
+use xform_core::sanitize::{certify, execute_plan_parallel, ParallelOptions, RaceCertificate};
 use xform_dataflow::{build, EncoderDims, Graph};
 use xform_tensor::{Axis, Result, Tensor};
 
 use crate::params::EncoderWeights;
+
+/// The result of a unified layer forward: the layer output plus the saved
+/// activations, which are assembled only when
+/// [`xform_core::plan::ExecOptions::collect_activations`] was set (the
+/// default). Inference-only callers read `y` directly; training callers
+/// destructure with [`ForwardOutput::into_pair`].
+#[derive(Debug, Clone)]
+pub struct ForwardOutput<A> {
+    /// The layer output `y` (`[i,b,j]`).
+    pub y: Tensor,
+    /// Saved activations, when collection was requested.
+    pub activations: Option<A>,
+}
+
+impl<A> ForwardOutput<A> {
+    /// Splits into `(y, activations)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the forward ran with
+    /// `collect_activations = false`.
+    pub fn into_pair(self) -> Result<(Tensor, A)> {
+        let a = self.activations.ok_or_else(|| {
+            xform_tensor::TensorError::Unsupported(
+                "forward ran with collect_activations disabled — no saved activations".into(),
+            )
+        })?;
+        Ok((self.y, a))
+    }
+}
 
 /// A dataflow graph paired with an executable forward schedule over it,
 /// carrying the race certificate that admits the schedule to the
@@ -132,6 +165,59 @@ pub fn decoder_fused(dims: &EncoderDims) -> Result<PlannedForward> {
     let mut g = eg.graph;
     apply_plan(&mut g, &decoder_fusion_plan())?;
     planned(g, eg.dy)
+}
+
+/// Dispatches one plan execution according to the run configuration: the
+/// serial interpreter (one RNG stream seeded by [`ExecOptions::seed`])
+/// for `threads <= 1`, the certificate-gated wave-parallel interpreter
+/// (per-step RNG streams) otherwise. Shared by the unified encoder and
+/// decoder forwards.
+pub(crate) fn run_plan(
+    graph: &Graph,
+    plan: &ExecutionPlan,
+    cert: Option<&RaceCertificate>,
+    state: &mut ExecState,
+    opts: &ExecOptions,
+) -> Result<()> {
+    if opts.threads > 1 {
+        let cert = cert.ok_or_else(|| {
+            xform_tensor::TensorError::Unsupported(
+                "parallel execution requires a race certificate — supply one in the plan \
+                 override or run with threads = 1"
+                    .into(),
+            )
+        })?;
+        let popts = ParallelOptions {
+            threads: opts.threads,
+            seed: opts.seed,
+        };
+        execute_plan_parallel(graph, plan, cert, state, opts, &popts)
+    } else {
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        execute_plan(graph, plan, state, opts, &mut rng)
+    }
+}
+
+/// Wraps a finished interpreter environment into a [`ForwardOutput`]:
+/// either running the layer's activation collector or just lifting `y`
+/// out when collection was disabled.
+pub(crate) fn finish<A>(
+    mut state: ExecState,
+    collect: bool,
+    collector: impl FnOnce(ExecState) -> Result<(Tensor, A)>,
+) -> Result<ForwardOutput<A>> {
+    if collect {
+        let (y, a) = collector(state)?;
+        Ok(ForwardOutput {
+            y,
+            activations: Some(a),
+        })
+    } else {
+        Ok(ForwardOutput {
+            y: state.take("y")?,
+            activations: None,
+        })
+    }
 }
 
 /// Binds a layer input and the shared weight set into an interpreter

@@ -8,8 +8,17 @@
 //! and [`encoder::Executor::Fused`] (the paper's twelve fused kernels).
 //! Both are validated against each other and against numerical gradients.
 //!
+//! Every layer exposes **one** forward entry point,
+//! `forward(&x, &weights, &ExecOptions)`: the
+//! [`xform_core::plan::ExecOptions`] argument selects serial vs.
+//! certified wave-parallel execution (`threads`), an explicit plan
+//! override (`plan`), sanitized execution (`sanitize`), activation
+//! collection (`collect_activations`) and an optional runtime profiler
+//! sink (`profiler`).
+//!
 //! * [`params`] — encoder weights/gradients and SGD;
 //! * [`encoder`] — the layer itself;
+//! * [`decoder`] — the GPT-2-style causal variant;
 //! * [`mha`] — standalone general multi-head attention (Fig. 1);
 //! * [`training`] — a miniature synthetic training loop.
 //!
@@ -17,6 +26,7 @@
 //!
 //! ```
 //! use rand::SeedableRng;
+//! use xform_core::plan::ExecOptions;
 //! use xform_dataflow::EncoderDims;
 //! use xform_transformer::encoder::{EncoderLayer, Executor};
 //! use xform_transformer::params::EncoderWeights;
@@ -27,7 +37,8 @@
 //! let weights = EncoderWeights::init(&dims, &mut rng);
 //! let layer = EncoderLayer::new(dims, Executor::Fused, 0.0);
 //! let x = synthetic_batch(&dims, &mut rng)?;
-//! let (y, acts) = layer.forward(&x, &weights, &mut rng)?;
+//! let opts = ExecOptions { seed: 42, ..ExecOptions::default() };
+//! let (y, acts) = layer.forward(&x, &weights, &opts)?.into_pair()?;
 //! let (dx, grads) = layer.backward(&y, &x, &weights, &acts)?;
 //! assert_eq!(dx.shape(), x.shape());
 //! assert_eq!(grads.w1.shape(), weights.w1.shape());

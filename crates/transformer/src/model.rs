@@ -188,16 +188,22 @@ impl TransformerModel {
         let mut acts = Vec::with_capacity(self.blocks.len());
         let mut h = x0.clone();
         for w in &self.blocks {
+            // per-block dropout stream drawn from the caller's RNG so the
+            // whole model stays deterministic under a seeded generator
+            let opts = xform_core::plan::ExecOptions {
+                seed: rng.gen::<u64>(),
+                ..xform_core::plan::ExecOptions::default()
+            };
             let (next, a) = match self.config.block {
                 BlockKind::Encoder => {
                     let layer =
                         EncoderLayer::new(self.config.dims, Executor::Fused, self.config.dropout_p);
-                    let (y, a) = layer.forward(&h, w, rng)?;
+                    let (y, a) = layer.forward(&h, w, &opts)?.into_pair()?;
                     (y, BlockActs::Encoder(a))
                 }
                 BlockKind::Decoder => {
                     let layer = DecoderLayer::new(self.config.dims, self.config.dropout_p);
-                    let (y, a) = layer.forward(&h, w, rng)?;
+                    let (y, a) = layer.forward(&h, w, &opts)?.into_pair()?;
                     (y, BlockActs::Decoder(a))
                 }
             };

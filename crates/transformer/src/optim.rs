@@ -154,6 +154,7 @@ impl Optimizer for Adam {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::Rng;
     use xform_tensor::Shape;
 
     fn quadratic_step(opt: &mut dyn Optimizer, x0: f32, steps: usize) -> f32 {
@@ -231,7 +232,11 @@ mod tests {
         let mut first = None;
         let mut last = 0.0;
         for _ in 0..25 {
-            let (y, acts) = layer.forward(&x, &w, &mut rng).unwrap();
+            let opts = xform_core::plan::ExecOptions {
+                seed: rng.gen::<u64>(),
+                ..xform_core::plan::ExecOptions::default()
+            };
+            let (y, acts) = layer.forward(&x, &w, &opts).unwrap().into_pair().unwrap();
             let n = y.len() as f32;
             let mut dy = y.clone();
             let mut loss = 0.0;

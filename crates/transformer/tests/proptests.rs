@@ -7,6 +7,7 @@ use rand::distributions::Uniform;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use xform_core::plan::ExecOptions;
 use xform_dataflow::EncoderDims;
 use xform_tensor::{Shape, Tensor};
 use xform_transformer::encoder::{EncoderLayer, Executor};
@@ -45,10 +46,9 @@ proptest! {
         let x = batch(&dims, seed + 1);
         let fused = EncoderLayer::new(dims, Executor::Fused, 0.0);
         let reference = EncoderLayer::new(dims, Executor::Reference, 0.0);
-        let mut r1 = StdRng::seed_from_u64(0);
-        let mut r2 = StdRng::seed_from_u64(0);
-        let (y1, a1) = fused.forward(&x, &w, &mut r1).unwrap();
-        let (y2, a2) = reference.forward(&x, &w, &mut r2).unwrap();
+        let opts = ExecOptions { seed: 0, ..ExecOptions::default() };
+        let (y1, a1) = fused.forward(&x, &w, &opts).unwrap().into_pair().unwrap();
+        let (y2, a2) = reference.forward(&x, &w, &opts).unwrap().into_pair().unwrap();
         prop_assert!(y1.max_abs_diff(&y2).unwrap() < 1e-4);
         let (dx1, g1) = fused.backward(&y1, &x, &w, &a1).unwrap();
         let (dx2, g2) = reference.backward(&y2, &x, &w, &a2).unwrap();
@@ -64,7 +64,8 @@ proptest! {
         let w = EncoderWeights::init(&dims, &mut rng);
         let x = batch(&dims, seed + 1);
         let layer = EncoderLayer::new(dims, Executor::Fused, 0.0);
-        let (y, _) = layer.forward(&x, &w, &mut rng).unwrap();
+        let opts = ExecOptions { seed, ..ExecOptions::default() };
+        let (y, _) = layer.forward(&x, &w, &opts).unwrap().into_pair().unwrap();
         for b in 0..dims.b {
             for j in 0..dims.j {
                 let mean: f32 =
@@ -81,7 +82,8 @@ proptest! {
         let w = EncoderWeights::init(&dims, &mut rng);
         let x = batch(&dims, seed + 1);
         let layer = EncoderLayer::new(dims, Executor::Fused, 0.0);
-        let (y, acts) = layer.forward(&x, &w, &mut rng).unwrap();
+        let opts = ExecOptions { seed, ..ExecOptions::default() };
+        let (y, acts) = layer.forward(&x, &w, &opts).unwrap().into_pair().unwrap();
         let dy = batch(&dims, seed + 2);
         let scaled = xform_tensor::ops::elementwise::scale(&dy, c);
         let (dx1, _) = layer.backward(&dy, &x, &w, &acts).unwrap();
@@ -99,7 +101,8 @@ proptest! {
         let w = EncoderWeights::init(&dims, &mut rng);
         let x = batch(&dims, seed + 1);
         let layer = EncoderLayer::new(dims, Executor::Fused, p);
-        let (_, acts) = layer.forward(&x, &w, &mut rng).unwrap();
+        let opts = ExecOptions { seed, ..ExecOptions::default() };
+        let (_, acts) = layer.forward(&x, &w, &opts).unwrap().into_pair().unwrap();
         let keep = 1.0 / (1.0 - p);
         for m in acts.brd.mask.data() {
             prop_assert!(*m == 0.0 || (*m - keep).abs() < 1e-5);

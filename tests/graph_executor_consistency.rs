@@ -5,6 +5,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use substation::core::plan::ExecOptions;
 use substation::dataflow::{build, DataRole, EncoderDims};
 use substation::transformer::encoder::{EncoderLayer, Executor};
 use substation::transformer::params::EncoderWeights;
@@ -22,7 +23,11 @@ fn activations_match_graph_containers() {
     let w = EncoderWeights::init(&d, &mut rng);
     let layer = EncoderLayer::new(d, Executor::Fused, 0.0);
     let x = synthetic_batch(&d, &mut rng).unwrap();
-    let (y, acts) = layer.forward(&x, &w, &mut rng).unwrap();
+    let (y, acts) = layer
+        .forward(&x, &w, &ExecOptions::default())
+        .unwrap()
+        .into_pair()
+        .unwrap();
 
     // Every saved container the graph declares has a live counterpart in
     // the executor's activations, with an identical shape.
@@ -62,7 +67,11 @@ fn gradients_match_graph_outputs() {
     let w = EncoderWeights::init(&d, &mut rng);
     let layer = EncoderLayer::new(d, Executor::Fused, 0.0);
     let x = synthetic_batch(&d, &mut rng).unwrap();
-    let (y, acts) = layer.forward(&x, &w, &mut rng).unwrap();
+    let (y, acts) = layer
+        .forward(&x, &w, &ExecOptions::default())
+        .unwrap()
+        .into_pair()
+        .unwrap();
     let (dx, grads) = layer.backward(&y, &x, &w, &acts).unwrap();
 
     let shape_of = |name: &str| {

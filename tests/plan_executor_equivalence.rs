@@ -4,7 +4,9 @@
 //! wave-parallel interpreter is bitwise-equal to the serial one on that
 //! same recipe-selected plan; arbitrary layout perturbations survive
 //! `reflow` unchanged in value; and malformed plans are rejected by the
-//! static analyzer before any kernel runs.
+//! static analyzer before any kernel runs. All runs go through the single
+//! unified `forward(&x, &w, &ExecOptions)` entry point, with plans
+//! substituted via [`substation::core::plan::PlanOverride`].
 
 use proptest::prelude::*;
 use rand::distributions::Uniform;
@@ -12,8 +14,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use substation::core::analyze::{PlanLint, Severity};
-use substation::core::plan::ExecutionPlan;
-use substation::core::sanitize::{certify, ParallelOptions};
+use substation::core::plan::{ExecOptions, ExecutionPlan, PlanOverride};
+use substation::core::sanitize::certify;
 use substation::core::selection::select_forward;
 use substation::core::sweep::{sweep_all, SimulatorSource, SweepOptions};
 use substation::dataflow::EncoderDims;
@@ -52,11 +54,17 @@ fn inputs(dims: &EncoderDims, seed: u64) -> (Tensor, EncoderWeights) {
     (x, w)
 }
 
+fn opts(seed: u64) -> ExecOptions<'static> {
+    ExecOptions {
+        seed,
+        ..ExecOptions::default()
+    }
+}
+
 /// The reference executor's output for the given input (dropout off).
 fn reference_y(dims: &EncoderDims, x: &Tensor, w: &EncoderWeights) -> Tensor {
     let layer = EncoderLayer::new(*dims, Executor::Reference, 0.0);
-    let mut rng = StdRng::seed_from_u64(3);
-    layer.forward(x, w, &mut rng).expect("reference forward").0
+    layer.forward(x, w, &opts(3)).expect("reference forward").y
 }
 
 #[test]
@@ -80,10 +88,15 @@ fn recipe_lowered_plan_matches_reference_executor() {
     let (x, w) = inputs(&dims, 17);
     let y_ref = reference_y(&dims, &x, &w);
     let layer = EncoderLayer::new(dims, Executor::Fused, 0.0);
-    let mut rng = StdRng::seed_from_u64(3);
-    let (y_sel, _) = layer
-        .forward_with_plan(&planned.graph, &plan, &x, &w, &mut rng)
-        .expect("plan-driven forward");
+    let run = ExecOptions {
+        plan: Some(PlanOverride {
+            graph: &planned.graph,
+            plan: &plan,
+            cert: None,
+        }),
+        ..opts(3)
+    };
+    let y_sel = layer.forward(&x, &w, &run).expect("plan-driven forward").y;
     // layouts may differ; max_abs_diff compares logical elements
     assert!(
         y_sel.max_abs_diff(&y_ref).unwrap() < 1e-4,
@@ -113,26 +126,30 @@ fn parallel_execution_of_recipe_plan_is_bitwise_equal_to_serial() {
     let sel = select_forward(&planned.graph, &DeviceSpec::v100(), &fwd, &sweeps).unwrap();
     let plan = ExecutionPlan::lower(&planned.graph, &sel).unwrap();
     let cert = certify(&planned.graph, &plan).expect("the recipe-selected plan certifies");
-    let pf = interp::PlannedForward {
-        graph: planned.graph.clone(),
-        plan,
-        cert,
-    };
 
     let (x, w) = inputs(&dims, 29);
     let layer = EncoderLayer::new(dims, Executor::Fused, 0.0);
-    let mut rng = StdRng::seed_from_u64(3);
+    let over = PlanOverride {
+        graph: &planned.graph,
+        plan: &plan,
+        cert: Some(&cert),
+    };
+    let serial = ExecOptions {
+        plan: Some(over),
+        ..opts(3)
+    };
     let (y_serial, a_serial) = layer
-        .forward_with_plan(&pf.graph, &pf.plan, &x, &w, &mut rng)
-        .expect("serial plan-driven forward");
+        .forward(&x, &w, &serial)
+        .expect("serial plan-driven forward")
+        .into_pair()
+        .unwrap();
     for threads in [1usize, 2, 4, 8] {
-        let popts = ParallelOptions {
-            threads,
-            ..ParallelOptions::default()
-        };
+        let run = ExecOptions { threads, ..serial };
         let (y_par, a_par) = layer
-            .forward_with_plan_parallel(&pf, &x, &w, &popts)
-            .expect("parallel plan-driven forward");
+            .forward(&x, &w, &run)
+            .expect("parallel plan-driven forward")
+            .into_pair()
+            .unwrap();
         assert_eq!(
             y_par.data(),
             y_serial.data(),
@@ -178,10 +195,11 @@ proptest! {
         let (x, w) = inputs(&dims, seed ^ 0xABCD);
         let y_ref = reference_y(&dims, &x, &w);
         let layer = EncoderLayer::new(dims, Executor::Fused, 0.0);
-        let mut rng = StdRng::seed_from_u64(3);
-        let (y, _) = layer
-            .forward_with_plan(&planned.graph, &plan, &x, &w, &mut rng)
-            .expect("perturbed plan executes");
+        let run = ExecOptions {
+            plan: Some(PlanOverride { graph: &planned.graph, plan: &plan, cert: None }),
+            ..opts(3)
+        };
+        let y = layer.forward(&x, &w, &run).expect("perturbed plan executes").y;
         prop_assert!(y.max_abs_diff(&y_ref).unwrap() < 1e-4);
     }
 }
@@ -192,6 +210,17 @@ fn invalid_plans_are_rejected_before_execution() {
     let planned = interp::encoder_fused(&dims).unwrap();
     let (x, w) = inputs(&dims, 5);
     let layer = EncoderLayer::new(dims, Executor::Fused, 0.0);
+    let run = |plan: &ExecutionPlan, x: &Tensor, w: &EncoderWeights| {
+        let o = ExecOptions {
+            plan: Some(PlanOverride {
+                graph: &planned.graph,
+                plan,
+                cert: None,
+            }),
+            ..opts(3)
+        };
+        layer.forward(x, w, &o).map(|out| out.y)
+    };
 
     // a layout that is not a permutation of the container's axes
     let mut garbled = planned.plan.clone();
@@ -200,18 +229,12 @@ fn invalid_plans_are_rejected_before_execution() {
         .check(&planned.graph)
         .iter()
         .any(|l| matches!(l, PlanLint::BadLayout { .. })));
-    let mut rng = StdRng::seed_from_u64(3);
-    assert!(layer
-        .forward_with_plan(&planned.graph, &garbled, &x, &w, &mut rng)
-        .is_err());
+    assert!(run(&garbled, &x, &w).is_err());
 
     // a schedule missing the producer of a consumed container
     let mut truncated = planned.plan.clone();
     let mid = truncated.steps.len() / 2;
     truncated.steps.remove(mid);
     assert!(!is_error_clean(&truncated, &planned.graph));
-    let mut rng = StdRng::seed_from_u64(3);
-    assert!(layer
-        .forward_with_plan(&planned.graph, &truncated, &x, &w, &mut rng)
-        .is_err());
+    assert!(run(&truncated, &x, &w).is_err());
 }
