@@ -14,7 +14,9 @@
 
 use std::collections::HashMap;
 
-use xform_core::analyze::{analyze, audit, lint_selection, render_report, Severity};
+use xform_core::analyze::{
+    analyze, assign_arena, audit, lint_selection, render_report, ArenaGranularity, Severity,
+};
 use xform_core::plan::ExecutionPlan;
 use xform_core::sanitize::certify;
 use xform_core::selection::select_forward;
@@ -74,6 +76,13 @@ fn report(
     if let Some(sweeps) = sweeps {
         analysis.lints.extend(lint_selection(graph, plan, sweeps));
     }
+    // arena coloring rides the audit: any fragmentation divergence between
+    // the colored slab and the liveness peak becomes a typed (warning)
+    // lint alongside the analyzer's own findings
+    let arena_serial = assign_arena(&analysis, ArenaGranularity::Serial);
+    let arena_waves = assign_arena(&analysis, ArenaGranularity::Waves);
+    analysis.lints.extend(arena_serial.lints.iter().cloned());
+    analysis.lints.extend(arena_waves.lints.iter().cloned());
     let errors = analysis.errors().len();
     if mode == Mode::Check {
         println!(
@@ -95,6 +104,18 @@ fn report(
     } else {
         let movement = audit(graph, plan, device);
         print!("{}", render_report(title, &analysis, &movement, device));
+        for (tag, a) in [("serial", &arena_serial), ("waves", &arena_waves)] {
+            println!(
+                "arena ({tag}): slab {:.1} KiB vs {:.1} KiB peak-resident{}",
+                a.slab_bytes(4) as f64 / 1024.0,
+                (a.target_words * 4) as f64 / 1024.0,
+                if a.lints.is_empty() {
+                    " — exact"
+                } else {
+                    " — FRAGMENTED"
+                },
+            );
+        }
         println!();
     }
     Audited { title, errors }

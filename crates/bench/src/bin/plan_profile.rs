@@ -12,25 +12,94 @@
 //! (`xform_core::profile::ProfiledSource`), and report the adopted
 //! plan's measured improvement.
 //!
+//! The binary also runs under a counting global allocator and reports the
+//! arena interpreter's steady-state heap discipline: slab/scratch/stats
+//! bytes per granularity and heap allocations per `forward_into` call
+//! after warmup, which must be **zero**.
+//!
 //! With `--check` it runs a compact smoke pass and exits non-zero unless
 //! every interpretable step records nonzero measured bytes, every
-//! measured MUE lies in (0, 100], and the re-selected winner's measured
-//! total is no worse than the natural plan's — CI runs this to keep the
-//! profiler honest.
+//! measured MUE lies in (0, 100], the re-selected winner's measured
+//! total is no worse than the natural plan's, and the arena's
+//! steady-state allocation count is zero — CI runs this to keep the
+//! profiler (and the arena's zero-allocation claim) honest.
 
+use rand::distributions::Uniform;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use xform_core::analyze::audit;
 use xform_core::cpusource::CpuSource;
 use xform_core::plan::{random_externals, ExecOptions};
 use xform_core::profile::{
-    profile_plan, profile_plan_parallel, reselect, PlanProfiler, Reselection,
+    profile_plan, profile_plan_parallel, reselect, CountingAlloc, PlanProfiler, Reselection,
 };
 use xform_core::sanitize::ParallelOptions;
 use xform_core::sweep::SweepOptions;
 use xform_dataflow::{EncoderDims, Graph, OpClass};
 use xform_gpusim::DeviceSpec;
+use xform_tensor::{Shape, Tensor};
+use xform_transformer::encoder::{EncoderLayer, Executor};
 use xform_transformer::interp;
+use xform_transformer::params::EncoderWeights;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
 
 const REPS: usize = 5;
+const STEADY_CALLS: usize = 20;
+
+struct ArenaRow {
+    tag: &'static str,
+    threads: usize,
+    slab_bytes: usize,
+    scratch_bytes: usize,
+    stats_bytes: usize,
+    /// Heap events (alloc + dealloc + realloc) across `STEADY_CALLS`
+    /// post-warmup `forward_into` calls. Must be zero.
+    events: u64,
+}
+
+/// Runs the fused encoder through the zero-allocation arena entry point
+/// at both granularities and measures steady-state heap traffic.
+fn arena_rows() -> Result<Vec<ArenaRow>, Box<dyn std::error::Error>> {
+    let dims = dims();
+    let layer = EncoderLayer::new(dims, Executor::Fused, 0.0);
+    let mut rng = StdRng::seed_from_u64(3);
+    let w = EncoderWeights::init(&dims, &mut rng);
+    let shape = Shape::from_spec("ibj", &dims.size_table())?;
+    let x = Tensor::random(shape.clone(), &Uniform::new(-1.0, 1.0), &mut rng);
+    let mut y = Tensor::from_vec(shape, vec![0.0; dims.i * dims.b * dims.j])?;
+    let mut rows = Vec::new();
+    for (tag, threads) in [("serial", 1usize), ("waves", 4)] {
+        let opts = ExecOptions {
+            threads,
+            seed: 7,
+            ..ExecOptions::default()
+        };
+        let arena = interp::cached_arena(
+            &dims,
+            interp::PlanKind::EncoderFused,
+            interp::granularity_for(threads),
+        )?
+        .ok_or("arena did not compile for the fused encoder plan")?;
+        // warmup: plan + arena caches, worker pool, env-var resolution
+        layer.forward_into(&x, &w, &opts, &mut y)?;
+        layer.forward_into(&x, &w, &opts, &mut y)?;
+        let before = ALLOC.events();
+        for _ in 0..STEADY_CALLS {
+            layer.forward_into(&x, &w, &opts, &mut y)?;
+        }
+        rows.push(ArenaRow {
+            tag,
+            threads,
+            slab_bytes: arena.slab_bytes(),
+            scratch_bytes: arena.scratch_words() * 4,
+            stats_bytes: arena.stats_words() * 4,
+            events: ALLOC.events() - before,
+        });
+    }
+    Ok(rows)
+}
 
 fn dims() -> EncoderDims {
     EncoderDims {
@@ -165,6 +234,24 @@ fn full() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
+    // --- arena steady-state heap discipline ---
+    println!("\narena execution (fused encoder, zero-allocation steady state):");
+    println!(
+        "  {:<7} {:>7} {:>9} {:>11} {:>9} {:>12}",
+        "granul.", "threads", "slab KiB", "scratch KiB", "stats KiB", "allocs/call"
+    );
+    for r in arena_rows()? {
+        println!(
+            "  {:<7} {:>7} {:>9.1} {:>11.1} {:>9.1} {:>12.2}",
+            r.tag,
+            r.threads,
+            r.slab_bytes as f64 / 1024.0,
+            r.scratch_bytes as f64 / 1024.0,
+            r.stats_bytes as f64 / 1024.0,
+            r.events as f64 / STEADY_CALLS as f64,
+        );
+    }
+
     // --- profile-guided re-selection ---
     println!("\nprofile-guided re-selection (CPU-measured fallback, sweep ≤48 configs/op):");
     let r = reselection(&pf.graph, &pf.plan, &opts)?;
@@ -255,10 +342,22 @@ fn check() -> Result<(), Box<dyn std::error::Error>> {
         ));
     }
 
+    // the arena's zero-allocation steady state is a hard gate
+    for row in arena_rows()? {
+        if row.events != 0 {
+            bad.push(format!(
+                "arena ({}, {} threads): {} heap event(s) across {STEADY_CALLS} \
+                 steady-state forward_into calls (must be 0)",
+                row.tag, row.threads, row.events
+            ));
+        }
+    }
+
     if bad.is_empty() {
         println!(
             "plan_profile --check: OK — {} steps profiled serial+parallel, \
-             re-selected total {:.1} µs ≤ natural {:.1} µs",
+             re-selected total {:.1} µs ≤ natural {:.1} µs, \
+             0 steady-state arena allocations",
             pf.plan.steps.len(),
             r.best_us(),
             r.natural_us()

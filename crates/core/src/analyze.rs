@@ -285,6 +285,29 @@ pub enum PlanLint {
         /// The output layout achieving `better_us`.
         better_out: String,
     },
+    /// Two buffers with overlapping live intervals were assigned
+    /// overlapping word ranges of the arena slab — executing the plan out
+    /// of the arena would corrupt data (emitted by the
+    /// [`sanitize`](crate::sanitize) arena certifier).
+    ArenaOverlap {
+        /// Name of the first buffer.
+        a: String,
+        /// Name of the second buffer.
+        b: String,
+        /// The first buffer's slab offset in words.
+        a_offset: u64,
+        /// The second buffer's slab offset in words.
+        b_offset: u64,
+    },
+    /// Interval coloring fragmented the arena: the slab is larger than the
+    /// statically predicted peak-resident words, so the arena interpreter
+    /// holds more memory than the liveness analysis says it must.
+    ArenaFragmentation {
+        /// Words the colored slab occupies.
+        slab_words: u64,
+        /// Peak-resident words the liveness analysis predicts.
+        peak_words: u64,
+    },
 }
 
 impl PlanLint {
@@ -302,13 +325,15 @@ impl PlanLint {
             | PlanLint::LayoutIncoherent { .. }
             | PlanLint::NameAlias { .. }
             | PlanLint::UnderDeclaredFootprint { .. }
-            | PlanLint::WaveHazard { .. } => Severity::Error,
+            | PlanLint::WaveHazard { .. }
+            | PlanLint::ArenaOverlap { .. } => Severity::Error,
             PlanLint::DeadStep { .. }
             | PlanLint::RedundantRelayout { .. }
             | PlanLint::CancellingRelayouts { .. }
             | PlanLint::OrphanRelayout { .. }
             | PlanLint::MissedFusion { .. }
-            | PlanLint::DominatedLayout { .. } => Severity::Warning,
+            | PlanLint::DominatedLayout { .. }
+            | PlanLint::ArenaFragmentation { .. } => Severity::Warning,
         }
     }
 
@@ -334,6 +359,7 @@ impl PlanLint {
             PlanLint::CancellingRelayouts { second_step, .. } => *second_step,
             PlanLint::MissedFusion { second_step, .. } => *second_step,
             PlanLint::WaveHazard { to, .. } => *to,
+            PlanLint::ArenaOverlap { .. } | PlanLint::ArenaFragmentation { .. } => 0,
         }
     }
 }
@@ -480,6 +506,22 @@ impl fmt::Display for PlanLint {
             } => write!(
                 f,
                 "step {step} (`{name}`): chosen layout pair ({chosen_us:.1} µs) is dominated — output is relayouted before every use, and `{better_out}` would take {better_us:.1} µs"
+            ),
+            PlanLint::ArenaOverlap {
+                a,
+                b,
+                a_offset,
+                b_offset,
+            } => write!(
+                f,
+                "arena: live buffers `{a}` (offset {a_offset}) and `{b}` (offset {b_offset}) share slab words"
+            ),
+            PlanLint::ArenaFragmentation {
+                slab_words,
+                peak_words,
+            } => write!(
+                f,
+                "arena: coloring fragmented the slab to {slab_words} words, above the {peak_words}-word peak-resident prediction"
             ),
         }
     }
@@ -661,6 +703,273 @@ impl PlanAnalysis {
             .enumerate()
             .max_by_key(|&(_, &w)| w)
             .map_or((0, 0), |(i, &w)| (i, w))
+    }
+}
+
+/// The execution order an arena assignment (and its certificate) is valid
+/// for. Serial retirement frees a buffer the step after its last use;
+/// wave-parallel retirement frees whole waves at a time, so the two orders
+/// produce *different* live intervals and mutually incompatible colorings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArenaGranularity {
+    /// Buffers live over step intervals; valid for the serial interpreter.
+    Serial,
+    /// Buffers live over wave intervals; valid for the wave-parallel
+    /// interpreter (and, conservatively, for serial execution in wave
+    /// order).
+    Waves,
+}
+
+impl fmt::Display for ArenaGranularity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ArenaGranularity::Serial => "serial",
+            ArenaGranularity::Waves => "waves",
+        })
+    }
+}
+
+/// One buffer colored into the arena slab.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArenaSlot {
+    /// The container.
+    pub data: NodeId,
+    /// Its name.
+    pub name: String,
+    /// Assigned slab offset in words.
+    pub offset: u64,
+    /// Size in words.
+    pub words: u64,
+    /// First time unit (step or wave, per granularity) the buffer is
+    /// resident.
+    pub start: usize,
+    /// Last time unit the buffer is resident.
+    pub end: usize,
+}
+
+/// The result of [`assign_arena`]: every live buffer colored to a word
+/// offset inside one slab whose size the pass tries to hold at exactly the
+/// liveness analysis's peak-resident words.
+#[derive(Debug, Clone)]
+pub struct ArenaAssignment {
+    /// The execution order the coloring is valid for.
+    pub granularity: ArenaGranularity,
+    /// One slot per live buffer, in liveness order.
+    pub slots: Vec<ArenaSlot>,
+    /// Total slab size in words (the arena's high-water mark).
+    pub slab_words: u64,
+    /// The statically predicted peak-resident words the slab is measured
+    /// against ([`PlanAnalysis::peak_resident_words`] for
+    /// [`ArenaGranularity::Serial`], the wave-granularity peak for
+    /// [`ArenaGranularity::Waves`]).
+    pub target_words: u64,
+    /// [`PlanLint::ArenaFragmentation`] when `slab_words > target_words`;
+    /// empty otherwise.
+    pub lints: Vec<PlanLint>,
+}
+
+impl ArenaAssignment {
+    /// Slab size in bytes at the given word width.
+    pub fn slab_bytes(&self, word_bytes: usize) -> u64 {
+        self.slab_words * word_bytes as u64
+    }
+}
+
+/// Greedy first-fit placement of `order` (indices into `iv`) where
+/// `iv[i] = (start, end, words)`. Each buffer goes to the lowest word
+/// offset at which it fits below every already-placed buffer whose live
+/// interval overlaps its own. Returns per-buffer offsets and the slab
+/// high-water mark.
+fn color_intervals(iv: &[(usize, usize, u64)], order: &[usize], best_fit: bool) -> (Vec<u64>, u64) {
+    let mut offsets = vec![0u64; iv.len()];
+    let mut placed: Vec<usize> = Vec::with_capacity(iv.len());
+    let mut slab = 0u64;
+    for &i in order {
+        let (s, e, words) = iv[i];
+        // collect placed buffers overlapping [s, e], sorted by offset;
+        // two busy ranges may themselves overlap (they need not be live
+        // simultaneously), so gap scanning tracks a running high-water
+        // cursor rather than assuming disjointness
+        let mut busy: Vec<(u64, u64)> = placed
+            .iter()
+            .filter(|&&j| {
+                let (js, je, _) = iv[j];
+                s <= je && js <= e
+            })
+            .map(|&j| (offsets[j], iv[j].2))
+            .collect();
+        busy.sort_unstable();
+        let mut cursor = 0u64;
+        // (gap size, gap start) of the tightest fitting hole so far
+        let mut best: Option<(u64, u64)> = None;
+        for (off, w) in busy {
+            if cursor + words <= off {
+                if !best_fit {
+                    best = Some((off - cursor, cursor));
+                    break;
+                }
+                let gap = off - cursor;
+                if best.is_none_or(|(bg, _)| gap < bg) {
+                    best = Some((gap, cursor));
+                }
+            }
+            cursor = cursor.max(off + w);
+        }
+        let at = best.map_or(cursor, |(_, start)| start);
+        offsets[i] = at;
+        slab = slab.max(at + words);
+        placed.push(i);
+    }
+    (offsets, slab)
+}
+
+/// Colors the plan's buffer-liveness intervals into offsets of one shared
+/// slab, register-allocation style: buffers whose live intervals overlap
+/// never share words; buffers whose intervals are disjoint may. Offsets
+/// are in f32 words, which keeps every buffer naturally aligned for f32
+/// access (the pass deliberately adds no cache-line padding — padding
+/// would push the slab above the peak-resident target the audit pins).
+///
+/// Several deterministic placement orders are tried and the smallest slab
+/// wins; when even the best coloring exceeds the liveness peak, the
+/// assignment carries a [`PlanLint::ArenaFragmentation`] warning and the
+/// divergence is surfaced by `plan_audit`.
+pub fn assign_arena(analysis: &PlanAnalysis, granularity: ArenaGranularity) -> ArenaAssignment {
+    let last_wave = analysis.parallel_waves().len().saturating_sub(1);
+    let wave_of = match granularity {
+        ArenaGranularity::Serial => Vec::new(),
+        ArenaGranularity::Waves => analysis.wave_of(),
+    };
+    let iv: Vec<(usize, usize, u64)> = analysis
+        .liveness
+        .iter()
+        .map(|b| match granularity {
+            ArenaGranularity::Serial => (b.start, b.end, b.words),
+            ArenaGranularity::Waves => {
+                let ws = b.def.map_or(0, |d| wave_of[d]);
+                let pinned = matches!(b.role, DataRole::Output | DataRole::Saved);
+                let we = if pinned {
+                    last_wave
+                } else {
+                    b.last_use.map_or(ws, |u| wave_of[u]).max(ws)
+                };
+                (ws, we, b.words)
+            }
+        })
+        .collect();
+
+    let (peak_t, target_words) = match granularity {
+        ArenaGranularity::Serial => (analysis.peak_step, analysis.peak_resident_words),
+        ArenaGranularity::Waves => analysis.peak_wave_resident_words(),
+    };
+
+    // candidate placement orders; ties broken by index for determinism
+    let n = iv.len();
+    let base: Vec<usize> = (0..n).collect();
+    let mut by_start = base.clone();
+    by_start.sort_by_key(|&i| (iv[i].0, std::cmp::Reverse(iv[i].2), i));
+    let mut by_words = base.clone();
+    by_words.sort_by_key(|&i| (std::cmp::Reverse(iv[i].2), iv[i].0, i));
+    let mut by_end = base.clone();
+    by_end.sort_by_key(|&i| (iv[i].1, std::cmp::Reverse(iv[i].2), i));
+    let mut by_span = base.clone();
+    by_span.sort_by_key(|&i| {
+        (
+            std::cmp::Reverse(iv[i].1 - iv[i].0),
+            std::cmp::Reverse(iv[i].2),
+            i,
+        )
+    });
+    // the peak-resident set is mutually overlapping (every member is live
+    // at the peak), so placing it first packs it gap-free into exactly the
+    // target; transients then drop into holes left over time
+    let mut by_peak = base;
+    by_peak.sort_by_key(|&i| {
+        let live_at_peak = iv[i].0 <= peak_t && peak_t <= iv[i].1;
+        (
+            !live_at_peak,
+            if live_at_peak { 0 } else { iv[i].0 },
+            std::cmp::Reverse(iv[i].2),
+            i,
+        )
+    });
+
+    let mut best: Option<(Vec<u64>, u64)> = None;
+    for order in [&by_start, &by_words, &by_end, &by_span, &by_peak] {
+        for best_fit in [false, true] {
+            let (offsets, slab) = color_intervals(&iv, order, best_fit);
+            if best.as_ref().is_none_or(|(_, s)| slab < *s) {
+                best = Some((offsets, slab));
+            }
+        }
+    }
+
+    // Optimal dynamic storage allocation is NP-hard, and a handful of
+    // deterministic orders occasionally leaves a small gap above the
+    // liveness peak. Close it with an iterated randomized best-fit: keep
+    // the peak-resident set packed first (gap-free by construction) and
+    // shuffle the transient placement order under fixed seeds, stopping
+    // as soon as a coloring hits the target. Fixed seeds keep the
+    // assignment deterministic across runs.
+    if best.as_ref().is_some_and(|(_, s)| *s > target_words) && n > 0 {
+        use rand::{Rng, SeedableRng};
+        let mut peak_set: Vec<usize> = (0..n)
+            .filter(|&i| iv[i].0 <= peak_t && peak_t <= iv[i].1)
+            .collect();
+        peak_set.sort_by_key(|&i| (iv[i].0, std::cmp::Reverse(iv[i].2), i));
+        let mut transients: Vec<usize> = (0..n)
+            .filter(|&i| !(iv[i].0 <= peak_t && peak_t <= iv[i].1))
+            .collect();
+        transients.sort_unstable();
+        for attempt in 0u64..256 {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(0x0a7e_4a00 ^ attempt);
+            let mut order = peak_set.clone();
+            let mut tail = transients.clone();
+            for i in (1..tail.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                tail.swap(i, j);
+            }
+            order.extend(tail);
+            let (offsets, slab) = color_intervals(&iv, &order, true);
+            if best.as_ref().is_none_or(|(_, s)| slab < *s) {
+                let done = slab == target_words;
+                best = Some((offsets, slab));
+                if done {
+                    break;
+                }
+            }
+        }
+    }
+    let (offsets, slab_words) = best.unwrap_or((Vec::new(), 0));
+
+    let slots: Vec<ArenaSlot> = analysis
+        .liveness
+        .iter()
+        .zip(&iv)
+        .zip(&offsets)
+        .map(|((b, &(s, e, _)), &off)| ArenaSlot {
+            data: b.data,
+            name: b.name.clone(),
+            offset: off,
+            words: b.words,
+            start: s,
+            end: e,
+        })
+        .collect();
+
+    let mut lints = Vec::new();
+    if slab_words > target_words {
+        lints.push(PlanLint::ArenaFragmentation {
+            slab_words,
+            peak_words: target_words,
+        });
+    }
+    ArenaAssignment {
+        granularity,
+        slots,
+        slab_words,
+        target_words,
+        lints,
     }
 }
 

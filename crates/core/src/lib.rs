@@ -19,6 +19,10 @@
 //!   executable, layout-annotated schedule ([`plan::ExecutionPlan`]) and
 //!   the schedule interpreter ([`plan::execute_plan`]) that runs it
 //!   against the real CPU kernels;
+//! * [`arena`] — the static-arena interpreter: certified plans lowered
+//!   onto one preallocated slab via the liveness coloring of
+//!   [`analyze::assign_arena`], executing through the zero-allocation
+//!   `*_into` kernels so steady-state forwards touch the heap not at all;
 //! * [`sanitize`] — the footprint sanitizer and race certifier: a static
 //!   certifier cross-checking declared operands against derived kernel
 //!   footprints ([`sanitize::certify`]), a dynamic shadow-access
@@ -55,6 +59,7 @@
 
 pub mod algebraic;
 pub mod analyze;
+pub mod arena;
 pub mod cpusource;
 pub mod fusion;
 pub mod itspace;

@@ -421,6 +421,11 @@ pub struct ExecOptions<'p> {
     /// Optional plan override for the layer forwards (see
     /// [`PlanOverride`]).
     pub plan: Option<PlanOverride<'p>>,
+    /// Optional compiled arena for this plan: when set (and the profiler
+    /// is off), the interpreters execute out of the arena's slab instead
+    /// of the allocating environment, falling back transparently when the
+    /// arena is busy or does not match the plan.
+    pub arena: Option<&'p crate::arena::CompiledArena>,
 }
 
 impl Default for ExecOptions<'_> {
@@ -435,6 +440,7 @@ impl Default for ExecOptions<'_> {
             sanitize: SanitizeMode::Env,
             profiler: None,
             plan: None,
+            arena: None,
         }
     }
 }
@@ -442,7 +448,7 @@ impl Default for ExecOptions<'_> {
 /// The classes of fused forward kernels the interpreter can dispatch,
 /// recovered from a fused node's member names.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum FusedClass {
+pub(crate) enum FusedClass {
     /// Q/K/V input biases over the stacked projection (AIB).
     InputBias,
     /// Scaling + softmax + dropout (SM), causal when a member is masked.
@@ -457,7 +463,7 @@ enum FusedClass {
     Norm,
 }
 
-fn classify_fused(parts: &[String]) -> Option<FusedClass> {
+pub(crate) fn classify_fused(parts: &[String]) -> Option<FusedClass> {
     let any = |f: &dyn Fn(&str) -> bool| parts.iter().any(|p| f(p));
     // gradient members mark a backward fused kernel — not interpretable
     if any(&|p| p.contains(" dX") || p.contains(" dW")) {
@@ -521,7 +527,7 @@ fn relabeled(t: &Tensor, spec: &str) -> Result<Tensor> {
 
 /// The causal query axis for a masked softmax: the logical axis immediately
 /// preceding the softmax axis (attention scores are `[..., j, k]`).
-fn causal_query_axis(shape: &Shape, softmax_axis: Axis) -> Result<Axis> {
+pub(crate) fn causal_query_axis(shape: &Shape, softmax_axis: Axis) -> Result<Axis> {
     let ai = shape.index_of(softmax_axis)?;
     if ai == 0 {
         return Err(TensorError::Unsupported(
@@ -837,6 +843,29 @@ pub fn execute_plan<R: Rng + ?Sized>(
             "invalid execution plan: {}",
             problems.join("; ")
         )));
+    }
+    if let Some(arena) = opts.arena {
+        // resolve the sanitize mode without touching the environment (an
+        // env read allocates; Env is cached once per process here)
+        let sanitize = match opts.sanitize {
+            SanitizeMode::Off => false,
+            SanitizeMode::On => true,
+            SanitizeMode::Env => crate::arena::env_sanitize_cached(),
+        };
+        if opts.profiler.is_none() && arena.matches(plan) {
+            let run = crate::arena::ArenaRun {
+                dropout_p: opts.dropout_p,
+                activation: opts.activation,
+                scaler: opts.scaler,
+                seed: opts.seed,
+                threads: 1,
+                sanitize,
+            };
+            match arena.run_with_state(state, &run)? {
+                crate::arena::ArenaOutcome::Ran => return Ok(()),
+                crate::arena::ArenaOutcome::Busy => {}
+            }
+        }
     }
     if opts.sanitize.enabled() {
         return crate::sanitize::execute_plan_sanitized(graph, plan, state, opts, rng, None);

@@ -732,6 +732,108 @@ pub fn reselect(
     })
 }
 
+/// A counting wrapper around the system allocator, for certifying the
+/// arena interpreter's zero-allocation steady state (`tests/
+/// alloc_discipline.rs`, `plan_profile --check`). Install as the global
+/// allocator and diff [`CountingAlloc::allocations`] around the region
+/// under test:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: CountingAlloc = CountingAlloc::new();
+/// let before = ALLOC.allocations();
+/// // ... steady-state calls ...
+/// assert_eq!(ALLOC.allocations() - before, 0);
+/// ```
+///
+/// Counters are process-wide and relaxed: they order with nothing, so
+/// measure single-threaded regions (background threads parked in a
+/// condvar wait, as the arena's worker pool keeps them, do not
+/// allocate).
+#[derive(Debug)]
+pub struct CountingAlloc {
+    allocs: std::sync::atomic::AtomicU64,
+    deallocs: std::sync::atomic::AtomicU64,
+    reallocs: std::sync::atomic::AtomicU64,
+    bytes: std::sync::atomic::AtomicU64,
+}
+
+impl CountingAlloc {
+    /// A fresh counter set (usable in `static` position).
+    pub const fn new() -> Self {
+        use std::sync::atomic::AtomicU64;
+        CountingAlloc {
+            allocs: AtomicU64::new(0),
+            deallocs: AtomicU64::new(0),
+            reallocs: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Heap acquisitions so far: `alloc` + `alloc_zeroed` calls.
+    pub fn allocations(&self) -> u64 {
+        self.allocs.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// `dealloc` calls so far.
+    pub fn deallocations(&self) -> u64 {
+        self.deallocs.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// `realloc` calls so far (counted separately from acquisitions).
+    pub fn reallocations(&self) -> u64 {
+        self.reallocs.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Bytes acquired so far (alloc + alloc_zeroed + realloc growth).
+    pub fn bytes_allocated(&self) -> u64 {
+        self.bytes.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Every heap event so far — the number that must not move across a
+    /// zero-allocation region.
+    pub fn events(&self) -> u64 {
+        self.allocations() + self.deallocations() + self.reallocations()
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY: defers every operation to `System`, only bumping counters.
+unsafe impl std::alloc::GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.allocs.fetch_add(1, Relaxed);
+        self.bytes.fetch_add(layout.size() as u64, Relaxed);
+        std::alloc::System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: std::alloc::Layout) -> *mut u8 {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.allocs.fetch_add(1, Relaxed);
+        self.bytes.fetch_add(layout.size() as u64, Relaxed);
+        std::alloc::System.alloc_zeroed(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.deallocs.fetch_add(1, Relaxed);
+        std::alloc::System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: std::alloc::Layout, new_size: usize) -> *mut u8 {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.reallocs.fetch_add(1, Relaxed);
+        self.bytes
+            .fetch_add(new_size.saturating_sub(layout.size()) as u64, Relaxed);
+        std::alloc::System.realloc(ptr, layout, new_size)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

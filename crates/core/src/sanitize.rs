@@ -258,6 +258,80 @@ pub struct RaceCertificate {
     pub waves: Vec<Vec<usize>>,
 }
 
+/// Proof that an arena coloring respects buffer liveness: produced only by
+/// a clean [`certify_arena`] pass, consumed by the arena interpreter
+/// ([`crate::arena::CompiledArena`]), and keyed to the plan by
+/// [`plan_fingerprint`] so a recolored or edited schedule must be
+/// re-certified. Two logical buffers may share physical slab words only
+/// when their live intervals (at the certificate's granularity) are
+/// disjoint.
+#[derive(Debug, Clone)]
+pub struct ArenaCertificate {
+    /// Fingerprint of the certified plan.
+    pub plan_hash: u64,
+    /// The execution order the coloring is valid for.
+    pub granularity: crate::analyze::ArenaGranularity,
+    /// Size of the certified slab in words.
+    pub slab_words: u64,
+}
+
+/// Certifies an arena assignment against the plan it was colored for: the
+/// aliasing-aware mode of the certifier. Checks, both mandatory:
+///
+/// 1. every pair of buffers whose live intervals overlap occupies disjoint
+///    word ranges of the slab ([`PlanLint::ArenaOverlap`] otherwise — two
+///    simultaneously-live tensors sharing memory would corrupt data);
+/// 2. every buffer lies inside the slab bounds.
+///
+/// The dynamic complement is the arena interpreter's shadow mode (see
+/// [`crate::arena::CompiledArena`]): with sanitizing enabled it poisons
+/// the slab with NaN, re-poisons each buffer's words the moment its
+/// certified live interval ends, and verifies every step's outputs are
+/// finite — so any read of a dead (reused) buffer is caught at runtime.
+///
+/// # Errors
+///
+/// Returns every [`PlanLint::ArenaOverlap`] found when the coloring
+/// cannot be certified.
+pub fn certify_arena(
+    plan: &ExecutionPlan,
+    assignment: &crate::analyze::ArenaAssignment,
+) -> std::result::Result<ArenaCertificate, Vec<PlanLint>> {
+    let mut lints = Vec::new();
+    let slots = &assignment.slots;
+    for (i, a) in slots.iter().enumerate() {
+        if a.offset + a.words > assignment.slab_words {
+            lints.push(PlanLint::ArenaOverlap {
+                a: a.name.clone(),
+                b: "<slab bound>".into(),
+                a_offset: a.offset,
+                b_offset: assignment.slab_words,
+            });
+        }
+        for b in &slots[i + 1..] {
+            let live_overlap = a.start <= b.end && b.start <= a.end;
+            let range_overlap = a.offset < b.offset + b.words && b.offset < a.offset + a.words;
+            if live_overlap && range_overlap {
+                lints.push(PlanLint::ArenaOverlap {
+                    a: a.name.clone(),
+                    b: b.name.clone(),
+                    a_offset: a.offset,
+                    b_offset: b.offset,
+                });
+            }
+        }
+    }
+    if lints.is_empty() {
+        Ok(ArenaCertificate {
+            plan_hash: plan_fingerprint(plan),
+            granularity: assignment.granularity,
+            slab_words: assignment.slab_words,
+        })
+    } else {
+        Err(lints)
+    }
+}
+
 /// Certifies a plan for wave-parallel execution over its own
 /// [`parallel_waves`](crate::analyze::PlanAnalysis::parallel_waves)
 /// partition. See [`certify_waves`].
@@ -707,7 +781,7 @@ impl Default for ParallelOptions {
     }
 }
 
-fn step_rng(seed: u64, si: usize) -> StdRng {
+pub(crate) fn step_rng(seed: u64, si: usize) -> StdRng {
     StdRng::seed_from_u64(seed ^ (si as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
 }
 
@@ -743,6 +817,30 @@ pub fn execute_plan_parallel(
             "race certificate does not match this plan — re-certify after editing a schedule"
                 .into(),
         ));
+    }
+    if let Some(arena) = opts.arena {
+        let sanitize = match opts.sanitize {
+            crate::plan::SanitizeMode::Off => false,
+            crate::plan::SanitizeMode::On => true,
+            crate::plan::SanitizeMode::Env => crate::arena::env_sanitize_cached(),
+        };
+        if opts.profiler.is_none()
+            && arena.granularity() == crate::analyze::ArenaGranularity::Waves
+            && arena.matches(plan)
+        {
+            let run = crate::arena::ArenaRun {
+                dropout_p: opts.dropout_p,
+                activation: opts.activation,
+                scaler: opts.scaler,
+                seed: popts.seed,
+                threads: popts.threads.max(1),
+                sanitize,
+            };
+            match arena.run_with_state(state, &run)? {
+                crate::arena::ArenaOutcome::Ran => return Ok(()),
+                crate::arena::ArenaOutcome::Busy => {}
+            }
+        }
     }
     let threads = popts.threads.max(1);
     let shared = Mutex::new(std::mem::take(state));

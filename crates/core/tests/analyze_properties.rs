@@ -1,30 +1,113 @@
 //! Property tests for the static plan analyzer: `parallel_waves()` must
-//! respect every hazard edge under random layout perturbations, and
-//! injected schedule corruptions (shuffled steps, duplicated writes,
-//! orphan relayouts) must each be caught statically — no execution.
+//! respect every hazard edge under random layout perturbations, injected
+//! schedule corruptions (shuffled steps, duplicated writes, orphan
+//! relayouts) must each be caught statically, and the arena coloring must
+//! never alias simultaneously-live buffers while packing the slab down to
+//! the liveness analysis's peak-resident prediction — no execution.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use xform_core::analyze::{analyze, DepKind, PlanLint, Severity};
-use xform_core::fusion::{apply_plan, encoder_fusion_plan};
+use xform_core::analyze::{
+    analyze, assign_arena, ArenaAssignment, ArenaGranularity, DepKind, PlanLint, Severity,
+};
+use xform_core::fusion::{apply_plan, decoder_fusion_plan, encoder_fusion_plan};
 use xform_core::plan::{ExecutionPlan, Relayout};
 use xform_core::recipe::forward_ops;
 use xform_dataflow::{build, EncoderDims, Graph};
 
-fn fused() -> (Graph, ExecutionPlan) {
-    let eg = build::encoder(&EncoderDims::tiny());
+fn fused_at(dims: &EncoderDims) -> (Graph, ExecutionPlan) {
+    let eg = build::encoder(dims);
     let mut g = eg.graph;
     apply_plan(&mut g, &encoder_fusion_plan()).unwrap();
     let plan = ExecutionPlan::natural(&g, &forward_ops(&g, eg.dy)).unwrap();
     (g, plan)
 }
 
-fn unfused() -> (Graph, ExecutionPlan) {
-    let eg = build::encoder(&EncoderDims::tiny());
+fn unfused_at(dims: &EncoderDims) -> (Graph, ExecutionPlan) {
+    let eg = build::encoder(dims);
     let plan = ExecutionPlan::natural(&eg.graph, &forward_ops(&eg.graph, eg.dy)).unwrap();
     (eg.graph, plan)
+}
+
+fn decoder_at(dims: &EncoderDims) -> (Graph, ExecutionPlan) {
+    let eg = build::decoder(dims);
+    let mut g = eg.graph;
+    apply_plan(&mut g, &decoder_fusion_plan()).unwrap();
+    let plan = ExecutionPlan::natural(&g, &forward_ops(&g, eg.dy)).unwrap();
+    (g, plan)
+}
+
+fn fused() -> (Graph, ExecutionPlan) {
+    fused_at(&EncoderDims::tiny())
+}
+
+fn unfused() -> (Graph, ExecutionPlan) {
+    unfused_at(&EncoderDims::tiny())
+}
+
+/// The arena invariants every assignment must satisfy, checked from the
+/// slot list alone (independently of the coloring internals):
+/// overlapping live intervals get disjoint slab ranges, the slab is
+/// exactly the furthest slot extent, it never undershoots the
+/// peak-resident words recomputed here from the intervals, and it matches
+/// that peak exactly unless a fragmentation lint says otherwise.
+fn check_assignment(a: &ArenaAssignment) -> std::result::Result<(), String> {
+    for (i, s) in a.slots.iter().enumerate() {
+        for t in &a.slots[i + 1..] {
+            if s.start <= t.end && t.start <= s.end {
+                prop_assert!(
+                    s.offset + s.words <= t.offset || t.offset + t.words <= s.offset,
+                    "live-overlapping `{}` [{},{}] and `{}` [{},{}] share slab words \
+                     ({}+{} vs {}+{})",
+                    s.name,
+                    s.start,
+                    s.end,
+                    t.name,
+                    t.start,
+                    t.end,
+                    s.offset,
+                    s.words,
+                    t.offset,
+                    t.words,
+                );
+            }
+        }
+    }
+    let extent = a
+        .slots
+        .iter()
+        .map(|s| s.offset + s.words)
+        .max()
+        .unwrap_or(0);
+    prop_assert_eq!(a.slab_words, extent);
+    let horizon = a.slots.iter().map(|s| s.end).max().unwrap_or(0);
+    let peak = (0..=horizon)
+        .map(|t| {
+            a.slots
+                .iter()
+                .filter(|s| s.start <= t && t <= s.end)
+                .map(|s| s.words)
+                .sum::<u64>()
+        })
+        .max()
+        .unwrap_or(0);
+    prop_assert_eq!(a.target_words, peak);
+    prop_assert!(
+        a.slab_words >= peak,
+        "a slab below peak residency cannot hold the plan"
+    );
+    if a.lints.is_empty() {
+        prop_assert_eq!(a.slab_words, peak);
+    } else {
+        prop_assert!(a
+            .lints
+            .iter()
+            .all(|l| matches!(l, PlanLint::ArenaFragmentation { .. })));
+        prop_assert!(a.slab_words > peak);
+    }
+    Ok(())
 }
 
 /// Rotates `s` left by `n` — always a valid permutation of the layout.
@@ -145,6 +228,69 @@ proptest! {
             .lints
             .iter()
             .any(|l| matches!(l, PlanLint::RedundantRelayout { .. })));
+    }
+
+    // The arena coloring never aliases simultaneously-live buffers at
+    // either granularity, for any problem dimensions — and at serial
+    // granularity its declared target is exactly the liveness analysis's
+    // peak-resident high-water mark.
+    #[test]
+    fn arena_coloring_never_aliases_live_buffers(seed in 0u64..10_000) {
+        let mut pick = StdRng::seed_from_u64(seed);
+        let j = pick.gen_range(2..6);
+        let dims = EncoderDims {
+            b: pick.gen_range(1..3),
+            j,
+            k: j, // self-attention requires equal sequence lengths
+            h: pick.gen_range(1..3),
+            p: pick.gen_range(2..5),
+            i: pick.gen_range(2..6),
+            u: pick.gen_range(2..8),
+        };
+        let cases = [unfused_at(&dims), fused_at(&dims), decoder_at(&dims)];
+        for (g, plan) in cases {
+            let analysis = analyze(&g, &plan);
+            prop_assert!(analysis.is_clean());
+            for gran in [ArenaGranularity::Serial, ArenaGranularity::Waves] {
+                let a = assign_arena(&analysis, gran);
+                prop_assert_eq!(a.granularity, gran);
+                prop_assert_eq!(a.slots.len(), analysis.liveness.len());
+                check_assignment(&a)?;
+                if gran == ArenaGranularity::Serial {
+                    prop_assert_eq!(a.target_words, analysis.peak_resident_words);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn canned_plans_color_to_the_audited_peak_exactly() {
+    // On every canned plan the randomized packing search must close the
+    // fragmentation gap completely: serial slab bytes == the static
+    // audit's peak-resident bytes, with no lint.
+    let dims = EncoderDims::tiny();
+    for (tag, (g, plan)) in [
+        ("encoder/reference", unfused_at(&dims)),
+        ("encoder/fused", fused_at(&dims)),
+        ("decoder/fused", decoder_at(&dims)),
+    ] {
+        let analysis = analyze(&g, &plan);
+        let a = assign_arena(&analysis, ArenaGranularity::Serial);
+        assert!(a.lints.is_empty(), "{tag}: {:?}", a.lints);
+        assert_eq!(
+            a.slab_words, analysis.peak_resident_words,
+            "{tag}: slab must equal the audited peak-resident words"
+        );
+        assert_eq!(a.slab_bytes(4), analysis.peak_resident_words * 4);
+        // the wave-granularity coloring answers to its own (coarser) peak
+        let w = assign_arena(&analysis, ArenaGranularity::Waves);
+        assert_eq!(
+            w.target_words,
+            analysis.peak_wave_resident_words().1,
+            "{tag}"
+        );
+        assert!(w.slab_words >= a.target_words, "{tag}");
     }
 }
 

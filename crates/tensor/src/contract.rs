@@ -271,7 +271,7 @@ fn scatter(src: &[f32], groups: &[Axis], size_of: &dyn Fn(Axis) -> usize, out: &
 }
 
 /// Recursive strided copy over `(len, src_stride, dst_stride)` dims.
-fn copy_strided(
+pub(crate) fn copy_strided(
     dims: &[(usize, usize, usize)],
     src: &[f32],
     src_off: usize,

@@ -1,0 +1,872 @@
+//! Zero-allocation kernel variants that execute into caller-provided
+//! buffers.
+//!
+//! Every forward kernel the schedule interpreter dispatches has a `*_into`
+//! twin here that reads dense **row-major** slices and writes dense
+//! row-major slices, allocating nothing. They are the execution layer of
+//! the arena interpreter (`core::arena`): the planner colors each logical
+//! container into an offset of one preallocated slab, and these kernels
+//! run directly on the slab views.
+//!
+//! Arithmetic is mirrored statement-for-statement from the allocating
+//! kernels in [`crate::fused`], [`crate::ops`] and [`crate::contract`], so
+//! with dropout disabled the results are **bitwise identical** to the
+//! tensor-returning path — the property the arena equivalence tests pin.
+//!
+//! All geometry (lane decompositions, bias broadcast maps, einsum pack
+//! descriptors) is precomputed by the caller; the kernels only walk flat
+//! offsets. Helpers:
+//!
+//! * [`LaneGeom`] — decomposition of a row-major tensor into lanes along
+//!   one axis (the sweep order of `for_each_outer`),
+//! * [`BiasMap`] — broadcast map from a flat output offset to a bias
+//!   offset,
+//! * [`CausalMap`] — recovery of the query index from a lane number for
+//!   masked softmax,
+//! * [`ContractPlan`] — precompiled gather/GEMM/scatter descriptor for a
+//!   two-operand einsum.
+
+use rand::Rng;
+
+use crate::contract::copy_strided;
+use crate::matmul::sgemm;
+use crate::ops::elementwise::ActivationKind;
+use crate::ops::layernorm::EPS;
+use crate::tensor::Tensor;
+
+/// Lane decomposition of a dense row-major buffer along the axis at
+/// logical position `ai` of a shape with sizes `s`: `pre = Π s[..ai]`,
+/// `len = s[ai]`, `post = Π s[ai+1..]`.
+///
+/// Lanes are visited `pre`-major / `post`-minor — exactly the order
+/// `for_each_outer` visits them on a row-major tensor — so per-lane
+/// statistics land in the same order as the allocating kernels push them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneGeom {
+    /// Product of the axis sizes before the swept axis.
+    pub pre: usize,
+    /// Extent of the swept axis.
+    pub len: usize,
+    /// Product of the axis sizes after the swept axis (also the element
+    /// stride of the swept axis in a row-major buffer).
+    pub post: usize,
+}
+
+impl LaneGeom {
+    /// Builds the decomposition for logical axis position `ai` of a shape
+    /// with the given sizes.
+    pub fn new(sizes: &[usize], ai: usize) -> LaneGeom {
+        LaneGeom {
+            pre: sizes[..ai].iter().product(),
+            len: sizes[ai],
+            post: sizes[ai + 1..].iter().product(),
+        }
+    }
+
+    /// Number of lanes.
+    pub fn lanes(self) -> usize {
+        self.pre * self.post
+    }
+
+    /// Total number of elements.
+    pub fn elements(self) -> usize {
+        self.pre * self.len * self.post
+    }
+}
+
+/// Broadcast map from a flat row-major offset in the output to a flat
+/// offset in a (smaller) bias buffer. One entry per bias axis:
+/// `(x_stride, x_size, bias_stride)`, where `x_stride`/`x_size` describe
+/// the axis in the output's row-major geometry and `bias_stride` is the
+/// axis's row-major stride within the bias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BiasMap {
+    /// `(x_stride, x_size, bias_stride)` triples, one per bias axis.
+    pub dims: Vec<(usize, usize, usize)>,
+}
+
+impl BiasMap {
+    /// Bias offset for the element at flat output offset `f`.
+    #[inline]
+    pub fn offset(&self, f: usize) -> usize {
+        let mut off = 0usize;
+        for &(xs, xn, bs) in &self.dims {
+            off += ((f / xs) % xn) * bs;
+        }
+        off
+    }
+}
+
+/// Recovers the causal query index from the `pre` part of a lane number:
+/// `q = (pre / div) % len`. The query axis always precedes the softmax
+/// axis logically, so it is always a `pre` axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CausalMap {
+    /// Product of the pre-axis sizes strictly between the query axis and
+    /// the softmax axis.
+    pub div: usize,
+    /// Extent of the query axis.
+    pub len: usize,
+}
+
+impl CausalMap {
+    /// Query index for the lane with pre-part `pre`.
+    #[inline]
+    pub fn query(self, pre: usize) -> usize {
+        (pre / self.div) % self.len
+    }
+}
+
+/// Precompiled two-operand einsum: strided gather descriptors for both
+/// operands, collapsed GEMM sizes, and the scatter descriptor for the
+/// output. Dims are `(len, src_stride, dst_stride)` triples outermost
+/// first, as consumed by the recursive strided copy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContractPlan {
+    /// Gather dims for operand A: `(len, a_stride, pack_stride)`.
+    pub a_dims: Vec<(usize, usize, usize)>,
+    /// Gather dims for operand B: `(len, b_stride, pack_stride)`.
+    pub b_dims: Vec<(usize, usize, usize)>,
+    /// Scatter dims for the output: `(len, pack_stride, out_stride)`.
+    pub c_dims: Vec<(usize, usize, usize)>,
+    /// Collapsed batch extent.
+    pub batch: usize,
+    /// Collapsed GEMM M.
+    pub m: usize,
+    /// Collapsed GEMM N.
+    pub n: usize,
+    /// Collapsed GEMM K.
+    pub k: usize,
+}
+
+impl ContractPlan {
+    /// Pack-buffer words needed for operand A.
+    pub fn a_words(&self) -> usize {
+        self.batch * self.m * self.k
+    }
+
+    /// Pack-buffer words needed for operand B.
+    pub fn b_words(&self) -> usize {
+        self.batch * self.k * self.n
+    }
+
+    /// Pack-buffer words needed for the output.
+    pub fn c_words(&self) -> usize {
+        self.batch * self.m * self.n
+    }
+}
+
+/// Executes a precompiled contraction: gathers `a`/`b` into the pack
+/// scratch, runs one serial GEMM per batch slice, and scatters the result
+/// into `out`. The batch loop is intentionally serial — arena steps are
+/// already parallelized across waves, and per-slice GEMMs are bitwise
+/// identical to the threaded `batched_sgemm` either way.
+///
+/// # Panics
+///
+/// Panics if a scratch slice is smaller than the plan requires.
+pub fn contract_into(
+    plan: &ContractPlan,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    a_pack: &mut [f32],
+    b_pack: &mut [f32],
+    c_pack: &mut [f32],
+) {
+    let (aw, bw, cw) = (plan.a_words(), plan.b_words(), plan.c_words());
+    let a_pack = &mut a_pack[..aw];
+    let b_pack = &mut b_pack[..bw];
+    let c_pack = &mut c_pack[..cw];
+    copy_strided(&plan.a_dims, a, 0, a_pack, 0);
+    copy_strided(&plan.b_dims, b, 0, b_pack, 0);
+    for v in c_pack.iter_mut() {
+        *v = 0.0;
+    }
+    let (m, n, k) = (plan.m, plan.n, plan.k);
+    for g in 0..plan.batch {
+        sgemm(
+            m,
+            n,
+            k,
+            &a_pack[g * m * k..(g + 1) * m * k],
+            &b_pack[g * k * n..(g + 1) * k * n],
+            &mut c_pack[g * m * n..(g + 1) * m * n],
+        );
+    }
+    copy_strided(&plan.c_dims, c_pack, 0, out, 0);
+}
+
+/// Copies a tensor's logical contents into a dense row-major destination.
+/// Row-major sources are a single `memcpy`; other layouts are walked in
+/// logical order.
+///
+/// # Panics
+///
+/// Panics if `dst` is shorter than the tensor or the tensor's rank
+/// exceeds 16.
+pub fn copy_tensor_into(t: &Tensor, dst: &mut [f32]) {
+    let n = t.len();
+    let dst = &mut dst[..n];
+    if t.layout().is_row_major() {
+        dst.copy_from_slice(t.data());
+        return;
+    }
+    let rank = t.shape().rank();
+    assert!(rank <= 16, "copy_tensor_into supports rank <= 16");
+    let mut idx = [0usize; 16];
+    let idx = &mut idx[..rank];
+    for d in dst.iter_mut() {
+        *d = t.data()[t.offset(idx)];
+        t.advance(idx);
+    }
+}
+
+/// `out = alpha · x`.
+pub fn scale_into(x: &[f32], alpha: f32, out: &mut [f32]) {
+    for (o, &v) in out.iter_mut().zip(x) {
+        *o = alpha * v;
+    }
+}
+
+/// `out = a + b` (the residual connection).
+pub fn add_into(a: &[f32], b: &[f32], out: &mut [f32]) {
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = x + y;
+    }
+}
+
+/// `out = activation(x)`.
+pub fn activate_into(x: &[f32], kind: ActivationKind, out: &mut [f32]) {
+    for (o, &v) in out.iter_mut().zip(x) {
+        *o = kind.apply(v);
+    }
+}
+
+/// `out = x + bias` with the bias broadcast through `map`.
+pub fn bias_add_into(x: &[f32], bias: &[f32], map: &BiasMap, out: &mut [f32]) {
+    for (f, (o, &v)) in out.iter_mut().zip(x).enumerate() {
+        *o = v + bias[map.offset(f)];
+    }
+}
+
+/// Dropout with `p > 0`: one mask draw per element, survivors scaled by
+/// `1/(1-p)`. Mirrors the allocating kernel's draw order (flat, every
+/// element).
+pub fn dropout_into<R: Rng + ?Sized>(
+    x: &[f32],
+    p: f32,
+    rng: &mut R,
+    out: &mut [f32],
+    mask: &mut [f32],
+) {
+    let keep_scale = 1.0 / (1.0 - p);
+    for ((o, m), &v) in out.iter_mut().zip(mask.iter_mut()).zip(x) {
+        let mv = if rng.gen::<f32>() < p {
+            0.0
+        } else {
+            keep_scale
+        };
+        *m = mv;
+        *o = v * mv;
+    }
+}
+
+/// Identity dropout (`p == 0`): copies the input and fills the mask with
+/// ones, drawing nothing.
+pub fn dropout_disabled_into(x: &[f32], out: &mut [f32], mask: &mut [f32]) {
+    out[..x.len()].copy_from_slice(x);
+    for m in mask[..x.len()].iter_mut() {
+        *m = 1.0;
+    }
+}
+
+/// `out = softmax(scaler · x)` along the lane axis — the unfused
+/// scale-then-softmax pair in one sweep, numerically identical to scaling
+/// into a temporary first (a single f32 multiply either way).
+pub fn softmax_scaled_into(x: &[f32], scaler: f32, lane: LaneGeom, out: &mut [f32]) {
+    let (len, stride) = (lane.len, lane.post);
+    for pre in 0..lane.pre {
+        for post in 0..lane.post {
+            let base = pre * len * stride + post;
+            let mut mx = f32::NEG_INFINITY;
+            for v in 0..len {
+                mx = mx.max(scaler * x[base + v * stride]);
+            }
+            let mut sum = 0.0f32;
+            for v in 0..len {
+                let e = (scaler * x[base + v * stride] - mx).exp();
+                out[base + v * stride] = e;
+                sum += e;
+            }
+            let inv = 1.0 / sum;
+            for v in 0..len {
+                out[base + v * stride] *= inv;
+            }
+        }
+    }
+}
+
+/// Fused SM: `alpha = dropout(softmax(scaler · x))` along the lane axis,
+/// with the pre-dropout softmax and the mask saved. `causal` masks key
+/// positions beyond the lane's query index (the decoder variant); masked
+/// positions get zero softmax/alpha/mask entries, exactly like the
+/// allocating kernel.
+#[allow(clippy::too_many_arguments)]
+pub fn sm_into<R: Rng + ?Sized>(
+    x: &[f32],
+    scaler: f32,
+    lane: LaneGeom,
+    causal: Option<CausalMap>,
+    p: f32,
+    rng: &mut R,
+    softmax: &mut [f32],
+    alpha: &mut [f32],
+    mask: &mut [f32],
+) {
+    let keep_scale = 1.0 / (1.0 - p);
+    let (len, stride) = (lane.len, lane.post);
+    for pre in 0..lane.pre {
+        for post in 0..lane.post {
+            let base = pre * len * stride + post;
+            let visible = match causal {
+                Some(c) => (c.query(pre) + 1).min(len),
+                None => len,
+            };
+            let mut mx = f32::NEG_INFINITY;
+            for v in 0..visible {
+                mx = mx.max(scaler * x[base + v * stride]);
+            }
+            let mut sum = 0.0f32;
+            for v in 0..visible {
+                let e = (scaler * x[base + v * stride] - mx).exp();
+                softmax[base + v * stride] = e;
+                sum += e;
+            }
+            let inv = 1.0 / sum;
+            for v in 0..len {
+                let off = base + v * stride;
+                if v < visible {
+                    let y = softmax[off] * inv;
+                    softmax[off] = y;
+                    let m = if p > 0.0 && rng.gen::<f32>() < p {
+                        0.0
+                    } else {
+                        keep_scale
+                    };
+                    mask[off] = m;
+                    alpha[off] = y * m;
+                } else {
+                    softmax[off] = 0.0;
+                    mask[off] = 0.0;
+                    alpha[off] = 0.0;
+                }
+            }
+        }
+    }
+}
+
+/// The unfused masked softmax: the causal softmax alone (the allocating
+/// interpreter runs the causal SM kernel with dropout pinned off and keeps
+/// only its softmax output).
+pub fn softmax_causal_into(
+    x: &[f32],
+    scaler: f32,
+    lane: LaneGeom,
+    causal: CausalMap,
+    out: &mut [f32],
+) {
+    let (len, stride) = (lane.len, lane.post);
+    for pre in 0..lane.pre {
+        for post in 0..lane.post {
+            let base = pre * len * stride + post;
+            let visible = (causal.query(pre) + 1).min(len);
+            let mut mx = f32::NEG_INFINITY;
+            for v in 0..visible {
+                mx = mx.max(scaler * x[base + v * stride]);
+            }
+            let mut sum = 0.0f32;
+            for v in 0..visible {
+                let e = (scaler * x[base + v * stride] - mx).exp();
+                out[base + v * stride] = e;
+                sum += e;
+            }
+            let inv = 1.0 / sum;
+            for v in 0..len {
+                let off = base + v * stride;
+                if v < visible {
+                    out[off] *= inv;
+                } else {
+                    out[off] = 0.0;
+                }
+            }
+        }
+    }
+}
+
+/// Layer normalization along the lane axis with learned `gamma`/`beta`
+/// (dense 1-D, indexed by the lane position). Per-lane `mean`/`inv_std`
+/// are written in lane order, matching the allocating kernel's stats
+/// vectors.
+#[allow(clippy::too_many_arguments)]
+pub fn layernorm_into(
+    x: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    lane: LaneGeom,
+    out: &mut [f32],
+    mean_out: &mut [f32],
+    inv_std_out: &mut [f32],
+) {
+    let (len, stride) = (lane.len, lane.post);
+    for pre in 0..lane.pre {
+        for post in 0..lane.post {
+            let base = pre * len * stride + post;
+            let l = pre * lane.post + post;
+            let mut sum = 0.0f32;
+            let mut sq = 0.0f32;
+            for v in 0..len {
+                let val = x[base + v * stride];
+                sum += val;
+                sq += val * val;
+            }
+            let mean = sum / len as f32;
+            let var = (sq / len as f32 - mean * mean).max(0.0);
+            let inv_std = 1.0 / (var + EPS).sqrt();
+            mean_out[l] = mean;
+            inv_std_out[l] = inv_std;
+            for v in 0..len {
+                let xhat = (x[base + v * stride] - mean) * inv_std;
+                out[base + v * stride] = xhat * gamma[v] + beta[v];
+            }
+        }
+    }
+}
+
+/// Fused BDRLN: `out = layernorm(dropout(x + bias) + residual)` along the
+/// lane axis, saving the mask, the layer-norm input, and per-lane stats.
+#[allow(clippy::too_many_arguments)]
+pub fn bdrln_into<R: Rng + ?Sized>(
+    x: &[f32],
+    bias: &[f32],
+    bmap: &BiasMap,
+    residual: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    lane: LaneGeom,
+    p: f32,
+    rng: &mut R,
+    mask: &mut [f32],
+    ln_input: &mut [f32],
+    out: &mut [f32],
+    mean_out: &mut [f32],
+    inv_std_out: &mut [f32],
+) {
+    let keep_scale = 1.0 / (1.0 - p);
+    let (len, stride) = (lane.len, lane.post);
+    for pre in 0..lane.pre {
+        for post in 0..lane.post {
+            let base = pre * len * stride + post;
+            let l = pre * lane.post + post;
+            let mut sum = 0.0f32;
+            let mut sq = 0.0f32;
+            for v in 0..len {
+                let off = base + v * stride;
+                let z = x[off] + bias[bmap.offset(off)];
+                let m = if p > 0.0 && rng.gen::<f32>() < p {
+                    0.0
+                } else {
+                    keep_scale
+                };
+                let li = z * m + residual[off];
+                mask[off] = m;
+                ln_input[off] = li;
+                sum += li;
+                sq += li * li;
+            }
+            let mean = sum / len as f32;
+            let var = (sq / len as f32 - mean * mean).max(0.0);
+            let inv_std = 1.0 / (var + EPS).sqrt();
+            mean_out[l] = mean;
+            inv_std_out[l] = inv_std;
+            for v in 0..len {
+                let off = base + v * stride;
+                let xhat = (ln_input[off] - mean) * inv_std;
+                out[off] = xhat * gamma[v] + beta[v];
+            }
+        }
+    }
+}
+
+/// Fused BRD: `out = dropout(activation(x + bias))`, saving the
+/// pre-activation and the mask.
+#[allow(clippy::too_many_arguments)]
+pub fn brd_act_into<R: Rng + ?Sized>(
+    x: &[f32],
+    bias: &[f32],
+    bmap: &BiasMap,
+    kind: ActivationKind,
+    p: f32,
+    rng: &mut R,
+    pre_activation: &mut [f32],
+    out: &mut [f32],
+    mask: &mut [f32],
+) {
+    let keep_scale = 1.0 / (1.0 - p);
+    for (f, &v) in x.iter().enumerate() {
+        let z = v + bias[bmap.offset(f)];
+        let r = kind.apply(z);
+        let m = if p > 0.0 && rng.gen::<f32>() < p {
+            0.0
+        } else {
+            keep_scale
+        };
+        pre_activation[f] = z;
+        mask[f] = m;
+        out[f] = r * m;
+    }
+}
+
+/// Fused BDR (no norm): `out = dropout(x + bias) + residual`, saving the
+/// mask. With `p == 0` the mask multiply is skipped entirely, matching
+/// the allocating path's identity dropout.
+#[allow(clippy::too_many_arguments)]
+pub fn bdr_into<R: Rng + ?Sized>(
+    x: &[f32],
+    bias: &[f32],
+    bmap: &BiasMap,
+    residual: &[f32],
+    p: f32,
+    rng: &mut R,
+    mask: &mut [f32],
+    out: &mut [f32],
+) {
+    if p > 0.0 {
+        let keep_scale = 1.0 / (1.0 - p);
+        for (f, &v) in x.iter().enumerate() {
+            let m = if rng.gen::<f32>() < p {
+                0.0
+            } else {
+                keep_scale
+            };
+            mask[f] = m;
+            out[f] = (v + bias[bmap.offset(f)]) * m + residual[f];
+        }
+    } else {
+        for (f, &v) in x.iter().enumerate() {
+            mask[f] = 1.0;
+            out[f] = (v + bias[bmap.offset(f)]) + residual[f];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axes::{Axis, Shape};
+    use crate::einsum::EinsumSpec;
+    use crate::fused;
+    use crate::layout::Layout;
+    use crate::ops::elementwise::{bias_add, scale};
+    use crate::ops::layernorm::layernorm;
+    use crate::ops::softmax::softmax;
+    use rand::distributions::Uniform;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rand_t(spec: &str, sizes: &[(char, usize)], seed: u64) -> Tensor {
+        let shape = Shape::from_spec(spec, sizes).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::random(shape, &Uniform::new(-1.0, 1.0), &mut rng)
+    }
+
+    const SIZES: [(char, usize); 5] = [('b', 2), ('j', 3), ('k', 4), ('i', 5), ('u', 6)];
+
+    fn lane_of(t: &Tensor, axis: char) -> LaneGeom {
+        LaneGeom::new(t.shape().sizes(), t.shape().index_of(Axis(axis)).unwrap())
+    }
+
+    fn bmap_of(out: &Tensor, bias: &Tensor) -> BiasMap {
+        let sizes = out.shape().sizes();
+        let rm = Layout::row_major(sizes.len()).strides(out.shape());
+        let brm = Layout::row_major(bias.shape().rank()).strides(bias.shape());
+        let dims = bias
+            .shape()
+            .axes()
+            .iter()
+            .enumerate()
+            .map(|(bi, &ax)| {
+                let p = out.shape().index_of(ax).unwrap();
+                (rm[p], sizes[p], brm[bi])
+            })
+            .collect();
+        BiasMap { dims }
+    }
+
+    #[test]
+    fn softmax_scaled_into_is_bitwise_equal() {
+        let x = rand_t("bjk", &SIZES, 1);
+        let expect = softmax(&scale(&x, 0.25), Axis('k')).unwrap();
+        let mut out = vec![0.0f32; x.len()];
+        softmax_scaled_into(x.data(), 0.25, lane_of(&x, 'k'), &mut out);
+        assert_eq!(out.as_slice(), expect.data());
+    }
+
+    #[test]
+    fn sm_into_matches_fused_sm_without_dropout() {
+        let x = rand_t("bjk", &SIZES, 2);
+        let mut rng = StdRng::seed_from_u64(9);
+        let want = fused::sm(&x, 0.5, Axis('k'), 0.0, &mut rng).unwrap();
+        let n = x.len();
+        let (mut s, mut a, mut m) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+        let mut rng2 = StdRng::seed_from_u64(9);
+        sm_into(
+            x.data(),
+            0.5,
+            lane_of(&x, 'k'),
+            None,
+            0.0,
+            &mut rng2,
+            &mut s,
+            &mut a,
+            &mut m,
+        );
+        assert_eq!(s.as_slice(), want.softmax.data());
+        assert_eq!(a.as_slice(), want.alpha.data());
+        assert_eq!(m.as_slice(), want.mask.data());
+    }
+
+    #[test]
+    fn sm_into_causal_matches_fused_sm_causal() {
+        let sizes = [('b', 2), ('j', 4), ('k', 4)];
+        let x = rand_t("bjk", &sizes, 3);
+        let mut rng = StdRng::seed_from_u64(10);
+        let want = fused::sm_causal(&x, 0.7, Axis('j'), Axis('k'), 0.3, &mut rng).unwrap();
+        let n = x.len();
+        let (mut s, mut a, mut m) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+        let mut rng2 = StdRng::seed_from_u64(10);
+        // query axis j sits immediately before k: div = 1, len = 4
+        sm_into(
+            x.data(),
+            0.7,
+            lane_of(&x, 'k'),
+            Some(CausalMap { div: 1, len: 4 }),
+            0.3,
+            &mut rng2,
+            &mut s,
+            &mut a,
+            &mut m,
+        );
+        assert_eq!(s.as_slice(), want.softmax.data());
+        assert_eq!(a.as_slice(), want.alpha.data());
+        assert_eq!(m.as_slice(), want.mask.data());
+    }
+
+    #[test]
+    fn softmax_causal_into_matches_sm_causal_softmax() {
+        let sizes = [('b', 2), ('j', 4), ('k', 4)];
+        let x = rand_t("bjk", &sizes, 4);
+        let mut rng = StdRng::seed_from_u64(11);
+        let want = fused::sm_causal(&x, 1.0, Axis('j'), Axis('k'), 0.0, &mut rng).unwrap();
+        let mut out = vec![0.0f32; x.len()];
+        softmax_causal_into(
+            x.data(),
+            1.0,
+            lane_of(&x, 'k'),
+            CausalMap { div: 1, len: 4 },
+            &mut out,
+        );
+        assert_eq!(out.as_slice(), want.softmax.data());
+    }
+
+    #[test]
+    fn layernorm_into_matches_with_stats() {
+        let x = rand_t("bji", &SIZES, 5);
+        let gamma = rand_t("i", &SIZES, 6);
+        let beta = rand_t("i", &SIZES, 7);
+        let (want, stats) = layernorm(&x, Axis('i'), &gamma, &beta).unwrap();
+        let lane = lane_of(&x, 'i');
+        let mut out = vec![0.0f32; x.len()];
+        let mut mean = vec![0.0f32; lane.lanes()];
+        let mut inv = vec![0.0f32; lane.lanes()];
+        layernorm_into(
+            x.data(),
+            gamma.data(),
+            beta.data(),
+            lane,
+            &mut out,
+            &mut mean,
+            &mut inv,
+        );
+        assert_eq!(out.as_slice(), want.data());
+        assert_eq!(mean.as_slice(), stats.mean.as_slice());
+        assert_eq!(inv.as_slice(), stats.inv_std.as_slice());
+    }
+
+    #[test]
+    fn bdrln_into_matches_fused() {
+        let x = rand_t("bji", &SIZES, 8);
+        let bias = rand_t("i", &SIZES, 9);
+        let res = rand_t("bji", &SIZES, 10);
+        let gamma = rand_t("i", &SIZES, 11);
+        let beta = rand_t("i", &SIZES, 12);
+        let mut rng = StdRng::seed_from_u64(13);
+        let want = fused::bdrln(&x, &bias, &res, &gamma, &beta, Axis('i'), 0.4, &mut rng).unwrap();
+        let lane = lane_of(&x, 'i');
+        let n = x.len();
+        let (mut m, mut li, mut out) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+        let mut mean = vec![0.0f32; lane.lanes()];
+        let mut inv = vec![0.0f32; lane.lanes()];
+        let mut rng2 = StdRng::seed_from_u64(13);
+        bdrln_into(
+            x.data(),
+            bias.data(),
+            &bmap_of(&x, &bias),
+            res.data(),
+            gamma.data(),
+            beta.data(),
+            lane,
+            0.4,
+            &mut rng2,
+            &mut m,
+            &mut li,
+            &mut out,
+            &mut mean,
+            &mut inv,
+        );
+        assert_eq!(m.as_slice(), want.mask.data());
+        assert_eq!(li.as_slice(), want.ln_input.data());
+        assert_eq!(out.as_slice(), want.out.data());
+        assert_eq!(mean.as_slice(), want.stats.mean.as_slice());
+        assert_eq!(inv.as_slice(), want.stats.inv_std.as_slice());
+    }
+
+    #[test]
+    fn brd_act_into_matches_fused() {
+        let x = rand_t("bju", &SIZES, 14);
+        let bias = rand_t("u", &SIZES, 15);
+        let mut rng = StdRng::seed_from_u64(16);
+        let want = fused::brd_act(&x, &bias, ActivationKind::Gelu, 0.2, &mut rng).unwrap();
+        let n = x.len();
+        let (mut pre, mut out, mut m) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+        let mut rng2 = StdRng::seed_from_u64(16);
+        brd_act_into(
+            x.data(),
+            bias.data(),
+            &bmap_of(&x, &bias),
+            ActivationKind::Gelu,
+            0.2,
+            &mut rng2,
+            &mut pre,
+            &mut out,
+            &mut m,
+        );
+        assert_eq!(pre.as_slice(), want.pre_activation.data());
+        assert_eq!(out.as_slice(), want.out.data());
+        assert_eq!(m.as_slice(), want.mask.data());
+    }
+
+    #[test]
+    fn bias_add_into_matches_broadcast() {
+        let x = rand_t("bjk", &SIZES, 17);
+        let bias = rand_t("k", &SIZES, 18);
+        let want = bias_add(&x, &bias).unwrap();
+        let mut out = vec![0.0f32; x.len()];
+        bias_add_into(x.data(), bias.data(), &bmap_of(&x, &bias), &mut out);
+        assert_eq!(out.as_slice(), want.data());
+        // multi-axis bias
+        let bias2 = rand_t("jk", &SIZES, 19);
+        let want2 = bias_add(&x, &bias2).unwrap();
+        bias_add_into(x.data(), bias2.data(), &bmap_of(&x, &bias2), &mut out);
+        assert_eq!(out.as_slice(), want2.data());
+    }
+
+    #[test]
+    fn contract_into_matches_contract() {
+        let sizes = [('p', 3), ('h', 2), ('b', 2), ('j', 4), ('k', 5)];
+        let a = rand_t("phbk", &sizes, 20);
+        let b = rand_t("phbj", &sizes, 21);
+        let spec: EinsumSpec = "phbk,phbj->hbjk".parse().unwrap();
+        let want = crate::contract::contract(&spec, &a, &b, &Layout::row_major(4)).unwrap();
+        // compile the plan by hand the way core::arena does
+        let class = spec.classify().unwrap();
+        let gs = spec.gemm_sizes(a.shape(), b.shape()).unwrap();
+        let size_of =
+            |ax: Axis| -> usize { a.shape().size(ax).or_else(|_| b.shape().size(ax)).unwrap() };
+        let gather_dims = |groups: &[Axis], t: &Tensor| {
+            let total: usize = groups.iter().map(|&ax| size_of(ax)).product();
+            let mut dims = Vec::new();
+            let mut ps = total;
+            for &ax in groups {
+                let len = size_of(ax);
+                ps /= len;
+                dims.push((len, t.strides()[t.shape().index_of(ax).unwrap()], ps));
+            }
+            dims
+        };
+        let a_groups: Vec<Axis> = class
+            .batch
+            .iter()
+            .chain(&class.m)
+            .chain(&class.k)
+            .copied()
+            .collect();
+        let b_groups: Vec<Axis> = class
+            .batch
+            .iter()
+            .chain(&class.k)
+            .chain(&class.n)
+            .copied()
+            .collect();
+        let c_groups: Vec<Axis> = class
+            .batch
+            .iter()
+            .chain(&class.m)
+            .chain(&class.n)
+            .copied()
+            .collect();
+        let c_total: usize = c_groups.iter().map(|&ax| size_of(ax)).product();
+        let mut c_dims = Vec::new();
+        let mut ps = c_total;
+        for &ax in &c_groups {
+            let len = size_of(ax);
+            ps /= len;
+            let os = want.strides()[want.shape().index_of(ax).unwrap()];
+            c_dims.push((len, ps, os));
+        }
+        let plan = ContractPlan {
+            a_dims: gather_dims(&a_groups, &a),
+            b_dims: gather_dims(&b_groups, &b),
+            c_dims,
+            batch: gs.batch,
+            m: gs.m,
+            n: gs.n,
+            k: gs.k,
+        };
+        let mut out = vec![0.0f32; want.len()];
+        let mut ap = vec![0.0f32; plan.a_words()];
+        let mut bp = vec![0.0f32; plan.b_words()];
+        let mut cp = vec![0.0f32; plan.c_words()];
+        contract_into(
+            &plan,
+            a.data(),
+            b.data(),
+            &mut out,
+            &mut ap,
+            &mut bp,
+            &mut cp,
+        );
+        assert_eq!(out.as_slice(), want.data());
+    }
+
+    #[test]
+    fn copy_tensor_into_handles_permuted_layouts() {
+        let t = rand_t("bjk", &SIZES, 22);
+        let tp = t.relayout(&Layout::from_axis_order(t.shape(), "kbj").unwrap());
+        let mut dst = vec![0.0f32; t.len()];
+        copy_tensor_into(&tp, &mut dst);
+        assert_eq!(dst.as_slice(), t.data());
+        copy_tensor_into(&t, &mut dst);
+        assert_eq!(dst.as_slice(), t.data());
+    }
+}

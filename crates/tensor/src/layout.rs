@@ -82,6 +82,13 @@ impl Layout {
         &self.order
     }
 
+    /// `true` when memory order equals logical order — the identity
+    /// permutation. Allocation-free, unlike comparing against a fresh
+    /// [`Layout::row_major`].
+    pub fn is_row_major(&self) -> bool {
+        self.order.iter().enumerate().all(|(i, &o)| i == o)
+    }
+
     /// Number of dimensions.
     pub fn rank(&self) -> usize {
         self.order.len()

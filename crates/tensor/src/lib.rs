@@ -48,6 +48,7 @@ pub mod einsum;
 mod error;
 pub mod fused;
 pub mod half;
+pub mod into_ops;
 mod layout;
 pub mod matmul;
 pub mod ops;

@@ -150,14 +150,80 @@ impl DecoderLayer {
             }
         };
         let mut state = bind_inputs(x, w)?;
-        let run_opts = ExecOptions {
+        let arena;
+        let mut run_opts = ExecOptions {
             dropout_p: self.dropout_p,
             activation: self.activation,
             scaler: self.scaler(),
             ..*opts
         };
+        if opts.plan.is_none() && opts.profiler.is_none() {
+            if let Some(a) = interp::cached_arena(
+                &self.dims,
+                interp::PlanKind::DecoderFused,
+                interp::granularity_for(opts.threads),
+            )? {
+                arena = a;
+                run_opts.arena = Some(&arena);
+            }
+        }
         run_plan(graph, plan, cert, &mut state, &run_opts)?;
         finish(state, opts.collect_activations, collect_decoder_activations)
+    }
+
+    /// Forward propagation into a caller-provided output tensor — the
+    /// steady-state zero-allocation entry point, mirroring
+    /// [`crate::encoder::EncoderLayer::forward_into`]: after warmup the
+    /// call executes the decoder's canned plan out of its static arena
+    /// and copies `y` into the caller's dense row-major `[i,b,j]` buffer
+    /// without heap allocation, falling back transparently to the
+    /// allocating [`DecoderLayer::forward`] when the arena is
+    /// unavailable. Saved activations are not assembled.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `y` has the wrong size, `x` has the wrong
+    /// shape, or the execution itself fails.
+    pub fn forward_into(
+        &self,
+        x: &Tensor,
+        w: &EncoderWeights,
+        opts: &ExecOptions,
+        y: &mut Tensor,
+    ) -> Result<()> {
+        let merged = ExecOptions {
+            dropout_p: self.dropout_p,
+            activation: self.activation,
+            scaler: self.scaler(),
+            ..*opts
+        };
+        if opts.plan.is_none()
+            && opts.profiler.is_none()
+            && interp::arena_forward_into(
+                &self.dims,
+                interp::PlanKind::DecoderFused,
+                x,
+                w,
+                &merged,
+                y,
+            )?
+        {
+            return Ok(());
+        }
+        let fallback = ExecOptions {
+            collect_activations: false,
+            ..*opts
+        };
+        let out = self.forward(x, w, &fallback)?;
+        if out.y.len() != y.len() {
+            return Err(TensorError::Unsupported(format!(
+                "output tensor holds {} words; the layer produced {}",
+                y.len(),
+                out.y.len(),
+            )));
+        }
+        xform_tensor::into_ops::copy_tensor_into(&out.y, y.data_mut());
+        Ok(())
     }
 
     /// Backpropagation: `(dx, weight gradients)` from the output gradient.

@@ -150,15 +150,17 @@ impl EncoderLayer {
         1.0 / (self.dims.p as f32).sqrt()
     }
 
+    /// The canned-plan cache key for the layer's executor kind.
+    fn plan_kind(&self) -> interp::PlanKind {
+        match self.executor {
+            Executor::Reference => interp::PlanKind::EncoderReference,
+            Executor::Fused => interp::PlanKind::EncoderFused,
+        }
+    }
+
     /// The layer's canned plan for its executor kind.
     fn planned(&self) -> Result<std::sync::Arc<PlannedForward>> {
-        interp::cached_plan(
-            &self.dims,
-            match self.executor {
-                Executor::Reference => interp::PlanKind::EncoderReference,
-                Executor::Fused => interp::PlanKind::EncoderFused,
-            },
-        )
+        interp::cached_plan(&self.dims, self.plan_kind())
     }
 
     /// Merges the caller's run configuration with the layer-owned scalar
@@ -217,8 +219,80 @@ impl EncoderLayer {
                 }
             };
         let mut state = bind_inputs(x, w)?;
-        run_plan(graph, plan, cert, &mut state, &self.exec_options(opts))?;
+        let arena;
+        let mut run_opts = self.exec_options(opts);
+        if opts.plan.is_none() && opts.profiler.is_none() {
+            if let Some(a) = interp::cached_arena(
+                &self.dims,
+                self.plan_kind(),
+                interp::granularity_for(opts.threads),
+            )? {
+                arena = a;
+                run_opts.arena = Some(&arena);
+            }
+        }
+        run_plan(graph, plan, cert, &mut state, &run_opts)?;
         finish(state, opts.collect_activations, collect_activations)
+    }
+
+    /// Forward propagation into a caller-provided output tensor — the
+    /// steady-state zero-allocation entry point. After a warmup call has
+    /// populated the plan and arena caches, every subsequent call binds
+    /// `x` and the weights straight into the layer's static arena,
+    /// executes out of the slab through the `*_into` kernels, and copies
+    /// the produced `y` into `&mut y` without touching the heap (see
+    /// `tests/alloc_discipline.rs`).
+    ///
+    /// `y` must be a dense row-major tensor of the layer's output
+    /// geometry (`[i,b,j]`); its contents are overwritten. The arena path
+    /// honors `opts.threads`, `opts.seed`, and `opts.sanitize`
+    /// ([`xform_core::plan::SanitizeMode::Env`] is resolved once per
+    /// process on this path, so set `XFORM_SANITIZE` before the first
+    /// call). Saved activations are not assembled. When the arena is
+    /// unavailable — a plan override or profiler is configured, the
+    /// canned plan has a shape the arena compiler declined, or another
+    /// thread holds the slab — the call falls back transparently to the
+    /// allocating [`EncoderLayer::forward`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `y` has the wrong size, `x` has the wrong
+    /// shape, or the execution itself fails (see
+    /// [`EncoderLayer::forward`]).
+    pub fn forward_into(
+        &self,
+        x: &Tensor,
+        w: &EncoderWeights,
+        opts: &ExecOptions,
+        y: &mut Tensor,
+    ) -> Result<()> {
+        if opts.plan.is_none()
+            && opts.profiler.is_none()
+            && interp::arena_forward_into(
+                &self.dims,
+                self.plan_kind(),
+                x,
+                w,
+                &self.exec_options(opts),
+                y,
+            )?
+        {
+            return Ok(());
+        }
+        let fallback = ExecOptions {
+            collect_activations: false,
+            ..*opts
+        };
+        let out = self.forward(x, w, &fallback)?;
+        if out.y.len() != y.len() {
+            return Err(xform_tensor::TensorError::Unsupported(format!(
+                "output tensor holds {} words; the layer produced {}",
+                y.len(),
+                out.y.len(),
+            )));
+        }
+        xform_tensor::into_ops::copy_tensor_into(&out.y, y.data_mut());
+        Ok(())
     }
 
     /// Runs forward propagation through an arbitrary [`ExecutionPlan`]

@@ -16,12 +16,14 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use xform_core::analyze::{analyze, ArenaGranularity};
+use xform_core::arena::{ArenaArtifact, ArenaOutcome, ArenaRun, CompiledArena};
 use xform_core::fusion::{apply_plan, decoder_fusion_plan, encoder_fusion_plan};
-use xform_core::plan::{execute_plan, ExecOptions, ExecState, ExecutionPlan};
+use xform_core::plan::{execute_plan, ExecOptions, ExecState, ExecutionPlan, SanitizeMode};
 use xform_core::recipe::forward_ops;
 use xform_core::sanitize::{certify, execute_plan_parallel, ParallelOptions, RaceCertificate};
 use xform_dataflow::{build, EncoderDims, Graph};
-use xform_tensor::{Axis, Result, Tensor};
+use xform_tensor::{into_ops, Axis, Result, Tensor};
 
 use crate::params::EncoderWeights;
 
@@ -128,6 +130,175 @@ pub fn plan_cache_len() -> usize {
 /// Drops every memoized plan.
 pub fn clear_plan_cache() {
     plan_cache().lock().unwrap().clear();
+}
+
+/// Compiled arenas keyed alongside the plan cache. The value is an
+/// `Option` so a plan the arena compiler declines (`Ok(None)`) is cached
+/// negatively — the layer probes once, then falls back to the allocating
+/// interpreter without recompiling on every forward.
+type ArenaCache =
+    Mutex<HashMap<(EncoderDims, PlanKind, ArenaGranularity), Option<Arc<CompiledArena>>>>;
+
+fn arena_cache() -> &'static ArenaCache {
+    static CACHE: OnceLock<ArenaCache> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The arena execution order a forward at this thread count needs:
+/// wave-granularity colorings for the parallel interpreter, serial
+/// colorings (tighter slabs) otherwise.
+pub fn granularity_for(threads: usize) -> ArenaGranularity {
+    if threads > 1 {
+        ArenaGranularity::Waves
+    } else {
+        ArenaGranularity::Serial
+    }
+}
+
+/// Returns the compiled static arena for `(dims, kind, granularity)`,
+/// building and memoizing it on first use (`None` — also memoized — when
+/// the canned plan has a shape the arena compiler does not support).
+/// Steady-state hits are a lock plus a `HashMap` probe: no allocation.
+///
+/// # Errors
+///
+/// Returns an error if the canned plan cannot be built, or if the arena
+/// coloring fails aliasing certification (an internal invariant
+/// violation).
+pub fn cached_arena(
+    dims: &EncoderDims,
+    kind: PlanKind,
+    granularity: ArenaGranularity,
+) -> Result<Option<Arc<CompiledArena>>> {
+    let key = (*dims, kind, granularity);
+    if let Some(hit) = arena_cache().lock().unwrap().get(&key) {
+        return Ok(hit.clone());
+    }
+    let pf = cached_plan(dims, kind)?;
+    let analysis = analyze(&pf.graph, &pf.plan);
+    let built = CompiledArena::compile(&pf.graph, &pf.plan, &analysis, granularity)?.map(Arc::new);
+    arena_cache().lock().unwrap().insert(key, built.clone());
+    Ok(built)
+}
+
+/// Number of memoized arena probes, counting negative entries (for tests
+/// and diagnostics).
+pub fn arena_cache_len() -> usize {
+    arena_cache().lock().unwrap().len()
+}
+
+/// Drops every memoized arena.
+pub fn clear_arena_cache() {
+    arena_cache().lock().unwrap().clear();
+}
+
+/// The arena-side mirror of a merged [`ExecOptions`]: layer knobs plus
+/// the cached `XFORM_SANITIZE` resolution (reading the environment
+/// allocates, so [`SanitizeMode::Env`] goes through the process-wide
+/// cached flag on this path).
+pub(crate) fn arena_run(opts: &ExecOptions) -> ArenaRun {
+    ArenaRun {
+        dropout_p: opts.dropout_p,
+        activation: opts.activation,
+        scaler: opts.scaler,
+        seed: opts.seed,
+        threads: opts.threads,
+        sanitize: match opts.sanitize {
+            SanitizeMode::Off => false,
+            SanitizeMode::On => true,
+            SanitizeMode::Env => xform_core::arena::env_sanitize_cached(),
+        },
+    }
+}
+
+/// Drives one zero-allocation forward out of the cached arena: binds `x`
+/// and the weight set straight into the slab (stacking Q/K/V into the
+/// `w_qkv` region without materializing the concatenation) and copies the
+/// produced `y` into the caller's buffer. `opts` must already be merged
+/// with the layer knobs. Returns `Ok(false)` when the caller should fall
+/// back to the allocating interpreter (no arena for this plan shape, or
+/// the arena's buffers are busy in another thread).
+///
+/// # Errors
+///
+/// Returns an error if `y` has the wrong size for the layer output, the
+/// arena fails to compile, or the shadow sanitizer trips.
+pub(crate) fn arena_forward_into(
+    dims: &EncoderDims,
+    kind: PlanKind,
+    x: &Tensor,
+    w: &EncoderWeights,
+    opts: &ExecOptions,
+    y: &mut Tensor,
+) -> Result<bool> {
+    let Some(arena) = cached_arena(dims, kind, granularity_for(opts.threads))? else {
+        return Ok(false);
+    };
+    if y.len() != dims.i * dims.b * dims.j {
+        return Err(xform_tensor::TensorError::Unsupported(format!(
+            "output tensor holds {} words; the layer produces {} ([i,b,j] = [{},{},{}])",
+            y.len(),
+            dims.i * dims.b * dims.j,
+            dims.i,
+            dims.b,
+            dims.j,
+        )));
+    }
+    let run = arena_run(opts);
+    let mut bind = |name: &str, dst: &mut [f32]| -> bool {
+        let src = match name {
+            "x" => x,
+            "w_qkv" => {
+                let (nq, nk) = (w.wq.len(), w.wk.len());
+                if dst.len() != nq + nk + w.wv.len() {
+                    return false;
+                }
+                into_ops::copy_tensor_into(&w.wq, &mut dst[..nq]);
+                into_ops::copy_tensor_into(&w.wk, &mut dst[nq..nq + nk]);
+                into_ops::copy_tensor_into(&w.wv, &mut dst[nq + nk..]);
+                return true;
+            }
+            "bq" => &w.bq,
+            "bk" => &w.bk,
+            "bv" => &w.bv,
+            "wo" => &w.wo,
+            "bo" => &w.bo,
+            "ln1_gamma" => &w.ln1_gamma,
+            "ln1_beta" => &w.ln1_beta,
+            "w1" => &w.w1,
+            "b1" => &w.b1,
+            "w2" => &w.w2,
+            "b2" => &w.b2,
+            "ln2_gamma" => &w.ln2_gamma,
+            "ln2_beta" => &w.ln2_beta,
+            _ => return false,
+        };
+        if src.len() != dst.len() {
+            return false;
+        }
+        into_ops::copy_tensor_into(src, dst);
+        true
+    };
+    let mut wrote = false;
+    let ydata = y.data_mut();
+    let mut sink = |a: ArenaArtifact<'_>| {
+        if let ArenaArtifact::Tensor {
+            name: "y", data, ..
+        } = a
+        {
+            if data.len() == ydata.len() {
+                ydata.copy_from_slice(data);
+                wrote = true;
+            }
+        }
+    };
+    match arena.execute_bound(&run, &mut bind, &mut sink)? {
+        ArenaOutcome::Ran if wrote => Ok(true),
+        ArenaOutcome::Ran => Err(xform_tensor::TensorError::Unsupported(
+            "arena run produced no `y` output matching the destination tensor".into(),
+        )),
+        ArenaOutcome::Busy => Ok(false),
+    }
 }
 
 /// The reference executor as a plan: the unfused encoder graph, natural

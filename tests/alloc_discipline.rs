@@ -1,0 +1,98 @@
+//! Heap-allocation discipline of the arena interpreter: after one warmup
+//! call has populated the plan and arena caches, every subsequent
+//! `forward_into` — encoder and decoder, serial and wave-parallel —
+//! executes out of the preallocated slab through the `*_into` kernels and
+//! must touch the heap **not at all**. A counting global allocator makes
+//! the claim falsifiable: any stray `Vec`, `String`, or `HashMap` rehash
+//! on the steady-state path shows up as a nonzero event delta and fails
+//! the test.
+//!
+//! Everything runs inside one `#[test]` function: the default harness
+//! runs tests on separate threads, and the allocator counters are
+//! process-wide, so splitting the cases would let one case's setup
+//! allocations land inside another case's measured window.
+
+use rand::distributions::Uniform;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use substation::core::plan::ExecOptions;
+use substation::core::profile::CountingAlloc;
+use substation::dataflow::EncoderDims;
+use substation::tensor::{Shape, Tensor};
+use substation::transformer::decoder::DecoderLayer;
+use substation::transformer::encoder::{EncoderLayer, Executor};
+use substation::transformer::params::EncoderWeights;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+const STEADY_CALLS: usize = 10;
+
+/// Runs `STEADY_CALLS` forwards after warmup and returns the heap-event
+/// delta across them (allocations + deallocations + reallocations).
+fn steady_state_events(tag: &str, mut forward: impl FnMut(&mut Tensor), y: &mut Tensor) -> u64 {
+    // Warmup: lowers the plan, compiles the arena, spawns pool workers,
+    // resolves `XFORM_SANITIZE` — all cached process-wide.
+    forward(y);
+    forward(y);
+    let before = ALLOC.events();
+    for _ in 0..STEADY_CALLS {
+        forward(y);
+    }
+    let delta = ALLOC.events() - before;
+    assert!(
+        y.data().iter().all(|v| v.is_finite()),
+        "{tag}: steady-state output is not finite"
+    );
+    delta
+}
+
+#[test]
+fn steady_state_forwards_touch_no_heap() {
+    let dims = EncoderDims::tiny();
+    let mut rng = StdRng::seed_from_u64(9);
+    let w = EncoderWeights::init(&dims, &mut rng);
+    let shape = Shape::from_spec("ibj", &dims.size_table()).unwrap();
+    let x = Tensor::random(shape.clone(), &Uniform::new(-1.0, 1.0), &mut rng);
+    let mut y = Tensor::from_vec(shape, vec![0.0; dims.i * dims.b * dims.j]).unwrap();
+
+    let fused = EncoderLayer::new(dims, Executor::Fused, 0.3);
+    let reference = EncoderLayer::new(dims, Executor::Reference, 0.3);
+    let decoder = DecoderLayer::new(dims, 0.3);
+
+    let mut failures: Vec<String> = Vec::new();
+    for threads in [1usize, 4] {
+        let opts = ExecOptions {
+            threads,
+            seed: 5,
+            ..ExecOptions::default()
+        };
+        type Case<'a> = (&'a str, &'a dyn Fn(&mut Tensor));
+        let cases: [Case; 3] = [
+            ("encoder/fused", &|y: &mut Tensor| {
+                fused.forward_into(&x, &w, &opts, y).unwrap()
+            }),
+            ("encoder/reference", &|y: &mut Tensor| {
+                reference.forward_into(&x, &w, &opts, y).unwrap()
+            }),
+            ("decoder/fused", &|y: &mut Tensor| {
+                decoder.forward_into(&x, &w, &opts, y).unwrap()
+            }),
+        ];
+        for (tag, fwd) in cases {
+            let delta = steady_state_events(tag, fwd, &mut y);
+            if delta != 0 {
+                failures.push(format!(
+                    "{tag} at {threads} thread(s): {delta} heap event(s) across \
+                     {STEADY_CALLS} steady-state forwards"
+                ));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "steady-state forwards must not touch the heap:\n  {}",
+        failures.join("\n  ")
+    );
+}
