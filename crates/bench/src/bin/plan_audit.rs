@@ -10,10 +10,17 @@
 //! canned plan. With `--certify` it runs the full race certifier
 //! (`xform_core::sanitize::certify`) on every plan and prints each
 //! certificate's fingerprint and wave partition, exiting non-zero if any
-//! plan cannot be certified for wave-parallel execution.
+//! plan cannot be certified for wave-parallel execution. With `--access`
+//! it runs the access-path certifier (`xform_core::access`) at the
+//! logical level and at both arena granularities, printing each plan's
+//! licensed-step count and every access lint, exiting non-zero if any
+//! plan fails certification (error-severity access lints). Strided inner
+//! loops are warnings — they demote steps to the checked kernels but do
+//! not fail the audit.
 
 use std::collections::HashMap;
 
+use xform_core::access::{certify_access, certify_access_arena};
 use xform_core::analyze::{
     analyze, assign_arena, audit, lint_selection, render_report, ArenaGranularity, Severity,
 };
@@ -38,6 +45,52 @@ enum Mode {
     Check,
     /// Race certification, non-zero exit on an uncertifiable plan.
     Certify,
+    /// Access-path certification at the logical level and both arena
+    /// granularities, non-zero exit on error-severity access lints.
+    Access,
+}
+
+/// Runs the access-path certifier on one plan: logically and embedded
+/// into the arena coloring at both granularities. Returns the number of
+/// error lints across the three passes.
+fn report_access(title: &str, graph: &Graph, plan: &ExecutionPlan) -> usize {
+    let analysis = analyze(graph, plan);
+    let mut errors = 0usize;
+    let logical = certify_access(graph, plan).map(|c| (c, "logical".to_string()));
+    let passes = [ArenaGranularity::Serial, ArenaGranularity::Waves]
+        .into_iter()
+        .map(|gran| {
+            let arena = assign_arena(&analysis, gran);
+            certify_access_arena(graph, plan, &arena).map(|c| (c, format!("arena/{gran:?}")))
+        });
+    for outcome in std::iter::once(logical).chain(passes) {
+        match outcome {
+            Ok((cert, tag)) => {
+                println!(
+                    "{title} [{tag}]: certified {:#018x} — {}/{} steps licensed, {} warnings",
+                    cert.plan_hash,
+                    cert.licensed_steps(),
+                    cert.steps.len(),
+                    cert.lints.len()
+                );
+                for lint in &cert.lints {
+                    println!("  [warning] {lint}");
+                }
+            }
+            Err(lints) => {
+                let fatal = lints
+                    .iter()
+                    .filter(|l| l.severity() == Severity::Error)
+                    .count();
+                println!("{title}: access certification FAILED, {fatal} error lints");
+                for lint in &lints {
+                    println!("  [{:?}] {lint}", lint.severity());
+                }
+                errors += fatal;
+            }
+        }
+    }
+    errors
 }
 
 fn report(
@@ -48,6 +101,10 @@ fn report(
     device: &DeviceSpec,
     mode: Mode,
 ) -> Audited {
+    if mode == Mode::Access {
+        let errors = report_access(title, graph, plan);
+        return Audited { title, errors };
+    }
     if mode == Mode::Certify {
         return match certify(graph, plan) {
             Ok(cert) => {
@@ -122,7 +179,9 @@ fn report(
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mode = if std::env::args().any(|a| a == "--certify") {
+    let mode = if std::env::args().any(|a| a == "--access") {
+        Mode::Access
+    } else if std::env::args().any(|a| a == "--certify") {
         Mode::Certify
     } else if std::env::args().any(|a| a == "--check") {
         Mode::Check
@@ -195,6 +254,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     match mode {
         Mode::Check => println!("all plans are error-clean"),
         Mode::Certify => println!("all plans certified for wave-parallel execution"),
+        Mode::Access => println!("all plans earn access certificates at every granularity"),
         Mode::Full => {}
     }
     Ok(())

@@ -6,6 +6,7 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
 
 /// Simple fixed-width table printer for terminal reports.
 #[derive(Debug, Default)]

@@ -308,6 +308,35 @@ pub enum PlanLint {
         /// Peak-resident words the liveness analysis predicts.
         peak_words: u64,
     },
+    /// The access-path certifier derived an index-affine access path for an
+    /// operand that escapes the operand's buffer (or arena slab range), or
+    /// aliases another operand beyond what the race certificate permits —
+    /// executing the step would read or write memory it does not own
+    /// (emitted by [`access::certify_access`](crate::access::certify_access)).
+    UnprovenAccess {
+        /// Step index.
+        step: usize,
+        /// The step's kernel name.
+        name: String,
+        /// The offending operand's container name.
+        container: String,
+        /// Why the proof failed.
+        reason: String,
+    },
+    /// The operand's innermost-loop access is in-bounds but not unit-stride
+    /// under the selected layout, so the branch-free unchecked inner loop is
+    /// not licensed and the step falls back to the checked path (emitted by
+    /// [`access::certify_access`](crate::access::certify_access)).
+    StridedInnerLoop {
+        /// Step index.
+        step: usize,
+        /// The step's kernel name.
+        name: String,
+        /// The offending operand's container name.
+        container: String,
+        /// The innermost-loop stride in words (not 1).
+        stride: u64,
+    },
 }
 
 impl PlanLint {
@@ -326,14 +355,16 @@ impl PlanLint {
             | PlanLint::NameAlias { .. }
             | PlanLint::UnderDeclaredFootprint { .. }
             | PlanLint::WaveHazard { .. }
-            | PlanLint::ArenaOverlap { .. } => Severity::Error,
+            | PlanLint::ArenaOverlap { .. }
+            | PlanLint::UnprovenAccess { .. } => Severity::Error,
             PlanLint::DeadStep { .. }
             | PlanLint::RedundantRelayout { .. }
             | PlanLint::CancellingRelayouts { .. }
             | PlanLint::OrphanRelayout { .. }
             | PlanLint::MissedFusion { .. }
             | PlanLint::DominatedLayout { .. }
-            | PlanLint::ArenaFragmentation { .. } => Severity::Warning,
+            | PlanLint::ArenaFragmentation { .. }
+            | PlanLint::StridedInnerLoop { .. } => Severity::Warning,
         }
     }
 
@@ -355,7 +386,9 @@ impl PlanLint {
             | PlanLint::OrphanRelayout { step, .. }
             | PlanLint::NameAlias { step, .. }
             | PlanLint::UnderDeclaredFootprint { step, .. }
-            | PlanLint::DominatedLayout { step, .. } => *step,
+            | PlanLint::DominatedLayout { step, .. }
+            | PlanLint::UnprovenAccess { step, .. }
+            | PlanLint::StridedInnerLoop { step, .. } => *step,
             PlanLint::CancellingRelayouts { second_step, .. } => *second_step,
             PlanLint::MissedFusion { second_step, .. } => *second_step,
             PlanLint::WaveHazard { to, .. } => *to,
@@ -522,6 +555,24 @@ impl fmt::Display for PlanLint {
             } => write!(
                 f,
                 "arena: coloring fragmented the slab to {slab_words} words, above the {peak_words}-word peak-resident prediction"
+            ),
+            PlanLint::UnprovenAccess {
+                step,
+                name,
+                container,
+                reason,
+            } => write!(
+                f,
+                "step {step} (`{name}`): access path of `{container}` is unproven — {reason}"
+            ),
+            PlanLint::StridedInnerLoop {
+                step,
+                name,
+                container,
+                stride,
+            } => write!(
+                f,
+                "step {step} (`{name}`): innermost loop over `{container}` strides by {stride} words — unchecked inner loop not licensed"
             ),
         }
     }

@@ -44,6 +44,7 @@ use xform_tensor::ops::elementwise::ActivationKind;
 use xform_tensor::ops::layernorm::LayerNormStats;
 use xform_tensor::{Axis, Layout, Result, Shape, Tensor, TensorError};
 
+use crate::access::AccessCertificate;
 use crate::analyze::{ArenaGranularity, PlanAnalysis};
 use crate::plan::{
     classify_fused, stacked_carve_start, ExecState, ExecutionPlan, FusedClass, PlanStep,
@@ -231,19 +232,19 @@ impl SlabMem {
     }
 
     unsafe fn slab<'a>(self, v: BufView) -> &'a [f32] {
-        std::slice::from_raw_parts(self.slab.add(v.off), v.len)
+        unsafe { std::slice::from_raw_parts(self.slab.add(v.off), v.len) }
     }
 
     unsafe fn slab_mut<'a>(self, v: BufView) -> &'a mut [f32] {
-        std::slice::from_raw_parts_mut(self.slab.add(v.off), v.len)
+        unsafe { std::slice::from_raw_parts_mut(self.slab.add(v.off), v.len) }
     }
 
     unsafe fn scratch_mut<'a>(self, off: usize, len: usize) -> &'a mut [f32] {
-        std::slice::from_raw_parts_mut(self.scratch.add(off), len)
+        unsafe { std::slice::from_raw_parts_mut(self.scratch.add(off), len) }
     }
 
     unsafe fn stats_mut<'a>(self, v: BufView) -> &'a mut [f32] {
-        std::slice::from_raw_parts_mut(self.stats.add(v.off), v.len)
+        unsafe { std::slice::from_raw_parts_mut(self.stats.add(v.off), v.len) }
     }
 }
 
@@ -318,6 +319,10 @@ pub enum ArenaArtifact<'a> {
 pub struct CompiledArena {
     granularity: ArenaGranularity,
     cert: ArenaCertificate,
+    access: AccessCertificate,
+    /// Per step: the access certificate licensed unchecked dispatch AND
+    /// the step's kernel class has an unchecked twin.
+    licensed: Vec<bool>,
     slab_words: usize,
     scratch_words: usize,
     stats_words: usize,
@@ -445,6 +450,17 @@ impl CompiledArena {
                     .join("; ")
             ))
         })?;
+        let access =
+            crate::access::certify_access_arena(graph, plan, &assignment).map_err(|lints| {
+                TensorError::Unsupported(format!(
+                    "arena access paths failed certification: {}",
+                    lints
+                        .iter()
+                        .map(|l| l.to_string())
+                        .collect::<Vec<_>>()
+                        .join("; ")
+                ))
+            })?;
 
         let view_of: HashMap<NodeId, BufView> = assignment
             .slots
@@ -548,10 +564,21 @@ impl CompiledArena {
             }
         }
 
+        // a step runs its bounds-check-free twin only when the access
+        // certificate proved its paths AND such a twin exists for its
+        // kernel class; everything else takes the checked kernel
+        let licensed: Vec<bool> = steps
+            .iter()
+            .enumerate()
+            .map(|(si, s)| access.licensed(si) && step_has_unchecked_twin(s))
+            .collect();
+
         let slab_words = assignment.slab_words as usize;
         Ok(Some(CompiledArena {
             granularity,
             cert,
+            access,
+            licensed,
             slab_words,
             scratch_words,
             stats_words,
@@ -579,6 +606,17 @@ impl CompiledArena {
     /// The certificate proving the coloring respects liveness.
     pub fn certificate(&self) -> &ArenaCertificate {
         &self.cert
+    }
+
+    /// The certificate proving every step's access paths in-bounds and
+    /// alias-free within the slab.
+    pub fn access_certificate(&self) -> &AccessCertificate {
+        &self.access
+    }
+
+    /// Number of steps dispatching their bounds-check-free kernel twin.
+    pub fn licensed_steps(&self) -> usize {
+        self.licensed.iter().filter(|&&l| l).count()
     }
 
     /// Slab size in words — the arena's high-water mark.
@@ -743,8 +781,10 @@ impl CompiledArena {
                 let mut rng = step_rng(run.seed, si);
                 // SAFETY: the arena certificate proves every pair of
                 // simultaneously-live buffers occupies disjoint slab
-                // ranges, and serial execution never overlaps two steps.
-                unsafe { run_step(&self.steps[si], mem, run, &mut rng) };
+                // ranges, and serial execution never overlaps two steps;
+                // `licensed` only when the access certificate proved this
+                // step's paths.
+                unsafe { run_step(&self.steps[si], self.licensed[si], mem, run, &mut rng) };
             }
             if run.sanitize {
                 self.sanitize_wave(mem, w)?;
@@ -763,10 +803,10 @@ impl CompiledArena {
                 for &si in wave {
                     let mut rng = step_rng(run.seed, si);
                     // SAFETY: as in `run_serial`.
-                    unsafe { run_step(&self.steps[si], mem, run, &mut rng) };
+                    unsafe { run_step(&self.steps[si], self.licensed[si], mem, run, &mut rng) };
                 }
             } else {
-                pool.run_wave(&self.steps, wave, mem, run)?;
+                pool.run_wave(&self.steps, &self.licensed, wave, mem, run)?;
             }
             if run.sanitize {
                 self.sanitize_wave(mem, w)?;
@@ -1293,7 +1333,26 @@ fn compile_step(
     Ok(Some(exec))
 }
 
-/// Executes one precompiled step out of the slab.
+/// `true` when the step's kernel class has a bounds-check-free twin in
+/// `into_ops`. Contractions gather through `copy_strided`/`sgemm` (already
+/// branch-free on packed buffers) and the zip-iterator element-wise
+/// kernels compile without bounds checks as-is, so neither has one.
+fn step_has_unchecked_twin(step: &StepExec) -> bool {
+    !matches!(
+        step,
+        StepExec::Contract { .. }
+            | StepExec::Scale { .. }
+            | StepExec::Dropout { .. }
+            | StepExec::Activate { .. }
+            | StepExec::Residual { .. }
+    )
+}
+
+/// Executes one precompiled step out of the slab. When `licensed` is set
+/// the step's bounds-check-free kernel twin is dispatched; the license is
+/// granted only by a clean [`crate::access::certify_access_arena`] pass
+/// over this exact plan and slab coloring, and every unlicensed step
+/// falls back to the checked kernel.
 ///
 /// # Safety
 ///
@@ -1301,8 +1360,16 @@ fn compile_step(
 /// step references, and no concurrently-running step may write any word
 /// this step touches — guaranteed by the arena certificate (interval
 /// overlap ⇒ range disjointness) plus the wave partition's race
-/// certificate semantics.
-unsafe fn run_step<R: Rng + ?Sized>(step: &StepExec, mem: SlabMem, run: &ArenaRun, rng: &mut R) {
+/// certificate semantics. When `licensed` is set, the access certificate
+/// must have proven every derived path of this step in-bounds,
+/// unit-stride, and alias-free.
+unsafe fn run_step<R: Rng + ?Sized>(
+    step: &StepExec,
+    licensed: bool,
+    mem: SlabMem,
+    run: &ArenaRun,
+    rng: &mut R,
+) {
     let p = run.dropout_p;
     match step {
         StepExec::Contract {
@@ -1313,7 +1380,7 @@ unsafe fn run_step<R: Rng + ?Sized>(step: &StepExec, mem: SlabMem, run: &ArenaRu
             a_off,
             b_off,
             c_off,
-        } => {
+        } => unsafe {
             into_ops::contract_into(
                 plan,
                 mem.slab(*a),
@@ -1323,35 +1390,49 @@ unsafe fn run_step<R: Rng + ?Sized>(step: &StepExec, mem: SlabMem, run: &ArenaRu
                 mem.scratch_mut(*b_off, plan.b_words()),
                 mem.scratch_mut(*c_off, plan.c_words()),
             );
-        }
-        StepExec::Bias { x, bias, out, bmap } => {
-            into_ops::bias_add_into(mem.slab(*x), mem.slab(*bias), bmap, mem.slab_mut(*out));
-        }
-        StepExec::InputBias { parts } => {
-            for (x, bias, out, bmap) in parts {
-                into_ops::bias_add_into(mem.slab(*x), mem.slab(*bias), bmap, mem.slab_mut(*out));
+        },
+        StepExec::Bias { x, bias, out, bmap } => unsafe {
+            let (x, bias, out) = (mem.slab(*x), mem.slab(*bias), mem.slab_mut(*out));
+            if licensed {
+                into_ops::bias_add_into_unchecked(x, bias, bmap, out);
+            } else {
+                into_ops::bias_add_into(x, bias, bmap, out);
             }
-        }
-        StepExec::Scale { x, out } => {
+        },
+        StepExec::InputBias { parts } => unsafe {
+            for (x, bias, out, bmap) in parts {
+                let (x, bias, out) = (mem.slab(*x), mem.slab(*bias), mem.slab_mut(*out));
+                if licensed {
+                    into_ops::bias_add_into_unchecked(x, bias, bmap, out);
+                } else {
+                    into_ops::bias_add_into(x, bias, bmap, out);
+                }
+            }
+        },
+        StepExec::Scale { x, out } => unsafe {
             into_ops::scale_into(mem.slab(*x), run.scaler, mem.slab_mut(*out));
-        }
-        StepExec::SoftmaxScaled { x, out, lane } => {
-            into_ops::softmax_scaled_into(mem.slab(*x), run.scaler, *lane, mem.slab_mut(*out));
-        }
+        },
+        StepExec::SoftmaxScaled { x, out, lane } => unsafe {
+            let (x, out) = (mem.slab(*x), mem.slab_mut(*out));
+            if licensed {
+                into_ops::softmax_scaled_into_unchecked(x, run.scaler, *lane, out);
+            } else {
+                into_ops::softmax_scaled_into(x, run.scaler, *lane, out);
+            }
+        },
         StepExec::SoftmaxCausal {
             x,
             out,
             lane,
             causal,
-        } => {
-            into_ops::softmax_causal_into(
-                mem.slab(*x),
-                run.scaler,
-                *lane,
-                *causal,
-                mem.slab_mut(*out),
-            );
-        }
+        } => unsafe {
+            let (x, out) = (mem.slab(*x), mem.slab_mut(*out));
+            if licensed {
+                into_ops::softmax_causal_into_unchecked(x, run.scaler, *lane, *causal, out);
+            } else {
+                into_ops::softmax_causal_into(x, run.scaler, *lane, *causal, out);
+            }
+        },
         StepExec::Sm {
             x,
             softmax,
@@ -1359,19 +1440,21 @@ unsafe fn run_step<R: Rng + ?Sized>(step: &StepExec, mem: SlabMem, run: &ArenaRu
             mask,
             lane,
             causal,
-        } => {
-            into_ops::sm_into(
+        } => unsafe {
+            let (x, softmax, alpha, mask) = (
                 mem.slab(*x),
-                run.scaler,
-                *lane,
-                *causal,
-                p,
-                rng,
                 mem.slab_mut(*softmax),
                 mem.slab_mut(*alpha),
                 mem.slab_mut(*mask),
             );
-        }
+            if licensed {
+                into_ops::sm_into_unchecked(
+                    x, run.scaler, *lane, *causal, p, rng, softmax, alpha, mask,
+                );
+            } else {
+                into_ops::sm_into(x, run.scaler, *lane, *causal, p, rng, softmax, alpha, mask);
+            }
+        },
         StepExec::LayerNorm {
             x,
             gamma,
@@ -1380,18 +1463,22 @@ unsafe fn run_step<R: Rng + ?Sized>(step: &StepExec, mem: SlabMem, run: &ArenaRu
             lane,
             mean,
             inv_std,
-        } => {
-            into_ops::layernorm_into(
+        } => unsafe {
+            let (x, gamma, beta, out, mean, inv_std) = (
                 mem.slab(*x),
                 mem.slab(*gamma),
                 mem.slab(*beta),
-                *lane,
                 mem.slab_mut(*out),
                 mem.stats_mut(*mean),
                 mem.stats_mut(*inv_std),
             );
-        }
-        StepExec::Dropout { x, out, mask } => {
+            if licensed {
+                into_ops::layernorm_into_unchecked(x, gamma, beta, *lane, out, mean, inv_std);
+            } else {
+                into_ops::layernorm_into(x, gamma, beta, *lane, out, mean, inv_std);
+            }
+        },
+        StepExec::Dropout { x, out, mask } => unsafe {
             if p > 0.0 {
                 into_ops::dropout_into(
                     mem.slab(*x),
@@ -1407,13 +1494,13 @@ unsafe fn run_step<R: Rng + ?Sized>(step: &StepExec, mem: SlabMem, run: &ArenaRu
                     mem.slab_mut(*mask),
                 );
             }
-        }
-        StepExec::Activate { x, out } => {
+        },
+        StepExec::Activate { x, out } => unsafe {
             into_ops::activate_into(mem.slab(*x), run.activation, mem.slab_mut(*out));
-        }
-        StepExec::Residual { a, b, out } => {
+        },
+        StepExec::Residual { a, b, out } => unsafe {
             into_ops::add_into(mem.slab(*a), mem.slab(*b), mem.slab_mut(*out));
-        }
+        },
         StepExec::Bdrln {
             x,
             bias,
@@ -1427,24 +1514,31 @@ unsafe fn run_step<R: Rng + ?Sized>(step: &StepExec, mem: SlabMem, run: &ArenaRu
             lane,
             mean,
             inv_std,
-        } => {
-            into_ops::bdrln_into(
+        } => unsafe {
+            let (x, bias, residual, gamma, beta, mask, ln_input, out, mean, inv_std) = (
                 mem.slab(*x),
                 mem.slab(*bias),
-                bmap,
                 mem.slab(*residual),
                 mem.slab(*gamma),
                 mem.slab(*beta),
-                *lane,
-                p,
-                rng,
                 mem.slab_mut(*mask),
                 mem.slab_mut(*ln_input),
                 mem.slab_mut(*out),
                 mem.stats_mut(*mean),
                 mem.stats_mut(*inv_std),
             );
-        }
+            if licensed {
+                into_ops::bdrln_into_unchecked(
+                    x, bias, bmap, residual, gamma, beta, *lane, p, rng, mask, ln_input, out, mean,
+                    inv_std,
+                );
+            } else {
+                into_ops::bdrln_into(
+                    x, bias, bmap, residual, gamma, beta, *lane, p, rng, mask, ln_input, out, mean,
+                    inv_std,
+                );
+            }
+        },
         StepExec::BrdAct {
             x,
             bias,
@@ -1452,19 +1546,40 @@ unsafe fn run_step<R: Rng + ?Sized>(step: &StepExec, mem: SlabMem, run: &ArenaRu
             pre_activation,
             out,
             mask,
-        } => {
-            into_ops::brd_act_into(
+        } => unsafe {
+            let (x, bias, pre_activation, out, mask) = (
                 mem.slab(*x),
                 mem.slab(*bias),
-                bmap,
-                run.activation,
-                p,
-                rng,
                 mem.slab_mut(*pre_activation),
                 mem.slab_mut(*out),
                 mem.slab_mut(*mask),
             );
-        }
+            if licensed {
+                into_ops::brd_act_into_unchecked(
+                    x,
+                    bias,
+                    bmap,
+                    run.activation,
+                    p,
+                    rng,
+                    pre_activation,
+                    out,
+                    mask,
+                );
+            } else {
+                into_ops::brd_act_into(
+                    x,
+                    bias,
+                    bmap,
+                    run.activation,
+                    p,
+                    rng,
+                    pre_activation,
+                    out,
+                    mask,
+                );
+            }
+        },
         StepExec::Bdr {
             x,
             bias,
@@ -1472,18 +1587,20 @@ unsafe fn run_step<R: Rng + ?Sized>(step: &StepExec, mem: SlabMem, run: &ArenaRu
             residual,
             mask,
             out,
-        } => {
-            into_ops::bdr_into(
+        } => unsafe {
+            let (x, bias, residual, mask, out) = (
                 mem.slab(*x),
                 mem.slab(*bias),
-                bmap,
                 mem.slab(*residual),
-                p,
-                rng,
                 mem.slab_mut(*mask),
                 mem.slab_mut(*out),
             );
-        }
+            if licensed {
+                into_ops::bdr_into_unchecked(x, bias, bmap, residual, p, rng, mask, out);
+            } else {
+                into_ops::bdr_into(x, bias, bmap, residual, p, rng, mask, out);
+            }
+        },
     }
 }
 
@@ -1503,6 +1620,7 @@ pub fn env_sanitize_cached() -> bool {
 #[derive(Clone, Copy)]
 struct WaveJob {
     steps: *const StepExec,
+    licensed: *const bool,
     wave: *const usize,
     wave_len: usize,
     mem: SlabMem,
@@ -1537,6 +1655,7 @@ impl Pool {
     fn run_wave(
         &self,
         steps: &[StepExec],
+        licensed: &[bool],
         wave: &[usize],
         mem: SlabMem,
         run: &ArenaRun,
@@ -1546,6 +1665,7 @@ impl Pool {
             let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
             st.job = Some(WaveJob {
                 steps: steps.as_ptr(),
+                licensed: licensed.as_ptr(),
                 wave: wave.as_ptr(),
                 wave_len: wave.len(),
                 mem,
@@ -1563,8 +1683,8 @@ impl Pool {
             }
             let si = wave[i];
             let mut rng = step_rng(run.seed, si);
-            // SAFETY: per the arena certificate, see `run_step`.
-            unsafe { run_step(&steps[si], mem, run, &mut rng) };
+            // SAFETY: per the arena and access certificates, see `run_step`.
+            unsafe { run_step(&steps[si], licensed[si], mem, run, &mut rng) };
         }));
         // wait until no worker still holds the job's pointers, then
         // retract it — workers that wake later see `None` and re-wait
@@ -1614,7 +1734,15 @@ fn worker_loop(pool: &'static Pool) {
             // worker finishes.
             let si = unsafe { *job.wave.add(i) };
             let mut rng = step_rng(job.run.seed, si);
-            unsafe { run_step(&*job.steps.add(si), job.mem, &job.run, &mut rng) };
+            unsafe {
+                run_step(
+                    &*job.steps.add(si),
+                    *job.licensed.add(si),
+                    job.mem,
+                    &job.run,
+                    &mut rng,
+                )
+            };
         }));
         let mut st = pool.state.lock().unwrap_or_else(|e| e.into_inner());
         if res.is_err() {

@@ -23,6 +23,12 @@
 //!   onto one preallocated slab via the liveness coloring of
 //!   [`analyze::assign_arena`], executing through the zero-allocation
 //!   `*_into` kernels so steady-state forwards touch the heap not at all;
+//! * [`access`] — the access-path certifier: symbolic abstract
+//!   interpretation deriving every operand's index-affine access path per
+//!   step and proving in-bounds, unit-stride, alias-free access
+//!   ([`access::certify_access`]); a clean pass yields an
+//!   [`access::AccessCertificate`] that licenses the bounds-check-free
+//!   kernel twins in `xform_tensor::into_ops`;
 //! * [`sanitize`] — the footprint sanitizer and race certifier: a static
 //!   certifier cross-checking declared operands against derived kernel
 //!   footprints ([`sanitize::certify`]), a dynamic shadow-access
@@ -56,7 +62,9 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod access;
 pub mod algebraic;
 pub mod analyze;
 pub mod arena;

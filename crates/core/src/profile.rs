@@ -809,20 +809,20 @@ unsafe impl std::alloc::GlobalAlloc for CountingAlloc {
         use std::sync::atomic::Ordering::Relaxed;
         self.allocs.fetch_add(1, Relaxed);
         self.bytes.fetch_add(layout.size() as u64, Relaxed);
-        std::alloc::System.alloc(layout)
+        unsafe { std::alloc::System.alloc(layout) }
     }
 
     unsafe fn alloc_zeroed(&self, layout: std::alloc::Layout) -> *mut u8 {
         use std::sync::atomic::Ordering::Relaxed;
         self.allocs.fetch_add(1, Relaxed);
         self.bytes.fetch_add(layout.size() as u64, Relaxed);
-        std::alloc::System.alloc_zeroed(layout)
+        unsafe { std::alloc::System.alloc_zeroed(layout) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
         use std::sync::atomic::Ordering::Relaxed;
         self.deallocs.fetch_add(1, Relaxed);
-        std::alloc::System.dealloc(ptr, layout)
+        unsafe { std::alloc::System.dealloc(ptr, layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: std::alloc::Layout, new_size: usize) -> *mut u8 {
@@ -830,7 +830,7 @@ unsafe impl std::alloc::GlobalAlloc for CountingAlloc {
         self.reallocs.fetch_add(1, Relaxed);
         self.bytes
             .fetch_add(new_size.saturating_sub(layout.size()) as u64, Relaxed);
-        std::alloc::System.realloc(ptr, layout, new_size)
+        unsafe { std::alloc::System.realloc(ptr, layout, new_size) }
     }
 }
 

@@ -637,6 +637,23 @@ pub fn execute_plan_sanitized<R: Rng + ?Sized>(
             }
         }
 
+        // dynamic cross-check of the access certifier's symbolic paths:
+        // every derived path must land inside the *live* buffer bound to
+        // the operand name, not just the declared container's shape —
+        // catching certificates that went stale against the environment
+        let derived = crate::access::step_accesses(graph, step);
+        for a in &derived.accesses {
+            if let Some(t) = state.env.get(&a.name) {
+                let end = a.path.max_end();
+                if end > t.len() as u64 {
+                    return Err(TensorError::Unsupported(format!(
+                        "sanitizer: step {si} (`{}`): certified access path of `{}` ends at word {end} but the live buffer holds {} words",
+                        step.name, a.name, t.len()
+                    )));
+                }
+            }
+        }
+
         // private environment: declared operands only, poisoned outside
         // the derived read footprint
         let mut local = ExecState::default();

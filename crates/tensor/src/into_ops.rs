@@ -208,7 +208,10 @@ pub fn contract_into(
 pub fn copy_tensor_into(t: &Tensor, dst: &mut [f32]) {
     let n = t.len();
     let dst = &mut dst[..n];
-    if t.layout().is_row_major() {
+    // physically row-major covers permutations that only move singleton
+    // axes — `is_row_major` alone would reject them and fall into the
+    // rank-limited walk
+    if t.layout().is_row_major_for(t.shape()) {
         dst.copy_from_slice(t.data());
         return;
     }
@@ -560,6 +563,435 @@ pub fn bdr_into<R: Rng + ?Sized>(
     }
 }
 
+// ---------------------------------------------------------------------
+// Certificate-licensed unchecked twins.
+//
+// Each kernel above that indexes through precomputed geometry (lane
+// decompositions, bias maps, causal maps) has an `unsafe` twin here with
+// the per-element bounds checks removed (`get_unchecked`, exact-chunk
+// lanes) and the dropout/causal selects made branch-free, so the inner
+// loops autovectorize. The zip-iterator kernels (`scale_into`,
+// `add_into`, `activate_into`, `dropout_into`) already compile without
+// bounds checks and need no twins.
+//
+// Arithmetic is mirrored statement-for-statement from the checked
+// kernels — same operation order, same RNG draw count and order — so the
+// results are bitwise identical (pinned by `tests/unchecked_equivalence`).
+// These functions are dispatched only for steps licensed by an
+// `AccessCertificate` (see `xform_core::access`); every other step takes
+// the checked kernel. The dropout select `((draw >= p) as u32 as f32) *
+// keep_scale` is exact: `1.0 * keep_scale` is an identity and `0.0 *
+// keep_scale` is `+0.0`, matching the checked branches bit for bit.
+// ---------------------------------------------------------------------
+
+/// Draws the dropout mask value branch-free. Must be called only when
+/// `p > 0` (the checked kernels skip the draw entirely at `p == 0`).
+#[inline(always)]
+fn mask_select<R: Rng + ?Sized>(p: f32, keep_scale: f32, rng: &mut R) -> f32 {
+    ((rng.gen::<f32>() >= p) as u32 as f32) * keep_scale
+}
+
+/// [`bias_add_into`] without per-element bounds checks.
+///
+/// # Safety
+///
+/// `x.len() >= out.len()` and `map.offset(f) < bias.len()` for every
+/// `f < out.len()` — proven by the access certificate before dispatch.
+pub unsafe fn bias_add_into_unchecked(x: &[f32], bias: &[f32], map: &BiasMap, out: &mut [f32]) {
+    unsafe {
+        for f in 0..out.len() {
+            *out.get_unchecked_mut(f) = *x.get_unchecked(f) + *bias.get_unchecked(map.offset(f));
+        }
+    }
+}
+
+/// [`softmax_scaled_into`] specialized to unit-stride lanes
+/// (`lane.post == 1`) with exact-chunk iteration and no bounds checks.
+///
+/// # Safety
+///
+/// `lane.post == 1` and `x.len() >= lane.elements()`,
+/// `out.len() >= lane.elements()` — proven by the access certificate
+/// (in-bounds + unit-stride) before dispatch.
+pub unsafe fn softmax_scaled_into_unchecked(
+    x: &[f32],
+    scaler: f32,
+    lane: LaneGeom,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(lane.post, 1);
+    let len = lane.len;
+    unsafe {
+        for pre in 0..lane.pre {
+            let base = pre * len;
+            let xl = x.get_unchecked(base..base + len);
+            let ol = out.get_unchecked_mut(base..base + len);
+            let mut mx = f32::NEG_INFINITY;
+            for &v in xl {
+                mx = mx.max(scaler * v);
+            }
+            let mut sum = 0.0f32;
+            for (o, &v) in ol.iter_mut().zip(xl) {
+                let e = (scaler * v - mx).exp();
+                *o = e;
+                sum += e;
+            }
+            let inv = 1.0 / sum;
+            for o in ol.iter_mut() {
+                *o *= inv;
+            }
+        }
+    }
+}
+
+/// [`softmax_causal_into`] specialized to unit-stride lanes: the visible
+/// prefix is an exact chunk, the masked tail a plain fill — no
+/// per-element `if v < visible` branch.
+///
+/// # Safety
+///
+/// As [`softmax_scaled_into_unchecked`].
+pub unsafe fn softmax_causal_into_unchecked(
+    x: &[f32],
+    scaler: f32,
+    lane: LaneGeom,
+    causal: CausalMap,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(lane.post, 1);
+    let len = lane.len;
+    unsafe {
+        for pre in 0..lane.pre {
+            let base = pre * len;
+            let visible = (causal.query(pre) + 1).min(len);
+            let xl = x.get_unchecked(base..base + visible);
+            let ol = out.get_unchecked_mut(base..base + len);
+            let mut mx = f32::NEG_INFINITY;
+            for &v in xl {
+                mx = mx.max(scaler * v);
+            }
+            let mut sum = 0.0f32;
+            for (o, &v) in ol.get_unchecked_mut(..visible).iter_mut().zip(xl) {
+                let e = (scaler * v - mx).exp();
+                *o = e;
+                sum += e;
+            }
+            let inv = 1.0 / sum;
+            for o in ol.get_unchecked_mut(..visible).iter_mut() {
+                *o *= inv;
+            }
+            for o in ol.get_unchecked_mut(visible..).iter_mut() {
+                *o = 0.0;
+            }
+        }
+    }
+}
+
+/// [`sm_into`] specialized to unit-stride lanes: exact-chunk visible
+/// prefix, select-based dropout, plain-fill masked tail. The RNG draw
+/// count and order match the checked kernel exactly — one draw per
+/// visible element when `p > 0`, none otherwise.
+///
+/// # Safety
+///
+/// `lane.post == 1` and every output slice holds at least
+/// `lane.elements()` words — proven by the access certificate.
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn sm_into_unchecked<R: Rng + ?Sized>(
+    x: &[f32],
+    scaler: f32,
+    lane: LaneGeom,
+    causal: Option<CausalMap>,
+    p: f32,
+    rng: &mut R,
+    softmax: &mut [f32],
+    alpha: &mut [f32],
+    mask: &mut [f32],
+) {
+    debug_assert_eq!(lane.post, 1);
+    let keep_scale = 1.0 / (1.0 - p);
+    let len = lane.len;
+    unsafe {
+        for pre in 0..lane.pre {
+            let base = pre * len;
+            let visible = match causal {
+                Some(c) => (c.query(pre) + 1).min(len),
+                None => len,
+            };
+            let xl = x.get_unchecked(base..base + visible);
+            let sl = softmax.get_unchecked_mut(base..base + len);
+            let al = alpha.get_unchecked_mut(base..base + len);
+            let ml = mask.get_unchecked_mut(base..base + len);
+            let mut mx = f32::NEG_INFINITY;
+            for &v in xl {
+                mx = mx.max(scaler * v);
+            }
+            let mut sum = 0.0f32;
+            for (s, &v) in sl.get_unchecked_mut(..visible).iter_mut().zip(xl) {
+                let e = (scaler * v - mx).exp();
+                *s = e;
+                sum += e;
+            }
+            let inv = 1.0 / sum;
+            for v in 0..visible {
+                let y = *sl.get_unchecked(v) * inv;
+                *sl.get_unchecked_mut(v) = y;
+                let m = if p > 0.0 {
+                    mask_select(p, keep_scale, rng)
+                } else {
+                    keep_scale
+                };
+                *ml.get_unchecked_mut(v) = m;
+                *al.get_unchecked_mut(v) = y * m;
+            }
+            for v in visible..len {
+                *sl.get_unchecked_mut(v) = 0.0;
+                *ml.get_unchecked_mut(v) = 0.0;
+                *al.get_unchecked_mut(v) = 0.0;
+            }
+        }
+    }
+}
+
+/// [`layernorm_into`] specialized to unit-stride lanes with exact-chunk
+/// iteration and no bounds checks.
+///
+/// # Safety
+///
+/// `lane.post == 1`, `x.len() >= lane.elements()`,
+/// `out.len() >= lane.elements()`, `gamma.len() >= lane.len`,
+/// `beta.len() >= lane.len`, and both stats slices hold at least
+/// `lane.lanes()` words — proven by the access certificate.
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn layernorm_into_unchecked(
+    x: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    lane: LaneGeom,
+    out: &mut [f32],
+    mean_out: &mut [f32],
+    inv_std_out: &mut [f32],
+) {
+    debug_assert_eq!(lane.post, 1);
+    let len = lane.len;
+    unsafe {
+        let g = gamma.get_unchecked(..len);
+        let b = beta.get_unchecked(..len);
+        for pre in 0..lane.pre {
+            let base = pre * len;
+            let xl = x.get_unchecked(base..base + len);
+            let ol = out.get_unchecked_mut(base..base + len);
+            let mut sum = 0.0f32;
+            let mut sq = 0.0f32;
+            for &val in xl {
+                sum += val;
+                sq += val * val;
+            }
+            let mean = sum / len as f32;
+            let var = (sq / len as f32 - mean * mean).max(0.0);
+            let inv_std = 1.0 / (var + EPS).sqrt();
+            *mean_out.get_unchecked_mut(pre) = mean;
+            *inv_std_out.get_unchecked_mut(pre) = inv_std;
+            for (v, (o, &val)) in ol.iter_mut().zip(xl).enumerate() {
+                let xhat = (val - mean) * inv_std;
+                *o = xhat * *g.get_unchecked(v) + *b.get_unchecked(v);
+            }
+        }
+    }
+}
+
+/// [`bdrln_into`] specialized to unit-stride lanes with select-based
+/// dropout. RNG draw count and order match the checked kernel (one draw
+/// per element when `p > 0`, none otherwise).
+///
+/// # Safety
+///
+/// As [`layernorm_into_unchecked`], plus `bmap.offset(f) < bias.len()`
+/// and `residual`/`mask`/`ln_input` at least `lane.elements()` words —
+/// proven by the access certificate.
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn bdrln_into_unchecked<R: Rng + ?Sized>(
+    x: &[f32],
+    bias: &[f32],
+    bmap: &BiasMap,
+    residual: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    lane: LaneGeom,
+    p: f32,
+    rng: &mut R,
+    mask: &mut [f32],
+    ln_input: &mut [f32],
+    out: &mut [f32],
+    mean_out: &mut [f32],
+    inv_std_out: &mut [f32],
+) {
+    debug_assert_eq!(lane.post, 1);
+    let keep_scale = 1.0 / (1.0 - p);
+    let len = lane.len;
+    unsafe {
+        let g = gamma.get_unchecked(..len);
+        let b = beta.get_unchecked(..len);
+        for pre in 0..lane.pre {
+            let base = pre * len;
+            let mut sum = 0.0f32;
+            let mut sq = 0.0f32;
+            for v in 0..len {
+                let off = base + v;
+                let z = *x.get_unchecked(off) + *bias.get_unchecked(bmap.offset(off));
+                let m = if p > 0.0 {
+                    mask_select(p, keep_scale, rng)
+                } else {
+                    keep_scale
+                };
+                let li = z * m + *residual.get_unchecked(off);
+                *mask.get_unchecked_mut(off) = m;
+                *ln_input.get_unchecked_mut(off) = li;
+                sum += li;
+                sq += li * li;
+            }
+            let mean = sum / len as f32;
+            let var = (sq / len as f32 - mean * mean).max(0.0);
+            let inv_std = 1.0 / (var + EPS).sqrt();
+            *mean_out.get_unchecked_mut(pre) = mean;
+            *inv_std_out.get_unchecked_mut(pre) = inv_std;
+            let li = ln_input.get_unchecked(base..base + len);
+            let ol = out.get_unchecked_mut(base..base + len);
+            for (v, (o, &val)) in ol.iter_mut().zip(li).enumerate() {
+                let xhat = (val - mean) * inv_std;
+                *o = xhat * *g.get_unchecked(v) + *b.get_unchecked(v);
+            }
+        }
+    }
+}
+
+/// [`brd_act_into`] without per-element bounds checks and with
+/// select-based dropout.
+///
+/// # Safety
+///
+/// Every output slice holds at least `x.len()` words and
+/// `bmap.offset(f) < bias.len()` for every `f < x.len()` — proven by the
+/// access certificate.
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn brd_act_into_unchecked<R: Rng + ?Sized>(
+    x: &[f32],
+    bias: &[f32],
+    bmap: &BiasMap,
+    kind: ActivationKind,
+    p: f32,
+    rng: &mut R,
+    pre_activation: &mut [f32],
+    out: &mut [f32],
+    mask: &mut [f32],
+) {
+    let keep_scale = 1.0 / (1.0 - p);
+    unsafe {
+        for (f, &v) in x.iter().enumerate() {
+            let z = v + *bias.get_unchecked(bmap.offset(f));
+            let r = kind.apply(z);
+            let m = if p > 0.0 {
+                mask_select(p, keep_scale, rng)
+            } else {
+                keep_scale
+            };
+            *pre_activation.get_unchecked_mut(f) = z;
+            *mask.get_unchecked_mut(f) = m;
+            *out.get_unchecked_mut(f) = r * m;
+        }
+    }
+}
+
+/// [`bdr_into`] without per-element bounds checks and with select-based
+/// dropout. The `p == 0` arm mirrors the checked kernel's identity
+/// dropout exactly (no mask multiply, no draws).
+///
+/// # Safety
+///
+/// As [`brd_act_into_unchecked`], plus `residual.len() >= x.len()`.
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn bdr_into_unchecked<R: Rng + ?Sized>(
+    x: &[f32],
+    bias: &[f32],
+    bmap: &BiasMap,
+    residual: &[f32],
+    p: f32,
+    rng: &mut R,
+    mask: &mut [f32],
+    out: &mut [f32],
+) {
+    unsafe {
+        if p > 0.0 {
+            let keep_scale = 1.0 / (1.0 - p);
+            for (f, &v) in x.iter().enumerate() {
+                let m = mask_select(p, keep_scale, rng);
+                *mask.get_unchecked_mut(f) = m;
+                *out.get_unchecked_mut(f) =
+                    (v + *bias.get_unchecked(bmap.offset(f))) * m + *residual.get_unchecked(f);
+            }
+        } else {
+            for (f, &v) in x.iter().enumerate() {
+                *mask.get_unchecked_mut(f) = 1.0;
+                *out.get_unchecked_mut(f) =
+                    (v + *bias.get_unchecked(bmap.offset(f))) + *residual.get_unchecked(f);
+            }
+        }
+    }
+}
+
+/// Locally-certified dispatcher for [`softmax_scaled_into_unchecked`]:
+/// runs the unchecked twin when the lane geometry discharges its safety
+/// obligations right here (`post == 1`, buffers at least
+/// `lane.elements()` words), the checked kernel otherwise. Returns `true`
+/// when the licensed path ran — callers without a plan-level access
+/// certificate (e.g. benchmarks) use this to exercise the unchecked
+/// loops from safe code.
+pub fn softmax_scaled_into_dispatch(
+    x: &[f32],
+    scaler: f32,
+    lane: LaneGeom,
+    out: &mut [f32],
+) -> bool {
+    if lane.post == 1 && x.len() >= lane.elements() && out.len() >= lane.elements() {
+        // SAFETY: every obligation of the twin was checked just above.
+        unsafe { softmax_scaled_into_unchecked(x, scaler, lane, out) };
+        true
+    } else {
+        softmax_scaled_into(x, scaler, lane, out);
+        false
+    }
+}
+
+/// Locally-certified dispatcher for [`layernorm_into_unchecked`]; see
+/// [`softmax_scaled_into_dispatch`]. Returns `true` when the licensed
+/// path ran.
+#[allow(clippy::too_many_arguments)]
+pub fn layernorm_into_dispatch(
+    x: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    lane: LaneGeom,
+    out: &mut [f32],
+    mean_out: &mut [f32],
+    inv_std_out: &mut [f32],
+) -> bool {
+    if lane.post == 1
+        && x.len() >= lane.elements()
+        && out.len() >= lane.elements()
+        && gamma.len() >= lane.len
+        && beta.len() >= lane.len
+        && mean_out.len() >= lane.lanes()
+        && inv_std_out.len() >= lane.lanes()
+    {
+        // SAFETY: every obligation of the twin was checked just above.
+        unsafe { layernorm_into_unchecked(x, gamma, beta, lane, out, mean_out, inv_std_out) };
+        true
+    } else {
+        layernorm_into(x, gamma, beta, lane, out, mean_out, inv_std_out);
+        false
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -868,5 +1300,203 @@ mod tests {
         assert_eq!(dst.as_slice(), t.data());
         copy_tensor_into(&t, &mut dst);
         assert_eq!(dst.as_slice(), t.data());
+    }
+
+    fn assert_bits(name: &str, a: &[f32], b: &[f32]) {
+        assert_eq!(a.len(), b.len(), "{name}: length mismatch");
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{name}: word {i}: {x} vs {y}");
+        }
+    }
+
+    /// Every unchecked twin against its checked original, bitwise, at
+    /// dims small enough for Miri — this is the test CI interprets under
+    /// `cargo miri test` to prove the `get_unchecked` paths UB-free.
+    /// Broad randomized coverage lives in `tests/unchecked_equivalence`.
+    #[test]
+    fn unchecked_twins_match_checked_bitwise() {
+        let lane = LaneGeom {
+            pre: 3,
+            len: 4,
+            post: 1,
+        };
+        let n = lane.elements();
+        let mut rng = StdRng::seed_from_u64(77);
+        let dist = Uniform::new(-2.0f32, 2.0);
+        let draw = |rng: &mut StdRng, n: usize| -> Vec<f32> {
+            use rand::distributions::Distribution;
+            (0..n).map(|_| dist.sample(rng)).collect()
+        };
+        let x = draw(&mut rng, n);
+        let bias = draw(&mut rng, lane.len);
+        let residual = draw(&mut rng, n);
+        let gamma = draw(&mut rng, lane.len);
+        let beta = draw(&mut rng, lane.len);
+        let map = BiasMap {
+            dims: vec![(1, lane.len, 1)],
+        };
+        let causal = CausalMap { div: 1, len: 3 };
+
+        for p in [0.0f32, 0.4] {
+            let mut c = vec![vec![0.0f32; n]; 5];
+            let mut u = vec![vec![7.0f32; n]; 5];
+
+            bias_add_into(&x, &bias, &map, &mut c[0]);
+            unsafe { bias_add_into_unchecked(&x, &bias, &map, &mut u[0]) };
+            assert_bits("bias_add", &c[0], &u[0]);
+
+            softmax_scaled_into(&x, 0.5, lane, &mut c[0]);
+            unsafe { softmax_scaled_into_unchecked(&x, 0.5, lane, &mut u[0]) };
+            assert_bits("softmax_scaled", &c[0], &u[0]);
+
+            softmax_causal_into(&x, 0.5, lane, causal, &mut c[0]);
+            unsafe { softmax_causal_into_unchecked(&x, 0.5, lane, causal, &mut u[0]) };
+            assert_bits("softmax_causal", &c[0], &u[0]);
+
+            let mut r1 = StdRng::seed_from_u64(5);
+            let mut r2 = StdRng::seed_from_u64(5);
+            #[allow(clippy::indexing_slicing)]
+            {
+                let [s1, a1, m1, ..] = &mut c[..] else {
+                    unreachable!()
+                };
+                sm_into(&x, 0.5, lane, Some(causal), p, &mut r1, s1, a1, m1);
+                let [s2, a2, m2, ..] = &mut u[..] else {
+                    unreachable!()
+                };
+                unsafe { sm_into_unchecked(&x, 0.5, lane, Some(causal), p, &mut r2, s2, a2, m2) };
+            }
+            assert_bits("sm softmax", &c[0], &u[0]);
+            assert_bits("sm alpha", &c[1], &u[1]);
+            assert_bits("sm mask", &c[2], &u[2]);
+
+            let (mut mu1, mut is1) = (vec![0.0f32; lane.pre], vec![0.0f32; lane.pre]);
+            let (mut mu2, mut is2) = (vec![7.0f32; lane.pre], vec![7.0f32; lane.pre]);
+            layernorm_into(&x, &gamma, &beta, lane, &mut c[0], &mut mu1, &mut is1);
+            unsafe {
+                layernorm_into_unchecked(&x, &gamma, &beta, lane, &mut u[0], &mut mu2, &mut is2)
+            };
+            assert_bits("layernorm out", &c[0], &u[0]);
+            assert_bits("layernorm mean", &mu1, &mu2);
+            assert_bits("layernorm inv_std", &is1, &is2);
+
+            let mut r1 = StdRng::seed_from_u64(6);
+            let mut r2 = StdRng::seed_from_u64(6);
+            {
+                let [m1, li1, o1, ..] = &mut c[..] else {
+                    unreachable!()
+                };
+                bdrln_into(
+                    &x, &bias, &map, &residual, &gamma, &beta, lane, p, &mut r1, m1, li1, o1,
+                    &mut mu1, &mut is1,
+                );
+                let [m2, li2, o2, ..] = &mut u[..] else {
+                    unreachable!()
+                };
+                unsafe {
+                    bdrln_into_unchecked(
+                        &x, &bias, &map, &residual, &gamma, &beta, lane, p, &mut r2, m2, li2, o2,
+                        &mut mu2, &mut is2,
+                    )
+                };
+            }
+            for (tag, i) in [("mask", 0), ("ln_input", 1), ("out", 2)] {
+                assert_bits(&format!("bdrln {tag}"), &c[i], &u[i]);
+            }
+            assert_bits("bdrln mean", &mu1, &mu2);
+            assert_bits("bdrln inv_std", &is1, &is2);
+
+            let mut r1 = StdRng::seed_from_u64(7);
+            let mut r2 = StdRng::seed_from_u64(7);
+            {
+                let [z1, o1, m1, ..] = &mut c[..] else {
+                    unreachable!()
+                };
+                brd_act_into(
+                    &x,
+                    &bias,
+                    &map,
+                    ActivationKind::Gelu,
+                    p,
+                    &mut r1,
+                    z1,
+                    o1,
+                    m1,
+                );
+                let [z2, o2, m2, ..] = &mut u[..] else {
+                    unreachable!()
+                };
+                unsafe {
+                    brd_act_into_unchecked(
+                        &x,
+                        &bias,
+                        &map,
+                        ActivationKind::Gelu,
+                        p,
+                        &mut r2,
+                        z2,
+                        o2,
+                        m2,
+                    )
+                };
+            }
+            for (tag, i) in [("pre_activation", 0), ("out", 1), ("mask", 2)] {
+                assert_bits(&format!("brd {tag}"), &c[i], &u[i]);
+            }
+
+            let mut r1 = StdRng::seed_from_u64(8);
+            let mut r2 = StdRng::seed_from_u64(8);
+            {
+                let [m1, o1, ..] = &mut c[..] else {
+                    unreachable!()
+                };
+                bdr_into(&x, &bias, &map, &residual, p, &mut r1, m1, o1);
+                let [m2, o2, ..] = &mut u[..] else {
+                    unreachable!()
+                };
+                unsafe { bdr_into_unchecked(&x, &bias, &map, &residual, p, &mut r2, m2, o2) };
+            }
+            assert_bits("bdr mask", &c[0], &u[0]);
+            assert_bits("bdr out", &c[1], &u[1]);
+        }
+    }
+
+    /// The locally-certified dispatchers run the licensed path exactly
+    /// when the lane geometry discharges the twin's obligations.
+    #[test]
+    fn dispatchers_license_only_unit_stride_lanes() {
+        let unit = LaneGeom {
+            pre: 2,
+            len: 3,
+            post: 1,
+        };
+        let strided = LaneGeom {
+            pre: 2,
+            len: 3,
+            post: 2,
+        };
+        let x = vec![0.5f32; strided.elements()];
+        let mut out = vec![0.0f32; strided.elements()];
+        assert!(softmax_scaled_into_dispatch(
+            &x[..unit.elements()],
+            1.0,
+            unit,
+            &mut out[..unit.elements()]
+        ));
+        assert!(!softmax_scaled_into_dispatch(&x, 1.0, strided, &mut out));
+        let (gamma, beta) = (vec![1.0f32; 3], vec![0.0f32; 3]);
+        let (mut mu, mut is) = (vec![0.0f32; 4], vec![0.0f32; 4]);
+        assert!(layernorm_into_dispatch(
+            &x[..unit.elements()],
+            &gamma,
+            &beta,
+            unit,
+            &mut out[..unit.elements()],
+            &mut mu,
+            &mut is
+        ));
+        assert!(!layernorm_into_dispatch(
+            &x, &gamma, &beta, strided, &mut out, &mut mu, &mut is
+        ));
     }
 }

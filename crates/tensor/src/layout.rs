@@ -89,6 +89,30 @@ impl Layout {
         self.order.iter().enumerate().all(|(i, &o)| i == o)
     }
 
+    /// `true` when the layout is *physically* row-major for `shape`: its
+    /// strides equal the row-major strides, i.e. the non-singleton axes
+    /// appear in increasing logical order. Singleton axes carry no stride
+    /// information, so a permutation that only moves size-1 axes still
+    /// walks memory identically to the identity — [`Layout::is_row_major`]
+    /// is purely syntactic and rejects those. A rank mismatch returns
+    /// `false` rather than panicking.
+    pub fn is_row_major_for(&self, shape: &Shape) -> bool {
+        if self.order.len() != shape.rank() {
+            return false;
+        }
+        let mut last = None;
+        for &ax in &self.order {
+            if shape.sizes()[ax] <= 1 {
+                continue;
+            }
+            if last.is_some_and(|prev| ax < prev) {
+                return false;
+            }
+            last = Some(ax);
+        }
+        true
+    }
+
     /// Number of dimensions.
     pub fn rank(&self) -> usize {
         self.order.len()
@@ -238,6 +262,61 @@ mod tests {
                 assert_ne!(a, b);
             }
         }
+    }
+
+    #[test]
+    fn physical_row_major_tolerates_singleton_permutations() {
+        // ('u', 1) permuted anywhere leaves the walk order unchanged
+        let s = Shape::new([('b', 2), ('u', 1), ('i', 4)]).unwrap();
+        let rm = Layout::row_major(3);
+        // Ground truth: the walk is row-major iff the strides of every
+        // non-singleton axis match the identity's (a size-1 axis never
+        // steps, so its stride is irrelevant to the address sequence).
+        let effective = |l: &Layout| -> Vec<usize> {
+            l.strides(&s)
+                .into_iter()
+                .zip(s.sizes())
+                .map(|(st, &n)| if n > 1 { st } else { 0 })
+                .collect()
+        };
+        for l in Layout::all(3) {
+            let physical = effective(&l) == effective(&rm);
+            assert_eq!(
+                l.is_row_major_for(&s),
+                physical,
+                "layout {l} of {s:?}: stride check and is_row_major_for disagree"
+            );
+        }
+        // "uib" is syntactically permuted but physically row-major... no:
+        // u(1) first, then i before b — i/b swapped, so strided
+        assert!(!Layout::from_axis_order(&s, "uib")
+            .unwrap()
+            .is_row_major_for(&s));
+        // "bui" is the identity; "ubi" and "bui" only move the singleton
+        assert!(Layout::from_axis_order(&s, "ubi")
+            .unwrap()
+            .is_row_major_for(&s));
+        assert!(Layout::from_axis_order(&s, "biu")
+            .unwrap()
+            .is_row_major_for(&s));
+        assert!(!Layout::from_axis_order(&s, "ibu")
+            .unwrap()
+            .is_row_major_for(&s));
+    }
+
+    #[test]
+    fn physical_row_major_degenerate_ranks() {
+        // rank 0: trivially row-major
+        let s0 = Shape::new(std::iter::empty::<(char, usize)>()).unwrap();
+        assert!(Layout::row_major(0).is_row_major_for(&s0));
+        // all-singleton shape: every permutation is physically row-major
+        let s1 = Shape::new([('a', 1), ('b', 1)]).unwrap();
+        for l in Layout::all(2) {
+            assert!(l.is_row_major_for(&s1));
+        }
+        // rank mismatch is false, not a panic
+        let s = Shape::new([('b', 2), ('i', 4)]).unwrap();
+        assert!(!Layout::row_major(3).is_row_major_for(&s));
     }
 
     #[test]

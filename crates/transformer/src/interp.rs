@@ -16,6 +16,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use xform_core::access::{certify_access, AccessCertificate};
 use xform_core::analyze::{analyze, ArenaGranularity};
 use xform_core::arena::{ArenaArtifact, ArenaOutcome, ArenaRun, CompiledArena};
 use xform_core::fusion::{apply_plan, decoder_fusion_plan, encoder_fusion_plan};
@@ -68,6 +69,9 @@ pub struct PlannedForward {
     pub plan: ExecutionPlan,
     /// Freedom-from-races certificate over the plan's hazard-DAG waves.
     pub cert: RaceCertificate,
+    /// Access-path certificate: every operand path proven in-bounds and
+    /// alias-free, with per-step licenses for the unchecked kernel twins.
+    pub access: AccessCertificate,
 }
 
 fn planned(graph: Graph, dy: xform_dataflow::NodeId) -> Result<PlannedForward> {
@@ -78,7 +82,18 @@ fn planned(graph: Graph, dy: xform_dataflow::NodeId) -> Result<PlannedForward> {
             lints.iter().map(|l| l.to_string()).collect::<Vec<_>>()
         ))
     })?;
-    Ok(PlannedForward { graph, plan, cert })
+    let access = certify_access(&graph, &plan).map_err(|lints| {
+        xform_tensor::TensorError::Unsupported(format!(
+            "canned plan failed access certification: {:?}",
+            lints.iter().map(|l| l.to_string()).collect::<Vec<_>>()
+        ))
+    })?;
+    Ok(PlannedForward {
+        graph,
+        plan,
+        cert,
+        access,
+    })
 }
 
 /// Which canned schedule a cache entry holds.

@@ -1,0 +1,267 @@
+//! Differential proofs that every certificate-licensed unchecked kernel
+//! twin is **bitwise identical** to its checked original — across
+//! randomized lane geometries, seeds, dropout probabilities (including
+//! the branch-free select-based dropout), and causal masks. The twins
+//! mirror the checked kernels statement-for-statement, so any float or
+//! RNG-stream divergence is a bug; equality here is `to_bits()`, not an
+//! epsilon.
+//!
+//! Also pins the layout-level dispatch: `ops::softmax` / `ops::layernorm`
+//! take their locally-certified fast path on physically row-major
+//! tensors, and the result must match the strided fallback bitwise.
+
+use proptest::prelude::*;
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use substation::tensor::into_ops::{
+    bdr_into, bdr_into_unchecked, bdrln_into, bdrln_into_unchecked, bias_add_into,
+    bias_add_into_unchecked, brd_act_into, brd_act_into_unchecked, layernorm_into,
+    layernorm_into_unchecked, sm_into, sm_into_unchecked, softmax_causal_into,
+    softmax_causal_into_unchecked, softmax_scaled_into, softmax_scaled_into_unchecked, BiasMap,
+    CausalMap, LaneGeom,
+};
+use substation::tensor::ops::elementwise::ActivationKind;
+use substation::tensor::ops::layernorm::layernorm;
+use substation::tensor::ops::softmax::softmax;
+use substation::tensor::{Axis, Layout, Shape, Tensor};
+
+fn rand_vec(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dist = Uniform::new(-2.0f32, 2.0);
+    (0..n).map(|_| dist.sample(&mut rng)).collect()
+}
+
+/// Asserts two f32 slices are bitwise identical.
+fn assert_bits(name: &str, a: &[f32], b: &[f32]) {
+    assert_eq!(a.len(), b.len(), "{name}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{name}: word {i} differs, {x} vs {y}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn softmax_scaled_twin_is_bitwise(pre in 1usize..6, len in 1usize..9, seed in 0u64..1000) {
+        let lane = LaneGeom { pre, len, post: 1 };
+        let x = rand_vec(lane.elements(), seed);
+        let mut checked = vec![0.0f32; lane.elements()];
+        let mut fast = vec![7.0f32; lane.elements()];
+        softmax_scaled_into(&x, 0.5, lane, &mut checked);
+        unsafe { softmax_scaled_into_unchecked(&x, 0.5, lane, &mut fast) };
+        assert_bits("softmax_scaled", &checked, &fast);
+    }
+
+    #[test]
+    fn softmax_causal_twin_is_bitwise(
+        q in 1usize..5, div in 1usize..4, len in 1usize..9, seed in 0u64..1000,
+    ) {
+        let causal = CausalMap { div, len: q };
+        let lane = LaneGeom { pre: q * div, len, post: 1 };
+        let x = rand_vec(lane.elements(), seed);
+        let mut checked = vec![0.0f32; lane.elements()];
+        let mut fast = vec![7.0f32; lane.elements()];
+        softmax_causal_into(&x, 0.25, lane, causal, &mut checked);
+        unsafe { softmax_causal_into_unchecked(&x, 0.25, lane, causal, &mut fast) };
+        assert_bits("softmax_causal", &checked, &fast);
+    }
+
+    #[test]
+    fn sm_twin_is_bitwise_with_dropout_and_causal(
+        pre in 1usize..5, len in 1usize..9, seed in 0u64..1000,
+        p_idx in 0usize..3, use_causal in any::<bool>(),
+    ) {
+        let p = [0.0f32, 0.1, 0.5][p_idx];
+        let causal = use_causal.then_some(CausalMap { div: 1, len: pre });
+        let lane = LaneGeom { pre, len, post: 1 };
+        let x = rand_vec(lane.elements(), seed);
+        let n = lane.elements();
+        let (mut s1, mut a1, mut m1) = (vec![0.0f32; n], vec![0.0f32; n], vec![0.0f32; n]);
+        let (mut s2, mut a2, mut m2) = (vec![7.0f32; n], vec![7.0f32; n], vec![7.0f32; n]);
+        // identical seeds: the twin must draw the same stream in the
+        // same order, or the masks (and everything after) diverge
+        let mut r1 = StdRng::seed_from_u64(seed ^ 0xD5);
+        let mut r2 = StdRng::seed_from_u64(seed ^ 0xD5);
+        sm_into(&x, 0.125, lane, causal, p, &mut r1, &mut s1, &mut a1, &mut m1);
+        unsafe {
+            sm_into_unchecked(&x, 0.125, lane, causal, p, &mut r2, &mut s2, &mut a2, &mut m2)
+        };
+        assert_bits("sm softmax", &s1, &s2);
+        assert_bits("sm alpha", &a1, &a2);
+        assert_bits("sm mask", &m1, &m2);
+        // and the RNG streams must end in the same state
+        prop_assert_eq!(r1.gen::<u64>(), r2.gen::<u64>());
+    }
+
+    #[test]
+    fn layernorm_twin_is_bitwise(pre in 1usize..6, len in 1usize..9, seed in 0u64..1000) {
+        let lane = LaneGeom { pre, len, post: 1 };
+        let n = lane.elements();
+        let x = rand_vec(n, seed);
+        let gamma = rand_vec(lane.len, seed ^ 1);
+        let beta = rand_vec(lane.len, seed ^ 2);
+        let (mut o1, mut mu1, mut is1) =
+            (vec![0.0f32; n], vec![0.0f32; pre], vec![0.0f32; pre]);
+        let (mut o2, mut mu2, mut is2) =
+            (vec![7.0f32; n], vec![7.0f32; pre], vec![7.0f32; pre]);
+        layernorm_into(&x, &gamma, &beta, lane, &mut o1, &mut mu1, &mut is1);
+        unsafe {
+            layernorm_into_unchecked(&x, &gamma, &beta, lane, &mut o2, &mut mu2, &mut is2)
+        };
+        assert_bits("layernorm out", &o1, &o2);
+        assert_bits("layernorm mean", &mu1, &mu2);
+        assert_bits("layernorm inv_std", &is1, &is2);
+    }
+
+    #[test]
+    fn bias_add_twin_is_bitwise(rows in 1usize..6, cols in 1usize..9, seed in 0u64..1000) {
+        let n = rows * cols;
+        let x = rand_vec(n, seed);
+        let bias = rand_vec(cols, seed ^ 3);
+        // bias broadcast over the row axis: one (stride, size, bstride)
+        let map = BiasMap { dims: vec![(1, cols, 1)] };
+        let mut checked = vec![0.0f32; n];
+        let mut fast = vec![7.0f32; n];
+        bias_add_into(&x, &bias, &map, &mut checked);
+        unsafe { bias_add_into_unchecked(&x, &bias, &map, &mut fast) };
+        assert_bits("bias_add", &checked, &fast);
+    }
+
+    #[test]
+    fn bdrln_twin_is_bitwise(
+        pre in 1usize..5, len in 1usize..9, seed in 0u64..1000,
+        p_idx in 0usize..3,
+    ) {
+        let p = [0.0f32, 0.1, 0.5][p_idx];
+        let lane = LaneGeom { pre, len, post: 1 };
+        let n = lane.elements();
+        let x = rand_vec(n, seed);
+        let bias = rand_vec(len, seed ^ 4);
+        let residual = rand_vec(n, seed ^ 5);
+        let gamma = rand_vec(len, seed ^ 6);
+        let beta = rand_vec(len, seed ^ 7);
+        let map = BiasMap { dims: vec![(1, len, 1)] };
+        let mut c = (vec![0.0f32; n], vec![0.0f32; n], vec![0.0f32; n],
+                     vec![0.0f32; pre], vec![0.0f32; pre]);
+        let mut u = (vec![7.0f32; n], vec![7.0f32; n], vec![7.0f32; n],
+                     vec![7.0f32; pre], vec![7.0f32; pre]);
+        let mut r1 = StdRng::seed_from_u64(seed ^ 0xB0);
+        let mut r2 = StdRng::seed_from_u64(seed ^ 0xB0);
+        bdrln_into(&x, &bias, &map, &residual, &gamma, &beta, lane, p, &mut r1,
+                   &mut c.0, &mut c.1, &mut c.2, &mut c.3, &mut c.4);
+        unsafe {
+            bdrln_into_unchecked(&x, &bias, &map, &residual, &gamma, &beta, lane, p, &mut r2,
+                                 &mut u.0, &mut u.1, &mut u.2, &mut u.3, &mut u.4)
+        };
+        assert_bits("bdrln mask", &c.0, &u.0);
+        assert_bits("bdrln ln_input", &c.1, &u.1);
+        assert_bits("bdrln out", &c.2, &u.2);
+        assert_bits("bdrln mean", &c.3, &u.3);
+        assert_bits("bdrln inv_std", &c.4, &u.4);
+        prop_assert_eq!(r1.gen::<u64>(), r2.gen::<u64>());
+    }
+
+    #[test]
+    fn brd_act_twin_is_bitwise(
+        rows in 1usize..5, cols in 1usize..9, seed in 0u64..1000,
+        p_idx in 0usize..3, gelu in any::<bool>(),
+    ) {
+        let p = [0.0f32, 0.1, 0.5][p_idx];
+        let n = rows * cols;
+        let kind = if gelu { ActivationKind::Gelu } else { ActivationKind::Relu };
+        let x = rand_vec(n, seed);
+        let bias = rand_vec(cols, seed ^ 8);
+        let map = BiasMap { dims: vec![(1, cols, 1)] };
+        let (mut z1, mut o1, mut m1) = (vec![0.0f32; n], vec![0.0f32; n], vec![0.0f32; n]);
+        let (mut z2, mut o2, mut m2) = (vec![7.0f32; n], vec![7.0f32; n], vec![7.0f32; n]);
+        let mut r1 = StdRng::seed_from_u64(seed ^ 0xAC);
+        let mut r2 = StdRng::seed_from_u64(seed ^ 0xAC);
+        brd_act_into(&x, &bias, &map, kind, p, &mut r1, &mut z1, &mut o1, &mut m1);
+        unsafe {
+            brd_act_into_unchecked(&x, &bias, &map, kind, p, &mut r2, &mut z2, &mut o2, &mut m2)
+        };
+        assert_bits("brd pre_activation", &z1, &z2);
+        assert_bits("brd out", &o1, &o2);
+        assert_bits("brd mask", &m1, &m2);
+        prop_assert_eq!(r1.gen::<u64>(), r2.gen::<u64>());
+    }
+
+    #[test]
+    fn bdr_twin_is_bitwise(
+        rows in 1usize..5, cols in 1usize..9, seed in 0u64..1000,
+        p_idx in 0usize..3,
+    ) {
+        let p = [0.0f32, 0.1, 0.5][p_idx];
+        let n = rows * cols;
+        let x = rand_vec(n, seed);
+        let bias = rand_vec(cols, seed ^ 9);
+        let residual = rand_vec(n, seed ^ 10);
+        let map = BiasMap { dims: vec![(1, cols, 1)] };
+        let (mut m1, mut o1) = (vec![0.0f32; n], vec![0.0f32; n]);
+        let (mut m2, mut o2) = (vec![7.0f32; n], vec![7.0f32; n]);
+        let mut r1 = StdRng::seed_from_u64(seed ^ 0xBD);
+        let mut r2 = StdRng::seed_from_u64(seed ^ 0xBD);
+        bdr_into(&x, &bias, &map, &residual, p, &mut r1, &mut m1, &mut o1);
+        unsafe {
+            bdr_into_unchecked(&x, &bias, &map, &residual, p, &mut r2, &mut m2, &mut o2)
+        };
+        assert_bits("bdr mask", &m1, &m2);
+        assert_bits("bdr out", &o1, &o2);
+        // p == 0 must draw nothing in either kernel; p > 0 one per element
+        prop_assert_eq!(r1.gen::<u64>(), r2.gen::<u64>());
+    }
+
+    #[test]
+    fn ops_softmax_fast_path_matches_strided_fallback(
+        b in 1usize..4, j in 1usize..4, k in 2usize..7, seed in 0u64..1000,
+    ) {
+        let shape = Shape::new([('b', b), ('j', j), ('k', k)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::random(shape, &Uniform::new(-2.0, 2.0), &mut rng);
+        // row-major: unit-stride reduce axis → the fast path runs
+        let fast = softmax(&x, Axis('k')).unwrap();
+        // permuted so `k` is outermost: strided fallback
+        let xp = x.relayout(&Layout::from_axis_order(x.shape(), "kbj").unwrap());
+        let slow = softmax(&xp, Axis('k')).unwrap();
+        let mut idx = vec![0usize; 3];
+        loop {
+            let (a, c) = (fast.at(&idx), slow.at(&idx));
+            prop_assert!(a.to_bits() == c.to_bits(), "softmax at {:?}: {} vs {}", idx, a, c);
+            if !fast.advance(&mut idx) { break; }
+        }
+    }
+
+    #[test]
+    fn ops_layernorm_fast_path_matches_strided_fallback(
+        b in 1usize..4, j in 1usize..4, i in 2usize..7, seed in 0u64..1000,
+    ) {
+        let shape = Shape::new([('b', b), ('j', j), ('i', i)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::random(shape, &Uniform::new(-2.0, 2.0), &mut rng);
+        let gamma = Tensor::random(
+            Shape::new([('i', i)]).unwrap(), &Uniform::new(0.5, 1.5), &mut rng);
+        let beta = Tensor::random(
+            Shape::new([('i', i)]).unwrap(), &Uniform::new(-0.5, 0.5), &mut rng);
+        let (fast, fs) = layernorm(&x, Axis('i'), &gamma, &beta).unwrap();
+        let xp = x.relayout(&Layout::from_axis_order(x.shape(), "ibj").unwrap());
+        let (slow, ss) = layernorm(&xp, Axis('i'), &gamma, &beta).unwrap();
+        let mut idx = vec![0usize; 3];
+        loop {
+            let (a, c) = (fast.at(&idx), slow.at(&idx));
+            prop_assert!(a.to_bits() == c.to_bits(), "layernorm at {:?}: {} vs {}", idx, a, c);
+            if !fast.advance(&mut idx) { break; }
+        }
+        // the strided kernel pushes stats in outer-index order, which on
+        // the permuted layout is still logical (b, j) order — same vector
+        assert_bits("layernorm stats mean", &fs.mean, &ss.mean);
+        assert_bits("layernorm stats inv_std", &fs.inv_std, &ss.inv_std);
+    }
+}
