@@ -5,9 +5,14 @@
 //! report of `xform_core::analyze`: the dependency DAG's parallel waves,
 //! peak resident bytes, per-operator-class byte volumes (Table I style),
 //! the plan-level static MUE (`Q/D · B/B̂`), and every lint the analyzer
-//! raises. With `--check` it exits non-zero if any plan carries an
-//! error-severity lint — CI uses this to fail the build on a lint-dirty
-//! canned plan. With `--certify` it runs the full race certifier
+//! raises. The audited set includes the GEMM-epilogue mega-kernel plans,
+//! which must beat their unfused counterparts on the static account:
+//! `D` strictly lower with `Q` unchanged and a strictly smaller serial
+//! arena slab — violations fail the audit. With `--check` it exits
+//! non-zero if any plan carries an error-severity lint or any plan's
+//! static MUE regresses below the checked-in floor in
+//! `crates/bench/baseline_static_mue.txt` — CI uses this to fail the
+//! build on a lint-dirty or MUE-regressed canned plan. With `--certify` it runs the full race certifier
 //! (`xform_core::sanitize::certify`) on every plan and prints each
 //! certificate's fingerprint and wave partition, exiting non-zero if any
 //! plan cannot be certified for wave-parallel execution. With `--access`
@@ -29,12 +34,41 @@ use xform_core::sanitize::certify;
 use xform_core::selection::select_forward;
 use xform_core::sweep::{sweep_all, SimulatorSource, SweepOptions, SweepResult};
 use xform_dataflow::{EncoderDims, Graph, NodeId};
+use xform_gpusim::mue::Mue;
 use xform_gpusim::DeviceSpec;
 use xform_transformer::interp;
 
+/// Checked-in static-MUE floor per canned plan. `--check` fails when any
+/// plan's audited static MUE regresses below its pinned value; re-pin by
+/// editing the file when a change legitimately raises a floor.
+const BASELINE: &str = include_str!("../../baseline_static_mue.txt");
+
+/// Tolerance (MUE points) when comparing against the pinned baseline,
+/// absorbing float-summation noise across platforms.
+const BASELINE_TOL: f64 = 0.05;
+
 struct Audited {
     title: &'static str,
+    /// Stable key into the static-MUE baseline file; empty when the plan
+    /// is not baselined.
+    key: &'static str,
     errors: usize,
+    /// The audited static plan MUE (None in certify/access modes).
+    mue: Option<Mue>,
+    /// Serial arena slab bytes (None in certify/access modes).
+    slab_bytes: Option<u64>,
+}
+
+fn baseline() -> HashMap<&'static str, f64> {
+    BASELINE
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            let (key, value) = l.split_once(char::is_whitespace)?;
+            Some((key, value.trim().parse().ok()?))
+        })
+        .collect()
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -95,15 +129,23 @@ fn report_access(title: &str, graph: &Graph, plan: &ExecutionPlan) -> usize {
 
 fn report(
     title: &'static str,
+    key: &'static str,
     graph: &Graph,
     plan: &ExecutionPlan,
     sweeps: Option<&HashMap<NodeId, SweepResult>>,
     device: &DeviceSpec,
     mode: Mode,
 ) -> Audited {
+    let quiet = Audited {
+        title,
+        key,
+        errors: 0,
+        mue: None,
+        slab_bytes: None,
+    };
     if mode == Mode::Access {
         let errors = report_access(title, graph, plan);
-        return Audited { title, errors };
+        return Audited { errors, ..quiet };
     }
     if mode == Mode::Certify {
         return match certify(graph, plan) {
@@ -115,7 +157,7 @@ fn report(
                     plan.steps.len(),
                     cert.waves.len()
                 );
-                Audited { title, errors: 0 }
+                quiet
             }
             Err(lints) => {
                 println!("{title}: NOT certifiable, {} error lints", lints.len());
@@ -123,8 +165,8 @@ fn report(
                     println!("  [error] {lint}");
                 }
                 Audited {
-                    title,
                     errors: lints.len(),
+                    ..quiet
                 }
             }
         };
@@ -141,15 +183,17 @@ fn report(
     analysis.lints.extend(arena_serial.lints.iter().cloned());
     analysis.lints.extend(arena_waves.lints.iter().cloned());
     let errors = analysis.errors().len();
+    let movement = audit(graph, plan, device);
     if mode == Mode::Check {
         println!(
-            "{title}: {} steps, {errors} errors, {} warnings",
+            "{title}: {} steps, {errors} errors, {} warnings, static MUE {:.4}",
             plan.steps.len(),
             analysis
                 .lints
                 .iter()
                 .filter(|l| l.severity() == Severity::Warning)
-                .count()
+                .count(),
+            movement.plan_mue.value,
         );
         for lint in analysis
             .lints
@@ -159,7 +203,6 @@ fn report(
             println!("  [error] {lint}");
         }
     } else {
-        let movement = audit(graph, plan, device);
         print!("{}", render_report(title, &analysis, &movement, device));
         for (tag, a) in [("serial", &arena_serial), ("waves", &arena_waves)] {
             println!(
@@ -175,7 +218,12 @@ fn report(
         }
         println!();
     }
-    Audited { title, errors }
+    Audited {
+        errors,
+        mue: Some(movement.plan_mue),
+        slab_bytes: Some(arena_serial.slab_bytes(4)),
+        ..quiet
+    }
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -193,7 +241,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let reference = interp::cached_plan(&dims, interp::PlanKind::EncoderReference)?;
     let fused = interp::cached_plan(&dims, interp::PlanKind::EncoderFused)?;
+    let epilogue = interp::cached_plan(&dims, interp::PlanKind::EncoderEpilogue)?;
     let decoder = interp::cached_plan(&dims, interp::PlanKind::DecoderFused)?;
+    let dec_epilogue = interp::cached_plan(&dims, interp::PlanKind::DecoderEpilogue)?;
 
     // the recipe: simulator sweeps over the fused graph, SSSP layout
     // selection, lowered to a schedule — audited statically like the rest
@@ -212,6 +262,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let results = [
         report(
             "Reference (unfused, natural layouts)",
+            "encoder-reference",
             &reference.graph,
             &reference.plan,
             None,
@@ -220,6 +271,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
         report(
             "Fused (natural layouts)",
+            "encoder-fused",
             &fused.graph,
             &fused.plan,
             None,
@@ -227,7 +279,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             mode,
         ),
         report(
+            "Encoder (GEMM-epilogue mega-kernels)",
+            "encoder-epilogue",
+            &epilogue.graph,
+            &epilogue.plan,
+            None,
+            &device,
+            mode,
+        ),
+        report(
             "Decoder (fused, natural layouts)",
+            "decoder-fused",
             &decoder.graph,
             &decoder.plan,
             None,
@@ -235,7 +297,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             mode,
         ),
         report(
+            "Decoder (GEMM-epilogue mega-kernels)",
+            "decoder-epilogue",
+            &dec_epilogue.graph,
+            &dec_epilogue.plan,
+            None,
+            &device,
+            mode,
+        ),
+        report(
             "Recipe-selected (simulator sweeps + SSSP layouts)",
+            "recipe-selected",
             &fused.graph,
             &selected,
             Some(&sweeps),
@@ -244,18 +316,95 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
     ];
 
-    let dirty: Vec<&Audited> = results.iter().filter(|r| r.errors > 0).collect();
-    if !dirty.is_empty() {
-        for r in &dirty {
-            eprintln!("{}: {} error-severity lints", r.title, r.errors);
-        }
+    let mut failures = 0usize;
+    for r in results.iter().filter(|r| r.errors > 0) {
+        eprintln!("{}: {} error-severity lints", r.title, r.errors);
+        failures += 1;
+    }
+
+    if matches!(mode, Mode::Full | Mode::Check) {
+        failures += check_epilogue_invariants(&results);
+        failures += check_baseline(&results);
+    }
+    if failures > 0 {
         std::process::exit(1);
     }
     match mode {
-        Mode::Check => println!("all plans are error-clean"),
+        Mode::Check => {
+            println!("all plans are error-clean and at or above the static-MUE baseline")
+        }
         Mode::Certify => println!("all plans certified for wave-parallel execution"),
         Mode::Access => println!("all plans earn access certificates at every granularity"),
         Mode::Full => {}
     }
     Ok(())
+}
+
+/// The tentpole's static acceptance gate: each GEMM-epilogue plan must
+/// show `D` strictly lower with `Q` unchanged (hence strictly higher
+/// static MUE) and a strictly smaller serial arena slab than its unfused
+/// counterpart. Returns the number of violated invariants.
+fn check_epilogue_invariants(results: &[Audited]) -> usize {
+    let find = |key: &str| results.iter().find(|r| r.key == key);
+    let mut failures = 0usize;
+    for (unfused_key, epilogue_key) in [
+        ("encoder-fused", "encoder-epilogue"),
+        ("decoder-fused", "decoder-epilogue"),
+    ] {
+        let (Some(f), Some(e)) = (find(unfused_key), find(epilogue_key)) else {
+            continue;
+        };
+        let (Some(fm), Some(em)) = (&f.mue, &e.mue) else {
+            continue;
+        };
+        let (Some(fs), Some(es)) = (f.slab_bytes, e.slab_bytes) else {
+            continue;
+        };
+        println!(
+            "{epilogue_key} vs {unfused_key}: Q {:+.1} words, D {:+.1} words, \
+             MUE {:.2} → {:.2}, serial slab {:.1} → {:.1} MiB",
+            em.q_words - fm.q_words,
+            em.d_words - fm.d_words,
+            fm.value,
+            em.value,
+            fs as f64 / (1024.0 * 1024.0),
+            es as f64 / (1024.0 * 1024.0),
+        );
+        for (ok, what) in [
+            ((em.q_words - fm.q_words).abs() < 0.5, "Q must be unchanged"),
+            (em.d_words < fm.d_words, "D must strictly drop"),
+            (em.value > fm.value, "static MUE must strictly rise"),
+            (es < fs, "serial arena slab must strictly shrink"),
+        ] {
+            if !ok {
+                eprintln!("FAIL: {epilogue_key} vs {unfused_key}: {what}");
+                failures += 1;
+            }
+        }
+    }
+    failures
+}
+
+/// Compares every baselined plan's static MUE against the checked-in
+/// floor. Returns the number of regressions.
+fn check_baseline(results: &[Audited]) -> usize {
+    let floors = baseline();
+    let mut failures = 0usize;
+    for r in results {
+        let (Some(mue), Some(&floor)) = (&r.mue, floors.get(r.key)) else {
+            if !r.key.is_empty() && r.mue.is_some() {
+                eprintln!("FAIL: {} has no pinned static-MUE baseline", r.key);
+                failures += 1;
+            }
+            continue;
+        };
+        if mue.value < floor - BASELINE_TOL {
+            eprintln!(
+                "FAIL: {} static MUE {:.4} regressed below the pinned baseline {floor:.4}",
+                r.key, mue.value
+            );
+            failures += 1;
+        }
+    }
+    failures
 }

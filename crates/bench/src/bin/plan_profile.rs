@@ -17,12 +17,20 @@
 //! bytes per granularity and heap allocations per `forward_into` call
 //! after warmup, which must be **zero**.
 //!
+//! The binary also duels each element-wise-fused plan against its
+//! GEMM-epilogue mega-kernel counterpart on several traffic shapes and
+//! reports measured bytes, wall-clock, and which plan a measured
+//! re-selection would adopt per shape.
+//!
 //! With `--check` it runs a compact smoke pass and exits non-zero unless
 //! every interpretable step records nonzero measured bytes, every
 //! measured MUE lies in (0, 100], the re-selected winner's measured
-//! total is no worse than the natural plan's, and the arena's
-//! steady-state allocation count is zero — CI runs this to keep the
-//! profiler (and the arena's zero-allocation claim) honest.
+//! total is no worse than the natural plan's, the epilogue plans move
+//! strictly fewer measured bytes than their unfused counterparts without
+//! being slower, and the arena's steady-state allocation count is zero —
+//! CI runs this to keep the profiler (and the arena's zero-allocation
+//! claim) honest. With `--json` it writes `BENCH_plan_profile.json`, the
+//! machine-readable mirror tracked across PRs.
 
 use rand::distributions::Uniform;
 use rand::rngs::StdRng;
@@ -59,11 +67,14 @@ struct ArenaRow {
     events: u64,
 }
 
-/// Runs the fused encoder through the zero-allocation arena entry point
-/// at both granularities and measures steady-state heap traffic.
-fn arena_rows() -> Result<Vec<ArenaRow>, Box<dyn std::error::Error>> {
+/// Runs an encoder executor through the zero-allocation arena entry
+/// point at both granularities and measures steady-state heap traffic.
+fn arena_rows(
+    executor: Executor,
+    kind: interp::PlanKind,
+) -> Result<Vec<ArenaRow>, Box<dyn std::error::Error>> {
     let dims = dims();
-    let layer = EncoderLayer::new(dims, Executor::Fused, 0.0);
+    let layer = EncoderLayer::new(dims, executor, 0.0);
     let mut rng = StdRng::seed_from_u64(3);
     let w = EncoderWeights::init(&dims, &mut rng);
     let shape = Shape::from_spec("ibj", &dims.size_table())?;
@@ -76,12 +87,8 @@ fn arena_rows() -> Result<Vec<ArenaRow>, Box<dyn std::error::Error>> {
             seed: 7,
             ..ExecOptions::default()
         };
-        let arena = interp::cached_arena(
-            &dims,
-            interp::PlanKind::EncoderFused,
-            interp::granularity_for(threads),
-        )?
-        .ok_or("arena did not compile for the fused encoder plan")?;
+        let arena = interp::cached_arena(&dims, kind, interp::granularity_for(threads))?
+            .ok_or("arena did not compile for the encoder plan")?;
         // warmup: plan + arena caches, worker pool, env-var resolution
         layer.forward_into(&x, &w, &opts, &mut y)?;
         layer.forward_into(&x, &w, &opts, &mut y)?;
@@ -244,6 +251,115 @@ fn reselection(
     )
 }
 
+/// One side's measured totals in a fused-vs-epilogue duel.
+struct PlanSide {
+    us: f64,
+    bytes: u64,
+    mue: f64,
+}
+
+/// Head-to-head of an element-wise-fused plan and its GEMM-epilogue
+/// counterpart, measured through the serial profiler on one traffic
+/// shape.
+struct Duel {
+    shape: String,
+    unfused: PlanSide,
+    epilogue: PlanSide,
+}
+
+impl Duel {
+    /// Plan-level re-selection: adopt whichever plan measured faster on
+    /// this traffic shape.
+    fn adopted(&self) -> &'static str {
+        if self.epilogue.us <= self.unfused.us {
+            "epilogue"
+        } else {
+            "unfused"
+        }
+    }
+}
+
+/// Wall-clock slack the epilogue plan is allowed in `--check` before the
+/// "not slower" gate trips — absorbs scheduler noise on CI runners; the
+/// bytes gate has no slack because the byte account is deterministic.
+const DUEL_TIME_SLACK: f64 = 1.15;
+
+fn profile_side(
+    dims: &EncoderDims,
+    kind: interp::PlanKind,
+    reps: usize,
+) -> Result<PlanSide, Box<dyn std::error::Error>> {
+    let pf = interp::cached_plan(dims, kind)?;
+    let base = random_externals(&pf.graph, &pf.plan, 11)?;
+    let prof = profile_plan(&pf.graph, &pf.plan, &base, &ExecOptions::default(), reps)?;
+    Ok(PlanSide {
+        us: prof.total_time_us(),
+        bytes: prof.total_bytes(),
+        mue: prof.plan_mue().value,
+    })
+}
+
+/// Profiles both canned fused/epilogue pairs on two traffic shapes: the
+/// small profile dims and a sequence-length-dominant shape where the
+/// eliminated attention interim dominates the byte account.
+fn duels(reps: usize) -> Result<Vec<Duel>, Box<dyn std::error::Error>> {
+    let small = dims();
+    let seq = EncoderDims {
+        b: 2,
+        j: 96,
+        k: 96,
+        h: 2,
+        p: 8,
+        i: 16,
+        u: 32,
+    };
+    let mut out = Vec::new();
+    for (tag, d) in [("j=24", &small), ("j=96", &seq)] {
+        for (side, unfused, epilogue) in [
+            (
+                "encoder",
+                interp::PlanKind::EncoderFused,
+                interp::PlanKind::EncoderEpilogue,
+            ),
+            (
+                "decoder",
+                interp::PlanKind::DecoderFused,
+                interp::PlanKind::DecoderEpilogue,
+            ),
+        ] {
+            out.push(Duel {
+                shape: format!("{side} {tag}"),
+                unfused: profile_side(d, unfused, reps)?,
+                epilogue: profile_side(d, epilogue, reps)?,
+            });
+        }
+    }
+    Ok(out)
+}
+
+fn print_duels(rows: &[Duel]) {
+    println!(
+        "\nGEMM-epilogue mega-kernels vs element-wise fusion (measured, serial, min of reps):"
+    );
+    println!(
+        "  {:<14} {:>12} {:>12} {:>11} {:>11} {:>9} {:>9}",
+        "shape", "unfused KiB", "epilogue KiB", "unfused µs", "epilog µs", "MUE", "adopted"
+    );
+    for r in rows {
+        println!(
+            "  {:<14} {:>12.1} {:>12.1} {:>11.1} {:>11.1} {:>4.1}→{:<4.1} {:>9}",
+            r.shape,
+            r.unfused.bytes as f64 / 1024.0,
+            r.epilogue.bytes as f64 / 1024.0,
+            r.unfused.us,
+            r.epilogue.us,
+            r.unfused.mue,
+            r.epilogue.mue,
+            r.adopted(),
+        );
+    }
+}
+
 fn full() -> Result<(), Box<dyn std::error::Error>> {
     let dims = dims();
     let pf = interp::cached_plan(&dims, interp::PlanKind::EncoderFused)?;
@@ -334,13 +450,16 @@ fn full() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
+    // --- fused vs epilogue, measured ---
+    print_duels(&duels(REPS)?);
+
     // --- arena steady-state heap discipline ---
     println!("\narena execution (fused encoder, zero-allocation steady state):");
     println!(
         "  {:<7} {:>7} {:>9} {:>11} {:>9} {:>12}",
         "granul.", "threads", "slab KiB", "scratch KiB", "stats KiB", "allocs/call"
     );
-    for r in arena_rows()? {
+    for r in arena_rows(Executor::Fused, interp::PlanKind::EncoderFused)? {
         println!(
             "  {:<7} {:>7} {:>9.1} {:>11.1} {:>9.1} {:>12.2}",
             r.tag,
@@ -476,13 +595,40 @@ fn check() -> Result<(), Box<dyn std::error::Error>> {
         ));
     }
 
-    // the arena's zero-allocation steady state is a hard gate
-    for row in arena_rows()? {
-        if row.events != 0 {
+    // the arena's zero-allocation steady state is a hard gate — for the
+    // element-wise-fused plan AND the epilogue mega-kernel plan
+    for (exec, kind) in [
+        (Executor::Fused, interp::PlanKind::EncoderFused),
+        (Executor::Epilogue, interp::PlanKind::EncoderEpilogue),
+    ] {
+        for row in arena_rows(exec, kind)? {
+            if row.events != 0 {
+                bad.push(format!(
+                    "arena ({exec:?}, {}, {} threads): {} heap event(s) across {STEADY_CALLS} \
+                     steady-state forward_into calls (must be 0)",
+                    row.tag, row.threads, row.events
+                ));
+            }
+        }
+    }
+
+    // the GEMM-epilogue acceptance gate: on every profiled traffic shape
+    // the epilogue plan must move strictly fewer measured bytes and must
+    // not be slower than its unfused counterpart (modulo runner noise;
+    // full REPS here — per-step times are min-merged, so more reps only
+    // de-noise the wall-clock gate)
+    for d in duels(REPS)? {
+        if d.epilogue.bytes >= d.unfused.bytes {
             bad.push(format!(
-                "arena ({}, {} threads): {} heap event(s) across {STEADY_CALLS} \
-                 steady-state forward_into calls (must be 0)",
-                row.tag, row.threads, row.events
+                "epilogue duel ({}): measured {} bytes, not below the unfused plan's {}",
+                d.shape, d.epilogue.bytes, d.unfused.bytes
+            ));
+        }
+        if d.epilogue.us > d.unfused.us * DUEL_TIME_SLACK {
+            bad.push(format!(
+                "epilogue duel ({}): measured {:.1} µs, slower than the unfused \
+                 plan's {:.1} µs (slack {DUEL_TIME_SLACK}x)",
+                d.shape, d.epilogue.us, d.unfused.us
             ));
         }
     }
@@ -505,11 +651,139 @@ fn check() -> Result<(), Box<dyn std::error::Error>> {
     }
 }
 
+/// Minimal JSON string escaping for the hand-rolled emitter (keys and
+/// values here are ASCII identifiers, but stay safe anyway).
+fn jstr(s: &str) -> String {
+    format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
+/// Writes `BENCH_plan_profile.json`: the machine-readable mirror of the
+/// profile — per-plan per-class measured MUE and achieved bandwidth,
+/// arena slab bytes and allocs/call per granularity, the checked vs
+/// unchecked kernel bandwidth scoreboard, and the fused-vs-epilogue
+/// duels — so the perf trajectory is tracked across PRs.
+fn json() -> Result<(), Box<dyn std::error::Error>> {
+    let dims = dims();
+    let mut plans = Vec::new();
+    for (key, kind) in [
+        ("encoder-fused", interp::PlanKind::EncoderFused),
+        ("encoder-epilogue", interp::PlanKind::EncoderEpilogue),
+        ("decoder-fused", interp::PlanKind::DecoderFused),
+        ("decoder-epilogue", interp::PlanKind::DecoderEpilogue),
+    ] {
+        let pf = interp::cached_plan(&dims, kind)?;
+        let base = random_externals(&pf.graph, &pf.plan, 11)?;
+        let prof = profile_plan(&pf.graph, &pf.plan, &base, &ExecOptions::default(), REPS)?;
+        let classes: Vec<String> = prof
+            .per_class()
+            .iter()
+            .map(|c| {
+                format!(
+                    "{{\"class\":{},\"steps\":{},\"time_us\":{:.3},\"moved_bytes\":{},\
+                     \"achieved_gbps\":{:.4},\"measured_mue\":{:.4}}}",
+                    jstr(class_tag(c.class)),
+                    c.steps,
+                    c.time_us,
+                    c.moved_bytes,
+                    c.moved_bytes as f64 / 1e3 / c.time_us.max(1e-9),
+                    c.mue.value,
+                )
+            })
+            .collect();
+        plans.push(format!(
+            "{}:{{\"steps\":{},\"total_us\":{:.3},\"total_bytes\":{},\"measured_mue\":{:.4},\
+             \"per_class\":[{}]}}",
+            jstr(key),
+            pf.plan.steps.len(),
+            prof.total_time_us(),
+            prof.total_bytes(),
+            prof.plan_mue().value,
+            classes.join(","),
+        ));
+    }
+
+    let mut arena = Vec::new();
+    for (exec, kind, key) in [
+        (Executor::Fused, interp::PlanKind::EncoderFused, "fused"),
+        (
+            Executor::Epilogue,
+            interp::PlanKind::EncoderEpilogue,
+            "epilogue",
+        ),
+    ] {
+        for r in arena_rows(exec, kind)? {
+            arena.push(format!(
+                "{{\"plan\":{},\"granularity\":{},\"threads\":{},\"slab_bytes\":{},\
+                 \"scratch_bytes\":{},\"stats_bytes\":{},\"allocs_per_call\":{:.2}}}",
+                jstr(key),
+                jstr(r.tag),
+                r.threads,
+                r.slab_bytes,
+                r.scratch_bytes,
+                r.stats_bytes,
+                r.events as f64 / STEADY_CALLS as f64,
+            ));
+        }
+    }
+
+    let bandwidth: Vec<String> = bandwidth_rows()
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"kernel\":{},\"bytes\":{},\"checked_gbps\":{:.4},\"unchecked_gbps\":{:.4}}}",
+                jstr(r.kernel),
+                r.bytes,
+                r.checked_gbps(),
+                r.unchecked_gbps(),
+            )
+        })
+        .collect();
+
+    let duel_rows: Vec<String> = duels(REPS)?
+        .iter()
+        .map(|d| {
+            format!(
+                "{{\"shape\":{},\"unfused_us\":{:.3},\"unfused_bytes\":{},\"epilogue_us\":{:.3},\
+                 \"epilogue_bytes\":{},\"adopted\":{}}}",
+                jstr(&d.shape),
+                d.unfused.us,
+                d.unfused.bytes,
+                d.epilogue.us,
+                d.epilogue.bytes,
+                jstr(d.adopted()),
+            )
+        })
+        .collect();
+
+    let body = format!(
+        "{{\"dims\":{{\"b\":{},\"j\":{},\"k\":{},\"h\":{},\"p\":{},\"i\":{},\"u\":{}}},\
+         \"plans\":{{{}}},\"arena\":[{}],\"bandwidth\":[{}],\"duels\":[{}]}}\n",
+        dims.b,
+        dims.j,
+        dims.k,
+        dims.h,
+        dims.p,
+        dims.i,
+        dims.u,
+        plans.join(","),
+        arena.join(","),
+        bandwidth.join(","),
+        duel_rows.join(","),
+    );
+    let path = "BENCH_plan_profile.json";
+    std::fs::write(path, &body)?;
+    println!("wrote {path} ({} bytes)", body.len());
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mode = std::env::args().nth(1);
     match mode.as_deref() {
         Some("--check") => check(),
+        Some("--json") => json(),
         None => full(),
-        Some(other) => Err(format!("unknown flag {other}; expected --check or nothing").into()),
+        Some(other) => {
+            Err(format!("unknown flag {other}; expected --check, --json, or nothing").into())
+        }
     }
 }

@@ -404,10 +404,10 @@ pub fn step_accesses(graph: &Graph, step: &PlanStep) -> StepAccesses {
     let out_edge_shape = |k: usize| edge_at(out_ids.as_slice(), k).and_then(decl_shape);
 
     match node.map(|_| &step.kind) {
-        Some(OpKind::Einsum(_)) => {
-            // the gather/GEMM/scatter reads and writes every word of every
-            // operand; exact as address sets, but no inner-loop stride
-            // claim is made (and no unchecked twin exists)
+        Some(OpKind::Einsum(_)) | Some(OpKind::ContractionEpilogue { .. }) => {
+            // the gather/GEMM/scatter (with or without a per-tile epilogue)
+            // reads and writes every word of every operand; exact as
+            // address sets, but no inner-loop stride claim is made
             for (k, o) in step.inputs.iter().enumerate() {
                 let words = edge_at(in_ids.as_slice(), k)
                     .and_then(decl_shape)

@@ -1446,7 +1446,10 @@ pub(crate) fn step_config(graph: &Graph, step: &PlanStep) -> Option<OpConfig> {
         }
         best.map(|(i, _)| i)
     };
-    if matches!(step.kind, OpKind::Einsum(_)) {
+    if matches!(
+        step.kind,
+        OpKind::Einsum(_) | OpKind::ContractionEpilogue { .. }
+    ) {
         let a = step.inputs.first()?;
         let c = step.outputs.first()?;
         Some(OpConfig {
@@ -1540,6 +1543,13 @@ pub struct MovementAudit {
     pub plan_mue: Mue,
     /// How many steps the performance model could price.
     pub modelled_steps: usize,
+    /// GEMM-epilogue chains still present in the graph (contraction +
+    /// sole element-wise consumer the tile driver could collapse).
+    pub epilogue_chains: usize,
+    /// Bytes of movement those chains would eliminate (each interim's
+    /// write plus read-back). Counted as pure movement — not algorithmic
+    /// `Q` — so epilogue fusion lowers `D` while `Q` stays constant.
+    pub epilogue_avoidable_bytes: u64,
 }
 
 impl MovementAudit {
@@ -1557,6 +1567,13 @@ impl MovementAudit {
 /// Steps the model cannot price are assumed to move exactly their memlet
 /// volume at the device's streaming efficiency (a perfect kernel), so
 /// the aggregate errs toward optimism, never double-counting.
+///
+/// Words an un-collapsed GEMM-epilogue chain merely shuttles through its
+/// eliminable intermediate (the contraction's write of it and the
+/// consumer's read-back) are *not* algorithmic demand: they are counted
+/// into `D` as pure movement instead of into `Q`. A plan that collapses
+/// the chain via [`OpKind::ContractionEpilogue`] therefore audits at the
+/// same `Q` with strictly lower `D` — a strictly higher static MUE.
 pub fn audit(graph: &Graph, plan: &ExecutionPlan, device: &DeviceSpec) -> MovementAudit {
     let wb = device.word_bytes as u64;
     let mut acc = MueAccum::default();
@@ -1565,6 +1582,13 @@ pub fn audit(graph: &Graph, plan: &ExecutionPlan, device: &DeviceSpec) -> Moveme
     let mut read_words_total = 0u64;
     let mut write_words_total = 0u64;
     let mut modelled = 0usize;
+    let epi_chains = crate::fusion::detect_epilogues(graph);
+    let mut avoid: HashMap<NodeId, u64> = HashMap::new();
+    for c in &epi_chains {
+        // the head writes the interim, the tail reads it back
+        *avoid.entry(c.head).or_insert(0) += c.interim_words;
+        *avoid.entry(c.tail).or_insert(0) += c.interim_words;
+    }
     for (si, step) in plan.steps.iter().enumerate() {
         let read_words = graph.input_words(step.op);
         let write_words = graph.output_words(step.op);
@@ -1580,23 +1604,43 @@ pub fn audit(graph: &Graph, plan: &ExecutionPlan, device: &DeviceSpec) -> Moveme
             .sum();
         let flop = flops::op_flop(graph, step.op).unwrap_or(0);
         let q = graph.io_words(step.op);
+        let avoid_words = avoid.get(&step.op).copied().unwrap_or(0).min(q);
+        let q_eff = q - avoid_words;
         let cost = step_config(graph, step)
             .and_then(|cfg| OpModel::new(graph, step.op).ok().map(|m| (m, cfg)))
             .and_then(|(m, cfg)| m.cost(device, &cfg).ok());
         match &cost {
             Some(c) => {
                 modelled += 1;
-                acc.add_kernel(q as f64, c);
+                if avoid_words > 0 {
+                    // split the modelled traffic: the avoidable interim
+                    // words become pure movement at the kernel's achieved
+                    // bandwidth, the rest stays algorithmic. D and the
+                    // bandwidth-weighted sum are unchanged; Q shrinks.
+                    let adj = KernelCost {
+                        moved_words: c.moved_words.max(q as f64) - avoid_words as f64,
+                        ..*c
+                    };
+                    acc.add_kernel(q_eff as f64, &adj);
+                    acc.add_movement(avoid_words as f64, c.bandwidth_frac);
+                } else {
+                    acc.add_kernel(q as f64, c);
+                }
             }
-            None => acc.add_kernel(
-                q as f64,
-                &KernelCost {
-                    time_us: 0.0,
-                    moved_words: q as f64,
-                    bandwidth_frac: device.stream_efficiency,
-                    flop: flop as f64,
-                },
-            ),
+            None => {
+                acc.add_kernel(
+                    q_eff as f64,
+                    &KernelCost {
+                        time_us: 0.0,
+                        moved_words: q_eff as f64,
+                        bandwidth_frac: device.stream_efficiency,
+                        flop: flop as f64,
+                    },
+                );
+                if avoid_words > 0 {
+                    acc.add_movement(avoid_words as f64, device.stream_efficiency);
+                }
+            }
         }
         if relayout_words > 0 {
             acc.add_movement(relayout_words as f64, RELAYOUT_BANDWIDTH_FRAC);
@@ -1649,6 +1693,8 @@ pub fn audit(graph: &Graph, plan: &ExecutionPlan, device: &DeviceSpec) -> Moveme
         write_bytes: write_words_total * wb,
         plan_mue: acc.total(),
         modelled_steps: modelled,
+        epilogue_chains: epi_chains.len(),
+        epilogue_avoidable_bytes: crate::fusion::epilogue_interim_words(&epi_chains) * wb,
     }
 }
 
@@ -1781,6 +1827,16 @@ pub fn render_report(
         mib(audit.relayout_bytes),
         100.0 * audit.relayout_bytes as f64 / total as f64,
     );
+    if audit.epilogue_chains > 0 {
+        let _ = writeln!(
+            out,
+            "  ⇘ {:<28} {:2} chains moved {:>8.2} MiB  ({:4.1}% of bytes)",
+            "gemm-epilogue (avoidable)",
+            audit.epilogue_chains,
+            mib(audit.epilogue_avoidable_bytes),
+            100.0 * audit.epilogue_avoidable_bytes as f64 / total as f64,
+        );
+    }
     let m = &audit.plan_mue;
     let _ = writeln!(
         out,
@@ -1980,6 +2036,49 @@ mod tests {
         // class shares cover all steps
         let counted: usize = au.per_class.iter().map(|c| c.steps).sum();
         assert_eq!(counted, pu.steps.len());
+    }
+
+    #[test]
+    fn epilogue_fusion_lowers_d_with_q_constant() {
+        let device = DeviceSpec::v100();
+        let (gf, pf) = fused();
+        let af = audit(&gf, &pf, &device);
+        assert!(af.epilogue_chains >= 2, "chains: {}", af.epilogue_chains);
+        assert!(af.epilogue_avoidable_bytes > 0);
+        let mut ge = gf.clone();
+        let eg = build::encoder(&EncoderDims::tiny());
+        crate::fusion::apply_epilogues(&mut ge).unwrap();
+        let pe = ExecutionPlan::natural(&ge, &forward_ops(&ge, eg.dy)).unwrap();
+        let ae = audit(&ge, &pe, &device);
+        assert_eq!(ae.epilogue_chains, 0);
+        assert_eq!(ae.epilogue_avoidable_bytes, 0);
+        // collapsing the chains removes pure movement, not algorithmic
+        // demand: Q identical, D strictly lower, MUE strictly higher.
+        let (mf, me) = (&af.plan_mue, &ae.plan_mue);
+        assert!(
+            (mf.q_words - me.q_words).abs() < 0.5,
+            "Q changed: {} vs {}",
+            mf.q_words,
+            me.q_words
+        );
+        assert!(
+            me.d_words < mf.d_words,
+            "D must drop: {} vs {}",
+            me.d_words,
+            mf.d_words
+        );
+        assert!(me.value > mf.value, "MUE: {} vs {}", me.value, mf.value);
+        // and the drop covers (at least) the avoidable interim traffic;
+        // it may exceed it slightly when the mega-kernel's memlet floor
+        // absorbs the GEMM model's excess k-pass traffic
+        let wb = device.word_bytes as f64;
+        let drop_bytes = (mf.d_words - me.d_words) * wb;
+        assert!(
+            drop_bytes + wb >= af.epilogue_avoidable_bytes as f64,
+            "D drop {} bytes vs avoidable {}",
+            drop_bytes,
+            af.epilogue_avoidable_bytes
+        );
     }
 
     #[test]

@@ -47,7 +47,8 @@ use xform_tensor::{Axis, Layout, Result, Shape, Tensor, TensorError};
 use crate::access::AccessCertificate;
 use crate::analyze::{ArenaGranularity, PlanAnalysis};
 use crate::plan::{
-    classify_fused, stacked_carve_start, ExecState, ExecutionPlan, FusedClass, PlanStep,
+    classify_fused, epilogue_geometry, stacked_carve_start, ExecState, ExecutionPlan, FusedClass,
+    PlanStep,
 };
 use crate::sanitize::{certify_arena, step_rng, ArenaCertificate};
 
@@ -164,6 +165,51 @@ enum StepExec {
         x: BufView,
         bias: BufView,
         bmap: BiasMap,
+        residual: BufView,
+        mask: BufView,
+        out: BufView,
+    },
+    /// GEMM-epilogue mega-kernel: gather both packs, stream the GEMM in
+    /// row tiles and apply the epilogue per tile. The contraction output
+    /// lives only in the `tile_rows · n` scratch tile at `t_off` — it has
+    /// no slab slot.
+    ContractEpilogue {
+        a: BufView,
+        b: BufView,
+        plan: ContractPlan,
+        tile_rows: usize,
+        a_off: usize,
+        b_off: usize,
+        t_off: usize,
+        epi: EpiExec,
+    },
+}
+
+/// The baked per-tile epilogue of a [`StepExec::ContractEpilogue`] step.
+#[derive(Debug, Clone)]
+enum EpiExec {
+    /// Scaled (optionally causal) softmax + dropout.
+    Sm {
+        softmax: BufView,
+        alpha: BufView,
+        mask: BufView,
+        causal: Option<CausalMap>,
+    },
+    /// Bias + activation + dropout.
+    BrdAct {
+        bias: BufView,
+        /// Tile bias map `[(n, m, 1)]`, built at compile time so the
+        /// steady-state path stays allocation-free.
+        bmap: into_ops::BiasMap,
+        pre_activation: BufView,
+        out: BufView,
+        mask: BufView,
+    },
+    /// Bias + dropout + residual.
+    Bdr {
+        bias: BufView,
+        /// Tile bias map `[(n, m, 1)]`, as in [`EpiExec::BrdAct`].
+        bmap: into_ops::BiasMap,
         residual: BufView,
         mask: BufView,
         out: BufView,
@@ -498,20 +544,38 @@ impl CompiledArena {
         for wave in &waves {
             let mut acc = 0usize;
             for &si in wave {
-                if let StepExec::Contract {
-                    plan: cp,
-                    a_off,
-                    b_off,
-                    c_off,
-                    ..
-                } = &mut steps[si]
-                {
-                    *a_off = acc;
-                    acc += cp.a_words();
-                    *b_off = acc;
-                    acc += cp.b_words();
-                    *c_off = acc;
-                    acc += cp.c_words();
+                match &mut steps[si] {
+                    StepExec::Contract {
+                        plan: cp,
+                        a_off,
+                        b_off,
+                        c_off,
+                        ..
+                    } => {
+                        *a_off = acc;
+                        acc += cp.a_words();
+                        *b_off = acc;
+                        acc += cp.b_words();
+                        *c_off = acc;
+                        acc += cp.c_words();
+                    }
+                    StepExec::ContractEpilogue {
+                        plan: cp,
+                        tile_rows,
+                        a_off,
+                        b_off,
+                        t_off,
+                        ..
+                    } => {
+                        // the C buffer shrinks to one row tile
+                        *a_off = acc;
+                        acc += cp.a_words();
+                        *b_off = acc;
+                        acc += cp.b_words();
+                        *t_off = acc;
+                        acc += *tile_rows * cp.n;
+                    }
+                    _ => {}
                 }
             }
             scratch_words = scratch_words.max(acc);
@@ -1328,6 +1392,103 @@ fn compile_step(
                 }
             }
         }
+        OpKind::ContractionEpilogue {
+            spec,
+            parts,
+            reduce_axis,
+            ..
+        } => {
+            if step.inputs.len() < 2 || step.outputs.is_empty() {
+                return Ok(None);
+            }
+            let (Some(a_c), Some(b_c), Some(out_c)) = (in_shape(0), in_shape(1), out_shape(0))
+            else {
+                return Ok(None);
+            };
+            let Some(geom) = epilogue_geometry(
+                spec,
+                parts,
+                *reduce_axis,
+                a_c,
+                b_c,
+                out_c,
+                in_shape(2),
+                in_shape(3),
+            ) else {
+                return Ok(None);
+            };
+            let (Some(av), Some(bv)) = (in_view(0), in_view(1)) else {
+                return Ok(None);
+            };
+            let (a, b) = if geom.swapped { (bv, av) } else { (av, bv) };
+            let epi = match geom.class {
+                FusedClass::Softmax { .. } => {
+                    if step.inputs.len() != 2 || step.outputs.len() != 3 {
+                        return Ok(None);
+                    }
+                    let (Some(softmax), Some(alpha), Some(mask)) =
+                        (out_view(0), out_view(1), out_view(2))
+                    else {
+                        return Ok(None);
+                    };
+                    EpiExec::Sm {
+                        softmax,
+                        alpha,
+                        mask,
+                        causal: geom.causal,
+                    }
+                }
+                FusedClass::BiasActDrop => {
+                    if step.inputs.len() != 3 || step.outputs.len() != 3 {
+                        return Ok(None);
+                    }
+                    let (Some(bias), Some(pre), Some(out), Some(mask)) =
+                        (in_view(2), out_view(0), out_view(1), out_view(2))
+                    else {
+                        return Ok(None);
+                    };
+                    EpiExec::BrdAct {
+                        bias,
+                        bmap: into_ops::BiasMap {
+                            dims: vec![(geom.plan.n, geom.plan.m, 1)],
+                        },
+                        pre_activation: pre,
+                        out,
+                        mask,
+                    }
+                }
+                FusedClass::BiasDropResidual => {
+                    if step.inputs.len() != 4 || step.outputs.len() != 2 {
+                        return Ok(None);
+                    }
+                    let (Some(bias), Some(residual), Some(mask), Some(out)) =
+                        (in_view(2), in_view(3), out_view(0), out_view(1))
+                    else {
+                        return Ok(None);
+                    };
+                    EpiExec::Bdr {
+                        bias,
+                        bmap: into_ops::BiasMap {
+                            dims: vec![(geom.plan.n, geom.plan.m, 1)],
+                        },
+                        residual,
+                        mask,
+                        out,
+                    }
+                }
+                _ => return Ok(None),
+            };
+            StepExec::ContractEpilogue {
+                a,
+                b,
+                plan: geom.plan,
+                tile_rows: geom.tile_rows,
+                a_off: 0,
+                b_off: 0,
+                t_off: 0,
+                epi,
+            }
+        }
         _ => return Ok(None),
     };
     Ok(Some(exec))
@@ -1599,6 +1760,73 @@ unsafe fn run_step<R: Rng + ?Sized>(
                 into_ops::bdr_into_unchecked(x, bias, bmap, residual, p, rng, mask, out);
             } else {
                 into_ops::bdr_into(x, bias, bmap, residual, p, rng, mask, out);
+            }
+        },
+        StepExec::ContractEpilogue {
+            a,
+            b,
+            plan,
+            tile_rows,
+            a_off,
+            b_off,
+            t_off,
+            epi,
+        } => unsafe {
+            let mut drive = |e: &mut into_ops::TileEpilogue<'_>| {
+                into_ops::contract_epilogue_tiled(
+                    plan,
+                    *tile_rows,
+                    mem.slab(*a),
+                    mem.slab(*b),
+                    mem.scratch_mut(*a_off, plan.a_words()),
+                    mem.scratch_mut(*b_off, plan.b_words()),
+                    mem.scratch_mut(*t_off, *tile_rows * plan.n),
+                    p,
+                    rng,
+                    licensed,
+                    e,
+                );
+            };
+            match epi {
+                EpiExec::Sm {
+                    softmax,
+                    alpha,
+                    mask,
+                    causal,
+                } => drive(&mut into_ops::TileEpilogue::Softmax {
+                    scaler: run.scaler,
+                    causal: *causal,
+                    softmax: mem.slab_mut(*softmax),
+                    alpha: mem.slab_mut(*alpha),
+                    mask: mem.slab_mut(*mask),
+                }),
+                EpiExec::BrdAct {
+                    bias,
+                    bmap,
+                    pre_activation,
+                    out,
+                    mask,
+                } => drive(&mut into_ops::TileEpilogue::BiasActDrop {
+                    bias: mem.slab(*bias),
+                    bmap,
+                    kind: run.activation,
+                    pre_activation: mem.slab_mut(*pre_activation),
+                    out: mem.slab_mut(*out),
+                    mask: mem.slab_mut(*mask),
+                }),
+                EpiExec::Bdr {
+                    bias,
+                    bmap,
+                    residual,
+                    mask,
+                    out,
+                } => drive(&mut into_ops::TileEpilogue::BiasDropResidual {
+                    bias: mem.slab(*bias),
+                    bmap,
+                    residual: mem.slab(*residual),
+                    mask: mem.slab_mut(*mask),
+                    out: mem.slab_mut(*out),
+                }),
             }
         },
     }

@@ -11,10 +11,11 @@
 //! launch-count-driven merge of `Bias 2 dW` into `BDRB`, which the paper
 //! chose manually "to perform fewer kernel launches").
 
-use xform_dataflow::{Graph, NodeId, OpClass, OpKind};
+use xform_dataflow::{DataRole, Graph, NodeId, OpClass, OpKind};
 use xform_tensor::{Result, TensorError};
 
 use crate::itspace::{fusion_compatible, op_iter_space};
+use crate::plan::epilogue_geometry;
 
 /// One planned fused kernel: a name and the member operator names.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -359,8 +360,129 @@ pub fn apply_detected(graph: &mut Graph) -> Result<Vec<NodeId>> {
 
 /// Data-role summary after fusion: saved tensors survive, interim
 /// activations disappear. Used by tests and reports.
+///
+/// The diff is taken over graph memlet words, so it covers both
+/// element-wise fusion (interim activations between fused members) and
+/// epilogue fusion (the contraction output [`apply_epilogues`] eliminates,
+/// whose write and read-back both leave the graph).
 pub fn interim_words_eliminated(before: &Graph, after: &Graph) -> i64 {
     before.total_io_words() as i64 - after.total_io_words() as i64
+}
+
+/// One detected GEMM-epilogue chain: a contraction whose sole consumer is
+/// a forward fused element-wise/normalization kernel reading the
+/// contraction's output first, with geometry the tile driver can lower.
+#[derive(Debug, Clone)]
+pub struct EpilogueChain {
+    /// The contraction operator.
+    pub head: NodeId,
+    /// The fused element-wise consumer.
+    pub tail: NodeId,
+    /// The intermediate container epilogue fusion eliminates.
+    pub interim: NodeId,
+    /// Words of the eliminated intermediate (its write and read-back both
+    /// disappear, so the movement saved is twice this).
+    pub interim_words: u64,
+    /// The mega-kernel's name (`head+tail`).
+    pub name: String,
+}
+
+/// Detects GEMM-epilogue chains: contractions whose single output is an
+/// interim activation read exactly once, by a forward fused kernel of a
+/// class the tiled epilogue driver implements (softmax, bias+act+dropout,
+/// bias+dropout+residual), with the contraction scattering identically
+/// (possibly via a GEMM operand-role swap) into the intermediate.
+///
+/// Run this *after* element-wise fusion ([`apply_plan`] /
+/// [`apply_detected`]): the chain past the contraction must already be one
+/// fused node.
+pub fn detect_epilogues(graph: &Graph) -> Vec<EpilogueChain> {
+    graph
+        .ops()
+        .into_iter()
+        .filter_map(|op| epilogue_candidate(graph, op))
+        .collect()
+}
+
+fn epilogue_candidate(graph: &Graph, head: NodeId) -> Option<EpilogueChain> {
+    let node = graph.op(head)?;
+    let OpKind::Einsum(spec) = &node.kind else {
+        return None;
+    };
+    let inputs = graph.inputs_of(head);
+    if inputs.len() != 2 {
+        return None;
+    }
+    let outputs = graph.outputs_of(head);
+    let [mid] = outputs[..] else {
+        return None;
+    };
+    let mid_d = graph.data(mid)?;
+    // only interim activations may disappear: inputs/weights/outputs/saved
+    // tensors have observers outside the chain
+    if mid_d.role != DataRole::Activation {
+        return None;
+    }
+    let [tail] = graph.consumers_of(mid)[..] else {
+        return None;
+    };
+    let tail_node = graph.op(tail)?;
+    let OpKind::Fused {
+        parts, reduce_axis, ..
+    } = &tail_node.kind
+    else {
+        return None;
+    };
+    let tail_inputs = graph.inputs_of(tail);
+    if tail_inputs.first() != Some(&mid) {
+        return None;
+    }
+    let shape_of = |id: NodeId| graph.data(id).map(|d| d.shape.clone());
+    let a_c = shape_of(inputs[0])?;
+    let b_c = shape_of(inputs[1])?;
+    let bias_s = tail_inputs.get(1).and_then(|&id| shape_of(id));
+    let res_s = tail_inputs.get(2).and_then(|&id| shape_of(id));
+    epilogue_geometry(
+        spec,
+        parts,
+        *reduce_axis,
+        &a_c,
+        &b_c,
+        &mid_d.shape,
+        bias_s.as_ref(),
+        res_s.as_ref(),
+    )?;
+    Some(EpilogueChain {
+        head,
+        tail,
+        interim: mid,
+        interim_words: mid_d.shape.num_elements() as u64,
+        name: format!("{}+{}", node.name, tail_node.name),
+    })
+}
+
+/// Fuses every detected GEMM-epilogue chain into a
+/// [`OpKind::ContractionEpilogue`] mega-kernel, dropping the eliminated
+/// intermediates from the graph. Returns the new op ids in detection
+/// order.
+///
+/// # Errors
+///
+/// Propagates [`Graph::fuse_epilogue`] errors.
+pub fn apply_epilogues(graph: &mut Graph) -> Result<Vec<NodeId>> {
+    let chains = detect_epilogues(graph);
+    let mut out = Vec::with_capacity(chains.len());
+    for c in &chains {
+        out.push(graph.fuse_epilogue(c.head, c.tail, &c.name)?);
+    }
+    Ok(out)
+}
+
+/// Total words of data movement the detected chains would eliminate: each
+/// interim is written once by the contraction and read once by the chain,
+/// so fusing removes `2 × interim_words` per chain.
+pub fn epilogue_interim_words(chains: &[EpilogueChain]) -> u64 {
+    chains.iter().map(|c| 2 * c.interim_words).sum()
 }
 
 #[cfg(test)]
@@ -529,5 +651,74 @@ mod tests {
         let fused = apply_detected(&mut g).unwrap();
         assert!(fused.len() >= 6);
         assert!(interim_words_eliminated(&baseline, &g) > 0);
+    }
+
+    #[test]
+    fn epilogue_detection_finds_encoder_chains() {
+        let e = build::encoder(&EncoderDims::tiny());
+        let mut g = e.graph;
+        apply_plan(&mut g, &encoder_fusion_plan()).unwrap();
+        let chains = detect_epilogues(&g);
+        let mut names: Vec<&str> = chains.iter().map(|c| c.name.as_str()).collect();
+        names.sort_unstable();
+        assert_eq!(names, ["Linear 1+BRD", "QKT+SM"], "chains: {chains:?}");
+        for c in &chains {
+            assert!(c.interim_words > 0);
+        }
+        assert_eq!(
+            epilogue_interim_words(&chains),
+            chains.iter().map(|c| 2 * c.interim_words).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn epilogue_detection_finds_decoder_chains() {
+        let e = xform_dataflow::build::decoder(&EncoderDims::tiny());
+        let mut g = e.graph;
+        apply_plan(&mut g, &decoder_fusion_plan()).unwrap();
+        let chains = detect_epilogues(&g);
+        let mut names: Vec<&str> = chains.iter().map(|c| c.name.as_str()).collect();
+        names.sort_unstable();
+        assert_eq!(
+            names,
+            ["Linear 1+BRD", "Linear 2+BDR2", "Out+BDR", "QKT+SM"],
+            "chains: {chains:?}"
+        );
+    }
+
+    #[test]
+    fn epilogue_detection_requires_elementwise_fusion_first() {
+        // On the unfused graph no contraction feeds a `Fused` kernel, so
+        // there is nothing to collapse yet.
+        let e = build::encoder(&EncoderDims::tiny());
+        assert!(detect_epilogues(&e.graph).is_empty());
+    }
+
+    #[test]
+    fn apply_epilogues_eliminates_contraction_outputs() {
+        let e = build::encoder(&EncoderDims::tiny());
+        let mut g = e.graph;
+        apply_plan(&mut g, &encoder_fusion_plan()).unwrap();
+        let fused_only = g.clone();
+        let chains = detect_epilogues(&g);
+        let expect = epilogue_interim_words(&chains);
+        let mega = apply_epilogues(&mut g).unwrap();
+        assert_eq!(mega.len(), 2);
+        for &id in &mega {
+            assert!(matches!(
+                g.op(id).unwrap().kind,
+                OpKind::ContractionEpilogue { .. }
+            ));
+        }
+        // the contraction outputs are gone...
+        for name in ["beta", "ff1"] {
+            assert!(g.data_by_name(name).is_none(), "{name} should be gone");
+        }
+        // ...and `interim_words_eliminated` prices both their write and
+        // their read-back (satellite b): the memlet diff equals the
+        // detector's avoidable-words total exactly.
+        assert_eq!(interim_words_eliminated(&fused_only, &g), expect as i64);
+        // idempotent: nothing left to detect
+        assert!(detect_epilogues(&g).is_empty());
     }
 }

@@ -23,7 +23,11 @@ use rand::Rng;
 
 use xform_dataflow::{Graph, NodeId, OpKind};
 use xform_gpusim::opmodel::OpConfig;
+use xform_tensor::einsum::EinsumSpec;
 use xform_tensor::fused;
+use xform_tensor::into_ops::{
+    contract_epilogue_tiled, epilogue_contract_plan, BiasMap, CausalMap, ContractPlan, TileEpilogue,
+};
 use xform_tensor::ops::dropout::{dropout, dropout_disabled};
 use xform_tensor::ops::elementwise::{add, bias_add, scale, ActivationKind};
 use xform_tensor::ops::layernorm::{layernorm, LayerNormStats};
@@ -506,8 +510,162 @@ pub fn step_is_interpretable(kind: &OpKind, _name: &str) -> bool {
         | OpKind::Dropout
         | OpKind::Relu
         | OpKind::Residual => true,
-        OpKind::Fused { parts, .. } => classify_fused(parts).is_some(),
+        OpKind::Fused { parts, .. } | OpKind::ContractionEpilogue { parts, .. } => {
+            classify_fused(parts).is_some()
+        }
         _ => false,
+    }
+}
+
+/// Causal-query recovery for a masked softmax along `axis` of `shape`: the
+/// query axis immediately precedes the softmax axis, so a lane index maps
+/// to its query as `(lane / div) % len`.
+pub(crate) fn causal_map_of(shape: &Shape, axis: Axis) -> Option<CausalMap> {
+    let ai = shape.index_of(axis).ok()?;
+    let q = causal_query_axis(shape, axis).ok()?;
+    let qi = shape.index_of(q).ok()?;
+    if qi >= ai {
+        return None;
+    }
+    let div: usize = shape.sizes()[qi + 1..ai].iter().product();
+    Some(CausalMap {
+        div,
+        len: shape.sizes()[qi],
+    })
+}
+
+/// The compiled tiling geometry of a GEMM-epilogue mega-kernel: the
+/// identity-scatter contraction plan (operands possibly swapped so the
+/// GEMM's M axis is the epilogue's row axis), the output-tile height, and
+/// the epilogue's class and causal map.
+#[derive(Debug, Clone)]
+pub(crate) struct EpilogueGeom {
+    /// Gather/GEMM plan whose scatter is the identity over the output
+    /// container (row-major).
+    pub plan: ContractPlan,
+    /// When set, the step's second input feeds the GEMM's A pack.
+    pub swapped: bool,
+    /// Output rows per tile. Softmax epilogues take the whole batch slice
+    /// (`m`) so every lane is complete inside one tile.
+    pub tile_rows: usize,
+    /// Causal mask recovery for masked-softmax epilogues.
+    pub causal: Option<CausalMap>,
+    /// The downstream chain's kernel class.
+    pub class: FusedClass,
+}
+
+/// Target tile footprint in words for row-blocked (bias-class) epilogues:
+/// small enough to stay cache-hot, large enough to amortize the loop.
+const EPILOGUE_TILE_WORDS: usize = 4096;
+
+/// Derives the tiling geometry of a [`OpKind::ContractionEpilogue`] step
+/// from container shapes, or `None` when the chain is not tileable:
+///
+/// * the contraction must scatter identically (possibly after swapping
+///   GEMM operand roles) into the row-major output container;
+/// * a softmax epilogue's reduce axis must be the container's innermost
+///   axis and span exactly the GEMM's N extent, with the causal query (if
+///   masked) immediately preceding it;
+/// * a bias-carrying epilogue must be batch-free with the bias covering
+///   exactly the leading M axes, so each output row sees one bias word.
+///
+/// Shared by the fusion detector, the allocating interpreter, and the
+/// arena precompiler, so all three agree on what lowers.
+#[allow(clippy::too_many_arguments)] // mirrors the chain's operand inventory
+pub(crate) fn epilogue_geometry(
+    spec: &EinsumSpec,
+    parts: &[String],
+    reduce_axis: Option<Axis>,
+    a_c: &Shape,
+    b_c: &Shape,
+    out_c: &Shape,
+    bias: Option<&Shape>,
+    residual: Option<&Shape>,
+) -> Option<EpilogueGeom> {
+    let class = classify_fused(parts)?;
+    let ops = spec.operands();
+    if ops.len() != 2 {
+        return None;
+    }
+    // relabel the operands' container shapes positionally to the spec's
+    // letters, as the interpreters do before contracting
+    let relabel = |axes: &[Axis], c: &Shape| -> Option<Shape> {
+        if axes.len() != c.rank() {
+            return None;
+        }
+        let dims: Vec<(char, usize)> = axes.iter().zip(c.sizes()).map(|(a, &s)| (a.0, s)).collect();
+        Shape::new(dims).ok()
+    };
+    let a_s = relabel(&ops[0], a_c)?;
+    let b_s = relabel(&ops[1], b_c)?;
+    let size_of = |ax: Axis| -> Option<usize> { a_s.size(ax).or_else(|_| b_s.size(ax)).ok() };
+    let lbl_dims: Vec<(char, usize)> = spec
+        .output()
+        .iter()
+        .map(|&ax| size_of(ax).map(|s| (ax.0, s)))
+        .collect::<Option<Vec<_>>>()?;
+    let lbl = Shape::new(lbl_dims).ok()?;
+    if lbl.sizes() != out_c.sizes() {
+        return None;
+    }
+    let rm = |s: &Shape| Layout::row_major(s.rank()).strides(s);
+    let ep = epilogue_contract_plan(spec, &a_s, &rm(&a_s), &b_s, &rm(&b_s), &lbl)?;
+    let (m, n) = (ep.plan.m, ep.plan.n);
+    match class {
+        FusedClass::Softmax { causal } => {
+            let axis = reduce_axis?;
+            if *out_c.axes().last()? != axis || *out_c.sizes().last()? != n {
+                return None;
+            }
+            let cm = if causal {
+                let c = causal_map_of(out_c, axis)?;
+                // the tile driver indexes lanes tile-locally; anything
+                // between the query and softmax axes would break that
+                if c.div != 1 {
+                    return None;
+                }
+                Some(c)
+            } else {
+                None
+            };
+            Some(EpilogueGeom {
+                plan: ep.plan,
+                swapped: ep.swapped,
+                tile_rows: m,
+                causal: cm,
+                class,
+            })
+        }
+        FusedClass::BiasActDrop | FusedClass::BiasDropResidual => {
+            if ep.plan.batch != 1 {
+                return None;
+            }
+            let bias = bias?;
+            let r = bias.rank();
+            if r == 0
+                || r > out_c.rank()
+                || out_c.axes()[..r] != *bias.axes()
+                || out_c.sizes()[..r] != *bias.sizes()
+                || bias.num_elements() != m
+            {
+                return None;
+            }
+            if matches!(class, FusedClass::BiasDropResidual) {
+                let res = residual?;
+                if res.sizes() != out_c.sizes() {
+                    return None;
+                }
+            }
+            let tile_rows = (EPILOGUE_TILE_WORDS / n.max(1)).clamp(1, m.max(1));
+            Some(EpilogueGeom {
+                plan: ep.plan,
+                swapped: ep.swapped,
+                tile_rows,
+                causal: None,
+                class,
+            })
+        }
+        _ => None,
     }
 }
 
@@ -771,6 +929,147 @@ pub fn execute_step<R: Rng + ?Sized>(
                     let (out, stats) = layernorm(&ins[0], axis, &ins[1], &ins[2])?;
                     ln_stats = Some((0, stats));
                     results.push(out);
+                }
+            }
+        }
+        OpKind::ContractionEpilogue {
+            spec,
+            parts,
+            reduce_axis,
+            ..
+        } => {
+            if ins.len() < 2 {
+                return Err(TensorError::Unsupported(format!(
+                    "epilogue `{}` needs a two-operand contraction",
+                    step.name
+                )));
+            }
+            let a_c = data_of(graph, step.inputs[0].data)?.shape.clone();
+            let b_c = data_of(graph, step.inputs[1].data)?.shape.clone();
+            let out_c = out_shape(0)?;
+            let shape_at = |k: usize| -> Result<Option<Shape>> {
+                step.inputs
+                    .get(k)
+                    .map(|o| Ok(data_of(graph, o.data)?.shape.clone()))
+                    .transpose()
+            };
+            let bias_s = shape_at(2)?;
+            let res_s = shape_at(3)?;
+            let geom = epilogue_geometry(
+                spec,
+                parts,
+                *reduce_axis,
+                &a_c,
+                &b_c,
+                &out_c,
+                bias_s.as_ref(),
+                res_s.as_ref(),
+            )
+            .ok_or_else(|| {
+                TensorError::Unsupported(format!(
+                    "epilogue `{}` has no tileable lowering",
+                    step.name
+                ))
+            })?;
+            // the tile driver walks raw row-major words, so materialize
+            // every operand densely first
+            let dense = |t: &Tensor| -> Tensor {
+                if t.layout().spec(t.shape()) == t.shape().spec() {
+                    t.clone()
+                } else {
+                    t.relayout(&Layout::row_major(t.shape().rank()))
+                }
+            };
+            let ins_d: Vec<Tensor> = ins.iter().map(&dense).collect();
+            let (ga, gb) = if geom.swapped {
+                (&ins_d[1], &ins_d[0])
+            } else {
+                (&ins_d[0], &ins_d[1])
+            };
+            let total = out_c.num_elements();
+            let mut a_pack = vec![0.0f32; geom.plan.a_words()];
+            let mut b_pack = vec![0.0f32; geom.plan.b_words()];
+            let mut c_tile = vec![0.0f32; geom.tile_rows * geom.plan.n];
+            let mut run = |epi: &mut TileEpilogue<'_>, rng: &mut R| {
+                contract_epilogue_tiled(
+                    &geom.plan,
+                    geom.tile_rows,
+                    ga.data(),
+                    gb.data(),
+                    &mut a_pack,
+                    &mut b_pack,
+                    &mut c_tile,
+                    p,
+                    rng,
+                    false,
+                    epi,
+                );
+            };
+            match geom.class {
+                FusedClass::Softmax { .. } if step.outputs.len() == 3 => {
+                    // outputs [softmax, alpha, mask]
+                    let (mut sm_o, mut al_o, mut mk_o) =
+                        (vec![0.0f32; total], vec![0.0f32; total], vec![0.0f32; total]);
+                    run(
+                        &mut TileEpilogue::Softmax {
+                            scaler: opts.scaler,
+                            causal: geom.causal,
+                            softmax: &mut sm_o,
+                            alpha: &mut al_o,
+                            mask: &mut mk_o,
+                        },
+                        rng,
+                    );
+                    results.push(Tensor::from_vec(out_shape(0)?, sm_o)?);
+                    results.push(Tensor::from_vec(out_shape(1)?, al_o)?);
+                    results.push(Tensor::from_vec(out_shape(2)?, mk_o)?);
+                }
+                FusedClass::BiasActDrop if ins.len() == 3 && step.outputs.len() == 3 => {
+                    // inputs [a, b, bias] → outputs [pre_activation, out, mask]
+                    let bmap = BiasMap {
+                        dims: vec![(geom.plan.n, geom.plan.m, 1)],
+                    };
+                    let (mut pre_o, mut out_o, mut mk_o) =
+                        (vec![0.0f32; total], vec![0.0f32; total], vec![0.0f32; total]);
+                    run(
+                        &mut TileEpilogue::BiasActDrop {
+                            bias: ins_d[2].data(),
+                            bmap: &bmap,
+                            kind: opts.activation,
+                            pre_activation: &mut pre_o,
+                            out: &mut out_o,
+                            mask: &mut mk_o,
+                        },
+                        rng,
+                    );
+                    results.push(Tensor::from_vec(out_shape(0)?, pre_o)?);
+                    results.push(Tensor::from_vec(out_shape(1)?, out_o)?);
+                    results.push(Tensor::from_vec(out_shape(2)?, mk_o)?);
+                }
+                FusedClass::BiasDropResidual if ins.len() == 4 && step.outputs.len() == 2 => {
+                    // inputs [a, b, bias, residual] → outputs [mask, out]
+                    let bmap = BiasMap {
+                        dims: vec![(geom.plan.n, geom.plan.m, 1)],
+                    };
+                    let (mut mk_o, mut out_o) = (vec![0.0f32; total], vec![0.0f32; total]);
+                    run(
+                        &mut TileEpilogue::BiasDropResidual {
+                            bias: ins_d[2].data(),
+                            bmap: &bmap,
+                            residual: ins_d[3].data(),
+                            mask: &mut mk_o,
+                            out: &mut out_o,
+                        },
+                        rng,
+                    );
+                    results.push(Tensor::from_vec(out_shape(0)?, mk_o)?);
+                    results.push(Tensor::from_vec(out_shape(1)?, out_o)?);
+                }
+                _ => {
+                    return Err(TensorError::Unsupported(format!(
+                        "epilogue `{}` has mismatched operand counts",
+                        step.name
+                    )))
                 }
             }
         }

@@ -81,6 +81,12 @@ pub struct StepProfile {
     pub relayout_words: u64,
     /// The operator's I/O lower bound in words (`Q` of the MUE formula).
     pub q_words: u64,
+    /// Words of `q_words` that an un-collapsed GEMM-epilogue chain merely
+    /// shuttles through its eliminable interim (the head's write of it
+    /// plus the tail's read-back). Like the static audit, the measured
+    /// MUE counts these as pure movement, not algorithmic demand, so a
+    /// plan that collapses the chain profiles at the same `Q`.
+    pub avoid_words: u64,
     /// Words covered by the symbolic footprint oracle
     /// ([`crate::sanitize::step_footprint`]) — the certifier's independent
     /// derivation of the same traffic, for cross-checking.
@@ -250,6 +256,12 @@ impl PlanProfiler {
                     write_words,
                     relayout_words,
                     q_words: graph.io_words(step.op),
+                    avoid_words: crate::fusion::detect_epilogues(graph)
+                        .iter()
+                        .filter(|c| c.head == step.op || c.tail == step.op)
+                        .map(|c| c.interim_words)
+                        .sum::<u64>()
+                        .min(graph.io_words(step.op)),
                     footprint_words,
                     flop: flops::op_flop(graph, step.op).unwrap_or(0),
                 });
@@ -325,7 +337,7 @@ impl PlanProfiler {
     /// `B/B̂` from measured time over the calibrated peak.
     #[must_use]
     pub fn measured_mue(&self, s: &StepProfile) -> Mue {
-        let q = s.q_words as f64;
+        let q = (s.q_words - s.avoid_words) as f64;
         let d = (s.moved_words() as f64).max(q).max(1.0);
         let bw = (s.achieved_bytes_per_us() / self.peak_bytes_per_us).clamp(0.0, 1.0);
         Mue {
@@ -341,15 +353,19 @@ impl PlanProfiler {
     /// pure movement (without).
     fn accumulate(&self, acc: &mut MueAccum, s: &StepProfile) {
         let bw = (s.achieved_bytes_per_us() / self.peak_bytes_per_us).clamp(0.0, 1.0);
+        let moved = (s.read_words + s.write_words) as f64;
         acc.add_kernel(
-            s.q_words as f64,
+            (s.q_words - s.avoid_words) as f64,
             &KernelCost {
                 time_us: s.time_us,
-                moved_words: (s.read_words + s.write_words) as f64,
+                moved_words: moved.max(s.q_words as f64) - s.avoid_words as f64,
                 bandwidth_frac: bw,
                 flop: s.flop as f64,
             },
         );
+        if s.avoid_words > 0 {
+            acc.add_movement(s.avoid_words as f64, bw);
+        }
         if s.relayout_words > 0 {
             acc.add_movement(s.relayout_words as f64, bw);
         }

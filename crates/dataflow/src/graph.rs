@@ -419,6 +419,112 @@ impl Graph {
         Ok(self.add_op(name, fused, &ext_inputs, &ext_outputs))
     }
 
+    /// Replaces a contraction `head` and its sole element-wise consumer
+    /// `tail` with one [`OpKind::ContractionEpilogue`] mega-kernel named
+    /// `name`. The contraction's output — read only by `tail` — is deleted
+    /// together with its memlets: the epilogue applies per output tile, so
+    /// that intermediate is never materialized. This is the one sanctioned
+    /// exception to [`Graph::fuse`]'s no-contraction rule; the paper stops
+    /// at element-wise groups, this goes one step further (CODA/VTC-style
+    /// virtual intermediates).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `head` is not an einsum operator, `tail` is not
+    /// a live non-contraction operator, `head` does not write exactly one
+    /// container, that container is not an interim activation read
+    /// exclusively (and solely) by `tail`, or `tail` reads it other than
+    /// as its primary input.
+    pub fn fuse_epilogue(
+        &mut self,
+        head: NodeId,
+        tail: NodeId,
+        name: &str,
+    ) -> Result<NodeId, TensorError> {
+        let head_op = self
+            .op(head)
+            .ok_or_else(|| TensorError::Unsupported(format!("{head} is not an operator")))?;
+        let OpKind::Einsum(spec) = head_op.kind.clone() else {
+            return Err(TensorError::Unsupported(format!(
+                "epilogue head `{}` is not a contraction",
+                head_op.name
+            )));
+        };
+        let head_name = head_op.name.clone();
+        let tail_op = self
+            .op(tail)
+            .ok_or_else(|| TensorError::Unsupported(format!("{tail} is not an operator")))?;
+        if tail_op.kind.class() == OpClass::TensorContraction {
+            return Err(TensorError::Unsupported(format!(
+                "epilogue tail `{}` is itself a contraction",
+                tail_op.name
+            )));
+        }
+        let tail_name = tail_op.name.clone();
+        let tail_parts = match &tail_op.kind {
+            OpKind::Fused { parts, .. } => parts.clone(),
+            _ => vec![tail_name.clone()],
+        };
+        let reduce_axis = tail_op.kind.reduce_axis();
+
+        let head_outputs = self.outputs_of(head);
+        let [mid] = head_outputs[..] else {
+            return Err(TensorError::Unsupported(format!(
+                "epilogue head `{head_name}` must write exactly one container"
+            )));
+        };
+        let mid_node = self.data(mid).expect("edge target is data");
+        if mid_node.role != DataRole::Activation {
+            return Err(TensorError::Unsupported(format!(
+                "epilogue intermediate `{}` is not an interim activation",
+                mid_node.name
+            )));
+        }
+        if self.consumers_of(mid) != vec![tail] {
+            return Err(TensorError::Unsupported(format!(
+                "epilogue intermediate `{}` must be read exclusively by `{tail_name}`",
+                mid_node.name
+            )));
+        }
+        let tail_inputs = self.inputs_of(tail);
+        if tail_inputs.first() != Some(&mid) {
+            return Err(TensorError::Unsupported(format!(
+                "epilogue tail `{tail_name}` must read the contraction output as its \
+                 primary input"
+            )));
+        }
+
+        let flop = crate::flops::op_flop(self, head).unwrap_or(0)
+            + crate::flops::op_flop(self, tail).unwrap_or(0);
+        let mut parts = vec![head_name];
+        parts.extend(tail_parts);
+
+        // External memlets: the contraction's operands plus the tail's
+        // non-intermediate inputs; outputs are the tail's outputs.
+        let mut ext_inputs = self.inputs_of(head);
+        for d in tail_inputs {
+            if d != mid && !ext_inputs.contains(&d) {
+                ext_inputs.push(d);
+            }
+        }
+        let ext_outputs = self.outputs_of(tail);
+
+        let dead = [head, tail, mid];
+        self.edges
+            .retain(|e| !dead.contains(&e.from) && !dead.contains(&e.to));
+        for id in dead {
+            self.nodes[id.0] = None;
+        }
+
+        let kind = OpKind::ContractionEpilogue {
+            spec,
+            parts,
+            flop,
+            reduce_axis,
+        };
+        Ok(self.add_op(name, kind, &ext_inputs, &ext_outputs))
+    }
+
     /// Total words moved across all operators (the graph-level data-movement
     /// figure that fusion reduces by ~22.91% in the paper).
     pub fn total_io_words(&self) -> u64 {

@@ -114,6 +114,23 @@ pub enum OpKind {
         /// performance model's warp-reduction handling).
         reduce_axis: Option<Axis>,
     },
+    /// A GEMM-epilogue mega-kernel: a tensor contraction fused with its
+    /// downstream element-wise / normalization chain, applied per output
+    /// tile so the contraction's output is never materialized. Produced
+    /// by the epilogue fusion pass ([`crate::Graph::fuse_epilogue`]); the
+    /// eliminated intermediate's memlets are gone from the graph, which
+    /// is exactly the data-movement saving.
+    ContractionEpilogue {
+        /// The contraction the kernel computes.
+        spec: EinsumSpec,
+        /// Names of the constituent operators (contraction first, then
+        /// the epilogue chain), for reporting.
+        parts: Vec<String>,
+        /// Total flop of the constituents.
+        flop: u64,
+        /// Reduction axis of the epilogue chain (e.g. softmax), if any.
+        reduce_axis: Option<Axis>,
+    },
 }
 
 impl OpKind {
@@ -135,6 +152,7 @@ impl OpKind {
             | OpKind::ReluGrad
             | OpKind::Residual => OpClass::Elementwise,
             OpKind::Fused { class, .. } => *class,
+            OpKind::ContractionEpilogue { .. } => OpClass::TensorContraction,
         }
     }
 
@@ -150,6 +168,7 @@ impl OpKind {
             | OpKind::LayerNormGradW { .. }
             | OpKind::BiasGrad { .. } => true,
             OpKind::Fused { reduce_axis, .. } => reduce_axis.is_some(),
+            OpKind::ContractionEpilogue { .. } => true,
             _ => false,
         }
     }
@@ -164,6 +183,7 @@ impl OpKind {
             | OpKind::LayerNormGradX { axis }
             | OpKind::LayerNormGradW { axis } => Some(*axis),
             OpKind::Fused { reduce_axis, .. } => *reduce_axis,
+            OpKind::ContractionEpilogue { reduce_axis, .. } => *reduce_axis,
             _ => None,
         }
     }
@@ -200,6 +220,9 @@ impl fmt::Display for OpKind {
             OpKind::Residual => write!(f, "residual"),
             OpKind::Fused { name, parts, .. } => {
                 write!(f, "{name}{{{}}}", parts.join("+"))
+            }
+            OpKind::ContractionEpilogue { spec, parts, .. } => {
+                write!(f, "gemm-epilogue[{spec}]{{{}}}", parts.join("+"))
             }
         }
     }

@@ -120,7 +120,10 @@ impl OpInfo {
                 .copied()
                 .max_by_key(|&d| graph.data(d).map(|n| n.shape.num_elements()).unwrap_or(0))
         };
-        let is_einsum = matches!(node.kind, OpKind::Einsum(_));
+        let is_einsum = matches!(
+            node.kind,
+            OpKind::Einsum(_) | OpKind::ContractionEpilogue { .. }
+        );
         let in_id = if is_einsum {
             inputs.first().copied()
         } else {
@@ -187,7 +190,11 @@ impl OpModel {
     /// tensor's axes, or a contraction does not map onto a GEMM.
     pub fn cost(&self, device: &DeviceSpec, cfg: &OpConfig) -> Result<KernelCost> {
         match &self.info.kind.clone() {
-            OpKind::Einsum(spec) => contraction_cost(device, &self.info, spec, cfg),
+            // a GEMM-epilogue mega-kernel is contraction-bound: the fused
+            // element-wise tail rides the GEMM's output tiles for free
+            OpKind::Einsum(spec) | OpKind::ContractionEpilogue { spec, .. } => {
+                contraction_cost(device, &self.info, spec, cfg)
+            }
             _ => normalization_cost(device, &self.info, cfg),
         }
     }

@@ -28,7 +28,9 @@
 
 use rand::Rng;
 
+use crate::axes::{Axis, Shape};
 use crate::contract::copy_strided;
+use crate::einsum::EinsumSpec;
 use crate::matmul::sgemm;
 use crate::ops::elementwise::ActivationKind;
 use crate::ops::layernorm::EPS;
@@ -195,6 +197,395 @@ pub fn contract_into(
         );
     }
     copy_strided(&plan.c_dims, c_pack, 0, out, 0);
+}
+
+/// A [`ContractPlan`] proven to write its output in container order — the
+/// scatter is the identity, so a GEMM row block can be handed straight to
+/// an epilogue callback and written at its flat container offset without
+/// ever materializing the full contraction output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpiloguePlan {
+    /// The gather/GEMM descriptor. `c_dims` is the (identity) scatter,
+    /// kept for diagnostics; the tiled driver never runs it.
+    pub plan: ContractPlan,
+    /// Whether the GEMM roles were swapped relative to the einsum's
+    /// operand order: when `true`, the einsum's *second* operand supplies
+    /// the GEMM's A pack (M rows) and the first supplies B.
+    pub swapped: bool,
+}
+
+/// Row-major strides of a shape's own axis order.
+fn row_major_strides(shape: &Shape) -> Vec<usize> {
+    let sizes = shape.sizes();
+    let mut strides = vec![1usize; sizes.len()];
+    for i in (0..sizes.len().saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * sizes[i + 1];
+    }
+    strides
+}
+
+/// Compiles one operand order into a [`ContractPlan`], returning it only
+/// when the output scatter is the identity over `out_shape`'s row-major
+/// container order.
+fn identity_scatter_plan(
+    spec: &EinsumSpec,
+    a_shape: &Shape,
+    a_strides: &[usize],
+    b_shape: &Shape,
+    b_strides: &[usize],
+    out_shape: &Shape,
+) -> Option<ContractPlan> {
+    let class = spec.classify().ok()?;
+    let gs = spec.gemm_sizes(a_shape, b_shape).ok()?;
+    let size_of = |ax: Axis| -> usize {
+        a_shape
+            .size(ax)
+            .or_else(|_| b_shape.size(ax))
+            .expect("classified axis has a size")
+    };
+    let gather =
+        |groups: &[Axis], shape: &Shape, strides: &[usize]| -> Vec<(usize, usize, usize)> {
+            let total: usize = groups.iter().map(|&ax| size_of(ax)).product();
+            let mut dims = Vec::new();
+            let mut ps = total;
+            for &ax in groups {
+                let len = size_of(ax);
+                ps /= len;
+                dims.push((len, strides[shape.index_of(ax).expect("operand axis")], ps));
+            }
+            dims
+        };
+    let a_groups: Vec<Axis> = class
+        .batch
+        .iter()
+        .chain(&class.m)
+        .chain(&class.k)
+        .copied()
+        .collect();
+    let b_groups: Vec<Axis> = class
+        .batch
+        .iter()
+        .chain(&class.k)
+        .chain(&class.n)
+        .copied()
+        .collect();
+    let c_groups: Vec<Axis> = class
+        .batch
+        .iter()
+        .chain(&class.m)
+        .chain(&class.n)
+        .copied()
+        .collect();
+    if c_groups.len() != out_shape.rank() {
+        return None;
+    }
+    let out_strides = row_major_strides(out_shape);
+    let c_total: usize = c_groups.iter().map(|&ax| size_of(ax)).product();
+    if c_total != out_shape.num_elements() {
+        return None;
+    }
+    let mut c_dims = Vec::new();
+    let mut ps = c_total;
+    for &ax in &c_groups {
+        let len = size_of(ax);
+        ps /= len;
+        let os = out_strides[out_shape.index_of(ax).ok()?];
+        if len > 1 && os != ps {
+            return None; // a real scatter — this order cannot stream tiles
+        }
+        c_dims.push((len, ps, os));
+    }
+    Some(ContractPlan {
+        a_dims: gather(&a_groups, a_shape, a_strides),
+        b_dims: gather(&b_groups, b_shape, b_strides),
+        c_dims,
+        batch: gs.batch,
+        m: gs.m,
+        n: gs.n,
+        k: gs.k,
+    })
+}
+
+/// Compiles a contraction for the tiled epilogue driver
+/// ([`contract_epilogue_tiled`]): the gather descriptors and collapsed
+/// GEMM sizes of [`contract_into`]'s plan, with the output scatter
+/// required to be the *identity* so GEMM row blocks stream straight into
+/// the epilogue. The operand order as written is tried first, then the
+/// swapped order (GEMM roles M and N exchange operands — IEEE multiply
+/// commutes and the per-element reduction order over K is unchanged, so
+/// the result is bitwise identical): the attention `QKT` einsum
+/// `phbk,phbj->hbjk` scatters under its natural order but is identity
+/// once the query operand supplies M. Returns `None` when neither order
+/// writes in container order.
+pub fn epilogue_contract_plan(
+    spec: &EinsumSpec,
+    a_shape: &Shape,
+    a_strides: &[usize],
+    b_shape: &Shape,
+    b_strides: &[usize],
+    out_shape: &Shape,
+) -> Option<EpiloguePlan> {
+    if let Some(plan) =
+        identity_scatter_plan(spec, a_shape, a_strides, b_shape, b_strides, out_shape)
+    {
+        return Some(EpiloguePlan {
+            plan,
+            swapped: false,
+        });
+    }
+    let ops = spec.operands();
+    if ops.len() != 2 {
+        return None;
+    }
+    let label = |axes: &[Axis]| axes.iter().map(|a| a.0).collect::<String>();
+    let swapped: EinsumSpec = format!(
+        "{},{}->{}",
+        label(&ops[1]),
+        label(&ops[0]),
+        label(spec.output())
+    )
+    .parse()
+    .ok()?;
+    identity_scatter_plan(&swapped, b_shape, b_strides, a_shape, a_strides, out_shape).map(|plan| {
+        EpiloguePlan {
+            plan,
+            swapped: true,
+        }
+    })
+}
+
+/// The per-tile epilogue a [`contract_epilogue_tiled`] call applies to
+/// each GEMM row block, with the full-size output slices it streams into.
+/// Mirrors the fused-kernel classes whose sole input is a contraction
+/// output: `SM` ([`sm_into`]), `BRD` ([`brd_act_into`]), and `BDR`
+/// ([`bdr_into`]).
+#[derive(Debug)]
+pub enum TileEpilogue<'a> {
+    /// Scaled (optionally causal) softmax + dropout over each GEMM output
+    /// row (the row *is* the softmax lane: the epilogue plan puts the
+    /// normalized axis in N). Requires whole-batch-slice tiles
+    /// (`tile_rows == m`) so the causal query index is the local row.
+    Softmax {
+        /// The `1/√P` attention scaling.
+        scaler: f32,
+        /// Causal mask over the local row index, when masked.
+        causal: Option<CausalMap>,
+        /// Saved pre-dropout softmax (full container).
+        softmax: &'a mut [f32],
+        /// Dropped-out attention weights (full container).
+        alpha: &'a mut [f32],
+        /// Saved dropout mask (full container).
+        mask: &'a mut [f32],
+    },
+    /// Bias + activation + dropout, bias indexed by the GEMM row
+    /// (the epilogue plan proves the bias axes are exactly M).
+    BiasActDrop {
+        /// Bias vector, one entry per GEMM row (M words).
+        bias: &'a [f32],
+        /// Tile-local bias map, `[(n, m, 1)]` with `m` at least the
+        /// tallest tile — built once by the caller so the hot loop never
+        /// allocates. `epilogue_tile` asserts this exact shape.
+        bmap: &'a BiasMap,
+        /// The activation between bias and dropout.
+        kind: ActivationKind,
+        /// Saved pre-activation (full container).
+        pre_activation: &'a mut [f32],
+        /// Kernel output (full container).
+        out: &'a mut [f32],
+        /// Saved dropout mask (full container).
+        mask: &'a mut [f32],
+    },
+    /// Bias + dropout + residual add, bias indexed by the GEMM row.
+    BiasDropResidual {
+        /// Bias vector, one entry per GEMM row (M words).
+        bias: &'a [f32],
+        /// Tile-local bias map, as in [`TileEpilogue::BiasActDrop`].
+        bmap: &'a BiasMap,
+        /// Residual input (full container).
+        residual: &'a [f32],
+        /// Saved dropout mask (full container).
+        mask: &'a mut [f32],
+        /// Kernel output (full container).
+        out: &'a mut [f32],
+    },
+}
+
+impl TileEpilogue<'_> {
+    /// Whether this epilogue requires whole-batch-slice tiles
+    /// (`tile_rows == m`): the causal softmax recovers the query index
+    /// from the tile-local row, which is only the query when the tile
+    /// starts a batch slice.
+    pub fn needs_full_slice(&self) -> bool {
+        matches!(self, TileEpilogue::Softmax { .. })
+    }
+}
+
+/// Applies the epilogue to one GEMM row block. `row0` is the global row
+/// index (over `batch · m`), `rows` the block height, `n` the row width;
+/// `tile` holds the block's contraction output. Checked and licensed
+/// paths are bitwise identical; every slice handed to the unchecked twins
+/// is cut to its exact extent here, which discharges their safety
+/// obligations locally (the plan-level access certificate additionally
+/// proves the *container* bounds these cuts come from).
+#[allow(clippy::too_many_arguments)]
+fn epilogue_tile<R: Rng + ?Sized>(
+    epi: &mut TileEpilogue<'_>,
+    row0: usize,
+    rows: usize,
+    n: usize,
+    tile: &[f32],
+    p: f32,
+    rng: &mut R,
+    licensed: bool,
+) {
+    let span = row0 * n..row0 * n + rows * n;
+    match epi {
+        TileEpilogue::Softmax {
+            scaler,
+            causal,
+            softmax,
+            alpha,
+            mask,
+        } => {
+            let lane = LaneGeom {
+                pre: rows,
+                len: n,
+                post: 1,
+            };
+            let (sm, al, mk) = (
+                &mut softmax[span.clone()],
+                &mut alpha[span.clone()],
+                &mut mask[span],
+            );
+            if licensed {
+                // SAFETY: post == 1 and all four slices hold exactly
+                // `lane.elements()` = rows·n words, cut just above.
+                unsafe { sm_into_unchecked(tile, *scaler, lane, *causal, p, rng, sm, al, mk) };
+            } else {
+                sm_into(tile, *scaler, lane, *causal, p, rng, sm, al, mk);
+            }
+        }
+        TileEpilogue::BiasActDrop {
+            bias,
+            bmap,
+            kind,
+            pre_activation,
+            out,
+            mask,
+        } => {
+            check_tile_bmap(bmap, n, rows);
+            let bias = &bias[row0..row0 + rows];
+            let (pre, o, mk) = (
+                &mut pre_activation[span.clone()],
+                &mut out[span.clone()],
+                &mut mask[span],
+            );
+            if licensed {
+                // SAFETY: slices are exactly rows·n words and the map
+                // shape checked above gives `bmap.offset(f) = (f/n) % m
+                // = f/n < rows = bias.len()` for every `f < rows·n`.
+                unsafe { brd_act_into_unchecked(tile, bias, bmap, *kind, p, rng, pre, o, mk) };
+            } else {
+                brd_act_into(tile, bias, bmap, *kind, p, rng, pre, o, mk);
+            }
+        }
+        TileEpilogue::BiasDropResidual {
+            bias,
+            bmap,
+            residual,
+            mask,
+            out,
+        } => {
+            check_tile_bmap(bmap, n, rows);
+            let bias = &bias[row0..row0 + rows];
+            let res = &residual[span.clone()];
+            let (mk, o) = (&mut mask[span.clone()], &mut out[span]);
+            if licensed {
+                // SAFETY: as BiasActDrop, plus the residual cut to the
+                // same exact extent.
+                unsafe { bdr_into_unchecked(tile, bias, bmap, res, p, rng, mk, o) };
+            } else {
+                bdr_into(tile, bias, bmap, res, p, rng, mk, o);
+            }
+        }
+    }
+}
+
+/// Asserts the caller-built epilogue bias map has the `[(n, m, 1)]` shape
+/// with `m >= rows`, which makes the modulo a no-op on tile-local offsets:
+/// `offset(f) = (f/n) % m = f/n < rows` for all `f < rows·n` — the bound
+/// the unchecked twins' bias indexing relies on.
+fn check_tile_bmap(bmap: &BiasMap, n: usize, rows: usize) {
+    assert!(
+        bmap.dims.len() == 1
+            && bmap.dims[0].0 == n
+            && bmap.dims[0].1 >= rows
+            && bmap.dims[0].2 == 1,
+        "epilogue bias map must be [(n, >=tile rows, 1)], got {:?}",
+        bmap.dims
+    );
+}
+
+/// The GEMM-epilogue mega-kernel: gathers both operand packs like
+/// [`contract_into`], then streams the GEMM over row blocks of at most
+/// `tile_rows` rows, applying `epi` to each block while it is hot — the
+/// contraction output exists only as the `tile_rows · n` scratch tile and
+/// is never materialized. Tiles are visited in container order (batch
+/// ascending, rows ascending), so the dropout RNG draw order — and hence
+/// every saved mask and output — is bitwise identical to running the
+/// unfused contraction followed by the whole-container fused kernel.
+///
+/// # Panics
+///
+/// Panics if a scratch slice is smaller than the plan requires, an
+/// epilogue slice is smaller than the output container, or a
+/// [`TileEpilogue::needs_full_slice`] epilogue is driven with
+/// `tile_rows < m`.
+#[allow(clippy::too_many_arguments)]
+pub fn contract_epilogue_tiled<R: Rng + ?Sized>(
+    plan: &ContractPlan,
+    tile_rows: usize,
+    a: &[f32],
+    b: &[f32],
+    a_pack: &mut [f32],
+    b_pack: &mut [f32],
+    c_tile: &mut [f32],
+    p: f32,
+    rng: &mut R,
+    licensed: bool,
+    epi: &mut TileEpilogue<'_>,
+) {
+    let (m, n, k) = (plan.m, plan.n, plan.k);
+    let tile_rows = tile_rows.clamp(1, m.max(1));
+    assert!(
+        !epi.needs_full_slice() || tile_rows == m,
+        "softmax epilogues need whole-batch-slice tiles (tile_rows == m)"
+    );
+    let (aw, bw) = (plan.a_words(), plan.b_words());
+    let a_pack = &mut a_pack[..aw];
+    let b_pack = &mut b_pack[..bw];
+    copy_strided(&plan.a_dims, a, 0, a_pack, 0);
+    copy_strided(&plan.b_dims, b, 0, b_pack, 0);
+    for g in 0..plan.batch {
+        let mut r0 = 0;
+        while r0 < m {
+            let rows = tile_rows.min(m - r0);
+            let c_tile = &mut c_tile[..rows * n];
+            for v in c_tile.iter_mut() {
+                *v = 0.0;
+            }
+            sgemm(
+                rows,
+                n,
+                k,
+                &a_pack[(g * m + r0) * k..(g * m + r0 + rows) * k],
+                &b_pack[g * k * n..(g + 1) * k * n],
+                c_tile,
+            );
+            epilogue_tile(epi, g * m + r0, rows, n, c_tile, p, rng, licensed);
+            r0 += rows;
+        }
+    }
 }
 
 /// Copies a tensor's logical contents into a dense row-major destination.
@@ -1004,7 +1395,13 @@ mod tests {
     use crate::ops::softmax::softmax;
     use rand::distributions::Uniform;
     use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// The vendored `StdRng` has no `PartialEq`; equal next draws prove
+    /// equal state for its counter-based stream.
+    fn assert_same_rng_state(a: &mut StdRng, b: &mut StdRng, what: &str) {
+        assert_eq!(a.next_u64(), b.next_u64(), "RNG streams diverged: {what}");
+    }
 
     fn rand_t(spec: &str, sizes: &[(char, usize)], seed: u64) -> Tensor {
         let shape = Shape::from_spec(spec, sizes).unwrap();
@@ -1289,6 +1686,240 @@ mod tests {
             &mut cp,
         );
         assert_eq!(out.as_slice(), want.data());
+    }
+
+    #[test]
+    fn epilogue_plan_swaps_the_attention_contraction_into_identity() {
+        let sizes = [('p', 3), ('h', 2), ('b', 2), ('j', 4), ('k', 5)];
+        let kk = rand_t("phbk", &sizes, 30);
+        let qq = rand_t("phbj", &sizes, 31);
+        let out = Shape::from_spec("hbjk", &sizes).unwrap();
+        let spec: EinsumSpec = "phbk,phbj->hbjk".parse().unwrap();
+        // natural order scatters (j and k transpose); the swap is identity
+        let ep = epilogue_contract_plan(
+            &spec,
+            kk.shape(),
+            kk.strides(),
+            qq.shape(),
+            qq.strides(),
+            &out,
+        )
+        .expect("QKT must compile via the swapped order");
+        assert!(ep.swapped);
+        assert_eq!(ep.plan.m, 4); // j — the query axis becomes M
+        assert_eq!(ep.plan.n, 5); // k — the softmax axis becomes N
+        assert_eq!(ep.plan.batch, 4); // h·b
+        assert_eq!(ep.plan.k, 3);
+        // a genuinely scattered output order compiles under neither order
+        let bad = Shape::from_spec("kjbh", &sizes).unwrap();
+        assert!(epilogue_contract_plan(
+            &spec,
+            kk.shape(),
+            kk.strides(),
+            qq.shape(),
+            qq.strides(),
+            &bad,
+        )
+        .is_none());
+    }
+
+    /// The tiled mega-kernel against the unfused contract-then-fused-
+    /// kernel sequence, bitwise, including the dropout RNG stream.
+    #[test]
+    fn contract_epilogue_tiled_matches_unfused_bitwise() {
+        let sizes = [('p', 3), ('h', 2), ('b', 2), ('j', 4), ('k', 5)];
+        let kk = rand_t("phbk", &sizes, 32);
+        let qq = rand_t("phbj", &sizes, 33);
+        let spec: EinsumSpec = "phbk,phbj->hbjk".parse().unwrap();
+        let out_shape = Shape::from_spec("hbjk", &sizes).unwrap();
+        let ep = epilogue_contract_plan(
+            &spec,
+            kk.shape(),
+            kk.strides(),
+            qq.shape(),
+            qq.strides(),
+            &out_shape,
+        )
+        .unwrap();
+        let total = out_shape.num_elements();
+        let (p, scaler) = (0.3f32, 0.5f32);
+        let causal = Some(CausalMap { div: 1, len: 4 });
+
+        // unfused: full contraction, then the SM kernel over the container
+        let beta = crate::contract::contract(&spec, &kk, &qq, &Layout::row_major(4)).unwrap();
+        let lane = LaneGeom {
+            pre: total / 5,
+            len: 5,
+            post: 1,
+        };
+        let mut rng_a = StdRng::seed_from_u64(9);
+        let (mut sm_a, mut al_a, mut mk_a) = (vec![0.0; total], vec![0.0; total], vec![0.0; total]);
+        sm_into(
+            beta.data(),
+            scaler,
+            lane,
+            causal,
+            p,
+            &mut rng_a,
+            &mut sm_a,
+            &mut al_a,
+            &mut mk_a,
+        );
+
+        for licensed in [false, true] {
+            let mut rng_b = StdRng::seed_from_u64(9);
+            let (mut sm_b, mut al_b, mut mk_b) =
+                (vec![0.0; total], vec![0.0; total], vec![0.0; total]);
+            let mut ap = vec![0.0; ep.plan.a_words()];
+            let mut bp = vec![0.0; ep.plan.b_words()];
+            let mut ct = vec![0.0; ep.plan.m * ep.plan.n];
+            let mut epi = TileEpilogue::Softmax {
+                scaler,
+                causal,
+                softmax: &mut sm_b,
+                alpha: &mut al_b,
+                mask: &mut mk_b,
+            };
+            // swapped: the query operand feeds the A pack
+            contract_epilogue_tiled(
+                &ep.plan,
+                ep.plan.m,
+                qq.data(),
+                kk.data(),
+                &mut ap,
+                &mut bp,
+                &mut ct,
+                p,
+                &mut rng_b,
+                licensed,
+                &mut epi,
+            );
+            assert_bits("softmax", &sm_a, &sm_b);
+            assert_bits("alpha", &al_a, &al_b);
+            assert_bits("mask", &mk_a, &mk_b);
+            assert_same_rng_state(&mut rng_a.clone(), &mut rng_b, &format!("sm {licensed}"));
+        }
+    }
+
+    /// Row-tiled bias epilogues (BRD / BDR shape: batch-free, bias on M)
+    /// against the unfused sequence, bitwise, at several tile heights.
+    #[test]
+    fn row_tiled_bias_epilogues_match_unfused_bitwise() {
+        let sizes = [('u', 6), ('i', 4), ('b', 2), ('j', 5)];
+        let w = rand_t("ui", &sizes, 40);
+        let x = rand_t("ibj", &sizes, 41);
+        let bias = rand_t("u", &sizes, 42);
+        let spec: EinsumSpec = "ui,ibj->ubj".parse().unwrap();
+        let out_shape = Shape::from_spec("ubj", &sizes).unwrap();
+        let ep = epilogue_contract_plan(
+            &spec,
+            w.shape(),
+            w.strides(),
+            x.shape(),
+            x.strides(),
+            &out_shape,
+        )
+        .unwrap();
+        assert!(!ep.swapped);
+        assert_eq!((ep.plan.batch, ep.plan.m), (1, 6));
+        let total = out_shape.num_elements();
+        let n = ep.plan.n;
+        let p = 0.25f32;
+        let residual = rand_t("ubj", &sizes, 43);
+
+        // unfused reference: full contraction, then the fused kernel
+        let mm = crate::contract::contract(&spec, &w, &x, &Layout::row_major(3)).unwrap();
+        let bmap = BiasMap {
+            dims: vec![(n, 6, 1)],
+        };
+        let mut rng_a = StdRng::seed_from_u64(11);
+        let (mut pre_a, mut out_a, mut mk_a) =
+            (vec![0.0; total], vec![0.0; total], vec![0.0; total]);
+        brd_act_into(
+            mm.data(),
+            bias.data(),
+            &bmap,
+            ActivationKind::Gelu,
+            p,
+            &mut rng_a,
+            &mut pre_a,
+            &mut out_a,
+            &mut mk_a,
+        );
+        let mut rng_ar = StdRng::seed_from_u64(13);
+        let (mut mkr_a, mut outr_a) = (vec![0.0; total], vec![0.0; total]);
+        bdr_into(
+            mm.data(),
+            bias.data(),
+            &bmap,
+            residual.data(),
+            p,
+            &mut rng_ar,
+            &mut mkr_a,
+            &mut outr_a,
+        );
+
+        for tile_rows in [1usize, 2, 4, 6] {
+            for licensed in [false, true] {
+                let mut ap = vec![0.0; ep.plan.a_words()];
+                let mut bp = vec![0.0; ep.plan.b_words()];
+                let mut ct = vec![0.0; tile_rows * n];
+                let mut rng_b = StdRng::seed_from_u64(11);
+                let (mut pre_b, mut out_b, mut mk_b) =
+                    (vec![0.0; total], vec![0.0; total], vec![0.0; total]);
+                let mut epi = TileEpilogue::BiasActDrop {
+                    bias: bias.data(),
+                    bmap: &bmap,
+                    kind: ActivationKind::Gelu,
+                    pre_activation: &mut pre_b,
+                    out: &mut out_b,
+                    mask: &mut mk_b,
+                };
+                contract_epilogue_tiled(
+                    &ep.plan,
+                    tile_rows,
+                    w.data(),
+                    x.data(),
+                    &mut ap,
+                    &mut bp,
+                    &mut ct,
+                    p,
+                    &mut rng_b,
+                    licensed,
+                    &mut epi,
+                );
+                assert_bits("pre_activation", &pre_a, &pre_b);
+                assert_bits("brd out", &out_a, &out_b);
+                assert_bits("brd mask", &mk_a, &mk_b);
+                assert_same_rng_state(&mut rng_a.clone(), &mut rng_b, "brd");
+
+                let mut rng_br = StdRng::seed_from_u64(13);
+                let (mut mkr_b, mut outr_b) = (vec![0.0; total], vec![0.0; total]);
+                let mut epi = TileEpilogue::BiasDropResidual {
+                    bias: bias.data(),
+                    bmap: &bmap,
+                    residual: residual.data(),
+                    mask: &mut mkr_b,
+                    out: &mut outr_b,
+                };
+                contract_epilogue_tiled(
+                    &ep.plan,
+                    tile_rows,
+                    w.data(),
+                    x.data(),
+                    &mut ap,
+                    &mut bp,
+                    &mut ct,
+                    p,
+                    &mut rng_br,
+                    licensed,
+                    &mut epi,
+                );
+                assert_bits("bdr mask", &mkr_a, &mkr_b);
+                assert_bits("bdr out", &outr_a, &outr_b);
+                assert_same_rng_state(&mut rng_ar.clone(), &mut rng_br, "bdr");
+            }
+        }
     }
 
     #[test]

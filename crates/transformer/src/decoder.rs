@@ -71,6 +71,11 @@ pub struct DecoderLayer {
     pub activation: ActivationKind,
     /// Dropout probability.
     pub dropout_p: f32,
+    /// When set, the block runs the GEMM-epilogue canned plan
+    /// ([`interp::PlanKind::DecoderEpilogue`]): the QKT→SM, Out→BDR,
+    /// Linear 1→BRD and Linear 2→BDR2 chains collapse into tiled
+    /// mega-kernels whose intermediates never materialize.
+    pub epilogue: bool,
 }
 
 /// Saved forward values for the decoder backward pass.
@@ -112,12 +117,29 @@ impl DecoderLayer {
             dims,
             activation: ActivationKind::Gelu,
             dropout_p,
+            epilogue: false,
         }
+    }
+
+    /// Switches the block onto the GEMM-epilogue canned plan
+    /// (builder-style).
+    pub fn with_epilogue(mut self) -> Self {
+        self.epilogue = true;
+        self
     }
 
     /// The attention scaling factor `1/√P`.
     pub fn scaler(&self) -> f32 {
         1.0 / (self.dims.p as f32).sqrt()
+    }
+
+    /// The canned-plan cache key for the block's configuration.
+    fn plan_kind(&self) -> interp::PlanKind {
+        if self.epilogue {
+            interp::PlanKind::DecoderEpilogue
+        } else {
+            interp::PlanKind::DecoderFused
+        }
     }
 
     /// Forward propagation: `x` (`[i,b,j]`) → `y` (`[i,b,j]`) plus saved
@@ -145,7 +167,7 @@ impl DecoderLayer {
         let (graph, plan, cert) = match opts.plan {
             Some(o) => (o.graph, o.plan, o.cert),
             None => {
-                cached = interp::cached_plan(&self.dims, interp::PlanKind::DecoderFused)?;
+                cached = interp::cached_plan(&self.dims, self.plan_kind())?;
                 (&cached.graph, &cached.plan, Some(&cached.cert))
             }
         };
@@ -160,7 +182,7 @@ impl DecoderLayer {
         if opts.plan.is_none() && opts.profiler.is_none() {
             if let Some(a) = interp::cached_arena(
                 &self.dims,
-                interp::PlanKind::DecoderFused,
+                self.plan_kind(),
                 interp::granularity_for(opts.threads),
             )? {
                 arena = a;
@@ -199,14 +221,7 @@ impl DecoderLayer {
         };
         if opts.plan.is_none()
             && opts.profiler.is_none()
-            && interp::arena_forward_into(
-                &self.dims,
-                interp::PlanKind::DecoderFused,
-                x,
-                w,
-                &merged,
-                y,
-            )?
+            && interp::arena_forward_into(&self.dims, self.plan_kind(), x, w, &merged, y)?
         {
             return Ok(());
         }

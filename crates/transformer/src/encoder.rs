@@ -18,10 +18,8 @@
 //! dropout disabled, and backward is bit-for-bit given the same saved
 //! masks).
 
-use rand::Rng;
-
-use xform_core::plan::{execute_plan, ExecOptions, ExecState, ExecutionPlan};
-use xform_core::sanitize::{execute_plan_parallel, ParallelOptions, RaceCertificate};
+use xform_core::plan::{ExecOptions, ExecState, ExecutionPlan};
+use xform_core::sanitize::RaceCertificate;
 use xform_dataflow::{EncoderDims, Graph};
 use xform_tensor::fused::{self, BdrlnOutput, BrdOutput, SmOutput};
 use xform_tensor::ops::dropout::dropout_backward;
@@ -89,6 +87,10 @@ pub enum Executor {
     /// The paper's fused kernels (AIB, SM, BDRLN, BRD, BSB, BLNRD, BDRB,
     /// EBSB, BS, BAOB, BAIB, BEI).
     Fused,
+    /// The fused kernels plus GEMM-epilogue mega-kernels: the QKT→SM and
+    /// Linear 1→BRD chains collapse into single tiled contraction steps
+    /// whose intermediates (`beta`, `ff1`) are never materialized.
+    Epilogue,
 }
 
 /// A configured encoder layer.
@@ -155,6 +157,7 @@ impl EncoderLayer {
         match self.executor {
             Executor::Reference => interp::PlanKind::EncoderReference,
             Executor::Fused => interp::PlanKind::EncoderFused,
+            Executor::Epilogue => interp::PlanKind::EncoderEpilogue,
         }
     }
 
@@ -295,76 +298,6 @@ impl EncoderLayer {
         Ok(())
     }
 
-    /// Runs forward propagation through an arbitrary [`ExecutionPlan`]
-    /// over the encoder graph with a caller-supplied RNG stream.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error if the plan fails validation against `graph` or a
-    /// kernel rejects its operands.
-    #[deprecated(
-        note = "use the unified `EncoderLayer::forward(&x, &w, &ExecOptions)` with `ExecOptions::plan`"
-    )]
-    pub fn forward_with_plan<R: Rng + ?Sized>(
-        &self,
-        graph: &Graph,
-        plan: &ExecutionPlan,
-        x: &Tensor,
-        w: &EncoderWeights,
-        rng: &mut R,
-    ) -> Result<(Tensor, Activations)> {
-        let mut state = bind_inputs(x, w)?;
-        let opts = self.exec_options(&ExecOptions::default());
-        execute_plan(graph, plan, &mut state, &opts, rng)?;
-        collect_activations(state)
-    }
-
-    /// Runs forward propagation on the certified wave-parallel
-    /// interpreter over the layer's canned plan.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error if `x` has the wrong shape, or if any parallel
-    /// step fails.
-    #[deprecated(
-        note = "use the unified `EncoderLayer::forward(&x, &w, &ExecOptions)` with `ExecOptions::threads`"
-    )]
-    pub fn forward_parallel(
-        &self,
-        x: &Tensor,
-        w: &EncoderWeights,
-        popts: &ParallelOptions,
-    ) -> Result<(Tensor, Activations)> {
-        let pf = self.planned()?;
-        let mut state = bind_inputs(x, w)?;
-        let opts = self.exec_options(&ExecOptions::default());
-        execute_plan_parallel(&pf.graph, &pf.plan, &pf.cert, &mut state, &opts, popts)?;
-        collect_activations(state)
-    }
-
-    /// Runs forward propagation through a certified [`PlannedForward`] on
-    /// the wave-parallel interpreter.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error if the certificate is stale for the plan or a
-    /// kernel rejects its operands.
-    #[deprecated(
-        note = "use the unified `EncoderLayer::forward(&x, &w, &ExecOptions)` with `ExecOptions::plan` + `ExecOptions::threads`"
-    )]
-    pub fn forward_with_plan_parallel(
-        &self,
-        pf: &PlannedForward,
-        x: &Tensor,
-        w: &EncoderWeights,
-        popts: &ParallelOptions,
-    ) -> Result<(Tensor, Activations)> {
-        let mut state = bind_inputs(x, w)?;
-        let opts = self.exec_options(&ExecOptions::default());
-        execute_plan_parallel(&pf.graph, &pf.plan, &pf.cert, &mut state, &opts, popts)?;
-        collect_activations(state)
-    }
-
     /// Runs backpropagation: given the output gradient `dy` and the saved
     /// activations, returns the input gradient `dx` and all weight
     /// gradients.
@@ -379,7 +312,7 @@ impl EncoderLayer {
         w: &EncoderWeights,
         a: &Activations,
     ) -> Result<(Tensor, EncoderGrads)> {
-        let fused_mode = self.executor == Executor::Fused;
+        let fused_mode = self.executor != Executor::Reference;
         let mut g = w.zeros_like();
         let ai = Axis('i');
 

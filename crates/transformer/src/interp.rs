@@ -19,7 +19,7 @@ use rand::SeedableRng;
 use xform_core::access::{certify_access, AccessCertificate};
 use xform_core::analyze::{analyze, ArenaGranularity};
 use xform_core::arena::{ArenaArtifact, ArenaOutcome, ArenaRun, CompiledArena};
-use xform_core::fusion::{apply_plan, decoder_fusion_plan, encoder_fusion_plan};
+use xform_core::fusion::{apply_epilogues, apply_plan, decoder_fusion_plan, encoder_fusion_plan};
 use xform_core::plan::{execute_plan, ExecOptions, ExecState, ExecutionPlan, SanitizeMode};
 use xform_core::recipe::forward_ops;
 use xform_core::sanitize::{certify, execute_plan_parallel, ParallelOptions, RaceCertificate};
@@ -103,8 +103,14 @@ pub enum PlanKind {
     EncoderReference,
     /// Fused encoder, natural layouts.
     EncoderFused,
+    /// Fused encoder with GEMM-epilogue mega-kernels (QKT+SM, Linear 1+
+    /// BRD collapsed; their intermediates never materialize).
+    EncoderEpilogue,
     /// Fused decoder block, natural layouts.
     DecoderFused,
+    /// Fused decoder with GEMM-epilogue mega-kernels (QKT+SM, Out+BDR,
+    /// Linear 1+BRD, Linear 2+BDR2 collapsed).
+    DecoderEpilogue,
 }
 
 type PlanCache = Mutex<HashMap<(EncoderDims, PlanKind), Arc<PlannedForward>>>;
@@ -131,7 +137,9 @@ pub fn cached_plan(dims: &EncoderDims, kind: PlanKind) -> Result<Arc<PlannedForw
     let built = Arc::new(match kind {
         PlanKind::EncoderReference => encoder_reference(dims)?,
         PlanKind::EncoderFused => encoder_fused(dims)?,
+        PlanKind::EncoderEpilogue => encoder_epilogue(dims)?,
         PlanKind::DecoderFused => decoder_fused(dims)?,
+        PlanKind::DecoderEpilogue => decoder_epilogue(dims)?,
     });
     plan_cache().lock().unwrap().insert(key, Arc::clone(&built));
     Ok(built)
@@ -340,6 +348,22 @@ pub fn encoder_fused(dims: &EncoderDims) -> Result<PlannedForward> {
     planned(g, eg.dy)
 }
 
+/// The fused encoder with GEMM-epilogue mega-kernels: element-wise fusion
+/// first, then every detected contraction→epilogue chain collapsed into a
+/// [`xform_dataflow::OpKind::ContractionEpilogue`] step whose
+/// intermediate is never materialized.
+///
+/// # Errors
+///
+/// Returns an error if fusion or scheduling fails.
+pub fn encoder_epilogue(dims: &EncoderDims) -> Result<PlannedForward> {
+    let eg = build::encoder(dims);
+    let mut g = eg.graph;
+    apply_plan(&mut g, &encoder_fusion_plan())?;
+    apply_epilogues(&mut g)?;
+    planned(g, eg.dy)
+}
+
 /// The decoder block as a plan: the pre-LN decoder graph with its fusion
 /// plan applied (causal SM, BDR residual joins, GELU BRD).
 ///
@@ -350,6 +374,20 @@ pub fn decoder_fused(dims: &EncoderDims) -> Result<PlannedForward> {
     let eg = build::decoder(dims);
     let mut g = eg.graph;
     apply_plan(&mut g, &decoder_fusion_plan())?;
+    planned(g, eg.dy)
+}
+
+/// The fused decoder with GEMM-epilogue mega-kernels (see
+/// [`encoder_epilogue`]).
+///
+/// # Errors
+///
+/// Returns an error if fusion or scheduling fails.
+pub fn decoder_epilogue(dims: &EncoderDims) -> Result<PlannedForward> {
+    let eg = build::decoder(dims);
+    let mut g = eg.graph;
+    apply_plan(&mut g, &decoder_fusion_plan())?;
+    apply_epilogues(&mut g)?;
     planned(g, eg.dy)
 }
 

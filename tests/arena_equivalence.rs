@@ -61,7 +61,7 @@ fn arena_forward_matches_the_env_interpreter_bitwise_without_rng() {
     // PlanOverride forward (which bypasses the arena and runs the
     // allocating environment interpreter) must agree bitwise.
     let (dims, w, x) = setup();
-    for executor in [Executor::Reference, Executor::Fused] {
+    for executor in [Executor::Reference, Executor::Fused, Executor::Epilogue] {
         let layer = EncoderLayer::new(dims, executor, 0.0);
         let arena_y = layer.forward(&x, &w, &ExecOptions::default()).unwrap().y;
         let pf = interp::cached_plan(
@@ -69,6 +69,7 @@ fn arena_forward_matches_the_env_interpreter_bitwise_without_rng() {
             match executor {
                 Executor::Reference => interp::PlanKind::EncoderReference,
                 Executor::Fused => interp::PlanKind::EncoderFused,
+                Executor::Epilogue => interp::PlanKind::EncoderEpilogue,
             },
         )
         .unwrap();

@@ -1,0 +1,292 @@
+//! Equivalence of the GEMM-epilogue mega-kernel plans with their unfused
+//! (element-wise-fused) counterparts: the epilogue plans must compute the
+//! same function bitwise — same values, same dropout masks, same RNG draw
+//! order — even though the contraction outputs they eliminate are never
+//! materialized. Three layers of evidence:
+//!
+//! * a proptest drives the serial environment interpreter over both plans
+//!   at random dims with dropout on and asserts every surviving container
+//!   is bitwise-equal AND the dropout RNG streams end in the same state
+//!   (proven by drawing from both after execution);
+//! * the arena-routed layer forwards (`Executor::Epilogue`,
+//!   `DecoderLayer::with_epilogue`) agree with the allocating environment
+//!   interpreter bitwise when no RNG is drawn, at both granularities —
+//!   CI runs this file under `XFORM_SANITIZE=1` so every slab access is
+//!   shadow-checked;
+//! * at sequence-length-dominant dims the epilogue arena slab is strictly
+//!   smaller than the unfused one, because the eliminated intermediates
+//!   no longer have a live interval at the peak.
+
+use proptest::prelude::*;
+use rand::distributions::Uniform;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+use substation::core::plan::{execute_plan, random_externals, ExecOptions, PlanOverride};
+use substation::dataflow::{EncoderDims, OpKind};
+use substation::tensor::{Shape, Tensor};
+use substation::transformer::decoder::DecoderLayer;
+use substation::transformer::encoder::{EncoderLayer, Executor};
+use substation::transformer::interp;
+use substation::transformer::params::EncoderWeights;
+
+fn setup(dims: &EncoderDims) -> (EncoderWeights, Tensor) {
+    let mut rng = StdRng::seed_from_u64(41);
+    let w = EncoderWeights::init(dims, &mut rng);
+    let x = Tensor::random(
+        Shape::from_spec("ibj", &dims.size_table()).unwrap(),
+        &Uniform::new(-1.0, 1.0),
+        &mut rng,
+    );
+    (w, x)
+}
+
+fn mega_steps(pf: &interp::PlannedForward) -> usize {
+    pf.plan
+        .steps
+        .iter()
+        .filter(|s| {
+            matches!(
+                pf.graph.op(s.op).map(|n| &n.kind),
+                Some(OpKind::ContractionEpilogue { .. })
+            )
+        })
+        .count()
+}
+
+#[test]
+fn canned_epilogue_plans_lower_mega_kernel_steps() {
+    let dims = EncoderDims::tiny();
+    let enc = interp::cached_plan(&dims, interp::PlanKind::EncoderEpilogue).unwrap();
+    let dec = interp::cached_plan(&dims, interp::PlanKind::DecoderEpilogue).unwrap();
+    assert_eq!(mega_steps(&enc), 2, "encoder: QKT+SM and Linear 1+BRD");
+    assert_eq!(
+        mega_steps(&dec),
+        4,
+        "decoder: QKT+SM, Out+BDR, Linear 1+BRD, Linear 2+BDR2"
+    );
+    // the eliminated contraction outputs must be gone from the buffer set
+    for (pf, interim) in [(&enc, "beta"), (&dec, "beta")] {
+        assert!(
+            !pf.plan
+                .steps
+                .iter()
+                .flat_map(|s| s.inputs.iter().chain(s.outputs.iter()))
+                .any(|o| o.name == *interim),
+            "{interim} still referenced by the epilogue plan"
+        );
+    }
+}
+
+/// Runs a plan through the serial environment interpreter on the given
+/// externals and returns the final container environment plus the RNG.
+fn run_env(
+    pf: &interp::PlannedForward,
+    externals: &substation::core::plan::ExecState,
+    dropout_p: f32,
+) -> (substation::core::plan::ExecState, StdRng) {
+    let mut state = substation::core::plan::ExecState {
+        env: externals.env.clone(),
+        ..Default::default()
+    };
+    let opts = ExecOptions {
+        dropout_p,
+        scaler: 0.5,
+        ..ExecOptions::default()
+    };
+    let mut rng = StdRng::seed_from_u64(97);
+    execute_plan(&pf.graph, &pf.plan, &mut state, &opts, &mut rng).unwrap();
+    (state, rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // Epilogue-fused == unfused bitwise at random dims, dropout on: every
+    // container both plans materialize has identical bits, and both RNG
+    // streams end in the same state (the mega-kernel draws the tail's
+    // dropout mask in exactly the unfused order, no more, no fewer).
+    #[test]
+    fn epilogue_env_execution_is_bitwise_equal_at_random_dims(
+        b in 1usize..3,
+        j in 2usize..5,
+        h in 1usize..3,
+        p in 2usize..4,
+        u in 4usize..7,
+        seed in 0u64..1_000,
+    ) {
+        let (j, p, u) = (j * 2, 1 << p, u * 2);
+        let drop_p = if seed % 2 == 0 { 0.0f32 } else { 0.3 };
+        let dims = EncoderDims { b, j, k: j, h, p, i: h * p, u };
+        for (fused, epilogue) in [
+            (interp::encoder_fused(&dims), interp::encoder_epilogue(&dims)),
+            (interp::decoder_fused(&dims), interp::decoder_epilogue(&dims)),
+        ] {
+            let (pf, pe) = (fused.unwrap(), epilogue.unwrap());
+            prop_assert!(mega_steps(&pe) >= 2, "no mega-kernel lowered at {dims:?}");
+            // both graphs share the same external set; generate once from
+            // the epilogue plan so both runs see identical inputs
+            let externals = random_externals(&pe.graph, &pe.plan, seed).unwrap();
+            let (sf, mut rf) = run_env(&pf, &externals, drop_p);
+            let (se, mut re) = run_env(&pe, &externals, drop_p);
+            let mut shared = 0usize;
+            for (name, tf) in &sf.env {
+                if let Some(te) = se.env.get(name) {
+                    prop_assert!(tf.data() == te.data(), "container {name} diverged");
+                    shared += 1;
+                }
+            }
+            prop_assert!(shared > externals.env.len(), "no produced container compared");
+            for _ in 0..4 {
+                prop_assert!(rf.next_u64() == re.next_u64(), "RNG streams diverged");
+            }
+        }
+    }
+}
+
+#[test]
+fn epilogue_arena_forward_matches_the_env_interpreter_bitwise_without_rng() {
+    // With dropout off no RNG is drawn, so the arena-routed epilogue
+    // forward and a PlanOverride forward (allocating env interpreter)
+    // must agree bitwise — at both arena granularities. Under
+    // XFORM_SANITIZE=1 every slab read/write is shadow-checked.
+    let dims = EncoderDims::tiny();
+    let (w, x) = setup(&dims);
+    let enc = EncoderLayer::new(dims, Executor::Epilogue, 0.0);
+    let dec = DecoderLayer::new(dims, 0.0).with_epilogue();
+    let pe = interp::cached_plan(&dims, interp::PlanKind::EncoderEpilogue).unwrap();
+    let pd = interp::cached_plan(&dims, interp::PlanKind::DecoderEpilogue).unwrap();
+    for threads in [1usize, 4] {
+        let arena_opts = ExecOptions {
+            threads,
+            ..ExecOptions::default()
+        };
+        for (tag, pf, arena_y) in [
+            ("encoder", &pe, enc.forward(&x, &w, &arena_opts).unwrap().y),
+            ("decoder", &pd, dec.forward(&x, &w, &arena_opts).unwrap().y),
+        ] {
+            let env_opts = ExecOptions {
+                plan: Some(PlanOverride {
+                    graph: &pf.graph,
+                    plan: &pf.plan,
+                    cert: Some(&pf.cert),
+                }),
+                ..ExecOptions::default()
+            };
+            let env_y = match tag {
+                "encoder" => enc.forward(&x, &w, &env_opts).unwrap().y,
+                _ => dec.forward(&x, &w, &env_opts).unwrap().y,
+            };
+            assert_eq!(arena_y.data(), env_y.data(), "{tag} threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn epilogue_forward_equals_unfused_forward_without_rng() {
+    // Dropout off: the epilogue executors compute the same function as
+    // the element-wise-fused ones, bitwise, through the arena path.
+    let dims = EncoderDims::tiny();
+    let (w, x) = setup(&dims);
+    let opts = ExecOptions::default();
+    let y_fused = EncoderLayer::new(dims, Executor::Fused, 0.0)
+        .forward(&x, &w, &opts)
+        .unwrap()
+        .y;
+    let y_epi = EncoderLayer::new(dims, Executor::Epilogue, 0.0)
+        .forward(&x, &w, &opts)
+        .unwrap()
+        .y;
+    assert_eq!(y_fused.data(), y_epi.data(), "encoder");
+    let y_fused = DecoderLayer::new(dims, 0.0)
+        .forward(&x, &w, &opts)
+        .unwrap()
+        .y;
+    let y_epi = DecoderLayer::new(dims, 0.0)
+        .with_epilogue()
+        .forward(&x, &w, &opts)
+        .unwrap()
+        .y;
+    assert_eq!(y_fused.data(), y_epi.data(), "decoder");
+}
+
+#[test]
+fn epilogue_dropout_is_thread_count_invariant_under_the_arena() {
+    // The arena draws one RNG stream per step, so the epilogue plans'
+    // dropout masks are a function of (seed, step) alone and survive any
+    // worker count unchanged.
+    let dims = EncoderDims::tiny();
+    let (w, x) = setup(&dims);
+    for p in [0.3f32, 0.5] {
+        let layer = EncoderLayer::new(dims, Executor::Epilogue, p);
+        let serial = layer
+            .forward(
+                &x,
+                &w,
+                &ExecOptions {
+                    seed: 23,
+                    ..ExecOptions::default()
+                },
+            )
+            .unwrap()
+            .y;
+        for threads in [2usize, 4] {
+            let par = layer
+                .forward(
+                    &x,
+                    &w,
+                    &ExecOptions {
+                        seed: 23,
+                        threads,
+                        ..ExecOptions::default()
+                    },
+                )
+                .unwrap()
+                .y;
+            assert_eq!(serial.data(), par.data(), "p={p} threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn epilogue_arena_slab_is_smaller_at_sequence_dominant_dims() {
+    // The eliminated intermediates (`beta`, `ff1`, ...) scale with j·k
+    // while the end-of-plan resident set scales linearly in j, so once
+    // the sequence length dominates, dropping their live intervals
+    // strictly shrinks the slab high-water mark.
+    let dims = EncoderDims {
+        b: 2,
+        j: 128,
+        k: 128,
+        h: 2,
+        p: 8,
+        i: 16,
+        u: 32,
+    };
+    for (fused, epilogue) in [
+        (
+            interp::PlanKind::EncoderFused,
+            interp::PlanKind::EncoderEpilogue,
+        ),
+        (
+            interp::PlanKind::DecoderFused,
+            interp::PlanKind::DecoderEpilogue,
+        ),
+    ] {
+        for threads in [1usize, 4] {
+            let gran = interp::granularity_for(threads);
+            let sf = interp::cached_arena(&dims, fused, gran)
+                .unwrap()
+                .unwrap()
+                .slab_words();
+            let se = interp::cached_arena(&dims, epilogue, gran)
+                .unwrap()
+                .unwrap()
+                .slab_words();
+            assert!(
+                se < sf,
+                "{epilogue:?} slab {se} must be smaller than {fused:?} slab {sf} ({gran:?})"
+            );
+        }
+    }
+}
