@@ -12,7 +12,20 @@
 //! non-zero if any plan carries an error-severity lint or any plan's
 //! static MUE regresses below the checked-in floor in
 //! `crates/bench/baseline_static_mue.txt` — CI uses this to fail the
-//! build on a lint-dirty or MUE-regressed canned plan. With `--certify` it runs the full race certifier
+//! build on a lint-dirty or MUE-regressed canned plan. With `--cache`
+//! (composable with `--check`) every plan is additionally pushed through
+//! the reuse-distance cache model (`xform_core::cachemodel`) under the
+//! modelled device's hierarchy (or the `XFORM_CACHE_GEOM` override):
+//! the cache-corrected MUE must be at least the flat one on every plan
+//! with `Q` untouched, the GEMM-epilogue plans must stay strictly ahead
+//! of their unfused counterparts on the corrected account, and each
+//! plan's corrected MUE must hold the floor pinned in
+//! `crates/bench/baseline_cache_mue.txt`. With `--json` it writes
+//! `BENCH_plan_audit.json` — the machine-readable mirror of the full
+//! audit (flat and cache-corrected MUE, predicted DRAM bytes, arena slab
+//! bytes, and every lint) — so the static account is tracked across PRs
+//! like `plan_profile --json` tracks the measured one. With `--certify`
+//! it runs the full race certifier
 //! (`xform_core::sanitize::certify`) on every plan and prints each
 //! certificate's fingerprint and wave partition, exiting non-zero if any
 //! plan cannot be certified for wave-parallel execution. With `--access`
@@ -29,8 +42,9 @@ use xform_core::access::{certify_access, certify_access_arena};
 use xform_core::analyze::{
     analyze, assign_arena, audit, lint_selection, render_report, ArenaGranularity, Severity,
 };
+use xform_core::cachemodel::{cache_audit, CacheGeometry, CACHE_GEOM_ENV};
 use xform_core::plan::ExecutionPlan;
-use xform_core::sanitize::certify;
+use xform_core::sanitize::{certify, env_setting};
 use xform_core::selection::select_forward;
 use xform_core::sweep::{sweep_all, SimulatorSource, SweepOptions, SweepResult};
 use xform_dataflow::{EncoderDims, Graph, NodeId};
@@ -43,6 +57,10 @@ use xform_transformer::interp;
 /// editing the file when a change legitimately raises a floor.
 const BASELINE: &str = include_str!("../../baseline_static_mue.txt");
 
+/// Checked-in cache-corrected MUE floor per canned plan, gated by
+/// `--cache --check` under the deterministic device hierarchy.
+const CACHE_BASELINE: &str = include_str!("../../baseline_cache_mue.txt");
+
 /// Tolerance (MUE points) when comparing against the pinned baseline,
 /// absorbing float-summation noise across platforms.
 const BASELINE_TOL: f64 = 0.05;
@@ -53,15 +71,30 @@ struct Audited {
     /// is not baselined.
     key: &'static str,
     errors: usize,
+    steps: usize,
+    warnings: usize,
     /// The audited static plan MUE (None in certify/access modes).
     mue: Option<Mue>,
     /// Serial arena slab bytes (None in certify/access modes).
     slab_bytes: Option<u64>,
+    /// Every analyzer lint, rendered (kept for the JSON mirror).
+    lints: Vec<(Severity, String)>,
+    /// Cache-corrected account (None unless `--cache` / `--json`).
+    cache: Option<CacheSummary>,
 }
 
-fn baseline() -> HashMap<&'static str, f64> {
-    BASELINE
-        .lines()
+/// The cache-corrected slice of one plan's audit.
+struct CacheSummary {
+    mue: Mue,
+    dram_bytes: u64,
+    flat_bytes: u64,
+    hit_words: Vec<u64>,
+    compulsory_words: u64,
+    lints: Vec<String>,
+}
+
+fn parse_baseline(text: &'static str) -> HashMap<&'static str, f64> {
+    text.lines()
         .map(str::trim)
         .filter(|l| !l.is_empty() && !l.starts_with('#'))
         .filter_map(|l| {
@@ -71,12 +104,23 @@ fn baseline() -> HashMap<&'static str, f64> {
         .collect()
 }
 
+/// The hierarchy `--cache` audits under: the `XFORM_CACHE_GEOM` override
+/// when parsable, else the modelled device's own hierarchy — never the
+/// host's, so CI results are machine-independent.
+fn audit_geometry(device: &DeviceSpec) -> CacheGeometry {
+    env_setting(CACHE_GEOM_ENV)
+        .and_then(|v| CacheGeometry::parse(&v))
+        .unwrap_or_else(|| CacheGeometry::for_device(device))
+}
+
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Mode {
     /// Full rendered report per plan.
     Full,
     /// Lint summary only, non-zero exit on error lints.
     Check,
+    /// Machine-readable mirror written to `BENCH_plan_audit.json`.
+    Json,
     /// Race certification, non-zero exit on an uncertifiable plan.
     Certify,
     /// Access-path certification at the logical level and both arena
@@ -127,6 +171,7 @@ fn report_access(title: &str, graph: &Graph, plan: &ExecutionPlan) -> usize {
     errors
 }
 
+#[allow(clippy::too_many_arguments)]
 fn report(
     title: &'static str,
     key: &'static str,
@@ -135,13 +180,18 @@ fn report(
     sweeps: Option<&HashMap<NodeId, SweepResult>>,
     device: &DeviceSpec,
     mode: Mode,
+    cache_on: bool,
 ) -> Audited {
     let quiet = Audited {
         title,
         key,
         errors: 0,
+        steps: plan.steps.len(),
+        warnings: 0,
         mue: None,
         slab_bytes: None,
+        lints: Vec::new(),
+        cache: None,
     };
     if mode == Mode::Access {
         let errors = report_access(title, graph, plan);
@@ -184,16 +234,37 @@ fn report(
     analysis.lints.extend(arena_waves.lints.iter().cloned());
     let errors = analysis.errors().len();
     let movement = audit(graph, plan, device);
+    let cache = cache_on.then(|| {
+        let ca = cache_audit(graph, plan, device, &audit_geometry(device));
+        analysis.lints.extend(ca.lints.iter().cloned());
+        CacheSummary {
+            mue: ca.plan_mue,
+            dram_bytes: ca.dram_words * device.word_bytes as u64,
+            flat_bytes: movement.total_bytes(),
+            hit_words: ca.hit_words.clone(),
+            compulsory_words: ca.compulsory_words,
+            lints: ca.lints.iter().map(|l| l.to_string()).collect(),
+        }
+    });
+    let warnings = analysis
+        .lints
+        .iter()
+        .filter(|l| l.severity() == Severity::Warning)
+        .count();
     if mode == Mode::Check {
         println!(
-            "{title}: {} steps, {errors} errors, {} warnings, static MUE {:.4}",
+            "{title}: {} steps, {errors} errors, {warnings} warnings, static MUE {:.4}{}",
             plan.steps.len(),
-            analysis
-                .lints
-                .iter()
-                .filter(|l| l.severity() == Severity::Warning)
-                .count(),
             movement.plan_mue.value,
+            cache
+                .as_ref()
+                .map(|c| format!(
+                    ", cache MUE {:.4} ({:.1} MiB DRAM vs {:.1} MiB flat)",
+                    c.mue.value,
+                    c.dram_bytes as f64 / (1024.0 * 1024.0),
+                    c.flat_bytes as f64 / (1024.0 * 1024.0),
+                ))
+                .unwrap_or_default(),
         );
         for lint in analysis
             .lints
@@ -202,7 +273,7 @@ fn report(
         {
             println!("  [error] {lint}");
         }
-    } else {
+    } else if mode == Mode::Full {
         print!("{}", render_report(title, &analysis, &movement, device));
         for (tag, a) in [("serial", &arena_serial), ("waves", &arena_waves)] {
             println!(
@@ -216,26 +287,54 @@ fn report(
                 },
             );
         }
+        if let Some(c) = &cache {
+            println!(
+                "cache-corrected: MUE {:.4} (flat {:.4}), predicted DRAM {:.1} MiB \
+                 of {:.1} MiB flat, hits/level {:?} words, {} compulsory words",
+                c.mue.value,
+                movement.plan_mue.value,
+                c.dram_bytes as f64 / (1024.0 * 1024.0),
+                c.flat_bytes as f64 / (1024.0 * 1024.0),
+                c.hit_words,
+                c.compulsory_words,
+            );
+            for lint in &c.lints {
+                println!("  [cache] {lint}");
+            }
+        }
         println!();
     }
     Audited {
         errors,
+        warnings,
         mue: Some(movement.plan_mue),
         slab_bytes: Some(arena_serial.slab_bytes(4)),
+        lints: analysis
+            .lints
+            .iter()
+            .map(|l| (l.severity(), l.to_string()))
+            .collect(),
+        cache,
         ..quiet
     }
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mode = if std::env::args().any(|a| a == "--access") {
+    let args: Vec<String> = std::env::args().collect();
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    let mode = if has("--access") {
         Mode::Access
-    } else if std::env::args().any(|a| a == "--certify") {
+    } else if has("--certify") {
         Mode::Certify
-    } else if std::env::args().any(|a| a == "--check") {
+    } else if has("--json") {
+        Mode::Json
+    } else if has("--check") {
         Mode::Check
     } else {
         Mode::Full
     };
+    // the JSON mirror always carries the cache-corrected account
+    let cache_on = has("--cache") || mode == Mode::Json;
     let dims = EncoderDims::bert_large();
     let device = DeviceSpec::v100();
 
@@ -268,6 +367,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             None,
             &device,
             mode,
+            cache_on,
         ),
         report(
             "Fused (natural layouts)",
@@ -277,6 +377,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             None,
             &device,
             mode,
+            cache_on,
         ),
         report(
             "Encoder (GEMM-epilogue mega-kernels)",
@@ -286,6 +387,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             None,
             &device,
             mode,
+            cache_on,
         ),
         report(
             "Decoder (fused, natural layouts)",
@@ -295,6 +397,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             None,
             &device,
             mode,
+            cache_on,
         ),
         report(
             "Decoder (GEMM-epilogue mega-kernels)",
@@ -304,6 +407,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             None,
             &device,
             mode,
+            cache_on,
         ),
         report(
             "Recipe-selected (simulator sweeps + SSSP layouts)",
@@ -313,8 +417,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Some(&sweeps),
             &device,
             mode,
+            cache_on,
         ),
     ];
+
+    if mode == Mode::Json {
+        write_json(&results, &audit_geometry(&device))?;
+    }
 
     let mut failures = 0usize;
     for r in results.iter().filter(|r| r.errors > 0) {
@@ -322,17 +431,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         failures += 1;
     }
 
-    if matches!(mode, Mode::Full | Mode::Check) {
+    if matches!(mode, Mode::Full | Mode::Check | Mode::Json) {
         failures += check_epilogue_invariants(&results);
         failures += check_baseline(&results);
+        if cache_on {
+            failures += check_cache_invariants(&results, mode == Mode::Check);
+        }
     }
     if failures > 0 {
         std::process::exit(1);
     }
     match mode {
+        Mode::Check if cache_on => println!(
+            "all plans are error-clean, at or above both MUE baselines, \
+             and cache-corrected MUE dominates flat"
+        ),
         Mode::Check => {
             println!("all plans are error-clean and at or above the static-MUE baseline")
         }
+        Mode::Json => println!("wrote BENCH_plan_audit.json"),
         Mode::Certify => println!("all plans certified for wave-parallel execution"),
         Mode::Access => println!("all plans earn access certificates at every granularity"),
         Mode::Full => {}
@@ -385,10 +502,101 @@ fn check_epilogue_invariants(results: &[Audited]) -> usize {
     failures
 }
 
+/// The cache model's acceptance gates, active under `--cache`:
+///
+/// * every plan's cache-corrected MUE is at least its flat MUE, with `Q`
+///   untouched by the correction;
+/// * each GEMM-epilogue plan stays *strictly* ahead of its unfused
+///   counterpart on the corrected account, still at `ΔQ = 0`;
+/// * when `gate_floor`, every baselined plan's corrected MUE holds the
+///   floor pinned in `baseline_cache_mue.txt`.
+///
+/// Returns the number of violations.
+fn check_cache_invariants(results: &[Audited], gate_floor: bool) -> usize {
+    let mut failures = 0usize;
+    for r in results {
+        let (Some(flat), Some(c)) = (&r.mue, &r.cache) else {
+            continue;
+        };
+        println!(
+            "{}: cache-corrected MUE {:.4} vs flat {:.4}",
+            r.key, c.mue.value, flat.value
+        );
+        for (ok, what) in [
+            (
+                c.mue.value + 1e-9 >= flat.value,
+                "cache-corrected MUE must not drop below flat",
+            ),
+            (
+                (c.mue.q_words - flat.q_words).abs() < 0.5,
+                "the cache correction must not touch Q",
+            ),
+            (
+                c.mue.d_words <= flat.d_words + 0.5,
+                "the cache correction must not raise D",
+            ),
+        ] {
+            if !ok {
+                eprintln!("FAIL: {}: {what}", r.key);
+                failures += 1;
+            }
+        }
+    }
+    let find = |key: &str| results.iter().find(|r| r.key == key);
+    for (unfused_key, epilogue_key) in [
+        ("encoder-fused", "encoder-epilogue"),
+        ("decoder-fused", "decoder-epilogue"),
+    ] {
+        let pair = (find(unfused_key), find(epilogue_key));
+        let (Some(Some(f)), Some(Some(e))) = (
+            pair.0.map(|r| r.cache.as_ref()),
+            pair.1.map(|r| r.cache.as_ref()),
+        ) else {
+            continue;
+        };
+        for (ok, what) in [
+            (
+                e.mue.value > f.mue.value,
+                "cache-corrected MUE must strictly rise under epilogue fusion",
+            ),
+            (
+                (e.mue.q_words - f.mue.q_words).abs() < 0.5,
+                "Q must be unchanged on the corrected account",
+            ),
+        ] {
+            if !ok {
+                eprintln!("FAIL: {epilogue_key} vs {unfused_key}: {what}");
+                failures += 1;
+            }
+        }
+    }
+    if gate_floor {
+        let floors = parse_baseline(CACHE_BASELINE);
+        for r in results {
+            let (Some(c), Some(&floor)) = (&r.cache, floors.get(r.key)) else {
+                if !r.key.is_empty() && r.cache.is_some() {
+                    eprintln!("FAIL: {} has no pinned cache-MUE baseline", r.key);
+                    failures += 1;
+                }
+                continue;
+            };
+            if c.mue.value < floor - BASELINE_TOL {
+                eprintln!(
+                    "FAIL: {} cache-corrected MUE {:.4} regressed below the pinned \
+                     baseline {floor:.4}",
+                    r.key, c.mue.value
+                );
+                failures += 1;
+            }
+        }
+    }
+    failures
+}
+
 /// Compares every baselined plan's static MUE against the checked-in
 /// floor. Returns the number of regressions.
 fn check_baseline(results: &[Audited]) -> usize {
-    let floors = baseline();
+    let floors = parse_baseline(BASELINE);
     let mut failures = 0usize;
     for r in results {
         let (Some(mue), Some(&floor)) = (&r.mue, floors.get(r.key)) else {
@@ -407,4 +615,88 @@ fn check_baseline(results: &[Audited]) -> usize {
         }
     }
     failures
+}
+
+fn jstr(s: &str) -> String {
+    format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
+/// Writes `BENCH_plan_audit.json`: the machine-readable mirror of the
+/// static audit — per-plan flat and cache-corrected MUE (value, `Q`,
+/// `D`), predicted DRAM and flat bytes, per-level hit words, serial slab
+/// bytes, and every lint with its severity — alongside the geometry it
+/// was computed under.
+fn write_json(
+    results: &[Audited],
+    geometry: &CacheGeometry,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let mut out = String::from("{\n  \"bench\": \"plan_audit\",\n");
+    out.push_str("  \"geometry\": [");
+    let levels: Vec<String> = geometry
+        .levels
+        .iter()
+        .map(|l| {
+            format!(
+                "{{\"name\": {}, \"size_bytes\": {}, \"line_bytes\": {}, \"assoc\": {}}}",
+                jstr(&l.name),
+                l.size_bytes,
+                l.line_bytes,
+                l.assoc
+            )
+        })
+        .collect();
+    out.push_str(&levels.join(", "));
+    out.push_str("],\n  \"plans\": [\n");
+    let plans: Vec<String> = results
+        .iter()
+        .map(|r| {
+            let mut fields = vec![
+                format!("      \"key\": {}", jstr(r.key)),
+                format!("      \"title\": {}", jstr(r.title)),
+                format!("      \"steps\": {}", r.steps),
+                format!("      \"errors\": {}", r.errors),
+                format!("      \"warnings\": {}", r.warnings),
+            ];
+            if let Some(m) = &r.mue {
+                fields.push(format!(
+                    "      \"static_mue\": {{\"value\": {:.6}, \"q_words\": {:.1}, \"d_words\": {:.1}}}",
+                    m.value, m.q_words, m.d_words
+                ));
+            }
+            if let Some(s) = r.slab_bytes {
+                fields.push(format!("      \"serial_slab_bytes\": {s}"));
+            }
+            if let Some(c) = &r.cache {
+                fields.push(format!(
+                    "      \"cache_mue\": {{\"value\": {:.6}, \"q_words\": {:.1}, \"d_words\": {:.1}}}",
+                    c.mue.value, c.mue.q_words, c.mue.d_words
+                ));
+                fields.push(format!("      \"predicted_dram_bytes\": {}", c.dram_bytes));
+                fields.push(format!("      \"flat_bytes\": {}", c.flat_bytes));
+                let hits: Vec<String> = c.hit_words.iter().map(u64::to_string).collect();
+                fields.push(format!("      \"hit_words\": [{}]", hits.join(", ")));
+                fields.push(format!(
+                    "      \"compulsory_words\": {}",
+                    c.compulsory_words
+                ));
+            }
+            let lints: Vec<String> = r
+                .lints
+                .iter()
+                .map(|(sev, l)| {
+                    format!(
+                        "{{\"severity\": {}, \"message\": {}}}",
+                        jstr(&format!("{sev:?}")),
+                        jstr(l)
+                    )
+                })
+                .collect();
+            fields.push(format!("      \"lints\": [{}]", lints.join(", ")));
+            format!("    {{\n{}\n    }}", fields.join(",\n"))
+        })
+        .collect();
+    out.push_str(&plans.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    std::fs::write("BENCH_plan_audit.json", out)?;
+    Ok(())
 }

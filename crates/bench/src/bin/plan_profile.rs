@@ -22,26 +22,41 @@
 //! reports measured bytes, wall-clock, and which plan a measured
 //! re-selection would adopt per shape.
 //!
+//! Re-selection runs under the cache-aware cost model
+//! (`xform_core::selection::CostModel::CacheAware`): SSSP edge weights
+//! carry each candidate layout's predicted DRAM overfetch, and the
+//! adoption duel keeps the result honest against the natural plan.
+//!
+//! The binary also cross-validates the static cache model
+//! (`xform_core::cachemodel`) empirically: on fused-encoder shapes sized
+//! so the softmax interim and the layernorm lanes each occupy ~3× the
+//! validation hierarchy's LLC, the model's predicted DRAM bytes must
+//! bracket the profiler's footprint-checked measured bytes within 30%.
+//!
 //! With `--check` it runs a compact smoke pass and exits non-zero unless
 //! every interpretable step records nonzero measured bytes, every
 //! measured MUE lies in (0, 100], the re-selected winner's measured
 //! total is no worse than the natural plan's, the epilogue plans move
 //! strictly fewer measured bytes than their unfused counterparts without
-//! being slower, and the arena's steady-state allocation count is zero —
-//! CI runs this to keep the profiler (and the arena's zero-allocation
-//! claim) honest. With `--json` it writes `BENCH_plan_profile.json`, the
-//! machine-readable mirror tracked across PRs.
+//! being slower, the DRAM cross-validation holds on both the softmax and
+//! layernorm classes, and the arena's steady-state allocation count is
+//! zero — CI runs this to keep the profiler (and the arena's
+//! zero-allocation claim) honest. With `--json` it writes
+//! `BENCH_plan_profile.json`, the machine-readable mirror tracked across
+//! PRs.
 
 use rand::distributions::Uniform;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use xform_core::analyze::audit;
+use xform_core::cachemodel::{trace_plan, CacheGeometry, CACHE_GEOM_ENV};
 use xform_core::cpusource::CpuSource;
 use xform_core::plan::{random_externals, ExecOptions};
 use xform_core::profile::{
-    profile_plan, profile_plan_parallel, reselect, CountingAlloc, PlanProfiler, Reselection,
+    profile_plan, profile_plan_parallel, reselect_cost, CountingAlloc, PlanProfiler, Reselection,
 };
-use xform_core::sanitize::ParallelOptions;
+use xform_core::sanitize::{env_setting, ParallelOptions};
+use xform_core::selection::CostModel;
 use xform_core::sweep::SweepOptions;
 use xform_dataflow::{EncoderDims, Graph, OpClass};
 use xform_gpusim::DeviceSpec;
@@ -220,6 +235,137 @@ fn dims() -> EncoderDims {
     }
 }
 
+/// Relative tolerance for the predicted-vs-measured DRAM-byte gate: on
+/// shapes whose per-step working sets dwarf the hierarchy, the cache
+/// model's predicted DRAM traffic must land within 30% of the profiler's
+/// measured byte account.
+const DRAM_VALIDATION_TOL: f64 = 0.30;
+
+/// Reference hierarchy the DRAM cross-validation sizes its shapes
+/// against (overridable via `XFORM_CACHE_GEOM`). Deliberately compact —
+/// the validation shapes are sized to ~3× its LLC so every lane misses
+/// by footprint alone, and a small LLC keeps those shapes cheap on CI.
+const VALIDATION_GEOM: &str = "16k:64:4,128k:64:8,512k:64:16";
+
+fn validation_geometry() -> CacheGeometry {
+    env_setting(CACHE_GEOM_ENV)
+        .and_then(|v| CacheGeometry::parse(&v))
+        .or_else(|| CacheGeometry::parse(VALIDATION_GEOM))
+        .expect("the built-in validation geometry spec parses")
+}
+
+/// One predicted-vs-measured DRAM row of the cache-model
+/// cross-validation.
+struct DramRow {
+    shape: String,
+    step: String,
+    predicted_bytes: u64,
+    measured_bytes: u64,
+    time_us: f64,
+}
+
+impl DramRow {
+    fn ratio(&self) -> f64 {
+        self.predicted_bytes as f64 / self.measured_bytes.max(1) as f64
+    }
+}
+
+/// Cross-validates the static cache model against the runtime profiler
+/// on the memory-bound normalization steps (softmax, layernorm): two
+/// fused-encoder shapes are sized so the softmax interim (resp. the
+/// layernorm lanes) occupy ~3× the validation LLC — every reference then
+/// misses by footprint alone, predicted DRAM converges to the flat byte
+/// account, and the profiler's footprint-checked measured bytes must
+/// bracket it within [`DRAM_VALIDATION_TOL`]. Steps whose traffic does
+/// not dwarf the hierarchy (at least 4× the LLC) are reported but not
+/// gated: residency makes their DRAM traffic legitimately smaller than
+/// their byte account.
+fn dram_rows(reps: usize) -> Result<(Vec<DramRow>, u64), Box<dyn std::error::Error>> {
+    let geom = validation_geometry();
+    let llc = geom.largest_bytes().max(64 * 1024);
+    // target words per lane footprint: 3× LLC at 4-byte words
+    let target = (3 * llc / 4) as f64;
+    // softmax interim is b·h·j·k words (b = h = 2, k = j): 4j² ≥ target
+    let j = (target / 4.0).sqrt().ceil() as usize;
+    // layernorm lanes are b·j·i words (i = h·p): grow the batch
+    let (lj, li) = (64usize, 128usize);
+    let lb = (target / (lj * li) as f64).ceil() as usize;
+    let shapes = [
+        (
+            format!("softmax-bound j={j}"),
+            EncoderDims {
+                b: 2,
+                j,
+                k: j,
+                h: 2,
+                p: 8,
+                i: 16,
+                u: 32,
+            },
+        ),
+        (
+            format!("layernorm-bound b={lb}"),
+            EncoderDims {
+                b: lb,
+                j: lj,
+                k: lj,
+                h: 2,
+                p: 64,
+                i: li,
+                u: 32,
+            },
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (tag, d) in shapes {
+        let pf = interp::cached_plan(&d, interp::PlanKind::EncoderFused)?;
+        let base = random_externals(&pf.graph, &pf.plan, 11)?;
+        let prof = profile_plan(&pf.graph, &pf.plan, &base, &ExecOptions::default(), reps)?;
+        let traffic = trace_plan(&pf.graph, &pf.plan, &geom, 4);
+        for s in prof
+            .steps()
+            .filter(|s| s.class == OpClass::StatisticalNormalization)
+        {
+            rows.push(DramRow {
+                shape: tag.clone(),
+                step: s.name.clone(),
+                predicted_bytes: traffic.per_step[s.step].dram_words() * 4,
+                measured_bytes: s.moved_bytes(),
+                time_us: s.time_us,
+            });
+        }
+    }
+    Ok((rows, llc))
+}
+
+fn print_dram_rows(rows: &[DramRow], llc: u64) {
+    println!(
+        "\ncache-model DRAM cross-validation (LLC {:.0} KiB, gate ±{:.0}% where measured ≥ 4× LLC):",
+        llc as f64 / 1024.0,
+        DRAM_VALIDATION_TOL * 100.0
+    );
+    println!(
+        "  {:<22} {:<8} {:>14} {:>13} {:>9} {:>7}",
+        "shape", "step", "predicted KiB", "measured KiB", "time µs", "ratio"
+    );
+    for r in rows {
+        println!(
+            "  {:<22} {:<8} {:>14.1} {:>13.1} {:>9.1} {:>6.2}{}",
+            r.shape,
+            r.step,
+            r.predicted_bytes as f64 / 1024.0,
+            r.measured_bytes as f64 / 1024.0,
+            r.time_us,
+            r.ratio(),
+            if r.measured_bytes >= 4 * llc {
+                ""
+            } else {
+                "  (resident, ungated)"
+            },
+        );
+    }
+}
+
 fn class_tag(c: OpClass) -> &'static str {
     match c {
         OpClass::TensorContraction => "tc",
@@ -228,6 +374,12 @@ fn class_tag(c: OpClass) -> &'static str {
     }
 }
 
+/// Profile-guided re-selection under the cache-aware cost model: SSSP
+/// edge weights carry the predicted DRAM overfetch of each candidate
+/// layout under the modelled device's hierarchy, so the selection
+/// prefers cache-resident layouts. The adoption duel downstream still
+/// measures both plans and keeps the natural one unless the re-selected
+/// plan is measurably no worse.
 fn reselection(
     graph: &Graph,
     plan: &xform_core::plan::ExecutionPlan,
@@ -235,11 +387,13 @@ fn reselection(
 ) -> xform_tensor::Result<Reselection> {
     let fwd: Vec<_> = plan.steps.iter().map(|s| s.op).collect();
     let fallback = CpuSource::new(2);
-    reselect(
+    let device = DeviceSpec::v100();
+    let cost = CostModel::CacheAware(CacheGeometry::for_device(&device));
+    reselect_cost(
         graph,
         plan,
         &fwd,
-        &DeviceSpec::v100(),
+        &device,
         &fallback,
         SweepOptions {
             max_configs: Some(48),
@@ -248,6 +402,7 @@ fn reselection(
         opts,
         REPS,
         11,
+        &cost,
     )
 }
 
@@ -453,6 +608,10 @@ fn full() -> Result<(), Box<dyn std::error::Error>> {
     // --- fused vs epilogue, measured ---
     print_duels(&duels(REPS)?);
 
+    // --- cache-model DRAM cross-validation ---
+    let (rows, llc) = dram_rows(REPS)?;
+    print_dram_rows(&rows, llc);
+
     // --- arena steady-state heap discipline ---
     println!("\narena execution (fused encoder, zero-allocation steady state):");
     println!(
@@ -633,14 +792,53 @@ fn check() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
+    // the cache model's empirical gate: on the LLC-busting validation
+    // shapes, predicted DRAM bytes must bracket the profiler's measured
+    // byte account within tolerance on both memory-bound normalization
+    // classes (softmax and layernorm)
+    let (rows, llc) = dram_rows(2)?;
+    let gated: Vec<&DramRow> = rows
+        .iter()
+        .filter(|r| r.measured_bytes >= 4 * llc)
+        .collect();
+    for r in &gated {
+        if (r.ratio() - 1.0).abs() > DRAM_VALIDATION_TOL {
+            bad.push(format!(
+                "dram validation ({}, {}): predicted {} bytes vs measured {} \
+                 (ratio {:.2}, tolerance ±{DRAM_VALIDATION_TOL})",
+                r.shape,
+                r.step,
+                r.predicted_bytes,
+                r.measured_bytes,
+                r.ratio()
+            ));
+        }
+    }
+    for (class, hit) in [
+        ("softmax", gated.iter().any(|r| r.step == "SM")),
+        ("layernorm", gated.iter().any(|r| r.step.contains("LN"))),
+    ] {
+        if !hit {
+            bad.push(format!(
+                "dram validation: no LLC-busting {class}-class step was gated \
+                 ({} gated rows of {})",
+                gated.len(),
+                rows.len()
+            ));
+        }
+    }
+
     if bad.is_empty() {
         println!(
             "plan_profile --check: OK — {} steps profiled serial+parallel, \
              re-selected total {:.1} µs ≤ natural {:.1} µs, \
+             {} DRAM predictions within ±{:.0}%, \
              0 steady-state arena allocations",
             pf.plan.steps.len(),
             r.best_us(),
-            r.natural_us()
+            r.natural_us(),
+            gated.len(),
+            DRAM_VALIDATION_TOL * 100.0,
         );
         Ok(())
     } else {
@@ -755,9 +953,27 @@ fn json() -> Result<(), Box<dyn std::error::Error>> {
         })
         .collect();
 
+    let (vrows, llc) = dram_rows(REPS)?;
+    let dram: Vec<String> = vrows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"shape\":{},\"step\":{},\"predicted_bytes\":{},\"measured_bytes\":{},\
+                 \"time_us\":{:.3},\"gated\":{}}}",
+                jstr(&r.shape),
+                jstr(&r.step),
+                r.predicted_bytes,
+                r.measured_bytes,
+                r.time_us,
+                r.measured_bytes >= 4 * llc,
+            )
+        })
+        .collect();
+
     let body = format!(
         "{{\"dims\":{{\"b\":{},\"j\":{},\"k\":{},\"h\":{},\"p\":{},\"i\":{},\"u\":{}}},\
-         \"plans\":{{{}}},\"arena\":[{}],\"bandwidth\":[{}],\"duels\":[{}]}}\n",
+         \"plans\":{{{}}},\"arena\":[{}],\"bandwidth\":[{}],\"duels\":[{}],\
+         \"dram_validation\":{{\"llc_bytes\":{},\"rows\":[{}]}}}}\n",
         dims.b,
         dims.j,
         dims.k,
@@ -769,6 +985,8 @@ fn json() -> Result<(), Box<dyn std::error::Error>> {
         arena.join(","),
         bandwidth.join(","),
         duel_rows.join(","),
+        llc,
+        dram.join(","),
     );
     let path = "BENCH_plan_profile.json";
     std::fs::write(path, &body)?;

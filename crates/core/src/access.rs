@@ -91,6 +91,21 @@ impl AccessPath {
     pub fn iterations(&self) -> u64 {
         self.dims.iter().map(|&(n, _)| n).product()
     }
+
+    /// Distinct words the path touches: the product of its loop extents
+    /// with stride-0 (revisiting) dimensions collapsed, clamped by the
+    /// address span — exact for layout-derived sweeps, an upper bound
+    /// otherwise. The footprint weight of one reference in the
+    /// reuse-distance model ([`crate::cachemodel`]).
+    pub fn distinct_words(&self) -> u64 {
+        let prod: u64 = self
+            .dims
+            .iter()
+            .map(|&(n, s)| if s == 0 { 1 } else { n.max(1) })
+            .product();
+        let span = self.max_end().saturating_sub(self.base);
+        prod.min(span.max(u64::from(self.dims.is_empty())))
+    }
 }
 
 /// One derived operand access of a scheduled step.

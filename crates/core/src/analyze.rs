@@ -337,6 +337,53 @@ pub enum PlanLint {
         /// The innermost-loop stride in words (not 1).
         stride: u64,
     },
+    /// A GEMM-epilogue mega-kernel's per-tile working set exceeds a cache
+    /// level: the tile the driver keeps hot spills, so the fused kernel
+    /// re-fetches what fusion was supposed to keep on chip (emitted by
+    /// [`cachemodel::cache_lints`](crate::cachemodel::cache_lints)).
+    TileOverflow {
+        /// Step index.
+        step: usize,
+        /// The step's kernel name.
+        name: String,
+        /// The tile working set in bytes.
+        tile_bytes: u64,
+        /// The overflowed level's name.
+        level: String,
+        /// That level's capacity in bytes.
+        capacity_bytes: u64,
+    },
+    /// A step re-references data but the predicted capacity-miss ratio on
+    /// those re-references exceeds the threshold: the reuse exists
+    /// algorithmically yet the hierarchy cannot capture it (emitted by
+    /// [`cachemodel::cache_lints`](crate::cachemodel::cache_lints)).
+    CacheThrash {
+        /// Step index.
+        step: usize,
+        /// The step's kernel name.
+        name: String,
+        /// Percentage of re-referenced words predicted to miss every
+        /// level.
+        miss_pct: f64,
+        /// Bytes of re-referenced (reusable) data in the step.
+        reuse_bytes: u64,
+    },
+    /// A swept operand's inner stride maps every iteration onto the same
+    /// cache sets of some level (stride divisible by `sets × line`), so
+    /// the effective capacity collapses to one way per set (emitted by
+    /// [`cachemodel::cache_lints`](crate::cachemodel::cache_lints)).
+    LayoutConflict {
+        /// Step index.
+        step: usize,
+        /// The step's kernel name.
+        name: String,
+        /// The strided operand's container name.
+        container: String,
+        /// The inner-loop stride in words.
+        stride_words: u64,
+        /// The set-aliased level's name.
+        level: String,
+    },
 }
 
 impl PlanLint {
@@ -364,7 +411,10 @@ impl PlanLint {
             | PlanLint::MissedFusion { .. }
             | PlanLint::DominatedLayout { .. }
             | PlanLint::ArenaFragmentation { .. }
-            | PlanLint::StridedInnerLoop { .. } => Severity::Warning,
+            | PlanLint::StridedInnerLoop { .. }
+            | PlanLint::TileOverflow { .. }
+            | PlanLint::CacheThrash { .. }
+            | PlanLint::LayoutConflict { .. } => Severity::Warning,
         }
     }
 
@@ -388,7 +438,10 @@ impl PlanLint {
             | PlanLint::UnderDeclaredFootprint { step, .. }
             | PlanLint::DominatedLayout { step, .. }
             | PlanLint::UnprovenAccess { step, .. }
-            | PlanLint::StridedInnerLoop { step, .. } => *step,
+            | PlanLint::StridedInnerLoop { step, .. }
+            | PlanLint::TileOverflow { step, .. }
+            | PlanLint::CacheThrash { step, .. }
+            | PlanLint::LayoutConflict { step, .. } => *step,
             PlanLint::CancellingRelayouts { second_step, .. } => *second_step,
             PlanLint::MissedFusion { second_step, .. } => *second_step,
             PlanLint::WaveHazard { to, .. } => *to,
@@ -573,6 +626,35 @@ impl fmt::Display for PlanLint {
             } => write!(
                 f,
                 "step {step} (`{name}`): innermost loop over `{container}` strides by {stride} words — unchecked inner loop not licensed"
+            ),
+            PlanLint::TileOverflow {
+                step,
+                name,
+                tile_bytes,
+                level,
+                capacity_bytes,
+            } => write!(
+                f,
+                "step {step} (`{name}`): epilogue tile working set of {tile_bytes} B exceeds {level} ({capacity_bytes} B) — the fused tile spills"
+            ),
+            PlanLint::CacheThrash {
+                step,
+                name,
+                miss_pct,
+                reuse_bytes,
+            } => write!(
+                f,
+                "step {step} (`{name}`): {miss_pct:.0}% of {reuse_bytes} reusable bytes are predicted capacity misses — the hierarchy cannot hold the working set"
+            ),
+            PlanLint::LayoutConflict {
+                step,
+                name,
+                container,
+                stride_words,
+                level,
+            } => write!(
+                f,
+                "step {step} (`{name}`): sweep of `{container}` at stride {stride_words} words aliases {level} cache sets — effective capacity collapses to one way"
             ),
         }
     }

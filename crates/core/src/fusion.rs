@@ -15,7 +15,7 @@ use xform_dataflow::{DataRole, Graph, NodeId, OpClass, OpKind};
 use xform_tensor::{Result, TensorError};
 
 use crate::itspace::{fusion_compatible, op_iter_space};
-use crate::plan::epilogue_geometry;
+use crate::plan::{epilogue_geometry, EpilogueGeom};
 
 /// One planned fused kernel: a name and the member operator names.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -483,6 +483,19 @@ pub fn apply_epilogues(graph: &mut Graph) -> Result<Vec<NodeId>> {
 /// so fusing removes `2 × interim_words` per chain.
 pub fn epilogue_interim_words(chains: &[EpilogueChain]) -> u64 {
     chains.iter().map(|c| 2 * c.interim_words).sum()
+}
+
+/// Working-set words of one epilogue tile: `(tile, panel)` where `tile` is
+/// the hot set the tile driver keeps live across the reduction — the
+/// `tile_rows × n` accumulator strip plus its `tile_rows × k` A-panel
+/// slice — and `panel` additionally counts the streamed `k × n` B panel,
+/// which stays resident while every tile of a block row reduces over it.
+/// The cache analyzer compares `tile` against the innermost level and
+/// `panel` against the outermost to flag
+/// [`PlanLint::TileOverflow`](crate::analyze::PlanLint::TileOverflow).
+pub(crate) fn epilogue_tile_words(geom: &EpilogueGeom) -> (u64, u64) {
+    let tile = (geom.tile_rows * (geom.plan.n + geom.plan.k)) as u64;
+    (tile, tile + (geom.plan.k * geom.plan.n) as u64)
 }
 
 #[cfg(test)]

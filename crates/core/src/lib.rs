@@ -35,6 +35,13 @@
 //!   interpreter ([`sanitize::execute_plan_sanitized`]), and the
 //!   certificate-gated wave-parallel interpreter
 //!   ([`sanitize::execute_plan_parallel`]);
+//! * [`cachemodel`] — the static cache-hierarchy analyzer: reuse-distance
+//!   abstract interpretation of each step's access paths through a
+//!   parameterized L1/L2/LLC geometry ([`cachemodel::CacheGeometry`]),
+//!   predicting per-level hit words and DRAM-interface traffic and
+//!   yielding a cache-corrected static MUE ([`cachemodel::cache_audit`])
+//!   alongside `analyze::audit`'s flat one, plus the tile-overflow /
+//!   cache-thrash / layout-conflict lints;
 //! * [`profile`] — the runtime plan profiler ([`profile::PlanProfiler`]):
 //!   measured per-step time/bytes/bandwidth and measured MUE riding the
 //!   interpreters via [`plan::ExecOptions::profiler`], plus
@@ -68,6 +75,7 @@ pub mod access;
 pub mod algebraic;
 pub mod analyze;
 pub mod arena;
+pub mod cachemodel;
 pub mod cpusource;
 pub mod fusion;
 pub mod itspace;

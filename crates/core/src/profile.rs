@@ -37,7 +37,7 @@ use crate::plan::{
     execute_plan, random_externals, ExecOptions, ExecState, ExecutionPlan, PlanStep, SanitizeMode,
 };
 use crate::sanitize::{execute_plan_parallel, step_footprint, ParallelOptions, RaceCertificate};
-use crate::selection::{select_forward, Selection};
+use crate::selection::{select_forward_cost, CostModel, Selection};
 use crate::sweep::{sweep_all, PerfSource, SweepOptions};
 
 /// The sink type the interpreters record into: a [`PlanProfiler`] behind a
@@ -720,6 +720,43 @@ pub fn reselect(
     reps: usize,
     seed: u64,
 ) -> Result<Reselection> {
+    reselect_cost(
+        graph,
+        natural_plan,
+        fwd_ops,
+        device,
+        fallback,
+        sweep,
+        opts,
+        reps,
+        seed,
+        &CostModel::Flat,
+    )
+}
+
+/// [`reselect`] under an explicit [`CostModel`]: with
+/// [`CostModel::CacheAware`] the re-run SSSP prices each layout pair's
+/// predicted extra DRAM words into its edge weight, so the candidate plan
+/// prefers cache-resident layouts before it is ever profiled. The
+/// adoption duel is unchanged — the result is still never worse than the
+/// natural plan on this host.
+///
+/// # Errors
+///
+/// Same conditions as [`reselect`].
+#[allow(clippy::too_many_arguments)]
+pub fn reselect_cost(
+    graph: &Graph,
+    natural_plan: &ExecutionPlan,
+    fwd_ops: &[NodeId],
+    device: &DeviceSpec,
+    fallback: &dyn PerfSource,
+    sweep: SweepOptions,
+    opts: &ExecOptions,
+    reps: usize,
+    seed: u64,
+    cost_model: &CostModel,
+) -> Result<Reselection> {
     let base = random_externals(graph, natural_plan, seed)?;
     let natural = profile_plan(graph, natural_plan, &base, opts, reps)?;
     if natural.steps().count() == 0 {
@@ -729,7 +766,7 @@ pub fn reselect(
     }
     let source = ProfiledSource::from_profile(graph, natural_plan, &natural, fallback);
     let sweeps = sweep_all(&source, graph, sweep)?;
-    let selection = select_forward(graph, device, fwd_ops, &sweeps)?;
+    let selection = select_forward_cost(graph, device, fwd_ops, &sweeps, None, cost_model)?;
     let candidate = ExecutionPlan::lower(graph, &selection)?;
     let cbase = random_externals(graph, &candidate, seed)?;
     let reselected = profile_plan(graph, &candidate, &cbase, opts, reps)?;

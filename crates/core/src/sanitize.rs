@@ -533,12 +533,26 @@ pub fn sanitize_value_enables(value: Option<&str>) -> bool {
         || v.eq_ignore_ascii_case("no"))
 }
 
+/// Reads env var `name` under the unified enable semantics every
+/// `XFORM_*` switch shares (`XFORM_SANITIZE`, `XFORM_CACHE_GEOM`):
+/// unset, empty, `0`, `false`, `off`, and `no` all mean *disabled* and
+/// return `None`; any other value enables the feature and the raw value
+/// is returned for feature-specific parsing.
+pub fn env_setting(name: &str) -> Option<String> {
+    let raw = std::env::var(name).ok();
+    if sanitize_value_enables(raw.as_deref()) {
+        raw
+    } else {
+        None
+    }
+}
+
 /// `true` when `XFORM_SANITIZE` is set to anything but
 /// empty/`0`/`false`/`off`/`no` — [`crate::plan::execute_plan`] then
 /// routes through [`execute_plan_sanitized`] (see
 /// [`sanitize_value_enables`] for the exact parse).
 pub fn sanitize_enabled() -> bool {
-    sanitize_value_enables(std::env::var("XFORM_SANITIZE").ok().as_deref())
+    env_setting("XFORM_SANITIZE").is_some()
 }
 
 /// Clone of `t` with every element outside the union of `spans` (logical

@@ -21,7 +21,49 @@ use xform_dataflow::{Graph, NodeId};
 use xform_gpusim::DeviceSpec;
 use xform_tensor::Result;
 
+use crate::cachemodel::{op_dram_words, CacheGeometry};
 use crate::sweep::{ConfigTiming, SweepResult};
+
+/// How SSSP edges are priced.
+#[derive(Debug, Clone, Default)]
+pub enum CostModel {
+    /// Sweep time only — every transferred word is equally expensive (the
+    /// paper's flat accounting).
+    #[default]
+    Flat,
+    /// Sweep time plus a static cache penalty: a layout pair whose swept
+    /// operands stride against the line granularity pays the predicted
+    /// extra DRAM words (see [`op_dram_words`]) at streaming bandwidth.
+    /// Lets [`crate::profile::reselect`] prefer cache-resident layouts
+    /// before ever profiling them.
+    CacheAware(CacheGeometry),
+}
+
+impl CostModel {
+    /// Extra edge cost (µs) of running `op` with this layout pair, beyond
+    /// its sweep time. Zero for [`CostModel::Flat`].
+    fn edge_penalty_us(
+        &self,
+        graph: &Graph,
+        device: &DeviceSpec,
+        op: NodeId,
+        flowing_input: usize,
+        in_layout: &str,
+        out_layout: &str,
+    ) -> f64 {
+        match self {
+            CostModel::Flat => 0.0,
+            CostModel::CacheAware(geom) => {
+                let wb = device.word_bytes as u64;
+                match op_dram_words(graph, op, flowing_input, in_layout, out_layout, geom, wb) {
+                    Some((useful, dram)) if dram > useful => device
+                        .stream_time_us(((dram - useful) * wb) as f64, device.stream_efficiency),
+                    _ => 0.0,
+                }
+            }
+        }
+    }
+}
 
 /// The outcome of configuration selection.
 #[derive(Debug, Clone)]
@@ -111,6 +153,32 @@ pub fn select_forward_from(
     sweeps: &HashMap<NodeId, SweepResult>,
     entry_layout: Option<&str>,
 ) -> Result<Selection> {
+    select_forward_cost(
+        graph,
+        device,
+        fwd_ops,
+        sweeps,
+        entry_layout,
+        &CostModel::Flat,
+    )
+}
+
+/// [`select_forward_from`] under an explicit [`CostModel`]: with
+/// [`CostModel::CacheAware`], predicted extra DRAM words of each layout
+/// pair are priced into the SSSP edge weights, steering the path toward
+/// cache-resident layouts before any measurement exists.
+///
+/// # Errors
+///
+/// Same conditions as [`select_forward`].
+pub fn select_forward_cost(
+    graph: &Graph,
+    device: &DeviceSpec,
+    fwd_ops: &[NodeId],
+    sweeps: &HashMap<NodeId, SweepResult>,
+    entry_layout: Option<&str>,
+    cost_model: &CostModel,
+) -> Result<Selection> {
     let mut states: HashMap<NodeId, HashMap<String, Label>> = HashMap::new();
     let mut transitions: Vec<HashMap<String, Transition>> = Vec::with_capacity(fwd_ops.len());
     let mut per_op_best = 0.0f64;
@@ -183,7 +251,9 @@ pub fn select_forward_from(
                     None => continue,
                 }
             };
-            let total = in_cost + timing.time_us;
+            let total = in_cost
+                + timing.time_us
+                + cost_model.edge_penalty_us(graph, device, op, sweep.flowing_input, in_l, out_l);
             match table.get(out_l) {
                 Some(t) if t.cost <= total => {}
                 _ => {
@@ -416,6 +486,41 @@ mod tests {
         let small = transpose_cost_us(&d, 1 << 10);
         let big = transpose_cost_us(&d, 1 << 24);
         assert!(big > 10.0 * small);
+    }
+
+    #[test]
+    fn cache_aware_selection_is_well_formed_and_never_cheaper() {
+        let e = build::encoder(&EncoderDims::tiny());
+        let mut g = e.graph;
+        apply_plan(&mut g, &encoder_fusion_plan()).unwrap();
+        let device = DeviceSpec::v100();
+        let src = SimulatorSource {
+            device: device.clone(),
+        };
+        let sweeps = sweep_all(
+            &src,
+            &g,
+            SweepOptions {
+                max_configs: Some(500),
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap();
+        let fwd = forward_ops(&g, g.data_by_name("dy").unwrap());
+        let flat = select_forward(&g, &device, &fwd, &sweeps).unwrap();
+        let aware = select_forward_cost(
+            &g,
+            &device,
+            &fwd,
+            &sweeps,
+            None,
+            &CostModel::CacheAware(crate::cachemodel::CacheGeometry::for_device(&device)),
+        )
+        .unwrap();
+        assert_eq!(aware.per_op.len(), flat.per_op.len());
+        // penalties are non-negative, so the cache-aware optimum can never
+        // undercut the flat one
+        assert!(aware.total_us + 1e-9 >= flat.total_us);
     }
 
     fn selected_encoder() -> (Selection, f64) {

@@ -38,6 +38,18 @@ pub struct DeviceSpec {
     /// Fraction of tensor-core peak achievable by a well-tuned large GEMM
     /// (instruction mix, epilogue, and scheduling overheads).
     pub gemm_efficiency: f64,
+    /// Per-SM unified L1/shared-memory capacity in KiB. Per-SM (not
+    /// aggregate) because L1 is private: a tile working set either fits
+    /// one SM's L1 or it spills, regardless of how many SMs run.
+    pub l1_kib_per_sm: u32,
+    /// Device-wide L2 capacity in KiB — the last level backing DRAM, so
+    /// the capacity that decides whether a re-reference reaches the DRAM
+    /// interface.
+    pub l2_kib: u32,
+    /// DRAM-interface fetch granularity in bytes (the 32 B sector of a
+    /// 128 B line on Volta/Ampere): a strided access pays at least this
+    /// many bytes per touched sector.
+    pub cache_line_bytes: u32,
 }
 
 impl DeviceSpec {
@@ -54,6 +66,9 @@ impl DeviceSpec {
             word_bytes: 2,
             stream_efficiency: 0.88,
             gemm_efficiency: 0.70,
+            l1_kib_per_sm: 128,
+            l2_kib: 6144,
+            cache_line_bytes: 32,
         }
     }
 
@@ -74,6 +89,9 @@ impl DeviceSpec {
             word_bytes: 2,
             stream_efficiency: 0.88,
             gemm_efficiency: 0.65,
+            l1_kib_per_sm: 192,
+            l2_kib: 40960,
+            cache_line_bytes: 32,
         }
     }
 
@@ -160,6 +178,20 @@ mod tests {
         // the imbalance that makes data movement ever more dominant
         assert!(compute_ratio > bw_ratio);
         assert!(compute_ratio > 2.0 && bw_ratio > 1.5);
+    }
+
+    #[test]
+    fn cache_capacity_grows_faster_than_bandwidth() {
+        let v = DeviceSpec::v100();
+        let a = DeviceSpec::a100();
+        // A100's L2 grew ~6.7× against ~1.7× bandwidth: on-chip reuse is
+        // the lever vendors actually scale, which is why a cache-corrected
+        // MUE diverges ever further from the flat count.
+        let l2_ratio = a.l2_kib as f64 / v.l2_kib as f64;
+        let bw_ratio = a.dram_bandwidth_gbs / v.dram_bandwidth_gbs;
+        assert!(l2_ratio > bw_ratio);
+        assert_eq!(v.cache_line_bytes, 32);
+        assert!(v.l1_kib_per_sm >= 64);
     }
 
     #[test]

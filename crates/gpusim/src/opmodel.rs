@@ -216,6 +216,21 @@ pub fn op_cost(
     OpModel::new(graph, op)?.cost(device, cfg)
 }
 
+/// Returns `cost` with `hit_words` of its modelled traffic served from
+/// on-chip caches instead of the DRAM interface: `moved_words` drops by
+/// the hit volume but never below `floor_words` (the step's algorithmic
+/// demand — keeping the discounted cost a valid MUE denominator with
+/// `D ≥ Q`). `time_us` and `bandwidth_frac` are left untouched: a hit
+/// removes DRAM-interface traffic, not work from the kernel's critical
+/// path in this model.
+pub fn cache_discounted(cost: &KernelCost, hit_words: f64, floor_words: f64) -> KernelCost {
+    let moved = (cost.moved_words - hit_words.max(0.0)).max(floor_words.max(0.0));
+    KernelCost {
+        moved_words: moved,
+        ..*cost
+    }
+}
+
 fn contraction_cost(
     device: &DeviceSpec,
     info: &OpInfo,
