@@ -33,10 +33,7 @@ fn bench_encoder(c: &mut Criterion) {
         ("fused", Executor::Fused),
     ] {
         let layer = EncoderLayer::new(dims, executor, 0.0);
-        let opts = ExecOptions {
-            seed: 2,
-            ..ExecOptions::default()
-        };
+        let opts = ExecOptions::builder().seed(2).build();
         group.bench_function(BenchmarkId::new("forward", label), |b| {
             b.iter(|| black_box(layer.forward(black_box(&x), &weights, &opts).unwrap()))
         });

@@ -38,9 +38,11 @@
 
 use std::collections::HashMap;
 
+use xform_bench::cli::{Cli, Flag, CHECK, JSON};
 use xform_core::access::{certify_access, certify_access_arena};
 use xform_core::analyze::{
-    analyze, assign_arena, audit, lint_selection, render_report, ArenaGranularity, Severity,
+    analyze, assign_arena, audit, cross_call_high_water, lint_selection, render_report,
+    ArenaGranularity, Severity,
 };
 use xform_core::cachemodel::{cache_audit, CacheGeometry, CACHE_GEOM_ENV};
 use xform_core::plan::ExecutionPlan;
@@ -320,21 +322,39 @@ fn report(
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args: Vec<String> = std::env::args().collect();
-    let has = |flag: &str| args.iter().any(|a| a == flag);
-    let mode = if has("--access") {
+    let cli = Cli::parse(
+        "plan_audit",
+        "static data-movement audit of every canned execution plan (no kernel runs)",
+        &[
+            CHECK,
+            JSON,
+            Flag {
+                name: "--cache",
+                doc: "additionally audit through the reuse-distance cache model",
+            },
+            Flag {
+                name: "--certify",
+                doc: "race-certify every plan for wave-parallel execution",
+            },
+            Flag {
+                name: "--access",
+                doc: "access-path-certify every plan, logically and at both arena granularities",
+            },
+        ],
+    );
+    let mode = if cli.has("--access") {
         Mode::Access
-    } else if has("--certify") {
+    } else if cli.has("--certify") {
         Mode::Certify
-    } else if has("--json") {
+    } else if cli.has("--json") {
         Mode::Json
-    } else if has("--check") {
+    } else if cli.has("--check") {
         Mode::Check
     } else {
         Mode::Full
     };
     // the JSON mirror always carries the cache-corrected account
-    let cache_on = has("--cache") || mode == Mode::Json;
+    let cache_on = cli.has("--cache") || mode == Mode::Json;
     let dims = EncoderDims::bert_large();
     let device = DeviceSpec::v100();
 
@@ -343,6 +363,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let epilogue = interp::cached_plan(&dims, interp::PlanKind::EncoderEpilogue)?;
     let decoder = interp::cached_plan(&dims, interp::PlanKind::DecoderFused)?;
     let dec_epilogue = interp::cached_plan(&dims, interp::PlanKind::DecoderEpilogue)?;
+
+    // the streaming-decode plan family: prefill at the full sequence, one
+    // project step (token column → q/k/v columns), and one attend step
+    // over a cache sized to the full sequence
+    let prefill = interp::cached_plan(&dims, interp::PlanKind::DecoderPrefill)?;
+    let step_dims = EncoderDims {
+        j: 1,
+        k: dims.j,
+        ..dims
+    };
+    let project_dims = EncoderDims { j: 1, k: 1, ..dims };
+    let project = interp::cached_plan(&project_dims, interp::PlanKind::DecoderStepProject)?;
+    let step = interp::cached_plan(&step_dims, interp::PlanKind::DecoderStep)?;
 
     // the recipe: simulator sweeps over the fused graph, SSSP layout
     // selection, lowered to a schedule — audited statically like the rest
@@ -419,6 +452,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             mode,
             cache_on,
         ),
+        report(
+            "Decoder prefill (forward-only, KV projections saved)",
+            "decoder-prefill",
+            &prefill.graph,
+            &prefill.plan,
+            None,
+            &device,
+            mode,
+            cache_on,
+        ),
+        report(
+            "Decode step: project (token column -> q/k/v columns)",
+            "decoder-step-project",
+            &project.graph,
+            &project.plan,
+            None,
+            &device,
+            mode,
+            cache_on,
+        ),
+        report(
+            "Decode step: attend (one query column over the KV cache)",
+            "decoder-step",
+            &step.graph,
+            &step.plan,
+            None,
+            &device,
+            mode,
+            cache_on,
+        ),
     ];
 
     if mode == Mode::Json {
@@ -434,6 +497,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if matches!(mode, Mode::Full | Mode::Check | Mode::Json) {
         failures += check_epilogue_invariants(&results);
         failures += check_baseline(&results);
+        failures += decode_section(&step.graph, &step.plan, &results, &dims, &device);
         if cache_on {
             failures += check_cache_invariants(&results, mode == Mode::Check);
         }
@@ -455,6 +519,85 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Mode::Full => {}
     }
     Ok(())
+}
+
+/// The streaming-decode data-movement signature and the cross-call
+/// residency audit:
+///
+/// * the attend step's static account must be GEMV-like — one query
+///   column against the whole resident cache means essentially every
+///   moved word (`D`) is weight/cache streaming with a tiny useful
+///   minimum (`Q`), the signature that makes decode bandwidth-bound;
+///   `--check` gates `D > Q`;
+/// * the per-call peak-resident account is extended to the cross-call
+///   high-water mark: cache containers are live-in/live-out, so the real
+///   steady-state footprint scales their columns to the configured
+///   horizon (`XFORM_DECODE_MAX_SEQ`, defaulting to the audited sequence
+///   length). The high-water mark must exceed the per-call peak whenever
+///   the horizon exceeds the compiled capacity.
+///
+/// Returns the number of violated invariants.
+fn decode_section(
+    graph: &Graph,
+    plan: &ExecutionPlan,
+    results: &[Audited],
+    dims: &EncoderDims,
+    device: &DeviceSpec,
+) -> usize {
+    let mut failures = 0usize;
+    let find = |key: &str| results.iter().find(|r| r.key == key);
+    let (Some(step), Some(prefill)) = (find("decoder-step"), find("decoder-prefill")) else {
+        return 0;
+    };
+    let (Some(m), Some(pm)) = (&step.mue, &prefill.mue) else {
+        return 0;
+    };
+    // a decode step produces `b` tokens; the prefill produces `b·j`
+    let step_d_per_token = m.d_words / dims.b as f64;
+    let prefill_d_per_token = pm.d_words / (dims.b * dims.j) as f64;
+    let ratio = step_d_per_token / prefill_d_per_token.max(1.0);
+    println!(
+        "\ndecode step (cache capacity {}): Q {:.0} words, D {:.0} words, static MUE {:.4}",
+        dims.j, m.q_words, m.d_words, m.value
+    );
+    println!(
+        "decode D/token {:.0} words vs prefill D/token {:.0} words — {ratio:.0}x \
+         (GEMV-like signature: every weight and cache word re-streams per generated \
+         token, where the prefill amortizes them over {} positions)",
+        step_d_per_token, prefill_d_per_token, dims.j
+    );
+    if step_d_per_token <= 4.0 * prefill_d_per_token {
+        eprintln!(
+            "FAIL: decoder-step: per-token D must dwarf the prefill's \
+             (GEMV-like decode signature)"
+        );
+        failures += 1;
+    }
+
+    let max_seq = xform_core::env::decode_max_seq().unwrap_or(dims.j);
+    let analysis = analyze(graph, plan);
+    let hw = cross_call_high_water(graph, &analysis, max_seq);
+    let mib = |w: u64| w as f64 * device.word_bytes as f64 / (1024.0 * 1024.0);
+    println!(
+        "decode residency: per-call peak {:.1} MiB ({:.1} MiB KV cache at capacity {}), \
+         cross-call high-water {:.1} MiB at max_seq {} ({:.1} MiB cache)",
+        mib(hw.peak_words),
+        mib(hw.cache_words),
+        dims.j,
+        mib(hw.high_water_words),
+        hw.max_seq,
+        mib(hw.cache_words_at_max_seq),
+    );
+    let _ = plan;
+    if hw.cache_words == 0 {
+        eprintln!("FAIL: decoder-step: no cache containers in the liveness account");
+        failures += 1;
+    }
+    if hw.max_seq > dims.j && hw.high_water_words <= hw.peak_words {
+        eprintln!("FAIL: decoder-step: high-water mark must grow with the residency horizon");
+        failures += 1;
+    }
+    failures
 }
 
 /// The tentpole's static acceptance gate: each GEMM-epilogue plan must

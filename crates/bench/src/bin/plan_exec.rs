@@ -121,10 +121,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // the two canned schedules (dropout off so all three paths agree)
     let reference = EncoderLayer::new(dims, Executor::Reference, 0.0);
     let fused = EncoderLayer::new(dims, Executor::Fused, 0.0);
-    let fwd_opts = ExecOptions {
-        seed: 7,
-        ..ExecOptions::default()
-    };
+    let fwd_opts = ExecOptions::builder().seed(7).build();
     let (ref_ms, y_ref) = time_ms(REPS, || {
         reference
             .forward(&x, &w, &fwd_opts)
@@ -161,14 +158,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         plan.relayout_count()
     );
 
-    let sel_opts = ExecOptions {
-        plan: Some(PlanOverride {
+    let sel_opts = fwd_opts
+        .to_builder()
+        .plan(Some(PlanOverride {
             graph: &graph,
             plan: &plan,
             cert: None,
-        }),
-        ..fwd_opts
-    };
+        }))
+        .build();
     let (sel_ms, y_sel) = time_ms(REPS, || {
         fused
             .forward(&x, &w, &sel_opts)
@@ -213,10 +210,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         pf.cert.waves.len()
     );
     for threads in [1usize, 2, 4, 8] {
-        let par_opts = ExecOptions {
-            threads,
-            ..fwd_opts
-        };
+        let par_opts = fwd_opts.to_builder().threads(threads).build();
         let (par_ms, y_par) = time_ms(REPS, || {
             fused
                 .forward(&x, &w, &par_opts)

@@ -48,6 +48,7 @@
 use rand::distributions::Uniform;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use xform_bench::cli::{Cli, CHECK, JSON};
 use xform_core::analyze::audit;
 use xform_core::cachemodel::{trace_plan, CacheGeometry, CACHE_GEOM_ENV};
 use xform_core::cpusource::CpuSource;
@@ -61,8 +62,10 @@ use xform_core::sweep::SweepOptions;
 use xform_dataflow::{EncoderDims, Graph, OpClass};
 use xform_gpusim::DeviceSpec;
 use xform_tensor::{Shape, Tensor};
+use xform_transformer::decode::{DecodeOptions, DecodeSession, Sampling};
 use xform_transformer::encoder::{EncoderLayer, Executor};
 use xform_transformer::interp;
+use xform_transformer::model::{BlockKind, ModelConfig, TransformerModel};
 use xform_transformer::params::EncoderWeights;
 
 #[global_allocator]
@@ -97,11 +100,7 @@ fn arena_rows(
     let mut y = Tensor::from_vec(shape, vec![0.0; dims.i * dims.b * dims.j])?;
     let mut rows = Vec::new();
     for (tag, threads) in [("serial", 1usize), ("waves", 4)] {
-        let opts = ExecOptions {
-            threads,
-            seed: 7,
-            ..ExecOptions::default()
-        };
+        let opts = ExecOptions::builder().threads(threads).seed(7).build();
         let arena = interp::cached_arena(&dims, kind, interp::granularity_for(threads))?
             .ok_or("arena did not compile for the encoder plan")?;
         // warmup: plan + arena caches, worker pool, env-var resolution
@@ -515,6 +514,144 @@ fn print_duels(rows: &[Duel]) {
     }
 }
 
+/// Measured throughput and heap discipline of the streaming KV-cache
+/// decode path.
+struct DecodeBench {
+    /// Prompt tokens across the batch.
+    prompt_tokens: usize,
+    /// Measured decode steps (each yields `b` tokens).
+    steps: usize,
+    batch: usize,
+    /// Prefill wall-clock, min over reps — includes the bucket's arena
+    /// compilation, which a fresh session pays once.
+    prefill_us: f64,
+    /// Wall-clock of `steps` steady-state sample+advance pairs.
+    decode_us: f64,
+    /// Heap events per decoded step across the measured window — the
+    /// zero-allocation gate.
+    allocs_per_step: f64,
+    /// Resident arena bytes (cache slabs + projection arena).
+    resident_bytes: usize,
+    /// Measured MUE of the attend-step plan at the session's bucket
+    /// capacity.
+    step_mue: f64,
+}
+
+impl DecodeBench {
+    fn prefill_tokens_per_s(&self) -> f64 {
+        self.prompt_tokens as f64 / (self.prefill_us / 1e6)
+    }
+    fn decode_tokens_per_s(&self) -> f64 {
+        (self.steps * self.batch) as f64 / (self.decode_us / 1e6)
+    }
+}
+
+/// Profiles streaming decode on a small decoder stack at the profile
+/// dims: prefill wall-clock (fresh session per rep), steady-state decode
+/// wall-clock and heap events over a window that stays inside one cache
+/// bucket, and the measured MUE of the `DecoderStep` plan.
+fn decode_bench(reps: usize) -> Result<DecodeBench, Box<dyn std::error::Error>> {
+    const PROMPT: usize = 4;
+    const STEPS: usize = 16;
+    let d = dims();
+    let cfg = ModelConfig {
+        dims: d,
+        layers: 2,
+        vocab: 32,
+        block: BlockKind::Decoder,
+        dropout_p: 0.0,
+    };
+    let mut rng = StdRng::seed_from_u64(17);
+    let model = TransformerModel::init(cfg, &mut rng)?;
+    let prompt: Vec<Vec<usize>> = (0..d.b)
+        .map(|b| (0..PROMPT).map(|j| (b * 7 + j * 3) % cfg.vocab).collect())
+        .collect();
+
+    // prefill: a session prefills exactly once, so time a fresh one per rep
+    let mut prefill_us = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let mut sess = DecodeSession::new(&model, DecodeOptions::default())?;
+        let t = std::time::Instant::now();
+        sess.prefill(&prompt)?;
+        prefill_us = prefill_us.min(t.elapsed().as_secs_f64() * 1e6);
+    }
+
+    // steady-state decode: warm two steps, then measure inside the bucket
+    let mut sess = DecodeSession::new(&model, DecodeOptions::default())?;
+    sess.prefill(&prompt)?;
+    let sampling = Sampling::Temperature {
+        temperature: 0.9,
+        top_k: Some(8),
+    };
+    let mut tokens = vec![0usize; d.b];
+    for _ in 0..2 {
+        sess.sample(sampling, &mut tokens)?;
+        sess.advance(&tokens)?;
+    }
+    assert!(
+        sess.len() + STEPS <= sess.capacity() && sess.len() + STEPS <= d.j,
+        "measured decode window must stay inside one bucket"
+    );
+    let before = ALLOC.events();
+    let t = std::time::Instant::now();
+    for _ in 0..STEPS {
+        sess.sample(sampling, &mut tokens)?;
+        sess.advance(&tokens)?;
+    }
+    let decode_us = t.elapsed().as_secs_f64() * 1e6;
+    let allocs_per_step = (ALLOC.events() - before) as f64 / STEPS as f64;
+
+    // measured MUE of the attend-step plan at the session's bucket shape
+    let step_dims = EncoderDims {
+        b: d.b,
+        j: 1,
+        k: sess.capacity(),
+        h: d.h,
+        p: d.p,
+        i: d.i,
+        u: d.u,
+    };
+    let pf = interp::cached_plan(&step_dims, interp::PlanKind::DecoderStep)?;
+    let base = random_externals(&pf.graph, &pf.plan, 11)?;
+    let prof = profile_plan(&pf.graph, &pf.plan, &base, &ExecOptions::default(), reps)?;
+
+    Ok(DecodeBench {
+        prompt_tokens: PROMPT * d.b,
+        steps: STEPS,
+        batch: d.b,
+        prefill_us,
+        decode_us,
+        allocs_per_step,
+        resident_bytes: sess.resident_bytes(),
+        step_mue: prof.plan_mue().value,
+    })
+}
+
+fn print_decode(b: &DecodeBench) {
+    println!(
+        "\nstreaming decode (prompt {} tokens, {} steady-state steps × batch {}):",
+        b.prompt_tokens, b.steps, b.batch
+    );
+    println!(
+        "  prefill  {:>9.1} µs ({:>9.0} tokens/s, incl. bucket compile)",
+        b.prefill_us,
+        b.prefill_tokens_per_s()
+    );
+    println!(
+        "  decode   {:>9.1} µs ({:>9.0} tokens/s, {:.1} µs/step)",
+        b.decode_us,
+        b.decode_tokens_per_s(),
+        b.decode_us / b.steps as f64
+    );
+    println!(
+        "  resident {:>9.1} KiB arena slabs, {:.2} allocs/step, \
+         attend-step measured MUE {:.1}",
+        b.resident_bytes as f64 / 1024.0,
+        b.allocs_per_step,
+        b.step_mue
+    );
+}
+
 fn full() -> Result<(), Box<dyn std::error::Error>> {
     let dims = dims();
     let pf = interp::cached_plan(&dims, interp::PlanKind::EncoderFused)?;
@@ -607,6 +744,9 @@ fn full() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- fused vs epilogue, measured ---
     print_duels(&duels(REPS)?);
+
+    // --- streaming decode throughput ---
+    print_decode(&decode_bench(REPS)?);
 
     // --- cache-model DRAM cross-validation ---
     let (rows, llc) = dram_rows(REPS)?;
@@ -792,6 +932,28 @@ fn check() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
+    // the streaming decode gates: zero heap events per steady-state step,
+    // nonzero throughput, and a sane measured MUE for the attend-step plan
+    let db = decode_bench(2)?;
+    if db.allocs_per_step != 0.0 {
+        bad.push(format!(
+            "decode: {:.2} heap event(s) per steady-state step (must be 0)",
+            db.allocs_per_step
+        ));
+    }
+    if !(db.decode_us > 0.0 && db.decode_tokens_per_s() > 0.0) {
+        bad.push(format!(
+            "decode: non-positive throughput ({:.1} µs over {} steps)",
+            db.decode_us, db.steps
+        ));
+    }
+    if !(db.step_mue > 0.0 && db.step_mue <= 100.0) {
+        bad.push(format!(
+            "decode: attend-step measured MUE {} outside (0, 100]",
+            db.step_mue
+        ));
+    }
+
     // the cache model's empirical gate: on the LLC-busting validation
     // shapes, predicted DRAM bytes must bracket the profiler's measured
     // byte account within tolerance on both memory-bound normalization
@@ -833,12 +995,14 @@ fn check() -> Result<(), Box<dyn std::error::Error>> {
             "plan_profile --check: OK — {} steps profiled serial+parallel, \
              re-selected total {:.1} µs ≤ natural {:.1} µs, \
              {} DRAM predictions within ±{:.0}%, \
-             0 steady-state arena allocations",
+             0 steady-state arena allocations, \
+             decode {:.0} tokens/s at 0 allocs/step",
             pf.plan.steps.len(),
             r.best_us(),
             r.natural_us(),
             gated.len(),
             DRAM_VALIDATION_TOL * 100.0,
+            db.decode_tokens_per_s(),
         );
         Ok(())
     } else {
@@ -862,14 +1026,32 @@ fn jstr(s: &str) -> String {
 /// duels — so the perf trajectory is tracked across PRs.
 fn json() -> Result<(), Box<dyn std::error::Error>> {
     let dims = dims();
+    // decode attend-step shape: one query column against a cache bucket
+    // of 32 positions, matching `decode_bench`'s session capacity
+    let step_dims = EncoderDims {
+        b: dims.b,
+        j: 1,
+        k: 32,
+        h: dims.h,
+        p: dims.p,
+        i: dims.i,
+        u: dims.u,
+    };
     let mut plans = Vec::new();
-    for (key, kind) in [
-        ("encoder-fused", interp::PlanKind::EncoderFused),
-        ("encoder-epilogue", interp::PlanKind::EncoderEpilogue),
-        ("decoder-fused", interp::PlanKind::DecoderFused),
-        ("decoder-epilogue", interp::PlanKind::DecoderEpilogue),
+    for (key, kind, d) in [
+        ("encoder-fused", interp::PlanKind::EncoderFused, &dims),
+        ("encoder-epilogue", interp::PlanKind::EncoderEpilogue, &dims),
+        ("decoder-fused", interp::PlanKind::DecoderFused, &dims),
+        ("decoder-epilogue", interp::PlanKind::DecoderEpilogue, &dims),
+        ("decoder-prefill", interp::PlanKind::DecoderPrefill, &dims),
+        (
+            "decoder-step-project",
+            interp::PlanKind::DecoderStepProject,
+            &EncoderDims { j: 1, k: 1, ..dims },
+        ),
+        ("decoder-step", interp::PlanKind::DecoderStep, &step_dims),
     ] {
-        let pf = interp::cached_plan(&dims, kind)?;
+        let pf = interp::cached_plan(d, kind)?;
         let base = random_externals(&pf.graph, &pf.plan, 11)?;
         let prof = profile_plan(&pf.graph, &pf.plan, &base, &ExecOptions::default(), REPS)?;
         let classes: Vec<String> = prof
@@ -953,6 +1135,23 @@ fn json() -> Result<(), Box<dyn std::error::Error>> {
         })
         .collect();
 
+    let db = decode_bench(REPS)?;
+    let decode = format!(
+        "{{\"prompt_tokens\":{},\"steps\":{},\"batch\":{},\"prefill_us\":{:.3},\
+         \"decode_us\":{:.3},\"prefill_tokens_per_s\":{:.1},\"decode_tokens_per_s\":{:.1},\
+         \"allocs_per_step\":{:.2},\"resident_bytes\":{},\"step_measured_mue\":{:.4}}}",
+        db.prompt_tokens,
+        db.steps,
+        db.batch,
+        db.prefill_us,
+        db.decode_us,
+        db.prefill_tokens_per_s(),
+        db.decode_tokens_per_s(),
+        db.allocs_per_step,
+        db.resident_bytes,
+        db.step_mue,
+    );
+
     let (vrows, llc) = dram_rows(REPS)?;
     let dram: Vec<String> = vrows
         .iter()
@@ -973,6 +1172,7 @@ fn json() -> Result<(), Box<dyn std::error::Error>> {
     let body = format!(
         "{{\"dims\":{{\"b\":{},\"j\":{},\"k\":{},\"h\":{},\"p\":{},\"i\":{},\"u\":{}}},\
          \"plans\":{{{}}},\"arena\":[{}],\"bandwidth\":[{}],\"duels\":[{}],\
+         \"decode\":{},\
          \"dram_validation\":{{\"llc_bytes\":{},\"rows\":[{}]}}}}\n",
         dims.b,
         dims.j,
@@ -985,6 +1185,7 @@ fn json() -> Result<(), Box<dyn std::error::Error>> {
         arena.join(","),
         bandwidth.join(","),
         duel_rows.join(","),
+        decode,
         llc,
         dram.join(","),
     );
@@ -995,13 +1196,17 @@ fn json() -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mode = std::env::args().nth(1);
-    match mode.as_deref() {
-        Some("--check") => check(),
-        Some("--json") => json(),
-        None => full(),
-        Some(other) => {
-            Err(format!("unknown flag {other}; expected --check, --json, or nothing").into())
-        }
+    let cli = Cli::parse(
+        "plan_profile",
+        "runtime plan profiling: measured MUE, epilogue duels, decode throughput, \
+         profile-guided re-selection",
+        &[CHECK, JSON],
+    );
+    if cli.has(CHECK.name) {
+        check()
+    } else if cli.has(JSON.name) {
+        json()
+    } else {
+        full()
     }
 }

@@ -1,0 +1,146 @@
+//! Shared flag parsing for the audit/profile binaries.
+//!
+//! `plan_audit` and `plan_profile` grew their flag handling separately and
+//! drifted; this module is the single surface both parse through, so
+//! `--check`, `--json`, and `--help` behave identically everywhere:
+//!
+//! * `--help` (or `-h`) prints the binary's description, every registered
+//!   flag with its doc line, and the `XFORM_*` environment registry from
+//!   [`xform_core::env::list`] — then exits `0`;
+//! * an unrecognized argument prints the valid flag set to stderr and
+//!   exits `2` (distinct from exit `1`, which the binaries reserve for a
+//!   failed `--check` gate);
+//! * flags are order-insensitive and composable; repeating one is
+//!   harmless.
+
+/// One boolean flag a binary accepts.
+#[derive(Debug, Clone, Copy)]
+pub struct Flag {
+    /// The literal argument, including the leading dashes (`"--check"`).
+    pub name: &'static str,
+    /// One help line.
+    pub doc: &'static str,
+}
+
+/// The `--check` gate flag, shared verbatim by both binaries.
+pub const CHECK: Flag = Flag {
+    name: "--check",
+    doc: "run the CI gate: compact pass, non-zero exit on any violation",
+};
+
+/// The `--json` mirror flag, shared verbatim by both binaries.
+pub const JSON: Flag = Flag {
+    name: "--json",
+    doc: "write the machine-readable BENCH_*.json mirror",
+};
+
+/// Parsed command line: which registered flags were present.
+#[derive(Debug)]
+pub struct Cli {
+    present: Vec<&'static str>,
+}
+
+impl Cli {
+    /// Parses `std::env::args` against the registered flags.
+    ///
+    /// Prints help and exits `0` on `--help`/`-h`; prints the valid flag
+    /// set and exits `2` on anything unrecognized.
+    pub fn parse(program: &str, about: &str, flags: &[Flag]) -> Cli {
+        Self::parse_from(program, about, flags, std::env::args().skip(1))
+    }
+
+    /// [`Cli::parse`] over an explicit argument list (testable core).
+    ///
+    /// Exits the process exactly like [`Cli::parse`] on `--help` or an
+    /// unknown argument.
+    pub fn parse_from(
+        program: &str,
+        about: &str,
+        flags: &[Flag],
+        args: impl IntoIterator<Item = String>,
+    ) -> Cli {
+        let mut present = Vec::new();
+        for arg in args {
+            if arg == "--help" || arg == "-h" {
+                print!("{}", render_help(program, about, flags));
+                std::process::exit(0);
+            }
+            match flags.iter().find(|f| f.name == arg) {
+                Some(f) => {
+                    if !present.contains(&f.name) {
+                        present.push(f.name);
+                    }
+                }
+                None => {
+                    eprintln!(
+                        "{program}: unknown argument `{arg}`; valid flags: {}, --help",
+                        flags.iter().map(|f| f.name).collect::<Vec<_>>().join(", ")
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        Cli { present }
+    }
+
+    /// Whether `name` (e.g. `"--check"`) was passed.
+    pub fn has(&self, name: &str) -> bool {
+        self.present.contains(&name)
+    }
+}
+
+/// Renders the `--help` text: usage, every flag, and the `XFORM_*`
+/// environment registry — so each binary's help always lists every knob
+/// that can change its behavior.
+pub fn render_help(program: &str, about: &str, flags: &[Flag]) -> String {
+    let mut out = format!("{program} — {about}\n\nusage: {program} [flags]\n\nflags:\n");
+    let width = flags
+        .iter()
+        .map(|f| f.name.len())
+        .chain(["--help".len()])
+        .max()
+        .unwrap_or(0);
+    for f in flags {
+        out.push_str(&format!("  {:width$}  {}\n", f.name, f.doc));
+    }
+    out.push_str(&format!(
+        "  {:width$}  print this help and exit\n",
+        "--help"
+    ));
+    out.push('\n');
+    out.push_str(&xform_core::env::list());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registered_flags_are_recognized() {
+        let cli = Cli::parse_from(
+            "t",
+            "test",
+            &[CHECK, JSON],
+            ["--json".to_string(), "--check".to_string()],
+        );
+        assert!(cli.has("--check"));
+        assert!(cli.has("--json"));
+        assert!(!cli.has("--cache"));
+    }
+
+    #[test]
+    fn help_lists_every_flag_and_env_knob() {
+        let help = render_help("plan_audit", "static audit", &[CHECK, JSON]);
+        assert!(help.contains("--check"));
+        assert!(help.contains("--json"));
+        assert!(help.contains("--help"));
+        for setting in xform_core::env::REGISTRY {
+            assert!(
+                help.contains(setting.name),
+                "help must list {}",
+                setting.name
+            );
+        }
+    }
+}

@@ -8,6 +8,8 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod cli;
+
 /// Simple fixed-width table printer for terminal reports.
 #[derive(Debug, Default)]
 pub struct TablePrinter {

@@ -825,6 +825,137 @@ pub fn certify_access_arena(
     certify_inner(graph, plan, Some(assignment))
 }
 
+/// One cache container's geometry as proven by [`certify_decode`].
+#[derive(Debug, Clone)]
+pub struct CacheGeometry {
+    /// Container name (e.g. `k_cache`).
+    pub name: String,
+    /// Position capacity: the extent of the outermost (position-major)
+    /// axis.
+    pub capacity: usize,
+    /// Words per position column (product of all non-outermost extents).
+    pub col_words: usize,
+}
+
+/// Proof that a decode plan treats its [`xform_dataflow::DataRole::Cache`] containers as
+/// frozen state: no scheduled step (or relayout) writes a single word of
+/// any cache container, so an execution can only *read* the resident
+/// prefix, never mutate it. Column appends happen outside the plan through
+/// the bounds-checked [`column_span`] license, *before* the plan runs —
+/// which is exactly how the query's own key becomes visible to its own
+/// attention step.
+#[derive(Debug, Clone)]
+pub struct DecodeCertificate {
+    /// Fingerprint of the certified plan.
+    pub plan_hash: u64,
+    /// Geometry per cache container, in graph declaration order.
+    pub caches: Vec<CacheGeometry>,
+}
+
+impl DecodeCertificate {
+    /// Geometry of the named cache container, if the plan reads one.
+    pub fn cache(&self, name: &str) -> Option<&CacheGeometry> {
+        self.caches.iter().find(|c| c.name == name)
+    }
+}
+
+/// Certifies that `plan` never writes a [`xform_dataflow::DataRole::Cache`] container:
+/// every step's derived access paths touching a cache container must be
+/// reads. The same derivation the unchecked-twin license rests on backs
+/// this proof, so an inexactly-derived step touching a cache convicts the
+/// plan rather than passing silently.
+///
+/// # Errors
+///
+/// Returns a [`PlanLint::UnprovenAccess`] per violation: a write access
+/// (or relayout) of a cache container, or a step whose paths could not be
+/// derived exactly while touching a cache container.
+pub fn certify_decode(
+    graph: &Graph,
+    plan: &ExecutionPlan,
+) -> Result<DecodeCertificate, Vec<PlanLint>> {
+    use xform_dataflow::DataRole;
+    let cache_ids: HashMap<NodeId, &str> = graph
+        .data_nodes()
+        .iter()
+        .filter_map(|&id| {
+            let d = graph.data(id)?;
+            (d.role == DataRole::Cache).then_some((id, d.name.as_str()))
+        })
+        .collect();
+    let mut errors: Vec<PlanLint> = Vec::new();
+    for (si, step) in plan.steps.iter().enumerate() {
+        let sa = step_accesses(graph, step);
+        for a in &sa.accesses {
+            let Some(&cname) = cache_ids.get(&a.data) else {
+                continue;
+            };
+            if a.kind != AccessKind::Read {
+                errors.push(PlanLint::UnprovenAccess {
+                    step: si,
+                    name: step.name.clone(),
+                    container: cname.to_string(),
+                    reason: format!("{:?} access to a frozen cache container", a.kind),
+                });
+            }
+            if !sa.derived {
+                errors.push(PlanLint::UnprovenAccess {
+                    step: si,
+                    name: step.name.clone(),
+                    container: cname.to_string(),
+                    reason: "underived access paths in a step touching a cache container"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    if !errors.is_empty() {
+        errors.sort_by_key(PlanLint::step);
+        return Err(errors);
+    }
+    let caches = graph
+        .data_nodes()
+        .iter()
+        .filter_map(|&id| {
+            let d = graph.data(id)?;
+            if d.role != xform_dataflow::DataRole::Cache {
+                return None;
+            }
+            let sizes = d.shape.sizes();
+            let capacity = sizes.first().copied().unwrap_or(1);
+            let col_words: usize = sizes.iter().skip(1).product();
+            Some(CacheGeometry {
+                name: d.name.clone(),
+                capacity,
+                col_words,
+            })
+        })
+        .collect();
+    Ok(DecodeCertificate {
+        plan_hash: plan_fingerprint(plan),
+        caches,
+    })
+}
+
+/// Bounds-checked license for a session-side column append: the word range
+/// of positions `[pos, pos + width)` in the named cache container, under
+/// its position-major layout. `None` when the plan reads no cache of that
+/// name or the range escapes the container's capacity — the caller must
+/// treat `None` as "do not write".
+pub fn column_span(
+    cert: &DecodeCertificate,
+    name: &str,
+    pos: usize,
+    width: usize,
+) -> Option<std::ops::Range<usize>> {
+    let c = cert.cache(name)?;
+    let end = pos.checked_add(width)?;
+    if end > c.capacity {
+        return None;
+    }
+    Some(pos * c.col_words..end * c.col_words)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

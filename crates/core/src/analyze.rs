@@ -815,7 +815,7 @@ impl PlanAnalysis {
         let mut out = vec![0u64; waves.len()];
         for b in &self.liveness {
             let ws = b.def.map_or(0, |d| wave_of[d]);
-            let pinned = matches!(b.role, DataRole::Output | DataRole::Saved);
+            let pinned = matches!(b.role, DataRole::Output | DataRole::Saved | DataRole::Cache);
             let we = if pinned {
                 last
             } else {
@@ -980,7 +980,7 @@ pub fn assign_arena(analysis: &PlanAnalysis, granularity: ArenaGranularity) -> A
             ArenaGranularity::Serial => (b.start, b.end, b.words),
             ArenaGranularity::Waves => {
                 let ws = b.def.map_or(0, |d| wave_of[d]);
-                let pinned = matches!(b.role, DataRole::Output | DataRole::Saved);
+                let pinned = matches!(b.role, DataRole::Output | DataRole::Saved | DataRole::Cache);
                 let we = if pinned {
                     last_wave
                 } else {
@@ -1103,6 +1103,59 @@ pub fn assign_arena(analysis: &PlanAnalysis, granularity: ArenaGranularity) -> A
         slab_words,
         target_words,
         lints,
+    }
+}
+
+/// Cross-call residency audit for a cache-reading plan.
+///
+/// [`DataRole::Cache`] containers are live-in *and* live-out of every
+/// execution, so the memory a decode session actually holds is not the
+/// per-call peak but that peak with every cache container scaled from its
+/// compiled bucket capacity (the extent of its outermost, position-major
+/// axis) up to `max_seq` positions. This is the high-water mark the slab
+/// account pays once the session has decoded `max_seq` tokens.
+#[derive(Debug, Clone)]
+pub struct CrossCallHighWater {
+    /// Per-call peak resident words at the compiled bucket capacity.
+    pub peak_words: u64,
+    /// Cache words at the compiled bucket capacity.
+    pub cache_words: u64,
+    /// Cache words scaled to `max_seq` positions.
+    pub cache_words_at_max_seq: u64,
+    /// `peak_words - cache_words + cache_words_at_max_seq`.
+    pub high_water_words: u64,
+    /// The `max_seq` the scaling was computed for.
+    pub max_seq: usize,
+}
+
+/// Computes the [`CrossCallHighWater`] for `plan`'s analysis: every
+/// [`DataRole::Cache`] container's words are rescaled from the extent of
+/// its outermost axis (the position-major cache axis) to `max_seq`.
+pub fn cross_call_high_water(
+    graph: &Graph,
+    analysis: &PlanAnalysis,
+    max_seq: usize,
+) -> CrossCallHighWater {
+    let mut cache_words = 0u64;
+    let mut cache_words_at_max_seq = 0u64;
+    for b in &analysis.liveness {
+        if b.role != DataRole::Cache {
+            continue;
+        }
+        cache_words += b.words;
+        if let Some(d) = graph.data(b.data) {
+            let cap = d.shape.sizes().first().copied().unwrap_or(1).max(1) as u64;
+            let col = b.words / cap;
+            cache_words_at_max_seq += col * max_seq as u64;
+        }
+    }
+    let peak_words = analysis.peak_resident_words;
+    CrossCallHighWater {
+        peak_words,
+        cache_words,
+        cache_words_at_max_seq,
+        high_water_words: peak_words - cache_words + cache_words_at_max_seq,
+        max_seq,
     }
 }
 
@@ -1468,7 +1521,7 @@ pub fn analyze(graph: &Graph, plan: &ExecutionPlan) -> PlanAnalysis {
         let def = defs.get(&data).copied();
         let last_use = uses.get(&data).map(|&(_, l)| l);
         let start = def.unwrap_or(0);
-        let pinned = matches!(role, DataRole::Output | DataRole::Saved);
+        let pinned = matches!(role, DataRole::Output | DataRole::Saved | DataRole::Cache);
         let end = if pinned {
             n.saturating_sub(1)
         } else {

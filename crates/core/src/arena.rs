@@ -221,6 +221,11 @@ enum EpiExec {
 struct ExternalBind {
     name: String,
     view: BufView,
+    /// Persistent cross-call state ([`DataRole::Cache`]): the slab range
+    /// survives between executions — the initial sanitizer poison skips
+    /// it, and a bind callback may decline it (returning `false`) to keep
+    /// the resident contents instead of aborting the run.
+    persistent: bool,
 }
 
 /// An output (or saved activation) materialized out of the slab after
@@ -313,6 +318,10 @@ pub struct ArenaRun {
     /// Run the aliasing-aware shadow sanitizer (poison + finiteness
     /// checks).
     pub sanitize: bool,
+    /// Absolute sequence position of the run's first query column: every
+    /// causal softmax's visibility window shifts by this (decode steps set
+    /// it to the current token position; full-sequence runs leave it 0).
+    pub pos: usize,
 }
 
 /// Why an arena execution did or did not happen.
@@ -378,6 +387,9 @@ pub struct CompiledArena {
     waves: Vec<Vec<usize>>,
     retire: Vec<Vec<BufView>>,
     externals: Vec<ExternalBind>,
+    /// Slab spans the sanitizer may poison before a run: the complement
+    /// of the persistent (cache) ranges, which hold live cross-call state.
+    poison_spans: Vec<BufView>,
     outputs: Vec<MaterializeSpec>,
     stats_out: Vec<StatsSpec>,
     buffers: Mutex<ArenaBuffers>,
@@ -438,6 +450,7 @@ fn causal_of(shape: &Shape, axis: Axis) -> Option<CausalMap> {
     Some(CausalMap {
         div,
         len: shape.sizes()[qi],
+        base: 0,
     })
 }
 
@@ -613,6 +626,7 @@ impl CompiledArena {
                 externals.push(ExternalBind {
                     name: b.name.clone(),
                     view,
+                    persistent: b.role == DataRole::Cache,
                 });
             }
             if matches!(b.role, DataRole::Output | DataRole::Saved) {
@@ -638,6 +652,32 @@ impl CompiledArena {
             .collect();
 
         let slab_words = assignment.slab_words as usize;
+
+        // sanitizer poison spans: the whole slab minus persistent ranges
+        let mut persist: Vec<(usize, usize)> = externals
+            .iter()
+            .filter(|e| e.persistent)
+            .map(|e| (e.view.off, e.view.off + e.view.len))
+            .collect();
+        persist.sort_unstable();
+        let mut poison_spans = Vec::new();
+        let mut cur = 0usize;
+        for (s, e) in persist {
+            if s > cur {
+                poison_spans.push(BufView {
+                    off: cur,
+                    len: s - cur,
+                });
+            }
+            cur = cur.max(e);
+        }
+        if cur < slab_words {
+            poison_spans.push(BufView {
+                off: cur,
+                len: slab_words - cur,
+            });
+        }
+
         Ok(Some(CompiledArena {
             granularity,
             cert,
@@ -652,6 +692,7 @@ impl CompiledArena {
             waves,
             retire,
             externals,
+            poison_spans,
             outputs,
             stats_out,
             buffers: Mutex::new(ArenaBuffers {
@@ -716,6 +757,33 @@ impl CompiledArena {
                 .all(|(n, s)| n == &s.name)
     }
 
+    /// Runs `f` over the resident slab region of the external container
+    /// `name` (dense row-major). Returns `None` when no external of that
+    /// name exists or the buffers are locked by a concurrent run.
+    ///
+    /// This is the read half of the cross-call residency surface: decode
+    /// sessions use it to migrate cache contents between arenas when a
+    /// position bucket grows.
+    pub fn with_external<R>(&self, name: &str, f: impl FnOnce(&[f32]) -> R) -> Option<R> {
+        let e = self.externals.iter().find(|e| e.name == name)?;
+        let guard = self.buffers.try_lock().ok()?;
+        Some(f(&guard.slab[e.view.off..e.view.off + e.view.len]))
+    }
+
+    /// Runs `f` over the mutable resident slab region of the external
+    /// container `name`. Returns `None` when no external of that name
+    /// exists or the buffers are locked by a concurrent run.
+    ///
+    /// This is the write half of the cross-call residency surface: decode
+    /// sessions append one new cache column per step through a
+    /// bounds-checked [`crate::access::column_span`] license before the
+    /// attend plan runs.
+    pub fn with_external_mut<R>(&self, name: &str, f: impl FnOnce(&mut [f32]) -> R) -> Option<R> {
+        let e = self.externals.iter().find(|e| e.name == name)?;
+        let mut guard = self.buffers.try_lock().ok()?;
+        Some(f(&mut guard.slab[e.view.off..e.view.off + e.view.len]))
+    }
+
     /// Executes the compiled plan with caller-provided binding and
     /// materialization, touching no heap on the steady-state path.
     ///
@@ -749,13 +817,23 @@ impl CompiledArena {
         };
         let bufs = &mut *guard;
         if run.sanitize {
-            for v in bufs.slab.iter_mut() {
-                *v = f32::NAN;
+            // poison everything except persistent (cache) ranges, whose
+            // resident contents must survive between calls
+            for span in &self.poison_spans {
+                for v in &mut bufs.slab[span.off..span.off + span.len] {
+                    *v = f32::NAN;
+                }
             }
         }
         for e in &self.externals {
             let dst = &mut bufs.slab[e.view.off..e.view.off + e.view.len];
             if !bind(&e.name, dst) {
+                if e.persistent {
+                    // a declined persistent external keeps its resident
+                    // slab contents (the steady-state decode path: the
+                    // cache already lives here)
+                    continue;
+                }
                 return Ok(ArenaOutcome::Busy);
             }
         }
@@ -1588,10 +1666,11 @@ unsafe fn run_step<R: Rng + ?Sized>(
             causal,
         } => unsafe {
             let (x, out) = (mem.slab(*x), mem.slab_mut(*out));
+            let c = causal.at(causal.base + run.pos);
             if licensed {
-                into_ops::softmax_causal_into_unchecked(x, run.scaler, *lane, *causal, out);
+                into_ops::softmax_causal_into_unchecked(x, run.scaler, *lane, c, out);
             } else {
-                into_ops::softmax_causal_into(x, run.scaler, *lane, *causal, out);
+                into_ops::softmax_causal_into(x, run.scaler, *lane, c, out);
             }
         },
         StepExec::Sm {
@@ -1608,12 +1687,11 @@ unsafe fn run_step<R: Rng + ?Sized>(
                 mem.slab_mut(*alpha),
                 mem.slab_mut(*mask),
             );
+            let c = causal.map(|c| c.at(c.base + run.pos));
             if licensed {
-                into_ops::sm_into_unchecked(
-                    x, run.scaler, *lane, *causal, p, rng, softmax, alpha, mask,
-                );
+                into_ops::sm_into_unchecked(x, run.scaler, *lane, c, p, rng, softmax, alpha, mask);
             } else {
-                into_ops::sm_into(x, run.scaler, *lane, *causal, p, rng, softmax, alpha, mask);
+                into_ops::sm_into(x, run.scaler, *lane, c, p, rng, softmax, alpha, mask);
             }
         },
         StepExec::LayerNorm {
@@ -1795,7 +1873,7 @@ unsafe fn run_step<R: Rng + ?Sized>(
                     causal,
                 } => drive(&mut into_ops::TileEpilogue::Softmax {
                     scaler: run.scaler,
-                    causal: *causal,
+                    causal: causal.map(|c| c.at(c.base + run.pos)),
                     softmax: mem.slab_mut(*softmax),
                     alpha: mem.slab_mut(*alpha),
                     mask: mem.slab_mut(*mask),
@@ -2032,10 +2110,7 @@ mod tests {
     }
 
     fn run_env(graph: &Graph, plan: &ExecutionPlan, state: &mut ExecState) {
-        let opts = ExecOptions {
-            sanitize: SanitizeMode::Off,
-            ..ExecOptions::default()
-        };
+        let opts = ExecOptions::builder().sanitize(SanitizeMode::Off).build();
         let mut rng = StdRng::seed_from_u64(opts.seed);
         execute_plan(graph, plan, state, &opts, &mut rng).unwrap();
     }
@@ -2067,6 +2142,7 @@ mod tests {
             seed: 0x5eed,
             threads: 1,
             sanitize: false,
+            pos: 0,
         };
         let outcome = arena.run_with_state(&mut arena_state, &run).unwrap();
         assert_eq!(outcome, ArenaOutcome::Ran);
@@ -2110,6 +2186,7 @@ mod tests {
                     seed: 0xfeed,
                     threads,
                     sanitize: false,
+                    pos: 0,
                 };
                 assert_eq!(
                     arena.run_with_state(&mut state, &run).unwrap(),
@@ -2149,6 +2226,7 @@ mod tests {
                 seed: 1,
                 threads: if g == ArenaGranularity::Waves { 4 } else { 1 },
                 sanitize: true,
+                pos: 0,
             };
             assert_eq!(
                 arena.run_with_state(&mut state, &run).unwrap(),

@@ -102,6 +102,47 @@ pub fn decoder_fusion_plan() -> Vec<FusionGroup> {
     ]
 }
 
+/// The forward half of [`decoder_fusion_plan`], for forward-only decode
+/// graphs ([`xform_dataflow::build::decoder_prefill`]). `apply_plan` errors
+/// on missing operators, so the training plan (which names backward ops)
+/// cannot be applied to an inference graph; this plan keeps the *same*
+/// groups and kernel names for the ops that exist, so a prefill pass runs
+/// bitwise-identical fused kernels to the full training forward.
+pub fn decoder_forward_fusion_plan() -> Vec<FusionGroup> {
+    vec![
+        FusionGroup::new("AIB", &["Input bias Q", "Input bias K", "Input bias V"]),
+        FusionGroup::new("SM", &["Masked softmax", "Dropout att"]),
+        FusionGroup::new("BDR", &["Output bias", "Dropout 1", "Residual 1"]),
+        FusionGroup::new("BRD", &["Bias 1", "GELU", "Dropout 2"]),
+        FusionGroup::new("BDR2", &["Bias 2", "Dropout 3", "Residual 2"]),
+        FusionGroup::new("LN1", &["LayerNorm 1"]),
+        FusionGroup::new("LN2", &["LayerNorm 2"]),
+    ]
+}
+
+/// Fusion plan for the decode-step *projection* graph
+/// ([`xform_dataflow::build::decoder_step_project`]): layer-norm plus the
+/// stacked Q/K/V input-bias carve.
+pub fn decoder_project_fusion_plan() -> Vec<FusionGroup> {
+    vec![
+        FusionGroup::new("LN1", &["LayerNorm 1"]),
+        FusionGroup::new("AIB", &["Input bias Q", "Input bias K", "Input bias V"]),
+    ]
+}
+
+/// Fusion plan for the decode-step *attention+FFN* graph
+/// ([`xform_dataflow::build::decoder_step_attend`]): the same groups the
+/// full decoder forward uses past the projections.
+pub fn decoder_attend_fusion_plan() -> Vec<FusionGroup> {
+    vec![
+        FusionGroup::new("SM", &["Masked softmax", "Dropout att"]),
+        FusionGroup::new("BDR", &["Output bias", "Dropout 1", "Residual 1"]),
+        FusionGroup::new("BRD", &["Bias 1", "GELU", "Dropout 2"]),
+        FusionGroup::new("BDR2", &["Bias 2", "Dropout 3", "Residual 2"]),
+        FusionGroup::new("LN2", &["LayerNorm 2"]),
+    ]
+}
+
 /// Applies a fusion plan to a graph, returning the fused op ids in plan
 /// order. Groups with a single member are renamed (they still become one
 /// specialized kernel) rather than rewired.

@@ -77,6 +77,7 @@ pub mod analyze;
 pub mod arena;
 pub mod cachemodel;
 pub mod cpusource;
+pub mod env;
 pub mod fusion;
 pub mod itspace;
 pub mod plan;

@@ -395,7 +395,12 @@ pub struct PlanOverride<'p> {
 /// `forward(&x, &w, &ExecOptions)` surface — worker threads, RNG seed,
 /// sanitizer routing, an optional [`crate::profile::PlanProfiler`] sink,
 /// and an optional plan override.
+/// Construct it with [`ExecOptions::builder`] (or `ExecOptions::default()`
+/// and field assignment): the struct is `#[non_exhaustive]`, so literal
+/// construction is a compile error outside this crate and new fields
+/// (decode position, future knobs) never break downstream callers.
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct ExecOptions<'p> {
     /// Dropout probability (`0` disables dropout deterministically, drawing
     /// nothing from the RNG).
@@ -430,6 +435,12 @@ pub struct ExecOptions<'p> {
     /// of the allocating environment, falling back transparently when the
     /// arena is busy or does not match the plan.
     pub arena: Option<&'p crate::arena::CompiledArena>,
+    /// Absolute sequence position of this run's first query column. Zero
+    /// for full-sequence forwards; a decode step sets it to the current
+    /// token position, shifting every causal softmax's visibility window
+    /// (`visible = pos + local_query + 1`) over the cache-capacity key
+    /// axis.
+    pub pos: usize,
 }
 
 impl Default for ExecOptions<'_> {
@@ -445,7 +456,107 @@ impl Default for ExecOptions<'_> {
             profiler: None,
             plan: None,
             arena: None,
+            pos: 0,
         }
+    }
+}
+
+impl<'p> ExecOptions<'p> {
+    /// Starts a builder at the defaults. The builder is the supported
+    /// construction surface: `ExecOptions` is `#[non_exhaustive]`, so
+    /// downstream crates cannot use struct literals (and the repo
+    /// convention is to avoid them in-tree too), which lets new execution
+    /// knobs land without touching call sites.
+    pub fn builder() -> ExecOptionsBuilder<'p> {
+        ExecOptionsBuilder {
+            opts: ExecOptions::default(),
+        }
+    }
+
+    /// A builder seeded from this value, for deriving a variant of an
+    /// existing configuration (`opts.to_builder().threads(1).build()`).
+    pub fn to_builder(&self) -> ExecOptionsBuilder<'p> {
+        ExecOptionsBuilder { opts: *self }
+    }
+}
+
+/// Builder for [`ExecOptions`]; see [`ExecOptions::builder`]. Every setter
+/// maps to the field of the same name.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptionsBuilder<'p> {
+    opts: ExecOptions<'p>,
+}
+
+impl<'p> ExecOptionsBuilder<'p> {
+    /// Sets the dropout probability.
+    pub fn dropout_p(mut self, p: f32) -> Self {
+        self.opts.dropout_p = p;
+        self
+    }
+
+    /// Sets the activation behind `Relu`-kind nodes.
+    pub fn activation(mut self, a: ActivationKind) -> Self {
+        self.opts.activation = a;
+        self
+    }
+
+    /// Sets the softmax scale (attention `1/√P`).
+    pub fn scaler(mut self, s: f32) -> Self {
+        self.opts.scaler = s;
+        self
+    }
+
+    /// Sets the worker thread count.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.opts.threads = n;
+        self
+    }
+
+    /// Sets the dropout RNG seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.opts.seed = s;
+        self
+    }
+
+    /// Sets whether layer forwards assemble the saved-activation bundle.
+    pub fn collect_activations(mut self, yes: bool) -> Self {
+        self.opts.collect_activations = yes;
+        self
+    }
+
+    /// Sets the sanitizer routing.
+    pub fn sanitize(mut self, mode: SanitizeMode) -> Self {
+        self.opts.sanitize = mode;
+        self
+    }
+
+    /// Sets the profiler sink.
+    pub fn profiler(mut self, sink: Option<&'p crate::profile::ProfilerSink>) -> Self {
+        self.opts.profiler = sink;
+        self
+    }
+
+    /// Sets a plan override.
+    pub fn plan(mut self, plan: Option<PlanOverride<'p>>) -> Self {
+        self.opts.plan = plan;
+        self
+    }
+
+    /// Sets the compiled arena.
+    pub fn arena(mut self, arena: Option<&'p crate::arena::CompiledArena>) -> Self {
+        self.opts.arena = arena;
+        self
+    }
+
+    /// Sets the absolute decode position of the first query column.
+    pub fn pos(mut self, pos: usize) -> Self {
+        self.opts.pos = pos;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> ExecOptions<'p> {
+        self.opts
     }
 }
 
@@ -531,6 +642,7 @@ pub(crate) fn causal_map_of(shape: &Shape, axis: Axis) -> Option<CausalMap> {
     Some(CausalMap {
         div,
         len: shape.sizes()[qi],
+        base: 0,
     })
 }
 
@@ -841,7 +953,7 @@ pub fn execute_step<R: Rng + ?Sized>(
         OpKind::Softmax { axis } => {
             if step.name.contains("Masked") {
                 let q = causal_query_axis(ins[0].shape(), *axis)?;
-                let sm = fused::sm_causal(&ins[0], opts.scaler, q, *axis, 0.0, rng)?;
+                let sm = fused::sm_causal_at(&ins[0], opts.scaler, q, *axis, 0.0, rng, opts.pos)?;
                 results.push(sm.softmax);
             } else {
                 results.push(softmax(&scale(&ins[0], opts.scaler), *axis)?);
@@ -887,7 +999,7 @@ pub fn execute_step<R: Rng + ?Sized>(
                     })?;
                     let sm = if causal {
                         let q = causal_query_axis(ins[0].shape(), axis)?;
-                        fused::sm_causal(&ins[0], opts.scaler, q, axis, p, rng)?
+                        fused::sm_causal_at(&ins[0], opts.scaler, q, axis, p, rng, opts.pos)?
                     } else {
                         fused::sm(&ins[0], opts.scaler, axis, p, rng)?
                     };
@@ -1013,7 +1125,7 @@ pub fn execute_step<R: Rng + ?Sized>(
                     run(
                         &mut TileEpilogue::Softmax {
                             scaler: opts.scaler,
-                            causal: geom.causal,
+                            causal: geom.causal.map(|c| c.at(c.base + opts.pos)),
                             softmax: &mut sm_o,
                             alpha: &mut al_o,
                             mask: &mut mk_o,
@@ -1159,6 +1271,7 @@ pub fn execute_plan<R: Rng + ?Sized>(
                 seed: opts.seed,
                 threads: 1,
                 sanitize,
+                pos: opts.pos,
             };
             match arena.run_with_state(state, &run)? {
                 crate::arena::ArenaOutcome::Ran => return Ok(()),
@@ -1248,10 +1361,7 @@ mod tests {
 
     fn run_forward(graph: &xform_dataflow::Graph, plan: &ExecutionPlan, seed: u64) -> ExecState {
         let mut state = random_externals(graph, plan, seed).unwrap();
-        let opts = ExecOptions {
-            scaler: 1.0 / (3f32).sqrt(),
-            ..ExecOptions::default()
-        };
+        let opts = ExecOptions::builder().scaler(1.0 / (3f32).sqrt()).build();
         let mut rng = StdRng::seed_from_u64(99);
         execute_plan(graph, plan, &mut state, &opts, &mut rng).unwrap();
         state

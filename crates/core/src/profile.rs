@@ -491,11 +491,11 @@ pub fn profile_plan(
     for _ in 0..reps.max(1) {
         let mut state = base.clone();
         let mut rng = StdRng::seed_from_u64(opts.seed);
-        let run = ExecOptions {
-            profiler: Some(&sink),
-            sanitize: SanitizeMode::Off,
-            ..*opts
-        };
+        let run = opts
+            .to_builder()
+            .profiler(Some(&sink))
+            .sanitize(SanitizeMode::Off)
+            .build();
         execute_plan(graph, plan, &mut state, &run, &mut rng)?;
         std::hint::black_box(state.env.len());
     }
@@ -523,11 +523,11 @@ pub fn profile_plan_parallel(
     let sink: ProfilerSink = Mutex::new(PlanProfiler::new());
     for _ in 0..reps.max(1) {
         let mut state = base.clone();
-        let run = ExecOptions {
-            profiler: Some(&sink),
-            sanitize: SanitizeMode::Off,
-            ..*opts
-        };
+        let run = opts
+            .to_builder()
+            .profiler(Some(&sink))
+            .sanitize(SanitizeMode::Off)
+            .build();
         execute_plan_parallel(graph, plan, cert, &mut state, &run, popts)?;
         std::hint::black_box(state.env.len());
     }

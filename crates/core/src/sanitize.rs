@@ -866,6 +866,7 @@ pub fn execute_plan_parallel(
                 seed: popts.seed,
                 threads: popts.threads.max(1),
                 sanitize,
+                pos: opts.pos,
             };
             match arena.run_with_state(state, &run)? {
                 crate::arena::ArenaOutcome::Ran => return Ok(()),
@@ -1026,12 +1027,11 @@ mod tests {
     }
 
     fn opts() -> ExecOptions<'static> {
-        ExecOptions {
-            scaler: 1.0 / (3f32).sqrt(),
-            activation: ActivationKind::Relu,
-            dropout_p: 0.0,
-            ..ExecOptions::default()
-        }
+        ExecOptions::builder()
+            .scaler(1.0 / (3f32).sqrt())
+            .activation(ActivationKind::Relu)
+            .dropout_p(0.0)
+            .build()
     }
 
     #[test]

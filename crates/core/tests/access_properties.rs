@@ -32,10 +32,7 @@ fn unfused() -> (Graph, ExecutionPlan) {
 }
 
 fn opts() -> ExecOptions<'static> {
-    ExecOptions {
-        scaler: 1.0 / (3f32).sqrt(),
-        ..ExecOptions::default()
-    }
+    ExecOptions::builder().scaler(1.0 / (3f32).sqrt()).build()
 }
 
 /// Runs the shadow interpreter (static gate bypassed) over a possibly

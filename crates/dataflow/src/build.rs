@@ -1041,6 +1041,396 @@ pub fn decoder(dims: &EncoderDims) -> EncoderGraph {
     }
 }
 
+/// A forward-only dataflow graph, for inference plans with no backward
+/// half (decode prefill and per-step graphs). Containers are addressed by
+/// name (`graph.data_by_name`); `forward_ops` lists the operator names in
+/// execution order, before fusion.
+#[derive(Debug, Clone)]
+pub struct ForwardGraph {
+    /// The dataflow graph (unfused).
+    pub graph: Graph,
+    /// Forward operator names in execution order.
+    pub forward_ops: Vec<String>,
+}
+
+/// Forward-only copy of [`decoder`]: the same operator chain, names, and
+/// container roles as the training decoder's forward half, with no `dy`
+/// seed and no backward operators. Used for the decode *prefill* pass,
+/// which runs the full prompt through each layer once and harvests the
+/// saved `kk`/`vv` projections to seed the KV cache.
+pub fn decoder_prefill(dims: &EncoderDims) -> ForwardGraph {
+    assert_eq!(
+        dims.j, dims.k,
+        "causal self-attention requires equal sequence lengths"
+    );
+    let mut g = Graph::new();
+    let mut fwd: Vec<String> = Vec::new();
+    let ph = |g: &mut Graph, name: &str, spec: &str, role: DataRole| -> NodeId {
+        g.add_data(name, shape(dims, spec), role)
+    };
+
+    let x = ph(&mut g, "x", "ibj", DataRole::Input);
+    let w_qkv = g.add_data("w_qkv", stacked_shape(dims, "hi"), DataRole::Weight);
+    let bq = ph(&mut g, "bq", "ph", DataRole::Weight);
+    let bk = ph(&mut g, "bk", "ph", DataRole::Weight);
+    let bv = ph(&mut g, "bv", "wh", DataRole::Weight);
+    let wo = ph(&mut g, "wo", "whi", DataRole::Weight);
+    let bo = ph(&mut g, "bo", "i", DataRole::Weight);
+    let ln1_g = ph(&mut g, "ln1_gamma", "i", DataRole::Weight);
+    let ln1_b = ph(&mut g, "ln1_beta", "i", DataRole::Weight);
+    let w1 = ph(&mut g, "w1", "ui", DataRole::Weight);
+    let b1 = ph(&mut g, "b1", "u", DataRole::Weight);
+    let w2 = ph(&mut g, "w2", "iu", DataRole::Weight);
+    let b2 = ph(&mut g, "b2", "i", DataRole::Weight);
+    let ln2_g = ph(&mut g, "ln2_gamma", "i", DataRole::Weight);
+    let ln2_b = ph(&mut g, "ln2_beta", "i", DataRole::Weight);
+    let slice_words = dims.words("phbj");
+
+    let ln1_out = ph(&mut g, "ln1_out", "ibj", DataRole::Saved);
+    fwd.push("LayerNorm 1".into());
+    g.add_op(
+        "LayerNorm 1",
+        OpKind::LayerNorm { axis: Axis('i') },
+        &[x, ln1_g, ln1_b],
+        &[ln1_out],
+    );
+
+    let qkv_raw = g.add_data("qkv_raw", stacked_shape(dims, "hbj"), DataRole::Activation);
+    fwd.push("Q,K,V".into());
+    g.add_op(
+        "Q,K,V",
+        einsum("shi,ibj->shbj"),
+        &[w_qkv, ln1_out],
+        &[qkv_raw],
+    );
+
+    let qq = ph(&mut g, "qq", "phbj", DataRole::Saved);
+    let kk = ph(&mut g, "kk", "phbk", DataRole::Saved);
+    let vv = ph(&mut g, "vv", "whbk", DataRole::Saved);
+    for (name, bias, out, axes) in [
+        ("Input bias Q", bq, qq, vec![Axis('p'), Axis('h')]),
+        ("Input bias K", bk, kk, vec![Axis('p'), Axis('h')]),
+        ("Input bias V", bv, vv, vec![Axis('w'), Axis('h')]),
+    ] {
+        fwd.push(name.into());
+        let bias_words = g.data(bias).expect("bias").shape.num_elements() as u64;
+        g.add_op_with_volumes(
+            name,
+            OpKind::Bias { axes },
+            &[(qkv_raw, slice_words), (bias, bias_words)],
+            &[(out, slice_words)],
+        );
+    }
+
+    let beta = ph(&mut g, "beta", "hbjk", DataRole::Activation);
+    fwd.push("QKT".into());
+    g.add_op("QKT", einsum("phbk,phbj->hbjk"), &[kk, qq], &[beta]);
+
+    decoder_forward_tail(
+        &mut g,
+        &mut fwd,
+        dims,
+        DecoderTail {
+            beta,
+            x,
+            vv_spec: None,
+            vv,
+            wo,
+            bo,
+            ln2_g,
+            ln2_b,
+            w1,
+            b1,
+            w2,
+            b2,
+        },
+    );
+
+    ForwardGraph {
+        graph: g,
+        forward_ops: fwd,
+    }
+}
+
+/// Decode-step *projection* graph: for a single new token column
+/// (`dims.j == 1`), layer-norm the input and compute the stacked Q/K/V
+/// projection plus bias carve. Its outputs are the new query column
+/// `qq_new` and the new cache columns `kk_new`/`vv_new` which the decode
+/// session appends to the persistent K/V caches *before* running the
+/// attention graph — so the query's own key is in the cache when the
+/// scores are formed, exactly as in the full-sequence causal forward.
+pub fn decoder_step_project(dims: &EncoderDims) -> ForwardGraph {
+    assert_eq!(dims.j, 1, "decode step projects one token column");
+    let mut g = Graph::new();
+    let mut fwd: Vec<String> = Vec::new();
+    let ph = |g: &mut Graph, name: &str, spec: &str, role: DataRole| -> NodeId {
+        g.add_data(name, shape(dims, spec), role)
+    };
+
+    let x = ph(&mut g, "x", "ibj", DataRole::Input);
+    let w_qkv = g.add_data("w_qkv", stacked_shape(dims, "hi"), DataRole::Weight);
+    let bq = ph(&mut g, "bq", "ph", DataRole::Weight);
+    let bk = ph(&mut g, "bk", "ph", DataRole::Weight);
+    let bv = ph(&mut g, "bv", "wh", DataRole::Weight);
+    let ln1_g = ph(&mut g, "ln1_gamma", "i", DataRole::Weight);
+    let ln1_b = ph(&mut g, "ln1_beta", "i", DataRole::Weight);
+    let slice_words = dims.words("phbj");
+
+    let ln1_out = ph(&mut g, "ln1_out", "ibj", DataRole::Activation);
+    fwd.push("LayerNorm 1".into());
+    g.add_op(
+        "LayerNorm 1",
+        OpKind::LayerNorm { axis: Axis('i') },
+        &[x, ln1_g, ln1_b],
+        &[ln1_out],
+    );
+
+    let qkv_raw = g.add_data("qkv_raw", stacked_shape(dims, "hbj"), DataRole::Activation);
+    fwd.push("Q,K,V".into());
+    g.add_op(
+        "Q,K,V",
+        einsum("shi,ibj->shbj"),
+        &[w_qkv, ln1_out],
+        &[qkv_raw],
+    );
+
+    let qq = ph(&mut g, "qq_new", "phbj", DataRole::Output);
+    let kk = ph(&mut g, "kk_new", "phbj", DataRole::Output);
+    let vv = ph(&mut g, "vv_new", "whbj", DataRole::Output);
+    for (name, bias, out, axes) in [
+        ("Input bias Q", bq, qq, vec![Axis('p'), Axis('h')]),
+        ("Input bias K", bk, kk, vec![Axis('p'), Axis('h')]),
+        ("Input bias V", bv, vv, vec![Axis('w'), Axis('h')]),
+    ] {
+        fwd.push(name.into());
+        let bias_words = g.data(bias).expect("bias").shape.num_elements() as u64;
+        g.add_op_with_volumes(
+            name,
+            OpKind::Bias { axes },
+            &[(qkv_raw, slice_words), (bias, bias_words)],
+            &[(out, slice_words)],
+        );
+    }
+
+    ForwardGraph {
+        graph: g,
+        forward_ops: fwd,
+    }
+}
+
+/// Decode-step *attention + feed-forward* graph: one query column
+/// (`dims.j == 1`) attends over a persistent KV cache of capacity `dims.k`
+/// and runs the rest of the decoder forward. The caches are
+/// [`DataRole::Cache`] containers laid out position-major (`kphb` /
+/// `kwhb`), so one decoded position is one contiguous column: live-in and
+/// live-out of every plan run, read-only to every plan step, appended to
+/// only *between* runs by the decode session.
+///
+/// Scores for cache slots past the current position are formed from the
+/// slab's zero-initialized columns and masked to exact `0.0` by the causal
+/// softmax, so the result is bitwise-identical to a full-sequence forward
+/// truncated at the current position.
+pub fn decoder_step_attend(dims: &EncoderDims) -> ForwardGraph {
+    assert_eq!(dims.j, 1, "decode step attends one query column");
+    let mut g = Graph::new();
+    let mut fwd: Vec<String> = Vec::new();
+    let ph = |g: &mut Graph, name: &str, spec: &str, role: DataRole| -> NodeId {
+        g.add_data(name, shape(dims, spec), role)
+    };
+
+    let x = ph(&mut g, "x", "ibj", DataRole::Input);
+    let qq = ph(&mut g, "qq", "phbj", DataRole::Input);
+    let k_cache = ph(&mut g, "k_cache", "kphb", DataRole::Cache);
+    let v_cache = ph(&mut g, "v_cache", "kwhb", DataRole::Cache);
+    let wo = ph(&mut g, "wo", "whi", DataRole::Weight);
+    let bo = ph(&mut g, "bo", "i", DataRole::Weight);
+    let w1 = ph(&mut g, "w1", "ui", DataRole::Weight);
+    let b1 = ph(&mut g, "b1", "u", DataRole::Weight);
+    let w2 = ph(&mut g, "w2", "iu", DataRole::Weight);
+    let b2 = ph(&mut g, "b2", "i", DataRole::Weight);
+    let ln2_g = ph(&mut g, "ln2_gamma", "i", DataRole::Weight);
+    let ln2_b = ph(&mut g, "ln2_beta", "i", DataRole::Weight);
+
+    let beta = ph(&mut g, "beta", "hbjk", DataRole::Activation);
+    fwd.push("QKT".into());
+    g.add_op("QKT", einsum("kphb,phbj->hbjk"), &[k_cache, qq], &[beta]);
+
+    decoder_forward_tail(
+        &mut g,
+        &mut fwd,
+        dims,
+        DecoderTail {
+            beta,
+            x,
+            vv_spec: Some("kwhb"),
+            vv: v_cache,
+            wo,
+            bo,
+            ln2_g,
+            ln2_b,
+            w1,
+            b1,
+            w2,
+            b2,
+        },
+    );
+
+    ForwardGraph {
+        graph: g,
+        forward_ops: fwd,
+    }
+}
+
+/// Container handles feeding [`decoder_forward_tail`].
+struct DecoderTail {
+    beta: NodeId,
+    x: NodeId,
+    /// `Some(spec)` when the value tensor is a position-major cache whose
+    /// Gamma einsum contracts the cache axis (`kwhb,hbjk->whbj`); `None`
+    /// for the full-sequence `whbk` layout (`whbk,hbjk->whbj`).
+    vv_spec: Option<&'static str>,
+    vv: NodeId,
+    wo: NodeId,
+    bo: NodeId,
+    ln2_g: NodeId,
+    ln2_b: NodeId,
+    w1: NodeId,
+    b1: NodeId,
+    w2: NodeId,
+    b2: NodeId,
+}
+
+/// Shared forward chain from the attention scores (`beta`) to the layer
+/// output `y`: masked softmax, attention dropout, the value contraction,
+/// output projection + bias/dropout/residual, and the pre-LN feed-forward
+/// block — with exactly the operator names, container names, and roles of
+/// the training [`decoder`]'s forward half, so fused kernels and their
+/// results are bitwise-identical across the full / prefill / step graphs.
+fn decoder_forward_tail(g: &mut Graph, fwd: &mut Vec<String>, dims: &EncoderDims, t: DecoderTail) {
+    let ph = |g: &mut Graph, name: &str, spec: &str, role: DataRole| -> NodeId {
+        g.add_data(name, shape(dims, spec), role)
+    };
+
+    let att = ph(g, "att", "hbjk", DataRole::Saved);
+    fwd.push("Masked softmax".into());
+    g.add_op(
+        "Masked softmax",
+        OpKind::Softmax { axis: Axis('k') },
+        &[t.beta],
+        &[att],
+    );
+
+    let alpha = ph(g, "alpha", "hbjk", DataRole::Saved);
+    let att_mask = ph(g, "att_mask", "hbjk", DataRole::Saved);
+    fwd.push("Dropout att".into());
+    g.add_op("Dropout att", OpKind::Dropout, &[att], &[alpha, att_mask]);
+
+    let gam = ph(g, "gamma", "whbj", DataRole::Saved);
+    fwd.push("Gamma".into());
+    g.add_op(
+        "Gamma",
+        einsum(&format!("{},hbjk->whbj", t.vv_spec.unwrap_or("whbk"))),
+        &[t.vv, alpha],
+        &[gam],
+    );
+
+    let out_mm = ph(g, "out_mm", "ibj", DataRole::Activation);
+    fwd.push("Out".into());
+    g.add_op("Out", einsum("whi,whbj->ibj"), &[t.wo, gam], &[out_mm]);
+
+    let bo_out = ph(g, "bo_out", "ibj", DataRole::Activation);
+    fwd.push("Output bias".into());
+    g.add_op(
+        "Output bias",
+        OpKind::Bias {
+            axes: vec![Axis('i')],
+        },
+        &[out_mm, t.bo],
+        &[bo_out],
+    );
+
+    let drop1_out = ph(g, "drop1_out", "ibj", DataRole::Activation);
+    let drop1_mask = ph(g, "drop1_mask", "ibj", DataRole::Saved);
+    fwd.push("Dropout 1".into());
+    g.add_op(
+        "Dropout 1",
+        OpKind::Dropout,
+        &[bo_out],
+        &[drop1_out, drop1_mask],
+    );
+
+    let res1 = ph(g, "res1", "ibj", DataRole::Saved);
+    fwd.push("Residual 1".into());
+    g.add_op("Residual 1", OpKind::Residual, &[drop1_out, t.x], &[res1]);
+
+    let ln2_out = ph(g, "ln2_out", "ibj", DataRole::Saved);
+    fwd.push("LayerNorm 2".into());
+    g.add_op(
+        "LayerNorm 2",
+        OpKind::LayerNorm { axis: Axis('i') },
+        &[res1, t.ln2_g, t.ln2_b],
+        &[ln2_out],
+    );
+
+    let ff1 = ph(g, "ff1", "ubj", DataRole::Activation);
+    fwd.push("Linear 1".into());
+    g.add_op("Linear 1", einsum("ui,ibj->ubj"), &[t.w1, ln2_out], &[ff1]);
+
+    let ff1_b = ph(g, "ff1_b", "ubj", DataRole::Saved);
+    fwd.push("Bias 1".into());
+    g.add_op(
+        "Bias 1",
+        OpKind::Bias {
+            axes: vec![Axis('u')],
+        },
+        &[ff1, t.b1],
+        &[ff1_b],
+    );
+
+    let ff1_act = ph(g, "ff1_act", "ubj", DataRole::Activation);
+    fwd.push("GELU".into());
+    g.add_op("GELU", OpKind::Relu, &[ff1_b], &[ff1_act]);
+
+    let ff1_drop = ph(g, "ff1_drop", "ubj", DataRole::Saved);
+    let drop2_mask = ph(g, "drop2_mask", "ubj", DataRole::Saved);
+    fwd.push("Dropout 2".into());
+    g.add_op(
+        "Dropout 2",
+        OpKind::Dropout,
+        &[ff1_act],
+        &[ff1_drop, drop2_mask],
+    );
+
+    let ff2 = ph(g, "ff2", "ibj", DataRole::Activation);
+    fwd.push("Linear 2".into());
+    g.add_op("Linear 2", einsum("iu,ubj->ibj"), &[t.w2, ff1_drop], &[ff2]);
+
+    let ff2_b = ph(g, "ff2_b", "ibj", DataRole::Activation);
+    fwd.push("Bias 2".into());
+    g.add_op(
+        "Bias 2",
+        OpKind::Bias {
+            axes: vec![Axis('i')],
+        },
+        &[ff2, t.b2],
+        &[ff2_b],
+    );
+
+    let ff2_drop = ph(g, "ff2_drop", "ibj", DataRole::Activation);
+    let drop3_mask = ph(g, "drop3_mask", "ibj", DataRole::Saved);
+    fwd.push("Dropout 3".into());
+    g.add_op(
+        "Dropout 3",
+        OpKind::Dropout,
+        &[ff2_b],
+        &[ff2_drop, drop3_mask],
+    );
+
+    let y = ph(g, "y", "ibj", DataRole::Output);
+    fwd.push("Residual 2".into());
+    g.add_op("Residual 2", OpKind::Residual, &[ff2_drop, res1], &[y]);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1263,7 +1653,7 @@ mod tests {
         for d in g.data_nodes() {
             let node = g.data(d).unwrap();
             match node.role {
-                DataRole::Input | DataRole::Weight => {
+                DataRole::Input | DataRole::Weight | DataRole::Cache => {
                     assert!(
                         g.producer_of(d).is_none(),
                         "{} should have no producer",

@@ -39,6 +39,10 @@ pub enum DataRole {
     Gradient,
     /// External output (e.g. the layer output, weight gradients).
     Output,
+    /// Persistent cross-call state (e.g. a decoder KV cache). Lives in the
+    /// arena slab across plan executions: live-in and live-out of every
+    /// plan, never recolored, never produced by a plan step.
+    Cache,
 }
 
 /// A data-container node.
@@ -663,6 +667,16 @@ impl Graph {
                     // `dy` is the backward seed: consumed but not produced
                     if !consumed && !produced {
                         problems.push(format!("gradient `{}` is disconnected", node.name));
+                    }
+                }
+                DataRole::Cache => {
+                    // persistent state is appended to *between* plan runs,
+                    // never produced by a plan step; it must feed something
+                    if produced {
+                        problems.push(format!("cache `{}` has a producer", node.name));
+                    }
+                    if !consumed {
+                        problems.push(format!("cache `{}` is never consumed", node.name));
                     }
                 }
             }

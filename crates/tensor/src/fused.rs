@@ -154,6 +154,25 @@ pub fn sm_causal<R: Rng + ?Sized>(
     p: f32,
     rng: &mut R,
 ) -> Result<SmOutput> {
+    sm_causal_at(beta, scaler, query_axis, axis, p, rng, 0)
+}
+
+/// [`sm_causal`] with the query axis shifted to absolute position
+/// `query_base`: local query index `q` masks keys past `query_base + q`.
+/// A decode step runs this with a single-column query (`len(j) == 1`) at
+/// `query_base = pos` over a cache-capacity key axis, so exactly
+/// `pos + 1` cache slots are visible — bitwise-identical to the
+/// full-sequence kernel's row `pos`.
+#[allow(clippy::too_many_arguments)]
+pub fn sm_causal_at<R: Rng + ?Sized>(
+    beta: &Tensor,
+    scaler: f32,
+    query_axis: Axis,
+    axis: Axis,
+    p: f32,
+    rng: &mut R,
+    query_base: usize,
+) -> Result<SmOutput> {
     assert!(
         (0.0..1.0).contains(&p),
         "dropout probability must be in [0, 1)"
@@ -168,7 +187,7 @@ pub fn sm_causal<R: Rng + ?Sized>(
     let mut mask = beta.clone();
     for_each_outer(beta.shape(), ai, |idx| {
         let base = beta.offset(idx);
-        let q = idx[qi];
+        let q = query_base + idx[qi];
         let visible = (q + 1).min(len);
         let mut mx = f32::NEG_INFINITY;
         for v in 0..visible {

@@ -109,13 +109,23 @@ pub struct CausalMap {
     pub div: usize,
     /// Extent of the query axis.
     pub len: usize,
+    /// Absolute position of local query index 0. Zero for full-sequence
+    /// plans; a decode step sets it to the current sequence position so a
+    /// single-column query attends over `base + 1` cache slots.
+    pub base: usize,
 }
 
 impl CausalMap {
     /// Query index for the lane with pre-part `pre`.
     #[inline]
     pub fn query(self, pre: usize) -> usize {
-        (pre / self.div) % self.len
+        self.base + (pre / self.div) % self.len
+    }
+
+    /// This map shifted to absolute position `base` (decode-step use).
+    #[inline]
+    pub fn at(self, base: usize) -> Self {
+        CausalMap { base, ..self }
     }
 }
 
@@ -1479,7 +1489,11 @@ mod tests {
             x.data(),
             0.7,
             lane_of(&x, 'k'),
-            Some(CausalMap { div: 1, len: 4 }),
+            Some(CausalMap {
+                div: 1,
+                len: 4,
+                base: 0,
+            }),
             0.3,
             &mut rng2,
             &mut s,
@@ -1502,7 +1516,11 @@ mod tests {
             x.data(),
             1.0,
             lane_of(&x, 'k'),
-            CausalMap { div: 1, len: 4 },
+            CausalMap {
+                div: 1,
+                len: 4,
+                base: 0,
+            },
             &mut out,
         );
         assert_eq!(out.as_slice(), want.softmax.data());
@@ -1743,7 +1761,11 @@ mod tests {
         .unwrap();
         let total = out_shape.num_elements();
         let (p, scaler) = (0.3f32, 0.5f32);
-        let causal = Some(CausalMap { div: 1, len: 4 });
+        let causal = Some(CausalMap {
+            div: 1,
+            len: 4,
+            base: 0,
+        });
 
         // unfused: full contraction, then the SM kernel over the container
         let beta = crate::contract::contract(&spec, &kk, &qq, &Layout::row_major(4)).unwrap();
@@ -1966,7 +1988,11 @@ mod tests {
         let map = BiasMap {
             dims: vec![(1, lane.len, 1)],
         };
-        let causal = CausalMap { div: 1, len: 3 };
+        let causal = CausalMap {
+            div: 1,
+            len: 3,
+            base: 0,
+        };
 
         for p in [0.0f32, 0.4] {
             let mut c = vec![vec![0.0f32; n]; 5];

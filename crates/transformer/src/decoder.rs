@@ -173,12 +173,12 @@ impl DecoderLayer {
         };
         let mut state = bind_inputs(x, w)?;
         let arena;
-        let mut run_opts = ExecOptions {
-            dropout_p: self.dropout_p,
-            activation: self.activation,
-            scaler: self.scaler(),
-            ..*opts
-        };
+        let mut run_opts = opts
+            .to_builder()
+            .dropout_p(self.dropout_p)
+            .activation(self.activation)
+            .scaler(self.scaler())
+            .build();
         if opts.plan.is_none() && opts.profiler.is_none() {
             if let Some(a) = interp::cached_arena(
                 &self.dims,
@@ -213,22 +213,19 @@ impl DecoderLayer {
         opts: &ExecOptions,
         y: &mut Tensor,
     ) -> Result<()> {
-        let merged = ExecOptions {
-            dropout_p: self.dropout_p,
-            activation: self.activation,
-            scaler: self.scaler(),
-            ..*opts
-        };
+        let merged = opts
+            .to_builder()
+            .dropout_p(self.dropout_p)
+            .activation(self.activation)
+            .scaler(self.scaler())
+            .build();
         if opts.plan.is_none()
             && opts.profiler.is_none()
             && interp::arena_forward_into(&self.dims, self.plan_kind(), x, w, &merged, y)?
         {
             return Ok(());
         }
-        let fallback = ExecOptions {
-            collect_activations: false,
-            ..*opts
-        };
+        let fallback = opts.to_builder().collect_activations(false).build();
         let out = self.forward(x, w, &fallback)?;
         if out.y.len() != y.len() {
             return Err(TensorError::Unsupported(format!(
@@ -345,10 +342,7 @@ mod tests {
         w: &EncoderWeights,
         seed: u64,
     ) -> (Tensor, DecoderActivations) {
-        let opts = ExecOptions {
-            seed,
-            ..ExecOptions::default()
-        };
+        let opts = ExecOptions::builder().seed(seed).build();
         layer.forward(x, w, &opts).unwrap().into_pair().unwrap()
     }
 
@@ -479,11 +473,7 @@ mod tests {
         let (layer, w, x) = setup();
         let (y_serial, _) = fwd(&layer, &x, &w, 11);
         for threads in [2, 4] {
-            let opts = ExecOptions {
-                seed: 11,
-                threads,
-                ..ExecOptions::default()
-            };
+            let opts = ExecOptions::builder().seed(11).threads(threads).build();
             let (y_par, _) = layer.forward(&x, &w, &opts).unwrap().into_pair().unwrap();
             assert_eq!(y_serial.data(), y_par.data(), "threads = {threads}");
         }

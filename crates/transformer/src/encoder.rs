@@ -170,12 +170,11 @@ impl EncoderLayer {
     /// knobs: `dropout_p`, `activation`, and the attention `scaler` always
     /// come from the layer, everything else from `opts`.
     fn exec_options<'p>(&self, opts: &ExecOptions<'p>) -> ExecOptions<'p> {
-        ExecOptions {
-            dropout_p: self.dropout_p,
-            activation: self.activation,
-            scaler: self.scaler(),
-            ..*opts
-        }
+        opts.to_builder()
+            .dropout_p(self.dropout_p)
+            .activation(self.activation)
+            .scaler(self.scaler())
+            .build()
     }
 
     /// Runs forward propagation on input `x` (`[i,b,j]`) — the single
@@ -282,10 +281,7 @@ impl EncoderLayer {
         {
             return Ok(());
         }
-        let fallback = ExecOptions {
-            collect_activations: false,
-            ..*opts
-        };
+        let fallback = opts.to_builder().collect_activations(false).build();
         let out = self.forward(x, w, &fallback)?;
         if out.y.len() != y.len() {
             return Err(xform_tensor::TensorError::Unsupported(format!(
@@ -482,10 +478,7 @@ mod tests {
         w: &EncoderWeights,
         seed: u64,
     ) -> (Tensor, Activations) {
-        let opts = ExecOptions {
-            seed,
-            ..ExecOptions::default()
-        };
+        let opts = ExecOptions::builder().seed(seed).build();
         layer.forward(x, w, &opts).unwrap().into_pair().unwrap()
     }
 
@@ -548,10 +541,7 @@ mod tests {
             let (layer, w, x) = setup(0.0, executor);
             let (y_serial, a_serial) = fwd(&layer, &x, &w, 8);
             for threads in [2, 4] {
-                let opts = ExecOptions {
-                    threads,
-                    ..ExecOptions::default()
-                };
+                let opts = ExecOptions::builder().threads(threads).build();
                 let (y_par, a_par) = layer.forward(&x, &w, &opts).unwrap().into_pair().unwrap();
                 assert_eq!(y_par.data(), y_serial.data(), "{executor:?} @{threads}");
                 assert_eq!(a_par.gam.data(), a_serial.gam.data());
@@ -563,11 +553,7 @@ mod tests {
     #[test]
     fn parallel_dropout_is_thread_count_invariant() {
         let (layer, w, x) = setup(0.5, Executor::Fused);
-        let mk = |threads| ExecOptions {
-            threads,
-            seed: 99,
-            ..ExecOptions::default()
-        };
+        let mk = |threads| ExecOptions::builder().threads(threads).seed(99).build();
         let (y2, a2) = layer.forward(&x, &w, &mk(2)).unwrap().into_pair().unwrap();
         let (y4, a4) = layer.forward(&x, &w, &mk(4)).unwrap().into_pair().unwrap();
         assert_eq!(y2.data(), y4.data());
@@ -582,10 +568,7 @@ mod tests {
             .forward(
                 &x,
                 &w,
-                &ExecOptions {
-                    collect_activations: false,
-                    ..ExecOptions::default()
-                },
+                &ExecOptions::builder().collect_activations(false).build(),
             )
             .unwrap();
         assert!(out.activations.is_none());
@@ -605,14 +588,7 @@ mod tests {
         };
         // serial override works …
         let y = layer
-            .forward(
-                &x,
-                &w,
-                &ExecOptions {
-                    plan: Some(over),
-                    ..ExecOptions::default()
-                },
-            )
+            .forward(&x, &w, &ExecOptions::builder().plan(Some(over)).build())
             .unwrap()
             .y;
         assert_eq!(y.shape().spec(), "ibj");
@@ -621,11 +597,7 @@ mod tests {
             .forward(
                 &x,
                 &w,
-                &ExecOptions {
-                    plan: Some(over),
-                    threads: 4,
-                    ..ExecOptions::default()
-                },
+                &ExecOptions::builder().plan(Some(over)).threads(4).build(),
             )
             .unwrap_err();
         assert!(err.to_string().contains("certificate"), "{err}");

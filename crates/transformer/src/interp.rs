@@ -19,7 +19,10 @@ use rand::SeedableRng;
 use xform_core::access::{certify_access, AccessCertificate};
 use xform_core::analyze::{analyze, ArenaGranularity};
 use xform_core::arena::{ArenaArtifact, ArenaOutcome, ArenaRun, CompiledArena};
-use xform_core::fusion::{apply_epilogues, apply_plan, decoder_fusion_plan, encoder_fusion_plan};
+use xform_core::fusion::{
+    apply_epilogues, apply_plan, decoder_attend_fusion_plan, decoder_forward_fusion_plan,
+    decoder_fusion_plan, decoder_project_fusion_plan, encoder_fusion_plan,
+};
 use xform_core::plan::{execute_plan, ExecOptions, ExecState, ExecutionPlan, SanitizeMode};
 use xform_core::recipe::forward_ops;
 use xform_core::sanitize::{certify, execute_plan_parallel, ParallelOptions, RaceCertificate};
@@ -74,8 +77,7 @@ pub struct PlannedForward {
     pub access: AccessCertificate,
 }
 
-fn planned(graph: Graph, dy: xform_dataflow::NodeId) -> Result<PlannedForward> {
-    let plan = ExecutionPlan::natural(&graph, &forward_ops(&graph, dy))?;
+fn certified(graph: Graph, plan: ExecutionPlan) -> Result<PlannedForward> {
     let cert = certify(&graph, &plan).map_err(|lints| {
         xform_tensor::TensorError::Unsupported(format!(
             "canned plan failed race certification: {:?}",
@@ -96,6 +98,18 @@ fn planned(graph: Graph, dy: xform_dataflow::NodeId) -> Result<PlannedForward> {
     })
 }
 
+fn planned(graph: Graph, dy: xform_dataflow::NodeId) -> Result<PlannedForward> {
+    let plan = ExecutionPlan::natural(&graph, &forward_ops(&graph, dy))?;
+    certified(graph, plan)
+}
+
+/// Schedules a forward-only graph (no `dy` seed to split on): every
+/// operator, in topological order.
+fn planned_forward(graph: Graph) -> Result<PlannedForward> {
+    let plan = ExecutionPlan::natural(&graph, &graph.topo_ops())?;
+    certified(graph, plan)
+}
+
 /// Which canned schedule a cache entry holds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PlanKind {
@@ -111,6 +125,19 @@ pub enum PlanKind {
     /// Fused decoder with GEMM-epilogue mega-kernels (QKT+SM, Out+BDR,
     /// Linear 1+BRD, Linear 2+BDR2 collapsed).
     DecoderEpilogue,
+    /// Forward-only fused decoder block for the decode *prefill* pass:
+    /// same kernels as [`PlanKind::DecoderFused`]'s forward half, no
+    /// backward operators. `dims.j == dims.k` is the prompt length.
+    DecoderPrefill,
+    /// Decode-step projection plan: LN1 + stacked Q/K/V + bias carve over
+    /// a single token column (`dims.j == 1`), producing the `qq_new`/
+    /// `kk_new`/`vv_new` columns the session appends to its caches.
+    DecoderStepProject,
+    /// Decode-step attention plan: reads the resident `k_cache`/`v_cache`
+    /// ([`xform_dataflow::DataRole::Cache`] inputs, `dims.k` = bucket
+    /// capacity) plus the projected `qq` column and produces the step's
+    /// `y` (`dims.j == 1`).
+    DecoderStep,
 }
 
 type PlanCache = Mutex<HashMap<(EncoderDims, PlanKind), Arc<PlannedForward>>>;
@@ -140,6 +167,9 @@ pub fn cached_plan(dims: &EncoderDims, kind: PlanKind) -> Result<Arc<PlannedForw
         PlanKind::EncoderEpilogue => encoder_epilogue(dims)?,
         PlanKind::DecoderFused => decoder_fused(dims)?,
         PlanKind::DecoderEpilogue => decoder_epilogue(dims)?,
+        PlanKind::DecoderPrefill => decoder_prefill(dims)?,
+        PlanKind::DecoderStepProject => decoder_step_project(dims)?,
+        PlanKind::DecoderStep => decoder_step_attend(dims)?,
     });
     plan_cache().lock().unwrap().insert(key, Arc::clone(&built));
     Ok(built)
@@ -231,6 +261,7 @@ pub(crate) fn arena_run(opts: &ExecOptions) -> ArenaRun {
             SanitizeMode::On => true,
             SanitizeMode::Env => xform_core::arena::env_sanitize_cached(),
         },
+        pos: opts.pos,
     }
 }
 
@@ -391,6 +422,51 @@ pub fn decoder_epilogue(dims: &EncoderDims) -> Result<PlannedForward> {
     planned(g, eg.dy)
 }
 
+/// The decode prefill pass as a plan: the forward-only decoder graph with
+/// the forward half of the decoder fusion plan applied. Same kernel names
+/// and container roles as the fused decoder's forward, so the prompt's
+/// `kk`/`vv` projections (and every logit) are bitwise those of a
+/// full-sequence forward.
+///
+/// # Errors
+///
+/// Returns an error if fusion or scheduling fails.
+pub fn decoder_prefill(dims: &EncoderDims) -> Result<PlannedForward> {
+    let fg = build::decoder_prefill(dims);
+    let mut g = fg.graph;
+    apply_plan(&mut g, &decoder_forward_fusion_plan())?;
+    planned_forward(g)
+}
+
+/// The decode-step projection plan (LN1 + QKV + bias carve over one token
+/// column). See [`PlanKind::DecoderStepProject`].
+///
+/// # Errors
+///
+/// Returns an error if fusion or scheduling fails.
+pub fn decoder_step_project(dims: &EncoderDims) -> Result<PlannedForward> {
+    let fg = build::decoder_step_project(dims);
+    let mut g = fg.graph;
+    apply_plan(&mut g, &decoder_project_fusion_plan())?;
+    planned_forward(g)
+}
+
+/// The decode-step attention plan reading the resident KV cache. On top
+/// of the race and access certificates every canned plan carries, this
+/// plan also passes [`xform_core::access::certify_decode`] (checked by
+/// [`crate::decode::DecodeSession`] at compile time): no step writes a
+/// single word of either cache container.
+///
+/// # Errors
+///
+/// Returns an error if fusion or scheduling fails.
+pub fn decoder_step_attend(dims: &EncoderDims) -> Result<PlannedForward> {
+    let fg = build::decoder_step_attend(dims);
+    let mut g = fg.graph;
+    apply_plan(&mut g, &decoder_attend_fusion_plan())?;
+    planned_forward(g)
+}
+
 /// Dispatches one plan execution according to the run configuration: the
 /// serial interpreter (one RNG stream seeded by [`ExecOptions::seed`])
 /// for `threads <= 1`, the certificate-gated wave-parallel interpreter
@@ -547,10 +623,9 @@ mod tests {
             decoder_fused(&dims).unwrap(),
         ] {
             let mut state = bind_inputs(&x, &w).unwrap();
-            let opts = ExecOptions {
-                scaler: 1.0 / (dims.p as f32).sqrt(),
-                ..ExecOptions::default()
-            };
+            let opts = ExecOptions::builder()
+                .scaler(1.0 / (dims.p as f32).sqrt())
+                .build();
             execute_plan(&pf.graph, &pf.plan, &mut state, &opts, &mut rng).unwrap();
             assert_eq!(state.get("y").unwrap().shape().spec(), "ibj");
         }

@@ -19,6 +19,10 @@
 //! * [`params`] — encoder weights/gradients and SGD;
 //! * [`encoder`] — the layer itself;
 //! * [`decoder`] — the GPT-2-style causal variant;
+//! * [`decode`] — streaming KV-cache decoding ([`decode::DecodeSession`]):
+//!   prefill once, then token-at-a-time steps over persistent per-layer
+//!   cache slabs, bitwise-equal to the full-sequence forward and
+//!   allocation-free in the steady state;
 //! * [`mha`] — standalone general multi-head attention (Fig. 1);
 //! * [`training`] — a miniature synthetic training loop.
 //!
@@ -37,7 +41,7 @@
 //! let weights = EncoderWeights::init(&dims, &mut rng);
 //! let layer = EncoderLayer::new(dims, Executor::Fused, 0.0);
 //! let x = synthetic_batch(&dims, &mut rng)?;
-//! let opts = ExecOptions { seed: 42, ..ExecOptions::default() };
+//! let opts = ExecOptions::builder().seed(42).build();
 //! let (y, acts) = layer.forward(&x, &weights, &opts)?.into_pair()?;
 //! let (dx, grads) = layer.backward(&y, &x, &weights, &acts)?;
 //! assert_eq!(dx.shape(), x.shape());
@@ -51,6 +55,7 @@
 #![forbid(unsafe_code)]
 
 pub mod checkpoint;
+pub mod decode;
 pub mod decoder;
 pub mod encoder;
 pub mod interp;

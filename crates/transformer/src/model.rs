@@ -190,10 +190,9 @@ impl TransformerModel {
         for w in &self.blocks {
             // per-block dropout stream drawn from the caller's RNG so the
             // whole model stays deterministic under a seeded generator
-            let opts = xform_core::plan::ExecOptions {
-                seed: rng.gen::<u64>(),
-                ..xform_core::plan::ExecOptions::default()
-            };
+            let opts = xform_core::plan::ExecOptions::builder()
+                .seed(rng.gen::<u64>())
+                .build();
             let (next, a) = match self.config.block {
                 BlockKind::Encoder => {
                     let layer =

@@ -232,10 +232,9 @@ mod tests {
         let mut first = None;
         let mut last = 0.0;
         for _ in 0..25 {
-            let opts = xform_core::plan::ExecOptions {
-                seed: rng.gen::<u64>(),
-                ..xform_core::plan::ExecOptions::default()
-            };
+            let opts = xform_core::plan::ExecOptions::builder()
+                .seed(rng.gen::<u64>())
+                .build();
             let (y, acts) = layer.forward(&x, &w, &opts).unwrap().into_pair().unwrap();
             let n = y.len() as f32;
             let mut dy = y.clone();

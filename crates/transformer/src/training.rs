@@ -79,10 +79,9 @@ pub fn train_synthetic(
         let x = Tensor::random(x_shape.clone(), &dist, &mut data_rng);
         let target = Tensor::random(x_shape.clone(), &Uniform::new(-0.5f32, 0.5), &mut data_rng);
 
-        let fwd_opts = xform_core::plan::ExecOptions {
-            seed: rng.gen::<u64>(),
-            ..xform_core::plan::ExecOptions::default()
-        };
+        let fwd_opts = xform_core::plan::ExecOptions::builder()
+            .seed(rng.gen::<u64>())
+            .build();
         let (y, acts) = layer.forward(&x, &weights, &fwd_opts)?.into_pair()?;
         // MSE loss: L = mean((y - t)^2); dL/dy = 2 (y - t) / N
         let n = y.len() as f32;

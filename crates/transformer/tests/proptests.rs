@@ -46,7 +46,7 @@ proptest! {
         let x = batch(&dims, seed + 1);
         let fused = EncoderLayer::new(dims, Executor::Fused, 0.0);
         let reference = EncoderLayer::new(dims, Executor::Reference, 0.0);
-        let opts = ExecOptions { seed: 0, ..ExecOptions::default() };
+        let opts = ExecOptions::builder().seed(0).build();
         let (y1, a1) = fused.forward(&x, &w, &opts).unwrap().into_pair().unwrap();
         let (y2, a2) = reference.forward(&x, &w, &opts).unwrap().into_pair().unwrap();
         prop_assert!(y1.max_abs_diff(&y2).unwrap() < 1e-4);
@@ -64,7 +64,7 @@ proptest! {
         let w = EncoderWeights::init(&dims, &mut rng);
         let x = batch(&dims, seed + 1);
         let layer = EncoderLayer::new(dims, Executor::Fused, 0.0);
-        let opts = ExecOptions { seed, ..ExecOptions::default() };
+        let opts = ExecOptions::builder().seed(seed).build();
         let (y, _) = layer.forward(&x, &w, &opts).unwrap().into_pair().unwrap();
         for b in 0..dims.b {
             for j in 0..dims.j {
@@ -82,7 +82,7 @@ proptest! {
         let w = EncoderWeights::init(&dims, &mut rng);
         let x = batch(&dims, seed + 1);
         let layer = EncoderLayer::new(dims, Executor::Fused, 0.0);
-        let opts = ExecOptions { seed, ..ExecOptions::default() };
+        let opts = ExecOptions::builder().seed(seed).build();
         let (y, acts) = layer.forward(&x, &w, &opts).unwrap().into_pair().unwrap();
         let dy = batch(&dims, seed + 2);
         let scaled = xform_tensor::ops::elementwise::scale(&dy, c);
@@ -101,7 +101,7 @@ proptest! {
         let w = EncoderWeights::init(&dims, &mut rng);
         let x = batch(&dims, seed + 1);
         let layer = EncoderLayer::new(dims, Executor::Fused, p);
-        let opts = ExecOptions { seed, ..ExecOptions::default() };
+        let opts = ExecOptions::builder().seed(seed).build();
         let (_, acts) = layer.forward(&x, &w, &opts).unwrap().into_pair().unwrap();
         let keep = 1.0 / (1.0 - p);
         for m in acts.brd.mask.data() {

@@ -1,0 +1,87 @@
+//! Streaming KV-cache generation through a [`DecodeSession`]: prefill a
+//! prompt once, keep each layer's K/V cache resident in its arena slab,
+//! and decode one column per token — bitwise identical to re-running the
+//! full forward over the growing prefix, at zero heap allocations per
+//! steady-state step.
+//!
+//! ```text
+//! cargo run --release --example generate
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use substation::dataflow::EncoderDims;
+use substation::transformer::decode::{DecodeOptions, DecodeSession, Sampling};
+use substation::transformer::model::{BlockKind, ModelConfig, TransformerModel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = ModelConfig {
+        dims: EncoderDims {
+            b: 2,
+            j: 48,
+            k: 48,
+            h: 2,
+            p: 8,
+            i: 16,
+            u: 32,
+        },
+        layers: 2,
+        vocab: 32,
+        block: BlockKind::Decoder,
+        dropout_p: 0.0,
+    };
+    let mut rng = StdRng::seed_from_u64(7);
+    let model = TransformerModel::init(config, &mut rng)?;
+    println!(
+        "decoder stack: {} layers, vocab {}, {} parameters",
+        config.layers,
+        config.vocab,
+        model.num_parameters()
+    );
+
+    let prompt: Vec<Vec<usize>> = vec![vec![3, 1, 4, 1, 5], vec![2, 7, 1, 8, 2]];
+    let steps = 24;
+
+    // Deterministic sampling: `Temperature` draws exactly one f32 per
+    // batch row per token, so the stream is reproducible from the seed
+    // alone — independent of thread count or cache-bucket geometry.
+    let opts = DecodeOptions {
+        seed: 0xdec0de,
+        ..DecodeOptions::default()
+    };
+    let mut session = DecodeSession::new(&model, opts)?;
+    let t = std::time::Instant::now();
+    let generated = session.generate(
+        &prompt,
+        steps,
+        Sampling::Temperature {
+            temperature: 0.8,
+            top_k: Some(8),
+        },
+    )?;
+    let elapsed = t.elapsed().as_secs_f64();
+
+    for (b, (p, g)) in prompt.iter().zip(&generated).enumerate() {
+        println!("row {b}: prompt {p:?} → {g:?}");
+    }
+    println!(
+        "\n{} tokens in {:.1} ms ({:.0} tokens/s), {} resident positions \
+         of capacity {}, {:.1} KiB resident cache arenas",
+        steps * config.dims.b,
+        elapsed * 1e3,
+        (steps * config.dims.b) as f64 / elapsed,
+        session.len(),
+        session.capacity(),
+        session.resident_bytes() as f64 / 1024.0,
+    );
+
+    // The same prompt under greedy decoding touches the RNG not at all —
+    // two sessions agree token-for-token.
+    let mut a = DecodeSession::new(&model, DecodeOptions::default())?;
+    let mut b = DecodeSession::new(&model, DecodeOptions::default())?;
+    let ga = a.generate(&prompt, steps, Sampling::Greedy)?;
+    let gb = b.generate(&prompt, steps, Sampling::Greedy)?;
+    assert_eq!(ga, gb, "greedy decoding is deterministic");
+    println!("greedy decode reproduces exactly: {:?}…", &ga[0][..8]);
+    Ok(())
+}

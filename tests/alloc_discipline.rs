@@ -20,8 +20,10 @@ use substation::core::plan::ExecOptions;
 use substation::core::profile::CountingAlloc;
 use substation::dataflow::EncoderDims;
 use substation::tensor::{Shape, Tensor};
+use substation::transformer::decode::{DecodeOptions, DecodeSession, Sampling};
 use substation::transformer::decoder::DecoderLayer;
 use substation::transformer::encoder::{EncoderLayer, Executor};
+use substation::transformer::model::{BlockKind, ModelConfig, TransformerModel};
 use substation::transformer::params::EncoderWeights;
 
 #[global_allocator]
@@ -63,11 +65,7 @@ fn steady_state_forwards_touch_no_heap() {
 
     let mut failures: Vec<String> = Vec::new();
     for threads in [1usize, 4] {
-        let opts = ExecOptions {
-            threads,
-            seed: 5,
-            ..ExecOptions::default()
-        };
+        let opts = ExecOptions::builder().threads(threads).seed(5).build();
         type Case<'a> = (&'a str, &'a dyn Fn(&mut Tensor));
         let cases: [Case; 3] = [
             ("encoder/fused", &|y: &mut Tensor| {
@@ -90,6 +88,55 @@ fn steady_state_forwards_touch_no_heap() {
             }
         }
     }
+    // Streaming decode: after prefill has compiled the bucket's step plans
+    // and arenas, every advance + sample pair inside the bucket is two
+    // arena executions, two cache-column copies, and an in-place sampling
+    // pass — zero heap events per decoded token.
+    let cfg = ModelConfig {
+        dims: EncoderDims {
+            b: 2,
+            j: 32,
+            k: 32,
+            h: 2,
+            p: 4,
+            i: 8,
+            u: 16,
+        },
+        layers: 2,
+        vocab: 7,
+        block: BlockKind::Decoder,
+        dropout_p: 0.0,
+    };
+    let model = TransformerModel::init(cfg, &mut rng).unwrap();
+    let mut sess = DecodeSession::new(&model, DecodeOptions::default()).unwrap();
+    sess.prefill(&[vec![1, 2, 3, 4], vec![2, 3, 4, 5]]).unwrap();
+    let sampling = Sampling::Temperature {
+        temperature: 0.8,
+        top_k: Some(3),
+    };
+    let mut tokens = [0usize; 2];
+    // warmup: first sample sizes the scratch vectors
+    for _ in 0..2 {
+        sess.sample(sampling, &mut tokens).unwrap();
+        sess.advance(&tokens).unwrap();
+    }
+    assert!(
+        sess.len() + STEADY_CALLS < sess.capacity(),
+        "measured decode window must not cross a bucket growth"
+    );
+    let before = ALLOC.events();
+    for _ in 0..STEADY_CALLS {
+        sess.sample(sampling, &mut tokens).unwrap();
+        sess.advance(&tokens).unwrap();
+    }
+    let delta = ALLOC.events() - before;
+    if delta != 0 {
+        failures.push(format!(
+            "decode/steady-state: {delta} heap event(s) across {STEADY_CALLS} \
+             advance+sample steps"
+        ));
+    }
+
     assert!(
         failures.is_empty(),
         "steady-state forwards must not touch the heap:\n  {}",

@@ -73,14 +73,13 @@ fn arena_forward_matches_the_env_interpreter_bitwise_without_rng() {
             },
         )
         .unwrap();
-        let env_opts = ExecOptions {
-            plan: Some(PlanOverride {
+        let env_opts = ExecOptions::builder()
+            .plan(Some(PlanOverride {
                 graph: &pf.graph,
                 plan: &pf.plan,
                 cert: Some(&pf.cert),
-            }),
-            ..ExecOptions::default()
-        };
+            }))
+            .build();
         let env_y = layer.forward(&x, &w, &env_opts).unwrap().y;
         assert_eq!(arena_y.data(), env_y.data(), "{executor:?}");
     }
@@ -92,11 +91,7 @@ fn forward_into_agrees_with_forward_exactly() {
     let mut y = out_buffer(&dims);
     for p in [0.0f32, 0.3] {
         for threads in [1usize, 4] {
-            let opts = ExecOptions {
-                threads,
-                seed: 17,
-                ..ExecOptions::default()
-            };
+            let opts = ExecOptions::builder().threads(threads).seed(17).build();
             let encoder = EncoderLayer::new(dims, Executor::Fused, p);
             let full = encoder.forward(&x, &w, &opts).unwrap().y;
             encoder.forward_into(&x, &w, &opts, &mut y).unwrap();
@@ -120,14 +115,7 @@ fn dropout_is_thread_count_invariant_under_the_arena() {
     for p in [0.0f32, 0.3, 0.5] {
         let layer = EncoderLayer::new(dims, Executor::Fused, p);
         let serial = layer
-            .forward(
-                &x,
-                &w,
-                &ExecOptions {
-                    seed: 23,
-                    ..ExecOptions::default()
-                },
-            )
+            .forward(&x, &w, &ExecOptions::builder().seed(23).build())
             .unwrap()
             .y;
         for threads in [2usize, 4, 8] {
@@ -135,11 +123,7 @@ fn dropout_is_thread_count_invariant_under_the_arena() {
                 .forward(
                     &x,
                     &w,
-                    &ExecOptions {
-                        seed: 23,
-                        threads,
-                        ..ExecOptions::default()
-                    },
+                    &ExecOptions::builder().seed(23).threads(threads).build(),
                 )
                 .unwrap()
                 .y;
@@ -156,14 +140,13 @@ fn collected_activations_match_between_arena_and_env_interpreter() {
     let layer = EncoderLayer::new(dims, Executor::Fused, 0.0);
     let arena_out = layer.forward(&x, &w, &ExecOptions::default()).unwrap();
     let pf = interp::cached_plan(&dims, interp::PlanKind::EncoderFused).unwrap();
-    let env_opts = ExecOptions {
-        plan: Some(PlanOverride {
+    let env_opts = ExecOptions::builder()
+        .plan(Some(PlanOverride {
             graph: &pf.graph,
             plan: &pf.plan,
             cert: Some(&pf.cert),
-        }),
-        ..ExecOptions::default()
-    };
+        }))
+        .build();
     let env_out = layer.forward(&x, &w, &env_opts).unwrap();
     let (a, b) = (
         arena_out.activations.as_ref().unwrap(),

@@ -89,11 +89,10 @@ fn run_env(
         env: externals.env.clone(),
         ..Default::default()
     };
-    let opts = ExecOptions {
-        dropout_p,
-        scaler: 0.5,
-        ..ExecOptions::default()
-    };
+    let opts = ExecOptions::builder()
+        .dropout_p(dropout_p)
+        .scaler(0.5)
+        .build();
     let mut rng = StdRng::seed_from_u64(97);
     execute_plan(&pf.graph, &pf.plan, &mut state, &opts, &mut rng).unwrap();
     (state, rng)
@@ -157,22 +156,18 @@ fn epilogue_arena_forward_matches_the_env_interpreter_bitwise_without_rng() {
     let pe = interp::cached_plan(&dims, interp::PlanKind::EncoderEpilogue).unwrap();
     let pd = interp::cached_plan(&dims, interp::PlanKind::DecoderEpilogue).unwrap();
     for threads in [1usize, 4] {
-        let arena_opts = ExecOptions {
-            threads,
-            ..ExecOptions::default()
-        };
+        let arena_opts = ExecOptions::builder().threads(threads).build();
         for (tag, pf, arena_y) in [
             ("encoder", &pe, enc.forward(&x, &w, &arena_opts).unwrap().y),
             ("decoder", &pd, dec.forward(&x, &w, &arena_opts).unwrap().y),
         ] {
-            let env_opts = ExecOptions {
-                plan: Some(PlanOverride {
+            let env_opts = ExecOptions::builder()
+                .plan(Some(PlanOverride {
                     graph: &pf.graph,
                     plan: &pf.plan,
                     cert: Some(&pf.cert),
-                }),
-                ..ExecOptions::default()
-            };
+                }))
+                .build();
             let env_y = match tag {
                 "encoder" => enc.forward(&x, &w, &env_opts).unwrap().y,
                 _ => dec.forward(&x, &w, &env_opts).unwrap().y,
@@ -220,14 +215,7 @@ fn epilogue_dropout_is_thread_count_invariant_under_the_arena() {
     for p in [0.3f32, 0.5] {
         let layer = EncoderLayer::new(dims, Executor::Epilogue, p);
         let serial = layer
-            .forward(
-                &x,
-                &w,
-                &ExecOptions {
-                    seed: 23,
-                    ..ExecOptions::default()
-                },
-            )
+            .forward(&x, &w, &ExecOptions::builder().seed(23).build())
             .unwrap()
             .y;
         for threads in [2usize, 4] {
@@ -235,11 +223,7 @@ fn epilogue_dropout_is_thread_count_invariant_under_the_arena() {
                 .forward(
                     &x,
                     &w,
-                    &ExecOptions {
-                        seed: 23,
-                        threads,
-                        ..ExecOptions::default()
-                    },
+                    &ExecOptions::builder().seed(23).threads(threads).build(),
                 )
                 .unwrap()
                 .y;

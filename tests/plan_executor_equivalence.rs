@@ -55,10 +55,7 @@ fn inputs(dims: &EncoderDims, seed: u64) -> (Tensor, EncoderWeights) {
 }
 
 fn opts(seed: u64) -> ExecOptions<'static> {
-    ExecOptions {
-        seed,
-        ..ExecOptions::default()
-    }
+    ExecOptions::builder().seed(seed).build()
 }
 
 /// The reference executor's output for the given input (dropout off).
@@ -88,14 +85,14 @@ fn recipe_lowered_plan_matches_reference_executor() {
     let (x, w) = inputs(&dims, 17);
     let y_ref = reference_y(&dims, &x, &w);
     let layer = EncoderLayer::new(dims, Executor::Fused, 0.0);
-    let run = ExecOptions {
-        plan: Some(PlanOverride {
+    let run = (opts(3))
+        .to_builder()
+        .plan(Some(PlanOverride {
             graph: &planned.graph,
             plan: &plan,
             cert: None,
-        }),
-        ..opts(3)
-    };
+        }))
+        .build();
     let y_sel = layer.forward(&x, &w, &run).expect("plan-driven forward").y;
     // layouts may differ; max_abs_diff compares logical elements
     assert!(
@@ -134,17 +131,14 @@ fn parallel_execution_of_recipe_plan_is_bitwise_equal_to_serial() {
         plan: &plan,
         cert: Some(&cert),
     };
-    let serial = ExecOptions {
-        plan: Some(over),
-        ..opts(3)
-    };
+    let serial = (opts(3)).to_builder().plan(Some(over)).build();
     let (y_serial, a_serial) = layer
         .forward(&x, &w, &serial)
         .expect("serial plan-driven forward")
         .into_pair()
         .unwrap();
     for threads in [1usize, 2, 4, 8] {
-        let run = ExecOptions { threads, ..serial };
+        let run = serial.to_builder().threads(threads).build();
         let (y_par, a_par) = layer
             .forward(&x, &w, &run)
             .expect("parallel plan-driven forward")
@@ -195,10 +189,9 @@ proptest! {
         let (x, w) = inputs(&dims, seed ^ 0xABCD);
         let y_ref = reference_y(&dims, &x, &w);
         let layer = EncoderLayer::new(dims, Executor::Fused, 0.0);
-        let run = ExecOptions {
-            plan: Some(PlanOverride { graph: &planned.graph, plan: &plan, cert: None }),
-            ..opts(3)
-        };
+        let run = (opts(3)).to_builder()
+            .plan(Some(PlanOverride { graph: &planned.graph, plan: &plan, cert: None }))
+            .build();
         let y = layer.forward(&x, &w, &run).expect("perturbed plan executes").y;
         prop_assert!(y.max_abs_diff(&y_ref).unwrap() < 1e-4);
     }
@@ -211,14 +204,14 @@ fn invalid_plans_are_rejected_before_execution() {
     let (x, w) = inputs(&dims, 5);
     let layer = EncoderLayer::new(dims, Executor::Fused, 0.0);
     let run = |plan: &ExecutionPlan, x: &Tensor, w: &EncoderWeights| {
-        let o = ExecOptions {
-            plan: Some(PlanOverride {
+        let o = (opts(3))
+            .to_builder()
+            .plan(Some(PlanOverride {
                 graph: &planned.graph,
                 plan,
                 cert: None,
-            }),
-            ..opts(3)
-        };
+            }))
+            .build();
         layer.forward(x, w, &o).map(|out| out.y)
     };
 

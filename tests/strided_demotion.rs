@@ -115,17 +115,13 @@ proptest! {
             plan: &plan,
             cert: Some(&cert),
         };
-        let serial = ExecOptions {
-            plan: Some(over),
-            seed: 3,
-            ..ExecOptions::default()
-        };
+        let serial = ExecOptions::builder().plan(Some(over)).seed(3).build();
         let y_serial = layer
             .forward(&x, &w, &serial)
             .expect("serial forward of the demoted plan")
             .y;
         for threads in [2usize, 4, 8] {
-            let run = ExecOptions { threads, ..serial };
+            let run = serial.to_builder().threads(threads).build();
             let y_par = layer
                 .forward(&x, &w, &run)
                 .expect("wave-parallel forward of the demoted plan")

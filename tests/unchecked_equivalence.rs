@@ -64,7 +64,7 @@ proptest! {
     fn softmax_causal_twin_is_bitwise(
         q in 1usize..5, div in 1usize..4, len in 1usize..9, seed in 0u64..1000,
     ) {
-        let causal = CausalMap { div, len: q };
+        let causal = CausalMap { div, len: q, base: 0 };
         let lane = LaneGeom { pre: q * div, len, post: 1 };
         let x = rand_vec(lane.elements(), seed);
         let mut checked = vec![0.0f32; lane.elements()];
@@ -80,7 +80,7 @@ proptest! {
         p_idx in 0usize..3, use_causal in any::<bool>(),
     ) {
         let p = [0.0f32, 0.1, 0.5][p_idx];
-        let causal = use_causal.then_some(CausalMap { div: 1, len: pre });
+        let causal = use_causal.then_some(CausalMap { div: 1, len: pre, base: 0 });
         let lane = LaneGeom { pre, len, post: 1 };
         let x = rand_vec(lane.elements(), seed);
         let n = lane.elements();
